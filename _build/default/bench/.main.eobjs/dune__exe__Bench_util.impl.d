@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Float Hashtbl List Measure Printf Tcmm_util Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bench_util Format List Printf String Tcmm Tcmm_convnet Tcmm_fastmm Tcmm_graph Tcmm_threshold Tcmm_util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Bench_util Experiments Gc List Printf Staged String Sys Tcmm Tcmm_fastmm Tcmm_threshold Tcmm_util Test

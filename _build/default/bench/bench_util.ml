@@ -1,0 +1,33 @@
+(* Shared helpers for the benchmark harness. *)
+
+module Tb = Tcmm_util.Tablefmt
+
+(* Wall-clock measurement through bechamel: returns (name, ns/run) for
+   each test, via OLS against the run counter. *)
+let measure_ns tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"bench" tests) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+      in
+      (name, estimate) :: acc)
+    results []
+  |> List.sort compare
+
+let ns_cell ns =
+  if Float.is_nan ns then Tb.Str "n/a"
+  else if ns >= 1e9 then Tb.Str (Printf.sprintf "%.2f s" (ns /. 1e9))
+  else if ns >= 1e6 then Tb.Str (Printf.sprintf "%.2f ms" (ns /. 1e6))
+  else if ns >= 1e3 then Tb.Str (Printf.sprintf "%.2f us" (ns /. 1e3))
+  else Tb.Str (Printf.sprintf "%.0f ns" ns)
+
+let header title =
+  Printf.printf "\n######## %s ########\n\n%!" title

@@ -1,0 +1,108 @@
+(* Benchmark harness: regenerates every experiment table (E1..E10, see
+   EXPERIMENTS.md) and runs the bechamel wall-clock benches (E8).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- e2 e4   # selected tables only *)
+
+module F = Tcmm_fastmm
+module T = Tcmm
+module Tb = Tcmm_util.Tablefmt
+
+(* E8: wall-clock timings via bechamel. *)
+let e8 () =
+  Bench_util.header "E8: wall-clock benches (bechamel, ns/run via OLS)";
+  let rng = Tcmm_util.Prng.create ~seed:7 in
+  let n = 128 in
+  let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-8) ~hi:8 in
+  let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-8) ~hi:8 in
+  let profile = F.Sparsity.analyze F.Instances.strassen in
+  let sched16 = T.Level_schedule.theorem45 ~profile ~d:2 ~n:16 in
+  let built =
+    T.Matmul_circuit.build ~algo:F.Instances.strassen ~schedule:sched16 ~entry_bits:1
+      ~n:16 ()
+  in
+  let a16 = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
+  let b16 = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
+  let open Bechamel in
+  let tests =
+    [
+      Test.make ~name:"cpu naive matmul N=128" (Staged.stage (fun () -> F.Matrix.mul a b));
+      Test.make ~name:"cpu strassen N=128 (cutoff 32)"
+        (Staged.stage (fun () -> F.Bilinear.multiply ~cutoff:32 F.Instances.strassen a b));
+      Test.make ~name:"cpu strassen N=128 (cutoff 8)"
+        (Staged.stage (fun () -> F.Bilinear.multiply ~cutoff:8 F.Instances.strassen a b));
+      Test.make ~name:"build matmul circuit N=16 d=2"
+        (Staged.stage (fun () ->
+             T.Matmul_circuit.build ~mode:Tcmm_threshold.Builder.Count_only
+               ~algo:F.Instances.strassen ~schedule:sched16 ~entry_bits:1 ~n:16 ()));
+      Test.make ~name:"simulate matmul circuit N=16"
+        (Staged.stage (fun () -> T.Matmul_circuit.run built ~a:a16 ~b:b16));
+      Test.make ~name:"exact counts via DP (trace N=1024 d=3)"
+        (Staged.stage (fun () ->
+             T.Gate_count.trace ~algo:F.Instances.strassen
+               ~schedule:(T.Level_schedule.theorem45 ~profile ~d:3 ~n:1024)
+               ~entry_bits:10 ~n:1024 ()));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, ns) -> [ Tb.Str name; Bench_util.ns_cell ns ])
+      (Bench_util.measure_ns tests)
+  in
+  Tb.print ~title:"wall-clock (one core)" ~header:[ "bench"; "time/run" ] ~rows;
+  (* Scalar-multiplication counts contextualize the CPU crossover. *)
+  let rows =
+    List.map
+      (fun n ->
+        [
+          Tb.Int n;
+          Tb.Int (n * n * n);
+          Tb.Int (F.Bilinear.scalar_multiplications F.Instances.strassen ~n ~cutoff:8);
+          Tb.Int (F.Bilinear.scalar_multiplications F.Instances.strassen ~n ~cutoff:1);
+        ])
+      [ 32; 64; 128; 256; 512 ]
+  in
+  Tb.print ~title:"scalar multiplications: naive vs recursive Strassen"
+    ~header:[ "N"; "naive N^3"; "strassen cutoff 8"; "strassen cutoff 1" ]
+    ~rows
+
+let all_experiments =
+  [
+    ("e1", Experiments.e1);
+    ("e2", Experiments.e2);
+    ("e3", Experiments.e3);
+    ("e4", Experiments.e4);
+    ("e5", Experiments.e5);
+    ("e6", Experiments.e6);
+    ("e7", Experiments.e7);
+    ("e8", e8);
+    ("e9", Experiments.e9);
+    ("e10", Experiments.e10);
+    ("e11", Experiments.e11);
+    ("e12", Experiments.e12);
+    ("e13", Experiments.e13);
+    ("e14", Experiments.e14);
+    ("e15", Experiments.e15);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst all_experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name all_experiments with
+      | Some f ->
+          f ();
+          (* Large count-only builds leave big heaps behind; return the
+             memory before the next experiment. *)
+          Gc.compact ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" name
+            (String.concat ", " (List.map fst all_experiments));
+          exit 2)
+    requested;
+  print_endline "done."

@@ -1,0 +1,254 @@
+(* Command-line interface to the threshold-circuit matrix multiplication
+   library.
+
+   Subcommands:
+     algorithms  - list bundled fast matmul algorithms with sparsity data
+     stats       - exact circuit statistics for chosen parameters
+     verify      - build circuits and check them against integer references
+     triangles   - threshold-query triangles of a random graph *)
+
+open Cmdliner
+module F = Tcmm_fastmm
+module T = Tcmm
+module Tb = Tcmm_util.Tablefmt
+
+let algo_by_name name =
+  let all = F.Instances.all () in
+  match List.find_opt (fun a -> a.F.Bilinear.name = name) all with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown algorithm %S (try: %s)" name
+           (String.concat ", " (List.map (fun a -> a.F.Bilinear.name) all)))
+
+let algo_arg =
+  let parse s = match algo_by_name s with Ok a -> Ok a | Error e -> Error (`Msg e) in
+  let print ppf a = Format.fprintf ppf "%s" a.F.Bilinear.name in
+  Arg.conv (parse, print)
+
+let algo_term =
+  Arg.(
+    value
+    & opt algo_arg F.Instances.strassen
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc:"Fast matmul algorithm to compile.")
+
+let n_term =
+  Arg.(value & opt int 16 & info [ "n" ] ~docv:"N" ~doc:"Matrix dimension (a power of the algorithm's T).")
+
+let d_term =
+  Arg.(
+    value
+    & opt int 2
+    & info [ "d" ] ~docv:"D" ~doc:"Theorem 4.5 depth parameter (d >= 1).")
+
+let bits_term =
+  Arg.(value & opt int 1 & info [ "b"; "bits" ] ~docv:"BITS" ~doc:"Bits per entry.")
+
+let schedule_term =
+  Arg.(
+    value
+    & opt string "thm45"
+    & info [ "s"; "schedule" ] ~docv:"SCHED"
+        ~doc:"Level schedule: thm44, thm45, full, direct, or uniform-K.")
+
+let seed_term =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let resolve_schedule ~algo ~name ~d ~n =
+  let t_dim = algo.F.Bilinear.t_dim in
+  let l = T.Level_schedule.height ~t_dim ~n in
+  let profile = F.Sparsity.analyze algo in
+  match name with
+  | "thm45" -> T.Level_schedule.theorem45 ~profile ~d ~n
+  | "thm44" ->
+      T.Level_schedule.theorem44 ~gamma:profile.F.Sparsity.overall.F.Sparsity.gamma
+        ~t_dim ~n
+  | "full" -> T.Level_schedule.full ~l
+  | "direct" -> T.Level_schedule.direct ~l
+  | s when String.length s > 8 && String.sub s 0 8 = "uniform-" ->
+      T.Level_schedule.uniform ~steps:(int_of_string (String.sub s 8 (String.length s - 8))) ~l
+  | s -> failwith (Printf.sprintf "unknown schedule %S" s)
+
+(* ------------------------------------------------------------------ *)
+
+let algorithms_cmd =
+  let run () =
+    let rows =
+      List.filter_map
+        (fun algo ->
+          match F.Sparsity.analyze algo with
+          | p ->
+              Some
+                [
+                  Tb.Str algo.F.Bilinear.name;
+                  Tb.Int algo.F.Bilinear.t_dim;
+                  Tb.Int algo.F.Bilinear.rank;
+                  Tb.Float p.F.Sparsity.omega;
+                  Tb.Int p.F.Sparsity.a.F.Sparsity.total;
+                  Tb.Int p.F.Sparsity.b.F.Sparsity.total;
+                  Tb.Int p.F.Sparsity.c.F.Sparsity.total;
+                  Tb.Float p.F.Sparsity.overall.F.Sparsity.alpha;
+                  Tb.Float p.F.Sparsity.overall.F.Sparsity.beta;
+                  Tb.Float p.F.Sparsity.overall.F.Sparsity.gamma;
+                  Tb.Float p.F.Sparsity.c_const;
+                ]
+          | exception Invalid_argument _ -> None)
+        (F.Instances.all ())
+    in
+    Tb.print ~title:"Bundled fast matrix multiplication algorithms (Definition 2.1)"
+      ~header:[ "name"; "T"; "r"; "omega"; "s_A"; "s_B"; "s_C"; "alpha"; "beta"; "gamma"; "c" ]
+      ~rows;
+    0
+  in
+  Cmd.v (Cmd.info "algorithms" ~doc:"List bundled algorithms and their sparsity profiles.")
+    Term.(const run $ const ())
+
+let stats_cmd =
+  let run algo n d bits sched =
+    let schedule = resolve_schedule ~algo ~name:sched ~d ~n in
+    Format.printf "schedule: %a@." T.Level_schedule.pp schedule;
+    let trace =
+      T.Trace_circuit.build ~mode:Tcmm_threshold.Builder.Count_only ~algo ~schedule
+        ~entry_bits:bits ~tau:1 ~n ()
+    in
+    let matmul =
+      T.Matmul_circuit.build ~mode:Tcmm_threshold.Builder.Count_only ~algo ~schedule
+        ~entry_bits:bits ~n ()
+    in
+    let row name (s : Tcmm_threshold.Stats.t) =
+      [
+        Tb.Str name; Tb.Int s.gates; Tb.Int s.depth; Tb.Int s.edges;
+        Tb.Int s.max_fan_in; Tb.Int s.max_abs_weight;
+      ]
+    in
+    Tb.print
+      ~title:(Printf.sprintf "Exact circuit statistics (N=%d, %s, %d-bit entries)" n
+                algo.F.Bilinear.name bits)
+      ~header:[ "circuit"; "gates"; "depth"; "edges"; "fan-in"; "|w|max" ]
+      ~rows:[ row "trace(A^3) >= tau" (T.Trace_circuit.stats trace);
+              row "C = A*B" (T.Matmul_circuit.stats matmul) ];
+    0
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Exact gate/depth/edge counts for chosen parameters.")
+    Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term)
+
+let verify_cmd =
+  let run algo n d bits sched seed =
+    let schedule = resolve_schedule ~algo ~name:sched ~d ~n in
+    let rng = Tcmm_util.Prng.create ~seed in
+    let hi = (1 lsl bits) - 1 in
+    let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+    let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+    Format.printf "building C = A*B circuit (N=%d, %s, schedule %a)...@." n
+      algo.F.Bilinear.name T.Level_schedule.pp schedule;
+    let built =
+      T.Matmul_circuit.build ~algo ~schedule ~signed_inputs:true ~entry_bits:bits ~n ()
+    in
+    Format.printf "circuit: %s@."
+      (Tcmm_threshold.Stats.to_row (T.Matmul_circuit.stats built));
+    let c = T.Matmul_circuit.run built ~a ~b in
+    let ok_mm = F.Matrix.equal c (F.Matrix.mul a b) in
+    Format.printf "matmul circuit matches reference: %b@." ok_mm;
+    let m = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi in
+    let expect = T.Trace_circuit.reference m in
+    let trace = T.Trace_circuit.build ~algo ~schedule ~entry_bits:bits ~tau:expect ~n () in
+    let ok_tr = T.Trace_circuit.trace_value trace m = expect && T.Trace_circuit.run trace m in
+    Format.printf "trace circuit matches reference: %b@." ok_tr;
+    if ok_mm && ok_tr then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Build circuits and check them against integer references.")
+    Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term $ seed_term)
+
+let triangles_cmd =
+  let run n d p tau seed =
+    let rng = Tcmm_util.Prng.create ~seed in
+    let g = Tcmm_graph.Generate.erdos_renyi rng ~n ~p in
+    let exact = Tcmm_graph.Triangles.count g in
+    Format.printf "G(n=%d, p=%.2f): %d edges, %d triangles, clustering %.3f@." n p
+      (Tcmm_graph.Graph.num_edges g) exact
+      (Tcmm_graph.Triangles.clustering_coefficient g);
+    let algo = F.Instances.strassen in
+    let profile = F.Sparsity.analyze algo in
+    let schedule = T.Level_schedule.theorem45 ~profile ~d ~n in
+    let built = T.Trace_circuit.build ~algo ~schedule ~entry_bits:1 ~tau:(6 * tau) ~n () in
+    let fires = T.Trace_circuit.run built (Tcmm_graph.Graph.adjacency g) in
+    Format.printf "circuit (depth %d, %s): at least %d triangles? %b (truth: %b)@."
+      (T.Gate_model.trace_depth schedule)
+      (Tcmm_threshold.Stats.to_row (T.Trace_circuit.stats built))
+      tau fires (exact >= tau);
+    if fires = (exact >= tau) then 0 else 1
+  in
+  let p_term =
+    Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.")
+  in
+  let tau_term =
+    Arg.(value & opt int 5 & info [ "t"; "tau" ] ~docv:"TAU" ~doc:"Triangle threshold.")
+  in
+  Cmd.v
+    (Cmd.info "triangles" ~doc:"Threshold-query the triangle count of a random graph.")
+    Term.(const run $ n_term $ d_term $ p_term $ tau_term $ seed_term)
+
+let export_cmd =
+  let run algo n d bits sched kind path =
+    let schedule = resolve_schedule ~algo ~name:sched ~d ~n in
+    let built =
+      T.Trace_circuit.build ~algo ~schedule ~entry_bits:bits ~tau:1 ~n ()
+    in
+    match built.T.Trace_circuit.circuit with
+    | None -> 1
+    | Some c ->
+        let contents =
+          match kind with
+          | "netlist" -> Tcmm_threshold.Export.to_netlist c
+          | "dot" -> Tcmm_threshold.Export.to_dot ~max_gates:100000 c
+          | k -> failwith (Printf.sprintf "unknown format %S (netlist|dot)" k)
+        in
+        Tcmm_threshold.Export.write_file path contents;
+        Format.printf "wrote %s (%s, %s)@." path kind
+          (Tcmm_threshold.Stats.to_row (T.Trace_circuit.stats built));
+        0
+  in
+  let kind_term =
+    Arg.(value & opt string "netlist" & info [ "f"; "format" ] ~docv:"FMT" ~doc:"netlist or dot.")
+  in
+  let path_term =
+    Arg.(value & opt string "circuit.tcmm" & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Build a trace circuit and write it as a netlist or GraphViz DOT file.")
+    Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term $ kind_term $ path_term)
+
+let orbit_cmd =
+  let run algo limit =
+    (match F.Sparsity.analyze algo with
+    | p -> Format.printf "start: %s, sparsity %d@." algo.F.Bilinear.name p.F.Sparsity.sparsity
+    | exception Invalid_argument _ -> ());
+    let r =
+      match limit with
+      | 0 -> F.Orbit.search algo
+      | l -> F.Orbit.search ~limit:l algo
+    in
+    Format.printf
+      "searched %d unimodular sandwiching triples; best sparsity in orbit: %d (%s)@."
+      r.F.Orbit.triples_tried r.F.Orbit.sparsity
+      (if r.F.Orbit.better_than_start then "improved" else "no improvement");
+    if r.F.Orbit.better_than_start then
+      Format.printf "improved algorithm:@.%a@." F.Bilinear.pp r.F.Orbit.algorithm;
+    0
+  in
+  let limit_term =
+    Arg.(value & opt int 0 & info [ "limit" ] ~docv:"K" ~doc:"Cap triples (0 = exhaustive).")
+  in
+  Cmd.v
+    (Cmd.info "orbit"
+       ~doc:"Search the algorithm's unimodular sandwiching orbit for minimum sparsity.")
+    Term.(const run $ algo_term $ limit_term)
+
+let () =
+  let doc = "Constant-depth threshold circuits for matrix multiplication (SPAA 2018)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "tcmm" ~doc)
+          [ algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd; orbit_cmd ]))

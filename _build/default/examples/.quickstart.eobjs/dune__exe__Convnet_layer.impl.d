@@ -1,0 +1,1 @@
+examples/convnet_layer.ml: Array Format Tcmm Tcmm_convnet Tcmm_fastmm Tcmm_threshold Tcmm_util

@@ -1,0 +1,1 @@
+examples/convnet_layer.mli:

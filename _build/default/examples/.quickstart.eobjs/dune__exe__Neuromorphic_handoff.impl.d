@@ -1,0 +1,1 @@
+examples/neuromorphic_handoff.ml: Array Filename Format Option String Sys Tcmm Tcmm_fastmm Tcmm_graph Tcmm_threshold Tcmm_util

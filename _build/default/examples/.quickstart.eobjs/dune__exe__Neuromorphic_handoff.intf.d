@@ -1,0 +1,1 @@
+examples/neuromorphic_handoff.mli:

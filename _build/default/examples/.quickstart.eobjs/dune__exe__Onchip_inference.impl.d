@@ -1,0 +1,1 @@
+examples/onchip_inference.ml: Array Format Tcmm_arith Tcmm_convnet Tcmm_threshold Tcmm_util

@@ -1,0 +1,1 @@
+examples/onchip_inference.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Tcmm Tcmm_fastmm Tcmm_threshold

@@ -1,0 +1,1 @@
+examples/schedule_explorer.ml: Format List Tcmm Tcmm_fastmm Tcmm_threshold Tcmm_util

@@ -1,0 +1,1 @@
+examples/triangle_count.ml: Format Option Tcmm Tcmm_arith Tcmm_fastmm Tcmm_graph Tcmm_threshold Tcmm_util

@@ -1,0 +1,100 @@
+(* A convolutional layer evaluated on the threshold circuit (paper,
+   Section 5, after Warden's GEMM explanation).
+
+   The im2col lowering turns "apply K kernels to every patch of an image"
+   into one dense matrix product: a P x Q patch matrix times a Q x K
+   kernel matrix.  Both are embedded into square power-of-two operands
+   and pushed through the subcubic matmul circuit; the scores match the
+   direct convolution exactly.
+
+   Run with: dune exec examples/convnet_layer.exe *)
+
+module F = Tcmm_fastmm
+module C = Tcmm_convnet
+module T = Tcmm
+
+let () =
+  let rng = Tcmm_util.Prng.create ~seed:42 in
+  (* A 2-channel 4x4 image and three 2x2 kernels applied with stride 2. *)
+  let img = C.Image.random rng ~channels:2 ~height:4 ~width:4 ~lo:(-2) ~hi:2 in
+  let kernels =
+    [|
+      (* Channel-summed identity: picks the top-left pixel of each patch. *)
+      C.Image.init ~channels:2 ~height:2 ~width:2 (fun _ y x ->
+          if y = 0 && x = 0 then 1 else 0);
+      (* Horizontal contrast. *)
+      C.Image.init ~channels:2 ~height:2 ~width:2 (fun _ _ x -> if x = 0 then 1 else -1);
+      (* Random kernel. *)
+      C.Image.random rng ~channels:2 ~height:2 ~width:2 ~lo:(-1) ~hi:1;
+    |]
+  in
+  let spec = { C.Im2col.q = 2; stride = 2 } in
+  let oh, ow = C.Im2col.output_dims spec img in
+  let patches = C.Im2col.patch_matrix spec img in
+  let kmat = C.Im2col.kernel_matrix kernels in
+  Format.printf
+    "Layer: %d patches (%dx%d grid), %d values per patch, %d kernels@." (oh * ow) oh
+    ow (F.Matrix.cols patches)
+    (F.Matrix.rows (F.Matrix.transpose kmat));
+
+  let n = C.Conv.circuit_size spec img kernels ~t_dim:2 in
+  Format.printf "Embedded into a %dx%d matrix product (paper: P=%d, Q=%d, K=%d)@.@." n
+    n (F.Matrix.rows patches) (F.Matrix.cols patches) (F.Matrix.cols kmat);
+
+  let built =
+    T.Matmul_circuit.build ~algo:F.Instances.strassen
+      ~schedule:(T.Level_schedule.full ~l:(T.Level_schedule.height ~t_dim:2 ~n))
+      ~signed_inputs:true ~entry_bits:4 ~n ()
+  in
+  Format.printf "Square circuit: %s@."
+    (Tcmm_threshold.Stats.to_row (T.Matmul_circuit.stats built));
+
+  (* The tiled multiplier only pays for the tiles the rectangular
+     operands actually cover (paper, Section 5's splitting remark). *)
+  let block = 4 in
+  let pr = T.Tiled_matmul.round_up (F.Matrix.rows patches) ~block in
+  let qr = T.Tiled_matmul.round_up (F.Matrix.cols patches) ~block in
+  let kr = T.Tiled_matmul.round_up (F.Matrix.cols kmat) ~block in
+  let tiled =
+    T.Tiled_matmul.build ~algo:F.Instances.strassen
+      ~schedule:(T.Level_schedule.full ~l:2) ~signed_inputs:true ~entry_bits:4
+      ~rows:pr ~inner:qr ~cols:kr ()
+  in
+  Format.printf "Tiled circuit (%dx%dx%d, block %d): %s@.@." pr qr kr block
+    (Tcmm_threshold.Stats.to_row (T.Tiled_matmul.stats tiled));
+  let at = C.Im2col.embed patches ~n:(max pr qr) in
+  let at = F.Matrix.sub_block at ~row:0 ~col:0 ~rows:pr ~cols:qr in
+  let bt = C.Im2col.embed kmat ~n:(max qr kr) in
+  let bt = F.Matrix.sub_block bt ~row:0 ~col:0 ~rows:qr ~cols:kr in
+  let tiled_product = T.Tiled_matmul.run tiled ~a:at ~b:bt in
+
+  let a = C.Im2col.embed patches ~n and b = C.Im2col.embed kmat ~n in
+  let product = T.Matmul_circuit.run built ~a ~b in
+  (* Both circuits must agree on the live region. *)
+  let agree = ref true in
+  for i = 0 to F.Matrix.rows patches - 1 do
+    for j = 0 to F.Matrix.cols kmat - 1 do
+      if F.Matrix.get product i j <> F.Matrix.get tiled_product i j then agree := false
+    done
+  done;
+  Format.printf "Square and tiled circuits agree: %b@.@." !agree;
+  let direct = C.Conv.direct spec img kernels in
+  let mismatches = ref 0 in
+  Array.iteri
+    (fun k plane ->
+      Format.printf "Kernel %d scores (circuit | direct):@." k;
+      Array.iteri
+        (fun py row ->
+          Array.iteri
+            (fun px expect ->
+              let got = F.Matrix.get product ((py * ow) + px) k in
+              if got <> expect then incr mismatches;
+              Format.printf " %4d|%-4d" got expect)
+            row;
+          ignore py;
+          Format.printf "@.")
+        plane;
+      Format.printf "@.")
+    direct;
+  Format.printf "Mismatches: %d@." !mismatches;
+  if !mismatches > 0 then exit 1

@@ -1,0 +1,43 @@
+(* Quickstart: compile Strassen's algorithm into a constant-depth threshold
+   circuit, multiply two integer matrices with it, and inspect the
+   circuit's complexity measures.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module F = Tcmm_fastmm
+module T = Tcmm
+
+let () =
+  let n = 4 in
+  let algo = F.Instances.strassen in
+  Format.printf "The fast matrix multiplication algorithm (paper, Figure 1):@.%a@."
+    F.Bilinear.pp algo;
+
+  (* A level schedule decides which levels of the recursion tree the
+     circuit materializes; [full] uses every level (depth grows with N),
+     Theorem 4.5 schedules give constant depth. *)
+  let schedule = T.Level_schedule.full ~l:(T.Level_schedule.height ~t_dim:2 ~n) in
+  Format.printf "Level schedule: %a@.@." T.Level_schedule.pp schedule;
+
+  (* Build the circuit: n x n operands, 3-bit signed entries. *)
+  let built =
+    T.Matmul_circuit.build ~algo ~schedule ~signed_inputs:true ~entry_bits:3 ~n ()
+  in
+  let stats = T.Matmul_circuit.stats built in
+  Format.printf "Circuit: %s@.@." (Tcmm_threshold.Stats.to_row stats);
+
+  (* Multiply two concrete matrices by simulating the circuit. *)
+  let a =
+    F.Matrix.of_rows
+      [| [| 1; -2; 3; 0 |]; [| 0; 4; -1; 2 |]; [| 5; 0; 0; -3 |]; [| 1; 1; 1; 1 |] |]
+  in
+  let b =
+    F.Matrix.of_rows
+      [| [| 2; 0; 1; -1 |]; [| 1; 3; 0; 0 |]; [| 0; -2; 2; 4 |]; [| -1; 0; 0; 2 |] |]
+  in
+  let c = T.Matmul_circuit.run built ~a ~b in
+  Format.printf "A =@.%a@.B =@.%a@." F.Matrix.pp a F.Matrix.pp b;
+  Format.printf "C = A*B (computed by the threshold circuit) =@.%a@." F.Matrix.pp c;
+  let ok = F.Matrix.equal c (F.Matrix.mul a b) in
+  Format.printf "@.Matches the integer reference: %b@." ok;
+  if not ok then exit 1

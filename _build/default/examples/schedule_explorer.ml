@@ -1,0 +1,69 @@
+(* Explore the gate-count/depth tradeoff that drives the paper.
+
+   For a range of matrix sizes and level schedules, compute the trace
+   circuit's exact gate count (via the Gate_count dynamic program — no
+   circuit is built, so this sweeps to N = 256 instantly) and tabulate
+   against the naive Theta(N^3) baseline from the paper's introduction.
+
+   Run with: dune exec examples/schedule_explorer.exe *)
+
+module F = Tcmm_fastmm
+module T = Tcmm
+module Tb = Tcmm_util.Tablefmt
+
+let () =
+  let algo = F.Instances.strassen in
+  let profile = F.Sparsity.analyze algo in
+  Format.printf
+    "Strassen: omega = %.3f, gamma = %.3f, c = %.3f; Theorem 4.5 exponent omega + \
+     c*gamma^d:@."
+    profile.F.Sparsity.omega profile.F.Sparsity.overall.F.Sparsity.gamma
+    profile.F.Sparsity.c_const;
+  List.iter
+    (fun d -> Format.printf "  d = %d -> N^%.3f@." d (T.Gate_model.exponent profile ~d))
+    [ 1; 2; 3; 4; 6 ];
+  Format.printf "@.";
+
+  let rows = ref [] in
+  List.iter
+    (fun n ->
+      let l = T.Level_schedule.height ~t_dim:2 ~n in
+      let schedules =
+        [
+          ("naive (Sec. 1)", None);
+          ("direct", Some (T.Level_schedule.direct ~l));
+          ("thm4.5 d=2", Some (T.Level_schedule.theorem45 ~profile ~d:2 ~n));
+          ("thm4.5 d=3", Some (T.Level_schedule.theorem45 ~profile ~d:3 ~n));
+          ( "thm4.4",
+            Some
+              (T.Level_schedule.theorem44
+                 ~gamma:profile.F.Sparsity.overall.F.Sparsity.gamma ~t_dim:2 ~n) );
+          ("full", Some (T.Level_schedule.full ~l));
+        ]
+      in
+      List.iter
+        (fun (name, schedule) ->
+          let gates, depth =
+            match schedule with
+            | None -> (fst (T.Naive_circuits.trace_counts ~entry_bits:1 ~n ()), 2)
+            | Some schedule ->
+                ( (T.Gate_count.trace ~algo ~schedule ~entry_bits:1 ~n ()).T.Gate_count.gates,
+                  T.Gate_model.trace_depth schedule )
+          in
+          rows := [ Tb.Int n; Tb.Str name; Tb.Int gates; Tb.Int depth ] :: !rows)
+        schedules)
+    [ 8; 16; 32; 64; 128; 256 ];
+  Tb.print
+    ~title:
+      "trace(A^3) >= tau circuits: exact gate counts (analytic DP, binary entries)"
+    ~header:[ "N"; "schedule"; "gates"; "depth" ]
+    ~rows:(List.rev !rows);
+
+  (* One concrete build shows the remaining structural measures. *)
+  let schedule = T.Level_schedule.theorem45 ~profile ~d:2 ~n:16 in
+  let built =
+    T.Trace_circuit.build ~mode:Tcmm_threshold.Builder.Count_only ~algo ~schedule
+      ~entry_bits:1 ~tau:1 ~n:16 ()
+  in
+  Format.printf "reference build at N=16, d=2: %s@."
+    (Tcmm_threshold.Stats.to_row (T.Trace_circuit.stats built))

@@ -1,0 +1,1 @@
+lib/arith/binary.ml: Array Builder Fun List Msb Repr Tcmm_threshold Weighted_sum Wire

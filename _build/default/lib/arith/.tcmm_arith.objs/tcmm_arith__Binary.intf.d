@@ -1,0 +1,1 @@
+lib/arith/binary.mli: Builder Repr Tcmm_threshold Wire

@@ -1,0 +1,1 @@
+lib/arith/compare.ml: Array Builder Hashtbl List Repr Tcmm_threshold Tcmm_util

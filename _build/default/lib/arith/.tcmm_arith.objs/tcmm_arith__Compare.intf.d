@@ -1,0 +1,1 @@
+lib/arith/compare.mli: Builder Repr Tcmm_threshold Wire

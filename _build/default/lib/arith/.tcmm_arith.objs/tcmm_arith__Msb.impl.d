@@ -1,0 +1,1 @@
+lib/arith/msb.ml: Array Builder List Tcmm_threshold

@@ -1,0 +1,1 @@
+lib/arith/msb.mli: Builder Tcmm_threshold Wire

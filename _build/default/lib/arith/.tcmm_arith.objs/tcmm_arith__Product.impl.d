@@ -1,0 +1,1 @@
+lib/arith/product.ml: Array Builder List Repr Tcmm_threshold Tcmm_util

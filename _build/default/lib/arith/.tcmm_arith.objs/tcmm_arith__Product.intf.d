@@ -1,0 +1,1 @@
+lib/arith/product.mli: Builder Repr Tcmm_threshold

@@ -1,0 +1,1 @@
+lib/arith/repr.ml: Array List Tcmm_threshold Tcmm_util Wire

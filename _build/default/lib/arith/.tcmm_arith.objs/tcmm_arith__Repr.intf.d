@@ -1,0 +1,1 @@
+lib/arith/repr.mli: Tcmm_threshold Wire

@@ -1,0 +1,1 @@
+lib/arith/staged_sum.ml: List Repr Weighted_sum

@@ -1,0 +1,1 @@
+lib/arith/staged_sum.mli: Builder Repr Tcmm_threshold

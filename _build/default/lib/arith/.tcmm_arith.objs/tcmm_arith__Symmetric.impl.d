@@ -1,0 +1,1 @@
+lib/arith/symmetric.ml: Array Builder List Repr Tcmm_threshold Weighted_sum

@@ -1,0 +1,1 @@
+lib/arith/symmetric.mli: Builder Repr Tcmm_threshold Wire

@@ -1,0 +1,1 @@
+lib/arith/weighted_sum.ml: Array Builder Fun Hashtbl List Msb Repr Tcmm_threshold Tcmm_util

@@ -1,0 +1,1 @@
+lib/arith/weighted_sum.mli: Builder Repr Tcmm_threshold

@@ -1,0 +1,116 @@
+open Tcmm_threshold
+
+let bit bits j = if j < Array.length bits then Some bits.(j) else None
+
+(* Parity of up to three wires plus a constant offset, via Lemma 3.1 on
+   the 2-bit sum: bit 0 of (sum + offset). *)
+let parity3 ?(offset = 0) b wires =
+  let terms = List.map (fun w -> (w, 1)) wires in
+  (* sum + offset <= 3 + offset < 8 for offset <= 4. *)
+  Msb.kth_msb ~offset b ~terms ~l:3 ~k:3
+
+let add b x y =
+  let width = max (Array.length x) (Array.length y) in
+  if width = 0 then [||]
+  else begin
+    (* carry_j = [ sum of the low j bits of both operands >= 2^j ]. *)
+    let carry j =
+      if j = 0 then None
+      else begin
+        let terms = ref [] in
+        for i = j - 1 downto 0 do
+          (match bit x i with Some w -> terms := (w, 1 lsl i) :: !terms | None -> ());
+          match bit y i with Some w -> terms := (w, 1 lsl i) :: !terms | None -> ()
+        done;
+        if !terms = [] then None
+        else Some (Builder.add_gate_terms b ~terms:!terms ~threshold:(1 lsl j))
+      end
+    in
+    Array.init (width + 1) (fun j ->
+        let inputs =
+          List.filter_map Fun.id [ bit x j; bit y j; carry j ]
+        in
+        match inputs with
+        | [] -> Builder.const b false
+        | [ w ] -> w
+        | ws -> parity3 b ws)
+  end
+
+let sub b x y =
+  let width = max (Array.length x) (Array.length y) in
+  if width = 0 then [||]
+  else begin
+    (* x - y = x + ~y + 1 (mod 2^width); absent y bits complement to 1.
+       carry_j = [ sum_{i<j} (x_i + ~y_i) 2^i + 1 >= 2^j ]
+               = [ sum_{i<j} (x_i - y_i) 2^i >= 0 ]. *)
+    let carry j =
+      if j = 0 then None
+      else begin
+        let terms = ref [] in
+        for i = j - 1 downto 0 do
+          (match bit x i with Some w -> terms := (w, 1 lsl i) :: !terms | None -> ());
+          match bit y i with Some w -> terms := (w, -(1 lsl i)) :: !terms | None -> ()
+        done;
+        if !terms = [] then None (* all-zero prefix: carry always 1... *)
+        else Some (Builder.add_gate_terms b ~terms:!terms ~threshold:0)
+      end
+    in
+    Array.init width (fun j ->
+        (* sum bit = parity(x_j + (1 - y_j) + carry_j), where carry_0 is
+           the +1 of the complement scheme and an absent carry gate means
+           the prefix sum is identically 0, i.e. carry = 1. *)
+        let wires = ref [] and offset = ref 0 in
+        (match bit x j with Some w -> wires := w :: !wires | None -> ());
+        (match bit y j with
+        | Some w ->
+            wires := w :: !wires;
+            incr offset
+            (* contributes (1 - y_j): constant 1 and weight -1 handled as
+               parity is invariant mod 2: (1 - y_j) == (1 + y_j) mod 2. *)
+        | None -> incr offset);
+        (match carry j with
+        | Some w -> wires := w :: !wires
+        | None -> incr offset (* carry identically 1 *));
+        match (!wires, !offset land 1) with
+        | [], 0 -> Builder.const b false
+        | [], 1 -> Builder.const b true
+        | [ w ], 0 -> w
+        | ws, off -> parity3 ~offset:off b ws)
+  end
+
+let geq b x y =
+  let terms = ref [] in
+  Array.iteri (fun i w -> terms := (w, 1 lsl i) :: !terms) x;
+  Array.iteri (fun i w -> terms := (w, -(1 lsl i)) :: !terms) y;
+  Builder.add_gate_terms b ~terms:(List.rev !terms) ~threshold:0
+
+let mux b ~sel ~if_true ~if_false =
+  let width = max (Array.length if_true) (Array.length if_false) in
+  Array.init width (fun j ->
+      match (bit if_true j, bit if_false j) with
+      | None, None -> Builder.const b false
+      | Some t, None ->
+          (* sel AND t *)
+          Builder.add_gate b ~inputs:[| sel; t |] ~weights:[| 1; 1 |] ~threshold:2
+      | None, Some f ->
+          (* (not sel) AND f *)
+          Builder.add_gate b ~inputs:[| sel; f |] ~weights:[| -1; 1 |] ~threshold:1
+      | Some t, Some f ->
+          let a = Builder.add_gate b ~inputs:[| sel; t |] ~weights:[| 1; 1 |] ~threshold:2 in
+          let c = Builder.add_gate b ~inputs:[| sel; f |] ~weights:[| -1; 1 |] ~threshold:1 in
+          Builder.add_gate b ~inputs:[| a; c |] ~weights:[| 1; 1 |] ~threshold:1)
+
+type normalized = { sign_negative : Wire.t; magnitude : Repr.bits }
+
+let normalize b (s : Repr.signed) =
+  let p = Weighted_sum.to_bits b s.Repr.pos in
+  let n = Weighted_sum.to_bits b s.Repr.neg in
+  (* Strictly negative iff neg > pos, i.e. not (pos >= neg). *)
+  let pos_ge = geq b p n in
+  let sign_negative =
+    Builder.add_gate b ~inputs:[| pos_ge |] ~weights:[| -1 |] ~threshold:0
+  in
+  let p_minus_n = sub b p n in
+  let n_minus_p = sub b n p in
+  let magnitude = mux b ~sel:sign_negative ~if_true:n_minus_p ~if_false:p_minus_n in
+  { sign_negative; magnitude }

@@ -1,0 +1,43 @@
+(** Canonical binary arithmetic: two-operand addition, subtraction and
+    sign-magnitude normalization.
+
+    The main circuits carry numbers as non-canonical [pos - neg] pairs
+    (Section 3's convention), which is exactly right {e inside} the
+    computation, but a consumer of the circuit's outputs — a host CPU, a
+    downstream neural stage — often wants a unique encoding.  This module
+    supplies the classical TC0 pieces: a depth-3 carry-lookahead adder
+    (each carry is a single threshold gate over a prefix of the operand
+    bits), the complement-based subtractor, and {!normalize}, which turns
+    a signed pair into a sign bit plus true magnitude bits. *)
+
+open Tcmm_threshold
+
+val add : Builder.t -> Repr.bits -> Repr.bits -> Repr.bits
+(** [add b x y]: the [max(|x|,|y|) + 1]-bit sum of two binary numbers.
+    Depth 3: carries (one gate each, depth 1), then each sum bit is the
+    parity of [x_j, y_j, carry_j] (depth 2). *)
+
+val sub : Builder.t -> Repr.bits -> Repr.bits -> Repr.bits
+(** [sub b x y]: the binary difference [x - y], {b assuming} [x >= y]
+    (two's-complement: [x + ~y + 1] with the carry out of the top
+    dropped).  Output width [max(|x|,|y|)].  If [x < y] the output is the
+    wrap-around residue mod [2^width]. *)
+
+val geq : Builder.t -> Repr.bits -> Repr.bits -> Wire.t
+(** One gate: [x >= y]. *)
+
+val mux : Builder.t -> sel:Wire.t -> if_true:Repr.bits -> if_false:Repr.bits -> Repr.bits
+(** Bitwise select (depth 2: AND pair + OR).  Widths are padded to the
+    longer operand; missing bits select against constant 0 (no gate
+    needed for the absent side). *)
+
+type normalized = {
+  sign_negative : Wire.t;  (** 1 iff the value is strictly negative *)
+  magnitude : Repr.bits;
+}
+
+val normalize : Builder.t -> Repr.signed -> normalized
+(** Sign-magnitude canonical form of a signed representation:
+    [value = (-1)^sign * magnitude], with [magnitude = |value|].
+    Depth at most 7 (two Lemma 3.2 layers, comparison, subtract both
+    ways, select). *)

@@ -1,0 +1,24 @@
+open Tcmm_threshold
+module Checked = Tcmm_util.Checked
+
+let terms_of_signed (s : Repr.signed) =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  let add sign (u : Repr.unsigned) =
+    Array.iteri
+      (fun i wire ->
+        let w = Checked.mul sign u.Repr.weights.(i) in
+        match Hashtbl.find_opt tbl wire with
+        | None ->
+            Hashtbl.add tbl wire w;
+            order := wire :: !order
+        | Some prev -> Hashtbl.replace tbl wire (Checked.add prev w))
+      u.Repr.wires
+  in
+  add 1 s.Repr.pos;
+  add (-1) s.Repr.neg;
+  List.rev !order
+  |> List.filter_map (fun wire ->
+         match Hashtbl.find tbl wire with 0 -> None | w -> Some (wire, w))
+
+let ge b s c = Builder.add_gate_terms b ~terms:(terms_of_signed s) ~threshold:c

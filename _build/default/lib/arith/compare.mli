@@ -1,0 +1,16 @@
+(** Final-layer comparisons.
+
+    A signed representation feeds a single threshold gate directly: the
+    positive part keeps its weights, the negative part's weights are
+    negated.  This is how the trace circuit's output gate tests
+    [trace(A^3) >= tau] (Theorem 4.4's "final output gate"). *)
+
+open Tcmm_threshold
+
+val ge : Builder.t -> Repr.signed -> int -> Wire.t
+(** [ge b s c]: one gate firing iff [value s >= c].  Depth 1.
+    Duplicate wires across the two parts are merged (weights subtract). *)
+
+val terms_of_signed : Repr.signed -> (Wire.t * int) list
+(** The merged (wire, weight) list [ge] feeds to its gate; exposed for
+    constructions that fold a comparison into a larger gate. *)

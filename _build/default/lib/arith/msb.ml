@@ -1,0 +1,26 @@
+open Tcmm_threshold
+
+let gate_cost ~k = (1 lsl k) + 1
+
+let kth_msb ?(offset = 0) b ~terms ~l ~k =
+  if k < 1 || k > l then invalid_arg "Msb.kth_msb: need 1 <= k <= l";
+  if l >= 62 then invalid_arg "Msb.kth_msb: l too large for native ints";
+  let step = 1 lsl (l - k) in
+  let n = 1 lsl k in
+  (* First layer: y_i = (s + offset >= i * 2^(l-k)), 1-indexed.  All n
+     gates read the same terms; share the input arrays across the
+     layer. *)
+  let inputs = Array.of_list (List.map fst terms) in
+  let weights = Array.of_list (List.map snd terms) in
+  let thresholds = Array.init n (fun i -> ((i + 1) * step) - offset) in
+  let y = Builder.add_shared_gates b ~inputs ~weights ~thresholds in
+  (* Output: the bit is 1 iff s lies in [i*step, (i+1)*step) for some odd i,
+     i.e. sum over odd i of (y_i - y_{i+1}) >= 1.  n = 2^k is even, so every
+     odd i <= n-1 has a partner y_{i+1}. *)
+  let out_terms = ref [] in
+  let i = ref 1 in
+  while !i < n do
+    out_terms := (y.(!i), -1) :: (y.(!i - 1), 1) :: !out_terms;
+    i := !i + 2
+  done;
+  Builder.add_gate_terms b ~terms:(List.rev !out_terms) ~threshold:1

@@ -1,0 +1,24 @@
+(** Lemma 3.1: one bit of a weighted sum of bits, in depth 2.
+
+    Let [s = sum_i w_i x_i] with [x_i] boolean wires and integer constant
+    weights, and suppose the caller guarantees [s] lies in [\[0, 2^l)].
+    The k-th most significant bit of [s] (as an [l]-bit number, [k] counted
+    from 1 at the MSB) is computed by a depth-2 circuit of [2^k + 1] gates:
+    a first layer [y_i = (s >= i * 2^(l-k))] for [1 <= i <= 2^k] and an
+    output gate testing [sum_{odd i} (y_i - y_{i+1}) >= 1]. *)
+
+open Tcmm_threshold
+
+val kth_msb :
+  ?offset:int -> Builder.t -> terms:(Wire.t * int) list -> l:int -> k:int -> Wire.t
+(** Builds the Lemma 3.1 circuit and returns the output wire.  [offset]
+    (default 0) adds a constant to the sum — free, since it only shifts
+    the first-layer thresholds; the caller's range guarantee applies to
+    [sum + offset].  Requires [1 <= k <= l] and [l < 62]; raises
+    [Invalid_argument] otherwise.  If the evaluated (offset) sum falls
+    outside [\[0, 2^l)], the output is unspecified (the lemma's
+    precondition), though the paper notes the circuit returns 0 for [s]
+    outside the range. *)
+
+val gate_cost : k:int -> int
+(** Number of gates the construction uses: [2^k + 1]. *)

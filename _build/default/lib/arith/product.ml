@@ -1,0 +1,68 @@
+open Tcmm_threshold
+module Checked = Tcmm_util.Checked
+
+let product2 b (x : Repr.bits) (y : Repr.bits) =
+  let terms = ref [] in
+  Array.iteri
+    (fun i xi ->
+      Array.iteri
+        (fun j yj ->
+          let wire =
+            Builder.add_gate b ~inputs:[| xi; yj |] ~weights:[| 1; 1 |] ~threshold:2
+          in
+          terms := (wire, Checked.pow 2 (i + j)) :: !terms)
+        y)
+    x;
+  Repr.unsigned_of_terms (List.rev !terms)
+
+let product3 b (x : Repr.bits) (y : Repr.bits) (z : Repr.bits) =
+  let terms = ref [] in
+  Array.iteri
+    (fun i xi ->
+      Array.iteri
+        (fun j yj ->
+          Array.iteri
+            (fun k zk ->
+              let wire =
+                Builder.add_gate b ~inputs:[| xi; yj; zk |] ~weights:[| 1; 1; 1 |]
+                  ~threshold:3
+              in
+              terms := (wire, Checked.pow 2 (i + j + k)) :: !terms)
+            z)
+        y)
+    x;
+  Repr.unsigned_of_terms (List.rev !terms)
+
+let signed_product2 b (x : Repr.signed_bits) (y : Repr.signed_bits) =
+  let xp = x.Repr.pos_bits and xn = x.Repr.neg_bits in
+  let yp = y.Repr.pos_bits and yn = y.Repr.neg_bits in
+  {
+    Repr.pos = Repr.concat_unsigned [ product2 b xp yp; product2 b xn yn ];
+    neg = Repr.concat_unsigned [ product2 b xp yn; product2 b xn yp ];
+  }
+
+let signed_product3 b (x : Repr.signed_bits) (y : Repr.signed_bits)
+    (z : Repr.signed_bits) =
+  let xp = x.Repr.pos_bits and xn = x.Repr.neg_bits in
+  let yp = y.Repr.pos_bits and yn = y.Repr.neg_bits in
+  let zp = z.Repr.pos_bits and zn = z.Repr.neg_bits in
+  (* A sign combination contributes positively iff it has an even number of
+     negative parts. *)
+  {
+    Repr.pos =
+      Repr.concat_unsigned
+        [
+          product3 b xp yp zp;
+          product3 b xp yn zn;
+          product3 b xn yp zn;
+          product3 b xn yn zp;
+        ];
+    neg =
+      Repr.concat_unsigned
+        [
+          product3 b xp yp zn;
+          product3 b xp yn zp;
+          product3 b xn yp zp;
+          product3 b xn yn zn;
+        ];
+  }

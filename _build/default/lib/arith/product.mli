@@ -1,0 +1,23 @@
+(** Lemma 3.3: depth-1 product representations.
+
+    The product of two (or three) binary numbers is not expanded to binary;
+    instead a single layer of AND gates produces a {i representation}
+    (Section 3): [x * y = sum_{i,j} 2^(i+j) x_i y_j], one gate per bit
+    pair, each feeding downstream threshold gates with weight [2^(i+j)].
+    Signed operands use the eightfold (fourfold for two operands) sign
+    expansion described under "Negative numbers". *)
+
+open Tcmm_threshold
+
+val product2 : Builder.t -> Repr.bits -> Repr.bits -> Repr.unsigned
+(** [m1 * m2] AND gates, depth 1. *)
+
+val product3 : Builder.t -> Repr.bits -> Repr.bits -> Repr.bits -> Repr.unsigned
+(** [m1 * m2 * m3] AND gates, depth 1 (the paper's [m^3] bound). *)
+
+val signed_product2 : Builder.t -> Repr.signed_bits -> Repr.signed_bits -> Repr.signed
+(** [(x+ - x-) * (y+ - y-)] via four {!product2} instances. *)
+
+val signed_product3 :
+  Builder.t -> Repr.signed_bits -> Repr.signed_bits -> Repr.signed_bits -> Repr.signed
+(** Eight {!product3} instances, still [O(m^3)] gates, depth 1. *)

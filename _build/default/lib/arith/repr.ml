@@ -1,0 +1,93 @@
+open Tcmm_threshold
+module Checked = Tcmm_util.Checked
+
+type unsigned = { wires : Wire.t array; weights : int array; bound : int }
+type signed = { pos : unsigned; neg : unsigned }
+type bits = Wire.t array
+type signed_bits = { pos_bits : bits; neg_bits : bits }
+
+let unsigned_empty = { wires = [||]; weights = [||]; bound = 0 }
+
+let unsigned_of_terms terms =
+  let terms = List.filter (fun (_, w) -> w <> 0) terms in
+  List.iter
+    (fun (_, w) ->
+      if w < 0 then invalid_arg "Repr.unsigned_of_terms: negative weight")
+    terms;
+  {
+    wires = Array.of_list (List.map fst terms);
+    weights = Array.of_list (List.map snd terms);
+    bound = Checked.sum (List.map snd terms);
+  }
+
+let unsigned_of_bits bits =
+  {
+    wires = Array.copy bits;
+    weights = Array.init (Array.length bits) (fun i -> Checked.pow 2 i);
+    bound = Checked.sub (Checked.pow 2 (Array.length bits)) 1;
+  }
+
+let scale_unsigned c u =
+  if c <= 0 then invalid_arg "Repr.scale_unsigned: scale must be positive";
+  {
+    wires = u.wires;
+    weights = Array.map (Checked.mul c) u.weights;
+    bound = Checked.mul c u.bound;
+  }
+
+let concat_unsigned us =
+  {
+    wires = Array.concat (List.map (fun u -> u.wires) us);
+    weights = Array.concat (List.map (fun u -> u.weights) us);
+    bound = Checked.sum (List.map (fun u -> u.bound) us);
+  }
+
+let signed_zero = { pos = unsigned_empty; neg = unsigned_empty }
+let signed_of_unsigned u = { pos = u; neg = unsigned_empty }
+
+let signed_of_sbits sb =
+  { pos = unsigned_of_bits sb.pos_bits; neg = unsigned_of_bits sb.neg_bits }
+
+let negate s = { pos = s.neg; neg = s.pos }
+
+let scale_signed c s =
+  if c = 0 then signed_zero
+  else if c > 0 then
+    { pos = scale_unsigned c s.pos; neg = scale_unsigned c s.neg }
+  else
+    let c = Checked.neg c in
+    { pos = scale_unsigned c s.neg; neg = scale_unsigned c s.pos }
+
+let concat_signed ss =
+  {
+    pos = concat_unsigned (List.map (fun s -> s.pos) ss);
+    neg = concat_unsigned (List.map (fun s -> s.neg) ss);
+  }
+
+let sbits_zero = { pos_bits = [||]; neg_bits = [||] }
+let sbits_of_bits bits = { pos_bits = bits; neg_bits = [||] }
+let num_terms u = Array.length u.wires
+let max_weight u = Array.fold_left max 0 u.weights
+
+let is_binary u =
+  let ok = ref true in
+  Array.iteri (fun i w -> if w <> 1 lsl i then ok := false) u.weights;
+  !ok && Array.length u.weights < 62
+
+let eval_unsigned read u =
+  let acc = ref 0 in
+  Array.iteri
+    (fun i w -> if read w then acc := Checked.add !acc u.weights.(i))
+    u.wires;
+  !acc
+
+let eval_signed read s =
+  Checked.sub (eval_unsigned read s.pos) (eval_unsigned read s.neg)
+
+let eval_bits read bits =
+  let acc = ref 0 in
+  Array.iteri (fun i w -> if read w then acc := Checked.add !acc (1 lsl i)) bits;
+  !acc
+
+let eval_sbits read sb =
+  Checked.sub (eval_bits read sb.pos_bits) (eval_bits read sb.neg_bits)

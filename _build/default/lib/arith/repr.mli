@@ -1,0 +1,77 @@
+(** Number representations flowing through the circuits.
+
+    Following Section 3 of the paper, a nonnegative integer is represented
+    as an integer-weighted sum of binary wires, [x = sum_i w_i * x_i] with
+    [w_i > 0]; a (possibly negative) integer is a pair of such sums with
+    [value = pos - neg].  Binary representations (weights [2^0, 2^1, ...])
+    are the special case produced by the Lemma 3.2 circuit and consumed by
+    the Lemma 3.3 product circuit. *)
+
+open Tcmm_threshold
+
+type unsigned = private {
+  wires : Wire.t array;
+  weights : int array;  (** parallel to [wires]; every entry is > 0 *)
+  bound : int;  (** sum of weights — an inclusive upper bound on the value *)
+}
+
+type signed = { pos : unsigned; neg : unsigned }
+(** [value = value pos - value neg].  Not canonical: both parts may be
+    positive simultaneously (the paper accepts the constant-factor
+    overhead of this encoding). *)
+
+type bits = Wire.t array
+(** Little-endian binary: value = [sum_i 2^i * bits.(i)]. *)
+
+type signed_bits = { pos_bits : bits; neg_bits : bits }
+
+(** {1 Construction} *)
+
+val unsigned_empty : unsigned
+(** The constant 0 (no wires, no gates). *)
+
+val unsigned_of_terms : (Wire.t * int) list -> unsigned
+(** Drops zero-weight terms.  Raises [Invalid_argument] on a negative
+    weight; raises [Tcmm_util.Checked.Overflow] if the bound overflows. *)
+
+val unsigned_of_bits : bits -> unsigned
+(** Weight [2^i] on wire [i]. *)
+
+val scale_unsigned : int -> unsigned -> unsigned
+(** [scale_unsigned c u] multiplies every weight by [c > 0]. *)
+
+val concat_unsigned : unsigned list -> unsigned
+(** Representation of the sum of the arguments (term concatenation — no
+    gates; the same wire may appear several times afterwards). *)
+
+val signed_zero : signed
+val signed_of_unsigned : unsigned -> signed
+val signed_of_sbits : signed_bits -> signed
+val negate : signed -> signed
+
+val scale_signed : int -> signed -> signed
+(** Any integer scale; a negative [c] swaps the parts. [c = 0] yields
+    {!signed_zero}. *)
+
+val concat_signed : signed list -> signed
+
+val sbits_zero : signed_bits
+val sbits_of_bits : bits -> signed_bits
+(** A nonnegative binary number viewed as signed. *)
+
+(** {1 Queries} *)
+
+val num_terms : unsigned -> int
+val max_weight : unsigned -> int
+(** 0 for the empty representation. *)
+
+val is_binary : unsigned -> bool
+(** True iff weights are exactly [2^0 .. 2^(k-1)] in order — i.e. the
+    representation already is a binary number and needs no conversion. *)
+
+(** {1 Evaluation (for tests and references)} *)
+
+val eval_unsigned : (Wire.t -> bool) -> unsigned -> int
+val eval_signed : (Wire.t -> bool) -> signed -> int
+val eval_bits : (Wire.t -> bool) -> bits -> int
+val eval_sbits : (Wire.t -> bool) -> signed_bits -> int

@@ -1,0 +1,38 @@
+let group_size ~n ~stages =
+  if n <= 1 then 1
+  else begin
+    (* Smallest g with g^stages >= n, found by search (n is small). *)
+    let rec pow g e = if e = 0 then 1 else g * pow g (e - 1) in
+    let rec find g = if pow g stages >= n then g else find (g + 1) in
+    find 2
+  end
+
+let rec chunks k = function
+  | [] -> []
+  | xs ->
+      let rec take acc n = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | x :: rest -> take (x :: acc) (n - 1) rest
+      in
+      let chunk, rest = take [] k xs in
+      chunk :: chunks k rest
+
+let signed_sum b ~stages terms =
+  if stages < 1 then invalid_arg "Staged_sum.signed_sum: stages < 1";
+  let rec go rounds terms =
+    let n = List.length terms in
+    if rounds = 1 || n <= 1 then Weighted_sum.signed_sum b terms
+    else begin
+      let g = group_size ~n ~stages:rounds in
+      let partials =
+        List.map
+          (fun chunk ->
+            let sb = Weighted_sum.signed_sum b chunk in
+            (1, Repr.signed_of_sbits sb))
+          (chunks g terms)
+      in
+      go (rounds - 1) partials
+    end
+  in
+  go stages terms

@@ -1,0 +1,21 @@
+(** Multi-stage addition (the Theorem 4.1 route).
+
+    Before the paper's level-selection refinement, Section 4.2 considers
+    computing each leaf sum directly with deeper addition circuits in the
+    style of Siu, Roychowdhury and Kailath: split the [n] summands into
+    groups of roughly [n^(1/stages)], add each group in depth 2
+    (Lemma 3.2), and recurse on the partial sums.  Depth [2 * stages],
+    gate count [O(stages * n^(1/stages))] per bit-ish — asymptotically
+    weaker than the level-selection scheme, which experiment E6
+    demonstrates. *)
+
+open Tcmm_threshold
+
+val signed_sum :
+  Builder.t -> stages:int -> (int * Repr.signed) list -> Repr.signed_bits
+(** [signed_sum b ~stages terms] computes [sum_i c_i * s_i] using
+    [stages] rounds of grouped depth-2 additions ([stages = 1] is exactly
+    {!Weighted_sum.signed_sum}).  Requires [stages >= 1]. *)
+
+val group_size : n:int -> stages:int -> int
+(** The per-round group size [ceil(n^(1/stages))] used by the split. *)

@@ -1,0 +1,39 @@
+open Tcmm_threshold
+
+let unit_terms inputs = Array.to_list (Array.map (fun w -> (w, 1)) inputs)
+
+let popcount b inputs =
+  Weighted_sum.to_bits b (Repr.unsigned_of_terms (unit_terms inputs))
+
+let at_least b ~k inputs =
+  Builder.add_gate_terms b ~terms:(unit_terms inputs) ~threshold:k
+
+let majority b inputs = at_least b ~k:((Array.length inputs + 2) / 2) inputs
+
+let in_interval b ~lo ~hi inputs =
+  if lo > hi then invalid_arg "Symmetric.in_interval: lo > hi";
+  let ge_lo = at_least b ~k:lo inputs in
+  let gt_hi = at_least b ~k:(hi + 1) inputs in
+  Builder.add_gate b ~inputs:[| ge_lo; gt_hi |] ~weights:[| 1; -1 |] ~threshold:1
+
+let exactly b ~k inputs = in_interval b ~lo:k ~hi:k inputs
+
+let symmetric b ~f inputs =
+  let n = Array.length inputs in
+  (* Muroga: express f(popcount) as an alternating sum of indicator gates
+     (popcount >= boundary), one per value change of f. *)
+  let terms = ref [] in
+  let prev = ref (f 0) in
+  for k = 1 to n do
+    let cur = f k in
+    if cur <> !prev then begin
+      let gate = at_least b ~k inputs in
+      terms := (gate, if cur then 1 else -1) :: !terms;
+      prev := cur
+    end
+  done;
+  let base = if f 0 then 1 else 0 in
+  (* Output fires iff base + sum of alternating indicators >= 1. *)
+  Builder.add_gate_terms b ~terms:(List.rev !terms) ~threshold:(1 - base)
+
+let parity b inputs = symmetric b ~f:(fun k -> k land 1 = 1) inputs

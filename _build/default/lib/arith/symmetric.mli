@@ -1,0 +1,39 @@
+(** Symmetric boolean functions in TC0 (Muroga's classical technique).
+
+    The paper's introduction cites the depth-2 threshold circuits for
+    symmetric functions — functions of the number of true inputs —
+    rooted in Muroga (1959) and generalized by Siu et al.; Lemma 3.1 is
+    exactly this technique.  This module packages the standard
+    instances: any symmetric function costs at most [n + 1] first-layer
+    gates plus one output gate, and the specific functions below cost
+    less.
+
+    All circuits have depth at most 2. *)
+
+open Tcmm_threshold
+
+val parity : Builder.t -> Wire.t array -> Wire.t
+(** XOR of all inputs: the least significant bit of the popcount
+    (depth 2, [O(n)] gates — the intro's "sublinear size" refinement for
+    parity is Siu et al.'s block technique; this is the classical
+    version). *)
+
+val majority : Builder.t -> Wire.t array -> Wire.t
+(** 1 iff at least [ceil((n+1)/2)] inputs are 1.  One gate. *)
+
+val exactly : Builder.t -> k:int -> Wire.t array -> Wire.t
+(** 1 iff exactly [k] inputs are 1.  Three gates, depth 2. *)
+
+val at_least : Builder.t -> k:int -> Wire.t array -> Wire.t
+(** 1 iff at least [k] inputs are 1.  One gate. *)
+
+val in_interval : Builder.t -> lo:int -> hi:int -> Wire.t array -> Wire.t
+(** 1 iff the popcount lies in [\[lo, hi\]].  Three gates, depth 2. *)
+
+val symmetric : Builder.t -> f:(int -> bool) -> Wire.t array -> Wire.t
+(** Arbitrary symmetric function given by its value on each popcount
+    [0..n]: Muroga's construction — one threshold gate per boundary
+    where [f] changes value, one output gate. *)
+
+val popcount : Builder.t -> Wire.t array -> Repr.bits
+(** The binary count of true inputs (Lemma 3.2 on unit weights). *)

@@ -1,0 +1,202 @@
+open Tcmm_threshold
+module Checked = Tcmm_util.Checked
+module Ilog = Tcmm_util.Ilog
+
+(* Merge duplicate wires so no gate reads the same wire twice; weights are
+   positive so merging never cancels terms. *)
+let merged_terms (u : Repr.unsigned) =
+  let tbl = Hashtbl.create (Array.length u.Repr.wires) in
+  let order = ref [] in
+  Array.iteri
+    (fun i wire ->
+      let w = u.Repr.weights.(i) in
+      match Hashtbl.find_opt tbl wire with
+      | None ->
+          Hashtbl.add tbl wire w;
+          order := wire :: !order
+      | Some prev -> Hashtbl.replace tbl wire (Checked.add prev w))
+    u.Repr.wires;
+  List.rev_map (fun wire -> (wire, Hashtbl.find tbl wire)) !order
+
+(* The largest 2-adic valuation among the weights: bits strictly above it
+   keep every term, i.e. they are bits of the untruncated sum and can
+   share one first layer. *)
+let max_valuation terms =
+  List.fold_left
+    (fun acc (_, w) ->
+      let rec v w acc = if w land 1 = 1 then acc else v (w lsr 1) (acc + 1) in
+      max acc (v w 0))
+    0 terms
+
+let to_bits ?(share_top = false) b (u : Repr.unsigned) =
+  if Repr.is_binary u then Array.copy u.Repr.wires
+  else if u.Repr.bound = 0 then [||]
+  else begin
+    let terms = merged_terms u in
+    let total_bits = Ilog.bits u.Repr.bound in
+    (* Bits j0..total_bits read the untruncated sum; when sharing is on
+       and there are at least two wires, build their first layer once. *)
+    let j0 = max_valuation terms + 1 in
+    let shared =
+      if (not share_top) || List.length terms < 2 || j0 > total_bits then None
+      else begin
+        let k0 = total_bits - j0 + 1 in
+        if total_bits >= 62 then None
+        else begin
+          let inputs = Array.of_list (List.map fst terms) in
+          let weights = Array.of_list (List.map snd terms) in
+          let step = 1 lsl (j0 - 1) in
+          let thresholds = Array.init (1 lsl k0) (fun i -> (i + 1) * step) in
+          Some (Builder.add_shared_gates b ~inputs ~weights ~thresholds)
+        end
+      end
+    in
+    Array.init total_bits (fun jm1 ->
+        let j = jm1 + 1 in
+        match shared with
+        | Some y when j >= j0 ->
+            (* Bit j of the untruncated sum from the shared grid:
+               y.(i-1) = (s >= i * 2^(j0-1)); the bit is 1 iff s lies in
+               [q*2^(j-1), (q+1)*2^(j-1)) for some odd q. *)
+            let stride = 1 lsl (j - j0) in
+            let out_terms = ref [] in
+            let q = ref 1 in
+            let limit = Array.length y in
+            while (!q * stride) <= limit do
+              out_terms := (y.((!q * stride) - 1), 1) :: !out_terms;
+              if ((!q + 1) * stride) <= limit then
+                out_terms := (y.(((!q + 1) * stride) - 1), -1) :: !out_terms;
+              q := !q + 2
+            done;
+            Builder.add_gate_terms b ~terms:(List.rev !out_terms) ~threshold:1
+        | _ -> (
+            (* Terms divisible by 2^j contribute nothing modulo 2^j. *)
+            let kept = List.filter (fun (_, w) -> w mod (1 lsl j) <> 0) terms in
+            match kept with
+            | [] -> Builder.const b false
+            | [ (wire, w) ] ->
+                (* s_j = w * x: bit j-1 is x AND (bit j-1 of w). *)
+                if (w lsr jm1) land 1 = 1 then wire else Builder.const b false
+            | _ :: _ :: _ ->
+                let bj = Checked.sum (List.map snd kept) in
+                let lj = Ilog.bits bj in
+                if lj < j then Builder.const b false
+                else Msb.kth_msb b ~terms:kept ~l:lj ~k:(lj - j + 1)))
+  end
+
+let unsigned_sum ?share_top b terms =
+  let scaled =
+    List.filter_map
+      (fun (c, u) ->
+        if c < 0 then invalid_arg "Weighted_sum.unsigned_sum: negative scale"
+        else if c = 0 || Repr.num_terms u = 0 then None
+        else Some (Repr.scale_unsigned c u))
+      terms
+  in
+  to_bits ?share_top b (Repr.concat_unsigned scaled)
+
+let signed_sum ?share_top b terms =
+  let part select_hi select_lo =
+    List.filter_map
+      (fun (c, (s : Repr.signed)) ->
+        if c > 0 then
+          let u = select_hi s in
+          if Repr.num_terms u = 0 then None else Some (Repr.scale_unsigned c u)
+        else if c < 0 then
+          let u = select_lo s in
+          if Repr.num_terms u = 0 then None
+          else Some (Repr.scale_unsigned (Checked.neg c) u)
+        else None)
+      terms
+  in
+  let pos = Repr.concat_unsigned (part (fun s -> s.Repr.pos) (fun s -> s.Repr.neg)) in
+  let neg = Repr.concat_unsigned (part (fun s -> s.Repr.neg) (fun s -> s.Repr.pos)) in
+  { Repr.pos_bits = to_bits ?share_top b pos; neg_bits = to_bits ?share_top b neg }
+
+(* Arithmetic mirror of [to_bits]: replay the same per-bit case analysis
+   on a (weight, multiplicity) multiset and tally the gates and edges the
+   construction would emit.  Must be kept in exact lockstep with
+   [to_bits] — the test suite compares the two gate-for-gate. *)
+let to_bits_cost ?(share_top = false) multiset =
+  let multiset = List.filter (fun (_, m) -> m <> 0) multiset in
+  List.iter
+    (fun (w, m) ->
+      if w <= 0 || m < 0 then invalid_arg "Weighted_sum.to_bits_cost: bad multiset")
+    multiset;
+  let bound =
+    List.fold_left (fun acc (w, m) -> Checked.add acc (Checked.mul w m)) 0 multiset
+  in
+  if bound = 0 then (0, 0)
+  else begin
+    (* [is_binary]: weights are exactly 2^0 .. 2^(k-1), one wire each. *)
+    let sorted = List.sort compare (List.map fst multiset) in
+    let binary =
+      List.for_all (fun (_, m) -> m = 1) multiset
+      && List.mapi (fun i w -> w = 1 lsl i) sorted |> List.for_all Fun.id
+      && List.length sorted < 62
+    in
+    if binary then (0, 0)
+    else begin
+      let total_bits = Ilog.bits bound in
+      let total_wires = List.fold_left (fun acc (_, m) -> acc + m) 0 multiset in
+      let distinct_wires =
+        (* The builder's merged term list has one entry per wire, so the
+           "fewer than two terms" check counts wires. *)
+        total_wires
+      in
+      let j0 = max_valuation (List.map (fun (w, _) -> ((), w)) multiset) + 1 in
+      let sharing = share_top && distinct_wires >= 2 && j0 <= total_bits && total_bits < 62 in
+      let gates = ref 0 and edges = ref 0 in
+      if sharing then begin
+        (* One shared first layer of 2^(L-j0+1) gates, then one output
+           gate per bit j >= j0 reading its odd/even pairs. *)
+        let k0 = total_bits - j0 + 1 in
+        let first = 1 lsl k0 in
+        gates := !gates + first;
+        edges := !edges + (first * total_wires);
+        for j = j0 to total_bits do
+          incr gates;
+          (* Output fan-in: one term per odd q with q*stride <= 2^k0, plus
+             a partner; q ranges over odd 1..2^(L-j+1)-1, each with a
+             partner, so 2^(L-j+1) terms. *)
+          edges := !edges + (1 lsl (total_bits - j + 1))
+        done
+      end;
+      let last_per_bit = if sharing then j0 - 1 else total_bits in
+      for j = 1 to last_per_bit do
+        let kept = List.filter (fun (w, _) -> w mod (1 lsl j) <> 0) multiset in
+        let wires = List.fold_left (fun acc (_, m) -> acc + m) 0 kept in
+        match wires with
+        | 0 -> incr gates (* const false *)
+        | 1 ->
+            let w = fst (List.hd (List.filter (fun (_, m) -> m > 0) kept)) in
+            if (w lsr (j - 1)) land 1 = 0 then incr gates (* const false *)
+        | _ ->
+            let bj =
+              List.fold_left (fun acc (w, m) -> Checked.add acc (Checked.mul w m)) 0 kept
+            in
+            let lj = Ilog.bits bj in
+            if lj < j then incr gates (* const false *)
+            else begin
+              (* Lemma 3.1 with k = lj - j + 1: 2^k first-layer gates of
+                 fan-in [wires], plus the output gate reading all 2^k. *)
+              let first = 1 lsl (lj - j + 1) in
+              gates := !gates + first + 1;
+              edges := !edges + (first * wires) + first
+            end
+      done;
+      (!gates, !edges)
+    end
+  end
+
+let gate_cost_binary ~n ~w ~b =
+  (* Paper's accounting: each of the b least significant bits costs
+     2^(bits n + bits w + 1) + 1 gates; the remaining a = bits n + bits w
+     most significant bits cost 2^k + 1 for k = 1..a. *)
+  let a = Ilog.bits n + Ilog.bits w in
+  let low = b * ((1 lsl (a + 1)) + 1) in
+  let high = ref 0 in
+  for k = 1 to a do
+    high := !high + (1 lsl k) + 1
+  done;
+  low + !high

@@ -1,0 +1,57 @@
+(** Lemma 3.2: all bits of an integer-weighted sum, in depth 2.
+
+    This is the workhorse of the whole construction ("the bulk of the
+    computation performed by our circuits", Section 3).  Given a
+    nonnegative representation [s = sum_i w_i x_i], the circuit computes
+    the binary expansion of [s].  Bit [j] (1-indexed from the LSB) is
+    obtained by applying Lemma 3.1 to the truncated sum [s_j] that keeps
+    only the terms whose weight is not divisible by [2^j]: the dropped
+    terms are multiples of [2^j], so [s_j = s (mod 2^j)], while the kept
+    terms give an exact bound on [s_j] that sizes the Lemma 3.1 instance.
+
+    For binary inputs this is exactly the paper's [O(w*b*n)]-gate circuit;
+    for general representations (products from Lemma 3.3) the gate count
+    picks up the representation's term count, matching the paper's remark
+    that representations of size polynomial in [bits x] suffice. *)
+
+open Tcmm_threshold
+
+val to_bits : ?share_top:bool -> Builder.t -> Repr.unsigned -> Repr.bits
+(** [to_bits b u] returns the binary expansion of the value of [u]
+    (little-endian, [Tcmm_util.Ilog.bits u.bound] wires).  Emits no gates
+    when [u] already is binary ({!Repr.is_binary}).  Duplicate wires in
+    [u] are merged before any gate is emitted.  Depth 2.
+
+    [share_top] (default [false]) enables the optimization the paper
+    notes at the end of Lemma 3.2's proof: the bits above every weight's
+    2-adic valuation all use the {e untruncated} sum, so one first layer
+    (the finest threshold grid) serves them all, roughly halving the
+    gates and edges spent on the most significant bits.  Both settings
+    compute the same function. *)
+
+val unsigned_sum : ?share_top:bool -> Builder.t -> (int * Repr.unsigned) list -> Repr.bits
+(** [unsigned_sum b terms] is [to_bits] of [sum_i c_i * u_i]; every scale
+    [c_i] must be positive. *)
+
+val signed_sum :
+  ?share_top:bool -> Builder.t -> (int * Repr.signed) list -> Repr.signed_bits
+(** [signed_sum b terms] computes [sum_i c_i * s_i] for arbitrary integer
+    scales [c_i], as the paper's Section 3 "Negative numbers" scheme: the
+    positively-contributing and negatively-contributing parts are routed
+    into two parallel {!to_bits} instances, so the result is a signed
+    binary pair of depth 2. *)
+
+val to_bits_cost : ?share_top:bool -> (int * int) list -> int * int
+(** [to_bits_cost multiset] is the exact [(gates, edges)] that {!to_bits}
+    emits on a representation whose {e merged} weight multiset is given as
+    [(weight, multiplicity)] pairs (weights positive, already merged —
+    multiplicities count distinct wires sharing a weight).  This mirrors
+    the construction arithmetically, so large-circuit statistics can be
+    computed without building anything; the test suite checks it against
+    count-only builds gate-for-gate.  [share_top] must match the
+    construction being mirrored. *)
+
+val gate_cost_binary : n:int -> w:int -> b:int -> int
+(** Closed-form gate count of the textbook instance: [n] binary summands
+    of [b] bits with weight magnitudes at most [w] (used by the analytic
+    model to cross-check measured counts). *)

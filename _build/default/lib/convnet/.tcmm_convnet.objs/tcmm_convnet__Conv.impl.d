@@ -1,0 +1,1 @@
+lib/convnet/conv.ml: Array Im2col Image Tcmm_fastmm Tcmm_util

@@ -1,0 +1,1 @@
+lib/convnet/conv.mli: Im2col Image

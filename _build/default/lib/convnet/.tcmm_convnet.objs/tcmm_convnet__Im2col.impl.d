@@ -1,0 +1,1 @@
+lib/convnet/im2col.ml: Array Image Tcmm_fastmm

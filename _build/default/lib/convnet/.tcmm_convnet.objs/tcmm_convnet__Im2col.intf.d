@@ -1,0 +1,1 @@
+lib/convnet/im2col.mli: Image Tcmm_fastmm

@@ -1,0 +1,1 @@
+lib/convnet/image.ml: Array Printf Tcmm_util

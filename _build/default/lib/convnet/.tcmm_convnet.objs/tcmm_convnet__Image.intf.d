@@ -1,0 +1,1 @@
+lib/convnet/image.mli: Tcmm_util

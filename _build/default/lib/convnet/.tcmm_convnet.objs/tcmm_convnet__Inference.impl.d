@@ -1,0 +1,1 @@
+lib/convnet/inference.ml: Array Binary Builder Im2col Image List Repr Tcmm_arith Tcmm_threshold Tcmm_util Weighted_sum

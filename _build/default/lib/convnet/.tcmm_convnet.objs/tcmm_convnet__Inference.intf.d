@@ -1,0 +1,1 @@
+lib/convnet/inference.mli: Builder Im2col Image Repr Tcmm_arith Tcmm_threshold Wire

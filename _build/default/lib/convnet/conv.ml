@@ -1,0 +1,38 @@
+module Matrix = Tcmm_fastmm.Matrix
+module Checked = Tcmm_util.Checked
+
+let direct spec img kernels =
+  let oh, ow = Im2col.output_dims spec img in
+  Array.map
+    (fun (ker : Image.t) ->
+      Array.init oh (fun py ->
+          Array.init ow (fun px ->
+              let acc = ref 0 in
+              for c = 0 to ker.Image.channels - 1 do
+                for dy = 0 to spec.Im2col.q - 1 do
+                  for dx = 0 to spec.Im2col.q - 1 do
+                    let pixel =
+                      Image.get img ~c
+                        ~y:((py * spec.Im2col.stride) + dy)
+                        ~x:((px * spec.Im2col.stride) + dx)
+                    in
+                    acc := Checked.add !acc (Checked.mul pixel (Image.get ker ~c ~y:dy ~x:dx))
+                  done
+                done
+              done;
+              !acc)))
+    kernels
+
+let via_matmul spec img kernels =
+  let patches = Im2col.patch_matrix spec img in
+  let kmat = Im2col.kernel_matrix kernels in
+  Im2col.scores_of_product spec img (Matrix.mul patches kmat)
+
+let circuit_size spec img kernels ~t_dim =
+  let patches = Im2col.patch_matrix spec img in
+  let kmat = Im2col.kernel_matrix kernels in
+  let need =
+    max (Matrix.rows patches) (max (Matrix.cols patches) (Matrix.cols kmat))
+  in
+  let rec grow n = if n >= need then n else grow (n * t_dim) in
+  grow t_dim

@@ -1,0 +1,17 @@
+(** Convolution references and the conv-as-matmul pipeline.
+
+    {!direct} computes kernel scores by definition; {!via_matmul} runs
+    the im2col lowering through a matrix product.  The two must agree —
+    that equivalence is the paper's Section 5 reduction, and it is what
+    lets the threshold matmul circuit evaluate a convolutional layer. *)
+
+val direct : Im2col.spec -> Image.t -> Image.t array -> int array array array
+(** [K x out_h x out_w] score planes: plane [k] at [(y, x)] is the dot
+    product of kernel [k] with the patch at [(y, x)]. *)
+
+val via_matmul : Im2col.spec -> Image.t -> Image.t array -> int array array array
+(** Same scores through [patch_matrix * kernel_matrix]. *)
+
+val circuit_size : Im2col.spec -> Image.t -> Image.t array -> t_dim:int -> int
+(** Smallest power of [t_dim] that accommodates the [P x Q] and [Q x K]
+    operands when embedded into square matrices for the circuits. *)

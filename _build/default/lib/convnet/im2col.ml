@@ -1,0 +1,68 @@
+module Matrix = Tcmm_fastmm.Matrix
+
+type spec = { q : int; stride : int }
+
+let output_dims spec (img : Image.t) =
+  if spec.q < 1 || spec.q > img.Image.height || spec.q > img.Image.width then
+    invalid_arg "Im2col.output_dims: kernel does not fit";
+  if spec.stride < 1 then invalid_arg "Im2col.output_dims: stride < 1";
+  ( ((img.Image.height - spec.q) / spec.stride) + 1,
+    ((img.Image.width - spec.q) / spec.stride) + 1 )
+
+let patch_count spec img =
+  let oh, ow = output_dims spec img in
+  oh * ow
+
+let patch_values spec (img : Image.t) ~py ~px =
+  let base_y = py * spec.stride and base_x = px * spec.stride in
+  let q = spec.q in
+  Array.init
+    (img.Image.channels * q * q)
+    (fun idx ->
+      let c = idx / (q * q) in
+      let rest = idx mod (q * q) in
+      let dy = rest / q and dx = rest mod q in
+      Image.get img ~c ~y:(base_y + dy) ~x:(base_x + dx))
+
+let patch_matrix spec img =
+  let oh, ow = output_dims spec img in
+  let q_len = img.Image.channels * spec.q * spec.q in
+  Matrix.init ~rows:(oh * ow) ~cols:q_len (fun p idx ->
+      let py = p / ow and px = p mod ow in
+      (patch_values spec img ~py ~px).(idx))
+
+let kernel_matrix kernels =
+  let k = Array.length kernels in
+  if k = 0 then invalid_arg "Im2col.kernel_matrix: no kernels";
+  let first = kernels.(0) in
+  Array.iter
+    (fun (ker : Image.t) ->
+      if
+        ker.Image.channels <> first.Image.channels
+        || ker.Image.height <> first.Image.height
+        || ker.Image.width <> first.Image.width
+      then invalid_arg "Im2col.kernel_matrix: kernels of unequal shape")
+    kernels;
+  if first.Image.height <> first.Image.width then
+    invalid_arg "Im2col.kernel_matrix: kernels must be square";
+  let q = first.Image.height in
+  let q_len = first.Image.channels * q * q in
+  Matrix.init ~rows:q_len ~cols:k (fun idx kk ->
+      let c = idx / (q * q) in
+      let rest = idx mod (q * q) in
+      let dy = rest / q and dx = rest mod q in
+      Image.get kernels.(kk) ~c ~y:dy ~x:dx)
+
+let scores_of_product spec img product =
+  let oh, ow = output_dims spec img in
+  let k = Matrix.cols product in
+  Array.init k (fun kk ->
+      Array.init oh (fun py ->
+          Array.init ow (fun px -> Matrix.get product ((py * ow) + px) kk)))
+
+let embed m ~n =
+  if Matrix.rows m > n || Matrix.cols m > n then
+    invalid_arg "Im2col.embed: matrix larger than target";
+  let out = Matrix.create ~rows:n ~cols:n in
+  Matrix.blit_block ~src:m ~dst:out ~row:0 ~col:0;
+  out

@@ -1,0 +1,36 @@
+(** The im2col lowering (paper, Section 5, after Warden).
+
+    A convolutional step applying [K] kernels of shape
+    [channels x q x q] to an image with a given stride becomes the
+    product of a [P x Q] patch matrix ([P] patch positions,
+    [Q = q * q * channels] values per patch) with a [Q x K] kernel
+    matrix; output entry [(patch, kernel)] is that patch's score under
+    that kernel. *)
+
+type spec = { q : int; stride : int }
+
+val output_dims : spec -> Image.t -> int * int
+(** [(out_h, out_w)]: number of vertical/horizontal patch positions.
+    Raises [Invalid_argument] if the kernel does not fit or the stride is
+    nonpositive. *)
+
+val patch_count : spec -> Image.t -> int
+(** [P = out_h * out_w]. *)
+
+val patch_matrix : spec -> Image.t -> Tcmm_fastmm.Matrix.t
+(** The [P x Q] matrix; patch [(py, px)] is row [py * out_w + px], its
+    values ordered channel-major then row-major (matching
+    {!kernel_matrix}). *)
+
+val kernel_matrix : Image.t array -> Tcmm_fastmm.Matrix.t
+(** The [Q x K] matrix for [K] kernels (all of equal shape; raises
+    [Invalid_argument] otherwise, or if [K = 0]). *)
+
+val scores_of_product : spec -> Image.t -> Tcmm_fastmm.Matrix.t -> int array array array
+(** [scores_of_product spec image product] reshapes the [P x K] product
+    back to [K x out_h x out_w] score planes. *)
+
+val embed : Tcmm_fastmm.Matrix.t -> n:int -> Tcmm_fastmm.Matrix.t
+(** Zero-pad a matrix into the top-left corner of an [n x n] matrix (for
+    feeding the square-matrix circuits).  Raises [Invalid_argument] if
+    it does not fit. *)

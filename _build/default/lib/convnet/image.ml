@@ -1,0 +1,32 @@
+type t = { channels : int; height : int; width : int; data : int array }
+
+let create ~channels ~height ~width =
+  if channels < 1 || height < 1 || width < 1 then
+    invalid_arg "Image.create: nonpositive dimension";
+  { channels; height; width; data = Array.make (channels * height * width) 0 }
+
+let index t c y x name =
+  if c < 0 || c >= t.channels || y < 0 || y >= t.height || x < 0 || x >= t.width then
+    invalid_arg (Printf.sprintf "Image.%s: (%d,%d,%d) out of range" name c y x);
+  (((c * t.height) + y) * t.width) + x
+
+let get t ~c ~y ~x = t.data.(index t c y x "get")
+let set t ~c ~y ~x v = t.data.(index t c y x "set") <- v
+
+let init ~channels ~height ~width f =
+  let t = create ~channels ~height ~width in
+  for c = 0 to channels - 1 do
+    for y = 0 to height - 1 do
+      for x = 0 to width - 1 do
+        set t ~c ~y ~x (f c y x)
+      done
+    done
+  done;
+  t
+
+let random rng ~channels ~height ~width ~lo ~hi =
+  init ~channels ~height ~width (fun _ _ _ -> Tcmm_util.Prng.int_range rng ~lo ~hi)
+
+let equal a b =
+  a.channels = b.channels && a.height = b.height && a.width = b.width
+  && a.data = b.data

@@ -1,0 +1,18 @@
+(** Multi-channel integer images and convolution kernels.
+
+    The paper's deep-learning motivation (Section 5) reduces a
+    convolutional layer to a dense matrix product; this module supplies
+    the image/kernel data model.  Kernels are just small images
+    ([channels x q x q]). *)
+
+type t = private { channels : int; height : int; width : int; data : int array }
+
+val create : channels:int -> height:int -> width:int -> t
+val init : channels:int -> height:int -> width:int -> (int -> int -> int -> int) -> t
+(** [init ~channels ~height ~width f] fills pixel [(c, y, x)] with
+    [f c y x]. *)
+
+val get : t -> c:int -> y:int -> x:int -> int
+val set : t -> c:int -> y:int -> x:int -> int -> unit
+val random : Tcmm_util.Prng.t -> channels:int -> height:int -> width:int -> lo:int -> hi:int -> t
+val equal : t -> t -> bool

@@ -1,0 +1,213 @@
+open Tcmm_threshold
+open Tcmm_arith
+module Checked = Tcmm_util.Checked
+
+type feature_map = Repr.signed_bits array array array
+
+let input_image b ~channels ~height ~width ~entry_bits ~signed =
+  if channels < 1 || height < 1 || width < 1 then
+    invalid_arg "Inference.input_image: empty image";
+  if entry_bits < 1 || entry_bits > 60 then
+    invalid_arg "Inference.input_image: entry_bits out of range";
+  let wires_per = if signed then 2 * entry_bits else entry_bits in
+  let base = Builder.num_wires b in
+  ignore (Builder.add_inputs b (channels * height * width * wires_per));
+  let offset c y x = base + ((((c * height) + y) * width + x) * wires_per) in
+  let fm =
+    Array.init channels (fun c ->
+        Array.init height (fun y ->
+            Array.init width (fun x ->
+                let off = offset c y x in
+                {
+                  Repr.pos_bits = Array.init entry_bits (fun k -> off + k);
+                  neg_bits =
+                    (if signed then Array.init entry_bits (fun k -> off + entry_bits + k)
+                     else [||]);
+                })))
+  in
+  let write (img : Image.t) input =
+    if
+      img.Image.channels <> channels || img.Image.height <> height
+      || img.Image.width <> width
+    then invalid_arg "Inference.input_image: image shape mismatch";
+    let limit = (1 lsl entry_bits) - 1 in
+    for c = 0 to channels - 1 do
+      for y = 0 to height - 1 do
+        for x = 0 to width - 1 do
+          let v = Image.get img ~c ~y ~x in
+          if v < 0 && not signed then
+            invalid_arg "Inference.input_image: negative pixel in unsigned layout";
+          if abs v > limit then
+            invalid_arg "Inference.input_image: pixel does not fit entry_bits";
+          let off = offset c y x in
+          for k = 0 to entry_bits - 1 do
+            let bit = (abs v lsr k) land 1 = 1 in
+            if v >= 0 then input.(off + k) <- bit
+            else input.(off + entry_bits + k) <- bit
+          done
+        done
+      done
+    done
+  in
+  (fm, write)
+
+let map_dims fm = (Array.length fm, Array.length fm.(0), Array.length fm.(0).(0))
+
+let conv_fixed ?share_top ?bias b ~(spec : Im2col.spec) ~kernels fm =
+  let channels, height, width = map_dims fm in
+  if Array.length kernels = 0 then invalid_arg "Inference.conv_fixed: no kernels";
+  (match bias with
+  | Some bs when Array.length bs <> Array.length kernels ->
+      invalid_arg "Inference.conv_fixed: bias length must match kernel count"
+  | _ -> ());
+  (* One shared constant wire carries every nonzero bias. *)
+  let bias_term =
+    match bias with
+    | Some bs when Array.exists (fun v -> v <> 0) bs ->
+        let one = Builder.const b true in
+        let sb = { Repr.pos_bits = [| one |]; neg_bits = [||] } in
+        Some (Repr.signed_of_sbits sb)
+    | _ -> None
+  in
+  Array.iter
+    (fun (ker : Image.t) ->
+      if
+        ker.Image.channels <> channels
+        || ker.Image.height <> spec.Im2col.q
+        || ker.Image.width <> spec.Im2col.q
+      then invalid_arg "Inference.conv_fixed: kernel shape mismatch")
+    kernels;
+  if spec.Im2col.stride < 1 then invalid_arg "Inference.conv_fixed: stride < 1";
+  if spec.Im2col.q > height || spec.Im2col.q > width then
+    invalid_arg "Inference.conv_fixed: kernel does not fit";
+  let oh = ((height - spec.Im2col.q) / spec.Im2col.stride) + 1 in
+  let ow = ((width - spec.Im2col.q) / spec.Im2col.stride) + 1 in
+  Array.mapi
+    (fun ki (ker : Image.t) ->
+      let kernel_bias =
+        match (bias, bias_term) with
+        | Some bs, Some t when bs.(ki) <> 0 -> [ (bs.(ki), t) ]
+        | _ -> []
+      in
+      Array.init oh (fun py ->
+          Array.init ow (fun px ->
+              let terms = ref [] in
+              for c = 0 to channels - 1 do
+                for dy = 0 to spec.Im2col.q - 1 do
+                  for dx = 0 to spec.Im2col.q - 1 do
+                    let w = Image.get ker ~c ~y:dy ~x:dx in
+                    if w <> 0 then begin
+                      let pixel =
+                        fm.(c).((py * spec.Im2col.stride) + dy).((px * spec.Im2col.stride) + dx)
+                      in
+                      terms := (w, Repr.signed_of_sbits pixel) :: !terms
+                    end
+                  done
+                done
+              done;
+              Weighted_sum.signed_sum ?share_top b (List.rev !terms @ kernel_bias))))
+    kernels
+
+let relu b fm =
+  Array.map
+    (Array.map
+       (Array.map (fun (sb : Repr.signed_bits) ->
+            if Array.length sb.Repr.neg_bits = 0 then
+              (* Already nonnegative: ReLU is the identity. *)
+              sb
+            else begin
+              let norm = Binary.normalize b (Repr.signed_of_sbits sb) in
+              let masked =
+                Array.map
+                  (fun mag ->
+                    Builder.add_gate b
+                      ~inputs:[| norm.Binary.sign_negative; mag |]
+                      ~weights:[| -1; 1 |] ~threshold:1)
+                  norm.Binary.magnitude
+              in
+              { Repr.pos_bits = masked; neg_bits = [||] }
+            end)))
+    fm
+
+let max_pool b ~size fm =
+  if size < 1 then invalid_arg "Inference.max_pool: size < 1";
+  let _, height, width = map_dims fm in
+  if height mod size <> 0 || width mod size <> 0 then
+    invalid_arg "Inference.max_pool: dimensions not divisible by pool size";
+  let pair_max x y =
+    let ge = Binary.geq b x y in
+    Binary.mux b ~sel:ge ~if_true:x ~if_false:y
+  in
+  let rec tree_max = function
+    | [] -> [||]
+    | [ x ] -> x
+    | xs ->
+        let rec pair_up = function
+          | a :: c :: rest -> pair_max a c :: pair_up rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        tree_max (pair_up xs)
+  in
+  Array.map
+    (fun plane ->
+      Array.init (height / size) (fun py ->
+          Array.init (width / size) (fun px ->
+              let window = ref [] in
+              for dy = size - 1 downto 0 do
+                for dx = size - 1 downto 0 do
+                  let (sb : Repr.signed_bits) =
+                    plane.((py * size) + dy).((px * size) + dx)
+                  in
+                  if Array.length sb.Repr.neg_bits <> 0 then
+                    invalid_arg "Inference.max_pool: feature map must be nonnegative";
+                  window := sb.Repr.pos_bits :: !window
+                done
+              done;
+              { Repr.pos_bits = tree_max !window; neg_bits = [||] })))
+    fm
+
+let reference_max_pool ~size values =
+  Array.map
+    (fun plane ->
+      let height = Array.length plane and width = Array.length plane.(0) in
+      Array.init (height / size) (fun py ->
+          Array.init (width / size) (fun px ->
+              let best = ref min_int in
+              for dy = 0 to size - 1 do
+                for dx = 0 to size - 1 do
+                  best := max !best plane.((py * size) + dy).((px * size) + dx)
+                done
+              done;
+              !best)))
+    values
+
+let reference_conv ?bias (spec : Im2col.spec) kernels values =
+  let channels = Array.length values in
+  let height = Array.length values.(0) in
+  let width = Array.length values.(0).(0) in
+  let oh = ((height - spec.Im2col.q) / spec.Im2col.stride) + 1 in
+  let ow = ((width - spec.Im2col.q) / spec.Im2col.stride) + 1 in
+  Array.mapi
+    (fun ki (ker : Image.t) ->
+      Array.init oh (fun py ->
+          Array.init ow (fun px ->
+              let acc = ref (match bias with Some bs -> bs.(ki) | None -> 0) in
+              for c = 0 to channels - 1 do
+                for dy = 0 to spec.Im2col.q - 1 do
+                  for dx = 0 to spec.Im2col.q - 1 do
+                    acc :=
+                      Checked.add !acc
+                        (Checked.mul
+                           (Image.get ker ~c ~y:dy ~x:dx)
+                           values.(c).((py * spec.Im2col.stride) + dy).((px * spec.Im2col.stride) + dx))
+                  done
+                done
+              done;
+              !acc)))
+    kernels
+
+let reference_relu = Array.map (Array.map (Array.map (fun v -> max v 0)))
+
+let read_feature_map read fm =
+  Array.map (Array.map (Array.map (Repr.eval_sbits read))) fm

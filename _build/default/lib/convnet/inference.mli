@@ -1,0 +1,78 @@
+(** Fixed-weight network inference inside the threshold circuit.
+
+    The paper's deep-learning motivation (Sections 1 and 5) distinguishes
+    two regimes.  When {e both} matrix operands are inputs (training,
+    data-dependent products), the subcubic matmul circuit of Theorem 4.9
+    is the tool.  For {e inference} the kernel weights are constants — and
+    constants do not need Lemma 3.3 product gates at all: they become
+    gate {e weights}, so a whole convolutional layer is one Lemma 3.2
+    layer (depth 2) per output entry, and a ReLU is a sign test plus a
+    masked copy (depth 3).  This module builds entire fixed-weight
+    convolutional pipelines that run on-chip, the scenario the paper's
+    introduction says would "avoid energy-intensive and slow I/O".
+
+    Feature maps are grids of signed binary values
+    ([channels x height x width] of {!Tcmm_arith.Repr.signed_bits}); the
+    input layer comes from an {!Tcmm.Encode}-style allocation of image
+    pixels, and each layer consumes the previous layer's wires
+    directly — one circuit, end to end. *)
+
+open Tcmm_threshold
+open Tcmm_arith
+
+type feature_map = Repr.signed_bits array array array
+(** Indexed [channel].[y].[x]. *)
+
+val input_image :
+  Builder.t -> channels:int -> height:int -> width:int -> entry_bits:int ->
+  signed:bool -> feature_map * (Image.t -> bool array -> unit)
+(** Allocates input wires for an image (must precede gates) and returns
+    the feature map plus a writer that encodes a concrete {!Image.t} into
+    a simulator input vector. *)
+
+val conv_fixed :
+  ?share_top:bool ->
+  ?bias:int array ->
+  Builder.t ->
+  spec:Im2col.spec ->
+  kernels:Image.t array ->
+  feature_map ->
+  feature_map
+(** [conv_fixed b ~spec ~kernels fm]: one convolution layer with
+    {e constant} integer kernels.  Output channel [k] at [(y, x)] is the
+    kernel-weighted sum of the input patch — a single depth-2 signed sum
+    whose weights are the kernel coefficients.  [bias] (one integer per
+    kernel; default all zero) adds the usual per-channel constant term,
+    implemented as one extra weighted term on a shared constant wire.
+    Raises [Invalid_argument] if kernel shape does not match the feature
+    map's channel count or if [bias] length differs from the kernel
+    count. *)
+
+val relu : Builder.t -> feature_map -> feature_map
+(** Pointwise [max(v, 0)]: canonical magnitude masked by the sign
+    (depth 3 on top of its input).  Output entries are nonnegative
+    (empty negative part). *)
+
+val max_pool : Builder.t -> size:int -> feature_map -> feature_map
+(** Non-overlapping [size x size] max pooling (stride = [size]) on a
+    {e nonnegative} feature map (as produced by {!relu}; raises
+    [Invalid_argument] on entries with a negative part, or if the
+    spatial dimensions are not multiples of [size]).  Each output is a
+    balanced tree of pairwise max selections (one comparison gate plus a
+    bitwise mux per pair, depth 3 per tree level). *)
+
+val reference_conv :
+  ?bias:int array ->
+  Im2col.spec ->
+  Image.t array ->
+  int array array array ->
+  int array array array
+(** Integer reference of {!conv_fixed} on a concrete
+    [channels x h x w] value array. *)
+
+val reference_relu : int array array array -> int array array array
+val reference_max_pool : size:int -> int array array array -> int array array array
+
+val read_feature_map :
+  (Wire.t -> bool) -> feature_map -> int array array array
+(** Decode a simulated feature map. *)

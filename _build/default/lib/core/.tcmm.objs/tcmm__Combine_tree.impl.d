@@ -1,0 +1,1 @@
+lib/core/combine_tree.ml: Array Level_schedule List Repr Tcmm_arith Tcmm_fastmm Tcmm_util Weighted_sum

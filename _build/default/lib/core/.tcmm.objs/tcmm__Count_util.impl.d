@@ -1,0 +1,1 @@
+lib/core/count_util.ml: Array List String Tcmm_util

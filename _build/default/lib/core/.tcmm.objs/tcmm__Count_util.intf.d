@@ -1,0 +1,1 @@
+lib/core/count_util.mli:

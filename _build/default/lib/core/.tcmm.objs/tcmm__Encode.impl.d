@@ -1,0 +1,1 @@
+lib/core/encode.ml: Array Builder Repr Tcmm_arith Tcmm_fastmm Tcmm_threshold

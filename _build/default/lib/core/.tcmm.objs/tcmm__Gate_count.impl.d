@@ -1,0 +1,1 @@
+lib/core/gate_count.ml: Array Count_util Hashtbl Level_schedule Sum_tree Tcmm_arith Tcmm_fastmm Tcmm_util Weighted_sum

@@ -1,0 +1,1 @@
+lib/core/gate_count.mli: Level_schedule Tcmm_fastmm

@@ -1,0 +1,1 @@
+lib/core/gate_count_matmul.ml: Array Count_util Gate_count Hashtbl Level_schedule List String Sum_tree Tcmm_arith Tcmm_fastmm Tcmm_util Weighted_sum

@@ -1,0 +1,1 @@
+lib/core/gate_count_matmul.mli: Gate_count Level_schedule Tcmm_fastmm

@@ -1,0 +1,1 @@
+lib/core/gate_model.ml: Array Level_schedule List Tcmm_fastmm Tcmm_util

@@ -1,0 +1,1 @@
+lib/core/level_schedule.ml: Array Format Fun List Printf Tcmm_fastmm Tcmm_util

@@ -1,0 +1,1 @@
+lib/core/level_schedule.mli: Format Tcmm_fastmm

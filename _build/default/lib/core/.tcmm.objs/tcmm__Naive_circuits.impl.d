@@ -1,0 +1,1 @@
+lib/core/naive_circuits.ml: Array Builder Circuit Compare Encode List Product Repr Simulator Tcmm_arith Tcmm_fastmm Tcmm_threshold Tcmm_util Weighted_sum Wire

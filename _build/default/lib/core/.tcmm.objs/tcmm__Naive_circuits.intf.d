@@ -1,0 +1,1 @@
+lib/core/naive_circuits.mli: Builder Circuit Encode Repr Tcmm_arith Tcmm_fastmm Tcmm_threshold Wire

@@ -1,0 +1,1 @@
+lib/core/sum_tree.ml: Array Level_schedule List Repr Staged_sum Tcmm_arith Tcmm_fastmm Tcmm_util Weighted_sum

@@ -1,0 +1,1 @@
+lib/core/sum_tree.mli: Builder Level_schedule Repr Tcmm_arith Tcmm_fastmm Tcmm_threshold

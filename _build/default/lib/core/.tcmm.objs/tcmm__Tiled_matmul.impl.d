@@ -1,0 +1,1 @@
+lib/core/tiled_matmul.ml: Array Builder Circuit Combine_tree Encode Level_schedule Product Repr Simulator Sum_tree Tcmm_arith Tcmm_fastmm Tcmm_threshold Tcmm_util Weighted_sum

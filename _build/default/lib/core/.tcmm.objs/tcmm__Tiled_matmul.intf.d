@@ -1,0 +1,1 @@
+lib/core/tiled_matmul.mli: Builder Circuit Encode Level_schedule Repr Stats Tcmm_arith Tcmm_fastmm Tcmm_threshold

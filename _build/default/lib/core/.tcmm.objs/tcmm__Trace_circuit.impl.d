@@ -1,0 +1,1 @@
+lib/core/trace_circuit.ml: Array Binary Builder Circuit Compare Encode Level_schedule Product Repr Simulator Sum_tree Tcmm_arith Tcmm_fastmm Tcmm_threshold Wire

@@ -1,0 +1,1 @@
+lib/core/trace_circuit.mli: Builder Circuit Encode Level_schedule Repr Stats Tcmm_arith Tcmm_fastmm Tcmm_threshold Wire

@@ -1,0 +1,127 @@
+open Tcmm_arith
+module Bilinear = Tcmm_fastmm.Bilinear
+module Matrix = Tcmm_fastmm.Matrix
+module Checked = Tcmm_util.Checked
+
+(* For every relative block path of length [delta] inside a node whose
+   matrix has dimension [size]: the block's (row, col) offset and the
+   (coefficient, relative child path id) list of descendant matrices
+   summing to it.  Total list length over all blocks is s_C^delta —
+   equation (5). *)
+type block_expansion = {
+  row_off : int;
+  col_off : int;
+  children : (int * int) list;
+}
+
+let block_expansions ~(algo : Bilinear.t) ~delta ~size =
+  let t_dim = algo.Bilinear.t_dim and r = algo.Bilinear.rank in
+  let t2 = t_dim * t_dim in
+  let result =
+    Array.make (Checked.pow t2 delta)
+      { row_off = 0; col_off = 0; children = [] }
+  in
+  let rec go level block_id row_off col_off children =
+    if level = delta then result.(block_id) <- { row_off; col_off; children }
+    else begin
+      let sub = size / Checked.pow t_dim (level + 1) in
+      for j = 0 to t2 - 1 do
+        let p = j / t_dim and q = j mod t_dim in
+        let children' =
+          List.concat_map
+            (fun (c, pid) ->
+              let acc = ref [] in
+              for i = r - 1 downto 0 do
+                let w = algo.Bilinear.w.(j).(i) in
+                if w <> 0 then acc := (Checked.mul c w, (pid * r) + i) :: !acc
+              done;
+              !acc)
+            children
+        in
+        go (level + 1)
+          ((block_id * t2) + j)
+          (row_off + (p * sub))
+          (col_off + (q * sub))
+          children'
+      done
+    end
+  in
+  go 0 0 0 0 [ (1, 0) ];
+  result
+
+let combine ?share_top b ~algo ~schedule leaves =
+  let t_dim = algo.Bilinear.t_dim and r = algo.Bilinear.rank in
+  let levels = (schedule : Level_schedule.t).Level_schedule.levels in
+  let nsteps = Array.length levels - 1 in
+  let l_last = levels.(nsteps) in
+  if Array.length leaves <> Checked.pow r l_last then
+    invalid_arg "Combine_tree.combine: leaf count must be r^L";
+  (* Current level data: per node, a flat row-major matrix of signed
+     representations.  Leaves are 1x1. *)
+  let current = ref (Array.map (fun s -> [| s |]) leaves) in
+  let current_size = ref 1 in
+  let last_sbits = ref None in
+  for idx = nsteps downto 1 do
+    let delta = levels.(idx) - levels.(idx - 1) in
+    let size' = !current_size in
+    let size = size' * Checked.pow t_dim delta in
+    let exps = block_expansions ~algo ~delta ~size in
+    let children_per_node = Checked.pow r delta in
+    let children = !current in
+    let num_parents = Array.length children / children_per_node in
+    let next_sbits =
+      Array.init num_parents (fun nv ->
+          let matrix = Array.make (size * size) Repr.sbits_zero in
+          Array.iter
+            (fun { row_off; col_off; children = kids } ->
+              for x = 0 to size' - 1 do
+                for y = 0 to size' - 1 do
+                  let terms =
+                    List.map
+                      (fun (c, pid) ->
+                        let child = children.((nv * children_per_node) + pid) in
+                        (c, child.((x * size') + y)))
+                      kids
+                  in
+                  matrix.(((row_off + x) * size) + (col_off + y)) <-
+                    Weighted_sum.signed_sum ?share_top b terms
+                done
+              done)
+            exps;
+          matrix)
+    in
+    last_sbits := Some next_sbits;
+    current := Array.map (Array.map Repr.signed_of_sbits) next_sbits;
+    current_size := size
+  done;
+  match !last_sbits with
+  | None -> invalid_arg "Combine_tree.combine: empty schedule"
+  | Some roots ->
+      let n = !current_size in
+      let root = roots.(0) in
+      Array.init n (fun i -> Array.init n (fun j -> root.((i * n) + j)))
+
+let reference_combine ~algo ~l products =
+  let t_dim = algo.Bilinear.t_dim and r = algo.Bilinear.rank in
+  if Array.length products <> Checked.pow r l then
+    invalid_arg "Combine_tree.reference_combine: product count must be r^l";
+  let rec go depth offset =
+    let size = Checked.pow t_dim (l - depth) in
+    if depth = l then Matrix.init ~rows:1 ~cols:1 (fun _ _ -> products.(offset))
+    else begin
+      let children = Array.init r (fun i -> go (depth + 1) ((offset * r) + i)) in
+      let sub = size / t_dim in
+      let result = Matrix.create ~rows:size ~cols:size in
+      Array.iteri
+        (fun j row ->
+          let p = j / t_dim and q = j mod t_dim in
+          let block = ref (Matrix.create ~rows:sub ~cols:sub) in
+          Array.iteri
+            (fun i c -> if c <> 0 then block := Matrix.add !block (Matrix.scale c children.(i)))
+            row;
+          Matrix.blit_block ~src:!block ~dst:result ~row:(p * sub) ~col:(q * sub))
+        algo.Bilinear.w;
+      result
+    end
+  in
+  go 0 0

@@ -1,0 +1,31 @@
+(** The bottom-up product-combination tree [T_AB] (Section 4.4,
+    Lemma 4.6).
+
+    Each node of [T_AB] represents the product of the matrices at the
+    corresponding nodes of [T_A] and [T_B]; the leaves are the [r^L]
+    scalar products and the root is [C = AB].  Moving {e up} one selected
+    level, a node's matrix is assembled from [T^(2*delta)] blocks, each a
+    [w]-weighted sum of descendant matrices [delta] levels below —
+    depth 2 per selected level, mirroring the top-down sum trees. *)
+
+open Tcmm_threshold
+open Tcmm_arith
+
+val combine :
+  ?share_top:bool ->
+  Builder.t ->
+  algo:Tcmm_fastmm.Bilinear.t ->
+  schedule:Level_schedule.t ->
+  Repr.signed array ->
+  Repr.signed_bits array array
+(** [combine b ~algo ~schedule leaves] consumes the [r^L] leaf-product
+    representations (ordered by base-[r] path id, as produced by pairing
+    {!Sum_tree.compute_leaves} outputs) and returns the [N x N] grid of
+    binary entries of [C].  Raises [Invalid_argument] if the leaf count
+    does not match the schedule. *)
+
+val reference_combine :
+  algo:Tcmm_fastmm.Bilinear.t -> l:int -> int array -> Tcmm_fastmm.Matrix.t
+(** Pure-integer oracle: recombines [r^l] scalar products into the
+    [T^l x T^l] result matrix using only the [w] coefficients (full
+    recursion, no circuits). *)

@@ -1,0 +1,86 @@
+module Checked = Tcmm_util.Checked
+module Ilog = Tcmm_util.Ilog
+
+let row_signs row =
+  let pos = ref 0 and neg = ref 0 in
+  Array.iter
+    (fun c ->
+      match c with
+      | 0 -> ()
+      | 1 -> incr pos
+      | -1 -> incr neg
+      | _ ->
+          invalid_arg
+            "Gate_count: only {-1,0,1}-coefficient algorithms are supported")
+    row;
+  (!pos, !neg)
+
+let iter_multisets ~r ~delta f =
+  let mults = Array.make r 0 in
+  (* C(s+k, k), exact at every step: acc holds C(s+i, i). *)
+  let choose s k =
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := Checked.mul !acc (s + i) / i
+    done;
+    !acc
+  in
+  let rec go digit remaining size paths =
+    if digit = r - 1 then begin
+      mults.(digit) <- remaining;
+      let paths = Checked.mul paths (choose size remaining) in
+      f ~mults ~paths;
+      mults.(digit) <- 0
+    end
+    else
+      for k = 0 to remaining do
+        mults.(digit) <- k;
+        go (digit + 1) (remaining - k) (size + k) (Checked.mul paths (choose size k));
+        mults.(digit) <- 0
+      done
+  in
+  go 0 delta 0 1
+
+let fold_signs ~signs ~mults =
+  let p = ref 1 and m = ref 0 in
+  Array.iteri
+    (fun digit k ->
+      let pos, neg = signs.(digit) in
+      for _ = 1 to k do
+        let p' = Checked.add (Checked.mul pos !p) (Checked.mul neg !m) in
+        let m' = Checked.add (Checked.mul neg !p) (Checked.mul pos !m) in
+        p := p';
+        m := m'
+      done)
+    mults;
+  (!p, !m)
+
+let part_multiset ~p ~m ~pw ~nw =
+  let width = max pw nw in
+  List.init width (fun u ->
+      let mult = (if u < pw then p else 0) + if u < nw then m else 0 in
+      (1 lsl u, mult))
+  |> List.filter (fun (_, mult) -> mult > 0)
+
+let part_width ~p ~m ~pw ~nw =
+  Ilog.bits
+    (Checked.add (Checked.mul p ((1 lsl pw) - 1)) (Checked.mul m ((1 lsl nw) - 1)))
+
+let key_of_mults mults =
+  String.concat "," (Array.to_list (Array.map string_of_int mults))
+
+let multinomial counts =
+  let choose s k =
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := Checked.mul !acc (s + i) / i
+    done;
+    !acc
+  in
+  let total = ref 0 and acc = ref 1 in
+  Array.iter
+    (fun k ->
+      acc := Checked.mul !acc (choose !total k);
+      total := !total + k)
+    counts;
+  !acc

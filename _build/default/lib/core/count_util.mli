@@ -1,0 +1,36 @@
+(** Shared machinery for the analytic-exact counting DPs
+    ({!Gate_count} and {!Gate_count_matmul}).
+
+    Internal module: the combinatorial helpers all exploit the same fact —
+    the per-digit sign maps [(p, m) -> (pos_i p + neg_i m, neg_i p + pos_i m)]
+    commute, so path-dependent quantities only depend on digit
+    {e multisets}, which these helpers enumerate with multinomial
+    weights. *)
+
+val row_signs : int array -> int * int
+(** [(#(+1), #(-1))] of a coefficient row; raises [Invalid_argument] on a
+    coefficient outside [{-1,0,1}]. *)
+
+val iter_multisets :
+  r:int -> delta:int -> (mults:int array -> paths:int -> unit) -> unit
+(** Enumerate digit multisets of size [delta] over [r] digits; [paths] is
+    the multinomial count of paths realizing the multiset.  The [mults]
+    array is reused between calls — copy it if retained. *)
+
+val fold_signs : signs:(int * int) array -> mults:int array -> int * int
+(** Starting from [(1, 0)], apply each digit's sign map with its
+    multiplicity: the (positive, negative) summand counts of a
+    descendant's expansion. *)
+
+val part_multiset : p:int -> m:int -> pw:int -> nw:int -> (int * int) list
+(** Weight multiset of one part of a signed sum of [p] positively- and
+    [m] negatively-signed binary summands with part widths [(pw, nw)]. *)
+
+val part_width : p:int -> m:int -> pw:int -> nw:int -> int
+(** Bit width of that part's bound. *)
+
+val key_of_mults : int array -> string
+(** Canonical hash key for a multiset count array. *)
+
+val multinomial : int array -> int
+(** Number of sequences realizing a multiset given by its count array. *)

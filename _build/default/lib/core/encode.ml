@@ -1,0 +1,72 @@
+open Tcmm_threshold
+open Tcmm_arith
+module Matrix = Tcmm_fastmm.Matrix
+
+type t = {
+  rows : int;
+  cols : int;
+  entry_bits : int;
+  signed : bool;
+  base : int;
+  wires_per_entry : int;
+}
+
+let alloc_rect b ~rows ~cols ~entry_bits ~signed =
+  if rows < 1 || cols < 1 then invalid_arg "Encode.alloc_rect: empty layout";
+  if entry_bits < 1 || entry_bits > 60 then
+    invalid_arg "Encode.alloc_rect: entry_bits out of range";
+  let wires_per_entry = if signed then 2 * entry_bits else entry_bits in
+  let base = Builder.num_wires b in
+  ignore (Builder.add_inputs b (rows * cols * wires_per_entry));
+  { rows; cols; entry_bits; signed; base; wires_per_entry }
+
+let alloc b ~n ~entry_bits ~signed = alloc_rect b ~rows:n ~cols:n ~entry_bits ~signed
+let total_wires t = t.rows * t.cols * t.wires_per_entry
+
+let entry_wires t i j =
+  let off = t.base + (((i * t.cols) + j) * t.wires_per_entry) in
+  let pos_bits = Array.init t.entry_bits (fun k -> off + k) in
+  let neg_bits =
+    if t.signed then Array.init t.entry_bits (fun k -> off + t.entry_bits + k)
+    else [||]
+  in
+  { Repr.pos_bits; neg_bits }
+
+let grid t = Array.init t.rows (fun i -> Array.init t.cols (fun j -> entry_wires t i j))
+
+let sub_grid t ~row ~col ~size =
+  if row < 0 || col < 0 || row + size > t.rows || col + size > t.cols || size < 1 then
+    invalid_arg "Encode.sub_grid: window out of bounds";
+  Array.init size (fun i -> Array.init size (fun j -> entry_wires t (row + i) (col + j)))
+
+let transposed_grid t =
+  if t.rows <> t.cols then invalid_arg "Encode.transposed_grid: layout not square";
+  Array.init t.rows (fun i -> Array.init t.cols (fun j -> entry_wires t j i))
+
+let max_entry t = (1 lsl t.entry_bits) - 1
+
+let write t m input =
+  if Matrix.rows m <> t.rows || Matrix.cols m <> t.cols then
+    invalid_arg "Encode.write: matrix dimension mismatch";
+  let limit = max_entry t in
+  for i = 0 to t.rows - 1 do
+    for j = 0 to t.cols - 1 do
+      let v = Matrix.get m i j in
+      if v < 0 && not t.signed then
+        invalid_arg "Encode.write: negative entry in unsigned layout";
+      let mag = abs v in
+      if mag > limit then invalid_arg "Encode.write: entry does not fit entry_bits";
+      let off = t.base + (((i * t.cols) + j) * t.wires_per_entry) in
+      for k = 0 to t.entry_bits - 1 do
+        let bit = (mag lsr k) land 1 = 1 in
+        if v >= 0 then begin
+          input.(off + k) <- bit;
+          if t.signed then input.(off + t.entry_bits + k) <- false
+        end
+        else begin
+          input.(off + k) <- false;
+          input.(off + t.entry_bits + k) <- bit
+        end
+      done
+    done
+  done

@@ -1,0 +1,54 @@
+(** Input layout: wiring integer matrices into circuit inputs.
+
+    Every circuit in this library takes integer matrices with
+    [entry_bits]-bit entries.  A {!layout} records which input wires
+    carry which entry bits, provides the corresponding {!Sum_tree.input}
+    grid of signed binary representations, and encodes concrete matrices
+    into simulator input vectors.
+
+    Nonnegative layouts use [entry_bits] wires per entry; signed layouts
+    use [2 * entry_bits] (magnitude bits of the positive and negative
+    parts — the paper's [x = x+ - x-] convention). *)
+
+open Tcmm_threshold
+open Tcmm_arith
+
+type t = private {
+  rows : int;
+  cols : int;
+  entry_bits : int;
+  signed : bool;
+  base : int;  (** first wire id of the block *)
+  wires_per_entry : int;
+}
+
+val alloc : Builder.t -> n:int -> entry_bits:int -> signed:bool -> t
+(** Square [n x n] layout.  Allocates the input wires (must precede any
+    gate). *)
+
+val alloc_rect : Builder.t -> rows:int -> cols:int -> entry_bits:int -> signed:bool -> t
+(** Rectangular layout — the tiled multiplier uses these for the paper's
+    [P x Q] by [Q x K] convolution products. *)
+
+val total_wires : t -> int
+
+val grid : t -> Repr.signed_bits array array
+(** The [rows x cols] grid of entry representations, for the tree
+    compilers. *)
+
+val sub_grid : t -> row:int -> col:int -> size:int -> Repr.signed_bits array array
+(** A square [size x size] window — the tiled multiplier feeds these to
+    the per-block circuits.  Bounds-checked. *)
+
+val transposed_grid : t -> Repr.signed_bits array array
+(** Same wires, transposed indexing — the trace circuit's third tree
+    reads [A^T].  Requires a square layout. *)
+
+val write : t -> Tcmm_fastmm.Matrix.t -> bool array -> unit
+(** [write layout m input] sets this layout's segment of [input] to encode
+    [m].  Raises [Invalid_argument] if [m] has the wrong shape, if an
+    entry does not fit in [entry_bits] bits, or if an entry is negative
+    in an unsigned layout. *)
+
+val max_entry : t -> int
+(** Largest representable magnitude: [2^entry_bits - 1]. *)

@@ -1,0 +1,126 @@
+open Tcmm_arith
+module Bilinear = Tcmm_fastmm.Bilinear
+module Checked = Tcmm_util.Checked
+module Ilog = Tcmm_util.Ilog
+
+type totals = { gates : int; edges : int }
+
+let row_signs = Count_util.row_signs
+let iter_multisets = Count_util.iter_multisets
+let fold_signs ~signs ~mults = Count_util.fold_signs ~signs ~mults
+let part_multiset = Count_util.part_multiset
+let part_width = Count_util.part_width
+
+(* One tree-level step of the DP.  [classes] maps (pos_width, neg_width)
+   to node count; returns the child classes and adds this level's cost
+   (per-entry cost times entries times nodes) to the accumulators. *)
+let level_step ~share_top ~signs ~r ~delta ~entries ~classes ~gates ~edges =
+  let next = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (pw, nw) count ->
+      iter_multisets ~r ~delta (fun ~mults ~paths ->
+          let p, m = fold_signs ~signs ~mults in
+          let gp, ep = Weighted_sum.to_bits_cost ~share_top (part_multiset ~p ~m ~pw ~nw) in
+          let gn, en = Weighted_sum.to_bits_cost ~share_top (part_multiset ~p:m ~m:p ~pw ~nw) in
+          let children = Checked.mul count paths in
+          let scale = Checked.mul children entries in
+          gates := Checked.add !gates (Checked.mul scale (gp + gn));
+          edges := Checked.add !edges (Checked.mul scale (ep + en));
+          let wp = part_width ~p ~m ~pw ~nw in
+          let wn = part_width ~p:m ~m:p ~pw ~nw in
+          let key = (wp, wn) in
+          Hashtbl.replace next key
+            (Checked.add (try Hashtbl.find next key with Not_found -> 0) children)))
+    classes;
+  next
+
+let check_schedule ~algo ~schedule ~n =
+  let t_dim = algo.Bilinear.t_dim in
+  let levels = (schedule : Level_schedule.t).Level_schedule.levels in
+  let l = levels.(Array.length levels - 1) in
+  if Checked.pow t_dim l <> n then
+    invalid_arg "Gate_count: schedule height does not match n";
+  levels
+
+let tree_classes ~share_top ~algo ~coeffs ~schedule ~entry_bits ~signed_inputs ~n ~gates ~edges =
+  let t_dim = algo.Bilinear.t_dim and r = algo.Bilinear.rank in
+  let levels = check_schedule ~algo ~schedule ~n in
+  let signs = Array.map row_signs coeffs in
+  let classes = Hashtbl.create 4 in
+  Hashtbl.replace classes (entry_bits, if signed_inputs then entry_bits else 0) 1;
+  let current = ref classes in
+  for idx = 1 to Array.length levels - 1 do
+    let h = levels.(idx) in
+    let delta = h - levels.(idx - 1) in
+    let size = n / Checked.pow t_dim h in
+    let entries = size * size in
+    current := level_step ~share_top ~signs ~r ~delta ~entries ~classes:!current ~gates ~edges
+  done;
+  !current
+
+let sum_tree ~algo ~coeffs ~schedule ~entry_bits ?(signed_inputs = false)
+    ?(share_top = false) ~n () =
+  let gates = ref 0 and edges = ref 0 in
+  let _ =
+    tree_classes ~share_top ~algo ~coeffs ~schedule ~entry_bits ~signed_inputs ~n
+      ~gates ~edges
+  in
+  { gates = !gates; edges = !edges }
+
+(* The trace circuit's three trees share the same path space, so the leaf
+   classes must be tracked jointly: the state is the triple of
+   (pos_width, neg_width) classes for the A-, B- and W-side trees. *)
+let trace ~algo ~schedule ~entry_bits ?(signed_inputs = false)
+    ?(share_top = false) ~n () =
+  let t_dim = algo.Bilinear.t_dim and r = algo.Bilinear.rank in
+  let levels = check_schedule ~algo ~schedule ~n in
+  let signs_a = Array.map row_signs (Sum_tree.a_coeffs algo) in
+  let signs_b = Array.map row_signs (Sum_tree.b_coeffs algo) in
+  let signs_w = Array.map row_signs (Sum_tree.w_transposed_coeffs algo) in
+  let gates = ref 0 and edges = ref 0 in
+  let init = (entry_bits, if signed_inputs then entry_bits else 0) in
+  let classes = Hashtbl.create 4 in
+  Hashtbl.replace classes (init, init, init) 1;
+  let current = ref classes in
+  for idx = 1 to Array.length levels - 1 do
+    let h = levels.(idx) in
+    let delta = h - levels.(idx - 1) in
+    let size = n / Checked.pow t_dim h in
+    let entries = size * size in
+    let next = Hashtbl.create 16 in
+    Hashtbl.iter
+      (fun (ca, cb, cw) count ->
+        iter_multisets ~r ~delta (fun ~mults ~paths ->
+            let children = Checked.mul count paths in
+            let scale = Checked.mul children entries in
+            let advance signs (pw, nw) =
+              let p, m = fold_signs ~signs ~mults in
+              let gp, ep =
+                Weighted_sum.to_bits_cost ~share_top (part_multiset ~p ~m ~pw ~nw)
+              in
+              let gn, en =
+                Weighted_sum.to_bits_cost ~share_top (part_multiset ~p:m ~m:p ~pw ~nw)
+              in
+              gates := Checked.add !gates (Checked.mul scale (gp + gn));
+              edges := Checked.add !edges (Checked.mul scale (ep + en));
+              (part_width ~p ~m ~pw ~nw, part_width ~p:m ~m:p ~pw ~nw)
+            in
+            let key = (advance signs_a ca, advance signs_b cb, advance signs_w cw) in
+            Hashtbl.replace next key
+              (Checked.add (try Hashtbl.find next key with Not_found -> 0) children)))
+      !current;
+    current := next
+  done;
+  (* Leaf products (Lemma 3.3, eightfold signed expansion) and the single
+     output gate reading every product term. *)
+  let output_fan_in = ref 0 in
+  Hashtbl.iter
+    (fun ((pa, na), (pb, nb), (pw, nw)) count ->
+      let product_gates = (pa + na) * (pb + nb) * (pw + nw) in
+      gates := Checked.add !gates (Checked.mul count product_gates);
+      edges := Checked.add !edges (Checked.mul count (3 * product_gates));
+      output_fan_in := Checked.add !output_fan_in (Checked.mul count product_gates))
+    !current;
+  gates := Checked.add !gates 1;
+  edges := Checked.add !edges !output_fan_in;
+  { gates = !gates; edges = !edges }

@@ -1,0 +1,45 @@
+(** Exact circuit statistics without building the circuit.
+
+    For {- 1, 0, 1}-coefficient algorithms (all bundled instances), the
+    trace circuit's structure is fully determined by a small amount of
+    per-node data: every entry of a node's matrix is a weighted sum of
+    the same number of parent entries, and that number depends only on
+    the {e multiset} of multiplication indices along the path (the
+    per-digit maps [(p, m) -> (pos_i p + neg_i m, neg_i p + pos_i m)]
+    commute).  Grouping nodes by digit multiset turns the [r^L]-node tree
+    into a polynomial-size dynamic program, with per-class gate/edge
+    costs supplied by {!Tcmm_arith.Weighted_sum.to_bits_cost}.
+
+    The result is {e exactly} the count a [Count_only] build would
+    produce (the test suite checks this), but in time polynomial in
+    [log N] — this is what lets the experiments sweep to [N = 1024] and
+    beyond. *)
+
+type totals = { gates : int; edges : int }
+
+val trace :
+  algo:Tcmm_fastmm.Bilinear.t ->
+  schedule:Level_schedule.t ->
+  entry_bits:int ->
+  ?signed_inputs:bool ->
+  ?share_top:bool ->
+  n:int ->
+  unit ->
+  totals
+(** Exact gate and edge counts of
+    [Trace_circuit.build ~algo ~schedule ~entry_bits ~n] (with the same
+    [share_top] setting).  Raises [Invalid_argument] if the algorithm has
+    a coefficient outside [{-1, 0, 1}] (the DP's uniformity argument
+    needs unit coefficients). *)
+
+val sum_tree :
+  algo:Tcmm_fastmm.Bilinear.t ->
+  coeffs:int array array ->
+  schedule:Level_schedule.t ->
+  entry_bits:int ->
+  ?signed_inputs:bool ->
+  ?share_top:bool ->
+  n:int ->
+  unit ->
+  totals
+(** Exact counts of one {!Sum_tree.compute_leaves} call alone. *)

@@ -1,0 +1,246 @@
+open Tcmm_arith
+module Bilinear = Tcmm_fastmm.Bilinear
+module Checked = Tcmm_util.Checked
+module Ilog = Tcmm_util.Ilog
+module CU = Count_util
+
+(* A scalar's shape: binary (part widths) after a Lemma 3.2 layer, or a
+   Lemma 3.3 product representation (operand part widths). *)
+type entry =
+  | Bin of int * int
+  | Prod of (int * int) * (int * int)
+
+let max_exp = 62
+
+(* #(i, j) with i < w1, j < w2 and i + j = u. *)
+let conv_count w1 w2 u =
+  if w1 = 0 || w2 = 0 then 0
+  else
+    let lo = max 0 (u - w2 + 1) and hi = min u (w1 - 1) in
+    max 0 (hi - lo + 1)
+
+(* Exponent-indexed weight counts of an entry's positive and negative
+   representation parts. *)
+let entry_parts = function
+  | Bin (pw, nw) ->
+      let pos = Array.make max_exp 0 and neg = Array.make max_exp 0 in
+      for u = 0 to pw - 1 do
+        pos.(u) <- 1
+      done;
+      for u = 0 to nw - 1 do
+        neg.(u) <- 1
+      done;
+      (pos, neg)
+  | Prod ((pa, na), (pb, nb)) ->
+      let pos = Array.make max_exp 0 and neg = Array.make max_exp 0 in
+      let add counts w1 w2 =
+        for u = 0 to w1 + w2 - 2 do
+          counts.(u) <- counts.(u) + conv_count w1 w2 u
+        done
+      in
+      add pos pa pb;
+      add pos na nb;
+      add neg pa nb;
+      add neg na pb;
+      (pos, neg)
+
+let multiset_of_counts counts =
+  let acc = ref [] in
+  for u = max_exp - 1 downto 0 do
+    if counts.(u) > 0 then acc := (1 lsl u, counts.(u)) :: !acc
+  done;
+  !acc
+
+let width_of_counts counts =
+  let bound = ref 0 in
+  Array.iteri
+    (fun u c -> if c > 0 then bound := Checked.add !bound (Checked.mul c (1 lsl u)))
+    counts;
+  Ilog.bits !bound
+
+let key_of_sig sig_ = String.concat "|" (List.map CU.key_of_mults sig_)
+
+let sig_count sig_ =
+  List.fold_left (fun acc m -> Checked.mul acc (CU.multinomial m)) 1 sig_
+
+(* ------------------------------------------------------------------ *)
+(* Phase 1: the two sum trees (joint over the shared path space) and   *)
+(* the leaf products.  Result: leaf product shapes keyed by the tuple  *)
+(* of per-level path-digit multisets.                                  *)
+(* ------------------------------------------------------------------ *)
+
+let tree_phase ~(algo : Bilinear.t) ~levels ~entry_bits ~signed_inputs ~share_top ~n
+    ~gates ~edges =
+  let r = algo.Bilinear.rank and t_dim = algo.Bilinear.t_dim in
+  let signs_a = Array.map CU.row_signs (Sum_tree.a_coeffs algo) in
+  let signs_b = Array.map CU.row_signs (Sum_tree.b_coeffs algo) in
+  let init = (entry_bits, if signed_inputs then entry_bits else 0) in
+  let state = ref (Hashtbl.create 16) in
+  Hashtbl.replace !state "" ([], init, init, 1);
+  for idx = 1 to Array.length levels - 1 do
+    let delta = levels.(idx) - levels.(idx - 1) in
+    let size = n / Checked.pow t_dim levels.(idx) in
+    let entries = size * size in
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ (sig_, ca, cb, count) ->
+        CU.iter_multisets ~r ~delta (fun ~mults ~paths ->
+            let children = Checked.mul count paths in
+            let scale = Checked.mul children entries in
+            let advance signs (pw, nw) =
+              let p, m = CU.fold_signs ~signs ~mults in
+              let gp, ep =
+                Weighted_sum.to_bits_cost ~share_top (CU.part_multiset ~p ~m ~pw ~nw)
+              in
+              let gn, en =
+                Weighted_sum.to_bits_cost ~share_top (CU.part_multiset ~p:m ~m:p ~pw ~nw)
+              in
+              gates := Checked.add !gates (Checked.mul scale (gp + gn));
+              edges := Checked.add !edges (Checked.mul scale (ep + en));
+              (CU.part_width ~p ~m ~pw ~nw, CU.part_width ~p:m ~m:p ~pw ~nw)
+            in
+            let ca' = advance signs_a ca in
+            let cb' = advance signs_b cb in
+            let sig' = sig_ @ [ Array.copy mults ] in
+            Hashtbl.replace next (key_of_sig sig') (sig', ca', cb', children)))
+      !state;
+    state := next
+  done;
+  (* Leaf products: signed_product2, (pa+na)(pb+nb) AND-2 gates each. *)
+  let leaves = Hashtbl.create (Hashtbl.length !state) in
+  Hashtbl.iter
+    (fun key (sig_, (pa, na), (pb, nb), count) ->
+      let product_gates = (pa + na) * (pb + nb) in
+      gates := Checked.add !gates (Checked.mul count product_gates);
+      edges := Checked.add !edges (Checked.mul count (2 * product_gates));
+      Hashtbl.replace leaves key (sig_, ([] : int array list), Prod ((pa, na), (pb, nb))))
+    !state;
+  leaves
+
+(* ------------------------------------------------------------------ *)
+(* Phase 2: the bottom-up combine tree.                                *)
+(* ------------------------------------------------------------------ *)
+
+(* For a block-digit multiset (canonical order), the distribution over
+   relative multiplication-path multisets of (positive, negative) sign
+   counts. *)
+let sign_distribution ~(algo : Bilinear.t) ~block_mults =
+  let r = algo.Bilinear.rank in
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist (CU.key_of_mults (Array.make r 0)) (Array.make r 0, 1, 0);
+  Array.iteri
+    (fun j k ->
+      for _ = 1 to k do
+        let next = Hashtbl.create (Hashtbl.length dist * 4) in
+        Hashtbl.iter
+          (fun _ (imults, p, m) ->
+            for i = 0 to r - 1 do
+              let w = algo.Bilinear.w.(j).(i) in
+              if w <> 0 then begin
+                let imults' = Array.copy imults in
+                imults'.(i) <- imults'.(i) + 1;
+                let dp, dm = if w = 1 then (p, m) else (m, p) in
+                let key = CU.key_of_mults imults' in
+                match Hashtbl.find_opt next key with
+                | None -> Hashtbl.replace next key (imults', dp, dm)
+                | Some (arr, p0, m0) ->
+                    Hashtbl.replace next key (arr, Checked.add p0 dp, Checked.add m0 dm)
+              end
+            done)
+          dist;
+        Hashtbl.reset dist;
+        Hashtbl.iter (fun k v -> Hashtbl.replace dist k v) next
+      done)
+    block_mults;
+  dist
+
+let combine_phase ~(algo : Bilinear.t) ~levels ~share_top ~n ~gates ~edges leaf_state =
+  let t_dim = algo.Bilinear.t_dim in
+  let t2 = t_dim * t_dim in
+  let state = ref leaf_state in
+  for idx = Array.length levels - 1 downto 1 do
+    let delta = levels.(idx) - levels.(idx - 1) in
+    (* Group children by (path prefix, position signature); the last
+       path-level multiset is the relative path the parent sums over. *)
+    let groups = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ (tree_sig, pos_sig, entry) ->
+        let rec split acc = function
+          | [] -> invalid_arg "Gate_count_matmul: empty tree signature"
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split (x :: acc) rest
+        in
+        let prefix, last = split [] tree_sig in
+        let gkey = key_of_sig prefix ^ "##" ^ key_of_sig pos_sig in
+        let imap =
+          match Hashtbl.find_opt groups gkey with
+          | Some (_, _, imap) -> imap
+          | None ->
+              let imap = Hashtbl.create 64 in
+              Hashtbl.replace groups gkey (prefix, pos_sig, imap);
+              imap
+        in
+        Hashtbl.replace imap (CU.key_of_mults last) entry)
+      !state;
+    let next = Hashtbl.create 64 in
+    Hashtbl.iter
+      (fun _ (prefix, pos_sig, imap) ->
+        let node_count = sig_count prefix in
+        let pos_count = sig_count pos_sig in
+        CU.iter_multisets ~r:t2 ~delta (fun ~mults ~paths ->
+            let block_scale = Checked.mul node_count (Checked.mul paths pos_count) in
+            let dist = sign_distribution ~algo ~block_mults:mults in
+            let pos_counts = Array.make max_exp 0 in
+            let neg_counts = Array.make max_exp 0 in
+            Hashtbl.iter
+              (fun ikey (_, p, m) ->
+                if p <> 0 || m <> 0 then begin
+                  let entry =
+                    match Hashtbl.find_opt imap ikey with
+                    | Some e -> e
+                    | None ->
+                        invalid_arg "Gate_count_matmul: missing child class"
+                  in
+                  let epos, eneg = entry_parts entry in
+                  for u = 0 to max_exp - 1 do
+                    if epos.(u) <> 0 || eneg.(u) <> 0 then begin
+                      pos_counts.(u) <-
+                        Checked.add pos_counts.(u)
+                          (Checked.add (Checked.mul p epos.(u)) (Checked.mul m eneg.(u)));
+                      neg_counts.(u) <-
+                        Checked.add neg_counts.(u)
+                          (Checked.add (Checked.mul m epos.(u)) (Checked.mul p eneg.(u)))
+                    end
+                  done
+                end)
+              dist;
+            let gp, ep =
+              Weighted_sum.to_bits_cost ~share_top (multiset_of_counts pos_counts)
+            in
+            let gn, en =
+              Weighted_sum.to_bits_cost ~share_top (multiset_of_counts neg_counts)
+            in
+            gates := Checked.add !gates (Checked.mul block_scale (gp + gn));
+            edges := Checked.add !edges (Checked.mul block_scale (ep + en));
+            let entry' = Bin (width_of_counts pos_counts, width_of_counts neg_counts) in
+            let pos_sig' = Array.copy mults :: pos_sig in
+            let key = key_of_sig prefix ^ "##" ^ key_of_sig pos_sig' in
+            Hashtbl.replace next key (prefix, pos_sig', entry')))
+      groups;
+    state := next;
+    ignore n
+  done
+
+let matmul ~algo ~schedule ~entry_bits ?(signed_inputs = false) ?(share_top = false) ~n
+    () =
+  let t_dim = algo.Bilinear.t_dim in
+  let levels = (schedule : Level_schedule.t).Level_schedule.levels in
+  let l = levels.(Array.length levels - 1) in
+  if Checked.pow t_dim l <> n then
+    invalid_arg "Gate_count_matmul: schedule height does not match n";
+  let gates = ref 0 and edges = ref 0 in
+  let leaves =
+    tree_phase ~algo ~levels ~entry_bits ~signed_inputs ~share_top ~n ~gates ~edges
+  in
+  combine_phase ~algo ~levels ~share_top ~n ~gates ~edges leaves;
+  { Gate_count.gates = !gates; edges = !edges }

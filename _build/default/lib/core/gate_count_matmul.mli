@@ -1,0 +1,28 @@
+(** Exact matmul-circuit statistics without building the circuit.
+
+    The matmul analogue of {!Gate_count.trace}.  Harder than the trace
+    case because of the bottom-up tree [T_AB]: after a combine step the
+    entries of a node's matrix are {e not} uniform — an entry's shape
+    depends on which block (at every granularity the schedule touched)
+    the entry sits in, and on the node's path prefix at every level.
+    Both dependencies factor through {e multisets} (the per-digit sign
+    maps commute, eq. (5)'s multinomial structure), so the DP keys each
+    scalar by a signature: the tuple of per-level path-digit multisets
+    (tree side) plus the tuple of per-combine-step block-digit multisets
+    (position side).  Signature classes stay polynomial in [log N].
+
+    Matches [Matmul_circuit.build]'s count-only statistics gate-for-gate
+    and edge-for-edge (test suite), for [{-1,0,1}]-coefficient
+    algorithms. *)
+
+val matmul :
+  algo:Tcmm_fastmm.Bilinear.t ->
+  schedule:Level_schedule.t ->
+  entry_bits:int ->
+  ?signed_inputs:bool ->
+  ?share_top:bool ->
+  n:int ->
+  unit ->
+  Gate_count.totals
+(** Raises [Invalid_argument] on non-unit coefficients or a schedule not
+    matching [n]. *)

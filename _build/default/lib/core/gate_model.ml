@@ -1,0 +1,52 @@
+module Sparsity = Tcmm_fastmm.Sparsity
+module Checked = Tcmm_util.Checked
+
+let exponent (p : Sparsity.profile) ~d =
+  p.Sparsity.omega +. (p.Sparsity.c_const *. (p.Sparsity.overall.Sparsity.gamma ** float_of_int d))
+
+let trace_depth_bound ~d = (2 * d) + 5
+let matmul_depth_bound ~d = (4 * d) + 1
+let trace_depth (s : Level_schedule.t) = (2 * Level_schedule.steps s) + 2
+let matmul_depth (s : Level_schedule.t) = (4 * Level_schedule.steps s) + 1
+
+let sum_slots (p : Sparsity.profile) ~schedule ~n ~side =
+  let algo = p.Sparsity.algo in
+  let t_dim = algo.Tcmm_fastmm.Bilinear.t_dim in
+  let r = algo.Tcmm_fastmm.Bilinear.rank in
+  let s =
+    match side with
+    | `A -> p.Sparsity.a.Sparsity.total
+    | `C -> p.Sparsity.c.Sparsity.total
+  in
+  let levels = (schedule : Level_schedule.t).Level_schedule.levels in
+  let total = ref 0 in
+  for i = 1 to Array.length levels - 1 do
+    let h_prev = levels.(i - 1) and h = levels.(i) in
+    let nodes_prev = Checked.pow r h_prev in
+    let spread = Checked.pow s (h - h_prev) in
+    let entries = n / Checked.pow t_dim h in
+    let entries = Checked.mul entries entries in
+    total := Checked.add !total (Checked.mul nodes_prev (Checked.mul spread entries))
+  done;
+  !total
+
+let leaf_products (p : Sparsity.profile) ~n =
+  let algo = p.Sparsity.algo in
+  let l = Level_schedule.height ~t_dim:algo.Tcmm_fastmm.Bilinear.t_dim ~n in
+  Checked.pow algo.Tcmm_fastmm.Bilinear.rank l
+
+let fit_exponent points =
+  let pts = List.filter (fun (n, g) -> n > 0. && g > 0.) points in
+  let xs = List.map (fun (n, _) -> log n) pts in
+  let distinct = List.sort_uniq compare xs in
+  if List.length distinct < 2 then
+    invalid_arg "Gate_model.fit_exponent: need at least two distinct sizes";
+  let ys = List.map (fun (_, g) -> log g) pts in
+  let len = float_of_int (List.length pts) in
+  let mean l = List.fold_left ( +. ) 0. l /. len in
+  let mx = mean xs and my = mean ys in
+  let num =
+    List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0. xs ys
+  in
+  let den = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.)) 0. xs in
+  num /. den

@@ -1,0 +1,40 @@
+(** Analytic predictions for the experiments.
+
+    The paper's theorems predict gate counts of the form
+    [O~(d * N^(omega + c * gamma^d))]; this module computes those
+    exponents, the exact combinatorial "summand slot" counts that drive
+    the construction (equations (3) and (5)), and least-squares exponent
+    fits used to compare measured counts against predictions. *)
+
+val exponent : Tcmm_fastmm.Sparsity.profile -> d:int -> float
+(** Theorem 4.5/4.9's gate-count exponent [omega + c * gamma^d]. *)
+
+val trace_depth_bound : d:int -> int
+(** [2d + 5] (Theorem 4.5). *)
+
+val matmul_depth_bound : d:int -> int
+(** [4d + 1] (Theorem 4.9). *)
+
+val trace_depth : Level_schedule.t -> int
+(** The depth this implementation actually achieves:
+    [2 * steps + 2]. *)
+
+val matmul_depth : Level_schedule.t -> int
+(** [4 * steps + 1]. *)
+
+val sum_slots :
+  Tcmm_fastmm.Sparsity.profile -> schedule:Level_schedule.t -> n:int -> side:[ `A | `C ] -> int
+(** Exact number of (entry, summand) pairs the sum trees feed to
+    Lemma 3.2 across all selected levels:
+    [sum_i r^(h_(i-1)) * s^(delta_i) * (n / T^(h_i))^2] — the paper's
+    equation (3) (side [`A]) / equation (5) (side [`C]) accounting.  This
+    is the machine-independent work measure that the gate counts track up
+    to the [O(b + log)] per-sum factor. *)
+
+val leaf_products : Tcmm_fastmm.Sparsity.profile -> n:int -> int
+(** [r^(log_T n) = n^(log_T r)], the number of scalar multiplications. *)
+
+val fit_exponent : (float * float) list -> float
+(** [fit_exponent [(n1, g1); ...]] is the least-squares slope of
+    [log g] against [log n] — the measured growth exponent.  Requires at
+    least two points with distinct [n]. *)

@@ -1,0 +1,93 @@
+module Ilog = Tcmm_util.Ilog
+
+type t = { levels : int array; description : string }
+
+let steps t = Array.length t.levels - 1
+
+let height ~t_dim ~n = Ilog.exact_log ~base:t_dim n
+
+let of_levels ~description levels =
+  if Array.length levels = 0 || levels.(0) <> 0 then
+    invalid_arg "Level_schedule.of_levels: must start at level 0";
+  for i = 1 to Array.length levels - 1 do
+    if levels.(i) <= levels.(i - 1) then
+      invalid_arg "Level_schedule.of_levels: levels must be strictly increasing"
+  done;
+  { levels; description }
+
+let full ~l =
+  if l < 1 then invalid_arg "Level_schedule.full: l < 1";
+  of_levels ~description:"full" (Array.init (l + 1) Fun.id)
+
+let direct ~l =
+  if l < 1 then invalid_arg "Level_schedule.direct: l < 1";
+  of_levels ~description:"direct" [| 0; l |]
+
+let uniform ~steps ~l =
+  if l < 1 then invalid_arg "Level_schedule.uniform: l < 1";
+  if steps < 1 then invalid_arg "Level_schedule.uniform: steps < 1";
+  let steps = min steps l in
+  (* h_i = ceil (i*l/steps); deduplicate in case of rounding collisions. *)
+  let levels = Array.init (steps + 1) (fun i -> ((i * l) + steps - 1) / steps) in
+  let levels = Array.of_list (List.sort_uniq compare (Array.to_list levels)) in
+  of_levels ~description:(Printf.sprintf "uniform-%d" steps) levels
+
+let geometric ~gamma ~rho ~l =
+  if l < 1 then invalid_arg "Level_schedule.geometric: l < 1";
+  if gamma < 0. || gamma >= 1. then
+    invalid_arg "Level_schedule.geometric: need 0 <= gamma < 1";
+  if rho <= 0. then invalid_arg "Level_schedule.geometric: rho <= 0";
+  let rec collect acc gpow =
+    let gpow' = gpow *. gamma in
+    let h = int_of_float (ceil ((1. -. gpow') *. rho)) in
+    let h = min h l in
+    let prev = match acc with [] -> 0 | x :: _ -> x in
+    if h >= l then List.rev (l :: acc)
+    else if h <= prev then
+      (* The ceiling stalled before reaching l (rho too small or gamma = 0):
+         finish with a direct jump. *)
+      List.rev (l :: acc)
+    else collect (h :: acc) gpow'
+  in
+  let levels = 0 :: collect [] 1. in
+  of_levels
+    ~description:(Printf.sprintf "geometric(g=%.3f,rho=%.2f)" gamma rho)
+    (Array.of_list levels)
+
+let theorem44 ~gamma ~t_dim ~n =
+  let l = height ~t_dim ~n in
+  geometric ~gamma ~rho:(float_of_int l) ~l
+  |> fun t -> { t with description = "thm4.4" }
+
+let theorem45 ~profile ~d ~n =
+  if d < 1 then invalid_arg "Level_schedule.theorem45: d < 1";
+  let open Tcmm_fastmm.Sparsity in
+  let algo = profile.algo in
+  let t_dim = algo.Tcmm_fastmm.Bilinear.t_dim in
+  let l = height ~t_dim ~n in
+  let gamma = profile.overall.gamma in
+  let ab = profile.overall.alpha *. profile.overall.beta in
+  (* rho = log_T N + eps * log_{alpha beta} N,
+     eps = gamma^d * log_T(alpha beta) / (1 - gamma).
+     log_{alpha beta} N = l * log_T N-to-base conversion: ln N / ln(ab). *)
+  let ln_n = float_of_int l *. log (float_of_int t_dim) in
+  let eps =
+    if gamma = 0. then 0.
+    else (gamma ** float_of_int d) *. log ab /. log (float_of_int t_dim) /. (1. -. gamma)
+  in
+  let rho = float_of_int l +. (eps *. ln_n /. log ab) in
+  let sched = geometric ~gamma ~rho ~l in
+  (* The theorem guarantees at most d steps; if rounding produced more,
+     merge the tail into a final jump to L. *)
+  let levels = sched.levels in
+  let levels =
+    if Array.length levels - 1 <= d then levels
+    else Array.append (Array.sub levels 0 d) [| l |]
+  in
+  of_levels ~description:(Printf.sprintf "thm4.5(d=%d)" d) levels
+
+let pp ppf t =
+  Format.fprintf ppf "%s:[%a]" t.description
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list t.levels)

@@ -1,0 +1,58 @@
+(** Level selection — the heart of the paper's construction (Section 4).
+
+    The recursion trees [T_A], [T_B], [T_AB] have [L = log_T N] levels.
+    A PRAM implementation computes all of them; a constant-depth circuit
+    can only afford a few.  A {e schedule} is the strictly increasing
+    sequence [0 = h_0 < h_1 < ... < h_t = L] of levels the circuit
+    materializes; each selected level costs depth 2 in the sum trees.
+
+    The paper's key insight (Lemma 4.3) is the geometric spacing
+    [h_i = ceil ((1 - gamma^i) * rho)], which balances the gate count
+    across levels; [rho] trades gate count against the number of levels
+    needed to reach [L]. *)
+
+type t = private {
+  levels : int array;  (** [h_0 = 0 < h_1 < ... < h_t = L] *)
+  description : string;
+}
+
+val steps : t -> int
+(** [t]: the number of selected levels above the root — each sum-tree
+    built from the schedule has depth [2 * steps]. *)
+
+val height : t_dim:int -> n:int -> int
+(** [L = log_T n].  Raises [Invalid_argument] if [n] is not a positive
+    power of [t_dim]. *)
+
+val of_levels : description:string -> int array -> t
+(** Validates shape: starts at 0, strictly increasing.  Raises
+    [Invalid_argument] otherwise. *)
+
+val full : l:int -> t
+(** Every level [0, 1, ..., L] — maximal reuse, depth grows with [N]
+    (the conventional recursive algorithm's shape). *)
+
+val direct : l:int -> t
+(** The single jump [0, L] — the naive constant-depth attempt of
+    Section 4.2 whose gate count is [~N^(1+omega)]. *)
+
+val uniform : steps:int -> l:int -> t
+(** [h_i = ceil (i*L/steps)] — "simply selecting every k-th level", which
+    the paper notes does {e not} achieve the best bounds (Section 2.2). *)
+
+val geometric : gamma:float -> rho:float -> l:int -> t
+(** Lemma 4.3's schedule: [h_i = ceil ((1 - gamma^i) rho)] for
+    [i = 1, 2, ...], deduplicated, clipped to [l] and forced to end
+    at [l].  Requires [0 <= gamma < 1] and [rho > 0]. *)
+
+val theorem44 : gamma:float -> t_dim:int -> n:int -> t
+(** Theorem 4.4's choice: [rho = log_T N], giving
+    [t = floor (log_{1/gamma} log_T N) + 1] levels — depth
+    [O(log log N)], gates [O~(N^omega)]. *)
+
+val theorem45 : profile:Tcmm_fastmm.Sparsity.profile -> d:int -> n:int -> t
+(** Theorem 4.5's choice: [rho = log_T N + eps * log_{alpha*beta} N] with
+    [eps = gamma^d * log_T (alpha*beta) / (1 - gamma)], giving at most [d]
+    levels — constant depth, gates [O~(d * N^(omega + c*gamma^d))]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,61 @@
+open Tcmm_threshold
+open Tcmm_arith
+module Matrix = Tcmm_fastmm.Matrix
+
+type built = {
+  builder : Builder.t;
+  circuit : Circuit.t option;
+  layout_a : Encode.t;
+  layout_b : Encode.t;
+  c_grid : Repr.signed_bits array array;
+  schedule : Level_schedule.t;
+}
+
+let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
+    ~schedule ~entry_bits ~n () =
+  let b = Builder.create ~mode () in
+  let layout_a = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
+  let layout_b = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
+  let leaves_a =
+    Sum_tree.compute_leaves ?share_top b ~algo ~coeffs:(Sum_tree.a_coeffs algo)
+      ~schedule (Encode.grid layout_a)
+  in
+  let leaves_b =
+    Sum_tree.compute_leaves ?share_top b ~algo ~coeffs:(Sum_tree.b_coeffs algo)
+      ~schedule (Encode.grid layout_b)
+  in
+  let products =
+    Array.init (Array.length leaves_a) (fun k ->
+        Product.signed_product2 b leaves_a.(k) leaves_b.(k))
+  in
+  let c_grid = Combine_tree.combine ?share_top b ~algo ~schedule products in
+  Array.iter
+    (Array.iter (fun (sb : Repr.signed_bits) ->
+         Array.iter (Builder.output b) sb.Repr.pos_bits;
+         Array.iter (Builder.output b) sb.Repr.neg_bits))
+    c_grid;
+  let circuit =
+    match mode with
+    | Builder.Materialize -> Some (Builder.finalize b)
+    | Builder.Count_only -> None
+  in
+  { builder = b; circuit; layout_a; layout_b; c_grid; schedule }
+
+let encode_inputs built ~a ~b =
+  let input =
+    Array.make (Encode.total_wires built.layout_a + Encode.total_wires built.layout_b) false
+  in
+  Encode.write built.layout_a a input;
+  Encode.write built.layout_b b input;
+  input
+
+let run built ~a ~b =
+  match built.circuit with
+  | None -> invalid_arg "Matmul_circuit: circuit was built in Count_only mode"
+  | Some c ->
+      let r = Simulator.run c (encode_inputs built ~a ~b) in
+      let n = Array.length built.c_grid in
+      Matrix.init ~rows:n ~cols:n (fun i j ->
+          Repr.eval_sbits (Simulator.value r) built.c_grid.(i).(j))
+
+let stats built = Builder.stats built.builder

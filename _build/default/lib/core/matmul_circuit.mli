@@ -1,0 +1,43 @@
+(** The subcubic matrix-product circuit (Theorems 4.8 and 4.9).
+
+    Computes all bits of [C = A * B] for [n x n] integer matrices:
+
+    + sum trees [T_A] and [T_B] compute the [r^L] leaf scalars of each
+      operand (depth [2 * steps], in parallel);
+    + Lemma 3.3 multiplies corresponding leaves (depth 1);
+    + the bottom-up tree [T_AB] recombines products into [C]
+      (depth [2 * steps]).
+
+    Total depth [4 * steps + 1], matching Theorem 4.9's [4d + 1] when the
+    schedule is Theorem 4.5's with parameter [d]. *)
+
+open Tcmm_threshold
+open Tcmm_arith
+
+type built = {
+  builder : Builder.t;
+  circuit : Circuit.t option;
+  layout_a : Encode.t;
+  layout_b : Encode.t;
+  c_grid : Repr.signed_bits array array;  (** binary entries of [C] *)
+  schedule : Level_schedule.t;
+}
+
+val build :
+  ?mode:Builder.mode ->
+  ?signed_inputs:bool ->
+  ?share_top:bool ->
+  algo:Tcmm_fastmm.Bilinear.t ->
+  schedule:Level_schedule.t ->
+  entry_bits:int ->
+  n:int ->
+  unit ->
+  built
+(** All wires of every [C] entry are marked as circuit outputs. *)
+
+val encode_inputs : built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> bool array
+
+val run : built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> Tcmm_fastmm.Matrix.t
+(** Simulate and decode [C].  Requires [Materialize] mode. *)
+
+val stats : built -> Stats.t

@@ -1,0 +1,133 @@
+open Tcmm_threshold
+open Tcmm_arith
+module Matrix = Tcmm_fastmm.Matrix
+
+type built = {
+  builder : Builder.t;
+  circuit : Circuit.t option;
+  output : Wire.t;
+  trace_repr : Repr.signed;
+  layout : Encode.t;
+  schedule : Level_schedule.t;
+  tau : int;
+}
+
+let build_internal ~mode ~signed_inputs ?share_top ~with_value ~algo ~schedule
+    ~entry_bits ~tau ~n () =
+  let b = Builder.create ~mode () in
+  let layout = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
+  let grid = Encode.grid layout in
+  let leaves_a =
+    Sum_tree.compute_leaves ?share_top b ~algo ~coeffs:(Sum_tree.a_coeffs algo)
+      ~schedule grid
+  in
+  let leaves_b =
+    Sum_tree.compute_leaves ?share_top b ~algo ~coeffs:(Sum_tree.b_coeffs algo)
+      ~schedule grid
+  in
+  let leaves_w =
+    Sum_tree.compute_leaves ?share_top b ~algo
+      ~coeffs:(Sum_tree.w_transposed_coeffs algo) ~schedule
+      (Encode.transposed_grid layout)
+  in
+  let products =
+    Array.init (Array.length leaves_a) (fun k ->
+        Product.signed_product3 b leaves_a.(k) leaves_b.(k) leaves_w.(k))
+  in
+  let trace_repr = Repr.concat_signed (Array.to_list products) in
+  let output = Compare.ge b trace_repr tau in
+  Builder.output b output;
+  let value =
+    if not with_value then None
+    else begin
+      let norm = Binary.normalize b trace_repr in
+      Builder.output b norm.Binary.sign_negative;
+      Array.iter (Builder.output b) norm.Binary.magnitude;
+      Some norm
+    end
+  in
+  let circuit =
+    match mode with
+    | Builder.Materialize -> Some (Builder.finalize b)
+    | Builder.Count_only -> None
+  in
+  ({ builder = b; circuit; output; trace_repr; layout; schedule; tau }, value)
+
+let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
+    ~schedule ~entry_bits ~tau ~n () =
+  fst
+    (build_internal ~mode ~signed_inputs ?share_top ~with_value:false ~algo ~schedule
+       ~entry_bits ~tau ~n ())
+
+let build_with_value ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top
+    ~algo ~schedule ~entry_bits ~tau ~n () =
+  match
+    build_internal ~mode ~signed_inputs ?share_top ~with_value:true ~algo ~schedule
+      ~entry_bits ~tau ~n ()
+  with
+  | built, Some norm -> (built, norm)
+  | _, None -> assert false
+
+let build_staged ?(mode = Builder.Materialize) ?(signed_inputs = false) ~algo ~stages
+    ~entry_bits ~tau ~n () =
+  let l =
+    Level_schedule.height ~t_dim:algo.Tcmm_fastmm.Bilinear.t_dim ~n
+  in
+  let b = Builder.create ~mode () in
+  let layout = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
+  let grid = Encode.grid layout in
+  let leaves_a =
+    Sum_tree.compute_leaves_staged b ~algo ~coeffs:(Sum_tree.a_coeffs algo) ~stages ~l
+      grid
+  in
+  let leaves_b =
+    Sum_tree.compute_leaves_staged b ~algo ~coeffs:(Sum_tree.b_coeffs algo) ~stages ~l
+      grid
+  in
+  let leaves_w =
+    Sum_tree.compute_leaves_staged b ~algo ~coeffs:(Sum_tree.w_transposed_coeffs algo)
+      ~stages ~l
+      (Encode.transposed_grid layout)
+  in
+  let products =
+    Array.init (Array.length leaves_a) (fun k ->
+        Product.signed_product3 b leaves_a.(k) leaves_b.(k) leaves_w.(k))
+  in
+  let trace_repr = Repr.concat_signed (Array.to_list products) in
+  let output = Compare.ge b trace_repr tau in
+  Builder.output b output;
+  let circuit =
+    match mode with
+    | Builder.Materialize -> Some (Builder.finalize b)
+    | Builder.Count_only -> None
+  in
+  {
+    builder = b;
+    circuit;
+    output;
+    trace_repr;
+    layout;
+    schedule = Level_schedule.direct ~l;
+    tau;
+  }
+
+let encode_input built m =
+  let input = Array.make (Encode.total_wires built.layout) false in
+  Encode.write built.layout m input;
+  input
+
+let simulate built m =
+  match built.circuit with
+  | None -> invalid_arg "Trace_circuit: circuit was built in Count_only mode"
+  | Some c -> Simulator.run c (encode_input built m)
+
+let run built m =
+  let r = simulate built m in
+  r.Simulator.outputs.(0)
+
+let trace_value built m =
+  let r = simulate built m in
+  Repr.eval_signed (Simulator.value r) built.trace_repr
+
+let reference m = Matrix.trace (Matrix.pow m 3)
+let stats built = Builder.stats built.builder

@@ -1,0 +1,1 @@
+lib/fastmm/bilinear.ml: Array Format Matrix Printf Tcmm_util

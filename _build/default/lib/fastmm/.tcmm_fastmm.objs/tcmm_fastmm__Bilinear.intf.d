@@ -1,0 +1,1 @@
+lib/fastmm/bilinear.mli: Format Matrix

@@ -1,0 +1,1 @@
+lib/fastmm/instances.ml: Array Bilinear Printf Tensor

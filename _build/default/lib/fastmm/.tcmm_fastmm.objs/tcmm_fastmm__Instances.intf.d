@@ -1,0 +1,1 @@
+lib/fastmm/instances.mli: Bilinear

@@ -1,0 +1,1 @@
+lib/fastmm/matrix.ml: Array Format Printf Tcmm_util

@@ -1,0 +1,1 @@
+lib/fastmm/matrix.mli: Format Tcmm_util

@@ -1,0 +1,1 @@
+lib/fastmm/orbit.ml: Array Bilinear List Printf Sparsity Tcmm_util Verify

@@ -1,0 +1,1 @@
+lib/fastmm/orbit.mli: Bilinear

@@ -1,0 +1,1 @@
+lib/fastmm/sparsity.ml: Array Bilinear Format Printf

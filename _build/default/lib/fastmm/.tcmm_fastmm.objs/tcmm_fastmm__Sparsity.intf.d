@@ -1,0 +1,1 @@
+lib/fastmm/sparsity.mli: Bilinear Format

@@ -1,0 +1,1 @@
+lib/fastmm/tensor.ml: Array Bilinear Tcmm_util

@@ -1,0 +1,1 @@
+lib/fastmm/tensor.mli: Bilinear

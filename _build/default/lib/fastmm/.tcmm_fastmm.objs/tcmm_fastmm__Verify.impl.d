@@ -1,0 +1,1 @@
+lib/fastmm/verify.ml: Array Bilinear Format List Matrix Tcmm_util

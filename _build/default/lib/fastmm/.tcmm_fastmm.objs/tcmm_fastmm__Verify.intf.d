@@ -1,0 +1,1 @@
+lib/fastmm/verify.mli: Bilinear Format Tcmm_util

@@ -1,0 +1,144 @@
+module Checked = Tcmm_util.Checked
+module Ilog = Tcmm_util.Ilog
+
+type t = {
+  name : string;
+  t_dim : int;
+  rank : int;
+  u : int array array;
+  v : int array array;
+  w : int array array;
+}
+
+let make ~name ~t_dim ~u ~v ~w =
+  if t_dim < 1 then invalid_arg "Bilinear.make: t_dim < 1";
+  let t2 = t_dim * t_dim in
+  let rank = Array.length u in
+  if rank = 0 then invalid_arg "Bilinear.make: empty u";
+  let check_rows what m rows cols =
+    if Array.length m <> rows then
+      invalid_arg (Printf.sprintf "Bilinear.make: %s has %d rows, expected %d" what (Array.length m) rows);
+    Array.iter
+      (fun r ->
+        if Array.length r <> cols then
+          invalid_arg (Printf.sprintf "Bilinear.make: %s row width %d, expected %d" what (Array.length r) cols))
+      m
+  in
+  check_rows "u" u rank t2;
+  check_rows "v" v rank t2;
+  check_rows "w" w t2 rank;
+  { name; t_dim; rank; u; v; w }
+
+let block_index algo p q =
+  if p < 0 || p >= algo.t_dim || q < 0 || q >= algo.t_dim then
+    invalid_arg "Bilinear.block_index: out of range";
+  (p * algo.t_dim) + q
+
+let block_pos algo j =
+  if j < 0 || j >= algo.t_dim * algo.t_dim then
+    invalid_arg "Bilinear.block_pos: out of range";
+  (j / algo.t_dim, j mod algo.t_dim)
+
+let omega algo = log (float_of_int algo.rank) /. log (float_of_int algo.t_dim)
+
+(* Weighted sum of blocks selected by a coefficient row. *)
+let combine_blocks coeffs blocks size =
+  let acc = ref (Matrix.create ~rows:size ~cols:size) in
+  Array.iteri
+    (fun j c ->
+      if c <> 0 then acc := Matrix.add !acc (Matrix.scale c blocks.(j)))
+    coeffs;
+  !acc
+
+let split_blocks algo m size =
+  let t = algo.t_dim in
+  Array.init (t * t) (fun j ->
+      let p, q = block_pos algo j in
+      Matrix.sub_block m ~row:(p * size) ~col:(q * size) ~rows:size ~cols:size)
+
+let recombine algo products size =
+  let t = algo.t_dim in
+  let c = Matrix.create ~rows:(t * size) ~cols:(t * size) in
+  Array.iteri
+    (fun j coeffs ->
+      let p, q = block_pos algo j in
+      let block = combine_blocks coeffs products size in
+      Matrix.blit_block ~src:block ~dst:c ~row:(p * size) ~col:(q * size))
+    algo.w;
+  c
+
+let apply_with algo mul_block a b =
+  let n = Matrix.rows a in
+  if Matrix.cols a <> n || Matrix.rows b <> n || Matrix.cols b <> n then
+    invalid_arg "Bilinear.apply: operands must be square and equal-sized";
+  if n mod algo.t_dim <> 0 || n = 0 then
+    invalid_arg "Bilinear.apply: size must be a positive multiple of t_dim";
+  let size = n / algo.t_dim in
+  let ablocks = split_blocks algo a size and bblocks = split_blocks algo b size in
+  let products =
+    Array.init algo.rank (fun i ->
+        mul_block (combine_blocks algo.u.(i) ablocks size)
+          (combine_blocks algo.v.(i) bblocks size))
+  in
+  recombine algo products size
+
+let apply_once algo a b = apply_with algo Matrix.mul a b
+
+let multiply ?cutoff algo a b =
+  let cutoff = match cutoff with None -> algo.t_dim | Some c -> max c 1 in
+  let n = Matrix.rows a in
+  if not (Ilog.is_pow ~base:algo.t_dim n) then
+    invalid_arg "Bilinear.multiply: size must be a power of t_dim";
+  let rec go a b =
+    let n = Matrix.rows a in
+    if n <= cutoff then Matrix.mul a b else apply_with algo go a b
+  in
+  go a b
+
+let scalar_multiplications algo ~n ~cutoff =
+  if not (Ilog.is_pow ~base:algo.t_dim n) then
+    invalid_arg "Bilinear.scalar_multiplications: size must be a power of t_dim";
+  let rec go n =
+    if n <= cutoff then Checked.mul n (Checked.mul n n)
+    else Checked.mul algo.rank (go (n / algo.t_dim))
+  in
+  go n
+
+let pp_terms ppf ~coeffs ~term =
+  let first = ref true in
+  Array.iteri
+    (fun j c ->
+      if c <> 0 then begin
+        if c > 0 && not !first then Format.fprintf ppf " + "
+        else if c < 0 then Format.fprintf ppf (if !first then "-" else " - ");
+        let mag = abs c in
+        if mag <> 1 then Format.fprintf ppf "%d*" mag;
+        Format.fprintf ppf "%s" (term j);
+        first := false
+      end)
+    coeffs;
+  if !first then Format.fprintf ppf "0"
+
+let pp_linear ppf ~coeffs ~sym ~t =
+  pp_terms ppf ~coeffs ~term:(fun j ->
+      Printf.sprintf "%s%d%d" sym ((j / t) + 1) ((j mod t) + 1))
+
+let pp ppf algo =
+  Format.fprintf ppf "@[<v>%s: <%d,%d,%d; %d>@," algo.name algo.t_dim algo.t_dim
+    algo.t_dim algo.rank;
+  Array.iteri
+    (fun i ucoeffs ->
+      Format.fprintf ppf "M%d = (" (i + 1);
+      pp_linear ppf ~coeffs:ucoeffs ~sym:"A" ~t:algo.t_dim;
+      Format.fprintf ppf ")(";
+      pp_linear ppf ~coeffs:algo.v.(i) ~sym:"B" ~t:algo.t_dim;
+      Format.fprintf ppf ")@,")
+    algo.u;
+  Array.iteri
+    (fun j coeffs ->
+      let p, q = (j / algo.t_dim, j mod algo.t_dim) in
+      Format.fprintf ppf "C%d%d = " (p + 1) (q + 1);
+      pp_terms ppf ~coeffs ~term:(fun i -> Printf.sprintf "M%d" (i + 1));
+      Format.fprintf ppf "@,")
+    algo.w;
+  Format.fprintf ppf "@]"

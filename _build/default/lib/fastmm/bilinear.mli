@@ -1,0 +1,61 @@
+(** Bilinear fast matrix multiplication algorithms.
+
+    An algorithm [<T,T,T; r>] multiplies two [T x T] matrices with [r]
+    scalar multiplications (Section 2.3 of the paper):
+
+    - [M_i = (sum_j u.(i).(j) * A_j) * (sum_j v.(i).(j) * B_j)] for
+      [0 <= i < r], where [A_j], [B_j] range over the [T^2] blocks in
+      row-major order ([j = p*T + q] for block row [p], block column [q]);
+    - [C_j = sum_i w.(j).(i) * M_i].
+
+    Coefficients are arbitrary integers; the paper's main constructions
+    assume [{-1,0,1}] and all bundled instances satisfy that, but the
+    circuit compiler accepts any integer coefficients (they become gate
+    weights, as the paper notes below Definition 2.1). *)
+
+type t = private {
+  name : string;
+  t_dim : int;  (** T: the base block dimension *)
+  rank : int;  (** r: number of scalar multiplications *)
+  u : int array array;  (** [r x T^2]: A-side coefficients *)
+  v : int array array;  (** [r x T^2]: B-side coefficients *)
+  w : int array array;  (** [T^2 x r]: C-side coefficients *)
+}
+
+val make :
+  name:string ->
+  t_dim:int ->
+  u:int array array ->
+  v:int array array ->
+  w:int array array ->
+  t
+(** Validates all dimensions.  Does {i not} verify algebraic correctness —
+    use {!Verify}. *)
+
+val block_index : t -> int -> int -> int
+(** [block_index algo p q = p * T + q]; bounds-checked. *)
+
+val block_pos : t -> int -> int * int
+(** Inverse of {!block_index}. *)
+
+val omega : t -> float
+(** [log_T r], the work exponent of the recursive algorithm. *)
+
+val apply_once : t -> Matrix.t -> Matrix.t -> Matrix.t
+(** One level of block recursion: splits the operands into [T x T] blocks,
+    forms the [r] products with naive block multiplication, and recombines.
+    Operand size must be a positive multiple of [T].  Exercise the U/V/W
+    tables directly — used by the verifier and tests. *)
+
+val multiply : ?cutoff:int -> t -> Matrix.t -> Matrix.t -> Matrix.t
+(** Full recursive fast multiplication.  Operands must be square of size
+    [T^l].  Recursion stops at [cutoff] (default [t_dim]) and falls back
+    to naive multiplication. *)
+
+val scalar_multiplications : t -> n:int -> cutoff:int -> int
+(** Number of scalar multiplications the recursion performs on [n x n]
+    operands: [r^(levels) * cutoff'^3] accounting. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the algorithm's defining expressions in the style of the
+    paper's Figure 1. *)

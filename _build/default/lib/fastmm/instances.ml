@@ -1,0 +1,98 @@
+let naive ~t_dim =
+  if t_dim < 1 then invalid_arg "Instances.naive: t_dim < 1";
+  let t = t_dim in
+  let t2 = t * t in
+  let rank = t * t * t in
+  (* Multiplication index (i, k, j) |-> A_(i,k) * B_(k,j), contributing to
+     C_(i,j). *)
+  let u = Array.make_matrix rank t2 0 in
+  let v = Array.make_matrix rank t2 0 in
+  let w = Array.make_matrix t2 rank 0 in
+  let m = ref 0 in
+  for i = 0 to t - 1 do
+    for k = 0 to t - 1 do
+      for j = 0 to t - 1 do
+        u.(!m).((i * t) + k) <- 1;
+        v.(!m).((k * t) + j) <- 1;
+        w.((i * t) + j).(!m) <- 1;
+        incr m
+      done
+    done
+  done;
+  Bilinear.make ~name:(Printf.sprintf "naive-%d" t) ~t_dim:t ~u ~v ~w
+
+(* Strassen's algorithm, coefficient-for-coefficient from Figure 1 of the
+   paper.  Blocks in row-major order: A11 A12 A21 A22. *)
+let strassen =
+  Bilinear.make ~name:"strassen" ~t_dim:2
+    ~u:
+      [|
+        [| 1; 0; 0; 0 |] (* M1: A11 *);
+        [| 0; 0; 1; 1 |] (* M2: A21 + A22 *);
+        [| 1; 0; 0; 1 |] (* M3: A11 + A22 *);
+        [| 0; 0; 0; 1 |] (* M4: A22 *);
+        [| 1; 1; 0; 0 |] (* M5: A11 + A12 *);
+        [| -1; 0; 1; 0 |] (* M6: A21 - A11 *);
+        [| 0; 1; 0; -1 |] (* M7: A12 - A22 *);
+      |]
+    ~v:
+      [|
+        [| 0; 1; 0; -1 |] (* M1: B12 - B22 *);
+        [| 1; 0; 0; 0 |] (* M2: B11 *);
+        [| 1; 0; 0; 1 |] (* M3: B11 + B22 *);
+        [| -1; 0; 1; 0 |] (* M4: B21 - B11 *);
+        [| 0; 0; 0; 1 |] (* M5: B22 *);
+        [| 1; 1; 0; 0 |] (* M6: B11 + B12 *);
+        [| 0; 0; 1; 1 |] (* M7: B21 + B22 *);
+      |]
+    ~w:
+      [|
+        [| 0; 0; 1; 1; -1; 0; 1 |] (* C11 = M3 + M4 - M5 + M7 *);
+        [| 1; 0; 0; 0; 1; 0; 0 |] (* C12 = M1 + M5 *);
+        [| 0; 1; 0; 1; 0; 0; 0 |] (* C21 = M2 + M4 *);
+        [| 1; -1; 1; 0; 0; 1; 0 |] (* C22 = M1 - M2 + M3 + M6 *);
+      |]
+
+(* Winograd's 15-addition variant of Strassen.  With S1 = A21 + A22,
+   S2 = S1 - A11, S3 = A11 - A21, S4 = A12 - S2 and T1 = B12 - B11,
+   T2 = B22 - T1, T3 = B22 - B12, T4 = T2 - B21:
+     M1 = A11 B11, M2 = A12 B21, M3 = S4 B22, M4 = A22 T4,
+     M5 = S1 T1, M6 = S2 T2, M7 = S3 T3
+     C11 = M1 + M2, C12 = M1 + M3 + M5 + M6,
+     C21 = M1 - M4 + M6 + M7, C22 = M1 + M5 + M6 + M7. *)
+let winograd =
+  Bilinear.make ~name:"winograd" ~t_dim:2
+    ~u:
+      [|
+        [| 1; 0; 0; 0 |] (* A11 *);
+        [| 0; 1; 0; 0 |] (* A12 *);
+        [| 1; 1; -1; -1 |] (* S4 = A11 + A12 - A21 - A22 *);
+        [| 0; 0; 0; 1 |] (* A22 *);
+        [| 0; 0; 1; 1 |] (* S1 = A21 + A22 *);
+        [| -1; 0; 1; 1 |] (* S2 = A21 + A22 - A11 *);
+        [| 1; 0; -1; 0 |] (* S3 = A11 - A21 *);
+      |]
+    ~v:
+      [|
+        [| 1; 0; 0; 0 |] (* B11 *);
+        [| 0; 0; 1; 0 |] (* B21 *);
+        [| 0; 0; 0; 1 |] (* B22 *);
+        [| 1; -1; -1; 1 |] (* T4 = B11 - B12 - B21 + B22 *);
+        [| -1; 1; 0; 0 |] (* T1 = B12 - B11 *);
+        [| 1; -1; 0; 1 |] (* T2 = B11 - B12 + B22 *);
+        [| 0; -1; 0; 1 |] (* T3 = B22 - B12 *);
+      |]
+    ~w:
+      [|
+        [| 1; 1; 0; 0; 0; 0; 0 |] (* C11 *);
+        [| 1; 0; 1; 0; 1; 1; 0 |] (* C12 *);
+        [| 1; 0; 0; -1; 0; 1; 1 |] (* C21 *);
+        [| 1; 0; 0; 0; 1; 1; 1 |] (* C22 *);
+      |]
+
+let strassen_squared =
+  let t = Tensor.product ~name:"strassen^2" strassen strassen in
+  t
+
+let all () =
+  [ naive ~t_dim:2; naive ~t_dim:3; strassen; winograd; strassen_squared ]

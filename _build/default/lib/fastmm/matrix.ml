@@ -1,0 +1,125 @@
+module Checked = Tcmm_util.Checked
+module Prng = Tcmm_util.Prng
+
+type t = { rows : int; cols : int; data : int array }
+
+let create ~rows ~cols =
+  if rows <= 0 || cols <= 0 then invalid_arg "Matrix.create: nonpositive dims";
+  { rows; cols; data = Array.make (rows * cols) 0 }
+
+let init ~rows ~cols f =
+  let m = create ~rows ~cols in
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      m.data.((i * cols) + j) <- f i j
+    done
+  done;
+  m
+
+let rows m = m.rows
+let cols m = m.cols
+
+let check m i j name =
+  if i < 0 || i >= m.rows || j < 0 || j >= m.cols then
+    invalid_arg (Printf.sprintf "Matrix.%s: (%d,%d) outside %dx%d" name i j m.rows m.cols)
+
+let get m i j =
+  check m i j "get";
+  m.data.((i * m.cols) + j)
+
+let set m i j v =
+  check m i j "set";
+  m.data.((i * m.cols) + j) <- v
+
+let copy m = { m with data = Array.copy m.data }
+let identity n = init ~rows:n ~cols:n (fun i j -> if i = j then 1 else 0)
+
+let of_rows arr =
+  let rows = Array.length arr in
+  if rows = 0 then invalid_arg "Matrix.of_rows: no rows";
+  let cols = Array.length arr.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Matrix.of_rows: ragged rows")
+    arr;
+  init ~rows ~cols (fun i j -> arr.(i).(j))
+
+let to_rows m = Array.init m.rows (fun i -> Array.init m.cols (fun j -> get m i j))
+let equal a b = a.rows = b.rows && a.cols = b.cols && a.data = b.data
+let map f m = { m with data = Array.map f m.data }
+
+let same_dims a b name =
+  if a.rows <> b.rows || a.cols <> b.cols then
+    invalid_arg (Printf.sprintf "Matrix.%s: dimension mismatch" name)
+
+let add a b =
+  same_dims a b "add";
+  { a with data = Array.map2 Checked.add a.data b.data }
+
+let sub a b =
+  same_dims a b "sub";
+  { a with data = Array.map2 Checked.sub a.data b.data }
+
+let scale c m = { m with data = Array.map (Checked.mul c) m.data }
+let transpose m = init ~rows:m.cols ~cols:m.rows (fun i j -> get m j i)
+
+let mul a b =
+  if a.cols <> b.rows then invalid_arg "Matrix.mul: inner dimension mismatch";
+  init ~rows:a.rows ~cols:b.cols (fun i j ->
+      let acc = ref 0 in
+      for k = 0 to a.cols - 1 do
+        acc :=
+          Checked.add !acc
+            (Checked.mul a.data.((i * a.cols) + k) b.data.((k * b.cols) + j))
+      done;
+      !acc)
+
+let pow a k =
+  if a.rows <> a.cols then invalid_arg "Matrix.pow: non-square";
+  if k < 0 then invalid_arg "Matrix.pow: negative exponent";
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mul acc base else acc in
+      let k = k lsr 1 in
+      if k = 0 then acc else go acc (mul base base) k
+  in
+  go (identity a.rows) a k
+
+let trace m =
+  if m.rows <> m.cols then invalid_arg "Matrix.trace: non-square";
+  let acc = ref 0 in
+  for i = 0 to m.rows - 1 do
+    acc := Checked.add !acc m.data.((i * m.cols) + i)
+  done;
+  !acc
+
+let sub_block m ~row ~col ~rows ~cols =
+  check m row col "sub_block";
+  check m (row + rows - 1) (col + cols - 1) "sub_block";
+  init ~rows ~cols (fun i j -> get m (row + i) (col + j))
+
+let blit_block ~src ~dst ~row ~col =
+  check dst row col "blit_block";
+  check dst (row + src.rows - 1) (col + src.cols - 1) "blit_block";
+  for i = 0 to src.rows - 1 do
+    for j = 0 to src.cols - 1 do
+      set dst (row + i) (col + j) (get src i j)
+    done
+  done
+
+let random rng ~rows ~cols ~lo ~hi =
+  init ~rows ~cols (fun _ _ -> Prng.int_range rng ~lo ~hi)
+
+let max_abs m = Array.fold_left (fun acc v -> max acc (Checked.abs v)) 0 m.data
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>";
+  for i = 0 to m.rows - 1 do
+    Format.fprintf ppf "@[<h>";
+    for j = 0 to m.cols - 1 do
+      Format.fprintf ppf "%6d" (get m i j)
+    done;
+    Format.fprintf ppf "@]";
+    if i < m.rows - 1 then Format.fprintf ppf "@,"
+  done;
+  Format.fprintf ppf "@]"

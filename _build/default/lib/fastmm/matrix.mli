@@ -1,0 +1,50 @@
+(** Dense integer matrices with exact (overflow-checked) arithmetic.
+
+    This is the conventional-computation substrate: reference results for
+    the circuits, operands for the recursive fast multiplier, adjacency
+    matrices for the graph workloads.  Values are native ints; every
+    arithmetic operation is overflow-checked. *)
+
+type t
+
+val create : rows:int -> cols:int -> t
+(** Zero-filled. *)
+
+val init : rows:int -> cols:int -> (int -> int -> int) -> t
+(** [init ~rows ~cols f] fills entry [(i, j)] with [f i j]. *)
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> int
+val set : t -> int -> int -> int -> unit
+val copy : t -> t
+val identity : int -> t
+val of_rows : int array array -> t
+(** Raises [Invalid_argument] on ragged input or zero rows. *)
+
+val to_rows : t -> int array array
+val equal : t -> t -> bool
+val map : (int -> int) -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : int -> t -> t
+val transpose : t -> t
+
+val mul : t -> t -> t
+(** Naive cubic product (the exact reference). *)
+
+val pow : t -> int -> t
+(** [pow a k] for square [a], [k >= 0]. *)
+
+val trace : t -> int
+(** Raises [Invalid_argument] on a non-square matrix. *)
+
+val sub_block : t -> row:int -> col:int -> rows:int -> cols:int -> t
+val blit_block : src:t -> dst:t -> row:int -> col:int -> unit
+
+val random : Tcmm_util.Prng.t -> rows:int -> cols:int -> lo:int -> hi:int -> t
+(** Entries uniform in [\[lo, hi\]]. *)
+
+val max_abs : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+module Checked = Tcmm_util.Checked
+
+let det2 m = Checked.sub (Checked.mul m.(0).(0) m.(1).(1)) (Checked.mul m.(0).(1) m.(1).(0))
+
+let unimodular_2x2 () =
+  let range = [ -1; 0; 1 ] in
+  List.concat_map
+    (fun a ->
+      List.concat_map
+        (fun b ->
+          List.concat_map
+            (fun c ->
+              List.filter_map
+                (fun d ->
+                  let m = [| [| a; b |]; [| c; d |] |] in
+                  let dt = det2 m in
+                  if dt = 1 || dt = -1 then Some m else None)
+                range)
+            range)
+        range)
+    range
+
+(* Integer inverse of a unimodular matrix (adjugate over det = ±1). *)
+let inverse (m : int array array) =
+  let t = Array.length m in
+  if t = 2 then begin
+    let dt = det2 m in
+    if dt <> 1 && dt <> -1 then invalid_arg "Orbit.inverse: not unimodular";
+    [|
+      [| dt * m.(1).(1); -dt * m.(0).(1) |];
+      [| -dt * m.(1).(0); dt * m.(0).(0) |];
+    |]
+  end
+  else invalid_arg "Orbit.inverse: only 2x2 supported"
+
+let check_shape name m t =
+  if Array.length m <> t || Array.exists (fun r -> Array.length r <> t) m then
+    invalid_arg (Printf.sprintf "Orbit.transform: %s has the wrong shape" name)
+
+let transform (algo : Bilinear.t) ~x ~y ~z =
+  let t = algo.Bilinear.t_dim in
+  check_shape "x" x t;
+  check_shape "y" y t;
+  check_shape "z" z t;
+  let xinv = inverse x and yinv = inverse y and zinv = inverse z in
+  let idx p q = (p * t) + q in
+  (* With A = X^-1 A' Y and B = Y^-1 B' Z, the products are unchanged and
+     C' = X C Z^-1:
+       u'_i(r,s) = sum_{p,q} u_i(p,q) * X^-1(p,r) * Y(s,q)
+       v'_i(r,s) = sum_{p,q} v_i(p,q) * Y^-1(p,r) * Z(s,q)
+       w'(r,s)(i) = sum_{p,q} X(r,p) * Z^-1(q,s) * w(p,q)(i). *)
+  let transform_side coeffs left right =
+    Array.map
+      (fun row ->
+        Array.init (t * t) (fun j ->
+            let r = j / t and s = j mod t in
+            let acc = ref 0 in
+            for p = 0 to t - 1 do
+              for q = 0 to t - 1 do
+                acc :=
+                  Checked.add !acc
+                    (Checked.mul row.(idx p q) (Checked.mul left.(p).(r) right.(s).(q)))
+              done
+            done;
+            !acc))
+      coeffs
+  in
+  let u = transform_side algo.Bilinear.u xinv y in
+  let v = transform_side algo.Bilinear.v yinv z in
+  let w =
+    Array.init (t * t) (fun j ->
+        let r = j / t and s = j mod t in
+        Array.init algo.Bilinear.rank (fun i ->
+            let acc = ref 0 in
+            for p = 0 to t - 1 do
+              for q = 0 to t - 1 do
+                acc :=
+                  Checked.add !acc
+                    (Checked.mul x.(r).(p)
+                       (Checked.mul zinv.(q).(s) algo.Bilinear.w.(idx p q).(i)))
+              done
+            done;
+            !acc))
+  in
+  Bilinear.make ~name:(algo.Bilinear.name ^ "'") ~t_dim:t ~u ~v ~w
+
+type search_result = {
+  algorithm : Bilinear.t;
+  sparsity : int;
+  triples_tried : int;
+  better_than_start : bool;
+}
+
+let search ?limit (algo : Bilinear.t) =
+  if algo.Bilinear.t_dim <> 2 then invalid_arg "Orbit.search: only T = 2 supported";
+  let start_sparsity = (Sparsity.analyze algo).Sparsity.sparsity in
+  let mats = Array.of_list (unimodular_2x2 ()) in
+  let best = ref algo and best_s = ref start_sparsity and tried = ref 0 in
+  (try
+     Array.iter
+       (fun x ->
+         Array.iter
+           (fun y ->
+             Array.iter
+               (fun z ->
+                 (match limit with
+                 | Some l when !tried >= l -> raise Exit
+                 | _ -> ());
+                 incr tried;
+                 let candidate = transform algo ~x ~y ~z in
+                 if not (Verify.exact candidate) then
+                   failwith "Orbit.search: transform produced an incorrect algorithm";
+                 match Sparsity.analyze candidate with
+                 | p ->
+                     if p.Sparsity.sparsity < !best_s then begin
+                       best := candidate;
+                       best_s := p.Sparsity.sparsity
+                     end
+                 | exception Invalid_argument _ -> ())
+               mats)
+           mats)
+       mats
+   with Exit -> ());
+  {
+    algorithm = !best;
+    sparsity = !best_s;
+    triples_tried = !tried;
+    better_than_start = !best_s < start_sparsity;
+  }

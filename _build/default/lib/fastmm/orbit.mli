@@ -1,0 +1,49 @@
+(** The symmetry orbit of a bilinear algorithm, and sparsity search.
+
+    De Groote's theorem says every rank-7 algorithm for 2x2 matrix
+    multiplication lies in one orbit under the sandwiching action: for
+    invertible [X, Y, Z],
+
+    [C = A*B  iff  X C Z^-1 = (X A Y^-1) * (Y B Z^-1)],
+
+    so transforming an algorithm's coefficient matrices by such a triple
+    yields another correct algorithm of the same rank.  Restricting to
+    {e unimodular integer} matrices keeps all coefficients integral.
+
+    The paper's gate bounds depend on the algorithm's {e sparsity}
+    (Definition 2.1), which the sandwiching action changes — so searching
+    the orbit for minimum sparsity is searching for better circuit
+    constants.  {!search} does this exhaustively over small-entry
+    unimodular triples; every transformed algorithm is re-verified
+    against Brent's equations, so a wrong transformation cannot slip
+    through. *)
+
+val unimodular_2x2 : unit -> int array array list
+(** All 2x2 integer matrices with entries in [{-1, 0, 1}] and determinant
+    [±1] (their inverses are integral with entries in [{-1, 0, 1}] too). *)
+
+val transform :
+  Bilinear.t ->
+  x:int array array ->
+  y:int array array ->
+  z:int array array ->
+  Bilinear.t
+(** Sandwich by the unimodular triple [(x, y, z)] (matrices of the
+    algorithm's dimension [T]).  Raises [Invalid_argument] if a matrix is
+    not unimodular or has the wrong shape. *)
+
+type search_result = {
+  algorithm : Bilinear.t;
+  sparsity : int;
+  triples_tried : int;
+  better_than_start : bool;
+}
+
+val search : ?limit:int -> Bilinear.t -> search_result
+(** Exhaustively sandwich the algorithm by triples of
+    {!unimodular_2x2}-style matrices ([T = 2] only; raises
+    [Invalid_argument] otherwise), tracking the minimum
+    {!Sparsity.analyze} sparsity found.  [limit] (default unlimited)
+    caps the number of triples for quick runs.  Every candidate is
+    checked with {!Verify.exact}; a failure raises — it would indicate a
+    bug in {!transform}. *)

@@ -1,0 +1,84 @@
+type side = { counts : int array; total : int }
+type constants = { alpha : float; beta : float; gamma : float }
+
+type profile = {
+  algo : Bilinear.t;
+  a : side;
+  b : side;
+  c : side;
+  c_prime : int array;
+  sparsity : int;
+  overall : constants;
+  a_side : constants;
+  c_side : constants;
+  omega : float;
+  c_const : float;
+}
+
+let nonzeros row = Array.fold_left (fun n x -> if x <> 0 then n + 1 else n) 0 row
+
+let side_of_rows rows =
+  let counts = Array.map nonzeros rows in
+  { counts; total = Array.fold_left ( + ) 0 counts }
+
+let constants_of ~rank ~t2 ~s =
+  let alpha = float_of_int rank /. float_of_int s in
+  let beta = float_of_int s /. float_of_int t2 in
+  let gamma = if alpha >= 1. then 0. else log (1. /. alpha) /. log beta in
+  { alpha; beta; gamma }
+
+let analyze (algo : Bilinear.t) =
+  let t2 = algo.Bilinear.t_dim * algo.Bilinear.t_dim in
+  let rank = algo.Bilinear.rank in
+  if rank <= t2 then
+    invalid_arg "Sparsity.analyze: requires r > T^2 (paper's standing assumption)";
+  let a = side_of_rows algo.Bilinear.u in
+  let b = side_of_rows algo.Bilinear.v in
+  let c_prime = Array.map nonzeros algo.Bilinear.w in
+  (* c_i = number of C-expressions mentioning M_i: column-wise count of w. *)
+  let c_counts =
+    Array.init rank (fun i ->
+        Array.fold_left
+          (fun n row -> if row.(i) <> 0 then n + 1 else n)
+          0 algo.Bilinear.w)
+  in
+  let c = { counts = c_counts; total = Array.fold_left ( + ) 0 c_counts } in
+  Array.iteri
+    (fun i n ->
+      if n = 0 then
+        invalid_arg (Printf.sprintf "Sparsity.analyze: M%d uses no block of A" (i + 1)))
+    a.counts;
+  Array.iteri
+    (fun i n ->
+      if n = 0 then
+        invalid_arg (Printf.sprintf "Sparsity.analyze: M%d uses no block of B" (i + 1)))
+    b.counts;
+  Array.iteri
+    (fun j n ->
+      if n = 0 then
+        invalid_arg (Printf.sprintf "Sparsity.analyze: C-expression %d is empty" j))
+    c_prime;
+  let sparsity = max a.total (max b.total c.total) in
+  let overall = constants_of ~rank ~t2 ~s:sparsity in
+  let a_side = constants_of ~rank ~t2 ~s:a.total in
+  let c_side = constants_of ~rank ~t2 ~s:c.total in
+  let omega = Bilinear.omega algo in
+  let c_const =
+    if overall.gamma >= 1. then infinity
+    else
+      log (overall.alpha *. overall.beta)
+      /. log (float_of_int algo.Bilinear.t_dim)
+      /. (1. -. overall.gamma)
+  in
+  { algo; a; b; c; c_prime; sparsity; overall; a_side; c_side; omega; c_const }
+
+let pp ppf p =
+  Format.fprintf ppf
+    "@[<v>%s: T=%d r=%d omega=%.4f@ s_A=%d s_B=%d s_C=%d s=%d@ \
+     alpha=%.4f beta=%.4f gamma=%.4f c=%.4f@ c'_j=%a@]"
+    p.algo.Bilinear.name p.algo.Bilinear.t_dim p.algo.Bilinear.rank p.omega
+    p.a.total p.b.total p.c.total p.sparsity p.overall.alpha p.overall.beta
+    p.overall.gamma p.c_const
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list p.c_prime)

@@ -1,0 +1,47 @@
+(** Sparsity analysis of a bilinear algorithm (Definition 2.1).
+
+    For each multiplication [M_i], [a_i] ([b_i]) is the number of distinct
+    blocks of [A] ([B]) appearing in it, and [c_i] is the number of
+    [C]-expressions containing [M_i]; [s_A = sum a_i] etc., and the
+    algorithm's sparsity is [s = max(s_A, s_B, s_C)].  The appendix's
+    per-expression counts [c'_j] (number of [M_i] in the expression for
+    the j-th block of [C]) are also computed; [sum_j c'_j = s_C].
+
+    From these come the constants driving the whole construction
+    (Section 4.3): [alpha = r/s], [beta = s/T^2],
+    [gamma = log_beta (1/alpha)], and Theorem 4.5's
+    [c = log_T(alpha*beta) / (1 - gamma)].  Note [alpha*beta = r/T^2]
+    independently of [s]. *)
+
+type side = {
+  counts : int array;  (** per multiplication: [a_i], [b_i] or [c_i] *)
+  total : int;  (** [s_A], [s_B] or [s_C] *)
+}
+
+type constants = {
+  alpha : float;  (** [r / s] — in (0, 1] *)
+  beta : float;  (** [s / T^2] — at least 1 *)
+  gamma : float;  (** [log_beta (1/alpha)]; 0 for the naive algorithm *)
+}
+
+type profile = {
+  algo : Bilinear.t;
+  a : side;
+  b : side;
+  c : side;
+  c_prime : int array;  (** [c'_j] for the [T^2] C-expressions *)
+  sparsity : int;  (** [max (s_A, s_B, s_C)] *)
+  overall : constants;  (** derived from [sparsity] — what schedules use *)
+  a_side : constants;  (** derived from [s_A] (Lemmas 4.2/4.3) *)
+  c_side : constants;  (** derived from [s_C] (Lemma 4.6) *)
+  omega : float;
+  c_const : float;  (** Theorem 4.5's [c]; infinite if [gamma = 1] *)
+}
+
+val analyze : Bilinear.t -> profile
+(** Raises [Invalid_argument] if [r <= T^2] (the paper's standing
+    assumption [r > T^2] — Section 4.3 notes the results do not hold for
+    an optimal algorithm with [r = T^2]) or if some multiplication or
+    C-expression is entirely zero. *)
+
+val pp : Format.formatter -> profile -> unit

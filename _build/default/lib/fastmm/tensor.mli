@@ -1,0 +1,13 @@
+(** Tensor (Kronecker) product of bilinear algorithms.
+
+    If [P] multiplies [T1 x T1] matrices with [r1] products and [Q]
+    multiplies [T2 x T2] with [r2], then [P ⊗ Q] multiplies
+    [T1*T2 x T1*T2] matrices with [r1*r2] products — the standard way to
+    derive larger base cases (Section 2.1's "more general tensor
+    perspective").  The combined algorithm's coefficients are products of
+    the factors' coefficients. *)
+
+val product : name:string -> Bilinear.t -> Bilinear.t -> Bilinear.t
+
+val power : name:string -> Bilinear.t -> int -> Bilinear.t
+(** [power ~name a k] is the [k]-fold tensor power ([k >= 1]). *)

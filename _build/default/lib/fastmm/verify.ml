@@ -1,0 +1,63 @@
+module Checked = Tcmm_util.Checked
+
+type defect = {
+  a_block : int * int;
+  b_block : int * int;
+  c_block : int * int;
+  got : int;
+  expected : int;
+}
+
+let defects (algo : Bilinear.t) =
+  let t = algo.Bilinear.t_dim in
+  let found = ref [] in
+  for i = 0 to t - 1 do
+    for k = 0 to t - 1 do
+      for k' = 0 to t - 1 do
+        for j = 0 to t - 1 do
+          for i' = 0 to t - 1 do
+            for j' = 0 to t - 1 do
+              let ja = (i * t) + k and jb = (k' * t) + j and jc = (i' * t) + j' in
+              let sum = ref 0 in
+              for m = 0 to algo.Bilinear.rank - 1 do
+                sum :=
+                  Checked.add !sum
+                    (Checked.mul algo.Bilinear.u.(m).(ja)
+                       (Checked.mul algo.Bilinear.v.(m).(jb) algo.Bilinear.w.(jc).(m)))
+              done;
+              let expected = if k = k' && i = i' && j = j' then 1 else 0 in
+              if !sum <> expected then
+                found :=
+                  {
+                    a_block = (i, k);
+                    b_block = (k', j);
+                    c_block = (i', j');
+                    got = !sum;
+                    expected;
+                  }
+                  :: !found
+            done
+          done
+        done
+      done
+    done
+  done;
+  List.rev !found
+
+let exact algo = defects algo = []
+
+let random_check rng ?(trials = 10) ?(size_multiple = 2) (algo : Bilinear.t) =
+  let n = size_multiple * algo.Bilinear.t_dim in
+  let ok = ref true in
+  for _ = 1 to trials do
+    let a = Matrix.random rng ~rows:n ~cols:n ~lo:(-9) ~hi:9 in
+    let b = Matrix.random rng ~rows:n ~cols:n ~lo:(-9) ~hi:9 in
+    if not (Matrix.equal (Bilinear.apply_once algo a b) (Matrix.mul a b)) then
+      ok := false
+  done;
+  !ok
+
+let pp_defect ppf d =
+  let pair ppf (x, y) = Format.fprintf ppf "(%d,%d)" x y in
+  Format.fprintf ppf "A%a * B%a -> C%a: got %d, expected %d" pair d.a_block pair
+    d.b_block pair d.c_block d.got d.expected

@@ -1,0 +1,35 @@
+(** Exact verification of bilinear algorithms.
+
+    An algorithm is correct iff its tensor satisfies Brent's equations:
+    for all block positions [(i,k)], [(k',j)], [(i',j')],
+
+    [sum_m u_m(i,k) * v_m(k',j) * w_(i',j')(m)
+       = 1 if k = k' and i = i' and j = j', else 0].
+
+    This is a complete algebraic check — no sampling involved — and is
+    how the bundled instances (including the tensor powers) are proven
+    correct in the test suite.  A randomized matrix check is also
+    provided as a sanity cross-check of {!Bilinear.apply_once}. *)
+
+type defect = {
+  a_block : int * int;
+  b_block : int * int;
+  c_block : int * int;
+  got : int;
+  expected : int;
+}
+
+val defects : Bilinear.t -> defect list
+(** All violated Brent equations (empty iff the algorithm is correct). *)
+
+val exact : Bilinear.t -> bool
+(** [exact algo] iff {!defects} is empty. *)
+
+val random_check :
+  Tcmm_util.Prng.t -> ?trials:int -> ?size_multiple:int -> Bilinear.t -> bool
+(** [random_check rng algo] compares {!Bilinear.apply_once} against naive
+    multiplication on random integer matrices of size
+    [size_multiple * t_dim] (default 2), for [trials] (default 10)
+    rounds. *)
+
+val pp_defect : Format.formatter -> defect -> unit

@@ -1,0 +1,1 @@
+lib/graph/generate.ml: Graph Tcmm_util

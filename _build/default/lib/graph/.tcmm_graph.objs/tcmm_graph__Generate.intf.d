@@ -1,0 +1,1 @@
+lib/graph/generate.mli: Graph Tcmm_util

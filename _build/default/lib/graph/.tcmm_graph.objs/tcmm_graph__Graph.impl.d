@@ -1,0 +1,1 @@
+lib/graph/graph.ml: List Printf Set Tcmm_fastmm

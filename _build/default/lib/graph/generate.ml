@@ -1,0 +1,39 @@
+module Prng = Tcmm_util.Prng
+
+let erdos_renyi rng ~n ~p =
+  if p < 0. || p > 1. then invalid_arg "Generate.erdos_renyi: p outside [0,1]";
+  let g = ref (Graph.empty n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.float rng < p then g := Graph.add_edge !g i j
+    done
+  done;
+  !g
+
+let complete n =
+  let g = ref (Graph.empty n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      g := Graph.add_edge !g i j
+    done
+  done;
+  !g
+
+let blocked_community rng ~blocks ~block_size ~p_in ~p_out =
+  if blocks < 1 || block_size < 1 then
+    invalid_arg "Generate.blocked_community: nonpositive shape";
+  if p_in < 0. || p_in > 1. || p_out < 0. || p_out > 1. then
+    invalid_arg "Generate.blocked_community: probability outside [0,1]";
+  let n = blocks * block_size in
+  let g = ref (Graph.empty n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let p = if i / block_size = j / block_size then p_in else p_out in
+      if Prng.float rng < p then g := Graph.add_edge !g i j
+    done
+  done;
+  !g
+
+let choose3 n = float_of_int (n * (n - 1) * (n - 2)) /. 6.
+let expected_triangles_er ~n ~p = choose3 n *. (p ** 3.)
+let expected_wedges_er ~n ~p = 3. *. choose3 n *. (p ** 2.)

@@ -1,0 +1,33 @@
+(** Synthetic graph workloads (Section 5's social-network stand-ins).
+
+    Real social-network traces are not available in this environment
+    (see DESIGN.md's substitution table); these generators produce the
+    workload classes the paper discusses: Erdos–Renyi baselines and a
+    BTER-like blocked model with planted community structure (dense
+    Erdos–Renyi blocks plus a sparse global background), which yields the
+    high clustering coefficients the paper's Section 5 discussion turns
+    on. *)
+
+val erdos_renyi : Tcmm_util.Prng.t -> n:int -> p:float -> Graph.t
+(** Each of the [n choose 2] edges present independently with
+    probability [p].  Requires [0 <= p <= 1]. *)
+
+val complete : int -> Graph.t
+
+val blocked_community :
+  Tcmm_util.Prng.t ->
+  blocks:int ->
+  block_size:int ->
+  p_in:float ->
+  p_out:float ->
+  Graph.t
+(** BTER-style: [blocks] communities of [block_size] vertices; edges
+    inside a community with probability [p_in], across communities with
+    probability [p_out].  [p_in >> p_out] gives high clustering. *)
+
+val expected_triangles_er : n:int -> p:float -> float
+(** [(n choose 3) p^3] — the Erdos–Renyi expectation used to pick
+    thresholds [tau] in the experiments. *)
+
+val expected_wedges_er : n:int -> p:float -> float
+(** [3 (n choose 3) p^2]. *)

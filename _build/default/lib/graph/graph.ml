@@ -1,0 +1,68 @@
+module Matrix = Tcmm_fastmm.Matrix
+
+module Edge_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type t = { n : int; edges : Edge_set.t }
+
+let empty n =
+  if n < 1 then invalid_arg "Graph.empty: n < 1";
+  { n; edges = Edge_set.empty }
+
+let num_vertices g = g.n
+let num_edges g = Edge_set.cardinal g.edges
+
+let norm g i j name =
+  if i < 0 || j < 0 || i >= g.n || j >= g.n then
+    invalid_arg (Printf.sprintf "Graph.%s: vertex out of range" name);
+  if i = j then invalid_arg (Printf.sprintf "Graph.%s: self-loop" name);
+  if i < j then (i, j) else (j, i)
+
+let add_edge g i j = { g with edges = Edge_set.add (norm g i j "add_edge") g.edges }
+let has_edge g i j = Edge_set.mem (norm g i j "has_edge") g.edges
+let edges g = Edge_set.elements g.edges
+let of_edges ~n es = List.fold_left (fun g (i, j) -> add_edge g i j) (empty n) es
+
+let degree g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.degree: vertex out of range";
+  Edge_set.fold (fun (i, j) d -> if i = v || j = v then d + 1 else d) g.edges 0
+
+let neighbours g v =
+  if v < 0 || v >= g.n then invalid_arg "Graph.neighbours: vertex out of range";
+  Edge_set.fold
+    (fun (i, j) acc -> if i = v then j :: acc else if j = v then i :: acc else acc)
+    g.edges []
+  |> List.sort compare
+
+let adjacency g =
+  let m = Matrix.create ~rows:g.n ~cols:g.n in
+  Edge_set.iter
+    (fun (i, j) ->
+      Matrix.set m i j 1;
+      Matrix.set m j i 1)
+    g.edges;
+  m
+
+let of_adjacency m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Graph.of_adjacency: non-square";
+  let g = ref (empty n) in
+  for i = 0 to n - 1 do
+    if Matrix.get m i i <> 0 then invalid_arg "Graph.of_adjacency: nonzero diagonal";
+    for j = i + 1 to n - 1 do
+      let v = Matrix.get m i j in
+      if v <> Matrix.get m j i then invalid_arg "Graph.of_adjacency: asymmetric";
+      match v with
+      | 0 -> ()
+      | 1 -> g := add_edge !g i j
+      | _ -> invalid_arg "Graph.of_adjacency: non-binary entry"
+    done
+  done;
+  !g
+
+let pad_to g n =
+  if n < g.n then invalid_arg "Graph.pad_to: target smaller than graph";
+  { g with n }

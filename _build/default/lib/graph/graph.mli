@@ -1,0 +1,41 @@
+(** Simple undirected graphs as adjacency structures.
+
+    The trace circuit's headline application (paper, Sections 2.3 and 5)
+    is triangle counting in social networks; this module provides the
+    graph substrate: construction, adjacency matrices, and the exact
+    combinatorial references the circuits are checked against. *)
+
+type t
+(** A simple undirected graph on vertices [0 .. n-1]: no self-loops, no
+    multi-edges. *)
+
+val empty : int -> t
+(** [empty n] has [n] vertices and no edges.  Requires [n >= 1]. *)
+
+val num_vertices : t -> int
+val num_edges : t -> int
+
+val add_edge : t -> int -> int -> t
+(** Ignores an already-present edge; raises [Invalid_argument] on a
+    self-loop or out-of-range vertex. *)
+
+val has_edge : t -> int -> int -> bool
+val edges : t -> (int * int) list
+(** As [(i, j)] with [i < j], lexicographically sorted. *)
+
+val of_edges : n:int -> (int * int) list -> t
+val degree : t -> int -> int
+val neighbours : t -> int -> int list
+
+val adjacency : t -> Tcmm_fastmm.Matrix.t
+(** Symmetric 0/1 matrix with zero diagonal. *)
+
+val of_adjacency : Tcmm_fastmm.Matrix.t -> t
+(** Raises [Invalid_argument] unless the matrix is square, symmetric,
+    0/1-valued with zero diagonal. *)
+
+val pad_to : t -> int -> t
+(** [pad_to g n] adds isolated vertices up to [n] (so the adjacency
+    matrix reaches a circuit-friendly size like [T^l]); triangle and
+    wedge counts are unchanged.  Raises [Invalid_argument] if
+    [n < num_vertices g]. *)

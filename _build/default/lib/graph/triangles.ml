@@ -1,0 +1,50 @@
+module Matrix = Tcmm_fastmm.Matrix
+
+let count g =
+  let n = Graph.num_vertices g in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Graph.has_edge g i j then
+        for k = j + 1 to n - 1 do
+          if Graph.has_edge g i k && Graph.has_edge g j k then incr total
+        done
+    done
+  done;
+  !total
+
+let count_via_trace g =
+  let a = Graph.adjacency g in
+  let t = Matrix.trace (Matrix.pow a 3) in
+  if t mod 6 <> 0 then invalid_arg "Triangles.count_via_trace: trace not divisible by 6";
+  t / 6
+
+let wedges g =
+  let n = Graph.num_vertices g in
+  let total = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    total := !total + (d * (d - 1) / 2)
+  done;
+  !total
+
+let clustering_coefficient g =
+  let w = wedges g in
+  if w = 0 then 0. else 3. *. float_of_int (count g) /. float_of_int w
+
+let per_vertex g =
+  let n = Graph.num_vertices g in
+  let counts = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Graph.has_edge g i j then
+        for k = j + 1 to n - 1 do
+          if Graph.has_edge g i k && Graph.has_edge g j k then begin
+            counts.(i) <- counts.(i) + 1;
+            counts.(j) <- counts.(j) + 1;
+            counts.(k) <- counts.(k) + 1
+          end
+        done
+    done
+  done;
+  counts

@@ -1,0 +1,22 @@
+(** Exact triangle statistics (the combinatorial reference).
+
+    Links the graph quantities to the matrix quantities the circuits
+    compute: for an adjacency matrix [A] of a simple graph with [Delta]
+    triangles, [trace(A^3) = 6 * Delta] (paper, eq. (1) and around). *)
+
+val count : Graph.t -> int
+(** Number of triangles, by direct enumeration over vertex triples. *)
+
+val count_via_trace : Graph.t -> int
+(** [trace(A^3) / 6] — must agree with {!count}; used to cross-validate
+    the two references against each other. *)
+
+val wedges : Graph.t -> int
+(** Number of length-2 paths: [sum_v (deg v choose 2)] (the denominator
+    of the global clustering coefficient, Section 5). *)
+
+val clustering_coefficient : Graph.t -> float
+(** [3 * triangles / wedges]; 0 when the graph has no wedges. *)
+
+val per_vertex : Graph.t -> int array
+(** Triangles through each vertex ([sum = 3 * count]). *)

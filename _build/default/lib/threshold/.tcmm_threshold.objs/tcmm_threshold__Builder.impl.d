@@ -1,0 +1,1 @@
+lib/threshold/builder.ml: Array Circuit Gate List Printf Stats Tcmm_util Wire

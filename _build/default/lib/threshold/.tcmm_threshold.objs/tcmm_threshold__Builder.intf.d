@@ -1,0 +1,1 @@
+lib/threshold/builder.mli: Circuit Stats Wire

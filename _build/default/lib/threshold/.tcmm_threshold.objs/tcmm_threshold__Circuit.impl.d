@@ -1,0 +1,1 @@
+lib/threshold/circuit.ml: Array Gate Printf Stats Wire

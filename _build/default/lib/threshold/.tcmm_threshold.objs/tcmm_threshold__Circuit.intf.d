@@ -1,0 +1,1 @@
+lib/threshold/circuit.mli: Gate Stats Wire

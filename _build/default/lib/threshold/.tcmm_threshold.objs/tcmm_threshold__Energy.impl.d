@@ -1,0 +1,1 @@
+lib/threshold/energy.ml: Array Circuit Format List Simulator Tcmm_util

@@ -1,0 +1,1 @@
+lib/threshold/energy.mli: Circuit Format Tcmm_util

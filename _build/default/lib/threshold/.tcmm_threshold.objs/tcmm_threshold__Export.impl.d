@@ -1,0 +1,1 @@
+lib/threshold/export.ml: Array Buffer Circuit Fun Gate List Printf String

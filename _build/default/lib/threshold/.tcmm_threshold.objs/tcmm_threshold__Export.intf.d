@@ -1,0 +1,1 @@
+lib/threshold/export.mli: Circuit

@@ -1,0 +1,1 @@
+lib/threshold/gate.ml: Array Format Tcmm_util Wire

@@ -1,0 +1,1 @@
+lib/threshold/gate.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/threshold/simulator.ml: Array Bytes Circuit Gate Printf

@@ -1,0 +1,1 @@
+lib/threshold/simulator.mli: Bytes Circuit Wire

@@ -1,0 +1,1 @@
+lib/threshold/spiking.ml: Array Bytes Circuit Gate Stats

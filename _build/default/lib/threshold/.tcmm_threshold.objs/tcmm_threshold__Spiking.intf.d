@@ -1,0 +1,1 @@
+lib/threshold/spiking.mli: Circuit Wire

@@ -1,0 +1,1 @@
+lib/threshold/stats.ml: Array Format Printf

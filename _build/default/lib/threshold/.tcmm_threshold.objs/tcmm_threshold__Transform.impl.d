@@ -1,0 +1,1 @@
+lib/threshold/transform.ml: Array Circuit Gate List

@@ -1,0 +1,1 @@
+lib/threshold/transform.mli: Circuit

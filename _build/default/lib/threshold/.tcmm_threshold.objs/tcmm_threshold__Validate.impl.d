@@ -1,0 +1,1 @@
+lib/threshold/validate.ml: Array Circuit Format Gate Hashtbl List Wire

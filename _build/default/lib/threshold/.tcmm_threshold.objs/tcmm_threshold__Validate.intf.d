@@ -1,0 +1,1 @@
+lib/threshold/validate.mli: Circuit Format Wire

@@ -1,0 +1,1 @@
+lib/threshold/wire.ml: Format Int

@@ -1,0 +1,164 @@
+module Intvec = Tcmm_util.Intvec
+
+type mode = Materialize | Count_only
+
+(* Growable gate store; only used in Materialize mode. *)
+module Gvec = struct
+  type t = { mutable data : Gate.t array; mutable len : int }
+
+  let dummy = Gate.make ~inputs:[||] ~weights:[||] ~threshold:0
+  let create () = { data = Array.make 16 dummy; len = 0 }
+
+  let push t g =
+    if t.len = Array.length t.data then begin
+      let data = Array.make (2 * t.len) dummy in
+      Array.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    t.data.(t.len) <- g;
+    t.len <- t.len + 1
+
+  let to_array t = Array.sub t.data 0 t.len
+end
+
+type t = {
+  mode : mode;
+  depths : Intvec.t;  (* one entry per wire *)
+  gates : Gvec.t;  (* empty in Count_only mode *)
+  mutable inputs : int;
+  mutable gate_count : int;
+  mutable edges : int;
+  mutable max_fan_in : int;
+  mutable max_abs_weight : int;
+  by_depth : Intvec.t;  (* gates at depth d+1 stored at index d *)
+  mutable outputs_rev : Wire.t list;
+  mutable n_outputs : int;
+}
+
+let create ?(mode = Materialize) () =
+  {
+    mode;
+    depths = Intvec.create ~capacity:1024 ();
+    gates = Gvec.create ();
+    inputs = 0;
+    gate_count = 0;
+    edges = 0;
+    max_fan_in = 0;
+    max_abs_weight = 0;
+    by_depth = Intvec.create ();
+    outputs_rev = [];
+    n_outputs = 0;
+  }
+
+let mode t = t.mode
+
+let add_input t =
+  if t.gate_count > 0 then
+    invalid_arg "Builder.add_input: inputs must precede all gates";
+  let w = t.inputs in
+  t.inputs <- t.inputs + 1;
+  Intvec.push t.depths 0;
+  w
+
+let add_inputs t n = Array.init n (fun _ -> add_input t)
+
+let bump_by_depth t d =
+  while Intvec.length t.by_depth < d do
+    Intvec.push t.by_depth 0
+  done;
+  Intvec.set t.by_depth (d - 1) (Intvec.get t.by_depth (d - 1) + 1)
+
+let add_gate t ~inputs ~weights ~threshold =
+  let self = Intvec.length t.depths in
+  if Array.length inputs <> Array.length weights then
+    invalid_arg "Builder.add_gate: inputs/weights length mismatch";
+  let d = ref 0 in
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= self then
+        invalid_arg (Printf.sprintf "Builder.add_gate: dangling wire %d" w);
+      d := max !d (Intvec.get t.depths w))
+    inputs;
+  let depth = !d + 1 in
+  Intvec.push t.depths depth;
+  t.gate_count <- t.gate_count + 1;
+  t.edges <- t.edges + Array.length inputs;
+  t.max_fan_in <- max t.max_fan_in (Array.length inputs);
+  Array.iter (fun w -> t.max_abs_weight <- max t.max_abs_weight (abs w)) weights;
+  bump_by_depth t depth;
+  (match t.mode with
+  | Materialize -> Gvec.push t.gates (Gate.make ~inputs ~weights ~threshold)
+  | Count_only -> ());
+  self
+
+let add_gate_terms t ~terms ~threshold =
+  let inputs = Array.of_list (List.map fst terms) in
+  let weights = Array.of_list (List.map snd terms) in
+  add_gate t ~inputs ~weights ~threshold
+
+let add_shared_gates t ~inputs ~weights ~thresholds =
+  let self = Intvec.length t.depths in
+  if Array.length inputs <> Array.length weights then
+    invalid_arg "Builder.add_shared_gates: inputs/weights length mismatch";
+  let d = ref 0 in
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= self then
+        invalid_arg (Printf.sprintf "Builder.add_shared_gates: dangling wire %d" w);
+      d := max !d (Intvec.get t.depths w))
+    inputs;
+  let depth = !d + 1 in
+  let fan_in = Array.length inputs in
+  let count = Array.length thresholds in
+  if count > 0 then begin
+    Array.iter (fun w -> t.max_abs_weight <- max t.max_abs_weight (abs w)) weights;
+    t.gate_count <- t.gate_count + count;
+    t.edges <- t.edges + (count * fan_in);
+    t.max_fan_in <- max t.max_fan_in fan_in;
+    while Intvec.length t.by_depth < depth do
+      Intvec.push t.by_depth 0
+    done;
+    Intvec.set t.by_depth (depth - 1) (Intvec.get t.by_depth (depth - 1) + count)
+  end;
+  Array.map
+    (fun threshold ->
+      let wire = Intvec.length t.depths in
+      Intvec.push t.depths depth;
+      (match t.mode with
+      | Materialize -> Gvec.push t.gates (Gate.make ~inputs ~weights ~threshold)
+      | Count_only -> ());
+      wire)
+    thresholds
+
+let const t v =
+  add_gate t ~inputs:[||] ~weights:[||] ~threshold:(if v then 0 else 1)
+
+let output t w =
+  if w < 0 || w >= Intvec.length t.depths then
+    invalid_arg "Builder.output: dangling wire";
+  t.outputs_rev <- w :: t.outputs_rev;
+  t.n_outputs <- t.n_outputs + 1
+
+let depth_of t w = Intvec.get t.depths w
+let num_wires t = Intvec.length t.depths
+let num_inputs t = t.inputs
+let num_gates t = t.gate_count
+
+let stats t =
+  {
+    Stats.inputs = t.inputs;
+    outputs = t.n_outputs;
+    gates = t.gate_count;
+    edges = t.edges;
+    depth = Intvec.length t.by_depth;
+    max_fan_in = t.max_fan_in;
+    max_abs_weight = t.max_abs_weight;
+    gates_by_depth = Intvec.to_array t.by_depth;
+  }
+
+let finalize t =
+  match t.mode with
+  | Count_only -> invalid_arg "Builder.finalize: builder is in Count_only mode"
+  | Materialize ->
+      Circuit.make ~num_inputs:t.inputs ~gates:(Gvec.to_array t.gates)
+        ~outputs:(Array.of_list (List.rev t.outputs_rev))

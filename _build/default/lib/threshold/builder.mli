@@ -1,0 +1,69 @@
+(** Incremental construction of threshold circuits.
+
+    All circuit constructors in this repository (the arithmetic circuits of
+    Section 3 and the trace / matrix-product circuits of Section 4) are
+    written against this builder.  It runs in one of two modes:
+
+    - {b Materialize}: gates are stored and {!finalize} yields a
+      {!Circuit.t} that can be simulated exactly.
+    - {b Count_only}: gates are only tallied (count, edges, per-wire depth,
+      fan-in, weight range).  This gives {i exact} structural statistics for
+      circuits far too large to hold in memory — the paper's scaling claims
+      are about gate counts, so the count-only sweeps are the primary
+      experimental instrument.
+
+    Constructor code is identical under both modes; only [finalize] is
+    restricted to [Materialize]. *)
+
+type mode = Materialize | Count_only
+
+type t
+
+val create : ?mode:mode -> unit -> t
+(** [create ()] starts an empty builder in [Materialize] mode. *)
+
+val mode : t -> mode
+
+val add_input : t -> Wire.t
+(** Appends one input wire (depth 0).  Inputs must be created before any
+    gate; raises [Invalid_argument] otherwise (keeps the input block dense
+    at the bottom of the wire id space). *)
+
+val add_inputs : t -> int -> Wire.t array
+(** [add_inputs b n] appends [n] input wires. *)
+
+val add_gate : t -> inputs:Wire.t array -> weights:int array -> threshold:int -> Wire.t
+(** Appends a gate reading existing wires; returns its output wire.
+    Raises [Invalid_argument] on a dangling wire id or mismatched
+    weight array. *)
+
+val add_gate_terms : t -> terms:(Wire.t * int) list -> threshold:int -> Wire.t
+(** Convenience form of {!add_gate} taking [(wire, weight)] pairs. *)
+
+val add_shared_gates :
+  t -> inputs:Wire.t array -> weights:int array -> thresholds:int array -> Wire.t array
+(** One gate per threshold, all reading the same (physically shared)
+    input/weight arrays.  Counts are identical to calling {!add_gate}
+    repeatedly; the point is performance: input validation, depth and
+    weight scans happen once for the whole layer instead of per gate.
+    Lemma 3.1's first layer — [2^k] gates that differ only in their
+    threshold — is built through this. *)
+
+val const : t -> bool -> Wire.t
+(** [const b v] is a wire carrying constant [v], built as a fan-in-0 gate
+    with threshold 0 (true) or 1 (false).  Each call creates a gate;
+    constructors avoid constants where a value is statically known. *)
+
+val output : t -> Wire.t -> unit
+(** Marks a wire as a circuit output (in call order). *)
+
+val depth_of : t -> Wire.t -> int
+val num_wires : t -> int
+val num_inputs : t -> int
+val num_gates : t -> int
+
+val stats : t -> Stats.t
+(** Exact structural statistics of the circuit built so far (both modes). *)
+
+val finalize : t -> Circuit.t
+(** Raises [Invalid_argument] in [Count_only] mode. *)

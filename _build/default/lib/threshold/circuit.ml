@@ -1,0 +1,62 @@
+type t = {
+  num_inputs : int;
+  gates : Gate.t array;
+  outputs : Wire.t array;
+  depths : int array;
+}
+
+let make ~num_inputs ~gates ~outputs =
+  if num_inputs < 0 then invalid_arg "Circuit.make: negative input count";
+  let num_wires = num_inputs + Array.length gates in
+  let depths = Array.make num_wires 0 in
+  Array.iteri
+    (fun g (gate : Gate.t) ->
+      let self = num_inputs + g in
+      let d = ref 0 in
+      Array.iter
+        (fun w ->
+          if w < 0 || w >= self then
+            invalid_arg
+              (Printf.sprintf "Circuit.make: gate %d reads wire %d (not topological)" g w);
+          d := max !d depths.(w))
+        gate.Gate.inputs;
+      depths.(self) <- !d + 1)
+    gates;
+  Array.iter
+    (fun w ->
+      if w < 0 || w >= num_wires then
+        invalid_arg (Printf.sprintf "Circuit.make: output wire %d out of range" w))
+    outputs;
+  { num_inputs; gates; outputs; depths }
+
+let num_wires c = c.num_inputs + Array.length c.gates
+let num_gates c = Array.length c.gates
+let wire_of_gate c g = c.num_inputs + g
+
+let gate_of_wire c w =
+  if w < c.num_inputs then None else Some c.gates.(w - c.num_inputs)
+
+let depth_of_wire c w = c.depths.(w)
+
+let stats c =
+  let depth = Array.fold_left max 0 c.depths in
+  let gates_by_depth = Array.make depth 0 in
+  let edges = ref 0 and max_fan_in = ref 0 and max_w = ref 0 in
+  Array.iteri
+    (fun g gate ->
+      let d = c.depths.(c.num_inputs + g) in
+      gates_by_depth.(d - 1) <- gates_by_depth.(d - 1) + 1;
+      edges := !edges + Gate.fan_in gate;
+      max_fan_in := max !max_fan_in (Gate.fan_in gate);
+      max_w := max !max_w (Gate.max_abs_weight gate))
+    c.gates;
+  {
+    Stats.inputs = c.num_inputs;
+    outputs = Array.length c.outputs;
+    gates = Array.length c.gates;
+    edges = !edges;
+    depth;
+    max_fan_in = !max_fan_in;
+    max_abs_weight = !max_w;
+    gates_by_depth;
+  }

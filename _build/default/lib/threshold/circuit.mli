@@ -1,0 +1,30 @@
+(** A finalized threshold circuit.
+
+    Wires [0 .. num_inputs-1] are the circuit inputs; wire
+    [num_inputs + g] is the output of gate [g].  Gates are stored in
+    topological order: a gate only reads wires with smaller ids, so a
+    single left-to-right pass evaluates the circuit. *)
+
+type t = private {
+  num_inputs : int;
+  gates : Gate.t array;
+  outputs : Wire.t array;
+  depths : int array;  (** per wire; inputs have depth 0 *)
+}
+
+val make : num_inputs:int -> gates:Gate.t array -> outputs:Wire.t array -> t
+(** Computes depths and checks topological order.  Raises
+    [Invalid_argument] on a malformed circuit (gate reading a wire at or
+    above its own id, or an out-of-range output). *)
+
+val num_wires : t -> int
+val num_gates : t -> int
+
+val wire_of_gate : t -> int -> Wire.t
+(** [wire_of_gate c g] is the output wire of gate index [g]. *)
+
+val gate_of_wire : t -> Wire.t -> Gate.t option
+(** [None] when the wire is a circuit input. *)
+
+val depth_of_wire : t -> Wire.t -> int
+val stats : t -> Stats.t

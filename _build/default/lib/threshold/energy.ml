@@ -1,0 +1,38 @@
+type summary = {
+  samples : int;
+  mean_firings : float;
+  min_firings : int;
+  max_firings : int;
+  gates : int;
+}
+
+let measure c inputs =
+  if inputs = [] then invalid_arg "Energy.measure: no inputs";
+  let total = ref 0 and mn = ref max_int and mx = ref 0 and n = ref 0 in
+  List.iter
+    (fun input ->
+      let r = Simulator.run c input in
+      total := !total + r.Simulator.firings;
+      mn := min !mn r.Simulator.firings;
+      mx := max !mx r.Simulator.firings;
+      incr n)
+    inputs;
+  {
+    samples = !n;
+    mean_firings = float_of_int !total /. float_of_int !n;
+    min_firings = !mn;
+    max_firings = !mx;
+    gates = Circuit.num_gates c;
+  }
+
+let random_inputs rng ~num_inputs ~samples =
+  List.init samples (fun _ ->
+      Array.init num_inputs (fun _ -> Tcmm_util.Prng.bool rng))
+
+let firing_fraction s =
+  if s.gates = 0 then 0. else s.mean_firings /. float_of_int s.gates
+
+let pp ppf s =
+  Format.fprintf ppf "firings: mean %.1f of %d gates (%.1f%%), range [%d, %d], %d samples"
+    s.mean_firings s.gates (100. *. firing_fraction s) s.min_firings s.max_firings
+    s.samples

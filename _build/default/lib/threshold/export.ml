@@ -1,0 +1,99 @@
+let to_netlist (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "tcmm-netlist 1\n";
+  Buffer.add_string buf (Printf.sprintf "inputs %d\n" c.Circuit.num_inputs);
+  Array.iter
+    (fun (g : Gate.t) ->
+      Buffer.add_string buf (Printf.sprintf "gate %d" g.Gate.threshold);
+      Array.iteri
+        (fun i w ->
+          Buffer.add_string buf (Printf.sprintf " %d:%d" w g.Gate.weights.(i)))
+        g.Gate.inputs;
+      Buffer.add_char buf '\n')
+    c.Circuit.gates;
+  Array.iter
+    (fun w -> Buffer.add_string buf (Printf.sprintf "output %d\n" w))
+    c.Circuit.outputs;
+  Buffer.contents buf
+
+let of_netlist text =
+  let fail lineno msg = failwith (Printf.sprintf "Export.of_netlist: line %d: %s" lineno msg) in
+  let lines = String.split_on_char '\n' text in
+  let num_inputs = ref None in
+  let gates = ref [] in
+  let outputs = ref [] in
+  let parse_int lineno s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno (Printf.sprintf "expected integer, got %S" s)
+  in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      let line = String.trim line in
+      if line <> "" then
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "tcmm-netlist"; "1" ] -> ()
+        | "tcmm-netlist" :: v -> fail lineno ("unsupported version: " ^ String.concat " " v)
+        | [ "inputs"; n ] ->
+            if !num_inputs <> None then fail lineno "duplicate inputs line";
+            num_inputs := Some (parse_int lineno n)
+        | "gate" :: threshold :: terms ->
+            let threshold = parse_int lineno threshold in
+            let parsed =
+              List.map
+                (fun term ->
+                  match String.split_on_char ':' term with
+                  | [ w; weight ] -> (parse_int lineno w, parse_int lineno weight)
+                  | _ -> fail lineno (Printf.sprintf "malformed term %S" term))
+                terms
+            in
+            let inputs = Array.of_list (List.map fst parsed) in
+            let weights = Array.of_list (List.map snd parsed) in
+            gates := Gate.make ~inputs ~weights ~threshold :: !gates
+        | [ "output"; w ] -> outputs := parse_int lineno w :: !outputs
+        | tok :: _ -> fail lineno (Printf.sprintf "unknown directive %S" tok)
+        | [] -> ())
+    lines;
+  match !num_inputs with
+  | None -> failwith "Export.of_netlist: missing inputs line"
+  | Some num_inputs ->
+      Circuit.make ~num_inputs
+        ~gates:(Array.of_list (List.rev !gates))
+        ~outputs:(Array.of_list (List.rev !outputs))
+
+let to_dot ?(max_gates = 2000) (c : Circuit.t) =
+  if Circuit.num_gates c > max_gates then
+    invalid_arg "Export.to_dot: circuit too large for DOT rendering";
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "digraph tcmm {\n  rankdir=BT;\n";
+  let output_set = Array.to_list c.Circuit.outputs in
+  for i = 0 to c.Circuit.num_inputs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  w%d [shape=box,label=\"x%d\"];\n" i i)
+  done;
+  Array.iteri
+    (fun g (gate : Gate.t) ->
+      let wire = Circuit.wire_of_gate c g in
+      let shape = if List.mem wire output_set then "doublecircle" else "ellipse" in
+      Buffer.add_string buf
+        (Printf.sprintf "  w%d [shape=%s,label=\">=%d\"];\n" wire shape
+           gate.Gate.threshold);
+      Array.iteri
+        (fun i src ->
+          Buffer.add_string buf
+            (Printf.sprintf "  w%d -> w%d [label=\"%d\"];\n" src wire
+               gate.Gate.weights.(i)))
+        gate.Gate.inputs)
+    c.Circuit.gates;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)

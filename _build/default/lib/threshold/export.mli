@@ -1,0 +1,30 @@
+(** Circuit serialization.
+
+    Two formats:
+
+    - a plain-text {e netlist} with one line per input/gate/output,
+      lossless and re-parseable — the hand-off format for external
+      (e.g. neuromorphic) toolchains;
+    - GraphViz DOT for visualizing small circuits.
+
+    Netlist grammar (line-oriented):
+    {v
+    tcmm-netlist 1
+    inputs <n>
+    gate <threshold> [<wire>:<weight>]...      # wire id = n + gate index
+    output <wire>
+    v} *)
+
+val to_netlist : Circuit.t -> string
+
+val of_netlist : string -> Circuit.t
+(** Raises [Failure] with a line-numbered message on malformed input. *)
+
+val to_dot : ?max_gates:int -> Circuit.t -> string
+(** Renders inputs as boxes and gates as ellipses labelled with their
+    thresholds; edges carry weights.  Raises [Invalid_argument] if the
+    circuit has more than [max_gates] (default 2000) gates — DOT output
+    is for small circuits only. *)
+
+val write_file : string -> string -> unit
+(** [write_file path contents]. *)

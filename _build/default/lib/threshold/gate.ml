@@ -1,0 +1,31 @@
+type t = { inputs : Wire.t array; weights : int array; threshold : int }
+
+let make ~inputs ~weights ~threshold =
+  if Array.length inputs <> Array.length weights then
+    invalid_arg "Gate.make: inputs/weights length mismatch";
+  { inputs; weights; threshold }
+
+let fan_in g = Array.length g.inputs
+
+let eval g read =
+  let acc = ref 0 in
+  for i = 0 to Array.length g.inputs - 1 do
+    if read g.inputs.(i) then acc := !acc + g.weights.(i)
+  done;
+  !acc >= g.threshold
+
+let eval_checked g read =
+  let acc = ref 0 in
+  for i = 0 to Array.length g.inputs - 1 do
+    if read g.inputs.(i) then acc := Tcmm_util.Checked.add !acc g.weights.(i)
+  done;
+  !acc >= g.threshold
+
+let max_abs_weight g = Array.fold_left (fun m w -> max m (abs w)) 0 g.weights
+
+let pp ppf g =
+  Format.fprintf ppf "@[<h>gate(t=%d;" g.threshold;
+  Array.iteri
+    (fun i w -> Format.fprintf ppf " %+d*%a" g.weights.(i) Wire.pp w)
+    g.inputs;
+  Format.fprintf ppf ")@]"

@@ -1,0 +1,29 @@
+(** A McCulloch–Pitts linear threshold gate.
+
+    A gate with inputs [y_1 .. y_m] (booleans read from wires), integer
+    weights [w_1 .. w_m] and integer threshold [t] outputs 1 iff
+    [sum_i w_i * y_i >= t] (paper, Section 1). *)
+
+type t = private {
+  inputs : Wire.t array;  (** wires read by the gate *)
+  weights : int array;  (** one weight per input wire *)
+  threshold : int;
+}
+
+val make : inputs:Wire.t array -> weights:int array -> threshold:int -> t
+(** Raises [Invalid_argument] if [inputs] and [weights] differ in length. *)
+
+val fan_in : t -> int
+
+val eval : t -> (Wire.t -> bool) -> bool
+(** [eval g read] fires the gate against wire values supplied by [read].
+    Uses unchecked native addition; see {!eval_checked}. *)
+
+val eval_checked : t -> (Wire.t -> bool) -> bool
+(** As {!eval} but accumulates with overflow checking
+    (raises [Tcmm_util.Checked.Overflow]). *)
+
+val max_abs_weight : t -> int
+(** Largest weight magnitude, 0 for a fan-in-0 gate. *)
+
+val pp : Format.formatter -> t -> unit

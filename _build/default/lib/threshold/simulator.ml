@@ -1,0 +1,26 @@
+type result = { values : Bytes.t; outputs : bool array; firings : int }
+
+let run ?(check = false) (c : Circuit.t) inputs =
+  if Array.length inputs <> c.Circuit.num_inputs then
+    invalid_arg
+      (Printf.sprintf "Simulator.run: expected %d inputs, got %d"
+         c.Circuit.num_inputs (Array.length inputs));
+  let values = Bytes.make (Circuit.num_wires c) '\000' in
+  Array.iteri
+    (fun i v -> if v then Bytes.unsafe_set values i '\001')
+    inputs;
+  let read w = Bytes.unsafe_get values w <> '\000' in
+  let firings = ref 0 in
+  let eval = if check then Gate.eval_checked else Gate.eval in
+  Array.iteri
+    (fun g gate ->
+      if eval gate read then begin
+        Bytes.unsafe_set values (c.Circuit.num_inputs + g) '\001';
+        incr firings
+      end)
+    c.Circuit.gates;
+  let outputs = Array.map read c.Circuit.outputs in
+  { values; outputs; firings = !firings }
+
+let value r w = Bytes.get r.values w <> '\000'
+let read_outputs c inputs = (run c inputs).outputs

@@ -1,0 +1,25 @@
+(** Exact evaluation of a threshold circuit.
+
+    The simulator walks the gates in topological order, so one pass over
+    the gate array (linear in the edge count) computes every wire.  It also
+    records the number of gates that fire, which is the energy measure of
+    Uchizawa, Douglas and Maass cited in the paper's open problems
+    (Section 6). *)
+
+type result = {
+  values : Bytes.t;  (** one byte per wire: 0 or 1 *)
+  outputs : bool array;  (** values of the circuit's designated outputs *)
+  firings : int;  (** number of gates whose output is 1 *)
+}
+
+val run : ?check:bool -> Circuit.t -> bool array -> result
+(** [run c inputs] evaluates [c] on [inputs].
+    [check] (default [false]) enables overflow-checked accumulation.
+    Raises [Invalid_argument] if [inputs] length differs from
+    [c.num_inputs]. *)
+
+val value : result -> Wire.t -> bool
+(** [value r w] reads one wire from a result. *)
+
+val read_outputs : Circuit.t -> bool array -> bool array
+(** Convenience: [run] then return just the output values. *)

@@ -1,0 +1,43 @@
+type state = {
+  circuit : Circuit.t;
+  mutable current : Bytes.t;
+  mutable next : Bytes.t;
+}
+
+let init (c : Circuit.t) inputs =
+  if Array.length inputs <> c.Circuit.num_inputs then
+    invalid_arg "Spiking.init: input length mismatch";
+  let current = Bytes.make (Circuit.num_wires c) '\000' in
+  Array.iteri (fun i v -> if v then Bytes.set current i '\001') inputs;
+  { circuit = c; current; next = Bytes.copy current }
+
+let tick st =
+  let c = st.circuit in
+  let read w = Bytes.unsafe_get st.current w <> '\000' in
+  (* Inputs stay clamped; copy them over. *)
+  Bytes.blit st.current 0 st.next 0 c.Circuit.num_inputs;
+  Array.iteri
+    (fun g gate ->
+      Bytes.unsafe_set st.next (c.Circuit.num_inputs + g)
+        (if Gate.eval gate read then '\001' else '\000'))
+    c.Circuit.gates;
+  let tmp = st.current in
+  st.current <- st.next;
+  st.next <- tmp
+
+let value st w = Bytes.get st.current w <> '\000'
+
+let outputs st = Array.map (value st) st.circuit.Circuit.outputs
+
+let settle ?max_ticks (c : Circuit.t) inputs =
+  let depth = (Circuit.stats c).Stats.depth in
+  let max_ticks = match max_ticks with Some m -> m | None -> (4 * depth) + 16 in
+  let st = init c inputs in
+  let rec go t =
+    let before = Bytes.copy st.current in
+    tick st;
+    if Bytes.equal before st.current then (t, outputs st)
+    else if t >= max_ticks then failwith "Spiking.settle: no fixed point reached"
+    else go (t + 1)
+  in
+  go 0

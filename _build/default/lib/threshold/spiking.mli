@@ -1,0 +1,32 @@
+(** Discrete-time (spiking) semantics.
+
+    Neuromorphic platforms (TrueNorth, SpiNNaker, Loihi — the paper's
+    Section 1 hardware) do not evaluate a DAG in topological order: every
+    neuron updates {e simultaneously} once per tick from its inputs'
+    previous-tick outputs.  Under that semantics a depth-[D] circuit's
+    outputs are correct from tick [D] on (inputs held constant), and stay
+    fixed afterwards — which is precisely the sense in which the paper's
+    constant-depth circuits are "constant-time" algorithms on such
+    hardware.  {!settle} measures that convergence empirically. *)
+
+type state
+(** Mutable network state: one boolean per wire. *)
+
+val init : Circuit.t -> bool array -> state
+(** All gate outputs start at 0 ("quiescent"); inputs are clamped to the
+    given vector. *)
+
+val tick : state -> unit
+(** One synchronous update: every gate reads its inputs' previous values
+    and fires accordingly. *)
+
+val outputs : state -> bool array
+val value : state -> Wire.t -> bool
+
+val settle : ?max_ticks:int -> Circuit.t -> bool array -> int * bool array
+(** [settle c input] ticks until the full wire state repeats (a fixed
+    point — monotone convergence is {e not} assumed) and returns
+    [(ticks, outputs)] where [ticks] is the first tick after which
+    nothing changed.  Raises [Failure] if no fixed point is reached
+    within [max_ticks] (default 4 * depth + 16; feedback-free circuits
+    always settle within their depth). *)

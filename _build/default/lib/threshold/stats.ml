@@ -1,0 +1,35 @@
+type t = {
+  inputs : int;
+  outputs : int;
+  gates : int;
+  edges : int;
+  depth : int;
+  max_fan_in : int;
+  max_abs_weight : int;
+  gates_by_depth : int array;
+}
+
+let zero =
+  {
+    inputs = 0;
+    outputs = 0;
+    gates = 0;
+    edges = 0;
+    depth = 0;
+    max_fan_in = 0;
+    max_abs_weight = 0;
+    gates_by_depth = [||];
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>inputs: %d@ outputs: %d@ gates: %d@ edges: %d@ depth: %d@ \
+     max fan-in: %d@ max |weight|: %d@ gates by depth: %a@]"
+    s.inputs s.outputs s.gates s.edges s.depth s.max_fan_in s.max_abs_weight
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    (Array.to_list s.gates_by_depth)
+
+let to_row s =
+  Printf.sprintf "gates=%d depth=%d edges=%d fan-in<=%d |w|<=%d" s.gates s.depth
+    s.edges s.max_fan_in s.max_abs_weight

@@ -1,0 +1,25 @@
+(** Structural complexity measures of a threshold circuit.
+
+    These are exactly the measures the paper tracks (Section 1): size
+    (gate count), depth (longest input-to-output path), edges (total
+    connections) and fan-in, plus the largest weight magnitude, which
+    bounds the dynamic range a neuromorphic substrate would need. *)
+
+type t = {
+  inputs : int;
+  outputs : int;
+  gates : int;
+  edges : int;  (** total wire connections into gates *)
+  depth : int;  (** 0 for a circuit with no gates *)
+  max_fan_in : int;
+  max_abs_weight : int;
+  gates_by_depth : int array;  (** [gates_by_depth.(d-1)] = gates at depth [d] *)
+}
+
+val zero : t
+(** Stats of an empty circuit. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_row : t -> string
+(** One-line summary, used by examples and the CLI. *)

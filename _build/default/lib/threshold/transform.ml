@@ -1,0 +1,41 @@
+type mapping = { circuit : Circuit.t; wire_map : int array }
+
+let live_gates (c : Circuit.t) =
+  let n_gates = Circuit.num_gates c in
+  let live = Array.make n_gates false in
+  let live_wire = Array.make (Circuit.num_wires c) false in
+  Array.iter (fun w -> live_wire.(w) <- true) c.Circuit.outputs;
+  (* Gates only read smaller wire ids, so one backwards pass suffices. *)
+  for g = n_gates - 1 downto 0 do
+    let wire = Circuit.wire_of_gate c g in
+    if live_wire.(wire) then begin
+      live.(g) <- true;
+      Array.iter (fun w -> live_wire.(w) <- true) c.Circuit.gates.(g).Gate.inputs
+    end
+  done;
+  live
+
+let prune (c : Circuit.t) =
+  let live = live_gates c in
+  let wire_map = Array.make (Circuit.num_wires c) (-1) in
+  for i = 0 to c.Circuit.num_inputs - 1 do
+    wire_map.(i) <- i
+  done;
+  let kept = ref [] in
+  let next = ref c.Circuit.num_inputs in
+  Array.iteri
+    (fun g (gate : Gate.t) ->
+      if live.(g) then begin
+        let inputs = Array.map (fun w -> wire_map.(w)) gate.Gate.inputs in
+        kept := Gate.make ~inputs ~weights:gate.Gate.weights ~threshold:gate.Gate.threshold :: !kept;
+        wire_map.(Circuit.wire_of_gate c g) <- !next;
+        incr next
+      end)
+    c.Circuit.gates;
+  let outputs = Array.map (fun w -> wire_map.(w)) c.Circuit.outputs in
+  let circuit =
+    Circuit.make ~num_inputs:c.Circuit.num_inputs
+      ~gates:(Array.of_list (List.rev !kept))
+      ~outputs
+  in
+  { circuit; wire_map }

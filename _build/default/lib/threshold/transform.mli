@@ -1,0 +1,21 @@
+(** Circuit transformations.
+
+    {!prune} removes gates that no output (transitively) reads — useful
+    after composing constructions where some intermediate results turn
+    out unused (e.g. a sum tree built for more leaves than a downstream
+    consumer takes).  Wire ids are compacted; the mapping is returned so
+    handles held by the caller can be translated. *)
+
+type mapping = {
+  circuit : Circuit.t;
+  wire_map : int array;
+      (** old wire id -> new wire id, or [-1] if the wire was removed *)
+}
+
+val prune : Circuit.t -> mapping
+(** Keeps all inputs (the interface is preserved) and exactly the gates
+    reachable from the outputs.  Output order is preserved. *)
+
+val live_gates : Circuit.t -> bool array
+(** Per-gate liveness (reachability from the outputs), without
+    rebuilding. *)

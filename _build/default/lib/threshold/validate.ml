@@ -1,0 +1,39 @@
+type issue =
+  | Dangling_wire of { gate : int; wire : Wire.t }
+  | Duplicate_input_wire of { gate : int; wire : Wire.t }
+  | Unreachable_output of { output_index : int; wire : Wire.t }
+  | Zero_weight of { gate : int; wire : Wire.t }
+
+let pp_issue ppf = function
+  | Dangling_wire { gate; wire } ->
+      Format.fprintf ppf "gate %d reads dangling wire %a" gate Wire.pp wire
+  | Duplicate_input_wire { gate; wire } ->
+      Format.fprintf ppf "gate %d reads wire %a more than once" gate Wire.pp wire
+  | Unreachable_output { output_index; wire } ->
+      Format.fprintf ppf "output %d is raw input wire %a" output_index Wire.pp wire
+  | Zero_weight { gate; wire } ->
+      Format.fprintf ppf "gate %d has zero weight on wire %a" gate Wire.pp wire
+
+let check (c : Circuit.t) =
+  let issues = ref [] in
+  let add i = issues := i :: !issues in
+  Array.iteri
+    (fun g (gate : Gate.t) ->
+      let self = Circuit.wire_of_gate c g in
+      let seen = Hashtbl.create (Array.length gate.Gate.inputs) in
+      Array.iteri
+        (fun i w ->
+          if w < 0 || w >= self then add (Dangling_wire { gate = g; wire = w });
+          if Hashtbl.mem seen w then add (Duplicate_input_wire { gate = g; wire = w })
+          else Hashtbl.add seen w ();
+          if gate.Gate.weights.(i) = 0 then add (Zero_weight { gate = g; wire = w }))
+        gate.Gate.inputs)
+    c.Circuit.gates;
+  Array.iteri
+    (fun i w ->
+      if w < c.Circuit.num_inputs then
+        add (Unreachable_output { output_index = i; wire = w }))
+    c.Circuit.outputs;
+  List.rev !issues
+
+let is_clean c = check c = []

@@ -1,0 +1,25 @@
+(** Structural validation of circuits.
+
+    {!Circuit.make} already rejects non-topological circuits; this module
+    performs the deeper well-formedness checks used by tests and by the
+    CLI's [verify] command, returning all violations rather than failing
+    on the first. *)
+
+type issue =
+  | Dangling_wire of { gate : int; wire : Wire.t }
+  | Duplicate_input_wire of { gate : int; wire : Wire.t }
+      (** a gate reading the same wire twice — legal for threshold logic
+          but always a bug in this repository's constructors, which merge
+          coefficients instead *)
+  | Unreachable_output of { output_index : int; wire : Wire.t }
+      (** an output wire that is an input: allowed, reported for review *)
+  | Zero_weight of { gate : int; wire : Wire.t }
+      (** a zero-weight connection — wasted edge *)
+
+val pp_issue : Format.formatter -> issue -> unit
+
+val check : Circuit.t -> issue list
+(** All issues found, in gate order. *)
+
+val is_clean : Circuit.t -> bool
+(** [is_clean c] iff {!check} returns no issues. *)

@@ -1,0 +1,5 @@
+type t = int
+
+let compare = Int.compare
+let equal = Int.equal
+let pp ppf w = Format.fprintf ppf "w%d" w

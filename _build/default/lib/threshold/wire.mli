@@ -1,0 +1,11 @@
+(** Wire identifiers.
+
+    A wire is either a circuit input or the output of a threshold gate;
+    both live in one dense id space assigned by {!Builder} in topological
+    order (a gate may only read wires with smaller ids). *)
+
+type t = int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/checked.ml: Array List Printf Stdlib

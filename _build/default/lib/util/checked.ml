@@ -1,0 +1,39 @@
+exception Overflow of string
+
+let fail op a b =
+  raise (Overflow (Printf.sprintf "Checked.%s: %d %d" op a b))
+
+let add a b =
+  let r = a + b in
+  (* Overflow iff operands share a sign and the result sign differs. *)
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then fail "add" a b;
+  r
+
+let sub a b =
+  let r = a - b in
+  if (a >= 0) <> (b >= 0) && (r >= 0) <> (a >= 0) then fail "sub" a b;
+  r
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a || (a = min_int && b = -1) then fail "mul" a b;
+    r
+
+let neg a = if a = min_int then fail "neg" a 0 else -a
+let abs a = if a = min_int then fail "abs" a 0 else Stdlib.abs a
+
+let pow base e =
+  if e < 0 then invalid_arg "Checked.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      let e = e lsr 1 in
+      if e = 0 then acc else go acc (mul base base) e
+  in
+  go 1 base e
+
+let sum xs = List.fold_left add 0 xs
+let sum_array xs = Array.fold_left add 0 xs

@@ -1,0 +1,38 @@
+(** Overflow-checked arithmetic on native [int].
+
+    All circuit weights, thresholds and simulated sums in this repository are
+    native 63-bit integers.  The constructions bound every intermediate value
+    by design (entries have [O(log N)] bits and [N <= 2^10] in experiments),
+    but a silent wrap-around would corrupt gate counts or simulation results
+    without any error, so the hot paths use these checked operations.
+
+    Each function raises [Overflow] if the mathematical result does not fit
+    in a native [int]. *)
+
+exception Overflow of string
+
+val add : int -> int -> int
+(** [add a b] is [a + b], raising [Overflow] on wrap-around. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b], raising [Overflow] on wrap-around. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b], raising [Overflow] on wrap-around. *)
+
+val neg : int -> int
+(** [neg a] is [-a], raising [Overflow] when [a = min_int]. *)
+
+val abs : int -> int
+(** [abs a] is the absolute value of [a], raising [Overflow] when
+    [a = min_int]. *)
+
+val pow : int -> int -> int
+(** [pow base e] is [base] raised to the nonnegative exponent [e], checked.
+    Raises [Invalid_argument] if [e < 0]. *)
+
+val sum : int list -> int
+(** [sum xs] adds up [xs] with overflow checking. *)
+
+val sum_array : int array -> int
+(** [sum_array xs] adds up [xs] with overflow checking. *)

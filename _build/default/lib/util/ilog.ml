@@ -1,0 +1,43 @@
+let bits m =
+  if m < 0 then invalid_arg "Ilog.bits: negative argument";
+  let rec go l p = if m < p then l else go (l + 1) (p * 2) in
+  (* [p] doubles from 1; [m < max_int] guarantees termination before
+     overflow because [p] reaches [2^62] > any valid [m / 2]. *)
+  go 0 1
+
+let floor_log2 m =
+  if m <= 0 then invalid_arg "Ilog.floor_log2: nonpositive argument";
+  bits m - 1
+
+let ceil_log2 m =
+  if m <= 0 then invalid_arg "Ilog.ceil_log2: nonpositive argument";
+  bits (m - 1)
+
+let floor_log ~base m =
+  if base < 2 then invalid_arg "Ilog.floor_log: base < 2";
+  if m < 1 then invalid_arg "Ilog.floor_log: m < 1";
+  let rec go l p = if p > m / base then l else go (l + 1) (p * base) in
+  go 0 1
+
+let ceil_log ~base m =
+  if base < 2 then invalid_arg "Ilog.ceil_log: base < 2";
+  if m < 1 then invalid_arg "Ilog.ceil_log: m < 1";
+  if m = 1 then 0
+  else
+    let rec go l p =
+      if p >= m then l
+      else if p > m / base then l + 1 (* next multiply passes m *)
+      else go (l + 1) (p * base)
+    in
+    go 0 1
+
+let is_pow ~base m =
+  if base < 2 then invalid_arg "Ilog.is_pow: base < 2";
+  if m < 1 then invalid_arg "Ilog.is_pow: m < 1";
+  let rec go p = if p = m then true else if p > m / base then false else go (p * base) in
+  go 1
+
+let exact_log ~base m =
+  if not (is_pow ~base m) then
+    invalid_arg (Printf.sprintf "Ilog.exact_log: %d is not a power of %d" m base);
+  floor_log ~base m

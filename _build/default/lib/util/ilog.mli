@@ -1,0 +1,33 @@
+(** Integer logarithms and the paper's [bits] function.
+
+    The paper (Section 2.3) defines [bits m] as the least [l] such that
+    [m < 2^l], i.e. the number of bits needed to write the nonnegative
+    integer [m] in binary (with [bits 0 = 0]). *)
+
+val bits : int -> int
+(** [bits m] is the least [l >= 0] with [m < 2^l].  Raises
+    [Invalid_argument] if [m < 0]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 m] is the greatest [l] with [2^l <= m].  Raises
+    [Invalid_argument] if [m <= 0]. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 m] is the least [l] with [m <= 2^l].  Raises
+    [Invalid_argument] if [m <= 0]. *)
+
+val floor_log : base:int -> int -> int
+(** [floor_log ~base m] is the greatest [l] with [base^l <= m].
+    Requires [base >= 2] and [m >= 1]. *)
+
+val ceil_log : base:int -> int -> int
+(** [ceil_log ~base m] is the least [l] with [m <= base^l].
+    Requires [base >= 2] and [m >= 1]. *)
+
+val is_pow : base:int -> int -> bool
+(** [is_pow ~base m] is [true] iff [m] is a nonnegative power of [base].
+    Requires [base >= 2] and [m >= 1]. *)
+
+val exact_log : base:int -> int -> int
+(** [exact_log ~base m] is [l] such that [base^l = m].  Raises
+    [Invalid_argument] if [m] is not a power of [base]. *)

@@ -1,0 +1,18 @@
+(** Growable integer vectors.
+
+    The circuit builder appends one depth entry per wire; circuits reach
+    tens of millions of wires in count-only sweeps, so this is a flat
+    [int array] with amortized doubling rather than a list or a boxed
+    structure. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val length : t -> int
+val push : t -> int -> unit
+val get : t -> int -> int
+(** Raises [Invalid_argument] when out of bounds. *)
+
+val set : t -> int -> int -> unit
+val to_array : t -> int array
+val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014). *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound <= 0";
+  (* Rejection sampling to avoid modulo bias. *)
+  let limit = 0x3FFF_FFFF_FFFF_FFFF / bound * bound in
+  let rec go () =
+    let r = next t in
+    if r < limit then r mod bound else go ()
+  in
+  go ()
+
+let int_range t ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_range: lo > hi";
+  lo + int t ~bound:(hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+let float t = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) *. 0x1p-53
+let split t = { state = next_int64 t }

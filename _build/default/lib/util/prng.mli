@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    Experiments and property tests need reproducible workloads across runs
+    and machines, so the repository never uses [Stdlib.Random]; all
+    randomness flows through an explicitly seeded SplitMix64 stream. *)
+
+type t
+(** A mutable PRNG state. *)
+
+val create : seed:int -> t
+(** [create ~seed] initializes a stream from [seed]. *)
+
+val next : t -> int
+(** [next t] is the next raw 62-bit nonnegative integer of the stream. *)
+
+val int : t -> bound:int -> int
+(** [int t ~bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val int_range : t -> lo:int -> hi:int -> int
+(** [int_range t ~lo ~hi] is uniform in [\[lo, hi\]] (inclusive).
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** [bool t] is a uniform boolean. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)]. *)
+
+val split : t -> t
+(** [split t] derives an independent stream (advances [t] once). *)

@@ -1,0 +1,54 @@
+type cell = Str of string | Int of int | Float of float | Sci of float | Ratio of float
+
+let cell_text = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.4f" f
+  | Sci f -> Printf.sprintf "%.3e" f
+  | Ratio f -> Printf.sprintf "%.2fx" f
+
+let right_aligned = function Str _ -> false | Int _ | Float _ | Sci _ | Ratio _ -> true
+
+let render ~title ~header ~rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len > ncols then invalid_arg "Tablefmt.render: row wider than header"
+    else r @ List.init (ncols - len) (fun _ -> Str "")
+  in
+  let rows = List.map pad_row rows in
+  let texts = List.map (List.map cell_text) rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun w row -> max w (String.length (List.nth row i)))
+          (String.length h) texts)
+      header
+  in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    List.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let add_cells cells aligns =
+    List.iteri
+      (fun i text ->
+        let w = List.nth widths i in
+        let pad = w - String.length text in
+        let left, right = if List.nth aligns i then (pad, 0) else (0, pad) in
+        Buffer.add_string buf
+          ("| " ^ String.make left ' ' ^ text ^ String.make right ' ' ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  Buffer.add_string buf ("== " ^ title ^ " ==\n");
+  rule ();
+  add_cells header (List.map (fun _ -> false) header);
+  rule ();
+  List.iter2 (fun texts row -> add_cells texts (List.map right_aligned row)) texts rows;
+  rule ();
+  Buffer.contents buf
+
+let print ~title ~header ~rows =
+  print_string (render ~title ~header ~rows);
+  print_newline ()

@@ -1,0 +1,20 @@
+(** Plain-text table rendering for experiment output.
+
+    The benchmark harness prints every reproduced table as an aligned ASCII
+    table; this module owns the layout so all experiment output looks the
+    same. *)
+
+type cell =
+  | Str of string
+  | Int of int
+  | Float of float  (** rendered with 4 significant decimals *)
+  | Sci of float  (** rendered in scientific notation, 3 decimals *)
+  | Ratio of float  (** rendered as e.g. [1.73x] *)
+
+val render : title:string -> header:string list -> rows:cell list list -> string
+(** [render ~title ~header ~rows] lays the table out with one column per
+    header entry.  Rows shorter than the header are padded with blanks.
+    Numeric cells are right-aligned, strings left-aligned. *)
+
+val print : title:string -> header:string list -> rows:cell list list -> unit
+(** [print] renders to [stdout] followed by a blank line. *)

@@ -1,0 +1,1 @@
+test/test_convnet.ml: Alcotest Array Builder Circuit Conv Im2col Image Inference List Printf Simulator Stats Tcmm Tcmm_arith Tcmm_convnet Tcmm_fastmm Tcmm_test_support Tcmm_threshold Tcmm_util

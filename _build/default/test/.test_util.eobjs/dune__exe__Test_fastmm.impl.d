@@ -1,0 +1,1 @@
+test/test_fastmm.ml: Alcotest Array Bilinear Instances List Matrix Orbit Printf QCheck2 Sparsity Tcmm_fastmm Tcmm_test_support Tcmm_util Tensor Verify

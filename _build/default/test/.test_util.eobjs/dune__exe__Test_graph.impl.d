@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Generate Graph List QCheck2 Tcmm Tcmm_fastmm Tcmm_graph Tcmm_test_support Tcmm_util Triangles

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Checked Ilog Intvec List Printf Prng QCheck2 String Tablefmt Tcmm_test_support Tcmm_util

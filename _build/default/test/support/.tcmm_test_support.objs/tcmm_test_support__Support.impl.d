@@ -1,0 +1,1 @@
+test/support/support.ml: Alcotest Array Builder List QCheck2 QCheck_alcotest Simulator Tcmm_threshold

@@ -1,0 +1,913 @@
+open Tcmm_threshold
+open Tcmm_arith
+module S = Tcmm_test_support.Support
+module Ilog = Tcmm_util.Ilog
+
+(* ------------------------------------------------------------------ *)
+(* Repr                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_repr_of_terms () =
+  let u = Repr.unsigned_of_terms [ (0, 3); (1, 0); (2, 5) ] in
+  S.check_int "zero weights dropped" 2 (Repr.num_terms u);
+  S.check_int "bound" 8 u.Repr.bound;
+  S.check_int "max weight" 5 (Repr.max_weight u);
+  try
+    ignore (Repr.unsigned_of_terms [ (0, -1) ]);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_repr_of_bits () =
+  let u = Repr.unsigned_of_bits [| 0; 1; 2 |] in
+  S.check_int "bound" 7 u.Repr.bound;
+  S.check_bool "is binary" true (Repr.is_binary u);
+  S.check_bool "non-binary" false (Repr.is_binary (Repr.unsigned_of_terms [ (0, 3) ]))
+
+let test_repr_scale_concat () =
+  let u = Repr.unsigned_of_terms [ (0, 1); (1, 2) ] in
+  let v = Repr.scale_unsigned 3 u in
+  S.check_int "scaled bound" 9 v.Repr.bound;
+  let w = Repr.concat_unsigned [ u; v ] in
+  S.check_int "concat bound" 12 w.Repr.bound;
+  S.check_int "concat terms" 4 (Repr.num_terms w)
+
+let test_repr_signed_ops () =
+  let s =
+    {
+      Repr.pos = Repr.unsigned_of_terms [ (0, 2) ];
+      neg = Repr.unsigned_of_terms [ (1, 3) ];
+    }
+  in
+  let read w = w = 0 || w = 1 in
+  S.check_int "eval signed" (-1) (Repr.eval_signed read s);
+  S.check_int "negate" 1 (Repr.eval_signed read (Repr.negate s));
+  S.check_int "scale -2" 2 (Repr.eval_signed read (Repr.scale_signed (-2) s));
+  S.check_int "scale 0" 0 (Repr.eval_signed read (Repr.scale_signed 0 s));
+  S.check_int "concat" (-2)
+    (Repr.eval_signed read (Repr.concat_signed [ s; s ]))
+
+let test_repr_eval_bits () =
+  let read w = w = 0 || w = 2 in
+  S.check_int "101b" 5 (Repr.eval_bits read [| 0; 1; 2 |]);
+  (* pos = 1 + 2 = 3; neg = 0 + 2 = 2 (bit 1 reads wire 0, which is set). *)
+  S.check_int "sbits" 1
+    (Repr.eval_sbits read { Repr.pos_bits = [| 0; 2 |]; neg_bits = [| 1; 0 |] });
+  S.check_int "zero" 0 (Repr.eval_sbits read Repr.sbits_zero)
+
+(* ------------------------------------------------------------------ *)
+(* Msb (Lemma 3.1)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_msb_binary_exhaustive () =
+  (* s is a 4-bit binary number; every bit position must be recovered. *)
+  let l = 4 in
+  for k = 1 to l do
+    S.all_inputs l
+    |> List.iter (fun input ->
+           let wire, read =
+             S.run_on ~num_inputs:l
+               (fun b ins ->
+                 let terms = Array.to_list (Array.mapi (fun i w -> (w, 1 lsl i)) ins) in
+                 Msb.kth_msb b ~terms ~l ~k)
+               input
+           in
+           let s = S.int_of_bools input in
+           let expect = (s lsr (l - k)) land 1 = 1 in
+           S.check_bool (Printf.sprintf "s=%d k=%d" s k) expect (read wire))
+  done
+
+let test_msb_weighted_exhaustive () =
+  (* Arbitrary positive weights: s = 3a + 5b + 2c + 7d in [0, 17] ⊂ [0, 2^5). *)
+  let weights = [ 3; 5; 2; 7 ] in
+  let l = 5 in
+  for k = 1 to l do
+    S.all_inputs 4
+    |> List.iter (fun input ->
+           let wire, read =
+             S.run_on ~num_inputs:4
+               (fun b ins ->
+                 let terms = List.mapi (fun i w -> (ins.(i), w)) weights in
+                 Msb.kth_msb b ~terms ~l ~k)
+               input
+           in
+           let s =
+             List.fold_left ( + ) 0
+               (List.mapi (fun i w -> if input.(i) then w else 0) weights)
+           in
+           let expect = (s lsr (l - k)) land 1 = 1 in
+           S.check_bool (Printf.sprintf "s=%d k=%d" s k) expect (read wire))
+  done
+
+let test_msb_gate_cost () =
+  (* The construction must use exactly 2^k + 1 gates and depth 2. *)
+  List.iter
+    (fun k ->
+      let b = Builder.create ~mode:Builder.Count_only () in
+      let ins = Builder.add_inputs b 3 in
+      let terms = Array.to_list (Array.map (fun w -> (w, 1)) ins) in
+      let out = Msb.kth_msb b ~terms ~l:5 ~k in
+      S.check_int (Printf.sprintf "gates k=%d" k) (Msb.gate_cost ~k) (Builder.num_gates b);
+      S.check_int "depth 2" 2 (Builder.depth_of b out))
+    [ 1; 2; 3; 4 ]
+
+let test_msb_invalid_args () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let attempt l k =
+    try
+      ignore (Msb.kth_msb b ~terms:[ (x, 1) ] ~l ~k);
+      Alcotest.fail "expected invalid_arg"
+    with Invalid_argument _ -> ()
+  in
+  attempt 4 0;
+  attempt 4 5;
+  attempt 70 1
+
+(* ------------------------------------------------------------------ *)
+(* Weighted_sum (Lemma 3.2)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_to_bits_exhaustive name terms_of_wires n =
+  S.all_inputs n
+  |> List.iter (fun input ->
+         let (bits, expected_rep), read =
+           S.run_on ~num_inputs:n
+             (fun b ins ->
+               let u = Repr.unsigned_of_terms (terms_of_wires ins) in
+               (Weighted_sum.to_bits b u, u))
+             input
+         in
+         let expect = Repr.eval_unsigned (fun w -> input.(w)) expected_rep in
+         S.check_int
+           (Printf.sprintf "%s input=%d" name (S.int_of_bools input))
+           expect
+           (Repr.eval_bits read bits))
+
+let test_to_bits_uniform_weights () =
+  check_to_bits_exhaustive "count ones" (fun ins -> Array.to_list (Array.map (fun w -> (w, 1)) ins)) 6
+
+let test_to_bits_mixed_weights () =
+  check_to_bits_exhaustive "mixed"
+    (fun ins ->
+      List.mapi (fun i w -> (w, List.nth [ 3; 1; 4; 1; 5; 9; 2 ] i)) (Array.to_list ins))
+    7
+
+let test_to_bits_power_weights () =
+  check_to_bits_exhaustive "powers with gaps"
+    (fun ins -> List.mapi (fun i w -> (w, 1 lsl (2 * i))) (Array.to_list ins))
+    5
+
+let test_to_bits_even_weights () =
+  (* All weights even: the LSB is statically zero (const gate path). *)
+  check_to_bits_exhaustive "even" (fun ins -> Array.to_list (Array.map (fun w -> (w, 6)) ins)) 4
+
+let test_to_bits_duplicate_wires () =
+  (* The same wire appearing twice must be merged, not double-counted. *)
+  S.all_inputs 2
+  |> List.iter (fun input ->
+         let bits, read =
+           S.run_on ~num_inputs:2
+             (fun b ins ->
+               let u =
+                 Repr.concat_unsigned
+                   [
+                     Repr.unsigned_of_terms [ (ins.(0), 1); (ins.(1), 2) ];
+                     Repr.unsigned_of_terms [ (ins.(0), 3) ];
+                   ]
+               in
+               Weighted_sum.to_bits b u)
+             input
+         in
+         let expect = (if input.(0) then 4 else 0) + if input.(1) then 2 else 0 in
+         S.check_int "merged" expect (Repr.eval_bits read bits))
+
+let test_to_bits_binary_passthrough () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 4 in
+  let bits = Weighted_sum.to_bits b (Repr.unsigned_of_bits ins) in
+  S.check_int "no gates emitted" 0 (Builder.num_gates b);
+  Alcotest.(check (array int)) "same wires" ins bits
+
+let test_to_bits_empty () =
+  let b = Builder.create () in
+  let bits = Weighted_sum.to_bits b Repr.unsigned_empty in
+  S.check_int "no bits" 0 (Array.length bits);
+  S.check_int "no gates" 0 (Builder.num_gates b)
+
+let test_to_bits_depth_2 () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 5 in
+  let u = Repr.unsigned_of_terms (Array.to_list (Array.map (fun w -> (w, 3)) ins)) in
+  let bits = Weighted_sum.to_bits b u in
+  Array.iter (fun w -> S.check_bool "depth <= 2" true (Builder.depth_of b w <= 2)) bits
+
+let test_to_bits_width () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 3 in
+  let u = Repr.unsigned_of_terms (Array.to_list (Array.map (fun w -> (w, 5)) ins)) in
+  let bits = Weighted_sum.to_bits b u in
+  S.check_int "width = bits(bound)" (Ilog.bits 15) (Array.length bits)
+
+let prop_to_bits_random =
+  S.qcheck_case ~count:100 "to_bits equals direct sum on random weights"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 8) (int_range 1 40))
+        (int_range 0 1000000))
+    (fun (weights, seed) ->
+      let n = List.length weights in
+      let rng = Tcmm_util.Prng.create ~seed in
+      let input = Array.init n (fun _ -> Tcmm_util.Prng.bool rng) in
+      let bits, read =
+        S.run_on ~num_inputs:n
+          (fun b ins ->
+            let u = Repr.unsigned_of_terms (List.mapi (fun i w -> (ins.(i), w)) weights) in
+            Weighted_sum.to_bits b u)
+          input
+      in
+      let expect =
+        List.fold_left ( + ) 0 (List.mapi (fun i w -> if input.(i) then w else 0) weights)
+      in
+      Repr.eval_bits read bits = expect)
+
+let test_unsigned_sum_scales () =
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let bits, read =
+           S.run_on ~num_inputs:4
+             (fun b ins ->
+               let u1 = Repr.unsigned_of_terms [ (ins.(0), 1); (ins.(1), 2) ] in
+               let u2 = Repr.unsigned_of_terms [ (ins.(2), 1); (ins.(3), 1) ] in
+               Weighted_sum.unsigned_sum b [ (3, u1); (2, u2); (0, u1) ])
+             input
+         in
+         let v b' = if b' then 1 else 0 in
+         let expect =
+           (3 * ((1 * v input.(0)) + (2 * v input.(1))))
+           + (2 * (v input.(2) + v input.(3)))
+         in
+         S.check_int "scaled sum" expect (Repr.eval_bits read bits))
+
+let test_signed_sum_exhaustive () =
+  (* s = 2*x - 3*y + z, where x, y, z are 2-bit numbers. *)
+  S.all_inputs 6
+  |> List.iter (fun input ->
+         let sb, read =
+           S.run_on ~num_inputs:6
+             (fun b ins ->
+               let num i = Repr.sbits_of_bits [| ins.(2 * i); ins.((2 * i) + 1) |] in
+               Weighted_sum.signed_sum b
+                 [
+                   (2, Repr.signed_of_sbits (num 0));
+                   (-3, Repr.signed_of_sbits (num 1));
+                   (1, Repr.signed_of_sbits (num 2));
+                 ])
+             input
+         in
+         let v i = (if input.(2 * i) then 1 else 0) + if input.((2 * i) + 1) then 2 else 0 in
+         let expect = (2 * v 0) - (3 * v 1) + v 2 in
+         S.check_int "signed sum" expect (Repr.eval_sbits read sb))
+
+let test_signed_sum_negative_parts () =
+  (* Inputs that themselves have negative parts. *)
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let sb, read =
+           S.run_on ~num_inputs:4
+             (fun b ins ->
+               let x = { Repr.pos_bits = [| ins.(0) |]; neg_bits = [| ins.(1) |] } in
+               let y = { Repr.pos_bits = [| ins.(2) |]; neg_bits = [| ins.(3) |] } in
+               Weighted_sum.signed_sum b
+                 [ (5, Repr.signed_of_sbits x); (-2, Repr.signed_of_sbits y) ])
+             input
+         in
+         let v a b' = (if input.(a) then 1 else 0) - if input.(b') then 1 else 0 in
+         let expect = (5 * v 0 1) - (2 * v 2 3) in
+         S.check_int "signed parts" expect (Repr.eval_sbits read sb))
+
+let test_signed_sum_empty () =
+  let b = Builder.create () in
+  let sb = Weighted_sum.signed_sum b [] in
+  S.check_int "no gates" 0 (Builder.num_gates b);
+  S.check_int "zero" 0 (Repr.eval_sbits (fun _ -> true) sb)
+
+(* Compare to_bits_cost against an actual count-only build on the same
+   weight multiset. *)
+let check_cost_matches name multiset =
+  let b = Builder.create ~mode:Builder.Count_only () in
+  let total_wires = List.fold_left (fun acc (_, m) -> acc + m) 0 multiset in
+  let ins = Builder.add_inputs b (max total_wires 1) in
+  let terms =
+    List.concat_map
+      (fun (w, m) -> List.init m (fun _ -> w))
+      multiset
+    |> List.mapi (fun i w -> (ins.(i), w))
+  in
+  let u = Repr.unsigned_of_terms terms in
+  ignore (Weighted_sum.to_bits b u);
+  let s = Builder.stats b in
+  let gates, edges = Weighted_sum.to_bits_cost multiset in
+  S.check_int (name ^ " gates") s.Tcmm_threshold.Stats.gates gates;
+  S.check_int (name ^ " edges") s.Tcmm_threshold.Stats.edges edges
+
+let test_to_bits_cost_cases () =
+  check_cost_matches "uniform" [ (1, 9) ];
+  check_cost_matches "binary" [ (1, 1); (2, 1); (4, 1) ];
+  check_cost_matches "binary with mults" [ (1, 3); (2, 3); (4, 3) ];
+  check_cost_matches "mixed" [ (3, 2); (5, 1); (8, 4) ];
+  check_cost_matches "even only" [ (6, 4) ];
+  check_cost_matches "gappy powers" [ (1, 2); (16, 5) ];
+  check_cost_matches "single" [ (13, 1) ];
+  check_cost_matches "empty" []
+
+let prop_to_bits_cost_random =
+  S.qcheck_case ~count:200 "to_bits_cost matches build on random multisets"
+    QCheck2.Gen.(list_size (int_range 1 6) (pair (int_range 1 64) (int_range 1 5)))
+    (fun multiset ->
+      (* Merge duplicate weights first: the cost function expects a merged
+         multiset (distinct wires per weight entry). *)
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun (w, m) ->
+          Hashtbl.replace tbl w ((try Hashtbl.find tbl w with Not_found -> 0) + m))
+        multiset;
+      (* Ascending weight order keeps the builder's is_binary view aligned
+         with the multiset view (our circuit constructors also produce
+         ascending orders whenever a representation is binary). *)
+      let merged =
+        List.sort compare (Hashtbl.fold (fun w m acc -> (w, m) :: acc) tbl [])
+      in
+      let b = Builder.create ~mode:Builder.Count_only () in
+      let total = List.fold_left (fun acc (_, m) -> acc + m) 0 merged in
+      let ins = Builder.add_inputs b total in
+      let terms =
+        List.concat_map (fun (w, m) -> List.init m (fun _ -> w)) merged
+        |> List.mapi (fun i w -> (ins.(i), w))
+      in
+      ignore (Weighted_sum.to_bits b (Repr.unsigned_of_terms terms));
+      let s = Builder.stats b in
+      let gates, edges = Weighted_sum.to_bits_cost merged in
+      s.Tcmm_threshold.Stats.gates = gates && s.Tcmm_threshold.Stats.edges = edges)
+
+let test_share_top_same_function () =
+  (* share_top must not change the computed bits, only the gate layout. *)
+  let weights = [ 3; 1; 4; 1; 5 ] in
+  S.all_inputs 5
+  |> List.iter (fun input ->
+         let (bits_base, bits_shared), read =
+           S.run_on ~num_inputs:5
+             (fun b ins ->
+               let u () =
+                 Repr.unsigned_of_terms (List.mapi (fun i w -> (ins.(i), w)) weights)
+               in
+               ( Weighted_sum.to_bits b (u ()),
+                 Weighted_sum.to_bits ~share_top:true b (u ()) ))
+             input
+         in
+         S.check_int "same value"
+           (Repr.eval_bits read bits_base)
+           (Repr.eval_bits read bits_shared))
+
+let test_share_top_saves_gates () =
+  let multiset = [ (1, 10); (2, 10); (4, 10) ] in
+  let g0, e0 = Weighted_sum.to_bits_cost multiset in
+  let g1, e1 = Weighted_sum.to_bits_cost ~share_top:true multiset in
+  S.check_bool "fewer gates" true (g1 < g0);
+  S.check_bool "fewer edges" true (e1 < e0)
+
+let test_share_top_cost_matches_build () =
+  List.iter
+    (fun multiset ->
+      let b = Builder.create ~mode:Builder.Count_only () in
+      let total = List.fold_left (fun acc (_, m) -> acc + m) 0 multiset in
+      let ins = Builder.add_inputs b total in
+      let terms =
+        List.concat_map (fun (w, m) -> List.init m (fun _ -> w)) multiset
+        |> List.mapi (fun i w -> (ins.(i), w))
+      in
+      ignore (Weighted_sum.to_bits ~share_top:true b (Repr.unsigned_of_terms terms));
+      let s = Builder.stats b in
+      let gates, edges = Weighted_sum.to_bits_cost ~share_top:true multiset in
+      S.check_int "gates" s.Tcmm_threshold.Stats.gates gates;
+      S.check_int "edges" s.Tcmm_threshold.Stats.edges edges)
+    [
+      [ (1, 9) ];
+      [ (1, 3); (2, 3); (4, 3) ];
+      [ (3, 2); (5, 1); (8, 4) ];
+      [ (6, 4) ];
+      [ (1, 2); (16, 5) ];
+    ]
+
+let test_gate_cost_binary_formula () =
+  (* Spot-check the closed form is monotone and positive. *)
+  let c1 = Weighted_sum.gate_cost_binary ~n:4 ~w:1 ~b:1 in
+  let c2 = Weighted_sum.gate_cost_binary ~n:8 ~w:1 ~b:1 in
+  let c3 = Weighted_sum.gate_cost_binary ~n:8 ~w:1 ~b:4 in
+  S.check_bool "positive" true (c1 > 0);
+  S.check_bool "monotone in n" true (c2 > c1);
+  S.check_bool "monotone in b" true (c3 > c2)
+
+(* ------------------------------------------------------------------ *)
+(* Product (Lemma 3.3)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_product2_exhaustive () =
+  (* x: 3 bits, y: 2 bits — all values. *)
+  S.all_inputs 5
+  |> List.iter (fun input ->
+         let rep, read =
+           S.run_on ~num_inputs:5
+             (fun b ins ->
+               Product.product2 b [| ins.(0); ins.(1); ins.(2) |] [| ins.(3); ins.(4) |])
+             input
+         in
+         let x = S.int_of_bools (Array.sub input 0 3) in
+         let y = S.int_of_bools (Array.sub input 3 2) in
+         S.check_int
+           (Printf.sprintf "%d*%d" x y)
+           (x * y)
+           (Repr.eval_unsigned read rep))
+
+let test_product3_exhaustive () =
+  S.all_inputs 6
+  |> List.iter (fun input ->
+         let rep, read =
+           S.run_on ~num_inputs:6
+             (fun b ins ->
+               Product.product3 b [| ins.(0); ins.(1) |] [| ins.(2); ins.(3) |]
+                 [| ins.(4); ins.(5) |])
+             input
+         in
+         let x = S.int_of_bools (Array.sub input 0 2) in
+         let y = S.int_of_bools (Array.sub input 2 2) in
+         let z = S.int_of_bools (Array.sub input 4 2) in
+         S.check_int
+           (Printf.sprintf "%d*%d*%d" x y z)
+           (x * y * z)
+           (Repr.eval_unsigned read rep))
+
+let test_product_gate_counts_and_depth () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 9 in
+  let x = Array.sub ins 0 3 and y = Array.sub ins 3 3 and z = Array.sub ins 6 3 in
+  let r2 = Product.product2 b x y in
+  S.check_int "m^2 gates" 9 (Builder.num_gates b);
+  let before = Builder.num_gates b in
+  let r3 = Product.product3 b x y z in
+  S.check_int "m^3 gates" 27 (Builder.num_gates b - before);
+  Array.iter (fun w -> S.check_int "depth 1" 1 (Builder.depth_of b w)) r2.Repr.wires;
+  Array.iter (fun w -> S.check_int "depth 1" 1 (Builder.depth_of b w)) r3.Repr.wires
+
+let test_signed_product2_all_signs () =
+  (* x = xp - xn with xp, xn one bit each; same for y: covers -1, 0, 1. *)
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let rep, read =
+           S.run_on ~num_inputs:4
+             (fun b ins ->
+               let x = { Repr.pos_bits = [| ins.(0) |]; neg_bits = [| ins.(1) |] } in
+               let y = { Repr.pos_bits = [| ins.(2) |]; neg_bits = [| ins.(3) |] } in
+               Product.signed_product2 b x y)
+             input
+         in
+         let v a b' = (if input.(a) then 1 else 0) - if input.(b') then 1 else 0 in
+         S.check_int "signed product" (v 0 1 * v 2 3) (Repr.eval_signed read rep))
+
+let test_signed_product3_all_signs () =
+  S.all_inputs 6
+  |> List.iter (fun input ->
+         let rep, read =
+           S.run_on ~num_inputs:6
+             (fun b ins ->
+               let n i = { Repr.pos_bits = [| ins.(2 * i) |]; neg_bits = [| ins.(2 * i + 1) |] } in
+               Product.signed_product3 b (n 0) (n 1) (n 2))
+             input
+         in
+         let v i = (if input.(2 * i) then 1 else 0) - if input.(2 * i + 1) then 1 else 0 in
+         S.check_int "signed triple product" (v 0 * v 1 * v 2) (Repr.eval_signed read rep))
+
+let prop_signed_product2_random =
+  S.qcheck_case ~count:100 "signed product2 on multi-bit operands"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Tcmm_util.Prng.create ~seed in
+      let input = Array.init 12 (fun _ -> Tcmm_util.Prng.bool rng) in
+      let rep, read =
+        S.run_on ~num_inputs:12
+          (fun b ins ->
+            let x =
+              { Repr.pos_bits = Array.sub ins 0 3; neg_bits = Array.sub ins 3 3 }
+            in
+            let y =
+              { Repr.pos_bits = Array.sub ins 6 3; neg_bits = Array.sub ins 9 3 }
+            in
+            Product.signed_product2 b x y)
+          input
+      in
+      let part off = S.int_of_bools (Array.sub input off 3) in
+      let x = part 0 - part 3 and y = part 6 - part 9 in
+      Repr.eval_signed read rep = x * y)
+
+(* ------------------------------------------------------------------ *)
+(* Binary (canonical arithmetic)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_binary_add_exhaustive () =
+  (* 3-bit + 2-bit, all values. *)
+  S.all_inputs 5
+  |> List.iter (fun input ->
+         let bits, read =
+           S.run_on ~num_inputs:5
+             (fun b ins -> Binary.add b (Array.sub ins 0 3) (Array.sub ins 3 2))
+             input
+         in
+         let x = S.int_of_bools (Array.sub input 0 3) in
+         let y = S.int_of_bools (Array.sub input 3 2) in
+         S.check_int (Printf.sprintf "%d+%d" x y) (x + y) (Repr.eval_bits read bits))
+
+let test_binary_add_empty_and_single () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  S.check_int "empty" 0 (Array.length (Binary.add b [||] [||]));
+  let s = Binary.add b [| x |] [||] in
+  let c = Builder.finalize b in
+  let r = Tcmm_threshold.Simulator.run c [| true |] in
+  S.check_int "x + 0 = x" 1 (Repr.eval_bits (Tcmm_threshold.Simulator.value r) s)
+
+let test_binary_sub_exhaustive () =
+  (* 3-bit - 3-bit over all pairs with x >= y. *)
+  S.all_inputs 6
+  |> List.iter (fun input ->
+         let x = S.int_of_bools (Array.sub input 0 3) in
+         let y = S.int_of_bools (Array.sub input 3 3) in
+         if x >= y then begin
+           let bits, read =
+             S.run_on ~num_inputs:6
+               (fun b ins -> Binary.sub b (Array.sub ins 0 3) (Array.sub ins 3 3))
+               input
+           in
+           S.check_int (Printf.sprintf "%d-%d" x y) (x - y) (Repr.eval_bits read bits)
+         end)
+
+let test_binary_sub_mixed_width () =
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let x = S.int_of_bools (Array.sub input 0 3) in
+         let y = S.int_of_bools (Array.sub input 3 1) in
+         if x >= y then begin
+           let bits, read =
+             S.run_on ~num_inputs:4
+               (fun b ins -> Binary.sub b (Array.sub ins 0 3) (Array.sub ins 3 1))
+               input
+           in
+           S.check_int (Printf.sprintf "%d-%d" x y) (x - y) (Repr.eval_bits read bits)
+         end)
+
+let test_binary_geq () =
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let wire, read =
+           S.run_on ~num_inputs:4
+             (fun b ins -> Binary.geq b (Array.sub ins 0 2) (Array.sub ins 2 2))
+             input
+         in
+         let x = S.int_of_bools (Array.sub input 0 2) in
+         let y = S.int_of_bools (Array.sub input 2 2) in
+         S.check_bool (Printf.sprintf "%d>=%d" x y) (x >= y) (read wire))
+
+let test_binary_mux () =
+  S.all_inputs 5
+  |> List.iter (fun input ->
+         let bits, read =
+           S.run_on ~num_inputs:5
+             (fun b ins ->
+               Binary.mux b ~sel:ins.(0) ~if_true:(Array.sub ins 1 2)
+                 ~if_false:(Array.sub ins 3 2))
+             input
+         in
+         let t = S.int_of_bools (Array.sub input 1 2) in
+         let f = S.int_of_bools (Array.sub input 3 2) in
+         S.check_int "mux" (if input.(0) then t else f) (Repr.eval_bits read bits))
+
+let test_binary_normalize_exhaustive () =
+  (* value = 3a + b - 2c - 3d: ranges over [-5, 4]. *)
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let norm, read =
+           S.run_on ~num_inputs:4
+             (fun b ins ->
+               let s =
+                 {
+                   Repr.pos = Repr.unsigned_of_terms [ (ins.(0), 3); (ins.(1), 1) ];
+                   neg = Repr.unsigned_of_terms [ (ins.(2), 2); (ins.(3), 3) ];
+                 }
+               in
+               Binary.normalize b s)
+             input
+         in
+         let v i = if input.(i) then 1 else 0 in
+         let value = (3 * v 0) + v 1 - (2 * v 2) - (3 * v 3) in
+         S.check_bool
+           (Printf.sprintf "sign of %d" value)
+           (value < 0)
+           (read norm.Binary.sign_negative);
+         S.check_int
+           (Printf.sprintf "|%d|" value)
+           (abs value)
+           (Repr.eval_bits read norm.Binary.magnitude))
+
+let test_binary_normalize_matmul_outputs () =
+  (* End-to-end: canonicalize a matmul circuit's outputs. *)
+  let rng = Tcmm_util.Prng.create ~seed:91 in
+  let b = Builder.create () in
+  let layout = Tcmm.Encode.alloc b ~n:2 ~entry_bits:2 ~signed:true in
+  let grid = Tcmm.Encode.grid layout in
+  (* A 2x2 dot product: c = a00*b... keep it simple: one entry each. *)
+  let prod = Product.signed_product2 b grid.(0).(0) grid.(0).(1) in
+  let norm = Binary.normalize b prod in
+  let c = Builder.finalize b in
+  for _ = 1 to 20 do
+    let m =
+      Tcmm_fastmm.Matrix.random rng ~rows:2 ~cols:2 ~lo:(-3) ~hi:3
+    in
+    let input = Array.make (Tcmm.Encode.total_wires layout) false in
+    Tcmm.Encode.write layout m input;
+    let r = Tcmm_threshold.Simulator.run ~check:true c input in
+    let read = Tcmm_threshold.Simulator.value r in
+    let expect = Tcmm_fastmm.Matrix.get m 0 0 * Tcmm_fastmm.Matrix.get m 0 1 in
+    S.check_bool "sign" (expect < 0) (read norm.Binary.sign_negative);
+    S.check_int "magnitude" (abs expect) (Repr.eval_bits read norm.Binary.magnitude)
+  done
+
+let test_binary_add_depth () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 8 in
+  let s = Binary.add b (Array.sub ins 0 4) (Array.sub ins 4 4) in
+  Array.iter (fun w -> S.check_bool "depth <= 3" true (Builder.depth_of b w <= 3)) s
+
+(* ------------------------------------------------------------------ *)
+(* Symmetric                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let popcount_of input = Array.fold_left (fun n v -> if v then n + 1 else n) 0 input
+
+let check_symmetric_exhaustive name n build expect =
+  S.all_inputs n
+  |> List.iter (fun input ->
+         let wire, read = S.run_on ~num_inputs:n build input in
+         S.check_bool
+           (Printf.sprintf "%s input=%d" name (S.int_of_bools input))
+           (expect input) (read wire))
+
+let test_symmetric_parity () =
+  check_symmetric_exhaustive "parity" 6
+    (fun b ins -> Symmetric.parity b ins)
+    (fun input -> popcount_of input land 1 = 1)
+
+let test_symmetric_majority () =
+  check_symmetric_exhaustive "majority even" 4
+    (fun b ins -> Symmetric.majority b ins)
+    (fun input -> popcount_of input >= 3);
+  check_symmetric_exhaustive "majority odd" 5
+    (fun b ins -> Symmetric.majority b ins)
+    (fun input -> popcount_of input >= 3)
+
+let test_symmetric_exactly_interval () =
+  check_symmetric_exhaustive "exactly 2" 5
+    (fun b ins -> Symmetric.exactly b ~k:2 ins)
+    (fun input -> popcount_of input = 2);
+  check_symmetric_exhaustive "exactly 0" 4
+    (fun b ins -> Symmetric.exactly b ~k:0 ins)
+    (fun input -> popcount_of input = 0);
+  check_symmetric_exhaustive "in [2,3]" 5
+    (fun b ins -> Symmetric.in_interval b ~lo:2 ~hi:3 ins)
+    (fun input ->
+      let p = popcount_of input in
+      p >= 2 && p <= 3)
+
+let test_symmetric_arbitrary () =
+  (* f(k) = k is 0, 3 or 4 — several change points including at the top. *)
+  check_symmetric_exhaustive "custom" 5
+    (fun b ins -> Symmetric.symmetric b ~f:(fun k -> k = 0 || k = 3 || k = 4) ins)
+    (fun input ->
+      let p = popcount_of input in
+      p = 0 || p = 3 || p = 4)
+
+let test_symmetric_constants () =
+  check_symmetric_exhaustive "always true" 3
+    (fun b ins -> Symmetric.symmetric b ~f:(fun _ -> true) ins)
+    (fun _ -> true);
+  check_symmetric_exhaustive "always false" 3
+    (fun b ins -> Symmetric.symmetric b ~f:(fun _ -> false) ins)
+    (fun _ -> false)
+
+let test_symmetric_popcount () =
+  S.all_inputs 5
+  |> List.iter (fun input ->
+         let bits, read =
+           S.run_on ~num_inputs:5 (fun b ins -> Symmetric.popcount b ins) input
+         in
+         S.check_int "popcount" (popcount_of input) (Repr.eval_bits read bits))
+
+let test_symmetric_depth_and_cost () =
+  let b = Builder.create ~mode:Builder.Count_only () in
+  let ins = Builder.add_inputs b 9 in
+  let p = Symmetric.parity b ins in
+  S.check_int "parity depth 2" 2 (Builder.depth_of b p);
+  (* n change points + output. *)
+  S.check_int "parity gates" 10 (Builder.num_gates b);
+  let b2 = Builder.create ~mode:Builder.Count_only () in
+  let ins2 = Builder.add_inputs b2 9 in
+  let m = Symmetric.majority b2 ins2 in
+  S.check_int "majority: one gate" 1 (Builder.num_gates b2);
+  S.check_int "majority depth 1" 1 (Builder.depth_of b2 m)
+
+(* ------------------------------------------------------------------ *)
+(* Compare                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_compare_ge_exhaustive () =
+  (* value = 2a + b - 3c, thresholds from -3 to 3. *)
+  List.iter
+    (fun tau ->
+      S.all_inputs 3
+      |> List.iter (fun input ->
+             let wire, read =
+               S.run_on ~num_inputs:3
+                 (fun b ins ->
+                   let s =
+                     {
+                       Repr.pos = Repr.unsigned_of_terms [ (ins.(0), 2); (ins.(1), 1) ];
+                       neg = Repr.unsigned_of_terms [ (ins.(2), 3) ];
+                     }
+                   in
+                   Compare.ge b s tau)
+                 input
+             in
+             let v i = if input.(i) then 1 else 0 in
+             let value = (2 * v 0) + v 1 - (3 * v 2) in
+             S.check_bool
+               (Printf.sprintf "%d >= %d" value tau)
+               (value >= tau) (read wire)))
+    [ -3; -2; -1; 0; 1; 2; 3 ]
+
+let test_compare_merges_cancelling_terms () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let y = Builder.add_input b in
+  let s =
+    {
+      Repr.pos = Repr.unsigned_of_terms [ (x, 2); (y, 1) ];
+      neg = Repr.unsigned_of_terms [ (x, 2) ];
+    }
+  in
+  let terms = Compare.terms_of_signed s in
+  S.check_int "cancelled term dropped" 1 (List.length terms);
+  Alcotest.(check (list (pair int int))) "remaining" [ (y, 1) ] terms
+
+(* ------------------------------------------------------------------ *)
+(* Staged_sum                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_group_size () =
+  S.check_int "n=16 stages=2" 4 (Staged_sum.group_size ~n:16 ~stages:2);
+  S.check_int "n=17 stages=2" 5 (Staged_sum.group_size ~n:17 ~stages:2);
+  S.check_int "n=8 stages=3" 2 (Staged_sum.group_size ~n:8 ~stages:3);
+  S.check_int "n=1" 1 (Staged_sum.group_size ~n:1 ~stages:2)
+
+let test_staged_sum_matches_flat () =
+  (* Sum of 9 single-bit terms with mixed signs, at several stage counts. *)
+  List.iter
+    (fun stages ->
+      S.all_inputs 9
+      |> List.iter (fun input ->
+             let sb, read =
+               S.run_on ~num_inputs:9
+                 (fun b ins ->
+                   let terms =
+                     Array.to_list
+                       (Array.mapi
+                          (fun i w ->
+                            let c = if i mod 3 = 2 then -1 else i mod 3 + 1 in
+                            (c, Repr.signed_of_sbits (Repr.sbits_of_bits [| w |])))
+                          ins)
+                   in
+                   Staged_sum.signed_sum b ~stages terms)
+                 input
+             in
+             let expect = ref 0 in
+             Array.iteri
+               (fun i v ->
+                 if v then
+                   expect := !expect + (if i mod 3 = 2 then -1 else (i mod 3) + 1))
+               input;
+             S.check_int
+               (Printf.sprintf "stages=%d" stages)
+               !expect (Repr.eval_sbits read sb)))
+    [ 1; 2; 3 ]
+
+let test_staged_sum_depth () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 16 in
+  let terms =
+    Array.to_list
+      (Array.map (fun w -> (1, Repr.signed_of_sbits (Repr.sbits_of_bits [| w |]))) ins)
+  in
+  let sb = Staged_sum.signed_sum b ~stages:2 terms in
+  Array.iter
+    (fun w -> S.check_bool "depth <= 4" true (Builder.depth_of b w <= 4))
+    sb.Repr.pos_bits
+
+let test_staged_sum_invalid () =
+  let b = Builder.create () in
+  try
+    ignore (Staged_sum.signed_sum b ~stages:0 []);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "tcmm_arith"
+    [
+      ( "repr",
+        [
+          Alcotest.test_case "of_terms" `Quick test_repr_of_terms;
+          Alcotest.test_case "of_bits" `Quick test_repr_of_bits;
+          Alcotest.test_case "scale/concat" `Quick test_repr_scale_concat;
+          Alcotest.test_case "signed ops" `Quick test_repr_signed_ops;
+          Alcotest.test_case "eval bits" `Quick test_repr_eval_bits;
+        ] );
+      ( "msb",
+        [
+          Alcotest.test_case "binary exhaustive" `Quick test_msb_binary_exhaustive;
+          Alcotest.test_case "weighted exhaustive" `Quick test_msb_weighted_exhaustive;
+          Alcotest.test_case "gate cost 2^k+1" `Quick test_msb_gate_cost;
+          Alcotest.test_case "invalid args" `Quick test_msb_invalid_args;
+        ] );
+      ( "weighted_sum",
+        [
+          Alcotest.test_case "uniform weights" `Quick test_to_bits_uniform_weights;
+          Alcotest.test_case "mixed weights" `Quick test_to_bits_mixed_weights;
+          Alcotest.test_case "power weights" `Quick test_to_bits_power_weights;
+          Alcotest.test_case "even weights" `Quick test_to_bits_even_weights;
+          Alcotest.test_case "duplicate wires" `Quick test_to_bits_duplicate_wires;
+          Alcotest.test_case "binary passthrough" `Quick test_to_bits_binary_passthrough;
+          Alcotest.test_case "empty" `Quick test_to_bits_empty;
+          Alcotest.test_case "depth 2" `Quick test_to_bits_depth_2;
+          Alcotest.test_case "width" `Quick test_to_bits_width;
+          prop_to_bits_random;
+          Alcotest.test_case "unsigned_sum scales" `Quick test_unsigned_sum_scales;
+          Alcotest.test_case "signed exhaustive" `Quick test_signed_sum_exhaustive;
+          Alcotest.test_case "signed neg parts" `Quick test_signed_sum_negative_parts;
+          Alcotest.test_case "signed empty" `Quick test_signed_sum_empty;
+          Alcotest.test_case "cost formula" `Quick test_gate_cost_binary_formula;
+          Alcotest.test_case "to_bits_cost cases" `Quick test_to_bits_cost_cases;
+          prop_to_bits_cost_random;
+          Alcotest.test_case "share_top same function" `Quick test_share_top_same_function;
+          Alcotest.test_case "share_top saves gates" `Quick test_share_top_saves_gates;
+          Alcotest.test_case "share_top cost matches" `Quick test_share_top_cost_matches_build;
+        ] );
+      ( "product",
+        [
+          Alcotest.test_case "product2" `Quick test_product2_exhaustive;
+          Alcotest.test_case "product3" `Quick test_product3_exhaustive;
+          Alcotest.test_case "counts and depth" `Quick test_product_gate_counts_and_depth;
+          Alcotest.test_case "signed product2" `Quick test_signed_product2_all_signs;
+          Alcotest.test_case "signed product3" `Quick test_signed_product3_all_signs;
+          prop_signed_product2_random;
+        ] );
+      ( "binary",
+        [
+          Alcotest.test_case "add exhaustive" `Quick test_binary_add_exhaustive;
+          Alcotest.test_case "add edge cases" `Quick test_binary_add_empty_and_single;
+          Alcotest.test_case "sub exhaustive" `Quick test_binary_sub_exhaustive;
+          Alcotest.test_case "sub mixed width" `Quick test_binary_sub_mixed_width;
+          Alcotest.test_case "geq" `Quick test_binary_geq;
+          Alcotest.test_case "mux" `Quick test_binary_mux;
+          Alcotest.test_case "normalize exhaustive" `Quick test_binary_normalize_exhaustive;
+          Alcotest.test_case "normalize product" `Quick test_binary_normalize_matmul_outputs;
+          Alcotest.test_case "add depth" `Quick test_binary_add_depth;
+        ] );
+      ( "symmetric",
+        [
+          Alcotest.test_case "parity" `Quick test_symmetric_parity;
+          Alcotest.test_case "majority" `Quick test_symmetric_majority;
+          Alcotest.test_case "exactly/interval" `Quick test_symmetric_exactly_interval;
+          Alcotest.test_case "arbitrary" `Quick test_symmetric_arbitrary;
+          Alcotest.test_case "constants" `Quick test_symmetric_constants;
+          Alcotest.test_case "popcount" `Quick test_symmetric_popcount;
+          Alcotest.test_case "depth and cost" `Quick test_symmetric_depth_and_cost;
+        ] );
+      ( "compare",
+        [
+          Alcotest.test_case "ge exhaustive" `Quick test_compare_ge_exhaustive;
+          Alcotest.test_case "merges cancellations" `Quick
+            test_compare_merges_cancelling_terms;
+        ] );
+      ( "staged_sum",
+        [
+          Alcotest.test_case "group size" `Quick test_group_size;
+          Alcotest.test_case "matches flat" `Quick test_staged_sum_matches_flat;
+          Alcotest.test_case "depth bound" `Quick test_staged_sum_depth;
+          Alcotest.test_case "invalid stages" `Quick test_staged_sum_invalid;
+        ] );
+    ]

@@ -1,0 +1,683 @@
+open Tcmm_threshold
+module S = Tcmm_test_support.Support
+
+(* ------------------------------------------------------------------ *)
+(* Gate                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_gate_make_mismatch () =
+  try
+    ignore (Gate.make ~inputs:[| 0; 1 |] ~weights:[| 1 |] ~threshold:0);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_gate_eval () =
+  let g = Gate.make ~inputs:[| 0; 1; 2 |] ~weights:[| 2; -1; 3 |] ~threshold:3 in
+  let read values w = values.(w) in
+  S.check_bool "2-1+3>=3" true (Gate.eval g (read [| true; true; true |]));
+  S.check_bool "2>=3 false" false (Gate.eval g (read [| true; false; false |]));
+  S.check_bool "3>=3" true (Gate.eval g (read [| false; false; true |]));
+  S.check_bool "-1>=3 false" false (Gate.eval g (read [| false; true; false |]));
+  S.check_bool "empty sum" true
+    (Gate.eval (Gate.make ~inputs:[||] ~weights:[||] ~threshold:0) (fun _ -> false))
+
+let test_gate_eval_checked_matches () =
+  let g = Gate.make ~inputs:[| 0; 1 |] ~weights:[| 5; -7 |] ~threshold:(-1) in
+  S.all_inputs 2
+  |> List.iter (fun input ->
+         S.check_bool "checked = unchecked"
+           (Gate.eval g (fun w -> input.(w)))
+           (Gate.eval_checked g (fun w -> input.(w))))
+
+let test_gate_max_abs_weight () =
+  let g = Gate.make ~inputs:[| 0; 1 |] ~weights:[| -9; 4 |] ~threshold:0 in
+  S.check_int "max |w|" 9 (Gate.max_abs_weight g);
+  S.check_int "empty" 0 (Gate.max_abs_weight (Gate.make ~inputs:[||] ~weights:[||] ~threshold:1))
+
+(* ------------------------------------------------------------------ *)
+(* Builder + Circuit                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_inputs_first () =
+  let b = Builder.create () in
+  let _ = Builder.add_input b in
+  let _ = Builder.add_gate b ~inputs:[| 0 |] ~weights:[| 1 |] ~threshold:1 in
+  try
+    ignore (Builder.add_input b);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_builder_dangling_wire () =
+  let b = Builder.create () in
+  let _ = Builder.add_inputs b 2 in
+  try
+    ignore (Builder.add_gate b ~inputs:[| 5 |] ~weights:[| 1 |] ~threshold:1);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_builder_depth_tracking () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  S.check_int "input depth" 0 (Builder.depth_of b x);
+  let g1 = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  S.check_int "first layer" 1 (Builder.depth_of b g1);
+  let g2 = Builder.add_gate b ~inputs:[| x; g1 |] ~weights:[| 1; 1 |] ~threshold:2 in
+  S.check_int "second layer" 2 (Builder.depth_of b g2);
+  let g3 = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  S.check_int "parallel gate stays shallow" 1 (Builder.depth_of b g3)
+
+let test_builder_stats () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 3 in
+  let g1 =
+    Builder.add_gate b ~inputs:ins ~weights:[| 1; 2; -4 |] ~threshold:1
+  in
+  let g2 = Builder.add_gate b ~inputs:[| g1 |] ~weights:[| 1 |] ~threshold:1 in
+  Builder.output b g2;
+  let s = Builder.stats b in
+  S.check_int "inputs" 3 s.Stats.inputs;
+  S.check_int "outputs" 1 s.Stats.outputs;
+  S.check_int "gates" 2 s.Stats.gates;
+  S.check_int "edges" 4 s.Stats.edges;
+  S.check_int "depth" 2 s.Stats.depth;
+  S.check_int "max fan-in" 3 s.Stats.max_fan_in;
+  S.check_int "max |w|" 4 s.Stats.max_abs_weight;
+  Alcotest.(check (array int)) "by depth" [| 1; 1 |] s.Stats.gates_by_depth
+
+let test_count_only_matches_materialize () =
+  (* The same construction must produce identical stats in both modes. *)
+  let build b =
+    let ins = Builder.add_inputs b 4 in
+    let layer1 =
+      Array.map
+        (fun w -> Builder.add_gate b ~inputs:[| w |] ~weights:[| 1 |] ~threshold:1)
+        ins
+    in
+    let top =
+      Builder.add_gate b ~inputs:layer1 ~weights:[| 1; 1; 1; 1 |] ~threshold:2
+    in
+    Builder.output b top
+  in
+  let bm = Builder.create () in
+  build bm;
+  let bc = Builder.create ~mode:Builder.Count_only () in
+  build bc;
+  let sm = Builder.stats bm and sc = Builder.stats bc in
+  S.check_int "gates" sm.Stats.gates sc.Stats.gates;
+  S.check_int "edges" sm.Stats.edges sc.Stats.edges;
+  S.check_int "depth" sm.Stats.depth sc.Stats.depth;
+  S.check_int "fan-in" sm.Stats.max_fan_in sc.Stats.max_fan_in;
+  Alcotest.(check (array int)) "by depth" sm.Stats.gates_by_depth sc.Stats.gates_by_depth
+
+let test_shared_gates_match_individual () =
+  (* add_shared_gates must be observationally identical to a sequence of
+     add_gate calls: same stats, same simulation. *)
+  let inputs_weights = ([| 0; 1; 2 |], [| 2; -1; 3 |]) in
+  let thresholds = [| 0; 1; 2; 3; 4 |] in
+  let build_shared b =
+    let _ = Builder.add_inputs b 3 in
+    let inputs, weights = inputs_weights in
+    let y = Builder.add_shared_gates b ~inputs ~weights ~thresholds in
+    Array.iter (Builder.output b) y
+  in
+  let build_individual b =
+    let _ = Builder.add_inputs b 3 in
+    let inputs, weights = inputs_weights in
+    Array.iter
+      (fun threshold -> Builder.output b (Builder.add_gate b ~inputs ~weights ~threshold))
+      thresholds
+  in
+  let bs = Builder.create () and bi = Builder.create () in
+  build_shared bs;
+  build_individual bi;
+  let ss = Builder.stats bs and si = Builder.stats bi in
+  S.check_int "gates" si.Stats.gates ss.Stats.gates;
+  S.check_int "edges" si.Stats.edges ss.Stats.edges;
+  S.check_int "depth" si.Stats.depth ss.Stats.depth;
+  S.check_int "fan-in" si.Stats.max_fan_in ss.Stats.max_fan_in;
+  S.check_int "|w|" si.Stats.max_abs_weight ss.Stats.max_abs_weight;
+  let cs = Builder.finalize bs and ci = Builder.finalize bi in
+  S.all_inputs 3
+  |> List.iter (fun input ->
+         Alcotest.(check (array bool))
+           "same outputs"
+           (Simulator.read_outputs ci input)
+           (Simulator.read_outputs cs input))
+
+let test_shared_gates_empty_thresholds () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let y = Builder.add_shared_gates b ~inputs:[| x |] ~weights:[| 5 |] ~thresholds:[||] in
+  S.check_int "no wires" 0 (Array.length y);
+  let s = Builder.stats b in
+  S.check_int "no gates" 0 s.Stats.gates;
+  S.check_int "no weight recorded" 0 s.Stats.max_abs_weight
+
+let test_shared_gates_validation () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  (try
+     ignore (Builder.add_shared_gates b ~inputs:[| x |] ~weights:[| 1; 2 |] ~thresholds:[| 1 |]);
+     Alcotest.fail "expected invalid_arg (length)"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Builder.add_shared_gates b ~inputs:[| 7 |] ~weights:[| 1 |] ~thresholds:[| 1 |]);
+    Alcotest.fail "expected invalid_arg (dangling)"
+  with Invalid_argument _ -> ()
+
+let test_count_only_finalize_rejected () =
+  let b = Builder.create ~mode:Builder.Count_only () in
+  let _ = Builder.add_input b in
+  try
+    ignore (Builder.finalize b);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_circuit_stats_match_builder () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 2 in
+  let g = Builder.add_gate b ~inputs:ins ~weights:[| 1; 1 |] ~threshold:2 in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  let sb = Builder.stats b and sc = Circuit.stats c in
+  S.check_int "gates" sb.Stats.gates sc.Stats.gates;
+  S.check_int "edges" sb.Stats.edges sc.Stats.edges;
+  S.check_int "depth" sb.Stats.depth sc.Stats.depth;
+  S.check_int "outputs" sb.Stats.outputs sc.Stats.outputs
+
+let test_const_wires () =
+  let b = Builder.create () in
+  let t = Builder.const b true in
+  let f = Builder.const b false in
+  Builder.output b t;
+  Builder.output b f;
+  let c = Builder.finalize b in
+  let r = Simulator.run c [||] in
+  Alcotest.(check (array bool)) "consts" [| true; false |] r.Simulator.outputs
+
+(* ------------------------------------------------------------------ *)
+(* Simulator                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_simulate_and_or_majority () =
+  (* AND, OR and MAJ of three inputs as single threshold gates. *)
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 3 in
+  let weights = [| 1; 1; 1 |] in
+  let and3 = Builder.add_gate b ~inputs:ins ~weights ~threshold:3 in
+  let or3 = Builder.add_gate b ~inputs:ins ~weights ~threshold:1 in
+  let maj3 = Builder.add_gate b ~inputs:ins ~weights ~threshold:2 in
+  List.iter (Builder.output b) [ and3; or3; maj3 ];
+  let c = Builder.finalize b in
+  S.all_inputs 3
+  |> List.iter (fun input ->
+         let expect_and = Array.for_all Fun.id input in
+         let expect_or = Array.exists Fun.id input in
+         let ones = Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 input in
+         let out = Simulator.read_outputs c input in
+         S.check_bool "and" expect_and out.(0);
+         S.check_bool "or" expect_or out.(1);
+         S.check_bool "maj" (ones >= 2) out.(2))
+
+let test_simulate_parity_2layer () =
+  (* XOR via threshold gates: x+y>=1 and -(x+y)>=-1 ANDed. *)
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 2 in
+  let ge1 = Builder.add_gate b ~inputs:ins ~weights:[| 1; 1 |] ~threshold:1 in
+  let le1 = Builder.add_gate b ~inputs:ins ~weights:[| -1; -1 |] ~threshold:(-1) in
+  let xor = Builder.add_gate b ~inputs:[| ge1; le1 |] ~weights:[| 1; 1 |] ~threshold:2 in
+  Builder.output b xor;
+  let c = Builder.finalize b in
+  S.all_inputs 2
+  |> List.iter (fun input ->
+         let out = Simulator.read_outputs c input in
+         S.check_bool "xor" (input.(0) <> input.(1)) out.(0))
+
+let test_simulate_firings () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let id = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  let neg = Builder.add_gate b ~inputs:[| x |] ~weights:[| -1 |] ~threshold:0 in
+  Builder.output b id;
+  Builder.output b neg;
+  let c = Builder.finalize b in
+  let r1 = Simulator.run c [| true |] in
+  S.check_int "one fires on true" 1 r1.Simulator.firings;
+  let r0 = Simulator.run c [| false |] in
+  S.check_int "one fires on false" 1 r0.Simulator.firings
+
+let test_simulate_input_mismatch () =
+  let b = Builder.create () in
+  let _ = Builder.add_inputs b 2 in
+  let c = Builder.finalize b in
+  try
+    ignore (Simulator.run c [| true |]);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let prop_random_circuit_firings_bounded =
+  S.qcheck_case "firings never exceed gate count"
+    QCheck2.Gen.(pair (int_range 1 6) (int_range 0 1000))
+    (fun (n, seed) ->
+      let rng = Tcmm_util.Prng.create ~seed in
+      let b = Builder.create () in
+      let _ = Builder.add_inputs b n in
+      (* Random layered circuit over the existing wires. *)
+      for _ = 1 to 20 do
+        let avail = Builder.num_wires b in
+        let fan = 1 + Tcmm_util.Prng.int rng ~bound:(min 4 avail) in
+        let inputs = Array.init fan (fun _ -> Tcmm_util.Prng.int rng ~bound:avail) in
+        (* Deduplicate to keep Validate clean. *)
+        let inputs = Array.of_list (List.sort_uniq compare (Array.to_list inputs)) in
+        let weights =
+          Array.map (fun _ -> Tcmm_util.Prng.int_range rng ~lo:(-3) ~hi:3) inputs
+        in
+        let weights = Array.map (fun w -> if w = 0 then 1 else w) weights in
+        let threshold = Tcmm_util.Prng.int_range rng ~lo:(-2) ~hi:4 in
+        ignore (Builder.add_gate b ~inputs ~weights ~threshold)
+      done;
+      let c = Builder.finalize b in
+      let input = Array.init n (fun _ -> Tcmm_util.Prng.bool rng) in
+      let r = Simulator.run ~check:true c input in
+      r.Simulator.firings <= Circuit.num_gates c)
+
+(* ------------------------------------------------------------------ *)
+(* Validate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_validate_clean () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 2 in
+  let g = Builder.add_gate b ~inputs:ins ~weights:[| 1; -1 |] ~threshold:0 in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  S.check_bool "clean" true (Validate.is_clean c)
+
+let test_validate_duplicate_and_zero () =
+  let g1 = Gate.make ~inputs:[| 0; 0 |] ~weights:[| 1; 1 |] ~threshold:1 in
+  let g2 = Gate.make ~inputs:[| 0 |] ~weights:[| 0 |] ~threshold:1 in
+  let c = Circuit.make ~num_inputs:1 ~gates:[| g1; g2 |] ~outputs:[| 0 |] in
+  let issues = Validate.check c in
+  S.check_int "three issues" 3 (List.length issues);
+  S.check_bool "has duplicate" true
+    (List.exists (function Validate.Duplicate_input_wire _ -> true | _ -> false) issues);
+  S.check_bool "has zero weight" true
+    (List.exists (function Validate.Zero_weight _ -> true | _ -> false) issues);
+  S.check_bool "has raw-input output" true
+    (List.exists (function Validate.Unreachable_output _ -> true | _ -> false) issues)
+
+(* ------------------------------------------------------------------ *)
+(* Energy                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_energy_summary () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let g = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  let s = Energy.measure c [ [| true |]; [| false |]; [| true |] ] in
+  S.check_int "samples" 3 s.Energy.samples;
+  S.check_int "min" 0 s.Energy.min_firings;
+  S.check_int "max" 1 s.Energy.max_firings;
+  Alcotest.(check (float 1e-9)) "mean" (2. /. 3.) s.Energy.mean_firings;
+  Alcotest.(check (float 1e-9)) "fraction" (2. /. 3.) (Energy.firing_fraction s)
+
+let test_energy_empty_rejected () =
+  let b = Builder.create () in
+  let _ = Builder.add_input b in
+  let c = Builder.finalize b in
+  try
+    ignore (Energy.measure c []);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Spiking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_spiking_settles_to_simulator () =
+  (* A 3-layer circuit: spiking semantics must converge to the DAG value
+     within depth ticks. *)
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 4 in
+  let l1 =
+    Array.init 3 (fun i ->
+        Builder.add_gate b ~inputs:[| ins.(i); ins.(i + 1) |] ~weights:[| 1; 1 |]
+          ~threshold:1)
+  in
+  let l2 = Builder.add_gate b ~inputs:l1 ~weights:[| 1; 1; -1 |] ~threshold:1 in
+  let l3 = Builder.add_gate b ~inputs:[| l2; ins.(0) |] ~weights:[| 2; -1 |] ~threshold:1 in
+  Builder.output b l3;
+  let c = Builder.finalize b in
+  S.all_inputs 4
+  |> List.iter (fun input ->
+         let ticks, out = Spiking.settle c input in
+         Alcotest.(check (array bool))
+           "fixed point = DAG semantics" (Simulator.read_outputs c input) out;
+         S.check_bool "settles within depth" true
+           (ticks <= (Circuit.stats c).Stats.depth))
+
+let test_spiking_settles_arithmetic_circuit () =
+  let built =
+    Tcmm.Trace_circuit.build ~algo:Tcmm_fastmm.Instances.strassen
+      ~schedule:(Tcmm.Level_schedule.full ~l:1) ~entry_bits:1 ~tau:2 ~n:2 ()
+  in
+  match built.Tcmm.Trace_circuit.circuit with
+  | None -> Alcotest.fail "expected circuit"
+  | Some c ->
+      let m = Tcmm_fastmm.Matrix.of_rows [| [| 1; 1 |]; [| 1; 0 |] |] in
+      let input = Tcmm.Trace_circuit.encode_input built m in
+      let ticks, out = Spiking.settle c input in
+      let expect = Simulator.read_outputs c input in
+      Alcotest.(check (array bool)) "same answer" expect out;
+      let depth = (Circuit.stats c).Stats.depth in
+      S.check_bool
+        (Printf.sprintf "ticks %d <= depth %d" ticks depth)
+        true (ticks <= depth)
+
+let test_spiking_tick_progression () =
+  (* A chain of identity gates: the signal front advances one gate per
+     tick, exactly modelling per-layer latency. *)
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let g1 = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  let g2 = Builder.add_gate b ~inputs:[| g1 |] ~weights:[| 1 |] ~threshold:1 in
+  let g3 = Builder.add_gate b ~inputs:[| g2 |] ~weights:[| 1 |] ~threshold:1 in
+  Builder.output b g3;
+  let c = Builder.finalize b in
+  let st = Spiking.init c [| true |] in
+  S.check_bool "t0: output quiet" false (Spiking.value st g3);
+  Spiking.tick st;
+  S.check_bool "t1: first gate" true (Spiking.value st g1);
+  S.check_bool "t1: output still quiet" false (Spiking.value st g3);
+  Spiking.tick st;
+  S.check_bool "t2: second gate" true (Spiking.value st g2);
+  Spiking.tick st;
+  S.check_bool "t3: output fires" true (Spiking.value st g3)
+
+let test_spiking_max_ticks () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let g = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  (* max_ticks 0 forces failure whenever a change is needed. *)
+  try
+    ignore (Spiking.settle ~max_ticks:0 c [| true |]);
+    Alcotest.fail "expected failure"
+  with Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let sample_circuit () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 3 in
+  let g1 = Builder.add_gate b ~inputs:ins ~weights:[| 1; -2; 3 |] ~threshold:1 in
+  let g2 = Builder.add_gate b ~inputs:[| ins.(0); g1 |] ~weights:[| 1; 1 |] ~threshold:2 in
+  Builder.output b g2;
+  Builder.output b g1;
+  Builder.finalize b
+
+let test_netlist_roundtrip () =
+  let c = sample_circuit () in
+  let c' = Export.of_netlist (Export.to_netlist c) in
+  S.check_int "inputs" c.Circuit.num_inputs c'.Circuit.num_inputs;
+  S.check_int "gates" (Circuit.num_gates c) (Circuit.num_gates c');
+  Alcotest.(check (array int)) "outputs" c.Circuit.outputs c'.Circuit.outputs;
+  S.all_inputs 3
+  |> List.iter (fun input ->
+         Alcotest.(check (array bool))
+           "same behaviour"
+           (Simulator.read_outputs c input)
+           (Simulator.read_outputs c' input))
+
+let test_netlist_roundtrip_large () =
+  (* A real arithmetic circuit must survive the round trip. *)
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 6 in
+  let u =
+    Tcmm_arith.Repr.unsigned_of_terms
+      (Array.to_list (Array.mapi (fun i w -> (w, i + 1)) ins))
+  in
+  let bits = Tcmm_arith.Weighted_sum.to_bits b u in
+  Array.iter (Builder.output b) bits;
+  let c = Builder.finalize b in
+  let c' = Export.of_netlist (Export.to_netlist c) in
+  S.all_inputs 6
+  |> List.iter (fun input ->
+         Alcotest.(check (array bool))
+           "same bits"
+           (Simulator.read_outputs c input)
+           (Simulator.read_outputs c' input))
+
+let test_netlist_rejects_garbage () =
+  List.iter
+    (fun text ->
+      try
+        ignore (Export.of_netlist text);
+        Alcotest.fail "expected failure"
+      with Failure _ -> ())
+    [
+      "";
+      "inputs two";
+      "tcmm-netlist 2\ninputs 1";
+      "inputs 1\ngate x";
+      "inputs 1\ngate 1 0-1";
+      "inputs 1\nbogus 3";
+      "inputs 1\ninputs 1";
+    ]
+
+let test_netlist_comments_and_blanks () =
+  let c =
+    Export.of_netlist
+      "tcmm-netlist 1\n# a comment\ninputs 2\n\ngate 2 0:1 1:1  # and\noutput 2\n"
+  in
+  S.check_int "one gate" 1 (Circuit.num_gates c);
+  Alcotest.(check (array bool)) "AND" [| true |] (Simulator.read_outputs c [| true; true |]);
+  Alcotest.(check (array bool)) "not AND" [| false |]
+    (Simulator.read_outputs c [| true; false |])
+
+let test_dot_renders () =
+  let c = sample_circuit () in
+  let dot = Export.to_dot c in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length dot && (String.sub dot i n = sub || go (i + 1)) in
+    go 0
+  in
+  S.check_bool "digraph" true (contains "digraph tcmm");
+  S.check_bool "input box" true (contains "shape=box");
+  S.check_bool "threshold label" true (contains ">=1");
+  S.check_bool "weight edge" true (contains "label=\"-2\"");
+  S.check_bool "output doublecircle" true (contains "doublecircle");
+  try
+    ignore (Export.to_dot ~max_gates:1 c);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Transform                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_prune_removes_dead_gates () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 2 in
+  let live = Builder.add_gate b ~inputs:ins ~weights:[| 1; 1 |] ~threshold:2 in
+  let dead = Builder.add_gate b ~inputs:ins ~weights:[| 1; 1 |] ~threshold:1 in
+  let dead2 = Builder.add_gate b ~inputs:[| dead |] ~weights:[| 1 |] ~threshold:1 in
+  ignore dead2;
+  Builder.output b live;
+  let c = Builder.finalize b in
+  let lv = Transform.live_gates c in
+  Alcotest.(check (array bool)) "liveness" [| true; false; false |] lv;
+  let { Transform.circuit = pruned; wire_map } = Transform.prune c in
+  S.check_int "one gate left" 1 (Circuit.num_gates pruned);
+  S.check_int "live wire mapped" 2 wire_map.(live);
+  S.check_int "dead wire dropped" (-1) wire_map.(dead);
+  S.all_inputs 2
+  |> List.iter (fun input ->
+         Alcotest.(check (array bool))
+           "same outputs"
+           (Simulator.read_outputs c input)
+           (Simulator.read_outputs pruned input))
+
+let test_prune_keeps_everything_live () =
+  (* A trace circuit: every gate feeds the single output. *)
+  let built =
+    Tcmm.Trace_circuit.build ~algo:Tcmm_fastmm.Instances.strassen
+      ~schedule:(Tcmm.Level_schedule.full ~l:1) ~entry_bits:1 ~tau:1 ~n:2 ()
+  in
+  match built.Tcmm.Trace_circuit.circuit with
+  | None -> Alcotest.fail "expected materialized circuit"
+  | Some c ->
+      let { Transform.circuit = pruned; _ } = Transform.prune c in
+      S.check_int "nothing pruned" (Circuit.num_gates c) (Circuit.num_gates pruned)
+
+let test_prune_chain () =
+  (* Deep chain: all live through transitivity. *)
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let rec chain w k = if k = 0 then w else chain (Builder.add_gate b ~inputs:[| w |] ~weights:[| 1 |] ~threshold:1) (k - 1) in
+  let top = chain x 10 in
+  Builder.output b top;
+  let c = Builder.finalize b in
+  let { Transform.circuit = pruned; _ } = Transform.prune c in
+  S.check_int "all kept" 10 (Circuit.num_gates pruned)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-cutting properties on random circuits                        *)
+(* ------------------------------------------------------------------ *)
+
+let random_circuit seed =
+  let rng = Tcmm_util.Prng.create ~seed in
+  let n = 2 + Tcmm_util.Prng.int rng ~bound:4 in
+  let b = Builder.create () in
+  let _ = Builder.add_inputs b n in
+  for _ = 1 to 5 + Tcmm_util.Prng.int rng ~bound:20 do
+    let avail = Builder.num_wires b in
+    let fan = 1 + Tcmm_util.Prng.int rng ~bound:(min 5 avail) in
+    let inputs =
+      Array.init fan (fun _ -> Tcmm_util.Prng.int rng ~bound:avail)
+      |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+    in
+    let weights =
+      Array.map
+        (fun _ ->
+          let w = Tcmm_util.Prng.int_range rng ~lo:(-4) ~hi:4 in
+          if w = 0 then 1 else w)
+        inputs
+    in
+    let threshold = Tcmm_util.Prng.int_range rng ~lo:(-3) ~hi:5 in
+    ignore (Builder.add_gate b ~inputs ~weights ~threshold)
+  done;
+  (* Mark a few random wires as outputs (gates only, to keep Validate quiet). *)
+  let gates = Builder.num_gates b in
+  for _ = 1 to 3 do
+    Builder.output b (Builder.num_inputs b + Tcmm_util.Prng.int rng ~bound:gates)
+  done;
+  let input = Array.init n (fun _ -> Tcmm_util.Prng.bool rng) in
+  (Builder.finalize b, input)
+
+let prop_netlist_roundtrip_random =
+  S.qcheck_case ~count:100 "netlist roundtrip preserves behaviour"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input = random_circuit seed in
+      let c' = Export.of_netlist (Export.to_netlist c) in
+      Simulator.read_outputs c input = Simulator.read_outputs c' input)
+
+let prop_spiking_settles_random =
+  S.qcheck_case ~count:100 "spiking settles to DAG semantics within depth"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input = random_circuit seed in
+      let ticks, out = Spiking.settle c input in
+      out = Simulator.read_outputs c input && ticks <= (Circuit.stats c).Stats.depth)
+
+let prop_prune_preserves_outputs =
+  S.qcheck_case ~count:100 "prune preserves output behaviour"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input = random_circuit seed in
+      let { Transform.circuit = pruned; _ } = Transform.prune c in
+      Simulator.read_outputs c input = Simulator.read_outputs pruned input
+      && Circuit.num_gates pruned <= Circuit.num_gates c)
+
+let () =
+  Alcotest.run "tcmm_threshold"
+    [
+      ( "gate",
+        [
+          Alcotest.test_case "make mismatch" `Quick test_gate_make_mismatch;
+          Alcotest.test_case "eval" `Quick test_gate_eval;
+          Alcotest.test_case "eval checked" `Quick test_gate_eval_checked_matches;
+          Alcotest.test_case "max_abs_weight" `Quick test_gate_max_abs_weight;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "inputs first" `Quick test_builder_inputs_first;
+          Alcotest.test_case "dangling wire" `Quick test_builder_dangling_wire;
+          Alcotest.test_case "depth tracking" `Quick test_builder_depth_tracking;
+          Alcotest.test_case "stats" `Quick test_builder_stats;
+          Alcotest.test_case "count-only = materialize" `Quick
+            test_count_only_matches_materialize;
+          Alcotest.test_case "shared gates = individual" `Quick
+            test_shared_gates_match_individual;
+          Alcotest.test_case "shared gates empty" `Quick test_shared_gates_empty_thresholds;
+          Alcotest.test_case "shared gates validation" `Quick test_shared_gates_validation;
+          Alcotest.test_case "count-only finalize" `Quick
+            test_count_only_finalize_rejected;
+          Alcotest.test_case "circuit stats" `Quick test_circuit_stats_match_builder;
+          Alcotest.test_case "const wires" `Quick test_const_wires;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "and/or/majority" `Quick test_simulate_and_or_majority;
+          Alcotest.test_case "xor depth 2" `Quick test_simulate_parity_2layer;
+          Alcotest.test_case "firing counts" `Quick test_simulate_firings;
+          Alcotest.test_case "input mismatch" `Quick test_simulate_input_mismatch;
+          prop_random_circuit_firings_bounded;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "clean circuit" `Quick test_validate_clean;
+          Alcotest.test_case "flags issues" `Quick test_validate_duplicate_and_zero;
+        ] );
+      ( "spiking",
+        [
+          Alcotest.test_case "settles to DAG semantics" `Quick
+            test_spiking_settles_to_simulator;
+          Alcotest.test_case "settles trace circuit" `Quick
+            test_spiking_settles_arithmetic_circuit;
+          Alcotest.test_case "tick progression" `Quick test_spiking_tick_progression;
+          Alcotest.test_case "max ticks" `Quick test_spiking_max_ticks;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "netlist roundtrip" `Quick test_netlist_roundtrip;
+          Alcotest.test_case "netlist roundtrip large" `Quick test_netlist_roundtrip_large;
+          Alcotest.test_case "netlist rejects garbage" `Quick test_netlist_rejects_garbage;
+          Alcotest.test_case "comments and blanks" `Quick test_netlist_comments_and_blanks;
+          Alcotest.test_case "dot renders" `Quick test_dot_renders;
+        ] );
+      ( "transform",
+        [
+          Alcotest.test_case "prune dead gates" `Quick test_prune_removes_dead_gates;
+          Alcotest.test_case "prune keeps live" `Quick test_prune_keeps_everything_live;
+          Alcotest.test_case "prune chain" `Quick test_prune_chain;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "summary" `Quick test_energy_summary;
+          Alcotest.test_case "empty rejected" `Quick test_energy_empty_rejected;
+        ] );
+      ( "properties",
+        [
+          prop_netlist_roundtrip_random;
+          prop_spiking_settles_random;
+          prop_prune_preserves_outputs;
+        ] );
+    ]

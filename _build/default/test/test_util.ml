@@ -1,0 +1,303 @@
+open Tcmm_util
+module S = Tcmm_test_support.Support
+
+(* ------------------------------------------------------------------ *)
+(* Checked                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_checked_add_basic () =
+  S.check_int "2+3" 5 (Checked.add 2 3);
+  S.check_int "neg" (-7) (Checked.add (-3) (-4));
+  S.check_int "mixed" 1 (Checked.add 4 (-3));
+  S.check_int "zero" max_int (Checked.add max_int 0)
+
+let test_checked_add_overflow () =
+  Alcotest.check_raises "max_int+1" (Checked.Overflow "Checked.add: 4611686018427387903 1")
+    (fun () -> ignore (Checked.add max_int 1));
+  Alcotest.check_raises "min_int-1"
+    (Checked.Overflow "Checked.add: -4611686018427387904 -1") (fun () ->
+      ignore (Checked.add min_int (-1)))
+
+let test_checked_sub () =
+  S.check_int "5-3" 2 (Checked.sub 5 3);
+  S.check_int "3-5" (-2) (Checked.sub 3 5);
+  S.check_int "edge" min_int (Checked.sub min_int 0);
+  (try
+     ignore (Checked.sub min_int 1);
+     Alcotest.fail "expected overflow"
+   with Checked.Overflow _ -> ());
+  try
+    ignore (Checked.sub max_int (-1));
+    Alcotest.fail "expected overflow"
+  with Checked.Overflow _ -> ()
+
+let test_checked_mul () =
+  S.check_int "6*7" 42 (Checked.mul 6 7);
+  S.check_int "by zero" 0 (Checked.mul 0 max_int);
+  S.check_int "neg" (-42) (Checked.mul (-6) 7);
+  S.check_int "both neg" 42 (Checked.mul (-6) (-7));
+  (try
+     ignore (Checked.mul max_int 2);
+     Alcotest.fail "expected overflow"
+   with Checked.Overflow _ -> ());
+  try
+    ignore (Checked.mul min_int (-1));
+    Alcotest.fail "expected overflow"
+  with Checked.Overflow _ -> ()
+
+let test_checked_pow () =
+  S.check_int "2^10" 1024 (Checked.pow 2 10);
+  S.check_int "3^4" 81 (Checked.pow 3 4);
+  S.check_int "x^0" 1 (Checked.pow 12345 0);
+  S.check_int "0^5" 0 (Checked.pow 0 5);
+  S.check_int "1^62" 1 (Checked.pow 1 62);
+  S.check_int "2^61" (1 lsl 61) (Checked.pow 2 61);
+  (try
+     ignore (Checked.pow 2 63);
+     Alcotest.fail "expected overflow"
+   with Checked.Overflow _ -> ());
+  try
+    ignore (Checked.pow 2 (-1));
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_checked_neg_abs () =
+  S.check_int "neg" (-5) (Checked.neg 5);
+  S.check_int "abs" 5 (Checked.abs (-5));
+  (try
+     ignore (Checked.neg min_int);
+     Alcotest.fail "expected overflow"
+   with Checked.Overflow _ -> ());
+  try
+    ignore (Checked.abs min_int);
+    Alcotest.fail "expected overflow"
+  with Checked.Overflow _ -> ()
+
+let test_checked_sums () =
+  S.check_int "list" 10 (Checked.sum [ 1; 2; 3; 4 ]);
+  S.check_int "empty" 0 (Checked.sum []);
+  S.check_int "array" 15 (Checked.sum_array [| 1; 2; 3; 4; 5 |])
+
+let prop_checked_matches_native =
+  S.qcheck_case "checked ops match native on small ints"
+    QCheck2.Gen.(pair (int_range (-1000000) 1000000) (int_range (-1000000) 1000000))
+    (fun (a, b) ->
+      Checked.add a b = a + b && Checked.sub a b = a - b && Checked.mul a b = a * b)
+
+(* ------------------------------------------------------------------ *)
+(* Ilog                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bits_table () =
+  List.iter
+    (fun (m, expect) -> S.check_int (Printf.sprintf "bits %d" m) expect (Ilog.bits m))
+    [ (0, 0); (1, 1); (2, 2); (3, 2); (4, 3); (7, 3); (8, 4); (255, 8); (256, 9) ]
+
+let test_bits_negative () =
+  try
+    ignore (Ilog.bits (-1));
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let prop_bits_definition =
+  S.qcheck_case "bits m is least l with m < 2^l"
+    QCheck2.Gen.(int_range 0 (1 lsl 40))
+    (fun m ->
+      let l = Ilog.bits m in
+      m < 1 lsl l && (l = 0 || m >= 1 lsl (l - 1)))
+
+let test_log2 () =
+  S.check_int "floor_log2 1" 0 (Ilog.floor_log2 1);
+  S.check_int "floor_log2 7" 2 (Ilog.floor_log2 7);
+  S.check_int "floor_log2 8" 3 (Ilog.floor_log2 8);
+  S.check_int "ceil_log2 1" 0 (Ilog.ceil_log2 1);
+  S.check_int "ceil_log2 7" 3 (Ilog.ceil_log2 7);
+  S.check_int "ceil_log2 8" 3 (Ilog.ceil_log2 8);
+  S.check_int "ceil_log2 9" 4 (Ilog.ceil_log2 9)
+
+let test_log_base () =
+  S.check_int "floor_log 3 26" 2 (Ilog.floor_log ~base:3 26);
+  S.check_int "floor_log 3 27" 3 (Ilog.floor_log ~base:3 27);
+  S.check_int "ceil_log 3 27" 3 (Ilog.ceil_log ~base:3 27);
+  S.check_int "ceil_log 3 28" 4 (Ilog.ceil_log ~base:3 28);
+  S.check_int "ceil_log 7 1" 0 (Ilog.ceil_log ~base:7 1)
+
+let test_is_pow () =
+  S.check_bool "8 pow2" true (Ilog.is_pow ~base:2 8);
+  S.check_bool "6 pow2" false (Ilog.is_pow ~base:2 6);
+  S.check_bool "1 pow7" true (Ilog.is_pow ~base:7 1);
+  S.check_bool "49 pow7" true (Ilog.is_pow ~base:7 49);
+  S.check_int "exact_log 7 49" 2 (Ilog.exact_log ~base:7 49);
+  try
+    ignore (Ilog.exact_log ~base:2 6);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let prop_log_base_bounds =
+  S.qcheck_case "floor/ceil log bracket m"
+    QCheck2.Gen.(pair (int_range 2 7) (int_range 1 1000000))
+    (fun (base, m) ->
+      let f = Ilog.floor_log ~base m and c = Ilog.ceil_log ~base m in
+      Checked.pow base f <= m
+      && m < Checked.pow base (f + 1)
+      && Checked.pow base c >= m
+      && (c = 0 || Checked.pow base (c - 1) < m))
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    S.check_int "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Prng.next a <> Prng.next b then same := false
+  done;
+  S.check_bool "different seeds diverge" false !same
+
+let test_prng_bounds () =
+  let rng = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng ~bound:17 in
+    S.check_bool "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let v = Prng.int_range rng ~lo:(-5) ~hi:5 in
+    S.check_bool "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_float_unit () =
+  let rng = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let f = Prng.float rng in
+    S.check_bool "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_prng_rough_uniformity () =
+  let rng = Prng.create ~seed:11 in
+  let counts = Array.make 8 0 in
+  let n = 8000 in
+  for _ = 1 to n do
+    let v = Prng.int rng ~bound:8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> S.check_bool "bucket within 20% of mean" true (c > 800 && c < 1200))
+    counts
+
+let test_prng_split_independent () =
+  let rng = Prng.create ~seed:5 in
+  let child = Prng.split rng in
+  S.check_bool "parent and child differ" true (Prng.next rng <> Prng.next child)
+
+(* ------------------------------------------------------------------ *)
+(* Intvec                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_intvec_push_get () =
+  let v = Intvec.create () in
+  for i = 0 to 999 do
+    Intvec.push v (i * i)
+  done;
+  S.check_int "length" 1000 (Intvec.length v);
+  S.check_int "get 0" 0 (Intvec.get v 0);
+  S.check_int "get 999" (999 * 999) (Intvec.get v 999);
+  Intvec.set v 10 (-7);
+  S.check_int "set/get" (-7) (Intvec.get v 10)
+
+let test_intvec_bounds () =
+  let v = Intvec.create () in
+  Intvec.push v 1;
+  (try
+     ignore (Intvec.get v 1);
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  try
+    Intvec.set v (-1) 0;
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let test_intvec_to_array_fold () =
+  let v = Intvec.create ~capacity:1 () in
+  List.iter (Intvec.push v) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check (array int)) "to_array" [| 3; 1; 4; 1; 5 |] (Intvec.to_array v);
+  S.check_int "fold sum" 14 (Intvec.fold_left ( + ) 0 v)
+
+(* ------------------------------------------------------------------ *)
+(* Tablefmt                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_tablefmt_renders () =
+  let s =
+    Tablefmt.render ~title:"t" ~header:[ "a"; "b" ]
+      ~rows:[ [ Tablefmt.Str "x"; Tablefmt.Int 42 ]; [ Tablefmt.Str "yy" ] ]
+  in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  S.check_bool "contains title" true (contains "== t ==");
+  S.check_bool "contains headers" true (contains "a" && contains "b");
+  S.check_bool "contains int cell" true (contains "42");
+  S.check_bool "short row padded" true (contains "yy")
+
+let test_tablefmt_rejects_wide_row () =
+  try
+    ignore
+      (Tablefmt.render ~title:"t" ~header:[ "a" ]
+         ~rows:[ [ Tablefmt.Int 1; Tablefmt.Int 2 ] ]);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "tcmm_util"
+    [
+      ( "checked",
+        [
+          Alcotest.test_case "add basic" `Quick test_checked_add_basic;
+          Alcotest.test_case "add overflow" `Quick test_checked_add_overflow;
+          Alcotest.test_case "sub" `Quick test_checked_sub;
+          Alcotest.test_case "mul" `Quick test_checked_mul;
+          Alcotest.test_case "pow" `Quick test_checked_pow;
+          Alcotest.test_case "neg/abs" `Quick test_checked_neg_abs;
+          Alcotest.test_case "sums" `Quick test_checked_sums;
+          prop_checked_matches_native;
+        ] );
+      ( "ilog",
+        [
+          Alcotest.test_case "bits table" `Quick test_bits_table;
+          Alcotest.test_case "bits negative" `Quick test_bits_negative;
+          prop_bits_definition;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "log base" `Quick test_log_base;
+          Alcotest.test_case "is_pow/exact_log" `Quick test_is_pow;
+          prop_log_base_bounds;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "float unit interval" `Quick test_prng_float_unit;
+          Alcotest.test_case "rough uniformity" `Quick test_prng_rough_uniformity;
+          Alcotest.test_case "split" `Quick test_prng_split_independent;
+        ] );
+      ( "intvec",
+        [
+          Alcotest.test_case "push/get/set" `Quick test_intvec_push_get;
+          Alcotest.test_case "bounds" `Quick test_intvec_bounds;
+          Alcotest.test_case "to_array/fold" `Quick test_intvec_to_array_fold;
+        ] );
+      ( "tablefmt",
+        [
+          Alcotest.test_case "renders" `Quick test_tablefmt_renders;
+          Alcotest.test_case "rejects wide row" `Quick test_tablefmt_rejects_wide_row;
+        ] );
+    ]
