@@ -31,3 +31,64 @@ let ns_cell ns =
 
 let header title =
   Printf.printf "\n######## %s ########\n\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_simulator.json)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Benches record their headline numbers here so the perf trajectory is
+   tracked across PRs in version control, not only in stdout tables. *)
+
+type json = Int of int | Float of float | Str of string | Bool of bool
+
+let json_records : (string * (string * json) list) list ref = ref []
+
+let record ~experiment fields =
+  json_records := (experiment, fields) :: !json_records
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_value buf = function
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if Float.is_nan f then Buffer.add_string buf "null"
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape s))
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+(* Writes the records collected so far (no-op when none ran). *)
+let write_json path =
+  match List.rev !json_records with
+  | [] -> ()
+  | records ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\n  \"benches\": [\n";
+      List.iteri
+        (fun i (experiment, fields) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf
+            (Printf.sprintf "    { \"experiment\": \"%s\"" (json_escape experiment));
+          List.iter
+            (fun (k, v) ->
+              Buffer.add_string buf (Printf.sprintf ", \"%s\": " (json_escape k));
+              json_value buf v)
+            fields;
+          Buffer.add_string buf " }")
+        records;
+      Buffer.add_string buf "\n  ]\n}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "\nwrote %s (%d records)\n%!" path (List.length records)

@@ -1,5 +1,7 @@
-(* Benchmark harness: regenerates every experiment table (E1..E10, see
-   EXPERIMENTS.md) and runs the bechamel wall-clock benches (E8).
+(* Benchmark harness: regenerates every experiment table (see
+   EXPERIMENTS.md), runs the bechamel wall-clock benches (E8) and the
+   evaluation-engine comparison (E17), and leaves the headline numbers
+   in BENCH_simulator.json.
 
    Usage:
      dune exec bench/main.exe            # everything
@@ -45,11 +47,15 @@ let e8 () =
                ~entry_bits:10 ~n:1024 ()));
     ]
   in
+  let measured = Bench_util.measure_ns tests in
   let rows =
-    List.map
-      (fun (name, ns) -> [ Tb.Str name; Bench_util.ns_cell ns ])
-      (Bench_util.measure_ns tests)
+    List.map (fun (name, ns) -> [ Tb.Str name; Bench_util.ns_cell ns ]) measured
   in
+  List.iter
+    (fun (name, ns) ->
+      Bench_util.record ~experiment:"e8"
+        [ ("name", Bench_util.Str name); ("ns_per_run", Bench_util.Float ns) ])
+    measured;
   Tb.print ~title:"wall-clock (one core)" ~header:[ "bench"; "time/run" ] ~rows;
   (* Scalar-multiplication counts contextualize the CPU crossover. *)
   let rows =
@@ -66,6 +72,141 @@ let e8 () =
   Tb.print ~title:"scalar multiplications: naive vs recursive Strassen"
     ~header:[ "N"; "naive N^3"; "strassen cutoff 8"; "strassen cutoff 1" ]
     ~rows
+
+
+(* E17: evaluation engines — gate-at-a-time reference interpreter vs the
+   packed levelized engine (sequential, multicore, and batched). *)
+let e17 () =
+  Bench_util.header
+    "E17: simulator engines (reference vs packed vs parallel vs batched)";
+  let module Th = Tcmm_threshold in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let best n f =
+    let r, t0 = time f in
+    let tmin = ref t0 in
+    for _ = 2 to n do
+      let _, t = time f in
+      if t < !tmin then tmin := t
+    done;
+    (r, !tmin)
+  in
+  let batch_size = 64 in
+  let bench_circuit ~label (c : Th.Circuit.t) (inputs : bool array array) =
+    let iv = inputs.(0) in
+    let p, t_pack = time (fun () -> Th.Packed.of_circuit c) in
+    let r_ref, t_ref = time (fun () -> Th.Simulator.run c iv) in
+    let r_seq, t_seq = best 3 (fun () -> Th.Packed.run p iv) in
+    let agree r =
+      r.Th.Simulator.outputs = r_ref.Th.Simulator.outputs
+      && r.Th.Simulator.firings = r_ref.Th.Simulator.firings
+      && r.Th.Simulator.level_firings = r_ref.Th.Simulator.level_firings
+    in
+    if not (agree r_seq) then failwith (label ^ ": packed-seq disagrees");
+    let par_times =
+      List.map
+        (fun domains ->
+          Th.Packed.Pool.with_pool ~domains (fun pool ->
+              let r, t = best 3 (fun () -> Th.Packed.run ~pool p iv) in
+              if not (agree r) then
+                failwith
+                  (Printf.sprintf "%s: packed %d domains disagrees" label domains);
+              (domains, t)))
+        [ 2; 4 ]
+    in
+    let br, t_batch = best 2 (fun () -> Th.Packed.run_batch p inputs) in
+    if
+      Th.Packed.batch_outputs br ~lane:0 <> r_ref.Th.Simulator.outputs
+      || Th.Packed.batch_firings br ~lane:0 <> r_ref.Th.Simulator.firings
+    then failwith (label ^ ": batched lane 0 disagrees");
+    let t_batch_vec = t_batch /. float_of_int batch_size in
+    let sec t = Tb.Str (Printf.sprintf "%.4f s" t) in
+    let rows =
+      [
+        [ Tb.Str "reference (gate-at-a-time)"; sec t_ref; Tb.Str "1.0x" ]
+      ; [
+          Tb.Str "packed sequential";
+          sec t_seq;
+          Tb.Str (Printf.sprintf "%.0fx" (t_ref /. t_seq));
+        ]
+      ]
+      @ List.map
+          (fun (d, t) ->
+            [
+              Tb.Str (Printf.sprintf "packed %d domains" d);
+              sec t;
+              Tb.Str (Printf.sprintf "%.0fx" (t_ref /. t));
+            ])
+          par_times
+      @ [
+          [
+            Tb.Str (Printf.sprintf "batched B=%d (per vector)" batch_size);
+            sec t_batch_vec;
+            Tb.Str (Printf.sprintf "%.0fx" (t_ref /. t_batch_vec));
+          ];
+        ]
+    in
+    Tb.print
+      ~title:
+        (Printf.sprintf "%s: %d gates, %d levels, pack %.2f s" label
+           (Th.Packed.num_gates p) (Th.Packed.num_levels p) t_pack)
+      ~header:[ "engine"; "time/vector"; "speedup" ]
+      ~rows;
+    Printf.printf "packed vs reference: %.1fx; batched vs packed one-at-a-time: %.1fx\n"
+      (t_ref /. t_seq)
+      (t_seq /. t_batch_vec);
+    Bench_util.record ~experiment:"e17"
+      ([
+         ("circuit", Bench_util.Str label);
+         ("gates", Bench_util.Int (Th.Packed.num_gates p));
+         ("levels", Bench_util.Int (Th.Packed.num_levels p));
+         ("pool_edges", Bench_util.Int (Th.Packed.pool_edges p));
+         ("pack_seconds", Bench_util.Float t_pack);
+         ("reference_seconds", Bench_util.Float t_ref);
+         ("packed_seq_seconds", Bench_util.Float t_seq);
+         ("packed_seq_speedup_vs_reference", Bench_util.Float (t_ref /. t_seq));
+         ("batch_size", Bench_util.Int batch_size);
+         ("batched_seconds_total", Bench_util.Float t_batch);
+         ("batched_seconds_per_vector", Bench_util.Float t_batch_vec);
+         ( "batched_speedup_vs_packed_seq",
+           Bench_util.Float (t_seq /. t_batch_vec) );
+       ]
+      @ List.map
+          (fun (d, t) ->
+            (Printf.sprintf "packed_domains%d_seconds" d, Bench_util.Float t))
+          par_times)
+  in
+  let rng = Tcmm_util.Prng.create ~seed:11 in
+  let profile = F.Sparsity.analyze F.Instances.strassen in
+  let sched16 = T.Level_schedule.theorem45 ~profile ~d:2 ~n:16 in
+  let mm =
+    T.Matmul_circuit.build ~algo:F.Instances.strassen ~schedule:sched16
+      ~entry_bits:1 ~n:16 ()
+  in
+  let mm_inputs =
+    Array.init batch_size (fun _ ->
+        let a = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
+        let b = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
+        T.Matmul_circuit.encode_inputs mm ~a ~b)
+  in
+  bench_circuit ~label:"matmul N=16 d=2 (Theorem 4.9)"
+    (Option.get mm.T.Matmul_circuit.circuit)
+    mm_inputs;
+  let tr =
+    T.Trace_circuit.build ~algo:F.Instances.strassen ~schedule:sched16
+      ~entry_bits:1 ~tau:100 ~n:16 ()
+  in
+  let tr_inputs =
+    Array.init batch_size (fun _ ->
+        T.Trace_circuit.encode_input tr
+          (F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1))
+  in
+  bench_circuit ~label:"trace N=16 d=2 (Theorem 4.5)"
+    (Option.get tr.T.Trace_circuit.circuit)
+    tr_inputs
 
 let all_experiments =
   [
@@ -84,6 +225,7 @@ let all_experiments =
     ("e13", Experiments.e13);
     ("e14", Experiments.e14);
     ("e15", Experiments.e15);
+    ("e17", e17);
   ]
 
 let () =
@@ -105,4 +247,5 @@ let () =
             (String.concat ", " (List.map fst all_experiments));
           exit 2)
     requested;
+  Bench_util.write_json "BENCH_simulator.json";
   print_endline "done."

@@ -9,6 +9,7 @@ type built = {
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;
   schedule : Level_schedule.t;
+  cache : Engine.cache;
 }
 
 let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
@@ -39,7 +40,8 @@ let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~alg
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  { builder = b; circuit; layout_a; layout_b; c_grid; schedule }
+  { builder = b; circuit; layout_a; layout_b; c_grid; schedule;
+    cache = Engine.create_cache () }
 
 let encode_inputs built ~a ~b =
   let input =
@@ -49,13 +51,25 @@ let encode_inputs built ~a ~b =
   Encode.write built.layout_b b input;
   input
 
-let run built ~a ~b =
+let circuit_exn built =
   match built.circuit with
   | None -> invalid_arg "Matmul_circuit: circuit was built in Count_only mode"
-  | Some c ->
-      let r = Simulator.run c (encode_inputs built ~a ~b) in
-      let n = Array.length built.c_grid in
-      Matrix.init ~rows:n ~cols:n (fun i j ->
-          Repr.eval_sbits (Simulator.value r) built.c_grid.(i).(j))
+  | Some c -> c
+
+let decode built read =
+  let n = Array.length built.c_grid in
+  Matrix.init ~rows:n ~cols:n (fun i j -> Repr.eval_sbits read built.c_grid.(i).(j))
+
+let run ?engine ?domains built ~a ~b =
+  let c = circuit_exn built in
+  let r = Engine.run ?engine ?domains built.cache c (encode_inputs built ~a ~b) in
+  decode built (Simulator.value r)
+
+let run_batch ?domains built pairs =
+  let c = circuit_exn built in
+  let batch = Array.map (fun (a, b) -> encode_inputs built ~a ~b) pairs in
+  let br = Engine.run_batch ?domains built.cache c batch in
+  Array.init (Array.length pairs) (fun lane ->
+      decode built (Packed.batch_value br ~lane))
 
 let stats built = Builder.stats built.builder

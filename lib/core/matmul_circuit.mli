@@ -21,6 +21,7 @@ type built = {
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;  (** binary entries of [C] *)
   schedule : Level_schedule.t;
+  cache : Engine.cache;  (** memoized packed compilation of [circuit] *)
 }
 
 val build :
@@ -37,7 +38,25 @@ val build :
 
 val encode_inputs : built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> bool array
 
-val run : built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> Tcmm_fastmm.Matrix.t
-(** Simulate and decode [C].  Requires [Materialize] mode. *)
+val run :
+  ?engine:Simulator.engine ->
+  ?domains:int ->
+  built ->
+  a:Tcmm_fastmm.Matrix.t ->
+  b:Tcmm_fastmm.Matrix.t ->
+  Tcmm_fastmm.Matrix.t
+(** Simulate and decode [C].  Requires [Materialize] mode.  [engine]
+    defaults to the packed evaluator ({!Tcmm_threshold.Packed}),
+    compiled once per [built] value; [domains > 1] evaluates levels in
+    parallel on that many cores. *)
+
+val run_batch :
+  ?domains:int ->
+  built ->
+  (Tcmm_fastmm.Matrix.t * Tcmm_fastmm.Matrix.t) array ->
+  Tcmm_fastmm.Matrix.t array
+(** Evaluate many [(a, b)] pairs in one batched circuit traversal
+    ({!Tcmm_threshold.Packed.run_batch}) — much faster per product than
+    repeated {!run}. *)
 
 val stats : built -> Stats.t

@@ -12,6 +12,7 @@ type triangle_built = {
   output : Wire.t;
   n : int;
   tau : int;
+  cache : Engine.cache;
 }
 
 (* Edge variable x_ij (i < j) position in lexicographic order. *)
@@ -48,7 +49,7 @@ let triangle_threshold ?(mode = Builder.Materialize) ~n ~tau () =
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  { builder = b; circuit; output; n; tau }
+  { builder = b; circuit; output; n; tau; cache = Engine.create_cache () }
 
 let triangle_encode built m =
   let n = built.n in
@@ -66,10 +67,12 @@ let triangle_encode built m =
   done;
   input
 
-let triangle_run built m =
+let triangle_run ?engine ?domains built m =
   match built.circuit with
   | None -> invalid_arg "triangle_run: Count_only mode"
-  | Some c -> (Simulator.run c (triangle_encode built m)).Simulator.outputs.(0)
+  | Some c ->
+      (Engine.run ?engine ?domains built.cache c (triangle_encode built m))
+        .Simulator.outputs.(0)
 
 (* ------------------------------------------------------------------ *)
 (* Naive trace threshold                                              *)
@@ -82,6 +85,7 @@ type trace_built = {
   trace_repr : Repr.signed;
   layout : Encode.t;
   tau : int;
+  cache : Engine.cache;
 }
 
 let trace_threshold ?(mode = Builder.Materialize) ?(signed_inputs = false)
@@ -105,20 +109,24 @@ let trace_threshold ?(mode = Builder.Materialize) ?(signed_inputs = false)
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  { builder = b; circuit; output; trace_repr; layout; tau }
+  { builder = b; circuit; output; trace_repr; layout; tau;
+    cache = Engine.create_cache () }
 
-let trace_simulate built m =
+let trace_simulate ?engine ?domains built m =
   match built.circuit with
   | None -> invalid_arg "trace_run: Count_only mode"
   | Some c ->
       let input = Array.make (Encode.total_wires built.layout) false in
       Encode.write built.layout m input;
-      Simulator.run c input
+      Engine.run ?engine ?domains built.cache c input
 
-let trace_run built m = (trace_simulate built m).Simulator.outputs.(0)
+let trace_run ?engine ?domains built m =
+  (trace_simulate ?engine ?domains built m).Simulator.outputs.(0)
 
-let trace_value built m =
-  Repr.eval_signed (Simulator.value (trace_simulate built m)) built.trace_repr
+let trace_value ?engine ?domains built m =
+  Repr.eval_signed
+    (Simulator.value (trace_simulate ?engine ?domains built m))
+    built.trace_repr
 
 (* ------------------------------------------------------------------ *)
 (* Naive matrix product                                               *)
@@ -130,6 +138,7 @@ type matmul_built = {
   layout_a : Encode.t;
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;
+  cache : Engine.cache;
 }
 
 let matmul ?(mode = Builder.Materialize) ?(signed_inputs = false) ~entry_bits ~n () =
@@ -156,7 +165,8 @@ let matmul ?(mode = Builder.Materialize) ?(signed_inputs = false) ~entry_bits ~n
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  { builder = b; circuit; layout_a; layout_b; c_grid }
+  { builder = b; circuit; layout_a; layout_b; c_grid;
+    cache = Engine.create_cache () }
 
 (* ------------------------------------------------------------------ *)
 (* Closed-form statistics                                             *)
@@ -208,7 +218,7 @@ let matmul_counts ?(signed_inputs = false) ~entry_bits ~n () =
   let entries = n * n in
   (Checked.mul entries (fst per_entry), Checked.mul entries (snd per_entry))
 
-let matmul_run built ~a ~b =
+let matmul_run ?engine ?domains built ~a ~b =
   match built.circuit with
   | None -> invalid_arg "matmul_run: Count_only mode"
   | Some c ->
@@ -219,7 +229,7 @@ let matmul_run built ~a ~b =
       in
       Encode.write built.layout_a a input;
       Encode.write built.layout_b b input;
-      let r = Simulator.run c input in
+      let r = Engine.run ?engine ?domains built.cache c input in
       let n = Array.length built.c_grid in
       Matrix.init ~rows:n ~cols:n (fun i j ->
           Repr.eval_sbits (Simulator.value r) built.c_grid.(i).(j))

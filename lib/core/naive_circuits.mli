@@ -19,6 +19,7 @@ type triangle_built = {
   output : Wire.t;
   n : int;
   tau : int;
+  cache : Engine.cache;
 }
 
 val triangle_threshold : ?mode:Builder.mode -> n:int -> tau:int -> unit -> triangle_built
@@ -29,7 +30,8 @@ val triangle_encode : triangle_built -> Tcmm_fastmm.Matrix.t -> bool array
 (** Encodes a symmetric 0/1 adjacency matrix with zero diagonal; raises
     [Invalid_argument] otherwise. *)
 
-val triangle_run : triangle_built -> Tcmm_fastmm.Matrix.t -> bool
+val triangle_run :
+  ?engine:Simulator.engine -> ?domains:int -> triangle_built -> Tcmm_fastmm.Matrix.t -> bool
 
 type trace_built = {
   builder : Builder.t;
@@ -38,6 +40,7 @@ type trace_built = {
   trace_repr : Repr.signed;
   layout : Encode.t;
   tau : int;
+  cache : Engine.cache;
 }
 
 val trace_threshold :
@@ -49,8 +52,11 @@ val trace_threshold :
   unit ->
   trace_built
 
-val trace_run : trace_built -> Tcmm_fastmm.Matrix.t -> bool
-val trace_value : trace_built -> Tcmm_fastmm.Matrix.t -> int
+val trace_run :
+  ?engine:Simulator.engine -> ?domains:int -> trace_built -> Tcmm_fastmm.Matrix.t -> bool
+
+val trace_value :
+  ?engine:Simulator.engine -> ?domains:int -> trace_built -> Tcmm_fastmm.Matrix.t -> int
 
 type matmul_built = {
   builder : Builder.t;
@@ -58,6 +64,7 @@ type matmul_built = {
   layout_a : Encode.t;
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;
+  cache : Engine.cache;
 }
 
 val matmul :
@@ -69,7 +76,12 @@ val matmul :
   matmul_built
 
 val matmul_run :
-  matmul_built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> Tcmm_fastmm.Matrix.t
+  ?engine:Simulator.engine ->
+  ?domains:int ->
+  matmul_built ->
+  a:Tcmm_fastmm.Matrix.t ->
+  b:Tcmm_fastmm.Matrix.t ->
+  Tcmm_fastmm.Matrix.t
 
 (** {1 Closed-form statistics}
 

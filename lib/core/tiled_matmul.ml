@@ -10,6 +10,7 @@ type built = {
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;
   block : int;
+  cache : Engine.cache;
 }
 
 let round_up v ~block = (v + block - 1) / block * block
@@ -82,9 +83,10 @@ let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~alg
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  { builder = b; circuit; layout_a; layout_b; c_grid; block }
+  { builder = b; circuit; layout_a; layout_b; c_grid; block;
+    cache = Engine.create_cache () }
 
-let run built ~a ~b =
+let run ?engine ?domains built ~a ~b =
   match built.circuit with
   | None -> invalid_arg "Tiled_matmul.run: Count_only mode"
   | Some c ->
@@ -95,7 +97,7 @@ let run built ~a ~b =
       in
       Encode.write built.layout_a a input;
       Encode.write built.layout_b b input;
-      let r = Simulator.run c input in
+      let r = Engine.run ?engine ?domains built.cache c input in
       Matrix.init
         ~rows:(Array.length built.c_grid)
         ~cols:(Array.length built.c_grid.(0))

@@ -27,6 +27,7 @@ type built = {
   layout_b : Encode.t;  (** [inner x cols] *)
   c_grid : Repr.signed_bits array array;  (** [rows x cols] *)
   block : int;
+  cache : Engine.cache;  (** memoized packed compilation of [circuit] *)
 }
 
 val round_up : int -> block:int -> int
@@ -51,8 +52,14 @@ val build :
     counts). *)
 
 val run :
-  built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> Tcmm_fastmm.Matrix.t
+  ?engine:Simulator.engine ->
+  ?domains:int ->
+  built ->
+  a:Tcmm_fastmm.Matrix.t ->
+  b:Tcmm_fastmm.Matrix.t ->
+  Tcmm_fastmm.Matrix.t
 (** Simulate and decode the [rows x cols] product.  Requires
-    [Materialize] mode. *)
+    [Materialize] mode.  [engine] defaults to the packed evaluator,
+    compiled once per [built] value. *)
 
 val stats : built -> Stats.t

@@ -10,6 +10,7 @@ type built = {
   layout : Encode.t;
   schedule : Level_schedule.t;
   tau : int;
+  cache : Engine.cache;
 }
 
 let build_internal ~mode ~signed_inputs ?share_top ~with_value ~algo ~schedule
@@ -51,7 +52,9 @@ let build_internal ~mode ~signed_inputs ?share_top ~with_value ~algo ~schedule
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  ({ builder = b; circuit; output; trace_repr; layout; schedule; tau }, value)
+  ( { builder = b; circuit; output; trace_repr; layout; schedule; tau;
+      cache = Engine.create_cache () },
+    value )
 
 let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
     ~schedule ~entry_bits ~tau ~n () =
@@ -109,6 +112,7 @@ let build_staged ?(mode = Builder.Materialize) ?(signed_inputs = false) ~algo ~s
     layout;
     schedule = Level_schedule.direct ~l;
     tau;
+    cache = Engine.create_cache ();
   }
 
 let encode_input built m =
@@ -116,17 +120,26 @@ let encode_input built m =
   Encode.write built.layout m input;
   input
 
-let simulate built m =
+let circuit_exn built =
   match built.circuit with
   | None -> invalid_arg "Trace_circuit: circuit was built in Count_only mode"
-  | Some c -> Simulator.run c (encode_input built m)
+  | Some c -> c
 
-let run built m =
-  let r = simulate built m in
+let simulate ?engine ?domains built m =
+  Engine.run ?engine ?domains built.cache (circuit_exn built) (encode_input built m)
+
+let run ?engine ?domains built m =
+  let r = simulate ?engine ?domains built m in
   r.Simulator.outputs.(0)
 
-let trace_value built m =
-  let r = simulate built m in
+let run_batch ?domains built ms =
+  let c = circuit_exn built in
+  let batch = Array.map (encode_input built) ms in
+  let br = Engine.run_batch ?domains built.cache c batch in
+  Array.init (Array.length ms) (fun lane -> (Packed.batch_outputs br ~lane).(0))
+
+let trace_value ?engine ?domains built m =
+  let r = simulate ?engine ?domains built m in
   Repr.eval_signed (Simulator.value r) built.trace_repr
 
 let reference m = Matrix.trace (Matrix.pow m 3)

@@ -27,6 +27,7 @@ type built = {
   layout : Encode.t;
   schedule : Level_schedule.t;
   tau : int;
+  cache : Engine.cache;  (** memoized packed compilation of [circuit] *)
 }
 
 val build :
@@ -66,9 +67,16 @@ val build_staged :
 val encode_input : built -> Tcmm_fastmm.Matrix.t -> bool array
 (** Input vector encoding [A]. *)
 
-val run : built -> Tcmm_fastmm.Matrix.t -> bool
+val run :
+  ?engine:Simulator.engine -> ?domains:int -> built -> Tcmm_fastmm.Matrix.t -> bool
 (** Simulate on [A]; requires [Materialize] mode (raises
-    [Invalid_argument] otherwise). *)
+    [Invalid_argument] otherwise).  [engine] defaults to the packed
+    evaluator, compiled once per [built] value. *)
+
+val run_batch :
+  ?domains:int -> built -> Tcmm_fastmm.Matrix.t array -> bool array
+(** Decide [trace(A^3) >= tau] for many matrices in one batched circuit
+    traversal ({!Tcmm_threshold.Packed.run_batch}). *)
 
 val build_with_value :
   ?mode:Builder.mode ->
@@ -89,7 +97,8 @@ val build_with_value :
     {!Tcmm_arith.Binary.normalize} stages) on top of the threshold
     output, which is still present. *)
 
-val trace_value : built -> Tcmm_fastmm.Matrix.t -> int
+val trace_value :
+  ?engine:Simulator.engine -> ?domains:int -> built -> Tcmm_fastmm.Matrix.t -> int
 (** Simulate and evaluate {!field-trace_repr} — the exact [trace(A^3)]
     as the circuit internally represents it (test oracle access). *)
 

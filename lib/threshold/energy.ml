@@ -4,25 +4,58 @@ type summary = {
   min_firings : int;
   max_firings : int;
   gates : int;
+  mean_level_firings : float array;
 }
 
-let measure c inputs =
+(* Lanes per batched traversal when measuring with the packed engine:
+   a few words' worth bounds the transient per-wire word storage. *)
+let batch_chunk = 248
+
+let measure ?(engine = Simulator.Packed) ?domains c inputs =
   if inputs = [] then invalid_arg "Energy.measure: no inputs";
   let total = ref 0 and mn = ref max_int and mx = ref 0 and n = ref 0 in
-  List.iter
-    (fun input ->
-      let r = Simulator.run c input in
-      total := !total + r.Simulator.firings;
-      mn := min !mn r.Simulator.firings;
-      mx := max !mx r.Simulator.firings;
-      incr n)
-    inputs;
+  let lf_total = ref [||] in
+  let record ~firings ~level_firings =
+    total := !total + firings;
+    mn := min !mn firings;
+    mx := max !mx firings;
+    if Array.length !lf_total = 0 then
+      lf_total := Array.make (Array.length level_firings) 0;
+    Array.iteri (fun i v -> !lf_total.(i) <- !lf_total.(i) + v) level_firings;
+    incr n
+  in
+  (match engine with
+  | Simulator.Reference ->
+      List.iter
+        (fun input ->
+          let r = Simulator.run c input in
+          record ~firings:r.Simulator.firings
+            ~level_firings:r.Simulator.level_firings)
+        inputs
+  | Simulator.Packed ->
+      let p = Packed.of_circuit c in
+      let arr = Array.of_list inputs in
+      let len = Array.length arr in
+      let pos = ref 0 in
+      while !pos < len do
+        let b = min batch_chunk (len - !pos) in
+        let br = Packed.run_batch ?domains p (Array.sub arr !pos b) in
+        for lane = 0 to b - 1 do
+          record
+            ~firings:(Packed.batch_firings br ~lane)
+            ~level_firings:(Packed.batch_level_firings br ~lane)
+        done;
+        pos := !pos + b
+      done);
+  let samples = !n in
   {
-    samples = !n;
-    mean_firings = float_of_int !total /. float_of_int !n;
+    samples;
+    mean_firings = float_of_int !total /. float_of_int samples;
     min_firings = !mn;
     max_firings = !mx;
     gates = Circuit.num_gates c;
+    mean_level_firings =
+      Array.map (fun v -> float_of_int v /. float_of_int samples) !lf_total;
   }
 
 let random_inputs rng ~num_inputs ~samples =

@@ -11,11 +11,19 @@ type summary = {
   min_firings : int;
   max_firings : int;
   gates : int;  (** circuit size, for computing the firing fraction *)
+  mean_level_firings : float array;
+      (** mean firings per depth level (entry [d] = gates of depth
+          [d + 1]); sums to [mean_firings] *)
 }
 
-val measure : Circuit.t -> bool array list -> summary
+val measure :
+  ?engine:Simulator.engine -> ?domains:int -> Circuit.t -> bool array list -> summary
 (** [measure c inputs] simulates [c] on each input vector and aggregates
-    firing counts.  Raises [Invalid_argument] on an empty list. *)
+    firing counts.  With the default {!Simulator.Packed} engine the
+    inputs are evaluated in batched traversals
+    ({!Packed.run_batch}, the dominant cost of energy sweeps);
+    [Simulator.Reference] falls back to one {!Simulator.run} per input.
+    Raises [Invalid_argument] on an empty list. *)
 
 val random_inputs :
   Tcmm_util.Prng.t -> num_inputs:int -> samples:int -> bool array list

@@ -1,0 +1,19 @@
+type cache = { mutable packed : Packed.t option }
+
+let create_cache () = { packed = None }
+
+let packed cache c =
+  match cache.packed with
+  | Some p when Packed.circuit p == c -> p
+  | _ ->
+      let p = Packed.of_circuit c in
+      cache.packed <- Some p;
+      p
+
+let run ?check ?(engine = Simulator.Packed) ?pool ?domains cache c inputs =
+  match engine with
+  | Simulator.Reference -> Simulator.run ?check c inputs
+  | Simulator.Packed -> Packed.run ?check ?pool ?domains (packed cache c) inputs
+
+let run_batch ?check ?pool ?domains cache c batch =
+  Packed.run_batch ?check ?pool ?domains (packed cache c) batch

@@ -1,0 +1,41 @@
+(** Engine selection glue for circuit drivers.
+
+    The drivers in [lib/core] hold a [cache] next to their circuit and
+    route every evaluation through {!run}, so callers pick the evaluator
+    with a [?engine] argument ({!Simulator.Packed} by default) without
+    the driver re-compiling the packed form on every call.  All engines
+    return bit-identical {!Simulator.result}s. *)
+
+type cache
+(** Memoized {!Packed.t} for one circuit (compiled on first use). *)
+
+val create_cache : unit -> cache
+
+val packed : cache -> Circuit.t -> Packed.t
+(** The compiled form of the circuit, compiling it on first use.  The
+    cache is keyed by physical identity of the circuit, so a cache must
+    not be shared between circuits. *)
+
+val run :
+  ?check:bool ->
+  ?engine:Simulator.engine ->
+  ?pool:Packed.Pool.t ->
+  ?domains:int ->
+  cache ->
+  Circuit.t ->
+  bool array ->
+  Simulator.result
+(** Evaluate one input vector with the chosen engine (default
+    {!Simulator.Packed}, sequential).  [pool] / [domains] only apply to
+    the packed engine. *)
+
+val run_batch :
+  ?check:bool ->
+  ?pool:Packed.Pool.t ->
+  ?domains:int ->
+  cache ->
+  Circuit.t ->
+  bool array array ->
+  Packed.batch_result
+(** Batched evaluation (always the packed engine — the reference
+    interpreter has no batched mode). *)

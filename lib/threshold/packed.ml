@@ -1,0 +1,717 @@
+module Intvec = Tcmm_util.Intvec
+module Checked = Tcmm_util.Checked
+
+(* ------------------------------------------------------------------ *)
+(* Packed representation                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  circuit : Circuit.t;
+  num_inputs : int;
+  num_wires : int;
+  num_gates : int;
+  levels : int;
+  (* Flat CSR edge pools.  Gates built through [Builder.add_shared_gates]
+     physically share their input/weight arrays; consecutive gates (in
+     level order) sharing arrays collapse into one *segment*, so the
+     pools hold each shared array once — for the big matmul circuits
+     this is ~250x smaller than the logical edge count. *)
+  pool_wires : int array;
+  pool_weights : int array;
+  (* Per segment: pool offset, fan-in, and the packed-gate range
+     [seg_gates.(s), seg_gates.(s+1)) of gates sharing that sum. *)
+  seg_off : int array;
+  seg_fan : int array;
+  seg_gates : int array;  (* length num_segments + 1 *)
+  (* Edges within a segment are stored grouped by weight value (stable,
+     groups in order of first appearance): segment [s] owns groups
+     [seg_grp.(s), seg_grp.(s+1)), group [g] owns pool slots
+     [grp_off.(g), grp_off.(g+1)) all carrying weight [grp_weight.(g)].
+     The paper's wide layers have huge fan-in but only a handful of
+     distinct weights (e.g. the alternating +/- rows of Lemma 3.1), so
+     the batched evaluator can replace per-set-bit adds with a carry-save
+     per-lane popcount over each group. *)
+  seg_grp : int array;  (* length num_segments + 1 *)
+  grp_off : int array;  (* length num_groups + 1 *)
+  grp_weight : int array;
+  (* Segments grouped by level: segments [level_segs.(l), level_segs.(l+1))
+     hold exactly the gates of depth l+1.  Gates within a level are
+     mutually independent, which is what the parallel and batched
+     evaluators exploit. *)
+  level_segs : int array;  (* length levels + 1 *)
+  (* Per packed gate (level-major order; thresholds ascend within each
+     segment so the firing gates of a segment are a prefix). *)
+  g_threshold : int array;
+  g_wire : int array;  (* output wire id *)
+  outputs : int array;
+  max_seg_gates : int;
+}
+
+let of_circuit (c : Circuit.t) =
+  let num_inputs = c.Circuit.num_inputs in
+  let gates = c.Circuit.gates in
+  let ng = Array.length gates in
+  let num_wires = num_inputs + ng in
+  let depths = c.Circuit.depths in
+  let levels = Array.fold_left max 0 depths in
+  (* Stable counting sort of gate ids by level (level l = depth l+1). *)
+  let counts = Array.make (levels + 1) 0 in
+  for g = 0 to ng - 1 do
+    let d = depths.(num_inputs + g) in
+    counts.(d) <- counts.(d) + 1
+  done;
+  (* lvl_start.(l) = first packed position of level l; sentinel at [levels]. *)
+  let lvl_start = Array.make (levels + 1) 0 in
+  for l = 0 to levels - 1 do
+    lvl_start.(l + 1) <- lvl_start.(l) + counts.(l + 1)
+  done;
+  let order = Array.make (max ng 1) 0 in
+  let cursor = Array.copy lvl_start in
+  for g = 0 to ng - 1 do
+    let l = depths.(num_inputs + g) - 1 in
+    order.(cursor.(l)) <- g;
+    cursor.(l) <- cursor.(l) + 1
+  done;
+  let pool_wires = Intvec.create ~capacity:1024 () in
+  let pool_weights = Intvec.create ~capacity:1024 () in
+  let seg_off = Intvec.create () in
+  let seg_fan = Intvec.create () in
+  let seg_gates = Intvec.create () in
+  let seg_grp = Intvec.create () in
+  let grp_off = Intvec.create () in
+  let grp_weight = Intvec.create () in
+  let level_segs = Array.make (levels + 1) 0 in
+  let g_threshold = Array.make (max ng 1) 0 in
+  let g_wire = Array.make (max ng 1) 0 in
+  let max_seg_gates = ref 0 in
+  let p = ref 0 in
+  for l = 0 to levels - 1 do
+    level_segs.(l) <- Intvec.length seg_off;
+    let level_end = lvl_start.(l + 1) in
+    while !p < level_end do
+      let g0 = order.(!p) in
+      let gate0 = gates.(g0) in
+      Intvec.push seg_off (Intvec.length pool_wires);
+      Intvec.push seg_fan (Array.length gate0.Gate.inputs);
+      Intvec.push seg_gates !p;
+      Intvec.push seg_grp (Intvec.length grp_weight);
+      (* Push the segment's edges grouped by weight value (stable within
+         a group, groups ordered by first appearance). *)
+      let ins = gate0.Gate.inputs and wts = gate0.Gate.weights in
+      let fan = Array.length ins in
+      let gid = Array.make (max fan 1) 0 in
+      let tbl = Hashtbl.create 8 in
+      let gcount = ref 0 in
+      for i = 0 to fan - 1 do
+        match Hashtbl.find_opt tbl wts.(i) with
+        | Some g -> gid.(i) <- g
+        | None ->
+            Hashtbl.add tbl wts.(i) !gcount;
+            gid.(i) <- !gcount;
+            incr gcount
+      done;
+      let gcount = !gcount in
+      let sizes = Array.make (max gcount 1) 0 in
+      for i = 0 to fan - 1 do
+        sizes.(gid.(i)) <- sizes.(gid.(i)) + 1
+      done;
+      let base = Intvec.length pool_wires in
+      let starts = Array.make (max gcount 1) 0 in
+      let acc = ref 0 in
+      for g = 0 to gcount - 1 do
+        starts.(g) <- !acc;
+        acc := !acc + sizes.(g)
+      done;
+      let gw = Array.make (max gcount 1) 0 in
+      let perm = Array.make (max fan 1) 0 in
+      let cur = Array.copy starts in
+      for i = 0 to fan - 1 do
+        let g = gid.(i) in
+        gw.(g) <- wts.(i);
+        perm.(cur.(g)) <- i;
+        cur.(g) <- cur.(g) + 1
+      done;
+      for j = 0 to fan - 1 do
+        let i = perm.(j) in
+        Intvec.push pool_wires ins.(i);
+        Intvec.push pool_weights wts.(i)
+      done;
+      for g = 0 to gcount - 1 do
+        Intvec.push grp_off (base + starts.(g));
+        Intvec.push grp_weight gw.(g)
+      done;
+      (* Extend the segment over consecutive gates that physically share
+         the input/weight arrays (they necessarily sit at the same
+         depth, so the level boundary is respected automatically — but
+         we re-check it to stay robust to exotic circuits). *)
+      let q = ref (!p + 1) in
+      while
+        !q < level_end
+        && gates.(order.(!q)).Gate.inputs == gate0.Gate.inputs
+        && gates.(order.(!q)).Gate.weights == gate0.Gate.weights
+      do
+        incr q
+      done;
+      let k = !q - !p in
+      if k > !max_seg_gates then max_seg_gates := k;
+      let pairs =
+        Array.init k (fun i ->
+            let g = order.(!p + i) in
+            (gates.(g).Gate.threshold, num_inputs + g))
+      in
+      Array.sort (fun (a, _) (b, _) -> compare (a : int) b) pairs;
+      for i = 0 to k - 1 do
+        let th, w = pairs.(i) in
+        g_threshold.(!p + i) <- th;
+        g_wire.(!p + i) <- w
+      done;
+      p := !q
+    done
+  done;
+  level_segs.(levels) <- Intvec.length seg_off;
+  Intvec.push seg_gates ng;
+  Intvec.push seg_grp (Intvec.length grp_weight);
+  Intvec.push grp_off (Intvec.length pool_wires);
+  {
+    circuit = c;
+    num_inputs;
+    num_wires;
+    num_gates = ng;
+    levels;
+    pool_wires = Intvec.to_array pool_wires;
+    pool_weights = Intvec.to_array pool_weights;
+    seg_off = Intvec.to_array seg_off;
+    seg_fan = Intvec.to_array seg_fan;
+    seg_gates = Intvec.to_array seg_gates;
+    seg_grp = Intvec.to_array seg_grp;
+    grp_off = Intvec.to_array grp_off;
+    grp_weight = Intvec.to_array grp_weight;
+    level_segs;
+    g_threshold;
+    g_wire;
+    outputs = c.Circuit.outputs;
+    max_seg_gates = !max_seg_gates;
+  }
+
+let circuit t = t.circuit
+let num_gates t = t.num_gates
+let num_levels t = t.levels
+let num_segments t = Array.length t.seg_off
+let pool_edges t = Array.length t.pool_wires
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type pool = {
+    size : int;
+    mutable task : int -> unit;
+    mutable nchunks : int;
+    next : int Atomic.t;
+    mutable done_workers : int;
+    mutable epoch : int;
+    mutable stop : bool;
+    m : Mutex.t;
+    work_cv : Condition.t;
+    done_cv : Condition.t;
+    mutable err : exn option;
+    mutable handles : unit Domain.t list;
+  }
+
+  type t = pool
+
+  let size t = t.size
+
+  (* Claim and run chunks until the current job is drained.  The first
+     exception (e.g. a [Checked.Overflow] from a checked evaluation) is
+     parked in [err] and re-raised by the caller after the barrier. *)
+  let drain t =
+    let rec loop () =
+      let i = Atomic.fetch_and_add t.next 1 in
+      if i < t.nchunks then begin
+        (try t.task i
+         with e ->
+           Mutex.lock t.m;
+           if t.err = None then t.err <- Some e;
+           Mutex.unlock t.m);
+        loop ()
+      end
+    in
+    loop ()
+
+  let worker t () =
+    let my_epoch = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock t.m;
+      while (not t.stop) && t.epoch = !my_epoch do
+        Condition.wait t.work_cv t.m
+      done;
+      if t.stop then begin
+        Mutex.unlock t.m;
+        running := false
+      end
+      else begin
+        my_epoch := t.epoch;
+        Mutex.unlock t.m;
+        drain t;
+        Mutex.lock t.m;
+        t.done_workers <- t.done_workers + 1;
+        if t.done_workers = t.size then Condition.signal t.done_cv;
+        Mutex.unlock t.m
+      end
+    done
+
+  let create ~domains =
+    if domains < 1 then invalid_arg "Packed.Pool.create: domains must be >= 1";
+    let t =
+      {
+        size = domains;
+        task = ignore;
+        nchunks = 0;
+        next = Atomic.make 0;
+        done_workers = 0;
+        epoch = 0;
+        stop = false;
+        m = Mutex.create ();
+        work_cv = Condition.create ();
+        done_cv = Condition.create ();
+        err = None;
+        handles = [];
+      }
+    in
+    t.handles <- List.init (domains - 1) (fun _ -> Domain.spawn (worker t));
+    t
+
+  (* Run [task 0 .. task (chunks-1)] across the pool; returns when every
+     chunk has finished (level barrier).  Not reentrant. *)
+  let run t ~chunks task =
+    if chunks < 0 then invalid_arg "Packed.Pool.run: negative chunk count";
+    if chunks = 0 then ()
+    else if t.size = 1 then
+      for i = 0 to chunks - 1 do
+        task i
+      done
+    else begin
+      Mutex.lock t.m;
+      t.task <- task;
+      t.nchunks <- chunks;
+      Atomic.set t.next 0;
+      t.done_workers <- 0;
+      t.err <- None;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work_cv;
+      Mutex.unlock t.m;
+      drain t;
+      Mutex.lock t.m;
+      t.done_workers <- t.done_workers + 1;
+      while t.done_workers < t.size do
+        Condition.wait t.done_cv t.m
+      done;
+      let err = t.err in
+      t.err <- None;
+      t.task <- ignore;
+      Mutex.unlock t.m;
+      match err with Some e -> raise e | None -> ()
+    end
+
+  let shutdown t =
+    Mutex.lock t.m;
+    t.stop <- true;
+    Condition.broadcast t.work_cv;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.handles;
+    t.handles <- []
+
+  let with_pool ~domains f =
+    let t = create ~domains in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Single-vector evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Evaluate segments [lo, hi) against [values]; returns the number of
+   gates fired.  Each segment computes its shared weighted sum once and
+   fires the prefix of its (ascending) thresholds that the sum reaches. *)
+let eval_segs ~check t values lo hi =
+  let pw = t.pool_wires and pwt = t.pool_weights in
+  let th = t.g_threshold and gw = t.g_wire in
+  let fired = ref 0 in
+  for s = lo to hi - 1 do
+    let off = Array.unsafe_get t.seg_off s in
+    let fan = Array.unsafe_get t.seg_fan s in
+    let sum = ref 0 in
+    if check then
+      for i = off to off + fan - 1 do
+        if Bytes.unsafe_get values (Array.unsafe_get pw i) <> '\000' then
+          sum := Checked.add !sum (Array.unsafe_get pwt i)
+      done
+    else
+      for i = off to off + fan - 1 do
+        if Bytes.unsafe_get values (Array.unsafe_get pw i) <> '\000' then
+          sum := !sum + Array.unsafe_get pwt i
+      done;
+    let s0 = !sum in
+    let glo = Array.unsafe_get t.seg_gates s in
+    let ghi = Array.unsafe_get t.seg_gates (s + 1) in
+    let cut =
+      if ghi - glo = 1 then if s0 >= Array.unsafe_get th glo then ghi else glo
+      else begin
+        (* first index whose threshold exceeds the sum *)
+        let a = ref glo and b = ref ghi in
+        while !a < !b do
+          let mid = (!a + !b) lsr 1 in
+          if Array.unsafe_get th mid <= s0 then a := mid + 1 else b := mid
+        done;
+        !a
+      end
+    in
+    for g = glo to cut - 1 do
+      Bytes.unsafe_set values (Array.unsafe_get gw g) '\001'
+    done;
+    fired := !fired + (cut - glo)
+  done;
+  !fired
+
+let run_seq_levels ~check t values level_firings =
+  for l = 0 to t.levels - 1 do
+    level_firings.(l) <-
+      eval_segs ~check t values t.level_segs.(l) t.level_segs.(l + 1)
+  done
+
+let chunk_bounds lo nseg nchunks i =
+  (lo + (i * nseg / nchunks), lo + ((i + 1) * nseg / nchunks))
+
+let run_par_levels ~check t values level_firings pool =
+  let size = Pool.size pool in
+  for l = 0 to t.levels - 1 do
+    let lo = t.level_segs.(l) and hi = t.level_segs.(l + 1) in
+    let nseg = hi - lo in
+    if nseg = 0 then level_firings.(l) <- 0
+    else if size = 1 || nseg = 1 then
+      level_firings.(l) <- eval_segs ~check t values lo hi
+    else begin
+      let nchunks = min nseg (4 * size) in
+      let partial = Array.make nchunks 0 in
+      Pool.run pool ~chunks:nchunks (fun i ->
+          let a, b = chunk_bounds lo nseg nchunks i in
+          partial.(i) <- eval_segs ~check t values a b);
+      level_firings.(l) <- Array.fold_left ( + ) 0 partial
+    end
+  done
+
+let prep_values t inputs =
+  if Array.length inputs <> t.num_inputs then
+    invalid_arg
+      (Printf.sprintf "Packed.run: expected %d inputs, got %d" t.num_inputs
+         (Array.length inputs));
+  let values = Bytes.make t.num_wires '\000' in
+  Array.iteri (fun i v -> if v then Bytes.unsafe_set values i '\001') inputs;
+  values
+
+let run ?(check = false) ?pool ?(domains = 1) t inputs =
+  let values = prep_values t inputs in
+  let level_firings = Array.make t.levels 0 in
+  (match pool with
+  | Some p -> run_par_levels ~check t values level_firings p
+  | None ->
+      if domains <= 1 then run_seq_levels ~check t values level_firings
+      else
+        Pool.with_pool ~domains (fun p ->
+            run_par_levels ~check t values level_firings p));
+  let outputs =
+    Array.map (fun w -> Bytes.unsafe_get values w <> '\000') t.outputs
+  in
+  {
+    Simulator.values;
+    outputs;
+    firings = Array.fold_left ( + ) 0 level_firings;
+    level_firings;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Batched evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Lanes are packed into the low [word_lanes] bits of a native int (62
+   keeps every word nonnegative, so isolated bits stay in 1 lsl 0..61).
+   One traversal of the circuit metadata evaluates up to 62 input
+   vectors. *)
+let word_lanes = 62
+
+(* de Bruijn-style bit indexing: [(b * ctz_mul) lsr 56] is distinct for
+   every b = 1 lsl e with e in 0..61 (verified at init), so a single
+   multiply maps an isolated bit to a 7-bit hash slot — no division in
+   the innermost batched loop.  [ctz_table] decodes a slot back to its
+   lane; [lane_slot] is the inverse (lane -> slot), letting the per-lane
+   accumulators live directly at their hash slots so the accumulate loop
+   needs no decode at all. *)
+let ctz_mul = 0x540ddf87957338eb
+let ctz_slots = 128
+
+let ctz_table, lane_slot =
+  let t = Array.make ctz_slots (-1) in
+  let inv = Array.make word_lanes 0 in
+  for e = 0 to word_lanes - 1 do
+    let idx = ((1 lsl e) * ctz_mul) lsr 56 in
+    assert (t.(idx) = -1);
+    t.(idx) <- e;
+    inv.(e) <- idx
+  done;
+  (t, inv)
+
+type batch_result = {
+  b_lanes : int;
+  b_wordc : int;
+  b_words : int array array;  (* per lane-word: one value word per wire *)
+  b_outputs : bool array array;
+  b_firings : int array;
+  b_level_firings : int array array;
+}
+
+(* Below this group size the carry-save ladder's fixed costs (zeroing
+   and unslicing the counters) outweigh the per-set-bit adds it saves. *)
+let csa_cutoff = 16
+
+(* Counter words for the carry-save popcount: counts fit in
+   [log2 max_fan] bits; 62 is a safe ceiling (group sizes are < 2^62). *)
+let csa_bits = 62
+
+(* Evaluate segments [lo, hi) for one word of [w_lanes] lanes; returns
+   per-lane firing counts for those segments. *)
+let eval_batch_segs ~check t vals ~w_lanes lo hi =
+  let fires = Array.make w_lanes 0 in
+  let accs = Array.make ctz_slots 0 in
+  let cnt = Array.make csa_bits 0 in
+  let gate_out = Array.make (max t.max_seg_gates 1) 0 in
+  let pw = t.pool_wires and pwt = t.pool_weights in
+  let th = t.g_threshold and gw = t.g_wire in
+  let ctz = ctz_table and ls = lane_slot in
+  for s = lo to hi - 1 do
+    Array.fill accs 0 ctz_slots 0;
+    (* Per-lane accumulators, addressed by hash slot: one metadata read
+       per edge, then only the lanes whose wire is 1 pay an add (firing
+       is sparse on the paper's circuits, so iterating set bits beats a
+       dense lane loop). *)
+    if check then begin
+      (* Checked mode stays on the straightforward per-edge loop so the
+         running per-lane sums follow pool order exactly. *)
+      let off = Array.unsafe_get t.seg_off s in
+      let fan = Array.unsafe_get t.seg_fan s in
+      for i = off to off + fan - 1 do
+        let m = ref (Array.unsafe_get vals (Array.unsafe_get pw i)) in
+        if !m <> 0 then begin
+          let wt = Array.unsafe_get pwt i in
+          while !m <> 0 do
+            let b = !m land (- !m) in
+            let sl = (b * ctz_mul) lsr 56 in
+            Array.unsafe_set accs sl (Checked.add (Array.unsafe_get accs sl) wt);
+            m := !m lxor b
+          done
+        end
+      done
+    end
+    else begin
+      (* Edges come grouped by weight.  Large groups (the paper's wide
+         shared layers have fan-in in the hundreds but only a few
+         distinct weights) use a carry-save ladder: per edge, one xor/and
+         ripple folds the wire word into bit-sliced per-lane counters for
+         all 62 lanes at once; the counters are unsliced once per group
+         via [acc += (wt lsl j)] per set counter bit.  Wrap-around
+         arithmetic agrees bit-for-bit with per-edge adds (sums are
+         computed mod 2^63 either way).  Small groups keep the direct
+         per-set-bit adds. *)
+      let g0 = Array.unsafe_get t.seg_grp s in
+      let g1 = Array.unsafe_get t.seg_grp (s + 1) in
+      for g = g0 to g1 - 1 do
+        let e0 = Array.unsafe_get t.grp_off g in
+        let e1 = Array.unsafe_get t.grp_off (g + 1) in
+        let wt = Array.unsafe_get t.grp_weight g in
+        if e1 - e0 >= csa_cutoff then begin
+          let maxj = ref 0 in
+          for i = e0 to e1 - 1 do
+            let x = ref (Array.unsafe_get vals (Array.unsafe_get pw i)) in
+            let j = ref 0 in
+            while !x <> 0 do
+              let c = Array.unsafe_get cnt !j in
+              Array.unsafe_set cnt !j (c lxor !x);
+              x := c land !x;
+              incr j
+            done;
+            if !j > !maxj then maxj := !j
+          done;
+          for j = 0 to !maxj - 1 do
+            let m = ref (Array.unsafe_get cnt j) in
+            Array.unsafe_set cnt j 0;
+            let wj = wt lsl j in
+            while !m <> 0 do
+              let b = !m land (- !m) in
+              let sl = (b * ctz_mul) lsr 56 in
+              Array.unsafe_set accs sl (Array.unsafe_get accs sl + wj);
+              m := !m lxor b
+            done
+          done
+        end
+        else
+          for i = e0 to e1 - 1 do
+            let m = ref (Array.unsafe_get vals (Array.unsafe_get pw i)) in
+            while !m <> 0 do
+              let b = !m land (- !m) in
+              let sl = (b * ctz_mul) lsr 56 in
+              Array.unsafe_set accs sl (Array.unsafe_get accs sl + wt);
+              m := !m lxor b
+            done
+          done
+      done
+    end;
+    let glo = Array.unsafe_get t.seg_gates s in
+    let ghi = Array.unsafe_get t.seg_gates (s + 1) in
+    let k = ghi - glo in
+    if k = 1 then begin
+      let t0 = Array.unsafe_get th glo in
+      let out = ref 0 in
+      for l = 0 to w_lanes - 1 do
+        if Array.unsafe_get accs (Array.unsafe_get ls l) >= t0 then
+          out := !out lor (1 lsl l)
+      done;
+      let out = !out in
+      if out <> 0 then begin
+        Array.unsafe_set vals (Array.unsafe_get gw glo) out;
+        let m = ref out in
+        while !m <> 0 do
+          let b = !m land (- !m) in
+          let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+          Array.unsafe_set fires l (Array.unsafe_get fires l + 1);
+          m := !m lxor b
+        done
+      end
+    end
+    else begin
+      (* Lanes clearing even the lowest threshold fire a nonempty prefix;
+         often there are none, and the whole segment is skipped. *)
+      let t0 = Array.unsafe_get th glo in
+      let live = ref 0 in
+      for l = 0 to w_lanes - 1 do
+        if Array.unsafe_get accs (Array.unsafe_get ls l) >= t0 then
+          live := !live lor (1 lsl l)
+      done;
+      if !live <> 0 then begin
+        Array.fill gate_out 0 k 0;
+        let m = ref !live in
+        while !m <> 0 do
+          let b = !m land (- !m) in
+          let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+          let s0 = Array.unsafe_get accs (Array.unsafe_get ls l) in
+          (* th.(glo) <= s0 already, so search in (glo, ghi]. *)
+          let a = ref (glo + 1) and hi2 = ref ghi in
+          while !a < !hi2 do
+            let mid = (!a + !hi2) lsr 1 in
+            if Array.unsafe_get th mid <= s0 then a := mid + 1 else hi2 := mid
+          done;
+          let cut = !a in
+          for j = 0 to cut - glo - 1 do
+            Array.unsafe_set gate_out j (Array.unsafe_get gate_out j lor b)
+          done;
+          Array.unsafe_set fires l (Array.unsafe_get fires l + (cut - glo));
+          m := !m lxor b
+        done;
+        for j = 0 to k - 1 do
+          let out = Array.unsafe_get gate_out j in
+          if out <> 0 then
+            Array.unsafe_set vals (Array.unsafe_get gw (glo + j)) out
+        done
+      end
+    end
+  done;
+  fires
+
+let run_batch ?(check = false) ?pool ?(domains = 1) t inputs =
+  let lanes = Array.length inputs in
+  if lanes = 0 then invalid_arg "Packed.run_batch: empty batch";
+  Array.iter
+    (fun v ->
+      if Array.length v <> t.num_inputs then
+        invalid_arg
+          (Printf.sprintf "Packed.run_batch: expected %d inputs, got %d"
+             t.num_inputs (Array.length v)))
+    inputs;
+  let wordc = (lanes + word_lanes - 1) / word_lanes in
+  let words = Array.init wordc (fun _ -> Array.make t.num_wires 0) in
+  for v = 0 to lanes - 1 do
+    let w = words.(v / word_lanes) and bit = 1 lsl (v mod word_lanes) in
+    let iv = inputs.(v) in
+    for i = 0 to t.num_inputs - 1 do
+      if iv.(i) then w.(i) <- w.(i) lor bit
+    done
+  done;
+  let lf = Array.init lanes (fun _ -> Array.make t.levels 0) in
+  let eval_word pool_opt ci =
+    let vals = words.(ci) in
+    let base = ci * word_lanes in
+    let w_lanes = min word_lanes (lanes - base) in
+    for l = 0 to t.levels - 1 do
+      let lo = t.level_segs.(l) and hi = t.level_segs.(l + 1) in
+      let nseg = hi - lo in
+      let record fires =
+        for ln = 0 to w_lanes - 1 do
+          lf.(base + ln).(l) <- lf.(base + ln).(l) + fires.(ln)
+        done
+      in
+      match pool_opt with
+      | Some pool when Pool.size pool > 1 && nseg > 1 ->
+          let nchunks = min nseg (4 * Pool.size pool) in
+          let partial = Array.make nchunks [||] in
+          Pool.run pool ~chunks:nchunks (fun i ->
+              let a, b = chunk_bounds lo nseg nchunks i in
+              partial.(i) <- eval_batch_segs ~check t vals ~w_lanes a b);
+          Array.iter record partial
+      | _ ->
+          if nseg > 0 then record (eval_batch_segs ~check t vals ~w_lanes lo hi)
+    done
+  in
+  (match pool with
+  | Some p -> Array.iteri (fun ci _ -> eval_word (Some p) ci) words
+  | None ->
+      if domains <= 1 then Array.iteri (fun ci _ -> eval_word None ci) words
+      else
+        Pool.with_pool ~domains (fun p ->
+            Array.iteri (fun ci _ -> eval_word (Some p) ci) words));
+  let b_outputs =
+    Array.init lanes (fun v ->
+        let w = words.(v / word_lanes) and bit = v mod word_lanes in
+        Array.map (fun ow -> (w.(ow) lsr bit) land 1 = 1) t.outputs)
+  in
+  let b_firings = Array.map (Array.fold_left ( + ) 0) lf in
+  {
+    b_lanes = lanes;
+    b_wordc = wordc;
+    b_words = words;
+    b_outputs;
+    b_firings;
+    b_level_firings = lf;
+  }
+
+let lanes r = r.b_lanes
+
+let check_lane r lane =
+  if lane < 0 || lane >= r.b_lanes then
+    invalid_arg (Printf.sprintf "Packed: lane %d out of range" lane)
+
+let batch_outputs r ~lane =
+  check_lane r lane;
+  r.b_outputs.(lane)
+
+let batch_firings r ~lane =
+  check_lane r lane;
+  r.b_firings.(lane)
+
+let batch_level_firings r ~lane =
+  check_lane r lane;
+  r.b_level_firings.(lane)
+
+let batch_value r ~lane w =
+  check_lane r lane;
+  (r.b_words.(lane / word_lanes).(w) lsr (lane mod word_lanes)) land 1 = 1

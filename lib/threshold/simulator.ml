@@ -1,4 +1,11 @@
-type result = { values : Bytes.t; outputs : bool array; firings : int }
+type engine = Reference | Packed
+
+type result = {
+  values : Bytes.t;
+  outputs : bool array;
+  firings : int;
+  level_firings : int array;
+}
 
 let run ?(check = false) (c : Circuit.t) inputs =
   if Array.length inputs <> c.Circuit.num_inputs then
@@ -10,17 +17,22 @@ let run ?(check = false) (c : Circuit.t) inputs =
     (fun i v -> if v then Bytes.unsafe_set values i '\001')
     inputs;
   let read w = Bytes.unsafe_get values w <> '\000' in
+  let depth = Array.fold_left max 0 c.Circuit.depths in
+  let level_firings = Array.make depth 0 in
   let firings = ref 0 in
   let eval = if check then Gate.eval_checked else Gate.eval in
   Array.iteri
     (fun g gate ->
       if eval gate read then begin
-        Bytes.unsafe_set values (c.Circuit.num_inputs + g) '\001';
-        incr firings
+        let w = c.Circuit.num_inputs + g in
+        Bytes.unsafe_set values w '\001';
+        incr firings;
+        let l = c.Circuit.depths.(w) - 1 in
+        level_firings.(l) <- level_firings.(l) + 1
       end)
     c.Circuit.gates;
   let outputs = Array.map read c.Circuit.outputs in
-  { values; outputs; firings = !firings }
+  { values; outputs; firings = !firings; level_firings }
 
 let value r w = Bytes.get r.values w <> '\000'
 let read_outputs c inputs = (run c inputs).outputs

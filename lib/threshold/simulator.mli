@@ -4,12 +4,27 @@
     the gate array (linear in the edge count) computes every wire.  It also
     records the number of gates that fire, which is the energy measure of
     Uchizawa, Douglas and Maass cited in the paper's open problems
-    (Section 6). *)
+    (Section 6).
+
+    This module is the {i reference} semantics: one gate at a time, in
+    gate-id order.  {!Packed} compiles a circuit into a flat levelized
+    form and evaluates it much faster (optionally on several cores, or on
+    whole batches of input vectors) with bit-identical results; the
+    circuit drivers in [lib/core] accept an {!engine} argument to choose
+    between the two. *)
+
+type engine = Reference | Packed
+(** Which evaluator a driver should use: the gate-at-a-time reference
+    interpreter above, or the {!Packed} levelized engine.  Both produce
+    identical [outputs], [firings] and [level_firings]. *)
 
 type result = {
   values : Bytes.t;  (** one byte per wire: 0 or 1 *)
   outputs : bool array;  (** values of the circuit's designated outputs *)
   firings : int;  (** number of gates whose output is 1 *)
+  level_firings : int array;
+      (** firing count per depth level: entry [d] counts firing gates of
+          depth [d + 1]; sums to [firings] *)
 }
 
 val run : ?check:bool -> Circuit.t -> bool array -> result

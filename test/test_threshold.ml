@@ -321,7 +321,17 @@ let test_energy_summary () =
   S.check_int "min" 0 s.Energy.min_firings;
   S.check_int "max" 1 s.Energy.max_firings;
   Alcotest.(check (float 1e-9)) "mean" (2. /. 3.) s.Energy.mean_firings;
-  Alcotest.(check (float 1e-9)) "fraction" (2. /. 3.) (Energy.firing_fraction s)
+  Alcotest.(check (float 1e-9)) "fraction" (2. /. 3.) (Energy.firing_fraction s);
+  S.check_int "one level" 1 (Array.length s.Energy.mean_level_firings);
+  Alcotest.(check (float 1e-9)) "level mean" (2. /. 3.) s.Energy.mean_level_firings.(0);
+  (* Both engines aggregate identically. *)
+  let s_ref =
+    Energy.measure ~engine:Simulator.Reference c
+      [ [| true |]; [| false |]; [| true |] ]
+  in
+  Alcotest.(check (float 1e-9)) "engines agree" s.Energy.mean_firings
+    s_ref.Energy.mean_firings;
+  S.check_int "engines agree (min)" s.Energy.min_firings s_ref.Energy.min_firings
 
 let test_energy_empty_rejected () =
   let b = Builder.create () in
@@ -606,6 +616,216 @@ let prop_prune_preserves_outputs =
       Simulator.read_outputs c input = Simulator.read_outputs pruned input
       && Circuit.num_gates pruned <= Circuit.num_gates c)
 
+(* ------------------------------------------------------------------ *)
+(* Packed engine agreement                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Random levelized circuit exercising the packed engine's code paths:
+   shared-threshold layers (multi-gate segments), negative weights,
+   const gates, mixed fan-ins, and occasionally a 0-gate circuit. *)
+let random_packed_circuit seed =
+  let rng = Tcmm_util.Prng.create ~seed in
+  let b = Builder.create () in
+  let n = 1 + Tcmm_util.Prng.int rng ~bound:6 in
+  let _ = Builder.add_inputs b n in
+  let gates = ref [] in
+  if Tcmm_util.Prng.int rng ~bound:20 > 0 then begin
+    if Tcmm_util.Prng.bool rng then
+      gates := Builder.const b (Tcmm_util.Prng.bool rng) :: !gates;
+    for _ = 1 to 3 + Tcmm_util.Prng.int rng ~bound:15 do
+      let avail = Builder.num_wires b in
+      let fan = 1 + Tcmm_util.Prng.int rng ~bound:(min 12 avail) in
+      let inputs =
+        Array.init fan (fun _ -> Tcmm_util.Prng.int rng ~bound:avail)
+        |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+      in
+      let weights =
+        Array.map
+          (fun _ ->
+            let w = Tcmm_util.Prng.int_range rng ~lo:(-4) ~hi:4 in
+            if w = 0 then -1 else w)
+          inputs
+      in
+      if Tcmm_util.Prng.bool rng then begin
+        (* Shared layer: becomes one multi-gate segment. *)
+        let k = 1 + Tcmm_util.Prng.int rng ~bound:5 in
+        let thresholds =
+          Array.init k (fun _ -> Tcmm_util.Prng.int_range rng ~lo:(-5) ~hi:6)
+        in
+        Builder.add_shared_gates b ~inputs ~weights ~thresholds
+        |> Array.iter (fun g -> gates := g :: !gates)
+      end
+      else
+        gates :=
+          Builder.add_gate b ~inputs ~weights
+            ~threshold:(Tcmm_util.Prng.int_range rng ~lo:(-3) ~hi:5)
+          :: !gates
+    done
+  end;
+  List.iter
+    (fun g -> if Tcmm_util.Prng.int rng ~bound:3 = 0 then Builder.output b g)
+    !gates;
+  (match !gates with g :: _ -> Builder.output b g | [] -> ());
+  let c = Builder.finalize b in
+  let input = Array.init n (fun _ -> Tcmm_util.Prng.bool rng) in
+  (c, input, rng)
+
+let same_result (a : Simulator.result) (b : Simulator.result) =
+  a.Simulator.outputs = b.Simulator.outputs
+  && a.Simulator.firings = b.Simulator.firings
+  && a.Simulator.level_firings = b.Simulator.level_firings
+  && a.Simulator.values = b.Simulator.values
+
+let prop_packed_matches_reference =
+  S.qcheck_case ~count:150 "packed run = reference run (exactly)"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input, _ = random_packed_circuit seed in
+      let r_ref = Simulator.run ~check:true c input in
+      let p = Packed.of_circuit c in
+      let r_seq = Packed.run p input in
+      let r_chk = Packed.run ~check:true p input in
+      same_result r_ref r_seq && same_result r_ref r_chk
+      && Array.fold_left ( + ) 0 r_seq.Simulator.level_firings
+         = r_seq.Simulator.firings)
+
+let prop_packed_parallel_matches_reference =
+  S.qcheck_case ~count:30 "parallel run = reference run (exactly)"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input, _ = random_packed_circuit seed in
+      let r_ref = Simulator.run c input in
+      let r_par = Packed.run ~domains:3 (Packed.of_circuit c) input in
+      same_result r_ref r_par)
+
+let prop_packed_batch_matches_reference =
+  S.qcheck_case ~count:60 "batched lanes = reference runs (exactly)"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, _, rng = random_packed_circuit seed in
+      let n = c.Circuit.num_inputs in
+      let lanes = 1 + Tcmm_util.Prng.int rng ~bound:7 in
+      let batch =
+        Array.init lanes (fun _ ->
+            Array.init n (fun _ -> Tcmm_util.Prng.bool rng))
+      in
+      let br = Packed.run_batch (Packed.of_circuit c) batch in
+      Packed.lanes br = lanes
+      && Array.for_all Fun.id
+           (Array.mapi
+              (fun lane input ->
+                let r = Simulator.run c input in
+                Packed.batch_outputs br ~lane = r.Simulator.outputs
+                && Packed.batch_firings br ~lane = r.Simulator.firings
+                && Packed.batch_level_firings br ~lane
+                   = r.Simulator.level_firings)
+              batch))
+
+(* > 62 lanes forces the multi-word batch path; the wide shared layer with
+   few distinct weights drives the grouped-popcount accumulation. *)
+let test_packed_batch_multiword () =
+  let rng = Tcmm_util.Prng.create ~seed:42 in
+  let b = Builder.create () in
+  let n = 10 in
+  let ins = Builder.add_inputs b n in
+  let wide =
+    Array.init 120 (fun _ -> ins.(Tcmm_util.Prng.int rng ~bound:n))
+    |> Array.to_list |> List.sort_uniq compare |> Array.of_list
+  in
+  (* Only three distinct weights: every group is a popcount candidate. *)
+  let weights =
+    Array.map (fun _ -> [| 1; -2; 3 |].(Tcmm_util.Prng.int rng ~bound:3)) wide
+  in
+  let layer =
+    Builder.add_shared_gates b ~inputs:wide ~weights
+      ~thresholds:(Array.init 8 (fun i -> (2 * i) - 6))
+  in
+  let top =
+    Builder.add_gate b ~inputs:layer
+      ~weights:(Array.map (fun _ -> 1) layer)
+      ~threshold:4
+  in
+  Array.iter (Builder.output b) layer;
+  Builder.output b top;
+  let c = Builder.finalize b in
+  let lanes = 70 in
+  let batch =
+    Array.init lanes (fun _ ->
+        Array.init n (fun _ -> Tcmm_util.Prng.bool rng))
+  in
+  let p = Packed.of_circuit c in
+  let br = Packed.run_batch p batch in
+  S.check_int "lanes" lanes (Packed.lanes br);
+  Array.iteri
+    (fun lane input ->
+      let r = Simulator.run ~check:true c input in
+      S.check_bool "outputs agree" true
+        (Packed.batch_outputs br ~lane = r.Simulator.outputs);
+      S.check_int "firings agree" r.Simulator.firings
+        (Packed.batch_firings br ~lane);
+      S.check_bool "level firings agree" true
+        (Packed.batch_level_firings br ~lane = r.Simulator.level_firings);
+      for w = 0 to Circuit.num_wires c - 1 do
+        S.check_bool "wire value agrees" (Simulator.value r w)
+          (Packed.batch_value br ~lane w)
+      done)
+    batch
+
+let test_packed_zero_gates () =
+  let b = Builder.create () in
+  let _ = Builder.add_inputs b 3 in
+  let c = Builder.finalize b in
+  let p = Packed.of_circuit c in
+  let input = [| true; false; true |] in
+  let r = Packed.run p input in
+  S.check_int "no firings" 0 r.Simulator.firings;
+  S.check_int "no outputs" 0 (Array.length r.Simulator.outputs);
+  S.check_bool "matches reference" true
+    (same_result (Simulator.run c input) r);
+  let br = Packed.run_batch p [| input; [| false; false; false |] |] in
+  S.check_int "batch lanes" 2 (Packed.lanes br);
+  S.check_int "batch firings" 0 (Packed.batch_firings br ~lane:1)
+
+(* Every engine must trap the same wrap-around under ~check:true. *)
+let test_packed_overflow_all_engines () =
+  let big = max_int / 2 in
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 3 in
+  let _ =
+    Builder.add_gate b ~inputs:ins ~weights:[| big; big; big |] ~threshold:1
+  in
+  let c = Builder.finalize b in
+  let input = [| true; true; true |] in
+  let p = Packed.of_circuit c in
+  let traps name f =
+    try
+      ignore (f ());
+      Alcotest.fail (name ^ ": expected Checked.Overflow")
+    with Tcmm_util.Checked.Overflow _ -> ()
+  in
+  traps "reference" (fun () -> Simulator.run ~check:true c input);
+  traps "packed seq" (fun () -> Packed.run ~check:true p input);
+  traps "packed par" (fun () -> Packed.run ~check:true ~domains:3 p input);
+  traps "packed batch" (fun () ->
+      Packed.run_batch ~check:true p [| input; input |]);
+  (* Unchecked evaluation still agrees with the (wrapping) reference. *)
+  S.check_bool "unchecked agrees" true
+    (same_result (Simulator.run c input) (Packed.run p input))
+
+let test_engine_cache_reuse () =
+  let b = Builder.create () in
+  let x = Builder.add_input b in
+  let g = Builder.add_gate b ~inputs:[| x |] ~weights:[| 1 |] ~threshold:1 in
+  Builder.output b g;
+  let c = Builder.finalize b in
+  let cache = Engine.create_cache () in
+  let p1 = Engine.packed cache c in
+  let p2 = Engine.packed cache c in
+  S.check_bool "compiled once" true (p1 == p2);
+  let r_packed = Engine.run cache c [| true |] in
+  let r_ref = Engine.run ~engine:Simulator.Reference cache c [| true |] in
+  S.check_bool "engines agree" true (same_result r_packed r_ref)
+
 let () =
   Alcotest.run "tcmm_threshold"
     [
@@ -679,5 +899,16 @@ let () =
           prop_netlist_roundtrip_random;
           prop_spiking_settles_random;
           prop_prune_preserves_outputs;
+        ] );
+      ( "packed",
+        [
+          Alcotest.test_case "batch multiword" `Quick test_packed_batch_multiword;
+          Alcotest.test_case "zero gates" `Quick test_packed_zero_gates;
+          Alcotest.test_case "overflow traps everywhere" `Quick
+            test_packed_overflow_all_engines;
+          Alcotest.test_case "engine cache" `Quick test_engine_cache_reuse;
+          prop_packed_matches_reference;
+          prop_packed_parallel_matches_reference;
+          prop_packed_batch_matches_reference;
         ] );
     ]
