@@ -68,9 +68,11 @@ let json_value buf = function
   | Str s -> Buffer.add_string buf (Printf.sprintf "\"%s\"" (json_escape s))
   | Bool b -> Buffer.add_string buf (string_of_bool b)
 
-(* Writes the records collected so far (no-op when none ran). *)
-let write_json path =
-  match List.rev !json_records with
+(* Writes the records collected so far whose experiment name satisfies
+   [only] (no-op when none match) — the server bench lands in its own
+   BENCH_server.json, everything else in BENCH_simulator.json. *)
+let write_json ?(only = fun _ -> true) path =
+  match List.rev (List.filter (fun (e, _) -> only e) !json_records) with
   | [] -> ()
   | records ->
       let buf = Buffer.create 4096 in

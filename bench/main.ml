@@ -208,6 +208,160 @@ let e17 () =
     (Option.get tr.T.Trace_circuit.circuit)
     tr_inputs
 
+(* E18: serving throughput — the same request stream one-at-a-time vs
+   pipelined through the daemon's coalescing batcher.  Forks a real
+   server on a Unix socket, so the numbers include protocol encoding,
+   socket hops and scheduling, not just circuit evaluation. *)
+let e18 () =
+  Bench_util.header
+    "E18: serving throughput (coalesced batches vs one request per run)";
+  let module Sv = Tcmm_server in
+  let module P = Sv.Protocol in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tcmm-bench-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let addr = P.Unix_socket path in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Sv.Server.serve
+           { (Sv.Server.default_config addr) with cache_capacity = 4 }
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try ignore (Sv.Client.shutdown addr) with _ -> ());
+          ignore (Unix.waitpid [] pid);
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          let rec connect tries =
+            match Sv.Client.connect addr with
+            | cl -> cl
+            | exception Unix.Unix_error _ when tries > 0 ->
+                ignore (Unix.select [] [] [] 0.05);
+                connect (tries - 1)
+          in
+          let cl = connect 100 in
+          Fun.protect
+            ~finally:(fun () -> Sv.Client.close cl)
+            (fun () ->
+              let spec =
+                {
+                  P.kind = P.Matmul;
+                  algo = "strassen";
+                  schedule = "thm45";
+                  d = 2;
+                  n = 16;
+                  entry_bits = 1;
+                  signed = false;
+                  tau = 0;
+                }
+              in
+              (* Warm the circuit cache so both passes measure serving,
+                 not the one-off build. *)
+              let build_seconds =
+                match Sv.Client.request cl (P.Compile spec) with
+                | Ok (P.Compiled c) -> c.P.build_seconds
+                | Ok (P.Error e) | Error e -> failwith ("e18 compile: " ^ e)
+                | Ok _ -> failwith "e18 compile: unexpected response"
+              in
+              Printf.printf "compiled matmul N=16 d=2 in %.2f s\n%!" build_seconds;
+              let rng = Tcmm_util.Prng.create ~seed:3 in
+              let total = 248 (* 4 full 62-lane batches when coalesced *) in
+              let pairs =
+                Array.init total (fun _ ->
+                    ( F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1,
+                      F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 ))
+              in
+              let reqs =
+                Array.map (fun (a, b) -> P.Run_matmul (spec, a, b)) pairs
+              in
+              let expect_result i = function
+                | Ok (P.Matmul_result (c, _)) ->
+                    let a, b = pairs.(i) in
+                    if not (F.Matrix.equal c (F.Matrix.mul a b)) then
+                      failwith "e18: served product disagrees with reference"
+                | Ok (P.Error e) | Error e -> failwith ("e18 run: " ^ e)
+                | Ok _ -> failwith "e18 run: unexpected response"
+              in
+              let time f =
+                let t0 = Unix.gettimeofday () in
+                f ();
+                Unix.gettimeofday () -. t0
+              in
+              let metrics () =
+                match Sv.Client.request cl P.Metrics with
+                | Ok (P.Metrics_result m) -> (m.P.batches, m.P.lanes)
+                | _ -> failwith "e18: metrics request failed"
+              in
+              (* One request per run: a strict request-response lockstep,
+                 so every evaluation is a 1-lane batch. *)
+              let t_seq =
+                time (fun () ->
+                    Array.iteri
+                      (fun i r -> expect_result i (Sv.Client.request cl r))
+                      reqs)
+              in
+              let batches0, lanes0 = metrics () in
+              (* Pipelined: the whole burst is in flight at once and the
+                 server coalesces it into full 62-lane batches. *)
+              let t_pipe =
+                time (fun () ->
+                    Array.iter (Sv.Client.send cl) reqs;
+                    Array.iteri
+                      (fun i _ -> expect_result i (Sv.Client.recv cl))
+                      reqs)
+              in
+              let batches1, lanes1 = metrics () in
+              let batches = batches1 - batches0 in
+              let occupancy_mean =
+                float_of_int (lanes1 - lanes0) /. float_of_int (max 1 batches)
+              in
+              let per_sec t = float_of_int total /. t in
+              let speedup = t_seq /. t_pipe in
+              Tb.print
+                ~title:
+                  (Printf.sprintf
+                     "E18: %d matmul runs (N=16, strassen, thm45 d=2) over a Unix socket"
+                     total)
+                ~header:[ "mode"; "total"; "throughput"; "speedup" ]
+                ~rows:
+                  [
+                    [
+                      Tb.Str "one request per run";
+                      Tb.Str (Printf.sprintf "%.3f s" t_seq);
+                      Tb.Str (Printf.sprintf "%.0f req/s" (per_sec t_seq));
+                      Tb.Str "1.0x";
+                    ];
+                    [
+                      Tb.Str "pipelined (coalesced)";
+                      Tb.Str (Printf.sprintf "%.3f s" t_pipe);
+                      Tb.Str (Printf.sprintf "%.0f req/s" (per_sec t_pipe));
+                      Tb.Str (Printf.sprintf "%.1fx" speedup);
+                    ];
+                  ];
+              Printf.printf
+                "coalescing speedup: %.1fx (pipelined pass: %d batches, mean \
+                 occupancy %.1f lanes)\n"
+                speedup batches occupancy_mean;
+              Bench_util.record ~experiment:"e18"
+                [
+                  ("circuit", Bench_util.Str "matmul N=16 d=2 (Theorem 4.9)");
+                  ("requests", Bench_util.Int total);
+                  ("build_seconds", Bench_util.Float build_seconds);
+                  ("sequential_seconds", Bench_util.Float t_seq);
+                  ("sequential_req_per_s", Bench_util.Float (per_sec t_seq));
+                  ("pipelined_seconds", Bench_util.Float t_pipe);
+                  ("pipelined_req_per_s", Bench_util.Float (per_sec t_pipe));
+                  ("coalescing_speedup", Bench_util.Float speedup);
+                  ("server_batches", Bench_util.Int batches);
+                  ("mean_batch_occupancy", Bench_util.Float occupancy_mean);
+                ]))
+
 let all_experiments =
   [
     ("e1", Experiments.e1);
@@ -226,6 +380,7 @@ let all_experiments =
     ("e14", Experiments.e14);
     ("e15", Experiments.e15);
     ("e17", e17);
+    ("e18", e18);
   ]
 
 let () =
@@ -247,5 +402,6 @@ let () =
             (String.concat ", " (List.map fst all_experiments));
           exit 2)
     requested;
-  Bench_util.write_json "BENCH_simulator.json";
+  Bench_util.write_json ~only:(fun e -> e <> "e18") "BENCH_simulator.json";
+  Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   print_endline "done."

@@ -5,12 +5,15 @@
      algorithms  - list bundled fast matmul algorithms with sparsity data
      stats       - exact circuit statistics for chosen parameters
      verify      - build circuits and check them against integer references
-     triangles   - threshold-query triangles of a random graph *)
+     triangles   - threshold-query triangles of a random graph
+     serve       - run the circuit-serving daemon
+     request     - query a running daemon *)
 
 open Cmdliner
 module F = Tcmm_fastmm
 module T = Tcmm
 module Tb = Tcmm_util.Tablefmt
+module P = Tcmm_server.Protocol
 
 let algo_by_name name =
   let all = F.Instances.all () in
@@ -54,20 +57,27 @@ let schedule_term =
 let seed_term =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
 
-let resolve_schedule ~algo ~name ~d ~n =
-  let t_dim = algo.F.Bilinear.t_dim in
-  let l = T.Level_schedule.height ~t_dim ~n in
-  let profile = F.Sparsity.analyze algo in
-  match name with
-  | "thm45" -> T.Level_schedule.theorem45 ~profile ~d ~n
-  | "thm44" ->
-      T.Level_schedule.theorem44 ~gamma:profile.F.Sparsity.overall.F.Sparsity.gamma
-        ~t_dim ~n
-  | "full" -> T.Level_schedule.full ~l
-  | "direct" -> T.Level_schedule.direct ~l
-  | s when String.length s > 8 && String.sub s 0 8 = "uniform-" ->
-      T.Level_schedule.uniform ~steps:(int_of_string (String.sub s 8 (String.length s - 8))) ~l
-  | s -> failwith (Printf.sprintf "unknown schedule %S" s)
+let resolve_schedule ~algo ~name ~d ~n = T.Level_schedule.resolve ~algo ~name ~d ~n
+
+let engine_term =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("packed", Tcmm_threshold.Simulator.Packed);
+             ("reference", Tcmm_threshold.Simulator.Reference);
+           ])
+        Tcmm_threshold.Simulator.Packed
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:"Evaluator: $(b,packed) (levelized, default) or $(b,reference).")
+
+let domains_term =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ] ~docv:"K"
+        ~doc:"Evaluation domains for the packed engine (1 = sequential).")
 
 (* ------------------------------------------------------------------ *)
 
@@ -133,7 +143,7 @@ let stats_cmd =
     Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term)
 
 let verify_cmd =
-  let run algo n d bits sched seed =
+  let run algo n d bits sched seed engine domains =
     let schedule = resolve_schedule ~algo ~name:sched ~d ~n in
     let rng = Tcmm_util.Prng.create ~seed in
     let hi = (1 lsl bits) - 1 in
@@ -146,22 +156,27 @@ let verify_cmd =
     in
     Format.printf "circuit: %s@."
       (Tcmm_threshold.Stats.to_row (T.Matmul_circuit.stats built));
-    let c = T.Matmul_circuit.run built ~a ~b in
+    let c = T.Matmul_circuit.run ~engine ~domains built ~a ~b in
     let ok_mm = F.Matrix.equal c (F.Matrix.mul a b) in
     Format.printf "matmul circuit matches reference: %b@." ok_mm;
     let m = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi in
     let expect = T.Trace_circuit.reference m in
     let trace = T.Trace_circuit.build ~algo ~schedule ~entry_bits:bits ~tau:expect ~n () in
-    let ok_tr = T.Trace_circuit.trace_value trace m = expect && T.Trace_circuit.run trace m in
+    let ok_tr =
+      T.Trace_circuit.trace_value ~engine ~domains trace m = expect
+      && T.Trace_circuit.run ~engine ~domains trace m
+    in
     Format.printf "trace circuit matches reference: %b@." ok_tr;
     if ok_mm && ok_tr then 0 else 1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Build circuits and check them against integer references.")
-    Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term $ seed_term)
+    Term.(
+      const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term $ seed_term
+      $ engine_term $ domains_term)
 
 let triangles_cmd =
-  let run n d p tau seed =
+  let run n d p tau seed engine domains =
     let rng = Tcmm_util.Prng.create ~seed in
     let g = Tcmm_graph.Generate.erdos_renyi rng ~n ~p in
     let exact = Tcmm_graph.Triangles.count g in
@@ -172,7 +187,7 @@ let triangles_cmd =
     let profile = F.Sparsity.analyze algo in
     let schedule = T.Level_schedule.theorem45 ~profile ~d ~n in
     let built = T.Trace_circuit.build ~algo ~schedule ~entry_bits:1 ~tau:(6 * tau) ~n () in
-    let fires = T.Trace_circuit.run built (Tcmm_graph.Graph.adjacency g) in
+    let fires = T.Trace_circuit.run ~engine ~domains built (Tcmm_graph.Graph.adjacency g) in
     Format.printf "circuit (depth %d, %s): at least %d triangles? %b (truth: %b)@."
       (T.Gate_model.trace_depth schedule)
       (Tcmm_threshold.Stats.to_row (T.Trace_circuit.stats built))
@@ -187,7 +202,9 @@ let triangles_cmd =
   in
   Cmd.v
     (Cmd.info "triangles" ~doc:"Threshold-query the triangle count of a random graph.")
-    Term.(const run $ n_term $ d_term $ p_term $ tau_term $ seed_term)
+    Term.(
+      const run $ n_term $ d_term $ p_term $ tau_term $ seed_term $ engine_term
+      $ domains_term)
 
 let export_cmd =
   let run algo n d bits sched kind path =
@@ -246,9 +263,211 @@ let orbit_cmd =
        ~doc:"Search the algorithm's unimodular sandwiching orbit for minimum sparsity.")
     Term.(const run $ algo_term $ limit_term)
 
+(* ------------------------------------------------------------------ *)
+
+let addr_term =
+  Arg.(
+    value
+    & opt string "/tmp/tcmm.sock"
+    & info [ "addr" ] ~docv:"ADDR"
+        ~doc:"Server address: $(b,HOST:PORT) for TCP, anything else is a Unix socket path.")
+
+let serve_cmd =
+  let run addr cache lanes flush domains verbose =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+    match P.parse_addr addr with
+    | Error msg ->
+        Format.eprintf "tcmm serve: %s@." msg;
+        1
+    | Ok a ->
+        Tcmm_server.Server.serve
+          {
+            Tcmm_server.Server.addr = a;
+            cache_capacity = cache;
+            flush_ms = flush;
+            max_lanes = lanes;
+            domains;
+          };
+        0
+  in
+  let cache_term =
+    Arg.(
+      value & opt int 8
+      & info [ "cache" ] ~docv:"K" ~doc:"Compiled circuits kept resident (LRU).")
+  in
+  let lanes_term =
+    Arg.(
+      value & opt int 62
+      & info [ "lanes" ] ~docv:"K" ~doc:"Max lanes per coalesced batch (1-62).")
+  in
+  let flush_term =
+    Arg.(
+      value & opt float 0.
+      & info [ "flush-ms" ] ~docv:"MS"
+          ~doc:
+            "Batch flush deadline in milliseconds; 0 flushes adaptively as soon as \
+             the input drains.")
+  in
+  let verbose_term =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve compiled circuits over a socket with caching and request coalescing.")
+    Term.(
+      const run $ addr_term $ cache_term $ lanes_term $ flush_term $ domains_term
+      $ verbose_term)
+
+let request_cmd =
+  let run addr what algo n d bits sched signed tau seed count =
+    let algo_name = algo.F.Bilinear.name in
+    let kind =
+      match what with
+      | "trace" -> P.Trace
+      | "triangles" -> P.Triangles
+      | _ -> P.Matmul
+    in
+    let spec =
+      { P.kind; algo = algo_name; schedule = sched; d; n; entry_bits = bits; signed; tau }
+    in
+    let fail msg =
+      Format.eprintf "tcmm request: %s@." msg;
+      1
+    in
+    match P.parse_addr addr with
+    | Error msg -> fail msg
+    | Ok a -> (
+        let one cl req ok =
+          match Tcmm_server.Client.request cl req with
+          | Error msg -> fail msg
+          | Ok (P.Error msg) -> fail msg
+          | Ok resp -> ok resp
+        in
+        try
+          Tcmm_server.Client.with_connection a (fun cl ->
+              match what with
+              | "ping" ->
+                  one cl P.Ping (function
+                    | P.Pong ->
+                        Format.printf "pong@.";
+                        0
+                    | _ -> fail "unexpected response")
+              | "shutdown" ->
+                  one cl P.Shutdown (function
+                    | P.Shutting_down ->
+                        Format.printf "server shutting down@.";
+                        0
+                    | _ -> fail "unexpected response")
+              | "metrics" ->
+                  one cl P.Metrics (function
+                    | P.Metrics_result m ->
+                        Format.printf "%a@." P.pp_metrics m;
+                        0
+                    | _ -> fail "unexpected response")
+              | "compile" ->
+                  one cl (P.Compile spec) (function
+                    | P.Compiled c ->
+                        Format.printf "%s in %.3fs: %s@."
+                          (if c.P.cached then "cached" else "built")
+                          c.P.build_seconds
+                          (Tcmm_threshold.Stats.to_row c.P.stats);
+                        0
+                    | _ -> fail "unexpected response")
+              | "stats" ->
+                  one cl (P.Stats spec) (function
+                    | P.Stats_result s ->
+                        Format.printf "%s@." (Tcmm_threshold.Stats.to_row s);
+                        0
+                    | _ -> fail "unexpected response")
+              | "matmul" | "trace" | "triangles" ->
+                  (* Pipelined: write the whole burst, then read it back —
+                     exactly the pattern the server coalesces into batches. *)
+                  let rng = Tcmm_util.Prng.create ~seed in
+                  let hi = (1 lsl bits) - 1 in
+                  let lo = if signed then -hi else 0 in
+                  let reqs =
+                    List.init count (fun _ ->
+                        match kind with
+                        | P.Matmul ->
+                            let a = F.Matrix.random rng ~rows:n ~cols:n ~lo ~hi in
+                            let b = F.Matrix.random rng ~rows:n ~cols:n ~lo ~hi in
+                            P.Run_matmul (spec, a, b)
+                        | P.Trace ->
+                            let m = F.Matrix.random rng ~rows:n ~cols:n ~lo ~hi in
+                            P.Run_trace (spec, m)
+                        | P.Triangles ->
+                            let m = F.Matrix.random rng ~rows:n ~cols:n ~lo ~hi in
+                            P.Run_triangles (spec, m))
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  List.iter (Tcmm_server.Client.send cl) reqs;
+                  let correct = ref 0 and errors = ref 0 in
+                  List.iter
+                    (fun req ->
+                      match (Tcmm_server.Client.recv cl, req) with
+                      | Ok (P.Matmul_result (c, _)), P.Run_matmul (_, a, b) ->
+                          if F.Matrix.equal c (F.Matrix.mul a b) then incr correct
+                      | Ok (P.Trace_result (fires, _)), P.Run_trace (_, m) ->
+                          if fires = (T.Trace_circuit.reference m >= tau) then
+                            incr correct
+                      | Ok (P.Triangles_result (fires, _)), P.Run_triangles (_, m)
+                        ->
+                          if fires = (T.Trace_circuit.reference m >= 6 * tau) then
+                            incr correct
+                      | Ok (P.Error msg), _ ->
+                          incr errors;
+                          Format.eprintf "server error: %s@." msg
+                      | Ok _, _ -> incr errors
+                      | Error msg, _ ->
+                          incr errors;
+                          Format.eprintf "transport error: %s@." msg)
+                    reqs;
+                  let dt = Unix.gettimeofday () -. t0 in
+                  Format.printf
+                    "%d/%d responses match the integer reference (%d errors) in \
+                     %.3fs (%.0f req/s)@."
+                    !correct count !errors dt
+                    (float_of_int count /. dt);
+                  if !correct = count then 0 else 1
+              | w -> fail (Printf.sprintf "unknown request kind %S" w))
+        with Unix.Unix_error (e, _, _) ->
+          fail (Printf.sprintf "cannot reach server at %s: %s" addr (Unix.error_message e)))
+  in
+  let what_term =
+    Arg.(
+      value
+      & pos 0 string "ping"
+      & info [] ~docv:"WHAT"
+          ~doc:
+            "One of: ping, metrics, compile, stats, matmul, trace, triangles, \
+             shutdown.")
+  in
+  let signed_term =
+    Arg.(value & flag & info [ "signed" ] ~doc:"Signed matrix entries.")
+  in
+  let tau_term =
+    Arg.(value & opt int 1 & info [ "t"; "tau" ] ~docv:"TAU" ~doc:"Trace/triangle threshold.")
+  in
+  let count_term =
+    Arg.(
+      value & opt int 1
+      & info [ "c"; "count" ] ~docv:"K"
+          ~doc:"Pipelined run requests to send (the server coalesces them).")
+  in
+  Cmd.v
+    (Cmd.info "request" ~doc:"Query a running tcmm serve daemon.")
+    Term.(
+      const run $ addr_term $ what_term $ algo_term $ n_term $ d_term $ bits_term
+      $ schedule_term $ signed_term $ tau_term $ seed_term $ count_term)
+
 let () =
   let doc = "Constant-depth threshold circuits for matrix multiplication (SPAA 2018)" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "tcmm" ~doc)
-          [ algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd; orbit_cmd ]))
+          [
+            algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd;
+            orbit_cmd; serve_cmd; request_cmd;
+          ]))

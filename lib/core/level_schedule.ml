@@ -86,6 +86,32 @@ let theorem45 ~profile ~d ~n =
   in
   of_levels ~description:(Printf.sprintf "thm4.5(d=%d)" d) levels
 
+let resolve ~algo ~name ~d ~n =
+  let t_dim = algo.Tcmm_fastmm.Bilinear.t_dim in
+  let l = height ~t_dim ~n in
+  match name with
+  | "thm45" ->
+      let profile = Tcmm_fastmm.Sparsity.analyze algo in
+      theorem45 ~profile ~d ~n
+  | "thm44" ->
+      let profile = Tcmm_fastmm.Sparsity.analyze algo in
+      theorem44 ~gamma:profile.Tcmm_fastmm.Sparsity.overall.Tcmm_fastmm.Sparsity.gamma
+        ~t_dim ~n
+  | "full" -> full ~l
+  | "direct" -> direct ~l
+  | s when String.length s > 8 && String.sub s 0 8 = "uniform-" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some steps -> uniform ~steps ~l
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Level_schedule.resolve: malformed schedule %S" s))
+  | s ->
+      invalid_arg
+        (Printf.sprintf
+           "Level_schedule.resolve: unknown schedule %S (thm44, thm45, full, \
+            direct, or uniform-K)"
+           s)
+
 let pp ppf t =
   Format.fprintf ppf "%s:[%a]" t.description
     (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")

@@ -55,4 +55,13 @@ val theorem45 : profile:Tcmm_fastmm.Sparsity.profile -> d:int -> n:int -> t
     [eps = gamma^d * log_T (alpha*beta) / (1 - gamma)], giving at most [d]
     levels — constant depth, gates [O~(d * N^(omega + c*gamma^d))]. *)
 
+val resolve :
+  algo:Tcmm_fastmm.Bilinear.t -> name:string -> d:int -> n:int -> t
+(** Schedule by name — the vocabulary the CLI and the serving protocol
+    share: ["thm44"], ["thm45"] (using [d]), ["full"], ["direct"], or
+    ["uniform-K"].  Raises [Invalid_argument] on an unknown name, a
+    malformed [uniform-K], an [n] that is not a power of the algorithm's
+    [T], or an algorithm whose sparsity profile cannot be analyzed
+    (["thm44"] / ["thm45"]). *)
+
 val pp : Format.formatter -> t -> unit

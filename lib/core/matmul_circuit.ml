@@ -41,7 +41,7 @@ let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~alg
     | Builder.Count_only -> None
   in
   { builder = b; circuit; layout_a; layout_b; c_grid; schedule;
-    cache = Engine.create_cache () }
+    cache = Engine.shared () }
 
 let encode_inputs built ~a ~b =
   let input =

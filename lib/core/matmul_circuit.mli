@@ -38,6 +38,11 @@ val build :
 
 val encode_inputs : built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> bool array
 
+val decode : built -> (Tcmm_threshold.Wire.t -> bool) -> Tcmm_fastmm.Matrix.t
+(** Decode [C] from any wire reader — {!Simulator.value} of a result, or
+    [Packed.batch_value br ~lane] of one lane of a batch.  The serving
+    daemon uses this to decode each lane of a coalesced batch. *)
+
 val run :
   ?engine:Simulator.engine ->
   ?domains:int ->

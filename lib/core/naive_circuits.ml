@@ -49,7 +49,7 @@ let triangle_threshold ?(mode = Builder.Materialize) ~n ~tau () =
     | Builder.Materialize -> Some (Builder.finalize b)
     | Builder.Count_only -> None
   in
-  { builder = b; circuit; output; n; tau; cache = Engine.create_cache () }
+  { builder = b; circuit; output; n; tau; cache = Engine.shared () }
 
 let triangle_encode built m =
   let n = built.n in
@@ -110,7 +110,7 @@ let trace_threshold ?(mode = Builder.Materialize) ?(signed_inputs = false)
     | Builder.Count_only -> None
   in
   { builder = b; circuit; output; trace_repr; layout; tau;
-    cache = Engine.create_cache () }
+    cache = Engine.shared () }
 
 let trace_simulate ?engine ?domains built m =
   match built.circuit with
@@ -166,7 +166,7 @@ let matmul ?(mode = Builder.Materialize) ?(signed_inputs = false) ~entry_bits ~n
     | Builder.Count_only -> None
   in
   { builder = b; circuit; layout_a; layout_b; c_grid;
-    cache = Engine.create_cache () }
+    cache = Engine.shared () }
 
 (* ------------------------------------------------------------------ *)
 (* Closed-form statistics                                             *)

@@ -84,7 +84,7 @@ let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~alg
     | Builder.Count_only -> None
   in
   { builder = b; circuit; layout_a; layout_b; c_grid; block;
-    cache = Engine.create_cache () }
+    cache = Engine.shared () }
 
 let run ?engine ?domains built ~a ~b =
   match built.circuit with

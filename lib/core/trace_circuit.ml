@@ -53,7 +53,7 @@ let build_internal ~mode ~signed_inputs ?share_top ~with_value ~algo ~schedule
     | Builder.Count_only -> None
   in
   ( { builder = b; circuit; output; trace_repr; layout; schedule; tau;
-      cache = Engine.create_cache () },
+      cache = Engine.shared () },
     value )
 
 let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
@@ -112,7 +112,7 @@ let build_staged ?(mode = Builder.Materialize) ?(signed_inputs = false) ~algo ~s
     layout;
     schedule = Level_schedule.direct ~l;
     tau;
-    cache = Engine.create_cache ();
+    cache = Engine.shared ();
   }
 
 let encode_input built m =

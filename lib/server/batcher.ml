@@ -1,0 +1,84 @@
+(* 62 lanes: one per bit of a packed word (Packed.run_batch). *)
+let lane_limit = 62
+
+type 'job group = {
+  mutable jobs : 'job list;  (* newest first *)
+  mutable count : int;
+  deadline : float;  (* infinity when flush_ms = 0 *)
+}
+
+type 'job t = {
+  max_lanes : int;
+  flush_ms : float;
+  mutable groups : (string * 'job group) list;  (* oldest group first *)
+  mutable pending : int;
+}
+
+let create ?(max_lanes = lane_limit) ?(flush_ms = 0.) () =
+  if flush_ms < 0. then invalid_arg "Batcher.create: flush_ms < 0";
+  {
+    max_lanes = max 1 (min lane_limit max_lanes);
+    flush_ms;
+    groups = [];
+    pending = 0;
+  }
+
+let max_lanes t = t.max_lanes
+let flush_ms t = t.flush_ms
+let pending t = t.pending
+
+let take_group t key =
+  match List.assoc_opt key t.groups with
+  | None -> None
+  | Some g ->
+      t.groups <- List.remove_assoc key t.groups;
+      t.pending <- t.pending - g.count;
+      Some g
+
+let enqueue t ~key ~now job =
+  let g =
+    match List.assoc_opt key t.groups with
+    | Some g -> g
+    | None ->
+        let deadline =
+          if t.flush_ms > 0. then now +. (t.flush_ms /. 1000.) else infinity
+        in
+        let g = { jobs = []; count = 0; deadline } in
+        t.groups <- t.groups @ [ (key, g) ];
+        g
+  in
+  g.jobs <- job :: g.jobs;
+  g.count <- g.count + 1;
+  t.pending <- t.pending + 1;
+  if g.count >= t.max_lanes then begin
+    ignore (take_group t key);
+    Some (List.rev g.jobs)
+  end
+  else None
+
+let due t ~now =
+  let ready, waiting =
+    List.partition (fun (_, g) -> g.deadline <= now) t.groups
+  in
+  t.groups <- waiting;
+  List.map
+    (fun (key, g) ->
+      t.pending <- t.pending - g.count;
+      (key, List.rev g.jobs))
+    ready
+
+let drain t =
+  let all = t.groups in
+  t.groups <- [];
+  t.pending <- 0;
+  List.map (fun (key, g) -> (key, List.rev g.jobs)) all
+
+let next_deadline t =
+  List.fold_left
+    (fun acc (_, g) ->
+      if g.deadline = infinity then acc
+      else
+        match acc with
+        | None -> Some g.deadline
+        | Some d -> Some (min d g.deadline))
+    None t.groups

@@ -1,0 +1,39 @@
+(** Request coalescing for batched circuit evaluation.
+
+    Concurrent [run] requests against the same circuit key queue up
+    here; the server drains groups of up to [max_lanes] (the 62
+    bit-packed lanes of {!Tcmm_threshold.Packed.run_batch}) jobs in one
+    batched traversal.  A group is dispatched when it {b fills}
+    ({!enqueue} returns the batch), when its {b flush deadline} expires
+    ({!due}), or when the server has {b drained its input} and elects to
+    flush everything ({!drain}) — the adaptive mode used when
+    [flush_ms = 0]. *)
+
+type 'job t
+
+val create : ?max_lanes:int -> ?flush_ms:float -> unit -> 'job t
+(** [max_lanes] defaults to 62 (one lane per bit of a packed word) and
+    is clamped to [1 .. 62].  [flush_ms] (default [0.]) is the deadline
+    a non-full group waits for more lanes before {!due} surrenders it;
+    [0.] means the server flushes on input drain instead. *)
+
+val max_lanes : 'job t -> int
+val flush_ms : 'job t -> float
+
+val enqueue : 'job t -> key:string -> now:float -> 'job -> 'job list option
+(** Append a job to its key's group.  Returns [Some jobs] (in arrival
+    order, group removed) when the group just reached [max_lanes]. *)
+
+val due : 'job t -> now:float -> (string * 'job list) list
+(** Remove and return the groups whose flush deadline has passed
+    (always empty when [flush_ms = 0]). *)
+
+val drain : 'job t -> (string * 'job list) list
+(** Remove and return every group (oldest first). *)
+
+val pending : 'job t -> int
+(** Total queued jobs across groups. *)
+
+val next_deadline : 'job t -> float option
+(** Earliest flush deadline among pending groups ([None] when empty or
+    [flush_ms = 0]). *)

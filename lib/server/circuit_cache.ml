@@ -1,0 +1,95 @@
+module F = Tcmm_fastmm
+module T = Tcmm
+module Th = Tcmm_threshold
+
+type compiled =
+  | Matmul of T.Matmul_circuit.built
+  | Trace of T.Trace_circuit.built
+
+type entry = {
+  spec : Protocol.spec;
+  compiled : compiled;
+  circuit : Th.Circuit.t;
+  packed : Th.Packed.t;
+  build_seconds : float;
+}
+
+type t = (string, entry) Tcmm_util.Lru.t
+
+let create ~capacity : t = Tcmm_util.Lru.create ~capacity ()
+
+let key (s : Protocol.spec) =
+  Printf.sprintf "%s|%s|%s|d=%d|n=%d|b=%d|signed=%b|tau=%d"
+    (match s.kind with
+    | Protocol.Matmul -> "matmul"
+    | Protocol.Trace -> "trace"
+    | Protocol.Triangles -> "triangles")
+    s.algo s.schedule s.d s.n s.entry_bits s.signed s.tau
+
+let algo_by_name name =
+  match
+    List.find_opt
+      (fun a -> a.F.Bilinear.name = name)
+      (F.Instances.all ())
+  with
+  | Some a -> a
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown algorithm %S (try: %s)" name
+           (String.concat ", "
+              (List.map (fun a -> a.F.Bilinear.name) (F.Instances.all ()))))
+
+(* Bounds that keep a hostile spec from requesting a terabyte build;
+   the real limit is the builder's own memory use. *)
+let validate (s : Protocol.spec) =
+  if s.n < 2 || s.n > 4096 then
+    invalid_arg (Printf.sprintf "n = %d out of range [2, 4096]" s.n);
+  if s.entry_bits < 1 || s.entry_bits > 32 then
+    invalid_arg (Printf.sprintf "entry_bits = %d out of range [1, 32]" s.entry_bits);
+  if s.d < 1 || s.d > 32 then
+    invalid_arg (Printf.sprintf "d = %d out of range [1, 32]" s.d)
+
+let build (s : Protocol.spec) =
+  validate s;
+  let algo = algo_by_name s.algo in
+  let schedule = T.Level_schedule.resolve ~algo ~name:s.schedule ~d:s.d ~n:s.n in
+  let t0 = Unix.gettimeofday () in
+  let compiled, circuit =
+    match s.kind with
+    | Protocol.Matmul ->
+        let built =
+          T.Matmul_circuit.build ~algo ~schedule ~signed_inputs:s.signed
+            ~entry_bits:s.entry_bits ~n:s.n ()
+        in
+        (Matmul built, Option.get built.T.Matmul_circuit.circuit)
+    | Protocol.Trace | Protocol.Triangles ->
+        let tau =
+          match s.kind with
+          | Protocol.Triangles -> Tcmm_util.Checked.mul 6 s.tau
+          | _ -> s.tau
+        in
+        let built =
+          T.Trace_circuit.build ~algo ~schedule ~signed_inputs:s.signed
+            ~entry_bits:s.entry_bits ~tau ~n:s.n ()
+        in
+        (Trace built, Option.get built.T.Trace_circuit.circuit)
+  in
+  let packed = Th.Engine.packed (Th.Engine.shared ()) circuit in
+  let build_seconds = Unix.gettimeofday () -. t0 in
+  { spec = s; compiled; circuit; packed; build_seconds }
+
+let find_or_build t spec =
+  let k = key spec in
+  match Tcmm_util.Lru.find t k with
+  | Some entry -> Ok (entry, true)
+  | None -> (
+      match build spec with
+      | entry ->
+          Tcmm_util.Lru.add t k entry;
+          Ok (entry, false)
+      | exception Invalid_argument msg | exception Failure msg ->
+          Error msg
+      | exception Tcmm_util.Checked.Overflow msg ->
+          Error (Printf.sprintf "arithmetic overflow while building: %s" msg))
+
+let stats = Tcmm_util.Lru.stats

@@ -1,0 +1,40 @@
+(** Spec-keyed LRU of compiled circuits for the serving daemon.
+
+    Building a circuit (driver build + packed compilation) is the
+    expensive part of serving — seconds for the N=16 flagship circuits —
+    so the daemon keeps whole built drivers resident, keyed by the
+    request {!Protocol.spec} ((kind, algorithm, schedule, d, n,
+    entry_bits, signed, tau)).  Backed by {!Tcmm_util.Lru}, so hit /
+    miss / eviction counters come for free and feed the [metrics]
+    response. *)
+
+type compiled =
+  | Matmul of Tcmm.Matmul_circuit.built
+  | Trace of Tcmm.Trace_circuit.built
+      (** serves both [Trace] and [Triangles] specs (the latter with the
+          threshold scaled to [6 * tau]) *)
+
+type entry = {
+  spec : Protocol.spec;
+  compiled : compiled;
+  circuit : Tcmm_threshold.Circuit.t;
+  packed : Tcmm_threshold.Packed.t;
+  build_seconds : float;  (** wall-clock build + pack time *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val key : Protocol.spec -> string
+(** The canonical cache key (also the {!Batcher} coalescing key). *)
+
+val find_or_build :
+  t -> Protocol.spec -> (entry * bool, string) result
+(** The entry for a spec, building it on a miss.  The boolean is [true]
+    when the entry was already cached.  [Error] on an invalid spec
+    (unknown algorithm or schedule, bad dimensions, out-of-range
+    parameters) — building never raises. *)
+
+val stats : t -> Tcmm_util.Lru.stats

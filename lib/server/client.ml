@@ -1,0 +1,44 @@
+type t = { fd : Unix.file_descr }
+
+let connect addr =
+  let domain =
+    match addr with
+    | Protocol.Unix_socket _ -> Unix.PF_UNIX
+    | Protocol.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match addr with
+  | Protocol.Tcp _ -> (
+      try Unix.setsockopt fd Unix.TCP_NODELAY true
+      with Unix.Unix_error _ -> ())
+  | Protocol.Unix_socket _ -> ());
+  (try Unix.connect fd (Protocol.sockaddr_of_addr addr)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let send t req = Protocol.write_frame t.fd (Protocol.encode_request req)
+
+let recv t =
+  match Protocol.read_frame t.fd with
+  | Error _ as e -> e
+  | Ok payload -> Protocol.decode_response payload
+
+let request t req =
+  send t req;
+  recv t
+
+let shutdown addr =
+  with_connection addr (fun t ->
+      match request t Protocol.Shutdown with
+      | Ok Protocol.Shutting_down -> Ok ()
+      | Ok (Protocol.Error msg) -> Error msg
+      | Ok _ -> Error "unexpected response to shutdown"
+      | Error _ as e -> e)

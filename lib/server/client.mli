@@ -1,0 +1,29 @@
+(** Blocking client for the serving daemon.
+
+    One connection, synchronous request/response by default; {!send} /
+    {!recv} expose the pipelined half-duplex form the coalescing bench
+    uses (write a burst of requests, then read the burst of replies —
+    the server buffers responses, so this cannot deadlock). *)
+
+type t
+
+val connect : Protocol.addr -> t
+(** Raises [Unix.Unix_error] when the server is not reachable. *)
+
+val close : t -> unit
+
+val with_connection : Protocol.addr -> (t -> 'a) -> 'a
+(** Connect, run, close (also on exceptions). *)
+
+val send : t -> Protocol.request -> unit
+(** Write one framed request (blocking). *)
+
+val recv : t -> (Protocol.response, string) result
+(** Read one framed response (blocking).  [Error] on EOF or a corrupt
+    frame. *)
+
+val request : t -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv]. *)
+
+val shutdown : Protocol.addr -> (unit, string) result
+(** Connect, send [Shutdown], await [Shutting_down]. *)

@@ -1,0 +1,95 @@
+let latency_bounds =
+  [| 0.25; 0.5; 1.; 2.5; 5.; 10.; 25.; 50.; 100.; 250.; 1000. |]
+
+type t = {
+  max_lanes : int;
+  mutable connections_accepted : int;
+  mutable connections_active : int;
+  mutable requests_total : int;
+  mutable run_requests : int;
+  mutable errors : int;
+  mutable batches : int;
+  mutable lanes : int;
+  occupancy : int array;
+  latency_counts : int array;
+  mutable latency_sum : float;  (* ms *)
+  mutable latency_count : int;
+  mutable firings_total : int;
+  mutable eval_seconds : float;
+  mutable build_seconds : float;
+}
+
+let create ~max_lanes =
+  {
+    max_lanes;
+    connections_accepted = 0;
+    connections_active = 0;
+    requests_total = 0;
+    run_requests = 0;
+    errors = 0;
+    batches = 0;
+    lanes = 0;
+    occupancy = Array.make max_lanes 0;
+    latency_counts = Array.make (Array.length latency_bounds + 1) 0;
+    latency_sum = 0.;
+    latency_count = 0;
+    firings_total = 0;
+    eval_seconds = 0.;
+    build_seconds = 0.;
+  }
+
+let connection_opened t =
+  t.connections_accepted <- t.connections_accepted + 1;
+  t.connections_active <- t.connections_active + 1
+
+let connection_closed t = t.connections_active <- t.connections_active - 1
+let request t = t.requests_total <- t.requests_total + 1
+let error t = t.errors <- t.errors + 1
+let observe_build t ~seconds = t.build_seconds <- t.build_seconds +. seconds
+
+let observe_batch t ~lanes ~firings ~seconds =
+  t.batches <- t.batches + 1;
+  t.lanes <- t.lanes + lanes;
+  t.run_requests <- t.run_requests + lanes;
+  let slot = max 1 (min lanes t.max_lanes) - 1 in
+  t.occupancy.(slot) <- t.occupancy.(slot) + 1;
+  t.firings_total <- t.firings_total + firings;
+  t.eval_seconds <- t.eval_seconds +. seconds
+
+let observe_latency t ~seconds =
+  let ms = seconds *. 1000. in
+  let rec bucket i =
+    if i >= Array.length latency_bounds then i
+    else if ms <= latency_bounds.(i) then i
+    else bucket (i + 1)
+  in
+  let b = bucket 0 in
+  t.latency_counts.(b) <- t.latency_counts.(b) + 1;
+  t.latency_sum <- t.latency_sum +. ms;
+  t.latency_count <- t.latency_count + 1
+
+let snapshot t ~uptime_seconds ~cache ~engine : Protocol.metrics =
+  {
+    Protocol.uptime_seconds;
+    connections_accepted = t.connections_accepted;
+    connections_active = t.connections_active;
+    requests_total = t.requests_total;
+    run_requests = t.run_requests;
+    errors = t.errors;
+    batches = t.batches;
+    lanes = t.lanes;
+    max_lanes = t.max_lanes;
+    occupancy = Array.copy t.occupancy;
+    latency_ms =
+      {
+        Protocol.bounds = Array.copy latency_bounds;
+        counts = Array.copy t.latency_counts;
+        sum = t.latency_sum;
+        count = t.latency_count;
+      };
+    firings_total = t.firings_total;
+    eval_seconds = t.eval_seconds;
+    build_seconds = t.build_seconds;
+    cache;
+    engine;
+  }

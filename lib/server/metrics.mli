@@ -1,0 +1,34 @@
+(** Serving instrumentation: counters, the per-request latency
+    histogram, and the batch-occupancy histogram.
+
+    One value lives in the server; every dispatch and reply feeds it,
+    and the [Metrics] request serializes a {!Protocol.metrics} snapshot
+    of it. *)
+
+type t
+
+val create : max_lanes:int -> t
+(** [max_lanes] sizes the occupancy histogram. *)
+
+val latency_bounds : float array
+(** The latency histogram's bucket upper bounds, in milliseconds. *)
+
+val connection_opened : t -> unit
+val connection_closed : t -> unit
+val request : t -> unit
+val error : t -> unit
+val observe_build : t -> seconds:float -> unit
+
+val observe_batch : t -> lanes:int -> firings:int -> seconds:float -> unit
+(** One coalesced dispatch: lanes it carried, summed firings of those
+    lanes, evaluation wall-clock. *)
+
+val observe_latency : t -> seconds:float -> unit
+(** One run request's enqueue-to-reply latency. *)
+
+val snapshot :
+  t ->
+  uptime_seconds:float ->
+  cache:Tcmm_util.Lru.stats ->
+  engine:Tcmm_util.Lru.stats ->
+  Protocol.metrics

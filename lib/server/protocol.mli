@@ -1,0 +1,169 @@
+(** The `tcmm serve` wire protocol.
+
+    Version-tagged, length-prefixed binary frames over a Unix or TCP
+    socket.  A frame is a 4-byte big-endian payload length followed by
+    the payload; a payload is one version byte, one tag byte, and the
+    tag's fields (64-bit little-endian integers, IEEE-754 floats by
+    bits, length-prefixed strings, count-prefixed arrays).  Both sides
+    reject frames longer than {!max_frame_len}, so a corrupt length
+    prefix cannot trigger an unbounded allocation.
+
+    Requests name circuits by a {!spec} — the cache key of the serving
+    daemon — and carry exact integer matrices as payloads.  The encoders
+    and decoders round-trip every value bit-exactly (floats travel as
+    their bit patterns), which the property-test suite checks on
+    arbitrary requests and responses. *)
+
+module Matrix = Tcmm_fastmm.Matrix
+
+val version : int
+(** Protocol version carried in every payload (currently 1).  Decoding a
+    payload with any other version fails. *)
+
+val max_frame_len : int
+(** Hard upper bound on a payload's length (16 MiB). *)
+
+(** {1 Circuit specs} *)
+
+type kind =
+  | Matmul  (** [C = A * B] (Theorem 4.9) *)
+  | Trace  (** [trace(A^3) >= tau] (Theorem 4.5) *)
+  | Triangles
+      (** triangle threshold query: [trace(A^3) >= 6 * tau] on an
+          adjacency matrix (Section 5) *)
+
+type spec = {
+  kind : kind;
+  algo : string;  (** bundled algorithm name, e.g. ["strassen"] *)
+  schedule : string;  (** {!Tcmm.Level_schedule.resolve} vocabulary *)
+  d : int;  (** Theorem 4.5 depth parameter (["thm45"] schedules) *)
+  n : int;  (** matrix dimension *)
+  entry_bits : int;
+  signed : bool;
+  tau : int;  (** threshold for [Trace] / [Triangles]; ignored for [Matmul] *)
+}
+
+(** {1 Requests and responses} *)
+
+type request =
+  | Compile of spec  (** build (or find cached) without running *)
+  | Run_matmul of spec * Matrix.t * Matrix.t
+  | Run_trace of spec * Matrix.t
+  | Run_triangles of spec * Matrix.t
+  | Stats of spec  (** exact circuit statistics *)
+  | Metrics  (** serving metrics snapshot *)
+  | Ping
+  | Shutdown  (** graceful stop: flush batches, answer, exit *)
+
+type compiled = {
+  cached : bool;  (** was already resident in the circuit cache *)
+  build_seconds : float;  (** 0 when [cached] *)
+  stats : Tcmm_threshold.Stats.t;
+}
+
+type cache_stats = Tcmm_util.Lru.stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+type histogram = {
+  bounds : float array;  (** bucket upper bounds (inclusive), milliseconds *)
+  counts : int array;  (** length [Array.length bounds + 1]; last = overflow *)
+  sum : float;  (** sum of observations, milliseconds *)
+  count : int;
+}
+
+type metrics = {
+  uptime_seconds : float;
+  connections_accepted : int;
+  connections_active : int;
+  requests_total : int;
+  run_requests : int;
+  errors : int;  (** requests answered with [Error] *)
+  batches : int;  (** coalesced dispatches through [Packed.run_batch] *)
+  lanes : int;  (** total run requests dispatched via batches *)
+  max_lanes : int;  (** configured occupancy cap (<= 62) *)
+  occupancy : int array;
+      (** length [max_lanes]; [occupancy.(k-1)] = batches that carried
+          [k] lanes *)
+  latency_ms : histogram;  (** per-request latency, enqueue to reply *)
+  firings_total : int;  (** summed gate firings over all served lanes *)
+  eval_seconds : float;  (** time inside batched circuit evaluation *)
+  build_seconds : float;  (** time building + packing circuits *)
+  cache : cache_stats;  (** the daemon's spec-keyed circuit cache *)
+  engine : cache_stats;  (** the process-wide {!Tcmm_threshold.Engine} cache *)
+}
+
+type response =
+  | Compiled of compiled
+  | Matmul_result of Matrix.t * int  (** result matrix, gate firings *)
+  | Trace_result of bool * int  (** [trace(A^3) >= tau], gate firings *)
+  | Triangles_result of bool * int  (** at least [tau] triangles?, firings *)
+  | Stats_result of Tcmm_threshold.Stats.t
+  | Metrics_result of metrics
+  | Pong
+  | Shutting_down
+  | Error of string
+
+(** {1 Binary encoding} *)
+
+val encode_request : request -> string
+(** Payload only (no length prefix); starts with the version byte. *)
+
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val frame : string -> string
+(** Prepend the 4-byte big-endian length.  Raises [Invalid_argument] on
+    a payload longer than {!max_frame_len}. *)
+
+(** {1 Incremental frame extraction}
+
+    The serving daemon reads sockets in arbitrary chunks; a dechunker
+    buffers bytes and yields complete payloads. *)
+
+type dechunker
+
+val create_dechunker : unit -> dechunker
+
+val feed : dechunker -> bytes -> int -> int -> unit
+(** [feed d src pos len] appends [len] bytes of [src] at [pos]. *)
+
+val next_frame : dechunker -> [ `Frame of string | `More | `Corrupt of string ]
+(** [`Frame payload] pops one complete payload; [`More] means the buffer
+    holds only a partial frame; [`Corrupt] means the stream carries an
+    invalid length prefix (zero or beyond {!max_frame_len}) and must be
+    dropped. *)
+
+val buffered : dechunker -> int
+(** Bytes currently buffered (partial-frame backlog). *)
+
+(** {1 Blocking frame I/O (client side)} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Frame and write the whole payload (loops over short writes). *)
+
+val read_frame : Unix.file_descr -> (string, string) result
+(** Read exactly one frame.  [Error] on EOF or a corrupt length. *)
+
+(** {1 Addresses} *)
+
+type addr = Unix_socket of string | Tcp of string * int
+
+val parse_addr : string -> (addr, string) result
+(** ["HOST:PORT"] parses to [Tcp]; anything else is a Unix socket
+    path. *)
+
+val pp_addr : Format.formatter -> addr -> unit
+val sockaddr_of_addr : addr -> Unix.sockaddr
+
+(** {1 Equality and printing (tests, CLI)} *)
+
+val equal_request : request -> request -> bool
+val equal_response : response -> response -> bool
+val pp_metrics : Format.formatter -> metrics -> unit

@@ -1,0 +1,388 @@
+module P = Protocol
+module T = Tcmm
+module Th = Tcmm_threshold
+
+let src = Logs.Src.create "tcmm.server" ~doc:"tcmm serving daemon"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  addr : P.addr;
+  cache_capacity : int;
+  flush_ms : float;
+  max_lanes : int;
+  domains : int;
+}
+
+let default_config addr =
+  { addr; cache_capacity = 8; flush_ms = 0.; max_lanes = 62; domains = 1 }
+
+type conn = {
+  fd : Unix.file_descr;
+  dech : P.dechunker;
+  out : Buffer.t;
+  mutable sent : int;  (* prefix of [out] already written to the socket *)
+  mutable alive : bool;
+  mutable closing : bool;  (* close once [out] is flushed *)
+}
+
+type job = {
+  jconn : conn;
+  packed : Th.Packed.t;
+  input : bool array;
+  reply : Th.Packed.batch_result -> lane:int -> P.response;
+  enqueued_at : float;
+}
+
+type state = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  cache : Circuit_cache.t;
+  batcher : job Batcher.t;
+  metrics : Metrics.t;
+  pool : Th.Packed.Pool.t option;
+  mutable stopping : bool;
+  mutable stop_at : float;
+  started : float;
+  read_buf : Bytes.t;
+}
+
+(* A client that stops reading while we keep serving it would grow its
+   output buffer without bound; past this we drop the connection. *)
+let max_out_backlog = 1 lsl 26
+
+let close_conn st c =
+  if c.alive then begin
+    c.alive <- false;
+    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    st.conns <- List.filter (fun c' -> c' != c) st.conns;
+    Metrics.connection_closed st.metrics;
+    Log.debug (fun m -> m "connection closed (%d active)" (List.length st.conns))
+  end
+
+let send st c resp =
+  if c.alive then begin
+    (match resp with P.Error _ -> Metrics.error st.metrics | _ -> ());
+    let payload = P.encode_response resp in
+    let framed =
+      match P.frame payload with
+      | framed -> framed
+      | exception Invalid_argument _ ->
+          Metrics.error st.metrics;
+          P.frame (P.encode_response (P.Error "response exceeds frame limit"))
+    in
+    Buffer.add_string c.out framed;
+    if Buffer.length c.out - c.sent > max_out_backlog then begin
+      Log.warn (fun m -> m "dropping connection: output backlog exceeded");
+      close_conn st c
+    end
+  end
+
+let flush_conn st c =
+  if c.alive then begin
+    let len = Buffer.length c.out in
+    if len > c.sent then begin
+      let s = Buffer.contents c.out in
+      match Unix.write_substring c.fd s c.sent (len - c.sent) with
+      | n ->
+          c.sent <- c.sent + n;
+          if c.sent = Buffer.length c.out then begin
+            Buffer.clear c.out;
+            c.sent <- 0
+          end
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn st c
+    end;
+    if c.alive && c.closing && Buffer.length c.out = c.sent then close_conn st c
+  end
+
+let circuit_stats (entry : Circuit_cache.entry) =
+  match entry.compiled with
+  | Circuit_cache.Matmul b -> T.Matmul_circuit.stats b
+  | Circuit_cache.Trace b -> T.Trace_circuit.stats b
+
+let dispatch st jobs =
+  match jobs with
+  | [] -> ()
+  | first :: _ ->
+      let batch = Array.of_list (List.map (fun j -> j.input) jobs) in
+      let lanes = Array.length batch in
+      let t0 = Unix.gettimeofday () in
+      (match Th.Packed.run_batch ?pool:st.pool first.packed batch with
+      | br ->
+          let t1 = Unix.gettimeofday () in
+          let firings = ref 0 in
+          List.iteri
+            (fun lane j ->
+              firings := !firings + Th.Packed.batch_firings br ~lane;
+              send st j.jconn (j.reply br ~lane);
+              Metrics.observe_latency st.metrics ~seconds:(t1 -. j.enqueued_at))
+            jobs;
+          Metrics.observe_batch st.metrics ~lanes ~firings:!firings
+            ~seconds:(t1 -. t0);
+          Log.debug (fun m -> m "dispatched batch of %d lane(s)" lanes)
+      | exception e ->
+          let msg = Printexc.to_string e in
+          List.iter
+            (fun j -> send st j.jconn (P.Error ("evaluation failed: " ^ msg)))
+            jobs)
+
+(* Encode the request's matrices into an input vector and build the
+   per-lane decoder.  [Encode.write] raises [Invalid_argument] on a
+   wrongly-shaped matrix or an entry outside the layout's range, which
+   the caller converts to an [Error] reply. *)
+let prepare_run (entry : Circuit_cache.entry) req =
+  match (entry.compiled, req) with
+  | Circuit_cache.Matmul built, P.Run_matmul (_, a, b) ->
+      let input = T.Matmul_circuit.encode_inputs built ~a ~b in
+      let reply br ~lane =
+        P.Matmul_result
+          ( T.Matmul_circuit.decode built (fun w ->
+                Th.Packed.batch_value br ~lane w),
+            Th.Packed.batch_firings br ~lane )
+      in
+      (input, reply)
+  | Circuit_cache.Trace built, P.Run_trace (_, a) ->
+      let input = T.Trace_circuit.encode_input built a in
+      let out = built.T.Trace_circuit.output in
+      let reply br ~lane =
+        P.Trace_result
+          (Th.Packed.batch_value br ~lane out, Th.Packed.batch_firings br ~lane)
+      in
+      (input, reply)
+  | Circuit_cache.Trace built, P.Run_triangles (_, a) ->
+      let input = T.Trace_circuit.encode_input built a in
+      let out = built.T.Trace_circuit.output in
+      let reply br ~lane =
+        P.Triangles_result
+          (Th.Packed.batch_value br ~lane out, Th.Packed.batch_firings br ~lane)
+      in
+      (input, reply)
+  | _ -> invalid_arg "request kind does not match the compiled circuit"
+
+let with_entry st c spec k =
+  match Circuit_cache.find_or_build st.cache spec with
+  | Error msg -> send st c (P.Error msg)
+  | Ok (entry, cached) ->
+      if not cached then
+        Metrics.observe_build st.metrics ~seconds:entry.build_seconds;
+      k entry cached
+
+let handle_run st c ~now spec req =
+  with_entry st c spec (fun entry _cached ->
+      match prepare_run entry req with
+      | exception Invalid_argument msg | exception Failure msg ->
+          send st c (P.Error msg)
+      | exception Tcmm_util.Checked.Overflow msg ->
+          send st c (P.Error ("arithmetic overflow: " ^ msg))
+      | input, reply ->
+          let job =
+            { jconn = c; packed = entry.packed; input; reply; enqueued_at = now }
+          in
+          let key = Circuit_cache.key spec in
+          (match Batcher.enqueue st.batcher ~key ~now job with
+          | Some jobs -> dispatch st jobs
+          | None -> ()))
+
+let handle_request st c ~now req =
+  match req with
+  | P.Ping -> send st c P.Pong
+  | P.Shutdown ->
+      send st c P.Shutting_down;
+      st.stopping <- true;
+      st.stop_at <- now +. 5.;
+      Log.info (fun m -> m "shutdown requested; flushing pending work")
+  | P.Metrics ->
+      let m =
+        Metrics.snapshot st.metrics
+          ~uptime_seconds:(now -. st.started)
+          ~cache:(Circuit_cache.stats st.cache)
+          ~engine:(Th.Engine.stats (Th.Engine.shared ()))
+      in
+      send st c (P.Metrics_result m)
+  | P.Compile spec ->
+      with_entry st c spec (fun entry cached ->
+          send st c
+            (P.Compiled
+               {
+                 P.cached;
+                 build_seconds = (if cached then 0. else entry.build_seconds);
+                 stats = circuit_stats entry;
+               }))
+  | P.Stats spec ->
+      with_entry st c spec (fun entry _cached ->
+          send st c (P.Stats_result (circuit_stats entry)))
+  (* Run constructors dictate the circuit kind: normalizing the spec
+     here keeps a mislabelled spec from building the wrong circuit. *)
+  | P.Run_matmul (spec, _, _) ->
+      handle_run st c ~now { spec with P.kind = P.Matmul } req
+  | P.Run_trace (spec, _) ->
+      handle_run st c ~now { spec with P.kind = P.Trace } req
+  | P.Run_triangles (spec, _) ->
+      handle_run st c ~now { spec with P.kind = P.Triangles } req
+
+let process_frames st c ~now =
+  let rec go () =
+    if c.alive && (not c.closing) && not st.stopping then
+      match P.next_frame c.dech with
+      | `More -> ()
+      | `Corrupt msg ->
+          Metrics.request st.metrics;
+          send st c (P.Error ("corrupt frame: " ^ msg));
+          (* A framing error desynchronizes the byte stream for good:
+             answer, flush, drop the connection. *)
+          c.closing <- true
+      | `Frame payload ->
+          Metrics.request st.metrics;
+          (match P.decode_request payload with
+          | Error msg -> send st c (P.Error ("bad request: " ^ msg))
+          | Ok req -> handle_request st c ~now req);
+          go ()
+  in
+  go ()
+
+let read_conn st c ~now =
+  let rec drain () =
+    match Unix.read c.fd st.read_buf 0 (Bytes.length st.read_buf) with
+    | 0 -> close_conn st c
+    | len ->
+        P.feed c.dech st.read_buf 0 len;
+        if len = Bytes.length st.read_buf then drain ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn st c
+  in
+  drain ();
+  if c.alive then process_frames st c ~now
+
+let accept_all st =
+  let rec go () =
+    match Unix.accept ~cloexec:true st.listen_fd with
+    | fd, _ ->
+        Unix.set_nonblock fd;
+        (match st.cfg.addr with
+        | P.Tcp _ -> (
+            try Unix.setsockopt fd Unix.TCP_NODELAY true
+            with Unix.Unix_error _ -> ())
+        | P.Unix_socket _ -> ());
+        st.conns <-
+          {
+            fd;
+            dech = P.create_dechunker ();
+            out = Buffer.create 256;
+            sent = 0;
+            alive = true;
+            closing = false;
+          }
+          :: st.conns;
+        Metrics.connection_opened st.metrics;
+        Log.debug (fun m -> m "connection accepted (%d active)" (List.length st.conns));
+        go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (ECONNABORTED, _, _) -> go ()
+  in
+  go ()
+
+let rec loop st =
+  let now = Unix.gettimeofday () in
+  if st.stopping then
+    List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.drain st.batcher)
+  else
+    List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.due st.batcher ~now);
+  let flushed = List.for_all (fun c -> Buffer.length c.out = c.sent) st.conns in
+  if st.stopping && (flushed || now >= st.stop_at) then ()
+  else begin
+    let reads =
+      if st.stopping then []
+      else
+        st.listen_fd
+        :: List.filter_map
+             (fun c -> if c.closing then None else Some c.fd)
+             st.conns
+    in
+    let writes =
+      List.filter_map
+        (fun c -> if Buffer.length c.out > c.sent then Some c.fd else None)
+        st.conns
+    in
+    let timeout =
+      if st.stopping then max 0.05 (min 0.5 (st.stop_at -. now))
+      else if Batcher.pending st.batcher > 0 then
+        match Batcher.next_deadline st.batcher with
+        | Some d -> max 0. (d -. now)
+        | None -> 0. (* adaptive mode: flush as soon as input drains *)
+      else -1.
+    in
+    let r, w, _ =
+      try Unix.select reads writes [] timeout
+      with Unix.Unix_error (EINTR, _, _) -> ([], [], [])
+    in
+    List.iter
+      (fun c -> if List.mem c.fd w then flush_conn st c)
+      (List.filter (fun c -> c.alive) st.conns);
+    let read_activity = ref false in
+    if (not st.stopping) && List.mem st.listen_fd r then accept_all st;
+    List.iter
+      (fun c ->
+        if c.alive && List.mem c.fd r then begin
+          read_activity := true;
+          read_conn st c ~now
+        end)
+      st.conns;
+    if
+      (not st.stopping)
+      && st.cfg.flush_ms = 0.
+      && Batcher.pending st.batcher > 0
+      && not !read_activity
+    then
+      List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.drain st.batcher);
+    loop st
+  end
+
+let serve cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let domain =
+    match cfg.addr with P.Unix_socket _ -> Unix.PF_UNIX | P.Tcp _ -> Unix.PF_INET
+  in
+  let listen_fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (match cfg.addr with
+  | P.Unix_socket path -> if Sys.file_exists path then Sys.remove path
+  | P.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true);
+  Unix.bind listen_fd (P.sockaddr_of_addr cfg.addr);
+  Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
+  let max_lanes = max 1 (min 62 cfg.max_lanes) in
+  let pool =
+    if cfg.domains > 1 then Some (Th.Packed.Pool.create ~domains:cfg.domains)
+    else None
+  in
+  let st =
+    {
+      cfg;
+      listen_fd;
+      conns = [];
+      cache = Circuit_cache.create ~capacity:(max 1 cfg.cache_capacity);
+      batcher = Batcher.create ~max_lanes ~flush_ms:cfg.flush_ms ();
+      metrics = Metrics.create ~max_lanes;
+      pool;
+      stopping = false;
+      stop_at = infinity;
+      started = Unix.gettimeofday ();
+      read_buf = Bytes.create 65536;
+    }
+  in
+  Log.info (fun m ->
+      m "listening on %a (cache %d, lanes %d, flush %gms, domains %d)"
+        P.pp_addr cfg.addr (max 1 cfg.cache_capacity) max_lanes cfg.flush_ms
+        cfg.domains);
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun c -> close_conn st c) st.conns;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match cfg.addr with
+      | P.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+      | P.Tcp _ -> ());
+      Option.iter Th.Packed.Pool.shutdown pool;
+      Log.info (fun m -> m "stopped"))
+    (fun () -> loop st)

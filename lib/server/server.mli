@@ -1,0 +1,34 @@
+(** The `tcmm serve` daemon: a single-process event loop serving
+    compiled threshold circuits over Unix or TCP sockets.
+
+    Requests arrive as {!Protocol} frames.  [compile] / [stats] answer
+    synchronously from the spec-keyed {!Circuit_cache}; [run] requests
+    are encoded to input vectors immediately but answered through the
+    coalescing {!Batcher} — concurrent (or pipelined) runs against the
+    same circuit are evaluated together by
+    {!Tcmm_threshold.Packed.run_batch}, up to 62 bit-packed lanes per
+    traversal, which is where serving throughput beats
+    one-request-per-run (the E18 bench quantifies it).
+
+    Dispatch policy: a batch launches when it fills ([max_lanes]
+    lanes), when its flush deadline expires ([flush_ms > 0]), or — in
+    the default adaptive mode ([flush_ms = 0]) — as soon as the event
+    loop finds no more input to read, so an idle single client never
+    waits on a timer while a pipelined burst still coalesces. *)
+
+type config = {
+  addr : Protocol.addr;
+  cache_capacity : int;  (** circuit-cache entries kept resident *)
+  flush_ms : float;  (** batch flush deadline; [0.] = adaptive (see above) *)
+  max_lanes : int;  (** lanes per batch, clamped to [1 .. 62] *)
+  domains : int;  (** level-parallel evaluation domains ([1] = sequential) *)
+}
+
+val default_config : Protocol.addr -> config
+(** capacity 8, adaptive flush, 62 lanes, 1 domain. *)
+
+val serve : config -> unit
+(** Bind, listen and serve until a [Shutdown] request arrives; then
+    flush pending batches and replies (bounded grace period) and
+    return.  An existing Unix socket file at the address is replaced.
+    Raises [Unix.Unix_error] when binding fails. *)

@@ -1,20 +1,37 @@
 (** Engine selection glue for circuit drivers.
 
-    The drivers in [lib/core] hold a [cache] next to their circuit and
-    route every evaluation through {!run}, so callers pick the evaluator
-    with a [?engine] argument ({!Simulator.Packed} by default) without
-    the driver re-compiling the packed form on every call.  All engines
-    return bit-identical {!Simulator.result}s. *)
+    The drivers in [lib/core] route every evaluation through {!run}, so
+    callers pick the evaluator with a [?engine] argument
+    ({!Simulator.Packed} by default) without the driver re-compiling the
+    packed form on every call.  All engines return bit-identical
+    {!Simulator.result}s.
+
+    Compiled forms are memoized in a keyed LRU ({!Tcmm_util.Lru}) keyed
+    by physical circuit identity, so one cache may serve many circuits:
+    alternating between two circuits through the same cache compiles
+    each exactly once.  The drivers all use the process-wide {!shared}
+    cache; {!create_cache} builds a private one (the serving daemon's
+    worker and the tests do this to isolate their counters). *)
 
 type cache
-(** Memoized {!Packed.t} for one circuit (compiled on first use). *)
+(** A keyed LRU of {!Packed.t} compiled forms, keyed by circuit
+    ([==] identity), with hit/miss/eviction counters. *)
 
-val create_cache : unit -> cache
+val create_cache : ?capacity:int -> unit -> cache
+(** [capacity] defaults to 16 compiled circuits.  Raises
+    [Invalid_argument] when [capacity < 1]. *)
+
+val shared : unit -> cache
+(** The process-wide cache (capacity 32) used by the [lib/core]
+    drivers. *)
 
 val packed : cache -> Circuit.t -> Packed.t
-(** The compiled form of the circuit, compiling it on first use.  The
-    cache is keyed by physical identity of the circuit, so a cache must
-    not be shared between circuits. *)
+(** The compiled form of the circuit, compiling it on first use and
+    promoting it to most-recently-used on every call. *)
+
+val stats : cache -> Tcmm_util.Lru.stats
+(** Hit/miss/eviction counters — the serving daemon's metrics and the
+    alternation regression tests read these. *)
 
 val run :
   ?check:bool ->

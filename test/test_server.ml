@@ -1,0 +1,541 @@
+(* The serving subsystem: protocol round-trips, framing, the batcher,
+   the circuit cache, and a forked loopback server checked bit-exactly
+   against in-process evaluation. *)
+
+module P = Tcmm_server.Protocol
+module S = Tcmm_test_support.Support
+module F = Tcmm_fastmm
+module T = Tcmm
+module Th = Tcmm_threshold
+open QCheck2
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name = Gen.(string_size ~gen:printable (int_range 0 12))
+
+let gen_spec =
+  let open Gen in
+  let* kind = oneofl [ P.Matmul; P.Trace; P.Triangles ] in
+  let* algo = gen_name in
+  let* schedule = gen_name in
+  let* d = int_range 0 8 in
+  let* n = int_range 0 64 in
+  let* entry_bits = int_range 0 8 in
+  let* signed = bool in
+  let+ tau = int_range (-1000) 1000 in
+  { P.kind; algo; schedule; d; n; entry_bits; signed; tau }
+
+let gen_matrix =
+  let open Gen in
+  let* rows = int_range 1 6 in
+  let* cols = int_range 1 6 in
+  let+ entries = array_size (return (rows * cols)) (int_range (-4096) 4096) in
+  F.Matrix.init ~rows ~cols (fun i j -> entries.((i * cols) + j))
+
+let gen_request =
+  let open Gen in
+  oneof
+    [
+      map (fun s -> P.Compile s) gen_spec;
+      map (fun s -> P.Stats s) gen_spec;
+      (let* s = gen_spec in
+       let* a = gen_matrix in
+       let+ b = gen_matrix in
+       P.Run_matmul (s, a, b));
+      map2 (fun s a -> P.Run_trace (s, a)) gen_spec gen_matrix;
+      map2 (fun s a -> P.Run_triangles (s, a)) gen_spec gen_matrix;
+      return P.Metrics;
+      return P.Ping;
+      return P.Shutdown;
+    ]
+
+let gen_stats =
+  let open Gen in
+  let* inputs = int_range 0 1000 in
+  let* outputs = int_range 0 1000 in
+  let* gates = int_range 0 100000 in
+  let* edges = int_range 0 1000000 in
+  let* depth = int_range 0 40 in
+  let* max_fan_in = int_range 0 10000 in
+  let* max_abs_weight = int_range 0 1000000 in
+  let+ gates_by_depth = array_size (int_range 0 8) (int_range 0 1000) in
+  {
+    Th.Stats.inputs;
+    outputs;
+    gates;
+    edges;
+    depth;
+    max_fan_in;
+    max_abs_weight;
+    gates_by_depth;
+  }
+
+let gen_cache_stats =
+  let open Gen in
+  let* hits = int_range 0 1000 in
+  let* misses = int_range 0 1000 in
+  let* evictions = int_range 0 1000 in
+  let* size = int_range 0 64 in
+  let+ capacity = int_range 1 64 in
+  { P.hits; misses; evictions; size; capacity }
+
+let gen_histogram =
+  let open Gen in
+  let* n = int_range 0 6 in
+  let* bounds = array_size (return n) (float_range 0.1 1000.) in
+  let* counts = array_size (return (n + 1)) (int_range 0 10000) in
+  let* sum = float_range 0. 1e6 in
+  let+ count = int_range 0 100000 in
+  { P.bounds; counts; sum; count }
+
+let gen_metrics =
+  let open Gen in
+  let* uptime_seconds = float_range 0. 1e6 in
+  let* connections_accepted = int_range 0 1000 in
+  let* connections_active = int_range 0 100 in
+  let* requests_total = int_range 0 100000 in
+  let* run_requests = int_range 0 100000 in
+  let* errors = int_range 0 1000 in
+  let* batches = int_range 0 10000 in
+  let* lanes = int_range 0 100000 in
+  let* max_lanes = int_range 1 62 in
+  let* occupancy = array_size (return max_lanes) (int_range 0 1000) in
+  let* latency_ms = gen_histogram in
+  let* firings_total = int_range 0 1000000 in
+  let* eval_seconds = float_range 0. 1e4 in
+  let* build_seconds = float_range 0. 1e4 in
+  let* cache = gen_cache_stats in
+  let+ engine = gen_cache_stats in
+  {
+    P.uptime_seconds;
+    connections_accepted;
+    connections_active;
+    requests_total;
+    run_requests;
+    errors;
+    batches;
+    lanes;
+    max_lanes;
+    occupancy;
+    latency_ms;
+    firings_total;
+    eval_seconds;
+    build_seconds;
+    cache;
+    engine;
+  }
+
+let gen_response =
+  let open Gen in
+  oneof
+    [
+      (let* cached = bool in
+       let* build_seconds = float_range 0. 100. in
+       let+ stats = gen_stats in
+       P.Compiled { P.cached; build_seconds; stats });
+      map2 (fun m f -> P.Matmul_result (m, f)) gen_matrix (int_range 0 1000000);
+      map2 (fun b f -> P.Trace_result (b, f)) bool (int_range 0 1000000);
+      map2 (fun b f -> P.Triangles_result (b, f)) bool (int_range 0 1000000);
+      map (fun s -> P.Stats_result s) gen_stats;
+      map (fun m -> P.Metrics_result m) gen_metrics;
+      return P.Pong;
+      return P.Shutting_down;
+      map (fun s -> P.Error s) gen_name;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round-trips                                               *)
+(* ------------------------------------------------------------------ *)
+
+let request_roundtrip =
+  S.qcheck_case ~count:300 "request round-trip" gen_request (fun req ->
+      match P.decode_request (P.encode_request req) with
+      | Ok req' -> P.equal_request req req'
+      | Error _ -> false)
+
+let response_roundtrip =
+  S.qcheck_case ~count:300 "response round-trip" gen_response (fun resp ->
+      match P.decode_response (P.encode_response resp) with
+      | Ok resp' -> P.equal_response resp resp'
+      | Error _ -> false)
+
+let test_decode_rejects_truncation () =
+  let payloads =
+    [
+      P.encode_request
+        (P.Run_matmul
+           ( {
+               P.kind = P.Matmul;
+               algo = "strassen";
+               schedule = "thm45";
+               d = 2;
+               n = 2;
+               entry_bits = 1;
+               signed = false;
+               tau = 0;
+             },
+             F.Matrix.identity 2,
+             F.Matrix.identity 2 ));
+      P.encode_request P.Ping;
+    ]
+  in
+  List.iter
+    (fun payload ->
+      for k = 0 to String.length payload - 1 do
+        match P.decode_request (String.sub payload 0 k) with
+        | Ok _ -> Alcotest.fail (Printf.sprintf "decoded a %d-byte prefix" k)
+        | Error _ -> ()
+      done)
+    payloads;
+  let resp = P.encode_response (P.Metrics_result (P.(
+    { uptime_seconds = 1.; connections_accepted = 1; connections_active = 1;
+      requests_total = 1; run_requests = 1; errors = 0; batches = 1; lanes = 1;
+      max_lanes = 62; occupancy = Array.make 62 0;
+      latency_ms = { P.bounds = [| 1. |]; counts = [| 0; 0 |]; sum = 0.; count = 0 };
+      firings_total = 0; eval_seconds = 0.; build_seconds = 0.;
+      cache = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
+      engine = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
+    })))
+  in
+  for k = 0 to String.length resp - 1 do
+    match P.decode_response (String.sub resp 0 k) with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "decoded a %d-byte response prefix" k)
+    | Error _ -> ()
+  done
+
+let test_decode_rejects_garbage () =
+  let payload = P.encode_request P.Ping in
+  (* trailing bytes *)
+  (match P.decode_request (payload ^ "x") with
+  | Ok _ -> Alcotest.fail "accepted trailing bytes"
+  | Error _ -> ());
+  (* wrong version *)
+  let bad = Bytes.of_string payload in
+  Bytes.set bad 0 (Char.chr (Char.code (Bytes.get bad 0) + 1));
+  (match P.decode_request (Bytes.to_string bad) with
+  | Ok _ -> Alcotest.fail "accepted wrong version"
+  | Error _ -> ());
+  (* unknown tag *)
+  (match P.decode_request "\x01\xff" with
+  | Ok _ -> Alcotest.fail "accepted unknown tag"
+  | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_frame_limits () =
+  let huge = String.make P.max_frame_len 'x' in
+  let framed = P.frame huge in
+  S.check_int "framed length" (P.max_frame_len + 4) (String.length framed);
+  (try
+     ignore (P.frame (huge ^ "y"));
+     Alcotest.fail "framed an oversized payload"
+   with Invalid_argument _ -> ());
+  (* A max-size frame survives the dechunker, fed in two pieces. *)
+  let d = P.create_dechunker () in
+  let half = (String.length framed / 2) + 1 in
+  P.feed d (Bytes.of_string (String.sub framed 0 half)) 0 half;
+  S.check_bool "incomplete" true (P.next_frame d = `More);
+  let rest = String.length framed - half in
+  P.feed d (Bytes.of_string (String.sub framed half rest)) 0 rest;
+  (match P.next_frame d with
+  | `Frame payload -> S.check_bool "max frame intact" true (payload = huge)
+  | _ -> Alcotest.fail "expected max-size frame");
+  S.check_int "drained" 0 (P.buffered d)
+
+let test_dechunker_corrupt_lengths () =
+  let corrupt s =
+    let d = P.create_dechunker () in
+    P.feed d (Bytes.of_string s) 0 (String.length s);
+    match P.next_frame d with `Corrupt _ -> true | _ -> false
+  in
+  S.check_bool "zero length" true (corrupt "\x00\x00\x00\x00");
+  S.check_bool "oversized length" true (corrupt "\xff\xff\xff\xff")
+
+let dechunker_chunking =
+  let gen =
+    let open Gen in
+    let* reqs = list_size (int_range 1 5) gen_request in
+    let+ chunk = int_range 1 7 in
+    (reqs, chunk)
+  in
+  S.qcheck_case ~count:60 "dechunker reassembles chunked frames" gen
+    (fun (reqs, chunk) ->
+      let stream =
+        String.concat "" (List.map (fun r -> P.frame (P.encode_request r)) reqs)
+      in
+      let d = P.create_dechunker () in
+      let got = ref [] in
+      let pos = ref 0 in
+      let drain () =
+        let rec go () =
+          match P.next_frame d with
+          | `Frame payload ->
+              (match P.decode_request payload with
+              | Ok r -> got := r :: !got
+              | Error e -> Alcotest.fail e);
+              go ()
+          | `More -> ()
+          | `Corrupt e -> Alcotest.fail e
+        in
+        go ()
+      in
+      while !pos < String.length stream do
+        let len = min chunk (String.length stream - !pos) in
+        P.feed d (Bytes.of_string (String.sub stream !pos len)) 0 len;
+        pos := !pos + len;
+        drain ()
+      done;
+      List.length !got = List.length reqs
+      && List.for_all2 P.equal_request reqs (List.rev !got)
+      && P.buffered d = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Batcher                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_batcher_fills () =
+  let b = Tcmm_server.Batcher.create ~max_lanes:3 () in
+  S.check_bool "1st" true (Tcmm_server.Batcher.enqueue b ~key:"k" ~now:0. "a" = None);
+  S.check_bool "2nd" true (Tcmm_server.Batcher.enqueue b ~key:"k" ~now:0. "b" = None);
+  S.check_int "pending" 2 (Tcmm_server.Batcher.pending b);
+  (match Tcmm_server.Batcher.enqueue b ~key:"k" ~now:0. "c" with
+  | Some jobs -> S.check_bool "arrival order" true (jobs = [ "a"; "b"; "c" ])
+  | None -> Alcotest.fail "expected a full batch");
+  S.check_int "drained" 0 (Tcmm_server.Batcher.pending b)
+
+let test_batcher_keys_separate () =
+  let b = Tcmm_server.Batcher.create ~max_lanes:2 () in
+  ignore (Tcmm_server.Batcher.enqueue b ~key:"x" ~now:0. 1);
+  ignore (Tcmm_server.Batcher.enqueue b ~key:"y" ~now:0. 2);
+  S.check_bool "no cross-key batch" true
+    (Tcmm_server.Batcher.enqueue b ~key:"x" ~now:0. 3 = Some [ 1; 3 ]);
+  S.check_bool "other key intact" true
+    (Tcmm_server.Batcher.drain b = [ ("y", [ 2 ]) ])
+
+let test_batcher_deadline () =
+  let b = Tcmm_server.Batcher.create ~max_lanes:62 ~flush_ms:10. () in
+  ignore (Tcmm_server.Batcher.enqueue b ~key:"k" ~now:1. "a");
+  ignore (Tcmm_server.Batcher.enqueue b ~key:"k" ~now:1.005 "b");
+  S.check_bool "deadline from first job" true
+    (Tcmm_server.Batcher.next_deadline b = Some 1.01);
+  S.check_bool "not due yet" true (Tcmm_server.Batcher.due b ~now:1.009 = []);
+  S.check_bool "due" true
+    (Tcmm_server.Batcher.due b ~now:1.01 = [ ("k", [ "a"; "b" ]) ]);
+  S.check_int "empty" 0 (Tcmm_server.Batcher.pending b)
+
+let test_batcher_adaptive_mode () =
+  let b = Tcmm_server.Batcher.create () in
+  ignore (Tcmm_server.Batcher.enqueue b ~key:"k" ~now:5. "a");
+  S.check_bool "no deadline when adaptive" true
+    (Tcmm_server.Batcher.next_deadline b = None);
+  S.check_bool "never due by time" true
+    (Tcmm_server.Batcher.due b ~now:1e9 = []);
+  S.check_bool "drain flushes" true
+    (Tcmm_server.Batcher.drain b = [ ("k", [ "a" ]) ])
+
+(* ------------------------------------------------------------------ *)
+(* Circuit cache                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let small_spec =
+  {
+    P.kind = P.Matmul;
+    algo = "strassen";
+    schedule = "thm45";
+    d = 1;
+    n = 2;
+    entry_bits = 1;
+    signed = false;
+    tau = 0;
+  }
+
+let test_circuit_cache_hits () =
+  let cc = Tcmm_server.Circuit_cache.create ~capacity:2 in
+  (match Tcmm_server.Circuit_cache.find_or_build cc small_spec with
+  | Error e -> Alcotest.fail e
+  | Ok (e1, cached1) ->
+      S.check_bool "first build is a miss" false cached1;
+      (match Tcmm_server.Circuit_cache.find_or_build cc small_spec with
+      | Error e -> Alcotest.fail e
+      | Ok (e2, cached2) ->
+          S.check_bool "second is a hit" true cached2;
+          S.check_bool "same entry" true (e1 == e2)));
+  let st = Tcmm_server.Circuit_cache.stats cc in
+  S.check_int "hits" 1 st.Tcmm_util.Lru.hits;
+  S.check_int "misses" 1 st.Tcmm_util.Lru.misses
+
+let test_circuit_cache_rejects () =
+  let cc = Tcmm_server.Circuit_cache.create ~capacity:2 in
+  let bad mut =
+    match Tcmm_server.Circuit_cache.find_or_build cc (mut small_spec) with
+    | Error _ -> true
+    | Ok _ -> false
+  in
+  S.check_bool "unknown algorithm" true (bad (fun s -> { s with P.algo = "nope" }));
+  S.check_bool "unknown schedule" true
+    (bad (fun s -> { s with P.schedule = "nope" }));
+  S.check_bool "bad n" true (bad (fun s -> { s with P.n = 0 }));
+  S.check_bool "bad bits" true (bad (fun s -> { s with P.entry_bits = 0 }))
+
+(* ------------------------------------------------------------------ *)
+(* Loopback end-to-end                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_server f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tcmm-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let addr = P.Unix_socket path in
+  match Unix.fork () with
+  | 0 ->
+      (try
+         Tcmm_server.Server.serve
+           { (Tcmm_server.Server.default_config addr) with cache_capacity = 4 }
+       with _ -> ());
+      Unix._exit 0
+  | pid ->
+      Fun.protect
+        ~finally:(fun () ->
+          (try ignore (Tcmm_server.Client.shutdown addr) with _ -> ());
+          ignore (Unix.waitpid [] pid);
+          if Sys.file_exists path then Sys.remove path)
+        (fun () ->
+          (* The child needs a moment to bind. *)
+          let rec connect tries =
+            match Tcmm_server.Client.connect addr with
+            | cl -> cl
+            | exception Unix.Unix_error _ when tries > 0 ->
+                ignore (Unix.select [] [] [] 0.05);
+                connect (tries - 1)
+          in
+          let cl = connect 100 in
+          Fun.protect
+            ~finally:(fun () -> Tcmm_server.Client.close cl)
+            (fun () -> f addr cl))
+
+let mm_spec =
+  {
+    P.kind = P.Matmul;
+    algo = "strassen";
+    schedule = "thm45";
+    d = 2;
+    n = 4;
+    entry_bits = 2;
+    signed = true;
+    tau = 0;
+  }
+
+let test_loopback_matmul_bit_identical () =
+  with_server (fun _addr cl ->
+      (* The in-process oracle: the same circuit run locally. *)
+      let algo = F.Instances.strassen in
+      let schedule = T.Level_schedule.resolve ~algo ~name:"thm45" ~d:2 ~n:4 in
+      let built =
+        T.Matmul_circuit.build ~algo ~schedule ~signed_inputs:true ~entry_bits:2
+          ~n:4 ()
+      in
+      let rng = Tcmm_util.Prng.create ~seed:7 in
+      let pairs =
+        (* > 62 so the server must split the burst across batches *)
+        Array.init 70 (fun _ ->
+            ( F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3,
+              F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 ))
+      in
+      (* Pipelined: write the whole burst, then collect. *)
+      Array.iter
+        (fun (a, b) ->
+          Tcmm_server.Client.send cl (P.Run_matmul (mm_spec, a, b)))
+        pairs;
+      Array.iter
+        (fun (a, b) ->
+          match Tcmm_server.Client.recv cl with
+          | Ok (P.Matmul_result (c, firings)) ->
+              let local = T.Matmul_circuit.run built ~a ~b in
+              S.check_bool "served = in-process" true (F.Matrix.equal c local);
+              S.check_bool "served = integer reference" true
+                (F.Matrix.equal c (F.Matrix.mul a b));
+              S.check_bool "firings positive" true (firings > 0)
+          | Ok (P.Error e) -> Alcotest.fail e
+          | Ok _ -> Alcotest.fail "unexpected response"
+          | Error e -> Alcotest.fail e)
+        pairs)
+
+let test_loopback_trace_and_errors () =
+  with_server (fun _addr cl ->
+      let rng = Tcmm_util.Prng.create ~seed:11 in
+      let m = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:0 ~hi:1 in
+      let exact = T.Trace_circuit.reference m in
+      let spec tau = { mm_spec with P.kind = P.Trace; signed = false; entry_bits = 1; tau } in
+      (match Tcmm_server.Client.request cl (P.Run_trace (spec exact, m)) with
+      | Ok (P.Trace_result (fires, _)) -> S.check_bool "trace >= tau" true fires
+      | _ -> Alcotest.fail "trace request failed");
+      (match Tcmm_server.Client.request cl (P.Run_trace (spec (exact + 1), m)) with
+      | Ok (P.Trace_result (fires, _)) ->
+          S.check_bool "trace < tau+1" false fires
+      | _ -> Alcotest.fail "trace request failed");
+      (* A malformed run is answered with Error, not a dropped socket. *)
+      let wrong = F.Matrix.identity 3 in
+      (match
+         Tcmm_server.Client.request cl (P.Run_matmul (mm_spec, wrong, wrong))
+       with
+      | Ok (P.Error _) -> ()
+      | _ -> Alcotest.fail "expected an error reply");
+      (* ... and the connection still works. *)
+      (match Tcmm_server.Client.request cl P.Ping with
+      | Ok P.Pong -> ()
+      | _ -> Alcotest.fail "connection unusable after error");
+      (* Metrics reflect the work done. *)
+      match Tcmm_server.Client.request cl P.Metrics with
+      | Ok (P.Metrics_result m) ->
+          S.check_bool "requests counted" true (m.P.requests_total >= 4);
+          S.check_bool "runs counted" true (m.P.run_requests >= 2);
+          S.check_bool "errors counted" true (m.P.errors >= 1);
+          S.check_bool "batches ran" true (m.P.batches >= 2);
+          S.check_bool "cache populated" true (m.P.cache.P.size >= 1)
+      | _ -> Alcotest.fail "metrics request failed")
+
+let () =
+  Alcotest.run "tcmm_server"
+    [
+      ( "protocol",
+        [
+          request_roundtrip;
+          response_roundtrip;
+          Alcotest.test_case "rejects truncation" `Quick
+            test_decode_rejects_truncation;
+          Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
+        ] );
+      ( "framing",
+        [
+          Alcotest.test_case "frame limits" `Quick test_frame_limits;
+          Alcotest.test_case "corrupt lengths" `Quick
+            test_dechunker_corrupt_lengths;
+          dechunker_chunking;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "fills" `Quick test_batcher_fills;
+          Alcotest.test_case "keys separate" `Quick test_batcher_keys_separate;
+          Alcotest.test_case "deadline" `Quick test_batcher_deadline;
+          Alcotest.test_case "adaptive mode" `Quick test_batcher_adaptive_mode;
+        ] );
+      ( "circuit-cache",
+        [
+          Alcotest.test_case "hits" `Quick test_circuit_cache_hits;
+          Alcotest.test_case "rejects" `Quick test_circuit_cache_rejects;
+        ] );
+      ( "loopback",
+        [
+          Alcotest.test_case "matmul bit-identical" `Quick
+            test_loopback_matmul_bit_identical;
+          Alcotest.test_case "trace, errors, metrics" `Quick
+            test_loopback_trace_and_errors;
+        ] );
+    ]

@@ -826,6 +826,34 @@ let test_engine_cache_reuse () =
   let r_ref = Engine.run ~engine:Simulator.Reference cache c [| true |] in
   S.check_bool "engines agree" true (same_result r_packed r_ref)
 
+(* Regression: the cache used to hold a single slot, so alternating
+   between two circuits recompiled on every call. *)
+let test_engine_cache_alternation () =
+  let mk_circuit threshold =
+    let b = Builder.create () in
+    let x = Builder.add_input b in
+    let g = Builder.add_gate b ~inputs:[| x |] ~weights:[| 2 |] ~threshold in
+    Builder.output b g;
+    Builder.finalize b
+  in
+  let c1 = mk_circuit 1 and c2 = mk_circuit 2 in
+  let cache = Engine.create_cache ~capacity:4 () in
+  let p1 = Engine.packed cache c1 in
+  let p2 = Engine.packed cache c2 in
+  for _ = 1 to 3 do
+    S.check_bool "c1 stays compiled" true (Engine.packed cache c1 == p1);
+    S.check_bool "c2 stays compiled" true (Engine.packed cache c2 == p2)
+  done;
+  let st = Engine.stats cache in
+  S.check_int "misses" 2 st.Tcmm_util.Lru.misses;
+  S.check_int "hits" 6 st.Tcmm_util.Lru.hits;
+  S.check_int "evictions" 0 st.Tcmm_util.Lru.evictions;
+  (* Physically equal circuits share an entry; structurally equal ones
+     do not (identity keying). *)
+  let c3 = mk_circuit 1 in
+  let p3 = Engine.packed cache c3 in
+  S.check_bool "identity-keyed" true (p3 != p1)
+
 let () =
   Alcotest.run "tcmm_threshold"
     [
@@ -907,6 +935,8 @@ let () =
           Alcotest.test_case "overflow traps everywhere" `Quick
             test_packed_overflow_all_engines;
           Alcotest.test_case "engine cache" `Quick test_engine_cache_reuse;
+          Alcotest.test_case "engine cache alternation" `Quick
+            test_engine_cache_alternation;
           prop_packed_matches_reference;
           prop_packed_parallel_matches_reference;
           prop_packed_batch_matches_reference;

@@ -256,6 +256,76 @@ let test_tablefmt_rejects_wide_row () =
     Alcotest.fail "expected invalid_arg"
   with Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let lru_stats t =
+  let s = Lru.stats t in
+  (s.Lru.hits, s.Lru.misses, s.Lru.evictions, s.Lru.size)
+
+let test_lru_basic () =
+  let t = Lru.create ~capacity:2 () in
+  S.check_bool "empty find" true (Lru.find t "a" = None);
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  S.check_bool "finds a" true (Lru.find t "a" = Some 1);
+  S.check_bool "finds b" true (Lru.find t "b" = Some 2);
+  S.check_bool "mem" true (Lru.mem t "a" && not (Lru.mem t "c"));
+  let hits, misses, evictions, size = lru_stats t in
+  S.check_int "hits" 2 hits;
+  S.check_int "misses" 1 misses;
+  S.check_int "evictions" 0 evictions;
+  S.check_int "size" 2 size
+
+let test_lru_evicts_least_recent () =
+  let t = Lru.create ~capacity:2 () in
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  ignore (Lru.find t "a");  (* promote a: b is now least recent *)
+  Lru.add t "c" 3;
+  S.check_bool "b evicted" false (Lru.mem t "b");
+  S.check_bool "a kept" true (Lru.mem t "a");
+  S.check_bool "c kept" true (Lru.mem t "c");
+  let _, _, evictions, size = lru_stats t in
+  S.check_int "evictions" 1 evictions;
+  S.check_int "size" 2 size;
+  S.check_bool "mru order" true (Lru.to_list t = [ ("c", 3); ("a", 1) ])
+
+let test_lru_find_or_add () =
+  let t = Lru.create ~capacity:2 () in
+  let builds = ref 0 in
+  let build () = incr builds; !builds in
+  S.check_int "built" 1 (Lru.find_or_add t "a" ~create:build);
+  S.check_int "cached" 1 (Lru.find_or_add t "a" ~create:build);
+  S.check_int "one build" 1 !builds;
+  (* A failing create inserts nothing. *)
+  (try ignore (Lru.find_or_add t "b" ~create:(fun () -> failwith "boom"))
+   with Failure _ -> ());
+  S.check_bool "failed create not inserted" false (Lru.mem t "b")
+
+let test_lru_add_replaces () =
+  let t = Lru.create ~capacity:2 () in
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  Lru.add t "a" 10;  (* replacement, not an eviction *)
+  S.check_bool "replaced" true (Lru.find t "a" = Some 10);
+  let _, _, evictions, size = lru_stats t in
+  S.check_int "no eviction" 0 evictions;
+  S.check_int "size" 2 size
+
+let test_lru_clear_and_validation () =
+  (try
+     ignore (Lru.create ~capacity:0 ());
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  let t = Lru.create ~capacity:3 () in
+  Lru.add t 1 "x";
+  Lru.add t 2 "y";
+  Lru.clear t;
+  S.check_int "cleared" 0 (Lru.stats t).Lru.size;
+  S.check_bool "gone" false (Lru.mem t 1)
+
 let () =
   Alcotest.run "tcmm_util"
     [
@@ -299,5 +369,13 @@ let () =
         [
           Alcotest.test_case "renders" `Quick test_tablefmt_renders;
           Alcotest.test_case "rejects wide row" `Quick test_tablefmt_rejects_wide_row;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basic" `Quick test_lru_basic;
+          Alcotest.test_case "evicts least recent" `Quick test_lru_evicts_least_recent;
+          Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
+          Alcotest.test_case "add replaces" `Quick test_lru_add_replaces;
+          Alcotest.test_case "clear and validation" `Quick test_lru_clear_and_validation;
         ] );
     ]
