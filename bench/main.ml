@@ -362,6 +362,58 @@ let e18 () =
                   ("mean_batch_occupancy", Bench_util.Float occupancy_mean);
                 ]))
 
+(* E19: the correctness harness itself — certificate battery, differential
+   fuzzing, and the mutation sweep's kill rate — recorded as the
+   BENCH_check.json artifact so correctness coverage is tracked across
+   PRs the same way perf is. *)
+let e19 () =
+  Bench_util.header
+    "E19: correctness harness (certificates, fuzzing, mutation kill rate)";
+  let module Ck = Tcmm_check in
+  let can_fork =
+    (* Unix.fork is forbidden once any domain has been spawned (e17
+       does); probe so a full-suite run still yields E19, just without
+       the forked-server fuzz leg. *)
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        true
+    | exception Failure _ -> false
+  in
+  let r = Ck.Harness.run ~seed:1 ~cases:50 ~mutants:120 ~include_server:can_fork () in
+  Ck.Harness.print_report r;
+  let killed = r.Ck.Harness.mutation.Ck.Mutate.structural + r.Ck.Harness.mutation.Ck.Mutate.behavioral in
+  Bench_util.record ~experiment:"e19"
+    ([
+       ("certificates", Bench_util.Int (List.length r.Ck.Harness.certificates));
+       ( "certificates_ok",
+         Bench_util.Int
+           (List.length (List.filter Ck.Certify.ok r.Ck.Harness.certificates)) );
+       ("fuzz_cases", Bench_util.Int r.Ck.Harness.fuzz.Ck.Fuzz.tested);
+       ( "fuzz_failures",
+         Bench_util.Int (List.length r.Ck.Harness.fuzz.Ck.Fuzz.failures) );
+       ( "server_fuzz_cases",
+         Bench_util.Int
+           (match r.Ck.Harness.server_fuzz with
+           | Some o -> o.Ck.Fuzz.tested
+           | None -> 0) );
+       ("mutants", Bench_util.Int r.Ck.Harness.mutation.Ck.Mutate.total);
+       ("mutants_killed", Bench_util.Int killed);
+       ("kill_rate", Bench_util.Float (Ck.Mutate.kill_rate r.Ck.Harness.mutation));
+       ("protocol_cuts", Bench_util.Int r.Ck.Harness.protocol.Ck.Mutate.cuts);
+       ("protocol_killed", Bench_util.Int r.Ck.Harness.protocol.Ck.Mutate.killed);
+       ("ok", Bench_util.Bool (Ck.Harness.all_ok r));
+     ]
+    @ List.map
+        (fun (op, k, t) ->
+          ( op ^ "_kill_rate",
+            Bench_util.Float (float_of_int k /. float_of_int (max 1 t)) ))
+        r.Ck.Harness.mutation.Ck.Mutate.per_op);
+  if not (Ck.Harness.all_ok r) then failwith "e19: correctness harness FAILED"
+
+(* e18 and e19 fork a server child; they are listed before e17 because
+   Unix.fork is forbidden after e17 has spawned worker domains. *)
 let all_experiments =
   [
     ("e1", Experiments.e1);
@@ -379,8 +431,9 @@ let all_experiments =
     ("e13", Experiments.e13);
     ("e14", Experiments.e14);
     ("e15", Experiments.e15);
-    ("e17", e17);
     ("e18", e18);
+    ("e19", e19);
+    ("e17", e17);
   ]
 
 let () =
@@ -402,6 +455,9 @@ let () =
             (String.concat ", " (List.map fst all_experiments));
           exit 2)
     requested;
-  Bench_util.write_json ~only:(fun e -> e <> "e18") "BENCH_simulator.json";
+  Bench_util.write_json
+    ~only:(fun e -> e <> "e18" && e <> "e19")
+    "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
+  Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
   print_endline "done."

@@ -462,6 +462,64 @@ let request_cmd =
       const run $ addr_term $ what_term $ algo_term $ n_term $ d_term $ bits_term
       $ schedule_term $ signed_term $ tau_term $ seed_term $ count_term)
 
+let check_cmd =
+  let run cases mutants seed skip_server corpus json_path =
+    let report =
+      Tcmm_check.Harness.run ~seed ~cases ~mutants ~include_server:(not skip_server)
+        ?corpus_dir:corpus ()
+    in
+    Tcmm_check.Harness.print_report report;
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Tcmm_check.Harness.to_json report));
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    if Tcmm_check.Harness.all_ok report then 0 else 1
+  in
+  let cases_term =
+    Arg.(
+      value & opt int 50
+      & info [ "cases" ] ~docv:"K" ~doc:"Differential fuzz cases to run.")
+  in
+  let mutants_term =
+    Arg.(
+      value & opt int 120
+      & info [ "mutants" ] ~docv:"K" ~doc:"Circuit mutants for the kill-rate sweep.")
+  in
+  let skip_server_term =
+    Arg.(
+      value & flag
+      & info [ "skip-server" ]
+          ~doc:"Skip the forked loopback-server fuzzing leg.")
+  in
+  let corpus_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus" ] ~docv:"DIR"
+          ~doc:
+            "Regression corpus directory: replay every stored case first, \
+             persist newly shrunk counterexamples.")
+  in
+  let json_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Certify circuit structure against the paper's bounds, \
+          differential-fuzz all evaluation paths, and mutation-test the \
+          oracle (exit 1 on any violation or a kill rate below 95%).")
+    Term.(
+      const run $ cases_term $ mutants_term $ seed_term $ skip_server_term
+      $ corpus_term $ json_term)
+
 let () =
   let doc = "Constant-depth threshold circuits for matrix multiplication (SPAA 2018)" in
   exit
@@ -469,5 +527,5 @@ let () =
        (Cmd.group (Cmd.info "tcmm" ~doc)
           [
             algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd;
-            orbit_cmd; serve_cmd; request_cmd;
+            orbit_cmd; serve_cmd; request_cmd; check_cmd;
           ]))

@@ -1,0 +1,129 @@
+module F = Tcmm_fastmm
+module Prng = Tcmm_util.Prng
+
+type kind = Trace | Matmul
+
+type t = {
+  kind : kind;
+  algo : string;
+  schedule : string;
+  d : int;
+  n : int;
+  entry_bits : int;
+  signed : bool;
+  tau : int;
+  seed : int;
+}
+
+let kind_name = function Trace -> "trace" | Matmul -> "matmul"
+
+let kind_of_name = function
+  | "trace" -> Ok Trace
+  | "matmul" -> Ok Matmul
+  | s -> Error (Printf.sprintf "unknown case kind %S" s)
+
+let pp ppf c =
+  Format.fprintf ppf "%s/%s/%s d=%d n=%d bits=%d%s tau=%d seed=%d"
+    (kind_name c.kind) c.algo c.schedule c.d c.n c.entry_bits
+    (if c.signed then " signed" else "")
+    c.tau c.seed
+
+let build_key c =
+  Printf.sprintf "%s|%s|%s|%d|%d|%d|%b|%d" (kind_name c.kind) c.algo c.schedule
+    c.d c.n c.entry_bits c.signed
+    (match c.kind with Trace -> c.tau | Matmul -> 0)
+
+let algo_of_name name =
+  match
+    List.find_opt (fun a -> a.F.Bilinear.name = name) (F.Instances.all ())
+  with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Case.algo_of_name: unknown algorithm %S" name)
+
+let resolve_schedule c =
+  Tcmm.Level_schedule.resolve ~algo:(algo_of_name c.algo) ~name:c.schedule ~d:c.d
+    ~n:c.n
+
+let matrix c ~index =
+  let rng = Prng.create ~seed:c.seed in
+  (* Skip ahead deterministically so A and B are independent draws. *)
+  let rng = ref rng in
+  for _ = 1 to index do
+    rng := Prng.split !rng
+  done;
+  let hi = (1 lsl c.entry_bits) - 1 in
+  let lo = if c.signed then -hi else 0 in
+  F.Matrix.random !rng ~rows:c.n ~cols:c.n ~lo ~hi
+
+let to_string c =
+  String.concat "\n"
+    [
+      "tcmm-case 1";
+      "kind " ^ kind_name c.kind;
+      "algo " ^ c.algo;
+      "schedule " ^ c.schedule;
+      "d " ^ string_of_int c.d;
+      "n " ^ string_of_int c.n;
+      "entry_bits " ^ string_of_int c.entry_bits;
+      "signed " ^ string_of_bool c.signed;
+      "tau " ^ string_of_int c.tau;
+      "seed " ^ string_of_int c.seed;
+      "";
+    ]
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  match lines with
+  | [] -> Error "empty case"
+  | header :: fields ->
+      let* () =
+        if header = "tcmm-case 1" then Ok ()
+        else Error (Printf.sprintf "bad case header %S" header)
+      in
+      let* pairs =
+        List.fold_left
+          (fun acc line ->
+            let* acc = acc in
+            match String.index_opt line ' ' with
+            | None -> Error (Printf.sprintf "malformed case line %S" line)
+            | Some i ->
+                let k = String.sub line 0 i in
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                Ok ((k, String.trim v) :: acc))
+          (Ok []) fields
+      in
+      let field k =
+        match List.assoc_opt k pairs with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "case is missing field %S" k)
+      in
+      let int_field k =
+        let* v = field k in
+        match int_of_string_opt v with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "field %s: not an integer: %S" k v)
+      in
+      let bool_field k =
+        let* v = field k in
+        match bool_of_string_opt v with
+        | Some b -> Ok b
+        | None -> Error (Printf.sprintf "field %s: not a boolean: %S" k v)
+      in
+      let* kind_s = field "kind" in
+      let* kind = kind_of_name kind_s in
+      let* algo = field "algo" in
+      let* schedule = field "schedule" in
+      let* d = int_field "d" in
+      let* n = int_field "n" in
+      let* entry_bits = int_field "entry_bits" in
+      let* signed = bool_field "signed" in
+      let* tau = int_field "tau" in
+      let* seed = int_field "seed" in
+      Ok { kind; algo; schedule; d; n; entry_bits; signed; tau; seed }
+
+let equal a b = a = b

@@ -1,0 +1,55 @@
+(** A fuzz workload: everything needed to rebuild one differential test
+    deterministically — the circuit configuration plus the PRNG seed the
+    input matrices are drawn from.
+
+    Cases serialize to a one-value-per-line text format (version-tagged
+    like {!Tcmm_threshold.Export}'s netlists) so shrunk counterexamples
+    can live in [test/support/corpus/] and be replayed forever:
+    {v
+    tcmm-case 1
+    kind trace
+    algo strassen
+    schedule uniform-2
+    d 2
+    n 4
+    entry_bits 1
+    signed false
+    tau 1
+    seed 42
+    v} *)
+
+type kind = Trace | Matmul
+
+type t = {
+  kind : kind;
+  algo : string;  (** bundled algorithm name ({!Tcmm_fastmm.Instances}) *)
+  schedule : string;  (** {!Tcmm.Level_schedule.resolve} vocabulary *)
+  d : int;  (** Theorem 4.5 depth parameter *)
+  n : int;
+  entry_bits : int;
+  signed : bool;
+  tau : int;  (** trace threshold; ignored for [Matmul] *)
+  seed : int;  (** input matrices are [Prng] draws from this seed *)
+}
+
+val pp : Format.formatter -> t -> unit
+
+val build_key : t -> string
+(** Cache key covering every field that affects the compiled circuit
+    (everything but [seed]) — the oracle memoizes builds on this. *)
+
+val algo_of_name : string -> Tcmm_fastmm.Bilinear.t
+(** Raises [Invalid_argument] on an unknown name. *)
+
+val resolve_schedule : t -> Tcmm.Level_schedule.t
+
+val matrix : t -> index:int -> Tcmm_fastmm.Matrix.t
+(** The [index]-th input matrix of the case ([index] 0 is [A], 1 is [B]),
+    drawn deterministically from [seed] with entries in
+    [[-(2^entry_bits - 1), 2^entry_bits - 1]] (signed) or
+    [[0, 2^entry_bits - 1]]. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val equal : t -> t -> bool

@@ -1,0 +1,56 @@
+(** The structural certifier.
+
+    Given a circuit configuration, [certify] builds it (materialized when
+    small enough, count-only otherwise — structural statistics are exact
+    in both modes), independently re-derives its structural measures, and
+    checks them against everything the repository claims about them:
+
+    - the schedule's shape (starts at 0, strictly increasing, ends at
+      [L = log_T n]);
+    - the implementation depth model ([2*steps + 2] / [4*steps + 1],
+      {!Tcmm.Gate_model.predicted_depth});
+    - the paper's theorem bounds ([2d + 5] Theorem 4.5 / [4d + 1]
+      Theorem 4.9) for ["thm45"] schedules;
+    - exact gate {e and} edge counts against the independent
+      {!Tcmm.Gate_count} / {!Tcmm.Gate_count_matmul} dynamic programs;
+    - an independent walk over the materialized gate array re-deriving
+      depth, gate/wire/edge counts, and max fan-in from scratch;
+    - {!Tcmm_threshold.Validate} cleanliness (no error-severity issues);
+    - sampled firing feasibility: on random workloads, per-level firings
+      never exceed the level's gate population and sum to the total.
+
+    The result is a machine-readable certificate (one named verdict per
+    check) that serializes to JSON for the E19 artifact. *)
+
+type spec = {
+  kind : Case.kind;
+  algo : string;
+  schedule : string;
+  d : int;
+  n : int;
+  entry_bits : int;
+  signed : bool;
+  tau : int;
+}
+
+type verdict = { name : string; ok : bool; detail : string }
+
+type t = {
+  spec : spec;
+  materialized : bool;
+  stats : Tcmm_threshold.Stats.t;
+  verdicts : verdict list;
+}
+
+val ok : t -> bool
+(** All verdicts passed. *)
+
+val failures : t -> verdict list
+
+val certify : ?samples:int -> ?seed:int -> ?materialize_cap:int -> spec -> t
+(** [samples] (default 4) random workloads for the firing-feasibility
+    check; [materialize_cap] (default 150_000 gates, decided from the
+    exact DP count) bounds which subjects are built for real. *)
+
+val to_json : t -> string
+val pp : Format.formatter -> t -> unit

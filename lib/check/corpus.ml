@@ -1,0 +1,51 @@
+let hash_string s =
+  (* FNV-1a, 64-bit: stable across runs and OCaml versions, unlike
+     [Hashtbl.hash] which is unspecified. *)
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%08Lx" (Int64.logand !h 0xffffffffL)
+
+let save ~dir ~message (c : Case.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let body = Case.to_string c in
+  let name =
+    Printf.sprintf "%s-%s.case"
+      (match c.Case.kind with Case.Trace -> "trace" | Case.Matmul -> "matmul")
+      (hash_string body)
+  in
+  let path = Filename.concat dir name in
+  let comment =
+    String.concat ""
+      (List.map
+         (fun l -> "# " ^ l ^ "\n")
+         (String.split_on_char '\n' message))
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (comment ^ body));
+  path
+
+let load_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      Case.of_string (really_input_string ic len))
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".case")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           match load_file path with
+           | Ok c -> (f, c)
+           | Error e -> failwith (Printf.sprintf "corpus %s: %s" path e))

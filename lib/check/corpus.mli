@@ -1,0 +1,18 @@
+(** The shrunk-counterexample regression corpus.
+
+    Every case the fuzzer ever minimizes is written here (one
+    [*.case] file each, {!Case.to_string} format with the oracle's
+    message as a leading comment) and replayed as a deterministic test
+    on every run — a failure found once is guarded forever. *)
+
+val save : dir:string -> message:string -> Case.t -> string
+(** Persist a shrunk case; returns the file path.  The file name is
+    derived from the case's contents, so re-saving the same case is
+    idempotent.  Creates [dir] if needed. *)
+
+val load_file : string -> (Case.t, string) result
+
+val load_dir : string -> (string * Case.t) list
+(** All [*.case] files under [dir] (sorted by name), with parse errors
+    raised as [Failure] — a corrupt corpus should fail loudly.  An
+    absent directory is an empty corpus. *)

@@ -1,0 +1,153 @@
+module T = Tcmm
+module F = Tcmm_fastmm
+module P = Tcmm_server.Protocol
+module Client = Tcmm_server.Client
+
+type failure = { case : Case.t; original : Case.t; message : string }
+type outcome = { tested : int; failures : failure list }
+
+(* Generator. Sizes are biased small (shrinking prefers them anyway, and
+   builds are memoized per configuration); tau is frequently pinned to
+   the exact trace value so the comparison boundary itself is fuzzed. *)
+let gen =
+  let open QCheck2.Gen in
+  let* kind = oneofl [ Case.Trace; Case.Matmul ] in
+  let* algo = frequencyl [ (3, "strassen"); (2, "naive-2"); (1, "winograd") ] in
+  let* n = frequencyl [ (3, 2); (4, 4); (1, 8) ] in
+  let* schedule = oneofl [ "direct"; "uniform-2"; "full"; "thm44"; "thm45" ] in
+  let* d = int_range 1 3 in
+  let* entry_bits = if n >= 8 then return 1 else int_range 1 2 in
+  let* signed = bool in
+  let* seed = int_range 0 1_000_000 in
+  let+ tau_choice = oneofl [ `Zero; `One; `Exact; `Above; `Below ] in
+  let base =
+    {
+      Case.kind;
+      algo;
+      schedule;
+      d;
+      n;
+      entry_bits;
+      signed;
+      tau = 0;
+      seed;
+    }
+  in
+  match kind with
+  | Case.Matmul -> base
+  | Case.Trace ->
+      let tau =
+        match tau_choice with
+        | `Zero -> 0
+        | `One -> 1
+        | `Exact -> T.Trace_circuit.reference (Case.matrix base ~index:0)
+        | `Above -> T.Trace_circuit.reference (Case.matrix base ~index:0) + 1
+        | `Below -> T.Trace_circuit.reference (Case.matrix base ~index:0) - 1
+      in
+      { base with tau }
+
+let fails c = match Oracle.check c with Ok () -> None | Error m -> Some m
+
+let candidates (c : Case.t) =
+  List.concat
+    [
+      (if c.n > 2 then [ { c with n = c.n / 2 } ] else []);
+      (if c.schedule <> "direct" then [ { c with schedule = "direct" } ] else []);
+      (if c.signed then [ { c with signed = false } ] else []);
+      (if c.entry_bits > 1 then [ { c with entry_bits = 1 } ] else []);
+      (if c.algo <> "strassen" then [ { c with algo = "strassen" } ] else []);
+      (if c.kind = Case.Trace && c.tau <> 1 then [ { c with tau = 1 } ] else []);
+      (if c.d > 1 then [ { c with d = 1 } ] else []);
+      (if c.seed <> 0 then [ { c with seed = 0 }; { c with seed = c.seed / 2 } ]
+       else []);
+    ]
+
+let shrink c =
+  let msg0 =
+    match fails c with
+    | Some m -> m
+    | None -> invalid_arg "Fuzz.shrink: case does not fail"
+  in
+  let rec go c msg steps =
+    if steps > 64 then (c, msg)
+    else
+      match
+        List.find_map
+          (fun c' -> Option.map (fun m -> (c', m)) (fails c'))
+          (candidates c)
+      with
+      | Some (c', m) -> go c' m (steps + 1)
+      | None -> (c, msg)
+  in
+  go c msg0 0
+
+let run ?(seed = 1) ~cases () =
+  let rand = Random.State.make [| seed |] in
+  let tested = ref 0 and failures = ref [] in
+  (try
+     for _ = 1 to cases do
+       if List.length !failures >= 5 then raise Exit;
+       let c = QCheck2.Gen.generate1 ~rand gen in
+       incr tested;
+       match Oracle.check c with
+       | Ok () -> ()
+       | Error _ ->
+           let shrunk, message = shrink c in
+           failures := { case = shrunk; original = c; message } :: !failures
+     done
+   with Exit -> ());
+  { tested = !tested; failures = List.rev !failures }
+
+let spec_of_case (c : Case.t) =
+  {
+    P.kind = (match c.kind with Case.Trace -> P.Trace | Case.Matmul -> P.Matmul);
+    algo = c.algo;
+    schedule = c.schedule;
+    d = c.d;
+    n = c.n;
+    entry_bits = c.entry_bits;
+    signed = c.signed;
+    tau = c.tau;
+  }
+
+let check_server cl (c : Case.t) =
+  let spec = spec_of_case c in
+  match c.kind with
+  | Case.Trace -> (
+      let a = Case.matrix c ~index:0 in
+      let expected = T.Trace_circuit.reference a >= c.tau in
+      match Client.request cl (P.Run_trace (spec, a)) with
+      | Ok (P.Trace_result (b, _)) when b = expected -> Ok ()
+      | Ok (P.Trace_result (b, _)) ->
+          Error
+            (Printf.sprintf "server says %b, integer reference says %b" b expected)
+      | Ok (P.Error e) -> Error ("server error: " ^ e)
+      | Ok _ -> Error "unexpected response kind"
+      | Error e -> Error ("transport: " ^ e))
+  | Case.Matmul -> (
+      let a = Case.matrix c ~index:0 and b = Case.matrix c ~index:1 in
+      let expected = F.Matrix.mul a b in
+      match Client.request cl (P.Run_matmul (spec, a, b)) with
+      | Ok (P.Matmul_result (m, _)) when F.Matrix.equal m expected -> Ok ()
+      | Ok (P.Matmul_result (_, _)) ->
+          Error "server product disagrees with integer reference"
+      | Ok (P.Error e) -> Error ("server error: " ^ e)
+      | Ok _ -> Error "unexpected response kind"
+      | Error e -> Error ("transport: " ^ e))
+
+let run_server ?(seed = 1) ~cases cl =
+  let rand = Random.State.make [| seed |] in
+  let tested = ref 0 and failures = ref [] in
+  (try
+     for _ = 1 to cases do
+       if List.length !failures >= 5 then raise Exit;
+       let c = QCheck2.Gen.generate1 ~rand gen in
+       (* Keep the server's per-request build cost bounded. *)
+       let c = if c.Case.n > 4 then { c with Case.n = 4 } else c in
+       incr tested;
+       match check_server cl c with
+       | Ok () -> ()
+       | Error message -> failures := { case = c; original = c; message } :: !failures
+     done
+   with Exit -> ());
+  { tested = !tested; failures = List.rev !failures }

@@ -1,0 +1,36 @@
+(** The differential fuzzing driver.
+
+    Workloads are drawn from a QCheck2 generator (seeded, so runs are
+    reproducible) biased toward small configurations and adversarial
+    extremes (signed entries, tau at the exact trace value, the naive
+    algorithm's degenerate gamma = 0 schedules).  Failing cases are
+    greedily shrunk — each shrink step simplifies one field and is kept
+    only while the oracle still fails — and the minimal case is what
+    gets persisted to the regression corpus. *)
+
+type failure = {
+  case : Case.t;  (** the shrunk (minimal) failing case *)
+  original : Case.t;  (** the case as generated *)
+  message : string;  (** the oracle's complaint on [case] *)
+}
+
+type outcome = { tested : int; failures : failure list }
+
+val gen : Case.t QCheck2.Gen.t
+
+val shrink : Case.t -> Case.t * string
+(** Greedy minimization of a failing case; returns the smallest still
+    failing case and its oracle message.  The input case must fail. *)
+
+val run : ?seed:int -> cases:int -> unit -> outcome
+(** Fuzz the in-process paths ({!Oracle.check}).  Stops early after 5
+    failures. *)
+
+val check_server : Tcmm_server.Client.t -> Case.t -> (unit, string) result
+(** One differential trial against a live server: the request's result
+    must match plain integer arithmetic computed locally. *)
+
+val run_server :
+  ?seed:int -> cases:int -> Tcmm_server.Client.t -> outcome
+(** Fuzz a live server connection (no shrinking across the socket — the
+    generated case is reported as-is). *)

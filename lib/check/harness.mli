@@ -1,0 +1,55 @@
+(** The `tcmm check` battery: certify + fuzz + mutation sweep.
+
+    One call runs the whole correctness harness and returns an aggregate
+    report the CLI renders as {!Tcmm_util.Tablefmt} tables, the E19
+    experiment records as JSON, and CI gates on ({!all_ok} demands every
+    certificate clean, zero fuzz failures, a protocol sweep with no
+    survivors, and a mutant kill rate of at least {!kill_threshold}). *)
+
+type report = {
+  certificates : Certify.t list;
+  fuzz : Fuzz.outcome;
+  server_fuzz : Fuzz.outcome option;  (** [None] when the server was skipped *)
+  mutation : Mutate.sweep;
+  protocol : Mutate.protocol_sweep;
+  seed : int;
+}
+
+val kill_threshold : float
+(** 0.95 — the minimum acceptable mutant kill rate. *)
+
+val certify_battery : ?materialize_cap:int -> unit -> Certify.t list
+(** Certificates for both bilinear instances (Strassen and naive),
+    all four standard schedules and both circuit kinds across
+    N in {4, 8, 16} (matmul capped at the sizes a count-only build
+    handles quickly). *)
+
+val mutation_battery : ?seed:int -> mutants:int -> unit -> Mutate.sweep
+(** The mutation sweep over a set of small materialized subjects
+    (trace and matmul, Strassen and naive), [mutants] split across
+    them, judged against 32 encoded random workloads each. *)
+
+val with_loopback_server : (Tcmm_server.Client.t -> 'a) -> 'a
+(** Fork a server on a private Unix socket, connect, run, then shut the
+    server down and reap the child (also on exceptions).  Must be called
+    before anything in the process spawns a domain: OCaml forbids
+    [Unix.fork] once another domain has ever been created, and the
+    in-process oracle's multi-domain evaluation does exactly that
+    ({!run} therefore takes its server leg first). *)
+
+val run :
+  ?seed:int ->
+  ?cases:int ->
+  ?mutants:int ->
+  ?include_server:bool ->
+  ?corpus_dir:string ->
+  unit ->
+  report
+(** Defaults: seed 1, 50 fuzz cases, 120 mutants, no server leg.  When
+    [corpus_dir] is given, corpus cases are replayed first (failures
+    count as fuzz failures) and new shrunk counterexamples are saved
+    there. *)
+
+val all_ok : report -> bool
+val print_report : report -> unit
+val to_json : report -> string

@@ -1,0 +1,403 @@
+module Th = Tcmm_threshold
+module P = Tcmm_server.Protocol
+module F = Tcmm_fastmm
+module Prng = Tcmm_util.Prng
+
+type op = Flip_weight_sign | Perturb_threshold | Drop_wire | Duplicate_wire
+
+let op_name = function
+  | Flip_weight_sign -> "flip-weight-sign"
+  | Perturb_threshold -> "perturb-threshold"
+  | Drop_wire -> "drop-wire"
+  | Duplicate_wire -> "duplicate-wire"
+
+let all_ops = [ Flip_weight_sign; Perturb_threshold; Drop_wire; Duplicate_wire ]
+
+type mutant = { op : op; gate : int; detail : string; circuit : Th.Circuit.t }
+
+(* Gates from which some circuit output is reachable.  Mutating a dead
+   gate cannot change any output, so dead gates would be guaranteed
+   equivalent mutants. *)
+let live_gates (c : Th.Circuit.t) =
+  let n_in = c.Th.Circuit.num_inputs in
+  let n_gates = Array.length c.Th.Circuit.gates in
+  let live = Array.make n_gates false in
+  let stack = ref [] in
+  let push w =
+    if w >= n_in && not live.(w - n_in) then begin
+      live.(w - n_in) <- true;
+      stack := (w - n_in) :: !stack
+    end
+  in
+  Array.iter push c.Th.Circuit.outputs;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | g :: rest ->
+        stack := rest;
+        Array.iter push c.Th.Circuit.gates.(g).Th.Gate.inputs;
+        drain ()
+  in
+  drain ();
+  let out = ref [] in
+  for g = n_gates - 1 downto 0 do
+    if live.(g) then out := g :: !out
+  done;
+  Array.of_list !out
+
+let replace_gate c ~gate ~with_ =
+  Th.Circuit.map_gates c ~f:(fun g old -> if g = gate then with_ else old)
+
+let sum_range (gate : Th.Gate.t) =
+  Array.fold_left
+    (fun (lo, hi) w -> if w < 0 then (lo + w, hi) else (lo, hi + w))
+    (0, 0) gate.Th.Gate.weights
+
+(* All weighted sums the gate can produce over free boolean inputs,
+   skipping the weight at [except] — exact while the set stays under
+   [cap] distinct values, [None] beyond that.  Duplicate reads of one
+   wire are treated as independent, which only over-approximates the
+   set (the filter then errs toward keeping a mutant, never toward
+   discarding a detectable one). *)
+let achievable_sums ?(cap = 4096) ?(except = -1) (gate : Th.Gate.t) =
+  let sums = Hashtbl.create 64 in
+  Hashtbl.add sums 0 ();
+  try
+    Array.iteri
+      (fun i w ->
+        if i <> except && w <> 0 then begin
+          let shifted = Hashtbl.fold (fun s () acc -> (s + w) :: acc) sums [] in
+          List.iter
+            (fun s -> if not (Hashtbl.mem sums s) then Hashtbl.add sums s ())
+            shifted;
+          if Hashtbl.length sums > cap then raise Exit
+        end)
+      gate.Th.Gate.weights;
+    Some sums
+  with Exit -> None
+
+(* Try to make one mutant at the given live gate; [None] when the op has
+   no viable (non-provably-equivalent) site there. *)
+let try_mutate rng c op gate =
+  let g = c.Th.Circuit.gates.(gate) in
+  let fan_in = Array.length g.Th.Gate.inputs in
+  match op with
+  | Flip_weight_sign ->
+      if fan_in = 0 then None
+      else
+        let i = Prng.int rng ~bound:fan_in in
+        let w = g.Th.Gate.weights.(i) in
+        if w = 0 then None
+        else
+          let equivalent =
+            (* Negating [w] only matters on assignments setting wire [i];
+               there the old sum [r + w] and new sum [r - w] must land on
+               opposite sides of the threshold for some achievable rest
+               [r] — otherwise the mutant provably computes the same
+               function. *)
+            match achievable_sums ~except:i g with
+            | None -> false
+            | Some rest ->
+                let t = g.Th.Gate.threshold in
+                not
+                  (Hashtbl.fold
+                     (fun r () acc -> acc || r + w >= t <> (r - w >= t))
+                     rest false)
+          in
+          if equivalent then None
+          else
+          let weights = Array.copy g.Th.Gate.weights in
+          weights.(i) <- -weights.(i);
+          let with_ =
+            Th.Gate.make ~inputs:g.Th.Gate.inputs ~weights
+              ~threshold:g.Th.Gate.threshold
+          in
+          Some
+            {
+              op;
+              gate;
+              detail = Printf.sprintf "weight %d on wire %d negated" i
+                  g.Th.Gate.inputs.(i);
+              circuit = replace_gate c ~gate ~with_;
+            }
+  | Perturb_threshold ->
+      if fan_in = 0 then None
+      else
+        let delta = if Prng.bool rng then 1 else -1 in
+        let t = g.Th.Gate.threshold in
+        (* The moved decision boundary: t -> t+1 reclassifies sum t;
+           t -> t-1 reclassifies sum t-1.  Outside the achievable range
+           the mutant provably computes the same function. *)
+        let critical = if delta = 1 then t else t - 1 in
+        let feasible =
+          match achievable_sums g with
+          | Some sums -> Hashtbl.mem sums critical
+          | None ->
+              let lo, hi = sum_range g in
+              critical >= lo && critical <= hi
+        in
+        if not feasible then None
+        else
+          let with_ =
+            Th.Gate.make ~inputs:g.Th.Gate.inputs ~weights:g.Th.Gate.weights
+              ~threshold:(t + delta)
+          in
+          Some
+            {
+              op;
+              gate;
+              detail = Printf.sprintf "threshold %d -> %d" t (t + delta);
+              circuit = replace_gate c ~gate ~with_;
+            }
+  | Drop_wire ->
+      if fan_in < 2 then None
+      else
+        let i = Prng.int rng ~bound:fan_in in
+        let drop a =
+          Array.init (Array.length a - 1) (fun j -> if j < i then a.(j) else a.(j + 1))
+        in
+        let with_ =
+          Th.Gate.make ~inputs:(drop g.Th.Gate.inputs)
+            ~weights:(drop g.Th.Gate.weights) ~threshold:g.Th.Gate.threshold
+        in
+        Some
+          {
+            op;
+            gate;
+            detail = Printf.sprintf "dropped wire %d" g.Th.Gate.inputs.(i);
+            circuit = replace_gate c ~gate ~with_;
+          }
+  | Duplicate_wire ->
+      if fan_in = 0 then None
+      else
+        let i = Prng.int rng ~bound:fan_in in
+        let dup a extra = Array.append a [| extra |] in
+        let with_ =
+          Th.Gate.make
+            ~inputs:(dup g.Th.Gate.inputs g.Th.Gate.inputs.(i))
+            ~weights:(dup g.Th.Gate.weights g.Th.Gate.weights.(i))
+            ~threshold:g.Th.Gate.threshold
+        in
+        Some
+          {
+            op;
+            gate;
+            detail = Printf.sprintf "duplicated wire %d" g.Th.Gate.inputs.(i);
+            circuit = replace_gate c ~gate ~with_;
+          }
+
+let sample ~rng ~count (c : Th.Circuit.t) =
+  if Array.length c.Th.Circuit.gates = 0 then
+    invalid_arg "Mutate.sample: circuit has no gates";
+  let live = live_gates c in
+  if Array.length live = 0 then invalid_arg "Mutate.sample: no live gates";
+  let ops = Array.of_list all_ops in
+  let seen = Hashtbl.create count in
+  let out = ref [] and found = ref 0 and attempts = ref 0 in
+  while !found < count && !attempts < count * 50 do
+    incr attempts;
+    let op = ops.(Prng.int rng ~bound:(Array.length ops)) in
+    let gate = live.(Prng.int rng ~bound:(Array.length live)) in
+    match try_mutate rng c op gate with
+    | None -> ()
+    | Some m ->
+        let key = (op_name m.op, m.gate, m.detail) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          out := m :: !out;
+          incr found
+        end
+  done;
+  List.rev !out
+
+type kill = Structural of string | Behavioral of int
+
+let default_observe (r : Th.Simulator.result) =
+  String.init (Array.length r.Th.Simulator.outputs) (fun i ->
+      if r.Th.Simulator.outputs.(i) then '1' else '0')
+
+let judge ?(observe = default_observe) ~original ~inputs m =
+  let so = Th.Circuit.stats original and sm = Th.Circuit.stats m.circuit in
+  if so <> sm then
+    Some
+      (Structural
+         (Printf.sprintf "stats deviate (gates %d->%d, edges %d->%d, depth %d->%d)"
+            so.Th.Stats.gates sm.Th.Stats.gates so.Th.Stats.edges sm.Th.Stats.edges
+            so.Th.Stats.depth sm.Th.Stats.depth))
+  else if Th.Validate.check original <> Th.Validate.check m.circuit then
+    Some (Structural "validation issue list deviates")
+  else
+    let n = Array.length inputs in
+    let rec go i =
+      if i >= n then None
+      else
+        let ro = Th.Simulator.run original inputs.(i) in
+        let rm = Th.Simulator.run m.circuit inputs.(i) in
+        if observe ro <> observe rm then Some (Behavioral i) else go (i + 1)
+    in
+    go 0
+
+type sweep = {
+  total : int;
+  structural : int;
+  behavioral : int;
+  survived : (string * int) list;
+  per_op : (string * int * int) list;
+}
+
+let kill_rate s =
+  if s.total = 0 then 1.
+  else float_of_int (s.structural + s.behavioral) /. float_of_int s.total
+
+let sweep ?(observe = default_observe) ~rng ~count ~inputs c =
+  let mutants = sample ~rng ~count c in
+  (* Evaluate the original once per workload; every mutant reuses it. *)
+  let original_obs =
+    Array.map (fun input -> observe (Th.Simulator.run c input)) inputs
+  in
+  let original_stats = Th.Circuit.stats c in
+  let original_issues = Th.Validate.check c in
+  let judge_fast m =
+    let sm = Th.Circuit.stats m.circuit in
+    if original_stats <> sm then Some (Structural "stats deviate")
+    else if original_issues <> Th.Validate.check m.circuit then
+      Some (Structural "validation issue list deviates")
+    else
+      let n = Array.length inputs in
+      let rec go i =
+        if i >= n then None
+        else
+          let rm = Th.Simulator.run m.circuit inputs.(i) in
+          if original_obs.(i) <> observe rm then Some (Behavioral i)
+          else go (i + 1)
+      in
+      go 0
+  in
+  let tally = Hashtbl.create 4 in
+  let bump op killed =
+    let k, t = Option.value ~default:(0, 0) (Hashtbl.find_opt tally op) in
+    Hashtbl.replace tally op ((k + if killed then 1 else 0), t + 1)
+  in
+  let structural = ref 0 and behavioral = ref 0 and survived = ref [] in
+  List.iter
+    (fun m ->
+      match judge_fast m with
+      | Some (Structural _) ->
+          incr structural;
+          bump (op_name m.op) true
+      | Some (Behavioral _) ->
+          incr behavioral;
+          bump (op_name m.op) true
+      | None ->
+          survived := (op_name m.op, m.gate) :: !survived;
+          bump (op_name m.op) false)
+    mutants;
+  {
+    total = List.length mutants;
+    structural = !structural;
+    behavioral = !behavioral;
+    survived = List.rev !survived;
+    per_op =
+      List.filter_map
+        (fun op ->
+          Option.map
+            (fun (k, t) -> (op_name op, k, t))
+            (Hashtbl.find_opt tally (op_name op)))
+        all_ops;
+  }
+
+let merge sweeps =
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (op, k, t) ->
+          let k0, t0 = Option.value ~default:(0, 0) (Hashtbl.find_opt tally op) in
+          Hashtbl.replace tally op (k0 + k, t0 + t))
+        s.per_op)
+    sweeps;
+  {
+    total = List.fold_left (fun a s -> a + s.total) 0 sweeps;
+    structural = List.fold_left (fun a s -> a + s.structural) 0 sweeps;
+    behavioral = List.fold_left (fun a s -> a + s.behavioral) 0 sweeps;
+    survived = List.concat_map (fun s -> s.survived) sweeps;
+    per_op =
+      List.filter_map
+        (fun op ->
+          Option.map
+            (fun (k, t) -> (op_name op, k, t))
+            (Hashtbl.find_opt tally (op_name op)))
+        all_ops;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-frame truncation                                          *)
+(* ------------------------------------------------------------------ *)
+
+type protocol_sweep = { frames : int; cuts : int; killed : int }
+
+let sample_payloads () =
+  let spec =
+    {
+      P.kind = P.Trace;
+      algo = "strassen";
+      schedule = "direct";
+      d = 2;
+      n = 4;
+      entry_bits = 1;
+      signed = false;
+      tau = 1;
+    }
+  in
+  let m = F.Matrix.identity 4 in
+  [
+    P.encode_request P.Ping;
+    P.encode_request (P.Compile spec);
+    P.encode_request (P.Run_trace (spec, m));
+    P.encode_request (P.Run_matmul ({ spec with kind = P.Matmul }, m, m));
+    P.encode_request P.Metrics;
+    P.encode_response P.Pong;
+    P.encode_response (P.Trace_result (true, 42));
+    P.encode_response (P.Error "boom");
+    P.encode_response (P.Matmul_result (m, 7));
+  ]
+
+let decoders payload =
+  (* A truncated payload is detected when *neither* decoder accepts it:
+     the attacker controls bytes, not which endpoint reads them. *)
+  match (P.decode_request payload, P.decode_response payload) with
+  | Error _, Error _ -> true
+  | _ -> false
+
+let stream_truncation_detected framed cut =
+  let d = P.create_dechunker () in
+  let bytes = Bytes.of_string (String.sub framed 0 cut) in
+  P.feed d bytes 0 (Bytes.length bytes);
+  match P.next_frame d with `Frame _ -> false | `More | `Corrupt _ -> true
+
+let payload_truncation_detected payload cut =
+  let truncated = String.sub payload 0 cut in
+  let d = P.create_dechunker () in
+  let framed = Bytes.of_string (P.frame truncated) in
+  P.feed d framed 0 (Bytes.length framed);
+  match P.next_frame d with
+  | `Frame p -> decoders p
+  | `More | `Corrupt _ -> true
+
+let protocol_truncation_sweep ?(seed = 11) ?(cuts_per_frame = 8) () =
+  let rng = Prng.create ~seed in
+  let payloads = sample_payloads () in
+  let cuts = ref 0 and killed = ref 0 in
+  List.iter
+    (fun payload ->
+      let framed = P.frame payload in
+      for _ = 1 to cuts_per_frame do
+        let cut = 1 + Prng.int rng ~bound:(String.length framed - 1) in
+        incr cuts;
+        if stream_truncation_detected framed cut then incr killed;
+        let pcut = 1 + Prng.int rng ~bound:(String.length payload - 1) in
+        incr cuts;
+        if payload_truncation_detected payload pcut then incr killed
+      done)
+    payloads;
+  { frames = List.length payloads; cuts = !cuts; killed = !killed }

@@ -1,0 +1,95 @@
+(** Mutation testing of the differential oracle.
+
+    A correctness harness is only as good as the bugs it can catch, so
+    this module injects single-gate faults into compiled circuits and
+    measures whether the oracle notices.  A mutant is {e killed} when
+
+    - the structural layer flags it (gate/edge/depth/fan-in statistics
+      deviate from the unmutated circuit, or {!Tcmm_threshold.Validate}
+      reports a different issue list), or
+    - the behavioral layer flags it (outputs differ from the original
+      circuit on at least one of the supplied workloads).
+
+    Provably-equivalent mutants are excluded at generation: only gates
+    from which an output is reachable are mutated; a threshold
+    perturbation is only emitted when the decision boundary it moves is
+    an achievable weighted sum (computed exactly for gates whose sum set
+    is small, by interval bound beyond that); and a weight-sign flip is
+    only emitted when some achievable rest-sum straddles the threshold
+    under the flip.  Beyond those proofs the sweep reports what it
+    measures — a masked-but-inequivalent mutant counts as a survivor.
+
+    A separate sweep attacks the serving protocol instead of a circuit:
+    frames truncated mid-stream must never decode as a complete valid
+    message. *)
+
+type op = Flip_weight_sign | Perturb_threshold | Drop_wire | Duplicate_wire
+
+val op_name : op -> string
+val all_ops : op list
+
+type mutant = {
+  op : op;
+  gate : int;
+  detail : string;
+  circuit : Tcmm_threshold.Circuit.t;
+}
+
+val sample :
+  rng:Tcmm_util.Prng.t -> count:int -> Tcmm_threshold.Circuit.t -> mutant list
+(** Up to [count] mutants (fewer when the circuit offers fewer viable
+    sites).  Raises [Invalid_argument] on a circuit with no gates. *)
+
+type kill = Structural of string | Behavioral of int  (** killing input index *)
+
+val default_observe : Tcmm_threshold.Simulator.result -> string
+(** Renders the output bits — the weakest observation the oracle makes. *)
+
+val judge :
+  ?observe:(Tcmm_threshold.Simulator.result -> string) ->
+  original:Tcmm_threshold.Circuit.t ->
+  inputs:bool array array ->
+  mutant ->
+  kill option
+(** [None] means the mutant survived every layer of the oracle.
+    [observe] projects a simulation result onto what the differential
+    oracle actually compares; it defaults to {!default_observe} (output
+    bits only), but the harness passes a stronger projection for trace
+    circuits — the decoded trace value read off internal wires — because
+    {!Oracle.check} compares exactly that across engines.  The judge must
+    observe neither more nor less than the oracle, or the kill rate
+    stops measuring the oracle's real power. *)
+
+type sweep = {
+  total : int;
+  structural : int;
+  behavioral : int;
+  survived : (string * int) list;  (** (op name, gate) per survivor *)
+  per_op : (string * int * int) list;  (** (op name, killed, total) *)
+}
+
+val kill_rate : sweep -> float
+(** Killed fraction in [0, 1]; [1.] for an empty sweep. *)
+
+val sweep :
+  ?observe:(Tcmm_threshold.Simulator.result -> string) ->
+  rng:Tcmm_util.Prng.t ->
+  count:int ->
+  inputs:bool array array ->
+  Tcmm_threshold.Circuit.t ->
+  sweep
+(** Samples mutants and judges each with {!judge} semantics (the
+    original circuit's observations are computed once and reused). *)
+
+val merge : sweep list -> sweep
+
+(** {1 Protocol-frame truncation} *)
+
+type protocol_sweep = { frames : int; cuts : int; killed : int }
+
+val protocol_truncation_sweep : ?seed:int -> ?cuts_per_frame:int -> unit -> protocol_sweep
+(** For a set of representative request/response frames and random cut
+    points: (a) the truncated byte stream must not yield a complete
+    frame from the dechunker, and (b) a truncated payload re-framed with
+    a consistent length must fail to decode.  Each cut contributes two
+    trials to [cuts]; [killed] counts detections. *)

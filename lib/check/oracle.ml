@@ -1,0 +1,118 @@
+module T = Tcmm
+module F = Tcmm_fastmm
+module Th = Tcmm_threshold
+
+let trace_builds : (string, T.Trace_circuit.built) Hashtbl.t = Hashtbl.create 16
+let matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t = Hashtbl.create 16
+
+let clear_cache () =
+  Hashtbl.reset trace_builds;
+  Hashtbl.reset matmul_builds
+
+(* Keep the memo bounded: a long fuzz run touches only a handful of
+   configurations, but a pathological generator should not accumulate
+   circuits without end. *)
+let bound tbl =
+  if Hashtbl.length tbl > 24 then Hashtbl.reset tbl
+
+let trace_built (c : Case.t) =
+  if c.kind <> Case.Trace then invalid_arg "Oracle.trace_built: not a trace case";
+  let key = Case.build_key c in
+  match Hashtbl.find_opt trace_builds key with
+  | Some b -> b
+  | None ->
+      bound trace_builds;
+      let b =
+        T.Trace_circuit.build ~algo:(Case.algo_of_name c.algo)
+          ~schedule:(Case.resolve_schedule c) ~signed_inputs:c.signed
+          ~entry_bits:c.entry_bits ~tau:c.tau ~n:c.n ()
+      in
+      Hashtbl.add trace_builds key b;
+      b
+
+let matmul_built (c : Case.t) =
+  if c.kind <> Case.Matmul then invalid_arg "Oracle.matmul_built: not a matmul case";
+  let key = Case.build_key c in
+  match Hashtbl.find_opt matmul_builds key with
+  | Some b -> b
+  | None ->
+      bound matmul_builds;
+      let b =
+        T.Matmul_circuit.build ~algo:(Case.algo_of_name c.algo)
+          ~schedule:(Case.resolve_schedule c) ~signed_inputs:c.signed
+          ~entry_bits:c.entry_bits ~n:c.n ()
+      in
+      Hashtbl.add matmul_builds key b;
+      b
+
+let fail fmt = Format.kasprintf (fun s -> Error s) fmt
+
+let check_trace (c : Case.t) =
+  let built = trace_built c in
+  let a = Case.matrix c ~index:0 in
+  let expected_trace = T.Trace_circuit.reference a in
+  let expected = expected_trace >= c.tau in
+  let reference = T.Trace_circuit.run ~engine:Th.Simulator.Reference built a in
+  let packed = T.Trace_circuit.run ~engine:Th.Simulator.Packed built a in
+  let packed2 = T.Trace_circuit.run ~engine:Th.Simulator.Packed ~domains:2 built a in
+  let value = T.Trace_circuit.trace_value built a in
+  if value <> expected_trace then
+    fail "trace_value %d <> integer reference %d" value expected_trace
+  else if reference <> expected then
+    fail "Simulator says %b, integer reference says %b (trace %d, tau %d)"
+      reference expected expected_trace c.tau
+  else if packed <> reference then
+    fail "Packed (sequential) says %b, Simulator says %b" packed reference
+  else if packed2 <> reference then
+    fail "Packed (2 domains) says %b, Simulator says %b" packed2 reference
+  else
+    (* Batched lanes: the case's matrix plus two further draws. *)
+    let lanes = Array.init 3 (fun i -> Case.matrix c ~index:i) in
+    let batch = T.Trace_circuit.run_batch built lanes in
+    let rec lanes_ok i =
+      if i >= Array.length lanes then Ok ()
+      else
+        let want = T.Trace_circuit.reference lanes.(i) >= c.tau in
+        if batch.(i) <> want then
+          fail "batched lane %d says %b, integer reference says %b" i batch.(i) want
+        else lanes_ok (i + 1)
+    in
+    lanes_ok 0
+
+let check_matmul (c : Case.t) =
+  let built = matmul_built c in
+  let a = Case.matrix c ~index:0 and b = Case.matrix c ~index:1 in
+  let expected = F.Matrix.mul a b in
+  let reference = T.Matmul_circuit.run ~engine:Th.Simulator.Reference built ~a ~b in
+  let packed = T.Matmul_circuit.run ~engine:Th.Simulator.Packed built ~a ~b in
+  let packed2 =
+    T.Matmul_circuit.run ~engine:Th.Simulator.Packed ~domains:2 built ~a ~b
+  in
+  if not (F.Matrix.equal reference expected) then
+    fail "Simulator product disagrees with integer reference on %a" Case.pp c
+  else if not (F.Matrix.equal packed reference) then
+    fail "Packed (sequential) product disagrees with Simulator"
+  else if not (F.Matrix.equal packed2 reference) then
+    fail "Packed (2 domains) product disagrees with Simulator"
+  else
+    let pairs =
+      Array.init 3 (fun i ->
+          ( Case.matrix c ~index:(2 * i),
+            Case.matrix c ~index:((2 * i) + 1) ))
+    in
+    let batch = T.Matmul_circuit.run_batch built pairs in
+    let rec lanes_ok i =
+      if i >= Array.length pairs then Ok ()
+      else
+        let la, lb = pairs.(i) in
+        if not (F.Matrix.equal batch.(i) (F.Matrix.mul la lb)) then
+          fail "batched lane %d disagrees with integer reference" i
+        else lanes_ok (i + 1)
+    in
+    lanes_ok 0
+
+let check (c : Case.t) =
+  match c.kind with
+  | Case.Trace -> ( try check_trace c with e -> fail "exception: %s" (Printexc.to_string e))
+  | Case.Matmul -> (
+      try check_matmul c with e -> fail "exception: %s" (Printexc.to_string e))

@@ -1,0 +1,31 @@
+(** The differential oracle: one {!Case.t} in, agreement or a
+    counterexample out.
+
+    For each case the oracle builds the circuit once (builds are memoized
+    on {!Case.build_key} across calls, so a fuzz run pays for each
+    configuration once) and demands {e bit-identical} results from every
+    evaluation path in the repository:
+
+    - plain integer arithmetic ({!Tcmm.Trace_circuit.reference} /
+      {!Tcmm_fastmm.Matrix.mul}) — the ground truth;
+    - the gate-at-a-time reference interpreter ({!Tcmm_threshold.Simulator},
+      overflow-checked);
+    - the packed levelized engine, sequential and with 2 domains;
+    - {!Tcmm_threshold.Packed.run_batch} with several lanes (the case's
+      matrix plus further deterministic draws). *)
+
+val check : Case.t -> (unit, string) result
+(** [Ok ()] when every path agrees; [Error msg] names the first
+    disagreeing pair.  Raised exceptions from building (unsatisfiable
+    schedules, overflow) are caught and reported as [Error]. *)
+
+val trace_built : Case.t -> Tcmm.Trace_circuit.built
+(** The memoized build behind a [Trace] case (for mutation sweeps that
+    need the circuit and its input encoder).  Raises [Invalid_argument]
+    on a [Matmul] case. *)
+
+val matmul_built : Case.t -> Tcmm.Matmul_circuit.built
+(** Likewise for [Matmul] cases. *)
+
+val clear_cache : unit -> unit
+(** Drop the memoized builds (tests use this to bound memory). *)

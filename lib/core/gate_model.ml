@@ -9,6 +9,12 @@ let matmul_depth_bound ~d = (4 * d) + 1
 let trace_depth (s : Level_schedule.t) = (2 * Level_schedule.steps s) + 2
 let matmul_depth (s : Level_schedule.t) = (4 * Level_schedule.steps s) + 1
 
+let predicted_depth ~kind s =
+  match kind with `Trace -> trace_depth s | `Matmul -> matmul_depth s
+
+let depth_bound ~kind ~d =
+  match kind with `Trace -> trace_depth_bound ~d | `Matmul -> matmul_depth_bound ~d
+
 let sum_slots (p : Sparsity.profile) ~schedule ~n ~side =
   let algo = p.Sparsity.algo in
   let t_dim = algo.Tcmm_fastmm.Bilinear.t_dim in

@@ -22,6 +22,13 @@ val trace_depth : Level_schedule.t -> int
 val matmul_depth : Level_schedule.t -> int
 (** [4 * steps + 1]. *)
 
+val predicted_depth : kind:[ `Trace | `Matmul ] -> Level_schedule.t -> int
+(** {!trace_depth} or {!matmul_depth}, selected by circuit kind — the
+    form the [tcmm_check] certifier consumes. *)
+
+val depth_bound : kind:[ `Trace | `Matmul ] -> d:int -> int
+(** {!trace_depth_bound} or {!matmul_depth_bound}, selected by kind. *)
+
 val sum_slots :
   Tcmm_fastmm.Sparsity.profile -> schedule:Level_schedule.t -> n:int -> side:[ `A | `C ] -> int
 (** Exact number of (entry, summand) pairs the sum trees feed to

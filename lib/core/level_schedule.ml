@@ -3,6 +3,9 @@ module Ilog = Tcmm_util.Ilog
 type t = { levels : int array; description : string }
 
 let steps t = Array.length t.levels - 1
+let levels t = Array.copy t.levels
+let final_level t = t.levels.(Array.length t.levels - 1)
+let standard_names = [ "uniform-2"; "direct"; "thm44"; "thm45" ]
 
 let height ~t_dim ~n = Ilog.exact_log ~base:t_dim n
 

@@ -20,6 +20,18 @@ val steps : t -> int
 (** [t]: the number of selected levels above the root — each sum-tree
     built from the schedule has depth [2 * steps]. *)
 
+val levels : t -> int array
+(** A fresh copy of the selected-level sequence. *)
+
+val final_level : t -> int
+(** [h_t], the last selected level — equals [L] for every schedule built
+    by this module's constructors. *)
+
+val standard_names : string list
+(** The four {!resolve} vocabulary entries the certifier sweeps:
+    ["uniform-2"] (uniform), ["direct"] (single jump), ["thm44"] and
+    ["thm45"]. *)
+
 val height : t_dim:int -> n:int -> int
 (** [L = log_T n].  Raises [Invalid_argument] if [n] is not a positive
     power of [t_dim]. *)

@@ -29,6 +29,9 @@ let make ~num_inputs ~gates ~outputs =
     outputs;
   { num_inputs; gates; outputs; depths }
 
+let map_gates c ~f =
+  make ~num_inputs:c.num_inputs ~gates:(Array.mapi f c.gates) ~outputs:c.outputs
+
 let num_wires c = c.num_inputs + Array.length c.gates
 let num_gates c = Array.length c.gates
 let wire_of_gate c g = c.num_inputs + g

@@ -17,6 +17,13 @@ val make : num_inputs:int -> gates:Gate.t array -> outputs:Wire.t array -> t
     [Invalid_argument] on a malformed circuit (gate reading a wire at or
     above its own id, or an out-of-range output). *)
 
+val map_gates : t -> f:(int -> Gate.t -> Gate.t) -> t
+(** [map_gates c ~f] rebuilds the circuit with gate [g] replaced by
+    [f g c.gates.(g)], revalidating topology and recomputing depths.
+    This is the fault-injection hook used by [tcmm_check]'s mutation
+    testing; a rewritten gate may change fan-in but must still read only
+    wires below its own id. *)
+
 val num_wires : t -> int
 val num_gates : t -> int
 

@@ -3,6 +3,8 @@ type issue =
   | Duplicate_input_wire of { gate : int; wire : Wire.t }
   | Unreachable_output of { output_index : int; wire : Wire.t }
   | Zero_weight of { gate : int; wire : Wire.t }
+  | Never_fires of { gate : int; threshold : int; max_sum : int }
+  | Always_fires of { gate : int; threshold : int; min_sum : int }
 
 let pp_issue ppf = function
   | Dangling_wire { gate; wire } ->
@@ -13,6 +15,17 @@ let pp_issue ppf = function
       Format.fprintf ppf "output %d is raw input wire %a" output_index Wire.pp wire
   | Zero_weight { gate; wire } ->
       Format.fprintf ppf "gate %d has zero weight on wire %a" gate Wire.pp wire
+  | Never_fires { gate; threshold; max_sum } ->
+      Format.fprintf ppf "gate %d can never fire (threshold %d > max sum %d)" gate
+        threshold max_sum
+  | Always_fires { gate; threshold; min_sum } ->
+      Format.fprintf ppf "gate %d always fires (threshold %d <= min sum %d)" gate
+        threshold min_sum
+
+let severity = function
+  | Dangling_wire _ | Zero_weight _ -> `Error
+  | Duplicate_input_wire _ | Unreachable_output _ | Never_fires _ | Always_fires _
+    -> `Warning
 
 let check (c : Circuit.t) =
   let issues = ref [] in
@@ -21,13 +34,28 @@ let check (c : Circuit.t) =
     (fun g (gate : Gate.t) ->
       let self = Circuit.wire_of_gate c g in
       let seen = Hashtbl.create (Array.length gate.Gate.inputs) in
+      let min_sum = ref 0 and max_sum = ref 0 in
       Array.iteri
         (fun i w ->
           if w < 0 || w >= self then add (Dangling_wire { gate = g; wire = w });
           if Hashtbl.mem seen w then add (Duplicate_input_wire { gate = g; wire = w })
           else Hashtbl.add seen w ();
-          if gate.Gate.weights.(i) = 0 then add (Zero_weight { gate = g; wire = w }))
-        gate.Gate.inputs)
+          let weight = gate.Gate.weights.(i) in
+          if weight = 0 then add (Zero_weight { gate = g; wire = w });
+          if weight < 0 then min_sum := !min_sum + weight
+          else max_sum := !max_sum + weight)
+        gate.Gate.inputs;
+      (* Dead thresholds: a gate (with real fan-in — fan-in-0 constants are
+         intentional) whose threshold lies outside the achievable weighted-sum
+         range computes a constant, which is always suspicious in this
+         repository's constructors and exactly what a faulty threshold
+         perturbation produces. *)
+      if Array.length gate.Gate.inputs > 0 then begin
+        if gate.Gate.threshold > !max_sum then
+          add (Never_fires { gate = g; threshold = gate.Gate.threshold; max_sum = !max_sum });
+        if gate.Gate.threshold <= !min_sum then
+          add (Always_fires { gate = g; threshold = gate.Gate.threshold; min_sum = !min_sum })
+      end)
     c.Circuit.gates;
   Array.iteri
     (fun i w ->
@@ -36,4 +64,5 @@ let check (c : Circuit.t) =
     c.Circuit.outputs;
   List.rev !issues
 
+let errors c = List.filter (fun i -> severity i = `Error) (check c)
 let is_clean c = check c = []

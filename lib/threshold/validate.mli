@@ -1,25 +1,44 @@
 (** Structural validation of circuits.
 
     {!Circuit.make} already rejects non-topological circuits; this module
-    performs the deeper well-formedness checks used by tests and by the
-    CLI's [verify] command, returning all violations rather than failing
-    on the first. *)
+    performs the deeper well-formedness checks used by tests, the CLI's
+    [verify] command and the [tcmm_check] certifier, returning {e all}
+    violations (each carrying the offending gate/output id) rather than
+    failing on the first. *)
 
 type issue =
   | Dangling_wire of { gate : int; wire : Wire.t }
   | Duplicate_input_wire of { gate : int; wire : Wire.t }
-      (** a gate reading the same wire twice — legal for threshold logic
-          but always a bug in this repository's constructors, which merge
-          coefficients instead *)
+      (** a gate reading the same wire twice — semantically equivalent to
+          a single merged coefficient; the trace circuit emits these when
+          one entry feeds a leaf's sum through two coefficient paths *)
   | Unreachable_output of { output_index : int; wire : Wire.t }
       (** an output wire that is an input: allowed, reported for review *)
   | Zero_weight of { gate : int; wire : Wire.t }
       (** a zero-weight connection — wasted edge *)
+  | Never_fires of { gate : int; threshold : int; max_sum : int }
+      (** the threshold exceeds the largest achievable weighted sum, so
+          the gate computes constant 0 despite having real fan-in *)
+  | Always_fires of { gate : int; threshold : int; min_sum : int }
+      (** the threshold is at or below the smallest achievable weighted
+          sum, so the gate computes constant 1 despite having real
+          fan-in *)
 
 val pp_issue : Format.formatter -> issue -> unit
 
+val severity : issue -> [ `Error | `Warning ]
+(** [`Error] issues ([Dangling_wire], [Zero_weight]) never appear in
+    circuits built by this repository's constructors; [`Warning] issues
+    are legal-but-suspicious and are reported for review (duplicate
+    reads arise from multi-path coefficients, constant gates from
+    extreme thresholds, e.g. a trace query with an unsatisfiable
+    [tau]). *)
+
 val check : Circuit.t -> issue list
-(** All issues found, in gate order. *)
+(** All issues found, in gate order (output issues last). *)
+
+val errors : Circuit.t -> issue list
+(** The [`Error]-severity subset of {!check}. *)
 
 val is_clean : Circuit.t -> bool
-(** [is_clean c] iff {!check} returns no issues. *)
+(** [is_clean c] iff {!check} returns no issues at all. *)

@@ -298,13 +298,60 @@ let test_validate_duplicate_and_zero () =
   let g2 = Gate.make ~inputs:[| 0 |] ~weights:[| 0 |] ~threshold:1 in
   let c = Circuit.make ~num_inputs:1 ~gates:[| g1; g2 |] ~outputs:[| 0 |] in
   let issues = Validate.check c in
-  S.check_int "three issues" 3 (List.length issues);
+  (* g1: duplicate wire; g2: zero weight and (threshold 1 > max sum 0) a
+     never-fires warning; output 0 is a raw input. *)
+  S.check_int "four issues" 4 (List.length issues);
   S.check_bool "has duplicate" true
     (List.exists (function Validate.Duplicate_input_wire _ -> true | _ -> false) issues);
   S.check_bool "has zero weight" true
     (List.exists (function Validate.Zero_weight _ -> true | _ -> false) issues);
+  S.check_bool "has never-fires" true
+    (List.exists
+       (function Validate.Never_fires { gate = 1; _ } -> true | _ -> false)
+       issues);
   S.check_bool "has raw-input output" true
-    (List.exists (function Validate.Unreachable_output _ -> true | _ -> false) issues)
+    (List.exists (function Validate.Unreachable_output _ -> true | _ -> false) issues);
+  (* Only the zero weight is error-severity; duplicates, constant gates
+     and raw-input outputs are warnings. *)
+  S.check_int "one error" 1 (List.length (Validate.errors c))
+
+let test_validate_reports_every_gate () =
+  (* One violation per gate across four gates: the checker must return
+     them all, in gate order, each carrying the offending gate id. *)
+  let g0 = Gate.make ~inputs:[| 0 |] ~weights:[| 0 |] ~threshold:0 in
+  let g1 = Gate.make ~inputs:[| 0; 0 |] ~weights:[| 1; 2 |] ~threshold:1 in
+  let g2 = Gate.make ~inputs:[| 0 |] ~weights:[| 1 |] ~threshold:5 in
+  let g3 = Gate.make ~inputs:[| 0 |] ~weights:[| 1 |] ~threshold:0 in
+  let c =
+    Circuit.make ~num_inputs:1 ~gates:[| g0; g1; g2; g3 |] ~outputs:[| 4 |]
+  in
+  let gate_of = function
+    | Validate.Dangling_wire { gate; _ }
+    | Validate.Duplicate_input_wire { gate; _ }
+    | Validate.Zero_weight { gate; _ }
+    | Validate.Never_fires { gate; _ }
+    | Validate.Always_fires { gate; _ } ->
+        gate
+    | Validate.Unreachable_output _ -> -1
+  in
+  let issues = Validate.check c in
+  (* g0: zero weight + always fires (threshold 0 <= min sum 0);
+     g1: duplicate read; g2: never fires (5 > 1); g3: always fires. *)
+  Alcotest.(check (list int)) "all gates reported, in order" [ 0; 0; 1; 2; 3 ]
+    (List.map gate_of issues);
+  S.check_bool "g2 detail" true
+    (List.exists
+       (function
+         | Validate.Never_fires { gate = 2; threshold = 5; max_sum = 1 } -> true
+         | _ -> false)
+       issues);
+  S.check_bool "g3 detail" true
+    (List.exists
+       (function
+         | Validate.Always_fires { gate = 3; threshold = 0; min_sum = 0 } -> true
+         | _ -> false)
+       issues);
+  S.check_int "one error (the zero weight)" 1 (List.length (Validate.errors c))
 
 (* ------------------------------------------------------------------ *)
 (* Energy                                                             *)
@@ -507,6 +554,23 @@ let test_dot_renders () =
     ignore (Export.to_dot ~max_gates:1 c);
     Alcotest.fail "expected invalid_arg"
   with Invalid_argument _ -> ()
+
+let test_export_write_file () =
+  (* The full file-based hand-off: serialize, write, read back, parse. *)
+  let c = sample_circuit () in
+  let path = "exported.netlist" in
+  Export.write_file path (Export.to_netlist c);
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  let c' = Export.of_netlist contents in
+  S.all_inputs 3
+  |> List.iter (fun input ->
+         Alcotest.(check (array bool))
+           "same behaviour after file round-trip"
+           (Simulator.read_outputs c input)
+           (Simulator.read_outputs c' input))
 
 (* ------------------------------------------------------------------ *)
 (* Transform                                                          *)
@@ -893,6 +957,7 @@ let () =
         [
           Alcotest.test_case "clean circuit" `Quick test_validate_clean;
           Alcotest.test_case "flags issues" `Quick test_validate_duplicate_and_zero;
+          Alcotest.test_case "reports every gate" `Quick test_validate_reports_every_gate;
         ] );
       ( "spiking",
         [
@@ -910,6 +975,7 @@ let () =
           Alcotest.test_case "netlist rejects garbage" `Quick test_netlist_rejects_garbage;
           Alcotest.test_case "comments and blanks" `Quick test_netlist_comments_and_blanks;
           Alcotest.test_case "dot renders" `Quick test_dot_renders;
+          Alcotest.test_case "write file" `Quick test_export_write_file;
         ] );
       ( "transform",
         [
