@@ -785,6 +785,232 @@ let e9 () =
 
 (* ------------------------------------------------------------------ *)
 
+(* E20: construction wall-time.  Three build paths for the same circuit:
+     legacy   — gate-by-gate builder, then the per-gate
+                Packed.of_circuit walk;
+     stamped  — hash-consed block templates stamped by offset
+                arithmetic, still materializing a Circuit.t;
+     direct   — stamped arena lowered straight to the packed CSR form
+                (Packed.of_arena), no Circuit.t ever built.
+   Every leg is checked gate-for-gate against the counting DP, and the
+   direct build is evaluated end-to-end against integer references (the
+   N=32 certificate the acceptance criteria ask for).  Results land in
+   BENCH_build.json. *)
+
+type e20_built = {
+  eb_builder : Builder.t;
+  eb_circuit : Tcmm_threshold.Circuit.t option;
+  eb_eval : unit -> bool;  (* end-to-end run vs the integer reference *)
+}
+
+let e20 ?(ns = [ 8; 16; 32 ]) () =
+  Bench_util.header
+    "E20: construction wall-time (legacy builder vs template stamping vs \
+     direct-to-CSR)";
+  let module Th = Tcmm_threshold in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rng = Tcmm_util.Prng.create ~seed:42 in
+  let check label n ((expect_g, expect_e) : int * int) (st : Stats.t) =
+    if st.Stats.gates <> expect_g || st.Stats.edges <> expect_e then
+      failwith
+        (Printf.sprintf
+           "e20 %s N=%d: %d gates / %d edges diverge from the expected %d / %d"
+           label n st.Stats.gates st.Stats.edges expect_g expect_e)
+  in
+  let rows = ref [] in
+  let run_family ~family ~expect ~build n =
+    let schedule = T.Level_schedule.theorem45 ~profile ~d:2 ~n in
+    let expect = expect ~schedule ~n in
+    (* The two Materialize legs are skipped at N=32: [Circuit.make] and
+       [Packed.of_circuit] are O(logical edges) — the very cost the
+       direct path exists to avoid (tens of minutes of wall clock
+       there). *)
+    let heavy = n >= 32 in
+    let legacy =
+      if heavy then None
+      else begin
+        let b, t_build =
+          time (fun () ->
+              build ~mode:Builder.Materialize ~templates:false ~schedule ~n)
+        in
+        check (family ^ " legacy") n expect (Builder.stats b.eb_builder);
+        let _p, t_pack =
+          time (fun () -> Th.Packed.of_circuit (Option.get b.eb_circuit))
+        in
+        Some (Builder.stats b.eb_builder, t_build, t_pack)
+      end
+    in
+    (* Stamped leg: template cache on, still materializing a Circuit.t. *)
+    let stamped =
+      if heavy then None
+      else begin
+        let st_b, t_stamp_build =
+          time (fun () ->
+              build ~mode:Builder.Materialize ~templates:true ~schedule ~n)
+        in
+        check (family ^ " stamped") n expect (Builder.stats st_b.eb_builder);
+        (match legacy with
+        | Some (legacy_stats, _, _)
+          when Builder.stats st_b.eb_builder <> legacy_stats ->
+            failwith
+              (Printf.sprintf "e20 %s N=%d: stamped stats diverge from legacy"
+                 family n)
+        | _ -> ());
+        let _p, t_stamp_pack =
+          time (fun () -> Th.Packed.of_circuit (Option.get st_b.eb_circuit))
+        in
+        Some (t_stamp_build, t_stamp_pack)
+      end
+    in
+    (* Direct leg: stamped arena lowered straight to CSR, at 1/2/4
+       evaluation domains for the parallel lowering pass. *)
+    let d_b, t_direct_build =
+      time (fun () -> build ~mode:Builder.Direct ~templates:true ~schedule ~n)
+    in
+    check (family ^ " direct") n expect (Builder.stats d_b.eb_builder);
+    let arena = Builder.arena d_b.eb_builder in
+    let lower_times =
+      List.map
+        (fun domains ->
+          let t =
+            if domains = 1 then snd (time (fun () -> Th.Packed.of_arena arena))
+            else
+              Th.Packed.Pool.with_pool ~domains (fun pool ->
+                  snd (time (fun () -> Th.Packed.of_arena ~pool arena)))
+          in
+          Gc.compact ();
+          (domains, t))
+        [ 1; 2; 4 ]
+    in
+    let t_direct_lower = List.assoc 1 lower_times in
+    (* Certificate: the direct-lowered circuit evaluates correctly
+       against the plain integer reference. *)
+    let eval_ok = d_b.eb_eval () in
+    if not eval_ok then
+      failwith (Printf.sprintf "e20 %s N=%d: direct evaluation DISAGREES" family n);
+    let ts = Builder.template_stats d_b.eb_builder in
+    let stats = Builder.stats d_b.eb_builder in
+    let direct_total = t_direct_build +. t_direct_lower in
+    let legacy_total =
+      Option.map (fun (_, b, p) -> b +. p) legacy
+    in
+    let sec t = Tb.Str (Printf.sprintf "%.3f s" t) in
+    let leg_row label t_build t_pack extra =
+      rows :=
+        ([ Tb.Str (Printf.sprintf "%s N=%d" family n); Tb.Str label ]
+        @ [ sec t_build; sec t_pack; sec (t_build +. t_pack) ]
+        @ [ extra ])
+        :: !rows
+    in
+    (match legacy with
+    | Some (_, b, p) -> leg_row "legacy" b p (Tb.Str "1.0x")
+    | None -> ());
+    let speedup t =
+      match legacy_total with
+      | Some lt -> Tb.Str (Printf.sprintf "%.1fx" (lt /. t))
+      | None -> Tb.Str "-"
+    in
+    (match stamped with
+    | Some (b, p) -> leg_row "stamped" b p (speedup (b +. p))
+    | None -> ());
+    leg_row "direct" t_direct_build t_direct_lower (speedup direct_total);
+    Bench_util.record ~experiment:"e20"
+      ([
+         ("circuit", Bench_util.Str family);
+         ("n", Bench_util.Int n);
+         ("gates", Bench_util.Int stats.Stats.gates);
+         ("edges", Bench_util.Int stats.Stats.edges);
+         ("legacy_skipped", Bench_util.Bool (legacy = None));
+       ]
+      @ (match stamped with
+        | None -> []
+        | Some (b, p) ->
+            [
+              ("stamped_build_seconds", Bench_util.Float b);
+              ("stamped_pack_seconds", Bench_util.Float p);
+            ])
+      @ [
+         ("direct_build_seconds", Bench_util.Float t_direct_build);
+         ("direct_total_seconds", Bench_util.Float direct_total);
+         ("templates", Bench_util.Int ts.Builder.templates);
+         ("template_instances", Bench_util.Int ts.Builder.instances);
+         ("stamped_gates", Bench_util.Int ts.Builder.stamped_gates);
+         ("eval_certificate_ok", Bench_util.Bool eval_ok);
+       ]
+      @ List.map
+          (fun (d, t) ->
+            (Printf.sprintf "direct_lower_domains%d_seconds" d, Bench_util.Float t))
+          lower_times
+      @ (match legacy with
+        | None -> []
+        | Some (_, b, p) ->
+            [
+              ("legacy_build_seconds", Bench_util.Float b);
+              ("legacy_pack_seconds", Bench_util.Float p);
+              ("legacy_total_seconds", Bench_util.Float (b +. p));
+              ( "direct_speedup_vs_legacy",
+                Bench_util.Float ((b +. p) /. direct_total) );
+            ]));
+    Gc.compact ()
+  in
+  let matmul_family n =
+    run_family ~family:"matmul" n
+      ~expect:(fun ~schedule ~n ->
+        let c =
+          T.Gate_count_matmul.matmul ~algo:strassen ~schedule ~entry_bits:1 ~n ()
+        in
+        (c.T.Gate_count.gates, c.T.Gate_count.edges))
+      ~build:(fun ~mode ~templates ~schedule ~n ->
+        let built =
+          T.Matmul_circuit.build ~mode ~templates ~algo:strassen ~schedule
+            ~entry_bits:1 ~n ()
+        in
+        {
+          eb_builder = built.T.Matmul_circuit.builder;
+          eb_circuit = built.T.Matmul_circuit.circuit;
+          eb_eval =
+            (fun () ->
+              let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+              let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+              F.Matrix.equal
+                (T.Matmul_circuit.run built ~a ~b)
+                (F.Matrix.mul a b));
+        })
+  in
+  let trace_family n =
+    run_family ~family:"trace" n
+      ~expect:(fun ~schedule ~n ->
+        let c = T.Gate_count.trace ~algo:strassen ~schedule ~entry_bits:1 ~n () in
+        (c.T.Gate_count.gates, c.T.Gate_count.edges))
+      ~build:(fun ~mode ~templates ~schedule ~n ->
+        let built =
+          T.Trace_circuit.build ~mode ~templates ~algo:strassen ~schedule
+            ~entry_bits:1 ~tau:(n * n) ~n ()
+        in
+        {
+          eb_builder = built.T.Trace_circuit.builder;
+          eb_circuit = built.T.Trace_circuit.circuit;
+          eb_eval =
+            (fun () ->
+              let m = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+              T.Trace_circuit.trace_value built m
+              = T.Trace_circuit.reference m);
+        })
+  in
+  List.iter (fun n -> matmul_family n; trace_family n) ns;
+  Tb.print
+    ~title:
+      "build + pack wall-clock (d=2 schedules, binary entries; every leg checked \
+       gate-for-gate against the counting DP, direct legs evaluated end-to-end)"
+    ~header:[ "circuit"; "path"; "build"; "pack/lower"; "total"; "vs legacy" ]
+    ~rows:(List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+
 let e10 () =
   Bench_util.header "E10: applications (Sec. 5): triangle queries and a conv layer";
   let rng = Tcmm_util.Prng.create ~seed:123 in

@@ -11,6 +11,22 @@ module F = Tcmm_fastmm
 module T = Tcmm
 module Tb = Tcmm_util.Tablefmt
 
+(* The flagship matmul/trace N=16 d=2 circuits are used by both E8
+   (simulate leg) and E17 (engine comparison); build each once and share
+   the [built] value across legs instead of paying the construction twice. *)
+let profile = F.Sparsity.analyze F.Instances.strassen
+let sched16 = T.Level_schedule.theorem45 ~profile ~d:2 ~n:16
+
+let shared_mm16 =
+  lazy
+    (T.Matmul_circuit.build ~algo:F.Instances.strassen ~schedule:sched16
+       ~entry_bits:1 ~n:16 ())
+
+let shared_tr16 =
+  lazy
+    (T.Trace_circuit.build ~algo:F.Instances.strassen ~schedule:sched16
+       ~entry_bits:1 ~tau:100 ~n:16 ())
+
 (* E8: wall-clock timings via bechamel. *)
 let e8 () =
   Bench_util.header "E8: wall-clock benches (bechamel, ns/run via OLS)";
@@ -18,12 +34,7 @@ let e8 () =
   let n = 128 in
   let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-8) ~hi:8 in
   let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-8) ~hi:8 in
-  let profile = F.Sparsity.analyze F.Instances.strassen in
-  let sched16 = T.Level_schedule.theorem45 ~profile ~d:2 ~n:16 in
-  let built =
-    T.Matmul_circuit.build ~algo:F.Instances.strassen ~schedule:sched16 ~entry_bits:1
-      ~n:16 ()
-  in
+  let built = Lazy.force shared_mm16 in
   let a16 = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
   let b16 = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
   let open Bechamel in
@@ -180,12 +191,7 @@ let e17 () =
           par_times)
   in
   let rng = Tcmm_util.Prng.create ~seed:11 in
-  let profile = F.Sparsity.analyze F.Instances.strassen in
-  let sched16 = T.Level_schedule.theorem45 ~profile ~d:2 ~n:16 in
-  let mm =
-    T.Matmul_circuit.build ~algo:F.Instances.strassen ~schedule:sched16
-      ~entry_bits:1 ~n:16 ()
-  in
+  let mm = Lazy.force shared_mm16 in
   let mm_inputs =
     Array.init batch_size (fun _ ->
         let a = F.Matrix.random rng ~rows:16 ~cols:16 ~lo:0 ~hi:1 in
@@ -195,10 +201,7 @@ let e17 () =
   bench_circuit ~label:"matmul N=16 d=2 (Theorem 4.9)"
     (Option.get mm.T.Matmul_circuit.circuit)
     mm_inputs;
-  let tr =
-    T.Trace_circuit.build ~algo:F.Instances.strassen ~schedule:sched16
-      ~entry_bits:1 ~tau:100 ~n:16 ()
-  in
+  let tr = Lazy.force shared_tr16 in
   let tr_inputs =
     Array.init batch_size (fun _ ->
         T.Trace_circuit.encode_input tr
@@ -433,6 +436,10 @@ let all_experiments =
     ("e15", Experiments.e15);
     ("e18", e18);
     ("e19", e19);
+    (* e20 spawns domains for its parallel lowering legs, so it sits
+       after the forking experiments (e18/e19), like e17. *)
+    ("e20", fun () -> Experiments.e20 ());
+    ("e20-smoke", fun () -> Experiments.e20 ~ns:[ 8 ] ());
     ("e17", e17);
   ]
 
@@ -440,7 +447,9 @@ let () =
   let requested =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all_experiments
+    | _ ->
+        (* e20-smoke is the CI subset of e20; a full run does e20 only. *)
+        List.filter (fun e -> e <> "e20-smoke") (List.map fst all_experiments)
   in
   List.iter
     (fun name ->
@@ -456,8 +465,9 @@ let () =
           exit 2)
     requested;
   Bench_util.write_json
-    ~only:(fun e -> e <> "e18" && e <> "e19")
+    ~only:(fun e -> e <> "e18" && e <> "e19" && e <> "e20")
     "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
+  Bench_util.write_json ~only:(fun e -> e = "e20") "BENCH_build.json";
   print_endline "done."

@@ -79,6 +79,20 @@ let domains_term =
     & info [ "domains" ] ~docv:"K"
         ~doc:"Evaluation domains for the packed engine (1 = sequential).")
 
+let no_templates_term =
+  Arg.(
+    value & flag
+    & info [ "no-templates" ]
+        ~doc:
+          "Disable template-stamped construction: build gate by gate through \
+           the legacy builder and pack from the materialized circuit.")
+
+let profile_build_term =
+  Arg.(
+    value & flag
+    & info [ "profile-build" ]
+        ~doc:"Print the construct / stamp / lower phase breakdown of each build.")
+
 (* ------------------------------------------------------------------ *)
 
 let algorithms_cmd =
@@ -143,7 +157,25 @@ let stats_cmd =
     Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term)
 
 let verify_cmd =
-  let run algo n d bits sched seed engine domains =
+  let run algo n d bits sched seed engine domains no_templates profile =
+    let templates = not no_templates in
+    (* With templates on the build goes straight to the packed CSR form
+       (Direct mode); without them it materializes gate by gate. *)
+    let mode =
+      if templates then Tcmm_threshold.Builder.Direct
+      else Tcmm_threshold.Builder.Materialize
+    in
+    let profile_phases name builder ~construct ~lower =
+      if profile then begin
+        let ts = Tcmm_threshold.Builder.template_stats builder in
+        Format.printf
+          "%s phases: construct %.3fs, lower %.3fs (%d templates, %d instances, \
+           %d stamped gates)@."
+          name construct lower ts.Tcmm_threshold.Builder.templates
+          ts.Tcmm_threshold.Builder.instances
+          ts.Tcmm_threshold.Builder.stamped_gates
+      end
+    in
     let schedule = resolve_schedule ~algo ~name:sched ~d ~n in
     let rng = Tcmm_util.Prng.create ~seed in
     let hi = (1 lsl bits) - 1 in
@@ -151,9 +183,16 @@ let verify_cmd =
     let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
     Format.printf "building C = A*B circuit (N=%d, %s, schedule %a)...@." n
       algo.F.Bilinear.name T.Level_schedule.pp schedule;
+    let t0 = Unix.gettimeofday () in
     let built =
-      T.Matmul_circuit.build ~algo ~schedule ~signed_inputs:true ~entry_bits:bits ~n ()
+      T.Matmul_circuit.build ~mode ~templates ~algo ~schedule ~signed_inputs:true
+        ~entry_bits:bits ~n ()
     in
+    let t1 = Unix.gettimeofday () in
+    let (_ : Tcmm_threshold.Packed.t) = T.Matmul_circuit.pack ~domains built in
+    let t2 = Unix.gettimeofday () in
+    profile_phases "matmul" built.T.Matmul_circuit.builder ~construct:(t1 -. t0)
+      ~lower:(t2 -. t1);
     Format.printf "circuit: %s@."
       (Tcmm_threshold.Stats.to_row (T.Matmul_circuit.stats built));
     let c = T.Matmul_circuit.run ~engine ~domains built ~a ~b in
@@ -161,7 +200,16 @@ let verify_cmd =
     Format.printf "matmul circuit matches reference: %b@." ok_mm;
     let m = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi in
     let expect = T.Trace_circuit.reference m in
-    let trace = T.Trace_circuit.build ~algo ~schedule ~entry_bits:bits ~tau:expect ~n () in
+    let t0 = Unix.gettimeofday () in
+    let trace =
+      T.Trace_circuit.build ~mode ~templates ~algo ~schedule ~entry_bits:bits
+        ~tau:expect ~n ()
+    in
+    let t1 = Unix.gettimeofday () in
+    let (_ : Tcmm_threshold.Packed.t) = T.Trace_circuit.pack ~domains trace in
+    let t2 = Unix.gettimeofday () in
+    profile_phases "trace" trace.T.Trace_circuit.builder ~construct:(t1 -. t0)
+      ~lower:(t2 -. t1);
     let ok_tr =
       T.Trace_circuit.trace_value ~engine ~domains trace m = expect
       && T.Trace_circuit.run ~engine ~domains trace m
@@ -173,7 +221,7 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Build circuits and check them against integer references.")
     Term.(
       const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term $ seed_term
-      $ engine_term $ domains_term)
+      $ engine_term $ domains_term $ no_templates_term $ profile_build_term)
 
 let triangles_cmd =
   let run n d p tau seed engine domains =
@@ -273,7 +321,7 @@ let addr_term =
         ~doc:"Server address: $(b,HOST:PORT) for TCP, anything else is a Unix socket path.")
 
 let serve_cmd =
-  let run addr cache lanes flush domains verbose =
+  let run addr cache lanes flush domains no_templates profile verbose =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     match P.parse_addr addr with
@@ -288,6 +336,8 @@ let serve_cmd =
             flush_ms = flush;
             max_lanes = lanes;
             domains;
+            templates = not no_templates;
+            profile_build = profile;
           };
         0
   in
@@ -318,7 +368,7 @@ let serve_cmd =
          "Serve compiled circuits over a socket with caching and request coalescing.")
     Term.(
       const run $ addr_term $ cache_term $ lanes_term $ flush_term $ domains_term
-      $ verbose_term)
+      $ no_templates_term $ profile_build_term $ verbose_term)
 
 let request_cmd =
   let run addr what algo n d bits sched signed tau seed count =

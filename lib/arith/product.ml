@@ -33,13 +33,63 @@ let product3 b (x : Repr.bits) (y : Repr.bits) (z : Repr.bits) =
     x;
   Repr.unsigned_of_terms (List.rev !terms)
 
+(* Rebuild the two unsigned halves of a templated product from the
+   stamped output wires plus the template's metadata payload
+   ([| [|n_pos; pos_bound; neg_bound|]; pos_weights; neg_weights |]).
+   The weight arrays are shared across instances — Repr treats them as
+   immutable (scaling maps into a fresh array). *)
+let signed_of_stamp outs meta =
+  let np = meta.(0).(0) in
+  {
+    Repr.pos =
+      Repr.unsigned_of_parts ~wires:(Array.sub outs 0 np) ~weights:meta.(1)
+        ~bound:meta.(0).(1);
+    neg =
+      Repr.unsigned_of_parts
+        ~wires:(Array.sub outs np (Array.length outs - np))
+        ~weights:meta.(2) ~bound:meta.(0).(2);
+  }
+
+let stamp_meta (s : Repr.signed) =
+  [|
+    [| Array.length s.Repr.pos.Repr.wires; s.Repr.pos.Repr.bound; s.Repr.neg.Repr.bound |];
+    s.Repr.pos.Repr.weights;
+    s.Repr.neg.Repr.weights;
+  |]
+
+let stamp_outs (s : Repr.signed) =
+  Array.append s.Repr.pos.Repr.wires s.Repr.neg.Repr.wires
+
 let signed_product2 b (x : Repr.signed_bits) (y : Repr.signed_bits) =
   let xp = x.Repr.pos_bits and xn = x.Repr.neg_bits in
   let yp = y.Repr.pos_bits and yn = y.Repr.neg_bits in
-  {
-    Repr.pos = Repr.concat_unsigned [ product2 b xp yp; product2 b xn yn ];
-    neg = Repr.concat_unsigned [ product2 b xp yn; product2 b xn yp ];
-  }
+  let build () =
+    {
+      Repr.pos = Repr.concat_unsigned [ product2 b xp yp; product2 b xn yn ];
+      neg = Repr.concat_unsigned [ product2 b xp yn; product2 b xn yp ];
+    }
+  in
+  if not (Builder.templating b) then build ()
+  else begin
+    (* Gate shapes depend only on the four part lengths; the duplication
+       pattern pins down which formal each captured ref resolves to. *)
+    let slots = Array.concat [ xp; xn; yp; yn ] in
+    let data =
+      Array.concat
+        [
+          [|
+            Array.length xp; Array.length xn; Array.length yp; Array.length yn;
+          |];
+          Template.pattern slots;
+        ]
+    in
+    let outs, meta =
+      Builder.templated b ~tag:2 ~data ~inputs:slots ~build:(fun () ->
+          let s = build () in
+          (stamp_outs s, stamp_meta s))
+    in
+    signed_of_stamp outs meta
+  end
 
 let signed_product3 b (x : Repr.signed_bits) (y : Repr.signed_bits)
     (z : Repr.signed_bits) =
@@ -48,21 +98,47 @@ let signed_product3 b (x : Repr.signed_bits) (y : Repr.signed_bits)
   let zp = z.Repr.pos_bits and zn = z.Repr.neg_bits in
   (* A sign combination contributes positively iff it has an even number of
      negative parts. *)
-  {
-    Repr.pos =
-      Repr.concat_unsigned
+  let build () =
+    {
+      Repr.pos =
+        Repr.concat_unsigned
+          [
+            product3 b xp yp zp;
+            product3 b xp yn zn;
+            product3 b xn yp zn;
+            product3 b xn yn zp;
+          ];
+      neg =
+        Repr.concat_unsigned
+          [
+            product3 b xp yp zn;
+            product3 b xp yn zp;
+            product3 b xn yp zp;
+            product3 b xn yn zn;
+          ];
+    }
+  in
+  if not (Builder.templating b) then build ()
+  else begin
+    let slots = Array.concat [ xp; xn; yp; yn; zp; zn ] in
+    let data =
+      Array.concat
         [
-          product3 b xp yp zp;
-          product3 b xp yn zn;
-          product3 b xn yp zn;
-          product3 b xn yn zp;
-        ];
-    neg =
-      Repr.concat_unsigned
-        [
-          product3 b xp yp zn;
-          product3 b xp yn zp;
-          product3 b xn yp zp;
-          product3 b xn yn zn;
-        ];
-  }
+          [|
+            Array.length xp;
+            Array.length xn;
+            Array.length yp;
+            Array.length yn;
+            Array.length zp;
+            Array.length zn;
+          |];
+          Template.pattern slots;
+        ]
+    in
+    let outs, meta =
+      Builder.templated b ~tag:3 ~data ~inputs:slots ~build:(fun () ->
+          let s = build () in
+          (stamp_outs s, stamp_meta s))
+    in
+    signed_of_stamp outs meta
+  end

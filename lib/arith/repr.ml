@@ -20,6 +20,8 @@ let unsigned_of_terms terms =
     bound = Checked.sum (List.map snd terms);
   }
 
+let unsigned_of_parts ~wires ~weights ~bound = { wires; weights; bound }
+
 let unsigned_of_bits bits =
   {
     wires = Array.copy bits;
@@ -41,6 +43,27 @@ let concat_unsigned us =
     weights = Array.concat (List.map (fun u -> u.weights) us);
     bound = Checked.sum (List.map (fun u -> u.bound) us);
   }
+
+let sort_by_weight u =
+  let n = Array.length u.weights in
+  let sorted = ref true in
+  for i = 1 to n - 1 do
+    if u.weights.(i - 1) > u.weights.(i) then sorted := false
+  done;
+  if !sorted then u
+  else begin
+    let idx = Array.init n (fun i -> i) in
+    Array.sort
+      (fun i j ->
+        let c = compare (u.weights.(i) : int) u.weights.(j) in
+        if c <> 0 then c else compare (i : int) j)
+      idx;
+    {
+      wires = Array.map (fun i -> u.wires.(i)) idx;
+      weights = Array.map (fun i -> u.weights.(i)) idx;
+      bound = u.bound;
+    }
+  end
 
 let signed_zero = { pos = unsigned_empty; neg = unsigned_empty }
 let signed_of_unsigned u = { pos = u; neg = unsigned_empty }

@@ -37,12 +37,28 @@ val unsigned_of_terms : (Wire.t * int) list -> unsigned
 val unsigned_of_bits : bits -> unsigned
 (** Weight [2^i] on wire [i]. *)
 
+val unsigned_of_parts :
+  wires:Wire.t array -> weights:int array -> bound:int -> unsigned
+(** Reassemble an [unsigned] from parts taken from a previously built
+    value — the template stamp path reconstructs product outputs this
+    way.  The invariants (positive weights, [bound] = their sum) are the
+    caller's responsibility; the parts are used as-is, unchecked and
+    uncopied. *)
+
 val scale_unsigned : int -> unsigned -> unsigned
 (** [scale_unsigned c u] multiplies every weight by [c > 0]. *)
 
 val concat_unsigned : unsigned list -> unsigned
 (** Representation of the sum of the arguments (term concatenation — no
     gates; the same wire may appear several times afterwards). *)
+
+val sort_by_weight : unsigned -> unsigned
+(** Stable sort of the (wire, weight) pairs by ascending weight — the
+    represented value is unchanged.  Canonicalizing term order before
+    {!Weighted_sum.to_bits} makes structurally identical sums (same
+    weight multiset, terms arriving in different child order) emit
+    byte-identical gate blocks, which is what lets the template layer
+    hash-cons them into one relocatable template. *)
 
 val signed_zero : signed
 val signed_of_unsigned : unsigned -> signed

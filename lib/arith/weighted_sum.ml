@@ -93,7 +93,7 @@ let unsigned_sum ?share_top b terms =
         else Some (Repr.scale_unsigned c u))
       terms
   in
-  to_bits ?share_top b (Repr.concat_unsigned scaled)
+  to_bits ?share_top b (Repr.sort_by_weight (Repr.concat_unsigned scaled))
 
 let signed_sum ?share_top b terms =
   let part select_hi select_lo =
@@ -109,9 +109,57 @@ let signed_sum ?share_top b terms =
         else None)
       terms
   in
-  let pos = Repr.concat_unsigned (part (fun s -> s.Repr.pos) (fun s -> s.Repr.neg)) in
-  let neg = Repr.concat_unsigned (part (fun s -> s.Repr.neg) (fun s -> s.Repr.pos)) in
-  { Repr.pos_bits = to_bits ?share_top b pos; neg_bits = to_bits ?share_top b neg }
+  (* Canonical term order: structurally identical sums whose terms arrive
+     in different child order emit identical gate blocks, so the template
+     layer can hash-cons them (the weight vectors are part of the key). *)
+  let pos =
+    Repr.sort_by_weight
+      (Repr.concat_unsigned (part (fun s -> s.Repr.pos) (fun s -> s.Repr.neg)))
+  in
+  let neg =
+    Repr.sort_by_weight
+      (Repr.concat_unsigned (part (fun s -> s.Repr.neg) (fun s -> s.Repr.pos)))
+  in
+  if not (Builder.templating b) then begin
+    (* Emit the positive part first, matching the templated build below —
+       record-field evaluation order is unspecified, so building the
+       record directly from two [to_bits] calls would flip the order and
+       stamped circuits would no longer be wire-for-wire identical. *)
+    let pos_bits = to_bits ?share_top b pos in
+    let neg_bits = to_bits ?share_top b neg in
+    { Repr.pos_bits; neg_bits }
+  end
+  else begin
+    (* Template key: everything [to_bits] branches on with wire ids
+       abstracted away — the share_top flag, both weight vectors with
+       their split point and bounds, and the wire-duplication pattern
+       (merged_terms collapses duplicate wires, so aliasing changes the
+       emitted gates). *)
+    let np = Array.length pos.Repr.wires in
+    let nn = Array.length neg.Repr.wires in
+    let slots = Array.append pos.Repr.wires neg.Repr.wires in
+    let st = match share_top with Some true -> 1 | _ -> 0 in
+    let data =
+      Array.concat
+        [
+          [| st; np; nn; pos.Repr.bound; neg.Repr.bound |];
+          pos.Repr.weights;
+          neg.Repr.weights;
+          Template.pattern slots;
+        ]
+    in
+    let outs, meta =
+      Builder.templated b ~tag:1 ~data ~inputs:slots ~build:(fun () ->
+          let pb = to_bits ?share_top b pos in
+          let nb = to_bits ?share_top b neg in
+          (Array.append pb nb, [| [| Array.length pb |] |]))
+    in
+    let npb = meta.(0).(0) in
+    {
+      Repr.pos_bits = Array.sub outs 0 npb;
+      neg_bits = Array.sub outs npb (Array.length outs - npb);
+    }
+  end
 
 (* Arithmetic mirror of [to_bits]: replay the same per-bit case analysis
    on a (weight, multiplicity) multiset and tally the gates and edges the

@@ -5,6 +5,7 @@ module Matrix = Tcmm_fastmm.Matrix
 type built = {
   builder : Builder.t;
   circuit : Circuit.t option;
+  mutable packed : Packed.t option;
   layout_a : Encode.t;
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;
@@ -12,9 +13,9 @@ type built = {
   cache : Engine.cache;
 }
 
-let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
-    ~schedule ~entry_bits ~n () =
-  let b = Builder.create ~mode () in
+let build ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ?share_top ~algo ~schedule ~entry_bits ~n () =
+  let b = Builder.create ~mode ~templates () in
   let layout_a = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let layout_b = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let leaves_a =
@@ -38,9 +39,9 @@ let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~alg
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
-  { builder = b; circuit; layout_a; layout_b; c_grid; schedule;
+  { builder = b; circuit; packed = None; layout_a; layout_b; c_grid; schedule;
     cache = Engine.shared () }
 
 let encode_inputs built ~a ~b =
@@ -51,24 +52,48 @@ let encode_inputs built ~a ~b =
   Encode.write built.layout_b b input;
   input
 
-let circuit_exn built =
-  match built.circuit with
-  | None -> invalid_arg "Matmul_circuit: circuit was built in Count_only mode"
-  | Some c -> c
+let pack ?pool ?domains built =
+  match built.packed with
+  | Some p -> p
+  | None ->
+      let p =
+        match built.circuit with
+        | Some c -> Engine.packed built.cache c
+        | None -> (
+            match Builder.mode built.builder with
+            | Builder.Direct ->
+                Packed.of_arena ?pool ?domains (Builder.arena built.builder)
+            | _ ->
+                invalid_arg
+                  "Matmul_circuit: circuit was built in Count_only mode")
+      in
+      built.packed <- Some p;
+      p
 
 let decode built read =
   let n = Array.length built.c_grid in
   Matrix.init ~rows:n ~cols:n (fun i j -> Repr.eval_sbits read built.c_grid.(i).(j))
 
 let run ?engine ?domains built ~a ~b =
-  let c = circuit_exn built in
-  let r = Engine.run ?engine ?domains built.cache c (encode_inputs built ~a ~b) in
+  let inputs = encode_inputs built ~a ~b in
+  let r =
+    match built.circuit with
+    | Some c -> Engine.run ?engine ?domains built.cache c inputs
+    | None -> (
+        match engine with
+        | Some Simulator.Reference ->
+            Simulator.run (Packed.circuit (pack built)) inputs
+        | _ -> Packed.run ?domains (pack built) inputs)
+  in
   decode built (Simulator.value r)
 
 let run_batch ?domains built pairs =
-  let c = circuit_exn built in
   let batch = Array.map (fun (a, b) -> encode_inputs built ~a ~b) pairs in
-  let br = Engine.run_batch ?domains built.cache c batch in
+  let br =
+    match built.circuit with
+    | Some c -> Engine.run_batch ?domains built.cache c batch
+    | None -> Packed.run_batch ?domains (pack built) batch
+  in
   Array.init (Array.length pairs) (fun lane ->
       decode built (Packed.batch_value br ~lane))
 

@@ -16,7 +16,8 @@ open Tcmm_arith
 
 type built = {
   builder : Builder.t;
-  circuit : Circuit.t option;
+  circuit : Circuit.t option;  (** [Some] only in [Materialize] mode *)
+  mutable packed : Packed.t option;  (** memoized {!pack} result *)
   layout_a : Encode.t;
   layout_b : Encode.t;
   c_grid : Repr.signed_bits array array;  (** binary entries of [C] *)
@@ -26,6 +27,7 @@ type built = {
 
 val build :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   ?share_top:bool ->
   algo:Tcmm_fastmm.Bilinear.t ->
@@ -34,7 +36,19 @@ val build :
   n:int ->
   unit ->
   built
-(** All wires of every [C] entry are marked as circuit outputs. *)
+(** All wires of every [C] entry are marked as circuit outputs.
+    [templates] (default [true]) stamps repeated block shapes through
+    the {!Builder.templated} cache instead of re-deriving their gates;
+    the resulting circuit is gate-for-gate identical.  In
+    [Builder.Direct] mode no [Circuit.t] is materialized — the arena
+    lowers straight to the packed form on first {!pack}/{!run}. *)
+
+val pack : ?pool:Packed.Pool.t -> ?domains:int -> built -> Packed.t
+(** The compiled evaluator form, memoized on [built]: the engine-cache
+    compilation of [circuit] in [Materialize] mode, a direct
+    {!Packed.of_arena} lowering in [Direct] mode ([pool]/[domains]
+    parallelize the first lowering only).  Raises [Invalid_argument] in
+    [Count_only] mode. *)
 
 val encode_inputs : built -> a:Tcmm_fastmm.Matrix.t -> b:Tcmm_fastmm.Matrix.t -> bool array
 
@@ -50,10 +64,11 @@ val run :
   a:Tcmm_fastmm.Matrix.t ->
   b:Tcmm_fastmm.Matrix.t ->
   Tcmm_fastmm.Matrix.t
-(** Simulate and decode [C].  Requires [Materialize] mode.  [engine]
-    defaults to the packed evaluator ({!Tcmm_threshold.Packed}),
-    compiled once per [built] value; [domains > 1] evaluates levels in
-    parallel on that many cores. *)
+(** Simulate and decode [C].  Works in [Materialize] and [Direct] modes
+    (raises [Invalid_argument] in [Count_only]).  [engine] defaults to
+    the packed evaluator ({!Tcmm_threshold.Packed}), compiled once per
+    [built] value; [domains > 1] evaluates levels in parallel on that
+    many cores. *)
 
 val run_batch :
   ?domains:int ->

@@ -47,7 +47,7 @@ let triangle_threshold ?(mode = Builder.Materialize) ~n ~tau () =
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
   { builder = b; circuit; output; n; tau; cache = Engine.shared () }
 
@@ -88,9 +88,9 @@ type trace_built = {
   cache : Engine.cache;
 }
 
-let trace_threshold ?(mode = Builder.Materialize) ?(signed_inputs = false)
-    ~entry_bits ~tau ~n () =
-  let b = Builder.create ~mode () in
+let trace_threshold ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ~entry_bits ~tau ~n () =
+  let b = Builder.create ~mode ~templates () in
   let layout = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let grid = Encode.grid layout in
   let products = ref [] in
@@ -107,7 +107,7 @@ let trace_threshold ?(mode = Builder.Materialize) ?(signed_inputs = false)
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
   { builder = b; circuit; output; trace_repr; layout; tau;
     cache = Engine.shared () }
@@ -141,8 +141,9 @@ type matmul_built = {
   cache : Engine.cache;
 }
 
-let matmul ?(mode = Builder.Materialize) ?(signed_inputs = false) ~entry_bits ~n () =
-  let b = Builder.create ~mode () in
+let matmul ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ~entry_bits ~n () =
+  let b = Builder.create ~mode ~templates () in
   let layout_a = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let layout_b = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let grid_a = Encode.grid layout_a and grid_b = Encode.grid layout_b in
@@ -163,7 +164,7 @@ let matmul ?(mode = Builder.Materialize) ?(signed_inputs = false) ~entry_bits ~n
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
   { builder = b; circuit; layout_a; layout_b; c_grid;
     cache = Engine.shared () }

@@ -45,6 +45,7 @@ type trace_built = {
 
 val trace_threshold :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   entry_bits:int ->
   tau:int ->
@@ -69,6 +70,7 @@ type matmul_built = {
 
 val matmul :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   entry_bits:int ->
   n:int ->

@@ -15,15 +15,16 @@ type built = {
 
 let round_up v ~block = (v + block - 1) / block * block
 
-let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
-    ~schedule ~entry_bits ~rows ~inner ~cols () =
+let build ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ?share_top ~algo ~schedule ~entry_bits ~rows ~inner
+    ~cols () =
   let levels = (schedule : Level_schedule.t).Level_schedule.levels in
   let block =
     Checked.pow algo.Tcmm_fastmm.Bilinear.t_dim (levels.(Array.length levels - 1))
   in
   if rows mod block <> 0 || inner mod block <> 0 || cols mod block <> 0 then
     invalid_arg "Tiled_matmul.build: dimensions must be multiples of the block size";
-  let b = Builder.create ~mode () in
+  let b = Builder.create ~mode ~templates () in
   let layout_a = Encode.alloc_rect b ~rows ~cols:inner ~entry_bits ~signed:signed_inputs in
   let layout_b = Encode.alloc_rect b ~rows:inner ~cols ~entry_bits ~signed:signed_inputs in
   let bi = rows / block and bk = inner / block and bj = cols / block in
@@ -81,14 +82,14 @@ let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~alg
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
   { builder = b; circuit; layout_a; layout_b; c_grid; block;
     cache = Engine.shared () }
 
 let run ?engine ?domains built ~a ~b =
   match built.circuit with
-  | None -> invalid_arg "Tiled_matmul.run: Count_only mode"
+  | None -> invalid_arg "Tiled_matmul.run: circuit was not materialized"
   | Some c ->
       let input =
         Array.make

@@ -35,6 +35,7 @@ val round_up : int -> block:int -> int
 
 val build :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   ?share_top:bool ->
   algo:Tcmm_fastmm.Bilinear.t ->

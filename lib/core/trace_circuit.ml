@@ -5,6 +5,7 @@ module Matrix = Tcmm_fastmm.Matrix
 type built = {
   builder : Builder.t;
   circuit : Circuit.t option;
+  mutable packed : Packed.t option;
   output : Wire.t;
   trace_repr : Repr.signed;
   layout : Encode.t;
@@ -13,9 +14,9 @@ type built = {
   cache : Engine.cache;
 }
 
-let build_internal ~mode ~signed_inputs ?share_top ~with_value ~algo ~schedule
-    ~entry_bits ~tau ~n () =
-  let b = Builder.create ~mode () in
+let build_internal ~mode ~templates ~signed_inputs ?share_top ~with_value ~algo
+    ~schedule ~entry_bits ~tau ~n () =
+  let b = Builder.create ~mode ~templates () in
   let layout = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let grid = Encode.grid layout in
   let leaves_a =
@@ -50,33 +51,33 @@ let build_internal ~mode ~signed_inputs ?share_top ~with_value ~algo ~schedule
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
-  ( { builder = b; circuit; output; trace_repr; layout; schedule; tau;
-      cache = Engine.shared () },
+  ( { builder = b; circuit; packed = None; output; trace_repr; layout; schedule;
+      tau; cache = Engine.shared () },
     value )
 
-let build ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top ~algo
-    ~schedule ~entry_bits ~tau ~n () =
+let build ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ?share_top ~algo ~schedule ~entry_bits ~tau ~n () =
   fst
-    (build_internal ~mode ~signed_inputs ?share_top ~with_value:false ~algo ~schedule
-       ~entry_bits ~tau ~n ())
+    (build_internal ~mode ~templates ~signed_inputs ?share_top ~with_value:false
+       ~algo ~schedule ~entry_bits ~tau ~n ())
 
-let build_with_value ?(mode = Builder.Materialize) ?(signed_inputs = false) ?share_top
-    ~algo ~schedule ~entry_bits ~tau ~n () =
+let build_with_value ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ?share_top ~algo ~schedule ~entry_bits ~tau ~n () =
   match
-    build_internal ~mode ~signed_inputs ?share_top ~with_value:true ~algo ~schedule
-      ~entry_bits ~tau ~n ()
+    build_internal ~mode ~templates ~signed_inputs ?share_top ~with_value:true
+      ~algo ~schedule ~entry_bits ~tau ~n ()
   with
   | built, Some norm -> (built, norm)
   | _, None -> assert false
 
-let build_staged ?(mode = Builder.Materialize) ?(signed_inputs = false) ~algo ~stages
-    ~entry_bits ~tau ~n () =
+let build_staged ?(mode = Builder.Materialize) ?(templates = true)
+    ?(signed_inputs = false) ~algo ~stages ~entry_bits ~tau ~n () =
   let l =
     Level_schedule.height ~t_dim:algo.Tcmm_fastmm.Bilinear.t_dim ~n
   in
-  let b = Builder.create ~mode () in
+  let b = Builder.create ~mode ~templates () in
   let layout = Encode.alloc b ~n ~entry_bits ~signed:signed_inputs in
   let grid = Encode.grid layout in
   let leaves_a =
@@ -102,11 +103,12 @@ let build_staged ?(mode = Builder.Materialize) ?(signed_inputs = false) ~algo ~s
   let circuit =
     match mode with
     | Builder.Materialize -> Some (Builder.finalize b)
-    | Builder.Count_only -> None
+    | Builder.Count_only | Builder.Direct -> None
   in
   {
     builder = b;
     circuit;
+    packed = None;
     output;
     trace_repr;
     layout;
@@ -120,22 +122,45 @@ let encode_input built m =
   Encode.write built.layout m input;
   input
 
-let circuit_exn built =
-  match built.circuit with
-  | None -> invalid_arg "Trace_circuit: circuit was built in Count_only mode"
-  | Some c -> c
+let pack ?pool ?domains built =
+  match built.packed with
+  | Some p -> p
+  | None ->
+      let p =
+        match built.circuit with
+        | Some c -> Engine.packed built.cache c
+        | None -> (
+            match Builder.mode built.builder with
+            | Builder.Direct ->
+                Packed.of_arena ?pool ?domains (Builder.arena built.builder)
+            | _ ->
+                invalid_arg
+                  "Trace_circuit: circuit was built in Count_only mode")
+      in
+      built.packed <- Some p;
+      p
 
 let simulate ?engine ?domains built m =
-  Engine.run ?engine ?domains built.cache (circuit_exn built) (encode_input built m)
+  let inputs = encode_input built m in
+  match built.circuit with
+  | Some c -> Engine.run ?engine ?domains built.cache c inputs
+  | None -> (
+      match engine with
+      | Some Simulator.Reference ->
+          Simulator.run (Packed.circuit (pack built)) inputs
+      | _ -> Packed.run ?domains (pack built) inputs)
 
 let run ?engine ?domains built m =
   let r = simulate ?engine ?domains built m in
   r.Simulator.outputs.(0)
 
 let run_batch ?domains built ms =
-  let c = circuit_exn built in
   let batch = Array.map (encode_input built) ms in
-  let br = Engine.run_batch ?domains built.cache c batch in
+  let br =
+    match built.circuit with
+    | Some c -> Engine.run_batch ?domains built.cache c batch
+    | None -> Packed.run_batch ?domains (pack built) batch
+  in
   Array.init (Array.length ms) (fun lane -> (Packed.batch_outputs br ~lane).(0))
 
 let trace_value ?engine ?domains built m =

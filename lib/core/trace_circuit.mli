@@ -22,6 +22,7 @@ open Tcmm_arith
 type built = {
   builder : Builder.t;
   circuit : Circuit.t option;  (** [Some] iff built in [Materialize] mode *)
+  mutable packed : Packed.t option;  (** memoized {!pack} result *)
   output : Wire.t;  (** fires iff [trace(A^3) >= tau] *)
   trace_repr : Repr.signed;  (** representation of [trace(A^3)] itself *)
   layout : Encode.t;
@@ -32,6 +33,7 @@ type built = {
 
 val build :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   ?share_top:bool ->
   algo:Tcmm_fastmm.Bilinear.t ->
@@ -44,11 +46,21 @@ val build :
 (** [signed_inputs] defaults to [false] (adjacency-style nonnegative
     entries).  [share_top] (default [false]) enables the Lemma 3.2
     shared-first-layer optimization in every addition (same function,
-    fewer gates — the E11 ablation quantifies it).  [n] must equal [T^L]
-    for the schedule's final level [L]. *)
+    fewer gates — the E11 ablation quantifies it).  [templates] (default
+    [true]) stamps repeated block shapes through the
+    {!Builder.templated} cache — gate-for-gate identical circuits, much
+    faster construction.  [n] must equal [T^L] for the schedule's final
+    level [L]. *)
+
+val pack : ?pool:Packed.Pool.t -> ?domains:int -> built -> Packed.t
+(** The compiled evaluator form, memoized on [built]: the engine-cache
+    compilation of [circuit] in [Materialize] mode, a direct
+    {!Packed.of_arena} lowering in [Direct] mode.  Raises
+    [Invalid_argument] in [Count_only] mode. *)
 
 val build_staged :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   algo:Tcmm_fastmm.Bilinear.t ->
   stages:int ->
@@ -69,9 +81,9 @@ val encode_input : built -> Tcmm_fastmm.Matrix.t -> bool array
 
 val run :
   ?engine:Simulator.engine -> ?domains:int -> built -> Tcmm_fastmm.Matrix.t -> bool
-(** Simulate on [A]; requires [Materialize] mode (raises
-    [Invalid_argument] otherwise).  [engine] defaults to the packed
-    evaluator, compiled once per [built] value. *)
+(** Simulate on [A]; works in [Materialize] and [Direct] modes (raises
+    [Invalid_argument] in [Count_only]).  [engine] defaults to the
+    packed evaluator, compiled once per [built] value. *)
 
 val run_batch :
   ?domains:int -> built -> Tcmm_fastmm.Matrix.t array -> bool array
@@ -80,6 +92,7 @@ val run_batch :
 
 val build_with_value :
   ?mode:Builder.mode ->
+  ?templates:bool ->
   ?signed_inputs:bool ->
   ?share_top:bool ->
   algo:Tcmm_fastmm.Bilinear.t ->

@@ -9,14 +9,19 @@ type compiled =
 type entry = {
   spec : Protocol.spec;
   compiled : compiled;
-  circuit : Th.Circuit.t;
   packed : Th.Packed.t;
   build_seconds : float;
+  construct_seconds : float;
+  lower_seconds : float;
 }
 
-type t = (string, entry) Tcmm_util.Lru.t
+type t = {
+  lru : (string, entry) Tcmm_util.Lru.t;
+  templates : bool;
+}
 
-let create ~capacity : t = Tcmm_util.Lru.create ~capacity ()
+let create ?(templates = true) ~capacity () : t =
+  { lru = Tcmm_util.Lru.create ~capacity (); templates }
 
 let key (s : Protocol.spec) =
   Printf.sprintf "%s|%s|%s|d=%d|n=%d|b=%d|signed=%b|tau=%d"
@@ -49,47 +54,60 @@ let validate (s : Protocol.spec) =
   if s.d < 1 || s.d > 32 then
     invalid_arg (Printf.sprintf "d = %d out of range [1, 32]" s.d)
 
-let build (s : Protocol.spec) =
+(* With templates the drivers build in [Direct] mode: stamped blocks go
+   straight to the packed CSR form ({!Tcmm_threshold.Packed.of_arena})
+   without ever materializing a [Circuit.t].  Without them this is the
+   legacy path — materialize, then compile through the engine cache. *)
+let build ~templates (s : Protocol.spec) =
   validate s;
   let algo = algo_by_name s.algo in
   let schedule = T.Level_schedule.resolve ~algo ~name:s.schedule ~d:s.d ~n:s.n in
+  let mode = if templates then Th.Builder.Direct else Th.Builder.Materialize in
   let t0 = Unix.gettimeofday () in
-  let compiled, circuit =
+  let compiled =
     match s.kind with
     | Protocol.Matmul ->
-        let built =
-          T.Matmul_circuit.build ~algo ~schedule ~signed_inputs:s.signed
-            ~entry_bits:s.entry_bits ~n:s.n ()
-        in
-        (Matmul built, Option.get built.T.Matmul_circuit.circuit)
+        Matmul
+          (T.Matmul_circuit.build ~mode ~templates ~algo ~schedule
+             ~signed_inputs:s.signed ~entry_bits:s.entry_bits ~n:s.n ())
     | Protocol.Trace | Protocol.Triangles ->
         let tau =
           match s.kind with
           | Protocol.Triangles -> Tcmm_util.Checked.mul 6 s.tau
           | _ -> s.tau
         in
-        let built =
-          T.Trace_circuit.build ~algo ~schedule ~signed_inputs:s.signed
-            ~entry_bits:s.entry_bits ~tau ~n:s.n ()
-        in
-        (Trace built, Option.get built.T.Trace_circuit.circuit)
+        Trace
+          (T.Trace_circuit.build ~mode ~templates ~algo ~schedule
+             ~signed_inputs:s.signed ~entry_bits:s.entry_bits ~tau ~n:s.n ())
   in
-  let packed = Th.Engine.packed (Th.Engine.shared ()) circuit in
-  let build_seconds = Unix.gettimeofday () -. t0 in
-  { spec = s; compiled; circuit; packed; build_seconds }
+  let t1 = Unix.gettimeofday () in
+  let packed =
+    match compiled with
+    | Matmul built -> T.Matmul_circuit.pack built
+    | Trace built -> T.Trace_circuit.pack built
+  in
+  let t2 = Unix.gettimeofday () in
+  {
+    spec = s;
+    compiled;
+    packed;
+    build_seconds = t2 -. t0;
+    construct_seconds = t1 -. t0;
+    lower_seconds = t2 -. t1;
+  }
 
 let find_or_build t spec =
   let k = key spec in
-  match Tcmm_util.Lru.find t k with
+  match Tcmm_util.Lru.find t.lru k with
   | Some entry -> Ok (entry, true)
   | None -> (
-      match build spec with
+      match build ~templates:t.templates spec with
       | entry ->
-          Tcmm_util.Lru.add t k entry;
+          Tcmm_util.Lru.add t.lru k entry;
           Ok (entry, false)
       | exception Invalid_argument msg | exception Failure msg ->
           Error msg
       | exception Tcmm_util.Checked.Overflow msg ->
           Error (Printf.sprintf "arithmetic overflow while building: %s" msg))
 
-let stats = Tcmm_util.Lru.stats
+let stats t = Tcmm_util.Lru.stats t.lru

@@ -6,7 +6,13 @@
     request {!Protocol.spec} ((kind, algorithm, schedule, d, n,
     entry_bits, signed, tau)).  Backed by {!Tcmm_util.Lru}, so hit /
     miss / eviction counters come for free and feed the [metrics]
-    response. *)
+    response.
+
+    By default misses build through the template-stamping [Direct] path:
+    repeated block shapes are hash-consed and stamped by offset
+    arithmetic, and the arena lowers straight to the packed CSR form
+    without materializing a {!Tcmm_threshold.Circuit.t} (available
+    lazily through {!Tcmm_threshold.Packed.circuit} if ever needed). *)
 
 type compiled =
   | Matmul of Tcmm.Matmul_circuit.built
@@ -17,15 +23,19 @@ type compiled =
 type entry = {
   spec : Protocol.spec;
   compiled : compiled;
-  circuit : Tcmm_threshold.Circuit.t;
   packed : Tcmm_threshold.Packed.t;
-  build_seconds : float;  (** wall-clock build + pack time *)
+  build_seconds : float;  (** wall-clock build + pack time (= construct + lower) *)
+  construct_seconds : float;  (** driver build (gate construction / stamping) *)
+  lower_seconds : float;  (** packed lowering / engine compilation *)
 }
 
 type t
 
-val create : capacity:int -> t
-(** Raises [Invalid_argument] when [capacity < 1]. *)
+val create : ?templates:bool -> capacity:int -> unit -> t
+(** [templates] (default [true]) selects the template-stamped [Direct]
+    build path for cache misses; [false] restores the legacy
+    materialize-then-pack path.  Raises [Invalid_argument] when
+    [capacity < 1]. *)
 
 val key : Protocol.spec -> string
 (** The canonical cache key (also the {!Batcher} coalescing key). *)

@@ -12,10 +12,13 @@ type config = {
   flush_ms : float;
   max_lanes : int;
   domains : int;
+  templates : bool;
+  profile_build : bool;
 }
 
 let default_config addr =
-  { addr; cache_capacity = 8; flush_ms = 0.; max_lanes = 62; domains = 1 }
+  { addr; cache_capacity = 8; flush_ms = 0.; max_lanes = 62; domains = 1;
+    templates = true; profile_build = false }
 
 type conn = {
   fd : Unix.file_descr;
@@ -165,8 +168,14 @@ let with_entry st c spec k =
   match Circuit_cache.find_or_build st.cache spec with
   | Error msg -> send st c (P.Error msg)
   | Ok (entry, cached) ->
-      if not cached then
+      if not cached then begin
         Metrics.observe_build st.metrics ~seconds:entry.build_seconds;
+        let level = if st.cfg.profile_build then Logs.App else Logs.Info in
+        Log.msg level (fun m ->
+            m "built %s in %.3fs (construct %.3fs, lower %.3fs)"
+              (Circuit_cache.key spec) entry.build_seconds
+              entry.construct_seconds entry.lower_seconds)
+      end;
       k entry cached
 
 let handle_run st c ~now spec req =
@@ -362,7 +371,9 @@ let serve cfg =
       cfg;
       listen_fd;
       conns = [];
-      cache = Circuit_cache.create ~capacity:(max 1 cfg.cache_capacity);
+      cache =
+        Circuit_cache.create ~templates:cfg.templates
+          ~capacity:(max 1 cfg.cache_capacity) ();
       batcher = Batcher.create ~max_lanes ~flush_ms:cfg.flush_ms ();
       metrics = Metrics.create ~max_lanes;
       pool;

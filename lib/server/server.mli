@@ -22,10 +22,17 @@ type config = {
   flush_ms : float;  (** batch flush deadline; [0.] = adaptive (see above) *)
   max_lanes : int;  (** lanes per batch, clamped to [1 .. 62] *)
   domains : int;  (** level-parallel evaluation domains ([1] = sequential) *)
+  templates : bool;
+      (** build cache misses through the template-stamped [Direct] path
+          (default); [false] restores the legacy builder *)
+  profile_build : bool;
+      (** log the per-miss construct / lower phase breakdown at [App]
+          level (always available at [Info]) *)
 }
 
 val default_config : Protocol.addr -> config
-(** capacity 8, adaptive flush, 62 lanes, 1 domain. *)
+(** capacity 8, adaptive flush, 62 lanes, 1 domain, templates on,
+    profiling off. *)
 
 val serve : config -> unit
 (** Bind, listen and serve until a [Shutdown] request arrives; then

@@ -11,16 +11,29 @@
       circuits far too large to hold in memory — the paper's scaling claims
       are about gate counts, so the count-only sweeps are the primary
       experimental instrument.
+    - {b Direct}: gates are kept as an {!arena} — an ordered log of raw
+      gate runs and template instances — that {!Packed.of_arena} lowers
+      straight to the packed CSR form, skipping the per-gate
+      [Circuit.t] heap walk.
 
-    Constructor code is identical under both modes; only [finalize] is
-    restricted to [Materialize]. *)
+    Constructor code is identical under all modes; only [finalize] is
+    restricted to [Materialize].
 
-type mode = Materialize | Count_only
+    {b Templates.} The paper's constructions stamp a handful of block
+    shapes (Lemma 3.1 shared-threshold layers, Lemma 3.3 product blocks,
+    sum-tree recombination nodes) thousands of times.  Constructors wrap
+    such blocks in {!templated}: the first occurrence of a structural key
+    records the block into a relocatable {!Template.t}, every later
+    occurrence is reproduced by offset arithmetic — same wires, same
+    depths, same stats, same gates — without re-running the constructor. *)
+
+type mode = Materialize | Count_only | Direct
 
 type t
 
-val create : ?mode:mode -> unit -> t
-(** [create ()] starts an empty builder in [Materialize] mode. *)
+val create : ?mode:mode -> ?templates:bool -> unit -> t
+(** [create ()] starts an empty builder in [Materialize] mode with
+    template stamping enabled ([templates] defaults to [true]). *)
 
 val mode : t -> mode
 
@@ -63,7 +76,64 @@ val num_inputs : t -> int
 val num_gates : t -> int
 
 val stats : t -> Stats.t
-(** Exact structural statistics of the circuit built so far (both modes). *)
+(** Exact structural statistics of the circuit built so far (all modes). *)
 
 val finalize : t -> Circuit.t
-(** Raises [Invalid_argument] in [Count_only] mode. *)
+(** Raises [Invalid_argument] in [Count_only] and [Direct] modes (lower a
+    Direct builder with {!Packed.of_arena} instead). *)
+
+(** {2 Template stamping} *)
+
+val templating : t -> bool
+(** [true] when a call to {!templated} may hit the template cache — i.e.
+    templates are enabled and no recording is in flight.  Call sites use
+    this to skip building the structural key on the legacy path. *)
+
+val templated :
+  t ->
+  tag:int ->
+  data:int array ->
+  inputs:Wire.t array ->
+  build:(unit -> Wire.t array * int array array) ->
+  Wire.t array * int array array
+(** [templated b ~tag ~data ~inputs ~build] builds one block through the
+    template cache.  [(tag, data)] is the structural key: it must
+    determine the emitted gates {i exactly} (including the
+    wire-duplication pattern of [inputs] — see {!Template.pattern}),
+    with wire identities abstracted to positions in [inputs].  [build]
+    runs the real constructor and returns the block's result wires plus
+    an opaque metadata payload; on a cache hit both are reproduced from
+    the template without calling [build].  With templates disabled (or
+    during a recording) this is exactly [build ()]. *)
+
+type template_stats = { templates : int; instances : int; stamped_gates : int }
+
+val template_stats : t -> template_stats
+(** Distinct templates recorded, instances built through {!templated}
+    (recordings included), and total gates those instances produced. *)
+
+(** {2 Direct-mode arena} *)
+
+(** One construction-order step: a run of raw (non-templated) gates with
+    consecutive wire ids, or one template instance. *)
+type item =
+  | A_raw of { gate0 : int; gv0 : int; mutable count : int }
+      (** [count] gates: wire ids [gate0..], stored at [a_raw.(gv0..)]. *)
+  | A_inst of { tpl : Template.t; wire0 : int; slots : int array }
+      (** Instance of [tpl] whose first gate drives wire [wire0], formal
+          slots bound to [slots]. *)
+
+type arena = {
+  a_num_inputs : int;
+  a_num_wires : int;
+  a_num_gates : int;
+  a_levels : int;
+  a_depths : int array;  (* per wire *)
+  a_items : item array;
+  a_raw : Gate.t array;
+  a_outputs : int array;
+}
+
+val arena : t -> arena
+(** The arena built so far.  Raises [Invalid_argument] unless the
+    builder is in [Direct] mode. *)

@@ -6,7 +6,10 @@ module Checked = Tcmm_util.Checked
 (* ------------------------------------------------------------------ *)
 
 type t = {
-  circuit : Circuit.t;
+  (* Lazy: arena-built circuits (Builder Direct mode) lower straight to
+     this packed form; the [Circuit.t] view is only materialized if a
+     consumer (Simulator, Validate, Export) actually asks for it. *)
+  circuit : Circuit.t Lazy.t;
   num_inputs : int;
   num_wires : int;
   num_gates : int;
@@ -173,7 +176,7 @@ let of_circuit (c : Circuit.t) =
   Intvec.push seg_grp (Intvec.length grp_weight);
   Intvec.push grp_off (Intvec.length pool_wires);
   {
-    circuit = c;
+    circuit = Lazy.from_val c;
     num_inputs;
     num_wires;
     num_gates = ng;
@@ -193,7 +196,7 @@ let of_circuit (c : Circuit.t) =
     max_seg_gates = !max_seg_gates;
   }
 
-let circuit t = t.circuit
+let circuit t = Lazy.force t.circuit
 let num_gates t = t.num_gates
 let num_levels t = t.levels
 let num_segments t = Array.length t.seg_off
@@ -329,6 +332,233 @@ module Pool = struct
     Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 end
 
+let chunk_bounds lo nseg nchunks i =
+  (lo + (i * nseg / nchunks), lo + ((i + 1) * nseg / nchunks))
+
+(* ------------------------------------------------------------------ *)
+(* Direct lowering from a builder arena                               *)
+(* ------------------------------------------------------------------ *)
+
+(* [of_arena] produces the same packed form as
+   [of_circuit (materialized arena)] without ever materializing the
+   per-gate [Circuit.t]: each template carries a precomputed lowering
+   plan (weight grouping, edge permutation, threshold sort — see
+   [Template.lower_plan]) that is replayed per instance by offset
+   arithmetic.  Items appear in construction order and wire ids grow
+   monotonically with it, so appending each segment to its level
+   reproduces exactly the stable level-major order of [of_circuit]. *)
+
+let dummy_pseg =
+  {
+    Template.q_gate0 = 0;
+    q_count = 0;
+    q_fan = 0;
+    q_refs = [||];
+    q_weights = [||];
+    q_grp_start = [||];
+    q_grp_weight = [||];
+    q_th = [||];
+    q_th_gate = [||];
+  }
+
+(* Materialize the gate array of an arena (only reached through the lazy
+   [circuit] field; the packed evaluators never need it). *)
+let gates_of_arena (a : Builder.arena) =
+  let num_inputs = a.Builder.a_num_inputs in
+  let ng = a.Builder.a_num_gates in
+  let dummy = Gate.make ~inputs:[||] ~weights:[||] ~threshold:0 in
+  let gates = Array.make (max ng 1) dummy in
+  Array.iter
+    (function
+      | Builder.A_raw { gate0; gv0; count } ->
+          Array.blit a.Builder.a_raw gv0 gates (gate0 - num_inputs) count
+      | Builder.A_inst { tpl; wire0; slots } ->
+          let nsegs = Array.length tpl.Template.seg_start - 1 in
+          for s = 0 to nsegs - 1 do
+            let g0 = tpl.Template.seg_start.(s) in
+            let gend = tpl.Template.seg_start.(s + 1) in
+            let off = tpl.Template.seg_off.(s) in
+            let fan = tpl.Template.seg_off.(s + 1) - off in
+            let ins =
+              Array.init fan (fun i ->
+                  let r = tpl.Template.s_refs.(off + i) in
+                  if r >= 0 then wire0 + r else slots.(-r - 1))
+            in
+            let weights = tpl.Template.s_weights.(s) in
+            for g = g0 to gend - 1 do
+              gates.(wire0 - num_inputs + g) <-
+                Gate.make ~inputs:ins ~weights
+                  ~threshold:tpl.Template.g_threshold.(g)
+            done
+          done)
+    a.Builder.a_items;
+  if ng = 0 then [||] else gates
+
+let of_arena ?pool ?(domains = 1) (a : Builder.arena) =
+  let num_inputs = a.Builder.a_num_inputs in
+  let ng = a.Builder.a_num_gates in
+  let num_wires = a.Builder.a_num_wires in
+  let depths = a.Builder.a_depths in
+  let levels = a.Builder.a_levels in
+  let items = a.Builder.a_items in
+  let item_psegs =
+    Array.map
+      (function
+        | Builder.A_inst { tpl; _ } -> Template.lower_plan tpl
+        | Builder.A_raw { gate0; gv0; count } ->
+            Template.raw_psegs a.Builder.a_raw ~gv0 ~count ~wire_of:(fun i ->
+                gate0 + i))
+      items
+  in
+  let base_of idx =
+    match items.(idx) with
+    | Builder.A_inst { wire0; slots; _ } -> (wire0, slots)
+    | Builder.A_raw _ -> (0, [||])
+  in
+  (* Pass 0: per-level segment/gate/group/edge counts. *)
+  let seg_cnt = Array.make (max levels 1) 0 in
+  let gate_cnt = Array.make (max levels 1) 0 in
+  let grp_cnt = Array.make (max levels 1) 0 in
+  let edge_cnt = Array.make (max levels 1) 0 in
+  Array.iteri
+    (fun idx psegs ->
+      let w0, _ = base_of idx in
+      Array.iter
+        (fun (ps : Template.pseg) ->
+          let l = depths.(w0 + ps.Template.q_gate0) - 1 in
+          seg_cnt.(l) <- seg_cnt.(l) + 1;
+          gate_cnt.(l) <- gate_cnt.(l) + ps.Template.q_count;
+          grp_cnt.(l) <- grp_cnt.(l) + Array.length ps.Template.q_grp_weight;
+          edge_cnt.(l) <- edge_cnt.(l) + ps.Template.q_fan)
+        psegs)
+    item_psegs;
+  let level_segs = Array.make (levels + 1) 0 in
+  let lvl_gate0 = Array.make (levels + 1) 0 in
+  let lvl_grp0 = Array.make (levels + 1) 0 in
+  let lvl_edge0 = Array.make (levels + 1) 0 in
+  for l = 0 to levels - 1 do
+    level_segs.(l + 1) <- level_segs.(l) + seg_cnt.(l);
+    lvl_gate0.(l + 1) <- lvl_gate0.(l) + gate_cnt.(l);
+    lvl_grp0.(l + 1) <- lvl_grp0.(l) + grp_cnt.(l);
+    lvl_edge0.(l + 1) <- lvl_edge0.(l) + edge_cnt.(l)
+  done;
+  let nsegs = level_segs.(levels) in
+  let ngroups = lvl_grp0.(levels) in
+  let nedges = lvl_edge0.(levels) in
+  assert (lvl_gate0.(levels) = ng);
+  let pool_wires = Array.make (max nedges 1) 0 in
+  let pool_weights = Array.make (max nedges 1) 0 in
+  let seg_off = Array.make (max nsegs 1) 0 in
+  let seg_fan = Array.make (max nsegs 1) 0 in
+  let seg_gates = Array.make (nsegs + 1) 0 in
+  let seg_grp = Array.make (nsegs + 1) 0 in
+  let grp_off = Array.make (ngroups + 1) 0 in
+  let grp_weight = Array.make (max ngroups 1) 0 in
+  let g_threshold = Array.make (max ng 1) 0 in
+  let g_wire = Array.make (max ng 1) 0 in
+  let src_ps = Array.make (max nsegs 1) dummy_pseg in
+  let src_w0 = Array.make (max nsegs 1) 0 in
+  let src_slots = Array.make (max nsegs 1) [||] in
+  (* Pass 1: walk items in construction order, assigning each segment
+     its slot in the level-major layout and filling every per-segment
+     array that pass 2's parallel fill indexes into. *)
+  let seg_cursor = Array.copy level_segs in
+  let gate_cursor = Array.copy lvl_gate0 in
+  let grp_cursor = Array.copy lvl_grp0 in
+  let edge_cursor = Array.copy lvl_edge0 in
+  let max_seg_gates = ref 0 in
+  Array.iteri
+    (fun idx psegs ->
+      let w0, slots = base_of idx in
+      Array.iter
+        (fun (ps : Template.pseg) ->
+          let l = depths.(w0 + ps.Template.q_gate0) - 1 in
+          let s = seg_cursor.(l) in
+          seg_cursor.(l) <- s + 1;
+          let p = gate_cursor.(l) in
+          gate_cursor.(l) <- p + ps.Template.q_count;
+          let e = edge_cursor.(l) in
+          edge_cursor.(l) <- e + ps.Template.q_fan;
+          let g = grp_cursor.(l) in
+          let ngr = Array.length ps.Template.q_grp_weight in
+          grp_cursor.(l) <- g + ngr;
+          seg_off.(s) <- e;
+          seg_fan.(s) <- ps.Template.q_fan;
+          seg_gates.(s) <- p;
+          seg_grp.(s) <- g;
+          for k = 0 to ngr - 1 do
+            grp_off.(g + k) <- e + ps.Template.q_grp_start.(k);
+            grp_weight.(g + k) <- ps.Template.q_grp_weight.(k)
+          done;
+          if ps.Template.q_count > !max_seg_gates then
+            max_seg_gates := ps.Template.q_count;
+          src_ps.(s) <- ps;
+          src_w0.(s) <- w0;
+          src_slots.(s) <- slots)
+        psegs)
+    item_psegs;
+  seg_gates.(nsegs) <- ng;
+  seg_grp.(nsegs) <- ngroups;
+  grp_off.(ngroups) <- nedges;
+  (* Pass 2: resolve refs into the edge pools and blit thresholds —
+     independent per segment, so it fans out across the domain pool. *)
+  let fill_seg s =
+    let ps = src_ps.(s) in
+    let w0 = src_w0.(s) and slots = src_slots.(s) in
+    let e = seg_off.(s) in
+    let refs = ps.Template.q_refs in
+    for i = 0 to ps.Template.q_fan - 1 do
+      let r = Array.unsafe_get refs i in
+      Array.unsafe_set pool_wires (e + i)
+        (if r >= 0 then w0 + r else Array.unsafe_get slots (-r - 1))
+    done;
+    Array.blit ps.Template.q_weights 0 pool_weights e ps.Template.q_fan;
+    let p = seg_gates.(s) in
+    Array.blit ps.Template.q_th 0 g_threshold p ps.Template.q_count;
+    for i = 0 to ps.Template.q_count - 1 do
+      g_wire.(p + i) <- w0 + ps.Template.q_th_gate.(i)
+    done
+  in
+  let run_fill pl =
+    let nchunks = min (max nsegs 1) (8 * Pool.size pl) in
+    Pool.run pl ~chunks:nchunks (fun i ->
+        let a, b = chunk_bounds 0 nsegs nchunks i in
+        for s = a to b - 1 do
+          fill_seg s
+        done)
+  in
+  (match pool with
+  | Some p -> run_fill p
+  | None ->
+      if domains <= 1 then
+        for s = 0 to nsegs - 1 do
+          fill_seg s
+        done
+      else Pool.with_pool ~domains run_fill);
+  {
+    circuit =
+      lazy
+        (Circuit.make ~num_inputs ~gates:(gates_of_arena a)
+           ~outputs:a.Builder.a_outputs);
+    num_inputs;
+    num_wires;
+    num_gates = ng;
+    levels;
+    pool_wires;
+    pool_weights;
+    seg_off;
+    seg_fan;
+    seg_gates;
+    seg_grp;
+    grp_off;
+    grp_weight;
+    level_segs;
+    g_threshold;
+    g_wire;
+    outputs = a.Builder.a_outputs;
+    max_seg_gates = !max_seg_gates;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Single-vector evaluation                                           *)
 (* ------------------------------------------------------------------ *)
@@ -381,9 +611,6 @@ let run_seq_levels ~check t values level_firings =
     level_firings.(l) <-
       eval_segs ~check t values t.level_segs.(l) t.level_segs.(l + 1)
   done
-
-let chunk_bounds lo nseg nchunks i =
-  (lo + (i * nseg / nchunks), lo + ((i + 1) * nseg / nchunks))
 
 let run_par_levels ~check t values level_firings pool =
   let size = Pool.size pool in

@@ -33,6 +33,11 @@ val of_circuit : Circuit.t -> t
     the logical edge count. *)
 
 val circuit : t -> Circuit.t
+(** The per-gate view.  For {!of_circuit}-compiled values this is the
+    original circuit; for {!of_arena}-compiled values it is materialized
+    lazily on first call (Simulator / Validate / Export consumers only —
+    the packed evaluators never force it). *)
+
 val num_gates : t -> int
 
 val num_levels : t -> int
@@ -65,6 +70,16 @@ module Pool : sig
   val with_pool : domains:int -> (t -> 'a) -> 'a
   (** [create], run, then [shutdown] (also on exceptions). *)
 end
+
+val of_arena : ?pool:Pool.t -> ?domains:int -> Builder.arena -> t
+(** Lower a [Builder Direct]-mode arena straight to the packed form,
+    skipping the per-gate [Circuit.t] walk of {!of_circuit}: template
+    instances replay their precomputed lowering plans by offset
+    arithmetic, so the cost is proportional to the {i pooled} edge
+    count, not the logical one.  The result is identical to
+    [of_circuit] applied to the materialized circuit.  With [?pool] (or
+    [?domains] > 1) the edge-pool fill fans out across the domain
+    pool. *)
 
 val run :
   ?check:bool -> ?pool:Pool.t -> ?domains:int -> t -> bool array -> Simulator.result

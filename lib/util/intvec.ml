@@ -16,6 +16,12 @@ let push t x =
   t.data.(t.len) <- x;
   t.len <- t.len + 1
 
+let push_array t a =
+  let n = Array.length a in
+  ensure t (t.len + n);
+  Array.blit a 0 t.data t.len n;
+  t.len <- t.len + n
+
 let check t i name =
   if i < 0 || i >= t.len then invalid_arg (Printf.sprintf "Intvec.%s: index %d/%d" name i t.len)
 

@@ -10,6 +10,12 @@ type t
 val create : ?capacity:int -> unit -> t
 val length : t -> int
 val push : t -> int -> unit
+
+val push_array : t -> int array -> unit
+(** Appends a whole array in one blit — the template stamper pushes a
+    precomputed per-gate depth block per instance, so this is on the
+    construction fast path. *)
+
 val get : t -> int -> int
 (** Raises [Invalid_argument] when out of bounds. *)
 

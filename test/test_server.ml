@@ -354,7 +354,7 @@ let small_spec =
   }
 
 let test_circuit_cache_hits () =
-  let cc = Tcmm_server.Circuit_cache.create ~capacity:2 in
+  let cc = Tcmm_server.Circuit_cache.create ~capacity:2 () in
   (match Tcmm_server.Circuit_cache.find_or_build cc small_spec with
   | Error e -> Alcotest.fail e
   | Ok (e1, cached1) ->
@@ -369,7 +369,7 @@ let test_circuit_cache_hits () =
   S.check_int "misses" 1 st.Tcmm_util.Lru.misses
 
 let test_circuit_cache_rejects () =
-  let cc = Tcmm_server.Circuit_cache.create ~capacity:2 in
+  let cc = Tcmm_server.Circuit_cache.create ~capacity:2 () in
   let bad mut =
     match Tcmm_server.Circuit_cache.find_or_build cc (mut small_spec) with
     | Error _ -> true

@@ -1,0 +1,206 @@
+(* Template-stamped construction: stamped circuits must be gate-for-gate
+   identical to the legacy (template-free) builder in every mode, on
+   every standard schedule, for every circuit family that routes through
+   [Builder.templated]. *)
+
+open Tcmm
+open Tcmm_fastmm
+open Tcmm_threshold
+module Prng = Tcmm_util.Prng
+
+let strassen = Instances.strassen
+
+let schedule ~name ~n = Level_schedule.resolve ~algo:strassen ~name ~d:2 ~n
+
+let gate_equal (a : Gate.t) (b : Gate.t) =
+  a.Gate.inputs = b.Gate.inputs
+  && a.Gate.weights = b.Gate.weights
+  && a.Gate.threshold = b.Gate.threshold
+
+let check_circuit_equal label (a : Circuit.t) (b : Circuit.t) =
+  Alcotest.(check int) (label ^ ": num_inputs") a.Circuit.num_inputs b.Circuit.num_inputs;
+  Alcotest.(check int)
+    (label ^ ": num_gates")
+    (Array.length a.Circuit.gates)
+    (Array.length b.Circuit.gates);
+  Alcotest.(check (array int)) (label ^ ": outputs") a.Circuit.outputs b.Circuit.outputs;
+  Array.iteri
+    (fun g ga ->
+      if not (gate_equal ga b.Circuit.gates.(g)) then
+        Alcotest.failf "%s: gate %d differs" label g)
+    a.Circuit.gates;
+  Alcotest.(check (array int)) (label ^ ": depths") a.Circuit.depths b.Circuit.depths
+
+let build_matmul ~mode ~templates ~sched ~n =
+  Matmul_circuit.build ~mode ~templates ~algo:strassen ~schedule:sched
+    ~entry_bits:1 ~n ()
+
+(* Tentpole invariant: with templates on, the materialized circuit is
+   byte-identical to the legacy builder's, across all four standard
+   schedules at N in {4, 8}. *)
+let test_matmul_stamped_identical () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun name ->
+          let sched = schedule ~name ~n in
+          let legacy =
+            build_matmul ~mode:Builder.Materialize ~templates:false ~sched ~n
+          in
+          let stamped =
+            build_matmul ~mode:Builder.Materialize ~templates:true ~sched ~n
+          in
+          check_circuit_equal
+            (Printf.sprintf "matmul N=%d %s" n name)
+            (Option.get legacy.Matmul_circuit.circuit)
+            (Option.get stamped.Matmul_circuit.circuit))
+        Level_schedule.standard_names)
+    [ 4; 8 ]
+
+let test_trace_stamped_identical () =
+  List.iter
+    (fun name ->
+      let n = 4 in
+      let sched = schedule ~name ~n in
+      let build templates =
+        Trace_circuit.build ~mode:Builder.Materialize ~templates ~algo:strassen
+          ~schedule:sched ~entry_bits:1 ~tau:(n * n) ~n ()
+      in
+      let legacy = build false and stamped = build true in
+      check_circuit_equal
+        (Printf.sprintf "trace N=4 %s" name)
+        (Option.get legacy.Trace_circuit.circuit)
+        (Option.get stamped.Trace_circuit.circuit))
+    Level_schedule.standard_names
+
+(* Direct mode: the packed form's lazily materialized Circuit.t must
+   equal the legacy circuit too — the arena lowering and the gate
+   materialization agree. *)
+let test_direct_lazy_circuit_identical () =
+  let n = 4 in
+  let sched = schedule ~name:"thm45" ~n in
+  let legacy = build_matmul ~mode:Builder.Materialize ~templates:false ~sched ~n in
+  let direct = build_matmul ~mode:Builder.Direct ~templates:true ~sched ~n in
+  let packed = Matmul_circuit.pack direct in
+  check_circuit_equal "direct lazy circuit"
+    (Option.get legacy.Matmul_circuit.circuit)
+    (Packed.circuit packed)
+
+(* Stats agree between all modes with templates on and off. *)
+let test_count_only_stats_equal () =
+  List.iter
+    (fun n ->
+      let sched = schedule ~name:"thm45" ~n in
+      let stats mode templates =
+        Builder.stats (build_matmul ~mode ~templates ~sched ~n).Matmul_circuit.builder
+      in
+      let reference = stats Builder.Materialize false in
+      List.iter
+        (fun (mode, templates) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stats N=%d" n)
+            true
+            (stats mode templates = reference))
+        [
+          (Builder.Materialize, true);
+          (Builder.Count_only, false);
+          (Builder.Count_only, true);
+          (Builder.Direct, true);
+        ])
+    [ 4; 8 ]
+
+(* Stamped circuits compute the right answer end-to-end, in both
+   Materialize and Direct modes. *)
+let test_stamped_run_agrees () =
+  let rng = Prng.create ~seed:7 in
+  let n = 4 in
+  let sched = schedule ~name:"thm45" ~n in
+  let stamped = build_matmul ~mode:Builder.Materialize ~templates:true ~sched ~n in
+  let direct = build_matmul ~mode:Builder.Direct ~templates:true ~sched ~n in
+  for _ = 1 to 5 do
+    let a = Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+    let b = Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+    let expect = Matrix.mul a b in
+    Alcotest.(check bool) "stamped run" true
+      (Matrix.equal (Matmul_circuit.run stamped ~a ~b) expect);
+    Alcotest.(check bool) "direct run" true
+      (Matrix.equal (Matmul_circuit.run direct ~a ~b) expect)
+  done
+
+(* The naive and tiled families route through the same template layer;
+   their stats must be invariant under templates on/off as well. *)
+let test_naive_tiled_stats_equal () =
+  let naive templates =
+    Builder.stats
+      (Naive_circuits.matmul ~templates ~entry_bits:1 ~n:3 ()).Naive_circuits.builder
+  in
+  Alcotest.(check bool) "naive matmul stats" true (naive true = naive false);
+  let trace templates =
+    Builder.stats
+      (Naive_circuits.trace_threshold ~templates ~entry_bits:1 ~tau:4 ~n:3 ())
+        .Naive_circuits.builder
+  in
+  Alcotest.(check bool) "naive trace stats" true (trace true = trace false);
+  let sched = schedule ~name:"thm45" ~n:4 in
+  let tiled templates =
+    Tiled_matmul.stats
+      (Tiled_matmul.build ~templates ~algo:strassen ~schedule:sched ~entry_bits:1
+         ~rows:4 ~inner:4 ~cols:8 ())
+  in
+  Alcotest.(check bool) "tiled stats" true (tiled true = tiled false)
+
+(* The E19 certifier checks template-built circuits (templates are the
+   construction default) against the counting DP, the depth model and
+   the theorem bounds. *)
+let test_certifier_over_templates () =
+  let spec =
+    {
+      Tcmm_check.Certify.kind = Tcmm_check.Case.Matmul;
+      algo = "strassen";
+      schedule = "thm45";
+      d = 2;
+      n = 4;
+      entry_bits = 1;
+      signed = false;
+      tau = 0;
+    }
+  in
+  let cert = Tcmm_check.Certify.certify ~samples:2 ~seed:11 spec in
+  if not (Tcmm_check.Certify.ok cert) then
+    Alcotest.failf "certifier failed: %s" (Tcmm_check.Certify.to_json cert)
+
+(* The differential fuzzer drives template-built circuits against the
+   integer reference across random specs. *)
+let test_fuzzer_over_templates () =
+  let outcome = Tcmm_check.Fuzz.run ~seed:3 ~cases:6 () in
+  Alcotest.(check int) "fuzz cases" 6 outcome.Tcmm_check.Fuzz.tested;
+  match outcome.Tcmm_check.Fuzz.failures with
+  | [] -> ()
+  | f :: _ -> Alcotest.failf "fuzz failure: %s" f.Tcmm_check.Fuzz.message
+
+let () =
+  Alcotest.run "templates"
+    [
+      ( "identical",
+        [
+          Alcotest.test_case "matmul stamped = legacy" `Quick
+            test_matmul_stamped_identical;
+          Alcotest.test_case "trace stamped = legacy" `Quick
+            test_trace_stamped_identical;
+          Alcotest.test_case "direct lazy circuit" `Quick
+            test_direct_lazy_circuit_identical;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "count-only and direct" `Quick
+            test_count_only_stats_equal;
+          Alcotest.test_case "naive and tiled" `Quick
+            test_naive_tiled_stats_equal;
+        ] );
+      ( "behavior",
+        [
+          Alcotest.test_case "runs agree" `Quick test_stamped_run_agrees;
+          Alcotest.test_case "certifier" `Quick test_certifier_over_templates;
+          Alcotest.test_case "fuzzer" `Quick test_fuzzer_over_templates;
+        ] );
+    ]
