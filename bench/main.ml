@@ -220,35 +220,29 @@ let e18 () =
     "E18: serving throughput (coalesced batches vs one request per run)";
   let module Sv = Tcmm_server in
   let module P = Sv.Protocol in
-  let path =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "tcmm-bench-%d.sock" (Unix.getpid ()))
+  (* Port 0: the kernel assigns a free ephemeral port in the parent,
+     the child serves the pre-bound fd — no fixed-port collisions, no
+     bind-retry loop. *)
+  let cfg =
+    {
+      (Sv.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
+      Sv.Server.cache_capacity = 4;
+    }
   in
-  if Sys.file_exists path then Sys.remove path;
-  let addr = P.Unix_socket path in
+  let listen_fd, addr = Sv.Server.bind cfg in
+  let cfg = { cfg with Sv.Server.addr } in
   match Unix.fork () with
   | 0 ->
-      (try
-         Sv.Server.serve
-           { (Sv.Server.default_config addr) with cache_capacity = 4 }
-       with _ -> ());
+      (try Sv.Server.serve_fd cfg listen_fd with _ -> ());
       Unix._exit 0
   | pid ->
+      Unix.close listen_fd;
       Fun.protect
         ~finally:(fun () ->
           (try ignore (Sv.Client.shutdown addr) with _ -> ());
-          ignore (Unix.waitpid [] pid);
-          if Sys.file_exists path then Sys.remove path)
+          ignore (Unix.waitpid [] pid))
         (fun () ->
-          let rec connect tries =
-            match Sv.Client.connect addr with
-            | cl -> cl
-            | exception Unix.Unix_error _ when tries > 0 ->
-                ignore (Unix.select [] [] [] 0.05);
-                connect (tries - 1)
-          in
-          let cl = connect 100 in
+          let cl = Sv.Client.connect addr in
           Fun.protect
             ~finally:(fun () -> Sv.Client.close cl)
             (fun () ->
@@ -329,7 +323,7 @@ let e18 () =
               Tb.print
                 ~title:
                   (Printf.sprintf
-                     "E18: %d matmul runs (N=16, strassen, thm45 d=2) over a Unix socket"
+                     "E18: %d matmul runs (N=16, strassen, thm45 d=2) over loopback TCP"
                      total)
                 ~header:[ "mode"; "total"; "throughput"; "speedup" ]
                 ~rows:
@@ -415,8 +409,184 @@ let e19 () =
         r.Ck.Harness.mutation.Ck.Mutate.per_op);
   if not (Ck.Harness.all_ok r) then failwith "e19: correctness harness FAILED"
 
-(* e18 and e19 fork a server child; they are listed before e17 because
-   Unix.fork is forbidden after e17 has spawned worker domains. *)
+(* E21: serving robustness under injected faults — throughput and tail
+   latency of the retrying client as the transport fault rate rises,
+   plus the shed rate when a pipelined burst overruns the admission
+   gate.  Recorded as BENCH_serve_robust.json. *)
+let e21 () =
+  Bench_util.header
+    "E21: serving robustness (throughput/p99 under faults, shedding at overload)";
+  let module Sv = Tcmm_server in
+  let module P = Sv.Protocol in
+  let clock = Tcmm_util.Clock.now in
+  let spec =
+    { P.kind = P.Matmul; algo = "strassen"; schedule = "thm45"; d = 2;
+      n = 4; entry_bits = 2; signed = true; tau = 0 }
+  in
+  let start_server cfg =
+    let listen_fd, addr = Sv.Server.bind cfg in
+    let cfg = { cfg with Sv.Server.addr } in
+    match Unix.fork () with
+    | 0 ->
+        (try Sv.Server.serve_fd cfg listen_fd with _ -> ());
+        Unix._exit 0
+    | pid ->
+        Unix.close listen_fd;
+        (addr, pid)
+  in
+  let stop_server (addr, pid) =
+    (try ignore (Sv.Client.shutdown addr) with _ -> ());
+    ignore (Unix.waitpid [] pid)
+  in
+  let warm addr =
+    match Sv.Client.call addr (P.Compile spec) with
+    | Ok (P.Compiled _) -> ()
+    | _ -> failwith "e21: warm-up compile failed"
+  in
+  let raw_send addr bytes =
+    (* Below-the-client fault injection: a raw connection the server
+       must survive without disturbing well-formed requests. *)
+    match Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error _ -> ()
+    | fd ->
+        (try
+           Unix.connect fd (P.sockaddr_of_addr addr);
+           ignore (Unix.write_substring fd bytes 0 (String.length bytes))
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let requests = 200 in
+  let rates = [ 0.0; 0.1; 0.25; 0.5 ] in
+  let rows, json_rows =
+    List.split
+      (List.map
+         (fun rate ->
+           let cfg =
+             {
+               (Sv.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
+               Sv.Server.cache_capacity = 4;
+             }
+           in
+           let server = start_server cfg in
+           let addr, _ = server in
+           Fun.protect
+             ~finally:(fun () -> stop_server server)
+             (fun () ->
+               warm addr;
+               let rng = Tcmm_util.Prng.create ~seed:21 in
+               let lat = Array.make requests 0. in
+               let t0 = clock () in
+               for i = 0 to requests - 1 do
+                 let hi = 3 in
+                 let a = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-hi) ~hi in
+                 let b = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-hi) ~hi in
+                 let req = P.Run_matmul (spec, a, b) in
+                 let q0 = clock () in
+                 if Tcmm_util.Prng.float rng < rate then begin
+                   (* A dead half-frame: the server reaps the broken
+                      connection while the logical request still has to
+                      complete through the retrying client. *)
+                   let full = P.frame (P.encode_request req) in
+                   let cut =
+                     1 + Tcmm_util.Prng.int rng ~bound:(String.length full - 1)
+                   in
+                   raw_send addr (String.sub full 0 cut)
+                 end;
+                 (match Sv.Client.call ~seed:(i + 1) addr req with
+                 | Ok (P.Matmul_result (c, _)) ->
+                     if not (F.Matrix.equal c (F.Matrix.mul a b)) then
+                       failwith "e21: served product disagrees with reference"
+                 | Ok _ -> failwith "e21: unexpected response"
+                 | Error f ->
+                     failwith
+                       (Format.asprintf "e21: request failed: %a"
+                          Sv.Client.pp_failure f));
+                 lat.(i) <- (clock () -. q0) *. 1000.
+               done;
+               let total = clock () -. t0 in
+               Array.sort compare lat;
+               let p99 = lat.(min (requests - 1) (requests * 99 / 100)) in
+               let thr = float_of_int requests /. total in
+               ( [
+                   Tb.Str (Printf.sprintf "%.2f" rate);
+                   Tb.Str (Printf.sprintf "%.0f req/s" thr);
+                   Tb.Str (Printf.sprintf "%.2f ms" p99);
+                 ],
+                 (rate, thr, p99) )))
+         rates)
+  in
+  Tb.print
+    ~title:
+      (Printf.sprintf
+         "E21: %d matmul requests (N=4, strassen, thm45 d=2), fault-injected \
+          loopback TCP"
+         requests)
+    ~header:[ "fault rate"; "throughput"; "p99 latency" ] ~rows;
+  (* Overload: a single-write pipelined burst against a small admission
+     gate; the shed rate is the fraction answered [Overloaded]. *)
+  let burst = 200 in
+  let cfg =
+    {
+      (Sv.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
+      Sv.Server.cache_capacity = 4;
+      max_pending = 8;
+    }
+  in
+  let server = start_server cfg in
+  let addr, _ = server in
+  let shed, completed =
+    Fun.protect
+      ~finally:(fun () -> stop_server server)
+      (fun () ->
+        warm addr;
+        let rng = Tcmm_util.Prng.create ~seed:22 in
+        let reqs =
+          Array.init burst (fun _ ->
+              let a = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
+              let b = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
+              P.Run_matmul (spec, a, b))
+        in
+        let cl = Sv.Client.connect addr in
+        Fun.protect
+          ~finally:(fun () -> Sv.Client.close cl)
+          (fun () ->
+            Array.iter (Sv.Client.send cl) reqs;
+            let shed = ref 0 and completed = ref 0 in
+            Array.iter
+              (fun _ ->
+                match Sv.Client.recv cl with
+                | Ok P.Overloaded -> incr shed
+                | Ok (P.Matmul_result _) -> incr completed
+                | Ok (P.Error e) | Error e -> failwith ("e21 overload: " ^ e)
+                | Ok _ -> failwith "e21 overload: unexpected response")
+              reqs;
+            (!shed, !completed)))
+  in
+  let shed_rate = float_of_int shed /. float_of_int burst in
+  Printf.printf
+    "overload: %d-request burst vs max_pending=8: %d shed, %d completed \
+     (shed rate %.2f)\n"
+    burst shed completed shed_rate;
+  Bench_util.record ~experiment:"e21"
+    ([
+       ("circuit", Bench_util.Str "matmul N=4 d=2 (signed, 2-bit entries)");
+       ("requests_per_rate", Bench_util.Int requests);
+       ("overload_burst", Bench_util.Int burst);
+       ("overload_shed", Bench_util.Int shed);
+       ("overload_completed", Bench_util.Int completed);
+       ("overload_shed_rate", Bench_util.Float shed_rate);
+     ]
+    @ List.concat_map
+        (fun (rate, thr, p99) ->
+          let tag = Printf.sprintf "fault_%02.0f" (rate *. 100.) in
+          [
+            (tag ^ "_req_per_s", Bench_util.Float thr);
+            (tag ^ "_p99_ms", Bench_util.Float p99);
+          ])
+        json_rows)
+
+(* e18, e19, and e21 fork a server child; they are listed before e17
+   because Unix.fork is forbidden after e17 has spawned worker domains. *)
 let all_experiments =
   [
     ("e1", Experiments.e1);
@@ -436,6 +606,7 @@ let all_experiments =
     ("e15", Experiments.e15);
     ("e18", e18);
     ("e19", e19);
+    ("e21", e21);
     (* e20 spawns domains for its parallel lowering legs, so it sits
        after the forking experiments (e18/e19), like e17. *)
     ("e20", fun () -> Experiments.e20 ());
@@ -465,9 +636,10 @@ let () =
           exit 2)
     requested;
   Bench_util.write_json
-    ~only:(fun e -> e <> "e18" && e <> "e19" && e <> "e20")
+    ~only:(fun e -> e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21")
     "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
   Bench_util.write_json ~only:(fun e -> e = "e20") "BENCH_build.json";
+  Bench_util.write_json ~only:(fun e -> e = "e21") "BENCH_serve_robust.json";
   print_endline "done."

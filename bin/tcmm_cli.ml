@@ -321,7 +321,8 @@ let addr_term =
         ~doc:"Server address: $(b,HOST:PORT) for TCP, anything else is a Unix socket path.")
 
 let serve_cmd =
-  let run addr cache lanes flush domains no_templates profile verbose =
+  let run addr cache lanes flush domains no_templates profile max_pending
+      deadline grace verbose =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     match P.parse_addr addr with
@@ -331,13 +332,16 @@ let serve_cmd =
     | Ok a ->
         Tcmm_server.Server.serve
           {
-            Tcmm_server.Server.addr = a;
+            (Tcmm_server.Server.default_config a) with
             cache_capacity = cache;
             flush_ms = flush;
             max_lanes = lanes;
             domains;
             templates = not no_templates;
             profile_build = profile;
+            max_pending;
+            deadline_ms = deadline;
+            grace_s = grace;
           };
         0
   in
@@ -362,13 +366,36 @@ let serve_cmd =
   let verbose_term =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.")
   in
+  let pending_term =
+    Arg.(
+      value & opt int 0
+      & info [ "max-pending" ] ~docv:"K"
+          ~doc:
+            "Shed run requests (reply Overloaded) once $(docv) are queued; 0 = \
+             unbounded.")
+  in
+  let deadline_term =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request deadline: a run still queued after $(docv) ms is \
+             answered Deadline_exceeded; 0 = none.")
+  in
+  let grace_term =
+    Arg.(
+      value & opt float 5.
+      & info [ "grace" ] ~docv:"SECONDS"
+          ~doc:"Drain grace period after Shutdown or SIGTERM.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve compiled circuits over a socket with caching and request coalescing.")
     Term.(
       const run $ addr_term $ cache_term $ lanes_term $ flush_term $ domains_term
-      $ no_templates_term $ profile_build_term $ verbose_term)
+      $ no_templates_term $ profile_build_term $ pending_term $ deadline_term
+      $ grace_term $ verbose_term)
 
 let request_cmd =
   let run addr what algo n d bits sched signed tau seed count =
@@ -570,6 +597,49 @@ let check_cmd =
       const run $ cases_term $ mutants_term $ seed_term $ skip_server_term
       $ corpus_term $ json_term)
 
+let chaos_cmd =
+  let run requests fault_rate seed json_path =
+    let outcome = Tcmm_check.Chaos.run ~seed ~requests ~fault_rate () in
+    Tcmm_check.Chaos.print_report outcome;
+    (match json_path with
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out oc)
+          (fun () -> output_string oc (Tcmm_check.Chaos.to_json outcome));
+        Printf.printf "wrote %s\n" path
+    | None -> ());
+    if Tcmm_check.Chaos.ok outcome then 0 else 1
+  in
+  let requests_term =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"K"
+          ~doc:"Requests in the fault-soak segment.")
+  in
+  let rate_term =
+    Arg.(
+      value & opt float 0.25
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:"Per-request fault-injection probability in [0,1].")
+  in
+  let json_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the outcome as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Soak the serving stack under injected transport and process \
+          faults: truncation, corruption, stalls, resets, reordering, \
+          kill-and-restart, overload shedding, deadline expiry, and a \
+          SIGTERM drain.  Every completed response must be bit-identical \
+          to the direct circuit evaluation and every failure typed (exit \
+          1 on any violation).")
+    Term.(const run $ requests_term $ rate_term $ seed_term $ json_term)
+
 let () =
   let doc = "Constant-depth threshold circuits for matrix multiplication (SPAA 2018)" in
   exit
@@ -577,5 +647,5 @@ let () =
        (Cmd.group (Cmd.info "tcmm" ~doc)
           [
             algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd;
-            orbit_cmd; serve_cmd; request_cmd; check_cmd;
+            orbit_cmd; serve_cmd; request_cmd; check_cmd; chaos_cmd;
           ]))

@@ -156,36 +156,31 @@ let mutation_battery ?(seed = 3) ~mutants () =
 (* Forked loopback server                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Port 0 binds a kernel-assigned ephemeral port in the parent before
+   forking, so concurrent harness runs never collide on an address and
+   the client connects into the already-listening backlog with no
+   bind-retry loop. *)
 let with_loopback_server f =
-  let path =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "tcmm-check-%d.sock" (Unix.getpid ()))
+  let cfg =
+    {
+      (Tcmm_server.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
+      Tcmm_server.Server.cache_capacity = 8;
+    }
   in
-  if Sys.file_exists path then Sys.remove path;
-  let addr = P.Unix_socket path in
+  let listen_fd, addr = Tcmm_server.Server.bind cfg in
+  let cfg = { cfg with Tcmm_server.Server.addr } in
   match Unix.fork () with
   | 0 ->
-      (try
-         Tcmm_server.Server.serve
-           { (Tcmm_server.Server.default_config addr) with cache_capacity = 8 }
-       with _ -> ());
+      (try Tcmm_server.Server.serve_fd cfg listen_fd with _ -> ());
       Unix._exit 0
   | pid ->
+      Unix.close listen_fd;
       Fun.protect
         ~finally:(fun () ->
           (try ignore (Tcmm_server.Client.shutdown addr) with _ -> ());
-          ignore (Unix.waitpid [] pid);
-          if Sys.file_exists path then Sys.remove path)
+          ignore (Unix.waitpid [] pid))
         (fun () ->
-          let rec connect tries =
-            match Tcmm_server.Client.connect addr with
-            | cl -> cl
-            | exception Unix.Unix_error _ when tries > 0 ->
-                ignore (Unix.select [] [] [] 0.05);
-                connect (tries - 1)
-          in
-          let cl = connect 100 in
+          let cl = Tcmm_server.Client.connect addr in
           Fun.protect
             ~finally:(fun () -> Tcmm_server.Client.close cl)
             (fun () -> f cl))

@@ -67,6 +67,26 @@ let due t ~now =
       (key, List.rev g.jobs))
     ready
 
+(* Remove every job matching [f] (deadline expiry reaches into waiting
+   groups).  Groups left empty disappear so their flush deadline stops
+   driving the select timeout. *)
+let reap t ~f =
+  let reaped = ref [] in
+  t.groups <-
+    List.filter_map
+      (fun (key, g) ->
+        let gone, kept = List.partition f g.jobs in
+        if gone = [] then Some (key, g)
+        else begin
+          reaped := List.rev_append gone !reaped;
+          t.pending <- t.pending - List.length gone;
+          g.jobs <- kept;
+          g.count <- List.length kept;
+          if kept = [] then None else Some (key, g)
+        end)
+      t.groups;
+  List.rev !reaped
+
 let drain t =
   let all = t.groups in
   t.groups <- [];

@@ -31,6 +31,12 @@ val due : 'job t -> now:float -> (string * 'job list) list
 val drain : 'job t -> (string * 'job list) list
 (** Remove and return every group (oldest first). *)
 
+val reap : 'job t -> f:('job -> bool) -> 'job list
+(** Remove and return every queued job matching [f] (arrival order),
+    keeping the rest queued.  The server uses this to pull
+    deadline-expired jobs out of waiting groups; a group left empty is
+    dropped so its flush deadline stops driving the event loop. *)
+
 val pending : 'job t -> int
 (** Total queued jobs across groups. *)
 

@@ -108,6 +108,10 @@ let find_or_build t spec =
       | exception Invalid_argument msg | exception Failure msg ->
           Error msg
       | exception Tcmm_util.Checked.Overflow msg ->
-          Error (Printf.sprintf "arithmetic overflow while building: %s" msg))
+          Error (Printf.sprintf "arithmetic overflow while building: %s" msg)
+      (* Supervised recovery: any other escape (Out_of_memory, a builder
+         bug) fails this request, not the daemon. *)
+      | exception e ->
+          Error (Printf.sprintf "build failed: %s" (Printexc.to_string e)))
 
 let stats t = Tcmm_util.Lru.stats t.lru

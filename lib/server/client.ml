@@ -42,3 +42,101 @@ let shutdown addr =
       | Ok (Protocol.Error msg) -> Error msg
       | Ok _ -> Error "unexpected response to shutdown"
       | Error _ as e -> e)
+
+(* ------------------------------------------------------------------ *)
+(* Deadlines and bounded retry                                        *)
+(* ------------------------------------------------------------------ *)
+
+type failure =
+  | Timeout
+  | Overloaded
+  | Deadline_exceeded
+  | Transport of string
+  | Remote of string
+
+let pp_failure ppf = function
+  | Timeout -> Format.pp_print_string ppf "timeout"
+  | Overloaded -> Format.pp_print_string ppf "overloaded"
+  | Deadline_exceeded -> Format.pp_print_string ppf "deadline exceeded"
+  | Transport msg -> Format.fprintf ppf "transport: %s" msg
+  | Remote msg -> Format.fprintf ppf "remote: %s" msg
+
+type policy = {
+  attempts : int;
+  timeout_ms : float;
+  base_delay_ms : float;
+  max_delay_ms : float;
+}
+
+let default_policy =
+  { attempts = 3; timeout_ms = 5000.; base_delay_ms = 25.; max_delay_ms = 1000. }
+
+(* Retrying is only sound because the protocol's non-[Shutdown]
+   requests are idempotent: a request is a pure function of its spec
+   and payload (circuit building is deterministic and cached by spec;
+   evaluation has no server-side state a duplicate could corrupt), so
+   re-sending after an ambiguous failure — the reply may or may not
+   have been computed — at worst evaluates twice and returns the same
+   bits.  [Shutdown] is excluded: its effect is external. *)
+let idempotent = function
+  | Protocol.Shutdown -> false
+  | Protocol.Compile _ | Protocol.Run_matmul _ | Protocol.Run_trace _
+  | Protocol.Run_triangles _ | Protocol.Stats _ | Protocol.Metrics
+  | Protocol.Ping ->
+      true
+
+(* One attempt on a fresh connection, reply read bounded by an absolute
+   deadline so a stalled or killed server surfaces as [Timeout], never
+   a hang. *)
+let attempt addr req ~deadline =
+  match connect addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Transport (Unix.error_message e))
+  | t ->
+      Fun.protect
+        ~finally:(fun () -> close t)
+        (fun () ->
+          match send t req with
+          | exception Unix.Unix_error (e, _, _) ->
+              Error (Transport (Unix.error_message e))
+          | () -> (
+              match
+                Protocol.read_frame_within t.fd ~deadline
+                  ~now:Tcmm_util.Clock.now
+              with
+              | Error `Timeout -> Error Timeout
+              | Error (`Closed msg) -> Error (Transport msg)
+              | Ok payload -> (
+                  match Protocol.decode_response payload with
+                  | Error msg -> Error (Transport msg)
+                  | Ok Protocol.Overloaded -> Error Overloaded
+                  | Ok Protocol.Deadline_exceeded -> Error Deadline_exceeded
+                  | Ok (Protocol.Error msg) -> Error (Remote msg)
+                  | Ok resp -> Ok resp)))
+
+(* [Remote] is the server deterministically rejecting the request (bad
+   spec, shape mismatch) — retrying cannot change the answer. *)
+let retryable = function
+  | Timeout | Overloaded | Deadline_exceeded | Transport _ -> true
+  | Remote _ -> false
+
+let call ?(policy = default_policy) ?(seed = 0x5eed) addr req =
+  if policy.attempts < 1 then invalid_arg "Client.call: attempts < 1";
+  let rng = Tcmm_util.Prng.create ~seed in
+  let rec go k =
+    let deadline = Tcmm_util.Clock.now () +. (policy.timeout_ms /. 1000.) in
+    match attempt addr req ~deadline with
+    | Ok _ as ok -> ok
+    | Error f when retryable f && idempotent req && k + 1 < policy.attempts ->
+        (* Full jitter: sleep a uniform fraction of the exponential
+           backoff so synchronized retry storms decorrelate. *)
+        let cap =
+          Float.min policy.max_delay_ms
+            (policy.base_delay_ms *. Float.of_int (1 lsl Stdlib.min k 20))
+        in
+        let delay_s = Tcmm_util.Prng.float rng *. cap /. 1000. in
+        if delay_s > 0. then Unix.sleepf delay_s;
+        go (k + 1)
+    | Error _ as e -> e
+  in
+  go 0

@@ -27,3 +27,43 @@ val request : t -> Protocol.request -> (Protocol.response, string) result
 
 val shutdown : Protocol.addr -> (unit, string) result
 (** Connect, send [Shutdown], await [Shutting_down]. *)
+
+(** {1 Deadlines and bounded retry} *)
+
+type failure =
+  | Timeout  (** no complete reply frame before the attempt's deadline *)
+  | Overloaded  (** server shed the request at its admission gate *)
+  | Deadline_exceeded  (** server expired the request before dispatch *)
+  | Transport of string  (** connect / send / read / decode failure *)
+  | Remote of string
+      (** server answered [Error] — deterministic rejection, never
+          retried *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type policy = {
+  attempts : int;  (** total attempts (first try included); >= 1 *)
+  timeout_ms : float;  (** per-attempt reply deadline *)
+  base_delay_ms : float;  (** backoff base; attempt [k] waits up to
+                              [base * 2^k] *)
+  max_delay_ms : float;  (** backoff cap *)
+}
+
+val default_policy : policy
+(** 3 attempts, 5 s timeout, 25 ms base, 1 s cap. *)
+
+val call :
+  ?policy:policy ->
+  ?seed:int ->
+  Protocol.addr ->
+  Protocol.request ->
+  (Protocol.response, failure) result
+(** One logical request with per-attempt deadlines and bounded,
+    full-jitter exponential backoff, each attempt on a fresh
+    connection.  Retrying after an ambiguous failure (the server may or
+    may not have evaluated the request) is sound {e only} because every
+    non-[Shutdown] request is idempotent: a pure, spec-keyed
+    computation whose duplicate evaluation returns the same bits and
+    mutates nothing.  [Shutdown] is therefore never retried, and
+    [Remote] (a deterministic rejection) never retries either.  [seed]
+    feeds the jitter PRNG — deterministic for tests. *)

@@ -17,6 +17,11 @@ type t = {
   mutable firings_total : int;
   mutable eval_seconds : float;
   mutable build_seconds : float;
+  mutable accepted : int;
+  mutable shed : int;
+  mutable deadline_expired : int;
+  mutable eval_failures : int;
+  mutable slow_client_drops : int;
 }
 
 let create ~max_lanes =
@@ -36,6 +41,11 @@ let create ~max_lanes =
     firings_total = 0;
     eval_seconds = 0.;
     build_seconds = 0.;
+    accepted = 0;
+    shed = 0;
+    deadline_expired = 0;
+    eval_failures = 0;
+    slow_client_drops = 0;
   }
 
 let connection_opened t =
@@ -55,6 +65,12 @@ let observe_batch t ~lanes ~firings ~seconds =
   t.occupancy.(slot) <- t.occupancy.(slot) + 1;
   t.firings_total <- t.firings_total + firings;
   t.eval_seconds <- t.eval_seconds +. seconds
+
+let accepted t = t.accepted <- t.accepted + 1
+let shed t = t.shed <- t.shed + 1
+let deadline_expired t = t.deadline_expired <- t.deadline_expired + 1
+let eval_failure t = t.eval_failures <- t.eval_failures + 1
+let slow_client_drop t = t.slow_client_drops <- t.slow_client_drops + 1
 
 let observe_latency t ~seconds =
   let ms = seconds *. 1000. in
@@ -92,4 +108,9 @@ let snapshot t ~uptime_seconds ~cache ~engine : Protocol.metrics =
     build_seconds = t.build_seconds;
     cache;
     engine;
+    accepted = t.accepted;
+    shed = t.shed;
+    deadline_expired = t.deadline_expired;
+    eval_failures = t.eval_failures;
+    slow_client_drops = t.slow_client_drops;
   }

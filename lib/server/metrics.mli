@@ -26,6 +26,19 @@ val observe_batch : t -> lanes:int -> firings:int -> seconds:float -> unit
 val observe_latency : t -> seconds:float -> unit
 (** One run request's enqueue-to-reply latency. *)
 
+(** {2 Robustness accounting}
+
+    Every run request the daemon admits is eventually counted exactly
+    once as completed ([observe_batch] lanes), [deadline_expired], or
+    [eval_failure]; refused requests count as [shed].  The chaos soak
+    asserts this identity over the final snapshot. *)
+
+val accepted : t -> unit
+val shed : t -> unit
+val deadline_expired : t -> unit
+val eval_failure : t -> unit
+val slow_client_drop : t -> unit
+
 val snapshot :
   t ->
   uptime_seconds:float ->

@@ -1,6 +1,7 @@
 module Matrix = Tcmm_fastmm.Matrix
 
-let version = 1
+let version = 2
+let min_version = 1
 let max_frame_len = 1 lsl 24
 
 type kind = Matmul | Trace | Triangles
@@ -64,6 +65,14 @@ type metrics = {
   build_seconds : float;
   cache : cache_stats;
   engine : cache_stats;
+  (* Robustness accounting (protocol v2; zero when decoding a v1 peer).
+     Invariant once the queue is empty:
+     [accepted = run_requests + deadline_expired + eval_failures]. *)
+  accepted : int;
+  shed : int;
+  deadline_expired : int;
+  eval_failures : int;
+  slow_client_drops : int;
 }
 
 type response =
@@ -76,6 +85,8 @@ type response =
   | Pong
   | Shutting_down
   | Error of string
+  | Overloaded
+  | Deadline_exceeded
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                           *)
@@ -161,7 +172,13 @@ let w_metrics buf m =
   w_float buf m.eval_seconds;
   w_float buf m.build_seconds;
   w_cache_stats buf m.cache;
-  w_cache_stats buf m.engine
+  w_cache_stats buf m.engine;
+  (* v2 fields ride at the tail so a v1 reader body is a prefix. *)
+  w_int buf m.accepted;
+  w_int buf m.shed;
+  w_int buf m.deadline_expired;
+  w_int buf m.eval_failures;
+  w_int buf m.slow_client_drops
 
 let payload tag fill =
   let buf = Buffer.create 256 in
@@ -213,6 +230,8 @@ let encode_response = function
   | Pong -> payload 7 ignore
   | Shutting_down -> payload 8 ignore
   | Error msg -> payload 9 (fun buf -> w_string buf msg)
+  | Overloaded -> payload 10 ignore
+  | Deadline_exceeded -> payload 11 ignore
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                           *)
@@ -328,7 +347,7 @@ let r_histogram r =
   let count = r_int r "histogram.count" in
   { bounds; counts; sum; count }
 
-let r_metrics r =
+let r_metrics r ~version:v =
   let uptime_seconds = r_float r "metrics.uptime" in
   let connections_accepted = r_int r "metrics.accepted" in
   let connections_active = r_int r "metrics.active" in
@@ -345,25 +364,36 @@ let r_metrics r =
   let build_seconds = r_float r "metrics.build_seconds" in
   let cache = r_cache_stats r in
   let engine = r_cache_stats r in
+  (* The robustness counters joined in v2; a v1 peer simply never saw a
+     shed or expired request. *)
+  let accepted = if v >= 2 then r_int r "metrics.accepted" else 0 in
+  let shed = if v >= 2 then r_int r "metrics.shed" else 0 in
+  let deadline_expired = if v >= 2 then r_int r "metrics.deadline_expired" else 0 in
+  let eval_failures = if v >= 2 then r_int r "metrics.eval_failures" else 0 in
+  let slow_client_drops =
+    if v >= 2 then r_int r "metrics.slow_client_drops" else 0
+  in
   {
     uptime_seconds; connections_accepted; connections_active; requests_total;
     run_requests; errors; batches; lanes; max_lanes; occupancy; latency_ms;
     firings_total; eval_seconds; build_seconds; cache; engine;
+    accepted; shed; deadline_expired; eval_failures; slow_client_drops;
   }
 
 let decode what f s =
   try
     let r = { s; pos = 0 } in
     let v = r_u8 r "version" in
-    if v <> version then fail "unsupported protocol version %d (want %d)" v version;
+    if v < min_version || v > version then
+      fail "unsupported protocol version %d (want %d..%d)" v min_version version;
     let tag = r_u8 r "tag" in
-    let value = f r tag in
+    let value = f r ~version:v tag in
     if remaining r > 0 then fail "%d trailing bytes after %s" (remaining r) what;
     Ok value
   with Fail msg -> Result.Error (Printf.sprintf "bad %s: %s" what msg)
 
 let decode_request =
-  decode "request" (fun r tag ->
+  decode "request" (fun r ~version:_ tag ->
       match tag with
       | 1 -> Compile (r_spec r)
       | 2 ->
@@ -384,7 +414,7 @@ let decode_request =
       | t -> fail "unknown request tag %d" t)
 
 let decode_response =
-  decode "response" (fun r tag ->
+  decode "response" (fun r ~version tag ->
       match tag with
       | 1 ->
           let cached = r_bool r "compiled.cached" in
@@ -401,10 +431,12 @@ let decode_response =
           let b = r_bool r "result.fires" in
           Triangles_result (b, r_int r "result.firings")
       | 5 -> Stats_result (r_stats r)
-      | 6 -> Metrics_result (r_metrics r)
+      | 6 -> Metrics_result (r_metrics r ~version)
       | 7 -> Pong
       | 8 -> Shutting_down
       | 9 -> Error (r_string r "error.message")
+      | 10 when version >= 2 -> Overloaded
+      | 11 when version >= 2 -> Deadline_exceeded
       | t -> fail "unknown response tag %d" t)
 
 (* ------------------------------------------------------------------ *)
@@ -492,6 +524,48 @@ let read_frame fd =
         Result.Error (Printf.sprintf "bad frame length %d" len)
       else read_exactly fd len
 
+(* Deadline-bounded variant of [read_exactly]: a [select] guards every
+   [read] so a stalled peer surfaces as [`Timeout] instead of a hang.
+   [deadline] is an absolute instant on the same clock the caller uses
+   for [Clock.now]. *)
+let read_exactly_within fd n ~deadline ~now =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  let result = ref None in
+  while !result = None && !got < n do
+    let budget = deadline -. now () in
+    if budget <= 0. then result := Some (Result.Error `Timeout)
+    else
+      match Unix.select [ fd ] [] [] budget with
+      | [], _, _ -> result := Some (Result.Error `Timeout)
+      | _ -> (
+          match Unix.read fd b !got (n - !got) with
+          | 0 ->
+              result :=
+                Some
+                  (Result.Error
+                     (`Closed
+                       (Printf.sprintf "connection closed (%d of %d bytes)" !got n)))
+          | k -> got := !got + k
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+          | exception Unix.Unix_error (e, _, _) ->
+              (* A reset peer is a closed connection, not a crash. *)
+              result := Some (Result.Error (`Closed (Unix.error_message e))))
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  match !result with
+  | Some r -> r
+  | None -> Ok (Bytes.unsafe_to_string b)
+
+let read_frame_within fd ~deadline ~now =
+  match read_exactly_within fd 4 ~deadline ~now with
+  | Result.Error _ as e -> e
+  | Ok header ->
+      let len = Int32.to_int (String.get_int32_be header 0) in
+      if len <= 0 || len > max_frame_len then
+        Result.Error (`Closed (Printf.sprintf "bad frame length %d" len))
+      else read_exactly_within fd len ~deadline ~now
+
 (* ------------------------------------------------------------------ *)
 (* Addresses                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -562,6 +636,10 @@ let equal_metrics a b =
   && equal_float a.eval_seconds b.eval_seconds
   && equal_float a.build_seconds b.build_seconds
   && a.cache = b.cache && a.engine = b.engine
+  && a.accepted = b.accepted && a.shed = b.shed
+  && a.deadline_expired = b.deadline_expired
+  && a.eval_failures = b.eval_failures
+  && a.slow_client_drops = b.slow_client_drops
 
 let equal_response a b =
   match (a, b) with
@@ -576,6 +654,7 @@ let equal_response a b =
   | Stats_result sa, Stats_result sb -> sa = sb
   | Metrics_result ma, Metrics_result mb -> equal_metrics ma mb
   | Pong, Pong | Shutting_down, Shutting_down -> true
+  | Overloaded, Overloaded | Deadline_exceeded, Deadline_exceeded -> true
   | Error ea, Error eb -> ea = eb
   | _ -> false
 
@@ -593,6 +672,9 @@ let pp_metrics ppf m =
     m.batches m.lanes (frac m.lanes m.batches) m.max_lanes m.firings_total;
   Format.fprintf ppf "time: eval %.3f s, build %.3f s@." m.eval_seconds
     m.build_seconds;
+  Format.fprintf ppf
+    "robustness: %d accepted, %d shed, %d deadline-expired, %d eval failures, %d slow-client drops@."
+    m.accepted m.shed m.deadline_expired m.eval_failures m.slow_client_drops;
   let pp_cache name (c : cache_stats) =
     Format.fprintf ppf
       "%s cache: %d/%d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions@."

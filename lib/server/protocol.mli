@@ -17,8 +17,14 @@
 module Matrix = Tcmm_fastmm.Matrix
 
 val version : int
-(** Protocol version carried in every payload (currently 1).  Decoding a
-    payload with any other version fails. *)
+(** Protocol version carried in every outgoing payload (currently 2).
+    Version 2 added the [Overloaded] / [Deadline_exceeded] statuses and
+    the robustness counters at the tail of {!metrics}. *)
+
+val min_version : int
+(** Oldest peer version the decoders accept (currently 1).  A v1
+    [metrics] payload decodes with the robustness counters zeroed; the
+    v2-only response tags are rejected in a v1 payload. *)
 
 val max_frame_len : int
 (** Hard upper bound on a payload's length (16 MiB). *)
@@ -95,6 +101,16 @@ type metrics = {
   build_seconds : float;  (** time building + packing circuits *)
   cache : cache_stats;  (** the daemon's spec-keyed circuit cache *)
   engine : cache_stats;  (** the process-wide {!Tcmm_threshold.Engine} cache *)
+  accepted : int;
+      (** run requests admitted to the batcher.  Once the queue is
+          empty, [accepted = run_requests + deadline_expired +
+          eval_failures] — every admitted request is accounted for. *)
+  shed : int;  (** run requests refused with [Overloaded] at the admission gate *)
+  deadline_expired : int;  (** admitted requests answered [Deadline_exceeded] *)
+  eval_failures : int;  (** admitted requests answered [Error] because evaluation raised *)
+  slow_client_drops : int;
+      (** connections closed because the peer stopped draining its
+          write buffer past the backlog cap *)
 }
 
 type response =
@@ -107,6 +123,12 @@ type response =
   | Pong
   | Shutting_down
   | Error of string
+  | Overloaded
+      (** load shed: the batcher queue is at capacity; retry later.
+          Protocol v2. *)
+  | Deadline_exceeded
+      (** the request's deadline passed before its batch dispatched.
+          Protocol v2. *)
 
 (** {1 Binary encoding} *)
 
@@ -150,6 +172,17 @@ val write_frame : Unix.file_descr -> string -> unit
 
 val read_frame : Unix.file_descr -> (string, string) result
 (** Read exactly one frame.  [Error] on EOF or a corrupt length. *)
+
+val read_frame_within :
+  Unix.file_descr ->
+  deadline:float ->
+  now:(unit -> float) ->
+  (string, [ `Timeout | `Closed of string ]) result
+(** Like {!read_frame}, but every blocking read is guarded by a
+    [select] against [deadline] (an absolute instant on the caller's
+    [now] clock — the client passes {!Tcmm_util.Clock.now}).  A peer
+    that stalls mid-frame surfaces as [`Timeout] instead of hanging
+    forever; [`Closed] covers EOF and corrupt lengths. *)
 
 (** {1 Addresses} *)
 

@@ -1,6 +1,7 @@
 module P = Protocol
 module T = Tcmm
 module Th = Tcmm_threshold
+module Clock = Tcmm_util.Clock
 
 let src = Logs.Src.create "tcmm.server" ~doc:"tcmm serving daemon"
 
@@ -14,11 +15,17 @@ type config = {
   domains : int;
   templates : bool;
   profile_build : bool;
+  max_pending : int;
+  deadline_ms : float;
+  grace_s : float;
+  max_backlog : int;
 }
 
 let default_config addr =
   { addr; cache_capacity = 8; flush_ms = 0.; max_lanes = 62; domains = 1;
-    templates = true; profile_build = false }
+    templates = true; profile_build = false;
+    max_pending = 0; deadline_ms = 0.; grace_s = 5.;
+    max_backlog = 1 lsl 26 }
 
 type conn = {
   fd : Unix.file_descr;
@@ -35,6 +42,10 @@ type job = {
   input : bool array;
   reply : Th.Packed.batch_result -> lane:int -> P.response;
   enqueued_at : float;
+  (* Set when the job has been answered (dispatched, expired, or
+     failed).  The timer wheel cancels lazily: an answered job's wheel
+     entry is skipped when it surfaces. *)
+  mutable answered : bool;
 }
 
 type state = {
@@ -43,17 +54,19 @@ type state = {
   mutable conns : conn list;
   cache : Circuit_cache.t;
   batcher : job Batcher.t;
+  wheel : job Timer_wheel.t;
   metrics : Metrics.t;
   pool : Th.Packed.Pool.t option;
   mutable stopping : bool;
   mutable stop_at : float;
+  (* The previous select round found no readable connection: together
+     with an empty batcher and flushed buffers this is the drain's
+     quiescence condition. *)
+  mutable quiet : bool;
+  mutable term_pending : bool;  (* set by the SIGTERM handler *)
   started : float;
   read_buf : Bytes.t;
 }
-
-(* A client that stops reading while we keep serving it would grow its
-   output buffer without bound; past this we drop the connection. *)
-let max_out_backlog = 1 lsl 26
 
 let close_conn st c =
   if c.alive then begin
@@ -76,7 +89,8 @@ let send st c resp =
           P.frame (P.encode_response (P.Error "response exceeds frame limit"))
     in
     Buffer.add_string c.out framed;
-    if Buffer.length c.out - c.sent > max_out_backlog then begin
+    if Buffer.length c.out - c.sent > st.cfg.max_backlog then begin
+      Metrics.slow_client_drop st.metrics;
       Log.warn (fun m -> m "dropping connection: output backlog exceeded");
       close_conn st c
     end
@@ -106,15 +120,18 @@ let circuit_stats (entry : Circuit_cache.entry) =
   | Circuit_cache.Trace b -> T.Trace_circuit.stats b
 
 let dispatch st jobs =
-  match jobs with
+  (* Deadline-expired jobs were already answered and reaped; any still
+     in a dispatch list (drain racing expiry) are skipped here. *)
+  match List.filter (fun j -> not j.answered) jobs with
   | [] -> ()
-  | first :: _ ->
+  | first :: _ as jobs ->
+      List.iter (fun j -> j.answered <- true) jobs;
       let batch = Array.of_list (List.map (fun j -> j.input) jobs) in
       let lanes = Array.length batch in
-      let t0 = Unix.gettimeofday () in
+      let t0 = Clock.now () in
       (match Th.Packed.run_batch ?pool:st.pool first.packed batch with
       | br ->
-          let t1 = Unix.gettimeofday () in
+          let t1 = Clock.now () in
           let firings = ref 0 in
           List.iteri
             (fun lane j ->
@@ -126,10 +143,36 @@ let dispatch st jobs =
             ~seconds:(t1 -. t0);
           Log.debug (fun m -> m "dispatched batch of %d lane(s)" lanes)
       | exception e ->
+          (* Supervised recovery: a raising evaluation fails its own
+             lanes and the daemon keeps serving. *)
           let msg = Printexc.to_string e in
+          Log.err (fun m -> m "batch evaluation failed (%d lanes): %s" lanes msg);
           List.iter
-            (fun j -> send st j.jconn (P.Error ("evaluation failed: " ^ msg)))
+            (fun j ->
+              Metrics.eval_failure st.metrics;
+              send st j.jconn (P.Error ("evaluation failed: " ^ msg)))
             jobs)
+
+(* Sweep the timer wheel and answer every queued job whose deadline
+   passed; reap them out of the batcher so a later flush cannot answer
+   them twice (and so an emptied group stops driving the timeout). *)
+let expire_deadlines st ~now =
+  match Timer_wheel.advance st.wheel ~now with
+  | [] -> ()
+  | expired -> (
+      match List.filter (fun j -> not j.answered) expired with
+      | [] -> ()
+      | newly ->
+          List.iter
+            (fun j ->
+              j.answered <- true;
+              Metrics.deadline_expired st.metrics;
+              send st j.jconn P.Deadline_exceeded)
+            newly;
+          let reaped = Batcher.reap st.batcher ~f:(fun j -> j.answered) in
+          Log.debug (fun m ->
+              m "expired %d job(s) past deadline (%d reaped from queue)"
+                (List.length newly) (List.length reaped)))
 
 (* Encode the request's matrices into an input vector and build the
    per-lane decoder.  [Encode.write] raises [Invalid_argument] on a
@@ -179,29 +222,51 @@ let with_entry st c spec k =
       k entry cached
 
 let handle_run st c ~now spec req =
-  with_entry st c spec (fun entry _cached ->
-      match prepare_run entry req with
-      | exception Invalid_argument msg | exception Failure msg ->
-          send st c (P.Error msg)
-      | exception Tcmm_util.Checked.Overflow msg ->
-          send st c (P.Error ("arithmetic overflow: " ^ msg))
-      | input, reply ->
-          let job =
-            { jconn = c; packed = entry.packed; input; reply; enqueued_at = now }
-          in
-          let key = Circuit_cache.key spec in
-          (match Batcher.enqueue st.batcher ~key ~now job with
-          | Some jobs -> dispatch st jobs
-          | None -> ()))
+  (* Admission gate: shedding here (before the build) keeps an
+     overloaded daemon answering in constant time. *)
+  if st.cfg.max_pending > 0 && Batcher.pending st.batcher >= st.cfg.max_pending
+  then begin
+    Metrics.shed st.metrics;
+    send st c P.Overloaded
+  end
+  else
+    with_entry st c spec (fun entry _cached ->
+        match prepare_run entry req with
+        | exception Invalid_argument msg | exception Failure msg ->
+            send st c (P.Error msg)
+        | exception Tcmm_util.Checked.Overflow msg ->
+            send st c (P.Error ("arithmetic overflow: " ^ msg))
+        | input, reply ->
+            Metrics.accepted st.metrics;
+            let job =
+              { jconn = c; packed = entry.packed; input; reply;
+                enqueued_at = now; answered = false }
+            in
+            if st.cfg.deadline_ms > 0. then
+              Timer_wheel.add st.wheel
+                ~deadline:(now +. (st.cfg.deadline_ms /. 1000.))
+                job;
+            let key = Circuit_cache.key spec in
+            (match Batcher.enqueue st.batcher ~key ~now job with
+            | Some jobs -> dispatch st jobs
+            | None -> ()))
+
+let begin_drain st ~now reason =
+  if not st.stopping then begin
+    st.stopping <- true;
+    st.stop_at <- now +. st.cfg.grace_s;
+    st.quiet <- false;
+    Log.info (fun m ->
+        m "%s: draining (grace %.1fs, %d pending)" reason st.cfg.grace_s
+          (Batcher.pending st.batcher))
+  end
 
 let handle_request st c ~now req =
   match req with
   | P.Ping -> send st c P.Pong
   | P.Shutdown ->
       send st c P.Shutting_down;
-      st.stopping <- true;
-      st.stop_at <- now +. 5.;
-      Log.info (fun m -> m "shutdown requested; flushing pending work")
+      begin_drain st ~now "shutdown requested"
   | P.Metrics ->
       let m =
         Metrics.snapshot st.metrics
@@ -231,9 +296,12 @@ let handle_request st c ~now req =
   | P.Run_triangles (spec, _) ->
       handle_run st c ~now { spec with P.kind = P.Triangles } req
 
+(* Frames keep being processed while draining: the drain serves what
+   existing connections already sent, it only stops admitting new
+   connections. *)
 let process_frames st c ~now =
   let rec go () =
-    if c.alive && (not c.closing) && not st.stopping then
+    if c.alive && not c.closing then
       match P.next_frame c.dech with
       | `More -> ()
       | `Corrupt msg ->
@@ -292,22 +360,41 @@ let accept_all st =
   in
   go ()
 
+let log_final st ~now reason =
+  let m =
+    Metrics.snapshot st.metrics
+      ~uptime_seconds:(now -. st.started)
+      ~cache:(Circuit_cache.stats st.cache)
+      ~engine:(Th.Engine.stats (Th.Engine.shared ()))
+  in
+  Log.info (fun f ->
+      f
+        "drained (%s): accepted=%d completed=%d shed=%d deadline_expired=%d \
+         eval_failures=%d slow_client_drops=%d pending=%d"
+        reason m.P.accepted m.P.run_requests m.P.shed m.P.deadline_expired
+        m.P.eval_failures m.P.slow_client_drops
+        (Batcher.pending st.batcher))
+
 let rec loop st =
-  let now = Unix.gettimeofday () in
-  if st.stopping then
-    List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.drain st.batcher)
-  else
-    List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.due st.batcher ~now);
+  let now = Clock.now () in
+  if st.term_pending then begin
+    st.term_pending <- false;
+    begin_drain st ~now "SIGTERM"
+  end;
+  expire_deadlines st ~now;
+  List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.due st.batcher ~now);
   let flushed = List.for_all (fun c -> Buffer.length c.out = c.sent) st.conns in
-  if st.stopping && (flushed || now >= st.stop_at) then ()
+  let drained =
+    st.stopping && Batcher.pending st.batcher = 0 && flushed && st.quiet
+  in
+  if st.stopping && (drained || now >= st.stop_at) then
+    log_final st ~now (if drained then "quiescent" else "grace expired")
   else begin
     let reads =
-      if st.stopping then []
-      else
-        st.listen_fd
-        :: List.filter_map
-             (fun c -> if c.closing then None else Some c.fd)
-             st.conns
+      (if st.stopping then [] else [ st.listen_fd ])
+      @ List.filter_map
+          (fun c -> if c.closing then None else Some c.fd)
+          st.conns
     in
     let writes =
       List.filter_map
@@ -315,12 +402,20 @@ let rec loop st =
         st.conns
     in
     let timeout =
-      if st.stopping then max 0.05 (min 0.5 (st.stop_at -. now))
-      else if Batcher.pending st.batcher > 0 then
-        match Batcher.next_deadline st.batcher with
-        | Some d -> max 0. (d -. now)
-        | None -> 0. (* adaptive mode: flush as soon as input drains *)
-      else -1.
+      if st.stopping then max 0.02 (min 0.25 (st.stop_at -. now))
+      else begin
+        let earliest =
+          List.fold_left
+            (fun acc d -> match d with Some d -> min acc d | None -> acc)
+            infinity
+            [ Batcher.next_deadline st.batcher;
+              Timer_wheel.next_deadline st.wheel ]
+        in
+        if Batcher.pending st.batcher > 0 && st.cfg.flush_ms = 0. then
+          0. (* adaptive mode: flush as soon as input drains *)
+        else if earliest = infinity then -1.
+        else max 0. (earliest -. now)
+      end
     in
     let r, w, _ =
       try Unix.select reads writes [] timeout
@@ -338,19 +433,17 @@ let rec loop st =
           read_conn st c ~now
         end)
       st.conns;
+    st.quiet <- not !read_activity;
     if
-      (not st.stopping)
-      && st.cfg.flush_ms = 0.
-      && Batcher.pending st.batcher > 0
+      Batcher.pending st.batcher > 0
+      && (st.cfg.flush_ms = 0. || st.stopping)
       && not !read_activity
     then
       List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.drain st.batcher);
     loop st
   end
 
-let serve cfg =
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
-   with Invalid_argument _ -> ());
+let bind cfg =
   let domain =
     match cfg.addr with P.Unix_socket _ -> Unix.PF_UNIX | P.Tcp _ -> Unix.PF_INET
   in
@@ -361,11 +454,27 @@ let serve cfg =
   Unix.bind listen_fd (P.sockaddr_of_addr cfg.addr);
   Unix.listen listen_fd 64;
   Unix.set_nonblock listen_fd;
+  (* Recover the kernel-assigned port so callers can bind port 0 and
+     hand the real address to clients (no fixed-port collisions). *)
+  let bound =
+    match cfg.addr with
+    | P.Unix_socket _ as a -> a
+    | P.Tcp (host, _) -> (
+        match Unix.getsockname listen_fd with
+        | Unix.ADDR_INET (_, port) -> P.Tcp (host, port)
+        | _ -> cfg.addr)
+  in
+  (listen_fd, bound)
+
+let serve_fd cfg listen_fd =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let max_lanes = max 1 (min 62 cfg.max_lanes) in
   let pool =
     if cfg.domains > 1 then Some (Th.Packed.Pool.create ~domains:cfg.domains)
     else None
   in
+  let started = Clock.now () in
   let st =
     {
       cfg;
@@ -375,20 +484,35 @@ let serve cfg =
         Circuit_cache.create ~templates:cfg.templates
           ~capacity:(max 1 cfg.cache_capacity) ();
       batcher = Batcher.create ~max_lanes ~flush_ms:cfg.flush_ms ();
+      wheel = Timer_wheel.create ~now:started ();
       metrics = Metrics.create ~max_lanes;
       pool;
       stopping = false;
       stop_at = infinity;
-      started = Unix.gettimeofday ();
+      quiet = false;
+      term_pending = false;
+      started;
       read_buf = Bytes.create 65536;
     }
   in
+  let prev_term =
+    try
+      Some
+        (Sys.signal Sys.sigterm
+           (Sys.Signal_handle (fun _ -> st.term_pending <- true)))
+    with Invalid_argument _ -> None
+  in
   Log.info (fun m ->
-      m "listening on %a (cache %d, lanes %d, flush %gms, domains %d)"
+      m
+        "listening on %a (cache %d, lanes %d, flush %gms, domains %d, \
+         max_pending %d, deadline %gms)"
         P.pp_addr cfg.addr (max 1 cfg.cache_capacity) max_lanes cfg.flush_ms
-        cfg.domains);
+        cfg.domains cfg.max_pending cfg.deadline_ms);
   Fun.protect
     ~finally:(fun () ->
+      (match prev_term with
+      | Some b -> ( try Sys.set_signal Sys.sigterm b with Invalid_argument _ -> ())
+      | None -> ());
       List.iter (fun c -> close_conn st c) st.conns;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (match cfg.addr with
@@ -397,3 +521,7 @@ let serve cfg =
       Option.iter Th.Packed.Pool.shutdown pool;
       Log.info (fun m -> m "stopped"))
     (fun () -> loop st)
+
+let serve cfg =
+  let listen_fd, addr = bind cfg in
+  serve_fd { cfg with addr } listen_fd

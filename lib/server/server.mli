@@ -14,7 +14,28 @@
     lanes), when its flush deadline expires ([flush_ms > 0]), or — in
     the default adaptive mode ([flush_ms = 0]) — as soon as the event
     loop finds no more input to read, so an idle single client never
-    waits on a timer while a pipelined burst still coalesces. *)
+    waits on a timer while a pipelined burst still coalesces.
+
+    {2 Robustness}
+
+    Overload and failure are answered, never dropped:
+    - {b Load shedding}: with [max_pending > 0], a run request arriving
+      at a full queue is refused with [Overloaded] in constant time.
+    - {b Deadlines}: with [deadline_ms > 0], each admitted run is armed
+      on a {!Timer_wheel}; a job still queued past its deadline is
+      answered [Deadline_exceeded] and reaped from the batcher.
+    - {b Slow clients}: a peer that stops draining its replies past
+      [max_backlog] buffered bytes is disconnected (counted in
+      metrics), so one stalled reader cannot hold the daemon's memory.
+    - {b Supervised evaluation}: an exception escaping a batched
+      evaluation fails that batch's lanes with [Error] replies; the
+      daemon keeps serving.
+    - {b Graceful drain}: a [Shutdown] request or SIGTERM stops
+      admitting connections but keeps serving what existing
+      connections already sent, then exits once quiescent (queue
+      empty, replies flushed, no read activity) or after [grace_s].
+      Final metrics satisfy
+      [accepted = completed + deadline_expired + eval_failures]. *)
 
 type config = {
   addr : Protocol.addr;
@@ -28,14 +49,37 @@ type config = {
   profile_build : bool;
       (** log the per-miss construct / lower phase breakdown at [App]
           level (always available at [Info]) *)
+  max_pending : int;
+      (** queued-run cap before shedding with [Overloaded]; [0] =
+          unbounded (default) *)
+  deadline_ms : float;
+      (** per-request deadline from admission to dispatch; [0.] = none
+          (default) *)
+  grace_s : float;  (** drain grace period after [Shutdown] / SIGTERM *)
+  max_backlog : int;
+      (** per-connection write-buffer cap in bytes before the peer is
+          dropped as a slow client *)
 }
 
 val default_config : Protocol.addr -> config
 (** capacity 8, adaptive flush, 62 lanes, 1 domain, templates on,
-    profiling off. *)
+    profiling off, no pending cap, no deadline, 5 s grace, 64 MiB
+    backlog cap. *)
+
+val bind : config -> Unix.file_descr * Protocol.addr
+(** Create, bind and listen the server socket without serving.  The
+    returned address is the {e actual} bound address: binding
+    [Tcp (host, 0)] resolves the kernel-assigned ephemeral port, which
+    is how tests and harnesses avoid fixed-port collisions — bind in
+    the parent, pass the address to the client, serve the fd in the
+    child.  An existing Unix socket file at the address is replaced.
+    Raises [Unix.Unix_error] when binding fails. *)
+
+val serve_fd : config -> Unix.file_descr -> unit
+(** Serve an already-bound listening socket (from {!bind}) until
+    drained; [config.addr] should be the address {!bind} returned (it
+    is logged and, for Unix sockets, unlinked on exit).  Installs a
+    SIGTERM handler for the duration (restored on exit). *)
 
 val serve : config -> unit
-(** Bind, listen and serve until a [Shutdown] request arrives; then
-    flush pending batches and replies (bounded grace period) and
-    return.  An existing Unix socket file at the address is replaced.
-    Raises [Unix.Unix_error] when binding fails. *)
+(** [bind] then [serve_fd]. *)

@@ -1,0 +1,72 @@
+type 'a entry = { deadline : float; item : 'a }
+
+type 'a t = {
+  slot_seconds : float;
+  slots : 'a entry list array;
+  mutable tick : int;  (* last tick already swept by [advance] *)
+  mutable count : int;
+}
+
+let tick_of t time = int_of_float (time /. t.slot_seconds)
+
+let create ?(slot_seconds = 0.005) ?(slots = 256) ~now () =
+  if slot_seconds <= 0. then invalid_arg "Timer_wheel.create: slot_seconds <= 0";
+  if slots < 1 then invalid_arg "Timer_wheel.create: slots < 1";
+  let t = { slot_seconds; slots = Array.make slots []; tick = 0; count = 0 } in
+  t.tick <- tick_of t now;
+  t
+
+let pending t = t.count
+
+let add t ~deadline item =
+  if deadline <> deadline (* nan *) || deadline = infinity then
+    invalid_arg "Timer_wheel.add: deadline must be finite";
+  (* Clamp behind-the-cursor deadlines to the next sweep: an entry armed
+     in the past still fires, at most one slot late. *)
+  let tk = max (tick_of t deadline) (t.tick + 1) in
+  let slot = tk mod Array.length t.slots in
+  t.slots.(slot) <- { deadline; item } :: t.slots.(slot);
+  t.count <- t.count + 1
+
+let advance t ~now =
+  let target = tick_of t now in
+  if target <= t.tick || t.count = 0 then begin
+    t.tick <- max t.tick target;
+    []
+  end
+  else begin
+    let n = Array.length t.slots in
+    (* Sweeping more than a full rotation visits every slot anyway. *)
+    let steps = min (target - t.tick) n in
+    let expired = ref [] in
+    for i = 1 to steps do
+      let slot = (t.tick + i) mod n in
+      let keep =
+        List.filter
+          (fun e ->
+            if e.deadline <= now then begin
+              expired := e.item :: !expired;
+              t.count <- t.count - 1;
+              false
+            end
+            else true)
+          t.slots.(slot)
+      in
+      t.slots.(slot) <- keep
+    done;
+    t.tick <- target;
+    List.rev !expired
+  end
+
+let next_deadline t =
+  if t.count = 0 then None
+  else
+    Array.fold_left
+      (fun acc entries ->
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some e.deadline
+            | Some d -> Some (min d e.deadline))
+          acc entries)
+      None t.slots

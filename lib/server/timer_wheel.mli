@@ -1,0 +1,40 @@
+(** A hashed timer wheel for per-request deadlines.
+
+    Entries hash into [slots] buckets by [deadline / slot_seconds]; one
+    {!advance} sweep visits only the slots the cursor crossed since the
+    previous sweep (at most one full rotation), so arming and expiring
+    [k] timers across an event-loop iteration costs [O(k + slots
+    crossed)] instead of a sorted-structure's [O(k log n)].
+
+    Time is whatever clock the caller samples — the serving daemon feeds
+    it {!Tcmm_util.Clock.now}, so backward wall-clock steps cannot fire
+    deadlines early.  Expiry is quantized to [slot_seconds]: an entry
+    fires on the first [advance] whose [now] is past its deadline, at
+    most one slot-width late.
+
+    Entries are not cancellable; callers that resolve work before its
+    deadline leave the entry to expire and ignore it then (lazy
+    cancellation — the daemon marks jobs answered and skips them when
+    they surface). *)
+
+type 'a t
+
+val create : ?slot_seconds:float -> ?slots:int -> now:float -> unit -> 'a t
+(** Defaults: 5 ms slots, 256 of them (a 1.28 s rotation).  Raises
+    [Invalid_argument] on a non-positive slot width or count. *)
+
+val add : 'a t -> deadline:float -> 'a -> unit
+(** Arm an entry.  A deadline already in the past fires on the next
+    {!advance}.  Raises [Invalid_argument] on a non-finite deadline
+    (an infinite deadline means "no timeout" — don't arm one). *)
+
+val advance : 'a t -> now:float -> 'a list
+(** Sweep the cursor forward to [now] and return the expired entries,
+    oldest slot first. *)
+
+val next_deadline : 'a t -> float option
+(** Earliest armed deadline ([None] when empty) — the event loop's
+    select timeout.  [O(pending)]; fine for the bounded queues the
+    daemon keeps. *)
+
+val pending : 'a t -> int

@@ -1,0 +1,18 @@
+(* No monotonic clock is exposed by the unix library this build pins,
+   so monotonicity is enforced by construction: readings are clamped to
+   be non-decreasing process-wide.  A backward wall-clock step (NTP,
+   manual adjustment) therefore freezes [now] until real time catches
+   up instead of firing every timer in the past; a forward step is
+   indistinguishable from elapsed time, which only shortens timeouts. *)
+
+let last = Atomic.make neg_infinity
+
+let now () =
+  let t = Unix.gettimeofday () in
+  let rec clamp () =
+    let prev = Atomic.get last in
+    if t <= prev then prev
+    else if Atomic.compare_and_set last prev t then t
+    else clamp ()
+  in
+  clamp ()

@@ -1,0 +1,13 @@
+(** A monotonic (non-decreasing) clock for timers and deadlines.
+
+    Timer arithmetic on the raw wall clock breaks when the clock is
+    stepped backwards: every armed deadline appears overdue at once.
+    [now] reads {!Unix.gettimeofday} and clamps the result to be
+    non-decreasing across the whole process, so durations computed as
+    differences of [now] readings never go negative and deadlines never
+    fire early after a backward step.  Readings are only meaningful
+    relative to each other, not as absolute times of day. *)
+
+val now : unit -> float
+(** Seconds; non-decreasing across every caller in the process
+    (thread- and domain-safe). *)

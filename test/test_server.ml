@@ -107,7 +107,12 @@ let gen_metrics =
   let* eval_seconds = float_range 0. 1e4 in
   let* build_seconds = float_range 0. 1e4 in
   let* cache = gen_cache_stats in
-  let+ engine = gen_cache_stats in
+  let* engine = gen_cache_stats in
+  let* accepted = int_range 0 100000 in
+  let* shed = int_range 0 100000 in
+  let* deadline_expired = int_range 0 100000 in
+  let* eval_failures = int_range 0 1000 in
+  let+ slow_client_drops = int_range 0 1000 in
   {
     P.uptime_seconds;
     connections_accepted;
@@ -125,6 +130,11 @@ let gen_metrics =
     build_seconds;
     cache;
     engine;
+    accepted;
+    shed;
+    deadline_expired;
+    eval_failures;
+    slow_client_drops;
   }
 
 let gen_response =
@@ -143,6 +153,8 @@ let gen_response =
       return P.Pong;
       return P.Shutting_down;
       map (fun s -> P.Error s) gen_name;
+      return P.Overloaded;
+      return P.Deadline_exceeded;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -197,6 +209,8 @@ let test_decode_rejects_truncation () =
       firings_total = 0; eval_seconds = 0.; build_seconds = 0.;
       cache = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
       engine = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
+      accepted = 1; shed = 0; deadline_expired = 0; eval_failures = 0;
+      slow_client_drops = 0;
     })))
   in
   for k = 0 to String.length resp - 1 do
@@ -225,6 +239,65 @@ let test_decode_rejects_garbage () =
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)
 (* ------------------------------------------------------------------ *)
+
+(* Adversarial re-chunking: a valid stream of framed responses (the
+   generator covers the v2 [Overloaded] / [Deadline_exceeded] status
+   codes) must decode identically no matter where the transport splits
+   it — random cut sets with chunks spanning several frames, and the
+   worst case of one byte per feed. *)
+let dechunker_adversarial =
+  let gen =
+    let open Gen in
+    let* resps = list_size (int_range 1 6) gen_response in
+    let* n_cuts = int_range 0 12 in
+    let+ cut_seeds = list_repeat n_cuts (int_range 1 0x3FFFFFFF) in
+    (resps, cut_seeds)
+  in
+  S.qcheck_case ~count:120 "dechunker survives adversarial chunking" gen
+    (fun (resps, cut_seeds) ->
+      let stream =
+        String.concat ""
+          (List.map (fun r -> P.frame (P.encode_response r)) resps)
+      in
+      let len = String.length stream in
+      let decode_with cuts =
+        (* [cuts] are the split points; feed each segment, draining
+           complete frames after every feed. *)
+        let d = P.create_dechunker () in
+        let got = ref [] in
+        let rec drain () =
+          match P.next_frame d with
+          | `Frame payload ->
+              (match P.decode_response payload with
+              | Ok r -> got := r :: !got
+              | Error e -> Alcotest.fail e);
+              drain ()
+          | `More -> ()
+          | `Corrupt e -> Alcotest.fail e
+        in
+        List.iter
+          (fun (pos, n) ->
+            P.feed d (Bytes.of_string (String.sub stream pos n)) 0 n;
+            drain ())
+          cuts;
+        (List.rev !got, P.buffered d)
+      in
+      let segments_of_cuts cuts =
+        let cuts = List.sort_uniq compare (List.filter (fun c -> c < len) cuts) in
+        let bounds = (0 :: cuts) @ [ len ] in
+        let rec pair = function
+          | a :: (b :: _ as rest) -> (a, b - a) :: pair rest
+          | _ -> []
+        in
+        List.filter (fun (_, n) -> n > 0) (pair bounds)
+      in
+      let same (got, buffered) =
+        buffered = 0
+        && List.length got = List.length resps
+        && List.for_all2 P.equal_response resps got
+      in
+      same (decode_with (segments_of_cuts (List.map (fun s -> s mod len) cut_seeds)))
+      && same (decode_with (List.init len (fun i -> (i, 1)))))
 
 let test_frame_limits () =
   let huge = String.make P.max_frame_len 'x' in
@@ -381,41 +454,85 @@ let test_circuit_cache_rejects () =
   S.check_bool "bad n" true (bad (fun s -> { s with P.n = 0 }));
   S.check_bool "bad bits" true (bad (fun s -> { s with P.entry_bits = 0 }))
 
+(* Interleaved lookups over more specs than capacity: eviction order
+   follows recency (not insertion), counters stay exact, and a rebuilt
+   evicted entry is indistinguishable from the original — same packed
+   shape, same products. *)
+let test_circuit_cache_interleaved_eviction () =
+  let module Cc = Tcmm_server.Circuit_cache in
+  let fingerprint e =
+    ( Th.Packed.num_gates e.Cc.packed,
+      Th.Packed.num_levels e.Cc.packed,
+      Th.Packed.num_segments e.Cc.packed,
+      Th.Packed.pool_edges e.Cc.packed )
+  in
+  let product e a b =
+    match e.Cc.compiled with
+    | Cc.Matmul built -> T.Matmul_circuit.run built ~a ~b
+    | Cc.Trace _ -> Alcotest.fail "expected a matmul entry"
+  in
+  let s1 = small_spec in
+  let s2 = { small_spec with P.n = 4 } in
+  let s3 = { small_spec with P.entry_bits = 2 } in
+  let cc = Cc.create ~capacity:2 () in
+  let build spec ~expect_cached what =
+    match Cc.find_or_build cc spec with
+    | Error e -> Alcotest.fail (what ^ ": " ^ e)
+    | Ok (e, cached) ->
+        S.check_bool (what ^ " cached?") expect_cached cached;
+        e
+  in
+  ignore (build s1 ~expect_cached:false "s1 first build");
+  let e2 = build s2 ~expect_cached:false "s2 first build" in
+  let rng = Tcmm_util.Prng.create ~seed:11 in
+  let a = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:0 ~hi:1 in
+  let b = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:0 ~hi:1 in
+  let shape2 = fingerprint e2 and c2 = product e2 a b in
+  S.check_bool "s2 product correct" true (F.Matrix.equal c2 (F.Matrix.mul a b));
+  (* Promote s1: s2 becomes least recent and the s3 build evicts it. *)
+  ignore (build s1 ~expect_cached:true "s1 promote");
+  ignore (build s3 ~expect_cached:false "s3 build");
+  ignore (build s1 ~expect_cached:true "s1 survives s3");
+  (* s2 was evicted; its rebuild must reproduce the original exactly. *)
+  let e2' = build s2 ~expect_cached:false "s2 rebuild" in
+  S.check_bool "rebuilt packed shape identical" true (fingerprint e2' = shape2);
+  S.check_bool "rebuilt products identical" true
+    (F.Matrix.equal (product e2' a b) c2);
+  let st = Cc.stats cc in
+  S.check_int "hits" 2 st.Tcmm_util.Lru.hits;
+  S.check_int "misses" 4 st.Tcmm_util.Lru.misses;
+  S.check_int "evictions" 2 st.Tcmm_util.Lru.evictions;
+  S.check_int "size" 2 st.Tcmm_util.Lru.size
+
 (* ------------------------------------------------------------------ *)
 (* Loopback end-to-end                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Bind port 0 in the parent — the kernel assigns a free ephemeral
+   port, so concurrent test runs can never collide — and hand the
+   already-listening socket to the forked child.  The listening backlog
+   also makes the post-fork connect race-free: no bind-retry loop. *)
 let with_server f =
-  let path =
-    Filename.concat
-      (Filename.get_temp_dir_name ())
-      (Printf.sprintf "tcmm-test-%d.sock" (Unix.getpid ()))
+  let cfg =
+    {
+      (Tcmm_server.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
+      cache_capacity = 4;
+    }
   in
-  if Sys.file_exists path then Sys.remove path;
-  let addr = P.Unix_socket path in
+  let listen_fd, addr = Tcmm_server.Server.bind cfg in
+  let cfg = { cfg with Tcmm_server.Server.addr } in
   match Unix.fork () with
   | 0 ->
-      (try
-         Tcmm_server.Server.serve
-           { (Tcmm_server.Server.default_config addr) with cache_capacity = 4 }
-       with _ -> ());
+      (try Tcmm_server.Server.serve_fd cfg listen_fd with _ -> ());
       Unix._exit 0
   | pid ->
+      Unix.close listen_fd;
       Fun.protect
         ~finally:(fun () ->
           (try ignore (Tcmm_server.Client.shutdown addr) with _ -> ());
-          ignore (Unix.waitpid [] pid);
-          if Sys.file_exists path then Sys.remove path)
+          ignore (Unix.waitpid [] pid))
         (fun () ->
-          (* The child needs a moment to bind. *)
-          let rec connect tries =
-            match Tcmm_server.Client.connect addr with
-            | cl -> cl
-            | exception Unix.Unix_error _ when tries > 0 ->
-                ignore (Unix.select [] [] [] 0.05);
-                connect (tries - 1)
-          in
-          let cl = connect 100 in
+          let cl = Tcmm_server.Client.connect addr in
           Fun.protect
             ~finally:(fun () -> Tcmm_server.Client.close cl)
             (fun () -> f addr cl))
@@ -518,6 +635,7 @@ let () =
           Alcotest.test_case "corrupt lengths" `Quick
             test_dechunker_corrupt_lengths;
           dechunker_chunking;
+          dechunker_adversarial;
         ] );
       ( "batcher",
         [
@@ -530,6 +648,8 @@ let () =
         [
           Alcotest.test_case "hits" `Quick test_circuit_cache_hits;
           Alcotest.test_case "rejects" `Quick test_circuit_cache_rejects;
+          Alcotest.test_case "interleaved eviction" `Quick
+            test_circuit_cache_interleaved_eviction;
         ] );
       ( "loopback",
         [

@@ -380,6 +380,55 @@ let test_energy_summary () =
     s_ref.Energy.mean_firings;
   S.check_int "engines agree (min)" s.Energy.min_firings s_ref.Energy.min_firings
 
+(* Energy's per-level aggregation must agree gate-for-gate with a
+   direct [Simulator.run] on the same input — across every standard
+   schedule, both matrix sizes, and both build paths (legacy gate
+   derivation and template stamping, which are documented to be
+   gate-for-gate identical). *)
+let test_energy_levels_match_simulator () =
+  let algo = Tcmm_fastmm.Instances.strassen in
+  let rng = Tcmm_util.Prng.create ~seed:5 in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun templates ->
+              let ctx =
+                Printf.sprintf "%s n=%d %s" name n
+                  (if templates then "templated" else "legacy")
+              in
+              let schedule = Tcmm.Level_schedule.resolve ~algo ~name ~d:2 ~n in
+              let built =
+                Tcmm.Matmul_circuit.build ~templates ~algo ~schedule
+                  ~entry_bits:1 ~n ()
+              in
+              match built.Tcmm.Matmul_circuit.circuit with
+              | None -> Alcotest.fail (ctx ^ ": expected a materialized circuit")
+              | Some c ->
+                  Energy.random_inputs rng ~num_inputs:c.Circuit.num_inputs
+                    ~samples:2
+                  |> List.iter (fun input ->
+                         let r = Simulator.run c input in
+                         let s = Energy.measure c [ input ] in
+                         S.check_int (ctx ^ ": total firings")
+                           r.Simulator.firings s.Energy.min_firings;
+                         S.check_int (ctx ^ ": max = min at one sample")
+                           s.Energy.min_firings s.Energy.max_firings;
+                         S.check_int (ctx ^ ": level count")
+                           (Array.length r.Simulator.level_firings)
+                           (Array.length s.Energy.mean_level_firings);
+                         Array.iteri
+                           (fun lvl expect ->
+                             S.check_int
+                               (Printf.sprintf "%s: level %d firings" ctx lvl)
+                               expect
+                               (int_of_float s.Energy.mean_level_firings.(lvl)))
+                           r.Simulator.level_firings))
+            [ false; true ])
+        [ 4; 8 ])
+    [ "uniform-2"; "direct"; "thm44"; "thm45" ]
+
 let test_energy_empty_rejected () =
   let b = Builder.create () in
   let _ = Builder.add_input b in
@@ -986,6 +1035,8 @@ let () =
       ( "energy",
         [
           Alcotest.test_case "summary" `Quick test_energy_summary;
+          Alcotest.test_case "levels match simulator" `Quick
+            test_energy_levels_match_simulator;
           Alcotest.test_case "empty rejected" `Quick test_energy_empty_rejected;
         ] );
       ( "properties",

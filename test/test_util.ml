@@ -314,6 +314,34 @@ let test_lru_add_replaces () =
   S.check_int "no eviction" 0 evictions;
   S.check_int "size" 2 size
 
+(* A longer interleaved find/add trace over more keys than capacity:
+   recency (not insertion order) decides every eviction, and the
+   hit/miss/eviction counters track the trace exactly. *)
+let test_lru_interleaved_trace () =
+  let t = Lru.create ~capacity:3 () in
+  Lru.add t "a" 1;
+  Lru.add t "b" 2;
+  Lru.add t "c" 3;
+  S.check_bool "hit a" true (Lru.find t "a" = Some 1);
+  S.check_bool "mru after promote" true
+    (Lru.to_list t = [ ("a", 1); ("c", 3); ("b", 2) ]);
+  Lru.add t "d" 4;  (* evicts b, the least recent *)
+  S.check_bool "b evicted" false (Lru.mem t "b");
+  S.check_bool "miss b" true (Lru.find t "b" = None);
+  S.check_bool "hit c promotes" true (Lru.find t "c" = Some 3);
+  Lru.add t "e" 5;  (* evicts a: d and c are more recent *)
+  S.check_bool "a evicted" false (Lru.mem t "a");
+  Lru.add t "d" 40;  (* replacement promotes, no eviction *)
+  Lru.add t "f" 6;  (* evicts c: e and d are more recent *)
+  S.check_bool "c evicted" false (Lru.mem t "c");
+  S.check_bool "final order" true
+    (Lru.to_list t = [ ("f", 6); ("d", 40); ("e", 5) ]);
+  let hits, misses, evictions, size = lru_stats t in
+  S.check_int "hits" 2 hits;  (* a, c *)
+  S.check_int "misses" 1 misses;  (* b after eviction *)
+  S.check_int "evictions" 3 evictions;  (* b, a, c *)
+  S.check_int "size" 3 size
+
 let test_lru_clear_and_validation () =
   (try
      ignore (Lru.create ~capacity:0 ());
@@ -376,6 +404,7 @@ let () =
           Alcotest.test_case "evicts least recent" `Quick test_lru_evicts_least_recent;
           Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
           Alcotest.test_case "add replaces" `Quick test_lru_add_replaces;
+          Alcotest.test_case "interleaved trace" `Quick test_lru_interleaved_trace;
           Alcotest.test_case "clear and validation" `Quick test_lru_clear_and_validation;
         ] );
     ]
