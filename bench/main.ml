@@ -585,6 +585,136 @@ let e21 () =
           ])
         json_rows)
 
+(* E23: template-specialized evaluation kernels — batched evaluation
+   with kernels vs the generic CSR loop vs one-vector-at-a-time, across
+   domain counts.  Every lane is checked bit-identical (outputs,
+   firings, per-level firings) between the kernel and generic engines
+   before any number is reported, so a kernel miscompile fails the run
+   instead of skewing it. *)
+let e23 ?(ns = [ 16; 32 ]) ?(domain_counts = [ 1; 2; 4 ]) () =
+  Bench_util.header
+    "E23: evaluation kernels (specialized vs generic batched vs packed-seq)";
+  let module Th = Tcmm_threshold in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let best n f =
+    let r, t0 = time f in
+    let tmin = ref t0 in
+    for _ = 2 to n do
+      let _, t = time f in
+      if t < !tmin then tmin := t
+    done;
+    (r, !tmin)
+  in
+  let batch = 62 in
+  List.iter
+    (fun n ->
+      let sched = T.Level_schedule.theorem45 ~profile ~d:2 ~n in
+      let built, t_build =
+        time (fun () ->
+            T.Matmul_circuit.build ~mode:Th.Builder.Direct
+              ~algo:F.Instances.strassen ~schedule:sched ~entry_bits:1 ~n ())
+      in
+      let arena = Th.Builder.arena built.T.Matmul_circuit.builder in
+      let p_kern, t_lower = time (fun () -> Th.Packed.of_arena ~kernels:true arena) in
+      let p_gen = Th.Packed.of_arena ~kernels:false arena in
+      let cov = Th.Packed.coverage p_kern in
+      let coverage =
+        float_of_int cov.Th.Packed.kernel_gates
+        /. float_of_int (max 1 (Th.Packed.num_gates p_kern))
+      in
+      let rng = Tcmm_util.Prng.create ~seed:23 in
+      let inputs =
+        Array.init batch (fun _ ->
+            let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+            let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+            T.Matmul_circuit.encode_inputs built ~a ~b)
+      in
+      (* Differential gate before any timing: kernel vs generic on every
+         lane and every observable field. *)
+      let br_k = Th.Packed.run_batch p_kern inputs in
+      let br_g = Th.Packed.run_batch p_gen inputs in
+      for lane = 0 to batch - 1 do
+        if
+          Th.Packed.batch_outputs br_k ~lane <> Th.Packed.batch_outputs br_g ~lane
+          || Th.Packed.batch_firings br_k ~lane
+             <> Th.Packed.batch_firings br_g ~lane
+          || Th.Packed.batch_level_firings br_k ~lane
+             <> Th.Packed.batch_level_firings br_g ~lane
+        then
+          failwith
+            (Printf.sprintf "e23: kernel vs generic divergence at N=%d lane %d"
+               n lane)
+      done;
+      let r_seq = Th.Packed.run p_kern inputs.(0) in
+      if r_seq.Th.Simulator.outputs <> Th.Packed.batch_outputs br_k ~lane:0 then
+        failwith (Printf.sprintf "e23: packed-seq vs kernel batch divergence at N=%d" n);
+      let rows =
+        List.map
+          (fun domains ->
+            let with_pool f =
+              if domains = 1 then f None
+              else Th.Packed.Pool.with_pool ~domains (fun p -> f (Some p))
+            in
+            with_pool (fun pool ->
+                (* One shared workspace keeps the 13 MB wire buffer out
+                   of both timed legs — the comparison stays apples to
+                   apples. *)
+                let ws = Th.Packed.workspace () in
+                let _, t_seq = best 2 (fun () -> Th.Packed.run ?pool p_kern inputs.(0)) in
+                let _, t_gen = best 5 (fun () -> Th.Packed.run_batch ?pool ~ws p_gen inputs) in
+                let _, t_kern = best 5 (fun () -> Th.Packed.run_batch ?pool ~ws p_kern inputs) in
+                let gen_vec = t_gen /. float_of_int batch in
+                let kern_vec = t_kern /. float_of_int batch in
+                Bench_util.record ~experiment:"e23"
+                  [
+                    ("circuit", Bench_util.Str (Printf.sprintf "matmul N=%d d=2 (Theorem 4.9)" n));
+                    ("n", Bench_util.Int n);
+                    ("domains", Bench_util.Int domains);
+                    ("gates", Bench_util.Int (Th.Packed.num_gates p_kern));
+                    ("levels", Bench_util.Int (Th.Packed.num_levels p_kern));
+                    ("pool_edges", Bench_util.Int (Th.Packed.pool_edges p_kern));
+                    ("build_seconds", Bench_util.Float t_build);
+                    ("lower_seconds", Bench_util.Float t_lower);
+                    ("kernel_gates", Bench_util.Int cov.Th.Packed.kernel_gates);
+                    ("fallback_gates", Bench_util.Int cov.Th.Packed.fallback_gates);
+                    ("kernel_segments", Bench_util.Int cov.Th.Packed.kernel_segments);
+                    ("generic_segments", Bench_util.Int cov.Th.Packed.generic_segments);
+                    ("kernel_coverage", Bench_util.Float coverage);
+                    ("batch_size", Bench_util.Int batch);
+                    ("packed_seq_seconds", Bench_util.Float t_seq);
+                    ("generic_batched_per_vector", Bench_util.Float gen_vec);
+                    ("kernel_batched_per_vector", Bench_util.Float kern_vec);
+                    ("kernel_speedup_vs_generic", Bench_util.Float (t_gen /. t_kern));
+                    ( "kernel_batched_speedup_vs_packed_seq",
+                      Bench_util.Float (t_seq /. kern_vec) );
+                  ];
+                [
+                  Tb.Int domains;
+                  Tb.Str (Printf.sprintf "%.2f ms" (t_seq *. 1e3));
+                  Tb.Str (Printf.sprintf "%.3f ms" (gen_vec *. 1e3));
+                  Tb.Str (Printf.sprintf "%.3f ms" (kern_vec *. 1e3));
+                  Tb.Str (Printf.sprintf "%.1fx" (t_gen /. t_kern));
+                ]))
+          domain_counts
+      in
+      Tb.print
+        ~title:
+          (Printf.sprintf
+             "matmul N=%d d=2: %d gates, kernel coverage %.1f%% (%d/%d segments), B=%d"
+             n (Th.Packed.num_gates p_kern) (100. *. coverage)
+             cov.Th.Packed.kernel_segments
+             (cov.Th.Packed.kernel_segments + cov.Th.Packed.generic_segments)
+             batch)
+        ~header:
+          [ "domains"; "seq/vector"; "generic batched/vec"; "kernel batched/vec"; "kernel speedup" ]
+        ~rows;
+      Gc.compact ())
+    ns
+
 (* e18, e19, and e21 fork a server child; they are listed before e17
    because Unix.fork is forbidden after e17 has spawned worker domains. *)
 let all_experiments =
@@ -612,6 +742,11 @@ let all_experiments =
     ("e20", fun () -> Experiments.e20 ());
     ("e20-smoke", fun () -> Experiments.e20 ~ns:[ 8 ] ());
     ("e17", e17);
+    (* e23 spawns domains too; the smoke variant is the CI subset (N=16,
+       fewer domain counts) and still fails hard on any kernel-vs-generic
+       divergence. *)
+    ("e23", fun () -> e23 ());
+    ("e23-smoke", fun () -> e23 ~ns:[ 16 ] ~domain_counts:[ 1; 2 ] ());
   ]
 
 let () =
@@ -619,8 +754,11 @@ let () =
     match Array.to_list Sys.argv with
     | _ :: (_ :: _ as names) -> names
     | _ ->
-        (* e20-smoke is the CI subset of e20; a full run does e20 only. *)
-        List.filter (fun e -> e <> "e20-smoke") (List.map fst all_experiments)
+        (* The -smoke variants are CI subsets; a full run does the real
+           experiments only. *)
+        List.filter
+          (fun e -> e <> "e20-smoke" && e <> "e23-smoke")
+          (List.map fst all_experiments)
   in
   List.iter
     (fun name ->
@@ -636,10 +774,12 @@ let () =
           exit 2)
     requested;
   Bench_util.write_json
-    ~only:(fun e -> e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21")
+    ~only:(fun e ->
+      e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21" && e <> "e23")
     "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
   Bench_util.write_json ~only:(fun e -> e = "e20") "BENCH_build.json";
   Bench_util.write_json ~only:(fun e -> e = "e21") "BENCH_serve_robust.json";
+  Bench_util.write_json ~only:(fun e -> e = "e23") "BENCH_kernels.json";
   print_endline "done."

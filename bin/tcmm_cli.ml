@@ -93,6 +93,23 @@ let profile_build_term =
     & info [ "profile-build" ]
         ~doc:"Print the construct / stamp / lower phase breakdown of each build.")
 
+let no_kernels_term =
+  Arg.(
+    value & flag
+    & info [ "no-kernels" ]
+        ~doc:
+          "Disable the template-specialized evaluation kernels: every segment \
+           runs through the generic CSR loop (bit-identical results, only \
+           slower).")
+
+let profile_eval_term =
+  Arg.(
+    value & flag
+    & info [ "profile-eval" ]
+        ~doc:
+          "Accumulate and print the per-level evaluation wall-time breakdown \
+           of batched runs.")
+
 (* ------------------------------------------------------------------ *)
 
 let algorithms_cmd =
@@ -157,8 +174,10 @@ let stats_cmd =
     Term.(const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term)
 
 let verify_cmd =
-  let run algo n d bits sched seed engine domains no_templates profile =
+  let run algo n d bits sched seed engine domains no_templates profile
+      no_kernels profile_eval =
     let templates = not no_templates in
+    let kernels = not no_kernels in
     (* With templates on the build goes straight to the packed CSR form
        (Direct mode); without them it materializes gate by gate. *)
     let mode =
@@ -189,15 +208,57 @@ let verify_cmd =
         ~entry_bits:bits ~n ()
     in
     let t1 = Unix.gettimeofday () in
-    let (_ : Tcmm_threshold.Packed.t) = T.Matmul_circuit.pack ~domains built in
+    let packed = T.Matmul_circuit.pack ~domains ~kernels built in
     let t2 = Unix.gettimeofday () in
     profile_phases "matmul" built.T.Matmul_circuit.builder ~construct:(t1 -. t0)
       ~lower:(t2 -. t1);
     Format.printf "circuit: %s@."
       (Tcmm_threshold.Stats.to_row (T.Matmul_circuit.stats built));
+    let cov = Tcmm_threshold.Packed.coverage packed in
+    let cov_total =
+      cov.Tcmm_threshold.Packed.kernel_gates
+      + cov.Tcmm_threshold.Packed.fallback_gates
+    in
+    Format.printf "kernels: %d/%d gates (%.1f%% coverage, %d/%d segments)@."
+      cov.Tcmm_threshold.Packed.kernel_gates cov_total
+      (if cov_total = 0 then 0.
+       else
+         100.
+         *. float_of_int cov.Tcmm_threshold.Packed.kernel_gates
+         /. float_of_int cov_total)
+      cov.Tcmm_threshold.Packed.kernel_segments
+      (cov.Tcmm_threshold.Packed.kernel_segments
+      + cov.Tcmm_threshold.Packed.generic_segments);
     let c = T.Matmul_circuit.run ~engine ~domains built ~a ~b in
     let ok_mm = F.Matrix.equal c (F.Matrix.mul a b) in
     Format.printf "matmul circuit matches reference: %b@." ok_mm;
+    if profile_eval then begin
+      (* Batched traversal with a per-level profile: a handful of lanes
+         of fresh draws through the same packed circuit. *)
+      let lanes = 8 in
+      let inputs =
+        Array.init lanes (fun _ ->
+            let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+            let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+            T.Matmul_circuit.encode_inputs built ~a ~b)
+      in
+      let prof = Tcmm_threshold.Packed.make_profile packed in
+      let (_ : Tcmm_threshold.Packed.batch_result) =
+        Tcmm_threshold.Packed.run_batch ~domains ~profile:prof packed inputs
+      in
+      let ns = prof.Tcmm_threshold.Packed.ep_level_ns in
+      let total = Array.fold_left ( +. ) 0. ns in
+      Format.printf "eval profile: %d lanes in %.3f ms, hottest levels:@."
+        lanes (total /. 1e6);
+      let order = Array.init (Array.length ns) (fun i -> i) in
+      Array.sort (fun x y -> compare ns.(y) ns.(x)) order;
+      Array.iteri
+        (fun rank l ->
+          if rank < 5 && ns.(l) > 0. then
+            Format.printf "  level %3d: %8.3f ms (%.1f%%)@." l (ns.(l) /. 1e6)
+              (100. *. ns.(l) /. total))
+        order
+    end;
     let m = F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi in
     let expect = T.Trace_circuit.reference m in
     let t0 = Unix.gettimeofday () in
@@ -206,7 +267,7 @@ let verify_cmd =
         ~tau:expect ~n ()
     in
     let t1 = Unix.gettimeofday () in
-    let (_ : Tcmm_threshold.Packed.t) = T.Trace_circuit.pack ~domains trace in
+    let (_ : Tcmm_threshold.Packed.t) = T.Trace_circuit.pack ~domains ~kernels trace in
     let t2 = Unix.gettimeofday () in
     profile_phases "trace" trace.T.Trace_circuit.builder ~construct:(t1 -. t0)
       ~lower:(t2 -. t1);
@@ -221,7 +282,8 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Build circuits and check them against integer references.")
     Term.(
       const run $ algo_term $ n_term $ d_term $ bits_term $ schedule_term $ seed_term
-      $ engine_term $ domains_term $ no_templates_term $ profile_build_term)
+      $ engine_term $ domains_term $ no_templates_term $ profile_build_term
+      $ no_kernels_term $ profile_eval_term)
 
 let triangles_cmd =
   let run n d p tau seed engine domains =
@@ -321,8 +383,8 @@ let addr_term =
         ~doc:"Server address: $(b,HOST:PORT) for TCP, anything else is a Unix socket path.")
 
 let serve_cmd =
-  let run addr cache lanes flush domains no_templates profile max_pending
-      deadline grace verbose =
+  let run addr cache lanes flush domains no_templates profile no_kernels
+      profile_eval max_pending deadline grace verbose =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     match P.parse_addr addr with
@@ -338,7 +400,9 @@ let serve_cmd =
             max_lanes = lanes;
             domains;
             templates = not no_templates;
+            kernels = not no_kernels;
             profile_build = profile;
+            profile_eval;
             max_pending;
             deadline_ms = deadline;
             grace_s = grace;
@@ -394,7 +458,8 @@ let serve_cmd =
          "Serve compiled circuits over a socket with caching and request coalescing.")
     Term.(
       const run $ addr_term $ cache_term $ lanes_term $ flush_term $ domains_term
-      $ no_templates_term $ profile_build_term $ pending_term $ deadline_term
+      $ no_templates_term $ profile_build_term $ no_kernels_term
+      $ profile_eval_term $ pending_term $ deadline_term
       $ grace_term $ verbose_term)
 
 let request_cmd =

@@ -5,9 +5,17 @@ module Th = Tcmm_threshold
 let trace_builds : (string, T.Trace_circuit.built) Hashtbl.t = Hashtbl.create 16
 let matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t = Hashtbl.create 16
 
+(* Direct-mode builds, kept separately: their packed form dispatches the
+   template-specialized kernels, which is exactly the leg the kernel
+   differential wants to pit against the materialized (all-generic)
+   builds above. *)
+let direct_matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t =
+  Hashtbl.create 16
+
 let clear_cache () =
   Hashtbl.reset trace_builds;
-  Hashtbl.reset matmul_builds
+  Hashtbl.reset matmul_builds;
+  Hashtbl.reset direct_matmul_builds
 
 (* Keep the memo bounded: a long fuzz run touches only a handful of
    configurations, but a pathological generator should not accumulate
@@ -43,6 +51,21 @@ let matmul_built (c : Case.t) =
           ~entry_bits:c.entry_bits ~n:c.n ()
       in
       Hashtbl.add matmul_builds key b;
+      b
+
+let direct_matmul_built (c : Case.t) =
+  let key = Case.build_key c in
+  match Hashtbl.find_opt direct_matmul_builds key with
+  | Some b -> b
+  | None ->
+      bound direct_matmul_builds;
+      let b =
+        T.Matmul_circuit.build ~mode:Th.Builder.Direct
+          ~algo:(Case.algo_of_name c.algo)
+          ~schedule:(Case.resolve_schedule c) ~signed_inputs:c.signed
+          ~entry_bits:c.entry_bits ~n:c.n ()
+      in
+      Hashtbl.add direct_matmul_builds key b;
       b
 
 let fail fmt = Format.kasprintf (fun s -> Error s) fmt
@@ -101,12 +124,17 @@ let check_matmul (c : Case.t) =
             Case.matrix c ~index:((2 * i) + 1) ))
     in
     let batch = T.Matmul_circuit.run_batch built pairs in
+    (* Kernel leg: the same pairs through a Direct-mode build, whose
+       packed form dispatches the template-specialized kernels. *)
+    let kernel_batch = T.Matmul_circuit.run_batch (direct_matmul_built c) pairs in
     let rec lanes_ok i =
       if i >= Array.length pairs then Ok ()
       else
         let la, lb = pairs.(i) in
         if not (F.Matrix.equal batch.(i) (F.Matrix.mul la lb)) then
           fail "batched lane %d disagrees with integer reference" i
+        else if not (F.Matrix.equal kernel_batch.(i) batch.(i)) then
+          fail "kernel batched lane %d disagrees with generic batch" i
         else lanes_ok (i + 1)
     in
     lanes_ok 0

@@ -12,7 +12,12 @@
       overflow-checked);
     - the packed levelized engine, sequential and with 2 domains;
     - {!Tcmm_threshold.Packed.run_batch} with several lanes (the case's
-      matrix plus further deterministic draws). *)
+      matrix plus further deterministic draws);
+    - for matmul cases, the same lanes through a [Builder.Direct] build
+      whose packed form dispatches the template-specialized kernels
+      ({!Tcmm_threshold.Kernel}), pitted against the all-generic batch —
+      a kernel miscompile shows up as a lane disagreement and is shrunk
+      and saved to the corpus like any other divergence. *)
 
 val check : Case.t -> (unit, string) result
 (** [Ok ()] when every path agrees; [Error msg] names the first

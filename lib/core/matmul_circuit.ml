@@ -52,7 +52,7 @@ let encode_inputs built ~a ~b =
   Encode.write built.layout_b b input;
   input
 
-let pack ?pool ?domains built =
+let pack ?pool ?domains ?kernels built =
   match built.packed with
   | Some p -> p
   | None ->
@@ -62,7 +62,8 @@ let pack ?pool ?domains built =
         | None -> (
             match Builder.mode built.builder with
             | Builder.Direct ->
-                Packed.of_arena ?pool ?domains (Builder.arena built.builder)
+                Packed.of_arena ?pool ?domains ?kernels
+                  (Builder.arena built.builder)
             | _ ->
                 invalid_arg
                   "Matmul_circuit: circuit was built in Count_only mode")

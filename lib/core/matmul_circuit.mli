@@ -43,7 +43,8 @@ val build :
     [Builder.Direct] mode no [Circuit.t] is materialized — the arena
     lowers straight to the packed form on first {!pack}/{!run}. *)
 
-val pack : ?pool:Packed.Pool.t -> ?domains:int -> built -> Packed.t
+val pack :
+  ?pool:Packed.Pool.t -> ?domains:int -> ?kernels:bool -> built -> Packed.t
 (** The compiled evaluator form, memoized on [built]: the engine-cache
     compilation of [circuit] in [Materialize] mode, a direct
     {!Packed.of_arena} lowering in [Direct] mode ([pool]/[domains]

@@ -122,7 +122,7 @@ let encode_input built m =
   Encode.write built.layout m input;
   input
 
-let pack ?pool ?domains built =
+let pack ?pool ?domains ?kernels built =
   match built.packed with
   | Some p -> p
   | None ->
@@ -132,7 +132,8 @@ let pack ?pool ?domains built =
         | None -> (
             match Builder.mode built.builder with
             | Builder.Direct ->
-                Packed.of_arena ?pool ?domains (Builder.arena built.builder)
+                Packed.of_arena ?pool ?domains ?kernels
+                  (Builder.arena built.builder)
             | _ ->
                 invalid_arg
                   "Trace_circuit: circuit was built in Count_only mode")

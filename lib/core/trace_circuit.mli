@@ -52,7 +52,8 @@ val build :
     faster construction.  [n] must equal [T^L] for the schedule's final
     level [L]. *)
 
-val pack : ?pool:Packed.Pool.t -> ?domains:int -> built -> Packed.t
+val pack :
+  ?pool:Packed.Pool.t -> ?domains:int -> ?kernels:bool -> built -> Packed.t
 (** The compiled evaluator form, memoized on [built]: the engine-cache
     compilation of [circuit] in [Materialize] mode, a direct
     {!Packed.of_arena} lowering in [Direct] mode.  Raises

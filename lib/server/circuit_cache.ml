@@ -10,6 +10,7 @@ type entry = {
   spec : Protocol.spec;
   compiled : compiled;
   packed : Th.Packed.t;
+  coverage : Th.Packed.coverage;
   build_seconds : float;
   construct_seconds : float;
   lower_seconds : float;
@@ -18,10 +19,11 @@ type entry = {
 type t = {
   lru : (string, entry) Tcmm_util.Lru.t;
   templates : bool;
+  kernels : bool;
 }
 
-let create ?(templates = true) ~capacity () : t =
-  { lru = Tcmm_util.Lru.create ~capacity (); templates }
+let create ?(templates = true) ?(kernels = true) ~capacity () : t =
+  { lru = Tcmm_util.Lru.create ~capacity (); templates; kernels }
 
 let key (s : Protocol.spec) =
   Printf.sprintf "%s|%s|%s|d=%d|n=%d|b=%d|signed=%b|tau=%d"
@@ -58,7 +60,7 @@ let validate (s : Protocol.spec) =
    straight to the packed CSR form ({!Tcmm_threshold.Packed.of_arena})
    without ever materializing a [Circuit.t].  Without them this is the
    legacy path — materialize, then compile through the engine cache. *)
-let build ~templates (s : Protocol.spec) =
+let build ~templates ~kernels (s : Protocol.spec) =
   validate s;
   let algo = algo_by_name s.algo in
   let schedule = T.Level_schedule.resolve ~algo ~name:s.schedule ~d:s.d ~n:s.n in
@@ -83,14 +85,15 @@ let build ~templates (s : Protocol.spec) =
   let t1 = Unix.gettimeofday () in
   let packed =
     match compiled with
-    | Matmul built -> T.Matmul_circuit.pack built
-    | Trace built -> T.Trace_circuit.pack built
+    | Matmul built -> T.Matmul_circuit.pack ~kernels built
+    | Trace built -> T.Trace_circuit.pack ~kernels built
   in
   let t2 = Unix.gettimeofday () in
   {
     spec = s;
     compiled;
     packed;
+    coverage = Th.Packed.coverage packed;
     build_seconds = t2 -. t0;
     construct_seconds = t1 -. t0;
     lower_seconds = t2 -. t1;
@@ -101,7 +104,7 @@ let find_or_build t spec =
   match Tcmm_util.Lru.find t.lru k with
   | Some entry -> Ok (entry, true)
   | None -> (
-      match build ~templates:t.templates spec with
+      match build ~templates:t.templates ~kernels:t.kernels spec with
       | entry ->
           Tcmm_util.Lru.add t.lru k entry;
           Ok (entry, false)

@@ -24,6 +24,9 @@ type entry = {
   spec : Protocol.spec;
   compiled : compiled;
   packed : Tcmm_threshold.Packed.t;
+  coverage : Tcmm_threshold.Packed.coverage;
+      (** kernel vs generic-fallback gate/segment counts of [packed]
+          (all-fallback when kernels are off or the build materialized) *)
   build_seconds : float;  (** wall-clock build + pack time (= construct + lower) *)
   construct_seconds : float;  (** driver build (gate construction / stamping) *)
   lower_seconds : float;  (** packed lowering / engine compilation *)
@@ -31,11 +34,14 @@ type entry = {
 
 type t
 
-val create : ?templates:bool -> capacity:int -> unit -> t
+val create : ?templates:bool -> ?kernels:bool -> capacity:int -> unit -> t
 (** [templates] (default [true]) selects the template-stamped [Direct]
     build path for cache misses; [false] restores the legacy
-    materialize-then-pack path.  Raises [Invalid_argument] when
-    [capacity < 1]. *)
+    materialize-then-pack path.  [kernels] (default [true]) dispatches
+    template segments of Direct-built entries to their specialized batch
+    evaluators; [false] is the [--no-kernels] escape hatch (forces the
+    generic CSR loop — bit-identical results, only slower).  Raises
+    [Invalid_argument] when [capacity < 1]. *)
 
 val key : Protocol.spec -> string
 (** The canonical cache key (also the {!Batcher} coalescing key). *)

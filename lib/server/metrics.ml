@@ -22,6 +22,8 @@ type t = {
   mutable deadline_expired : int;
   mutable eval_failures : int;
   mutable slow_client_drops : int;
+  mutable kernel_gates : int;
+  mutable fallback_gates : int;
 }
 
 let create ~max_lanes =
@@ -46,6 +48,8 @@ let create ~max_lanes =
     deadline_expired = 0;
     eval_failures = 0;
     slow_client_drops = 0;
+    kernel_gates = 0;
+    fallback_gates = 0;
   }
 
 let connection_opened t =
@@ -56,6 +60,10 @@ let connection_closed t = t.connections_active <- t.connections_active - 1
 let request t = t.requests_total <- t.requests_total + 1
 let error t = t.errors <- t.errors + 1
 let observe_build t ~seconds = t.build_seconds <- t.build_seconds +. seconds
+
+let observe_coverage t ~kernel_gates ~fallback_gates =
+  t.kernel_gates <- t.kernel_gates + kernel_gates;
+  t.fallback_gates <- t.fallback_gates + fallback_gates
 
 let observe_batch t ~lanes ~firings ~seconds =
   t.batches <- t.batches + 1;
@@ -113,4 +121,6 @@ let snapshot t ~uptime_seconds ~cache ~engine : Protocol.metrics =
     deadline_expired = t.deadline_expired;
     eval_failures = t.eval_failures;
     slow_client_drops = t.slow_client_drops;
+    kernel_gates = t.kernel_gates;
+    fallback_gates = t.fallback_gates;
   }

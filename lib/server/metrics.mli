@@ -19,6 +19,11 @@ val request : t -> unit
 val error : t -> unit
 val observe_build : t -> seconds:float -> unit
 
+val observe_coverage : t -> kernel_gates:int -> fallback_gates:int -> unit
+(** One cache-miss build's kernel coverage ({!Circuit_cache.entry}'s
+    [coverage] field); totals feed the [metrics] response's coverage
+    fraction. *)
+
 val observe_batch : t -> lanes:int -> firings:int -> seconds:float -> unit
 (** One coalesced dispatch: lanes it carried, summed firings of those
     lanes, evaluation wall-clock. *)

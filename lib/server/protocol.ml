@@ -1,6 +1,6 @@
 module Matrix = Tcmm_fastmm.Matrix
 
-let version = 2
+let version = 3
 let min_version = 1
 let max_frame_len = 1 lsl 24
 
@@ -73,6 +73,11 @@ type metrics = {
   deadline_expired : int;
   eval_failures : int;
   slow_client_drops : int;
+  (* Kernel coverage (protocol v3; zero when decoding an older peer):
+     gates of cache-miss builds that evaluate through a specialized
+     kernel vs the generic CSR fallback, summed over all builds. *)
+  kernel_gates : int;
+  fallback_gates : int;
 }
 
 type response =
@@ -178,7 +183,9 @@ let w_metrics buf m =
   w_int buf m.shed;
   w_int buf m.deadline_expired;
   w_int buf m.eval_failures;
-  w_int buf m.slow_client_drops
+  w_int buf m.slow_client_drops;
+  w_int buf m.kernel_gates;
+  w_int buf m.fallback_gates
 
 let payload tag fill =
   let buf = Buffer.create 256 in
@@ -373,11 +380,15 @@ let r_metrics r ~version:v =
   let slow_client_drops =
     if v >= 2 then r_int r "metrics.slow_client_drops" else 0
   in
+  (* Kernel coverage joined in v3; older peers predate the kernels. *)
+  let kernel_gates = if v >= 3 then r_int r "metrics.kernel_gates" else 0 in
+  let fallback_gates = if v >= 3 then r_int r "metrics.fallback_gates" else 0 in
   {
     uptime_seconds; connections_accepted; connections_active; requests_total;
     run_requests; errors; batches; lanes; max_lanes; occupancy; latency_ms;
     firings_total; eval_seconds; build_seconds; cache; engine;
     accepted; shed; deadline_expired; eval_failures; slow_client_drops;
+    kernel_gates; fallback_gates;
   }
 
 let decode what f s =
@@ -640,6 +651,8 @@ let equal_metrics a b =
   && a.deadline_expired = b.deadline_expired
   && a.eval_failures = b.eval_failures
   && a.slow_client_drops = b.slow_client_drops
+  && a.kernel_gates = b.kernel_gates
+  && a.fallback_gates = b.fallback_gates
 
 let equal_response a b =
   match (a, b) with
@@ -675,6 +688,10 @@ let pp_metrics ppf m =
   Format.fprintf ppf
     "robustness: %d accepted, %d shed, %d deadline-expired, %d eval failures, %d slow-client drops@."
     m.accepted m.shed m.deadline_expired m.eval_failures m.slow_client_drops;
+  Format.fprintf ppf
+    "kernels: %d gates kernelized, %d fallback (%.1f%% coverage)@."
+    m.kernel_gates m.fallback_gates
+    (100. *. frac m.kernel_gates (m.kernel_gates + m.fallback_gates));
   let pp_cache name (c : cache_stats) =
     Format.fprintf ppf
       "%s cache: %d/%d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions@."

@@ -17,14 +17,16 @@
 module Matrix = Tcmm_fastmm.Matrix
 
 val version : int
-(** Protocol version carried in every outgoing payload (currently 2).
+(** Protocol version carried in every outgoing payload (currently 3).
     Version 2 added the [Overloaded] / [Deadline_exceeded] statuses and
-    the robustness counters at the tail of {!metrics}. *)
+    the robustness counters at the tail of {!metrics}; version 3
+    appended the kernel-coverage counters. *)
 
 val min_version : int
 (** Oldest peer version the decoders accept (currently 1).  A v1
-    [metrics] payload decodes with the robustness counters zeroed; the
-    v2-only response tags are rejected in a v1 payload. *)
+    [metrics] payload decodes with the robustness counters zeroed, a v2
+    payload with the kernel-coverage counters zeroed; the v2-only
+    response tags are rejected in a v1 payload. *)
 
 val max_frame_len : int
 (** Hard upper bound on a payload's length (16 MiB). *)
@@ -111,6 +113,13 @@ type metrics = {
   slow_client_drops : int;
       (** connections closed because the peer stopped draining its
           write buffer past the backlog cap *)
+  kernel_gates : int;
+      (** gates of cache-miss builds evaluating through a
+          template-specialized kernel, summed over all builds (v3) *)
+  fallback_gates : int;
+      (** gates of cache-miss builds on the generic CSR fallback; the
+          kernel coverage fraction is
+          [kernel_gates / (kernel_gates + fallback_gates)] *)
 }
 
 type response =

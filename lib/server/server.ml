@@ -14,7 +14,9 @@ type config = {
   max_lanes : int;
   domains : int;
   templates : bool;
+  kernels : bool;
   profile_build : bool;
+  profile_eval : bool;
   max_pending : int;
   deadline_ms : float;
   grace_s : float;
@@ -23,7 +25,8 @@ type config = {
 
 let default_config addr =
   { addr; cache_capacity = 8; flush_ms = 0.; max_lanes = 62; domains = 1;
-    templates = true; profile_build = false;
+    templates = true; kernels = true; profile_build = false;
+    profile_eval = false;
     max_pending = 0; deadline_ms = 0.; grace_s = 5.;
     max_backlog = 1 lsl 26 }
 
@@ -57,6 +60,14 @@ type state = {
   wheel : job Timer_wheel.t;
   metrics : Metrics.t;
   pool : Th.Packed.Pool.t option;
+  (* The dispatch loop is single-threaded, so one shared wire-value
+     workspace is safe and amortizes the per-batch buffer allocation;
+     replies are fully decoded inside [dispatch], before the next
+     batch can reuse it. *)
+  ws : Th.Packed.workspace;
+  (* Per-circuit accumulated eval profiles ([profile_eval]), keyed by
+     the batcher's coalescing key. *)
+  profiles : (string, Th.Packed.eval_profile) Hashtbl.t;
   mutable stopping : bool;
   mutable stop_at : float;
   (* The previous select round found no readable connection: together
@@ -119,7 +130,7 @@ let circuit_stats (entry : Circuit_cache.entry) =
   | Circuit_cache.Matmul b -> T.Matmul_circuit.stats b
   | Circuit_cache.Trace b -> T.Trace_circuit.stats b
 
-let dispatch st jobs =
+let dispatch st ~key jobs =
   (* Deadline-expired jobs were already answered and reaped; any still
      in a dispatch list (drain racing expiry) are skipped here. *)
   match List.filter (fun j -> not j.answered) jobs with
@@ -128,8 +139,21 @@ let dispatch st jobs =
       List.iter (fun j -> j.answered <- true) jobs;
       let batch = Array.of_list (List.map (fun j -> j.input) jobs) in
       let lanes = Array.length batch in
+      let profile =
+        if not st.cfg.profile_eval then None
+        else
+          match Hashtbl.find_opt st.profiles key with
+          | Some p -> Some p
+          | None ->
+              let p = Th.Packed.make_profile first.packed in
+              Hashtbl.replace st.profiles key p;
+              Some p
+      in
       let t0 = Clock.now () in
-      (match Th.Packed.run_batch ?pool:st.pool first.packed batch with
+      (match
+         Th.Packed.run_batch ?pool:st.pool ?profile ~ws:st.ws first.packed
+           batch
+       with
       | br ->
           let t1 = Clock.now () in
           let firings = ref 0 in
@@ -213,11 +237,19 @@ let with_entry st c spec k =
   | Ok (entry, cached) ->
       if not cached then begin
         Metrics.observe_build st.metrics ~seconds:entry.build_seconds;
+        let cov = entry.Circuit_cache.coverage in
+        Metrics.observe_coverage st.metrics
+          ~kernel_gates:cov.Th.Packed.kernel_gates
+          ~fallback_gates:cov.Th.Packed.fallback_gates;
         let level = if st.cfg.profile_build then Logs.App else Logs.Info in
         Log.msg level (fun m ->
-            m "built %s in %.3fs (construct %.3fs, lower %.3fs)"
+            let total = cov.Th.Packed.kernel_gates + cov.Th.Packed.fallback_gates in
+            m
+              "built %s in %.3fs (construct %.3fs, lower %.3fs; kernels \
+               cover %d/%d gates)"
               (Circuit_cache.key spec) entry.build_seconds
-              entry.construct_seconds entry.lower_seconds)
+              entry.construct_seconds entry.lower_seconds
+              cov.Th.Packed.kernel_gates total)
       end;
       k entry cached
 
@@ -248,7 +280,7 @@ let handle_run st c ~now spec req =
                 job;
             let key = Circuit_cache.key spec in
             (match Batcher.enqueue st.batcher ~key ~now job with
-            | Some jobs -> dispatch st jobs
+            | Some jobs -> dispatch st ~key jobs
             | None -> ()))
 
 let begin_drain st ~now reason =
@@ -373,7 +405,26 @@ let log_final st ~now reason =
          eval_failures=%d slow_client_drops=%d pending=%d"
         reason m.P.accepted m.P.run_requests m.P.shed m.P.deadline_expired
         m.P.eval_failures m.P.slow_client_drops
-        (Batcher.pending st.batcher))
+        (Batcher.pending st.batcher));
+  if st.cfg.profile_eval then
+    Hashtbl.iter
+      (fun key (p : Th.Packed.eval_profile) ->
+        if Array.length p.Th.Packed.ep_level_ns > 0 then begin
+        let total = Array.fold_left ( +. ) 0. p.Th.Packed.ep_level_ns in
+        let hottest = ref 0 in
+        Array.iteri
+          (fun l ns ->
+            if ns > p.Th.Packed.ep_level_ns.(!hottest) then hottest := l)
+          p.Th.Packed.ep_level_ns;
+        Log.app (fun f ->
+            f
+              "eval profile %s: %d batches, %d lanes, %.3f ms total \
+               (hottest level %d at %.3f ms)"
+              key p.Th.Packed.ep_batches p.Th.Packed.ep_lanes (total /. 1e6)
+              !hottest
+              (p.Th.Packed.ep_level_ns.(!hottest) /. 1e6))
+        end)
+      st.profiles
 
 let rec loop st =
   let now = Clock.now () in
@@ -382,7 +433,7 @@ let rec loop st =
     begin_drain st ~now "SIGTERM"
   end;
   expire_deadlines st ~now;
-  List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.due st.batcher ~now);
+  List.iter (fun (key, jobs) -> dispatch st ~key jobs) (Batcher.due st.batcher ~now);
   let flushed = List.for_all (fun c -> Buffer.length c.out = c.sent) st.conns in
   let drained =
     st.stopping && Batcher.pending st.batcher = 0 && flushed && st.quiet
@@ -439,7 +490,9 @@ let rec loop st =
       && (st.cfg.flush_ms = 0. || st.stopping)
       && not !read_activity
     then
-      List.iter (fun (_, jobs) -> dispatch st jobs) (Batcher.drain st.batcher);
+      List.iter
+        (fun (key, jobs) -> dispatch st ~key jobs)
+        (Batcher.drain st.batcher);
     loop st
   end
 
@@ -481,12 +534,14 @@ let serve_fd cfg listen_fd =
       listen_fd;
       conns = [];
       cache =
-        Circuit_cache.create ~templates:cfg.templates
+        Circuit_cache.create ~templates:cfg.templates ~kernels:cfg.kernels
           ~capacity:(max 1 cfg.cache_capacity) ();
       batcher = Batcher.create ~max_lanes ~flush_ms:cfg.flush_ms ();
       wheel = Timer_wheel.create ~now:started ();
       metrics = Metrics.create ~max_lanes;
       pool;
+      ws = Th.Packed.workspace ();
+      profiles = Hashtbl.create 8;
       stopping = false;
       stop_at = infinity;
       quiet = false;

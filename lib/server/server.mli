@@ -46,9 +46,19 @@ type config = {
   templates : bool;
       (** build cache misses through the template-stamped [Direct] path
           (default); [false] restores the legacy builder *)
+  kernels : bool;
+      (** dispatch template segments to their specialized batch
+          evaluators (default); [false] is the [--no-kernels] escape
+          hatch — the generic CSR loop everywhere, bit-identical
+          replies, only slower.  Per-build kernel coverage feeds the
+          [metrics] response ([kernel_gates] / [fallback_gates]). *)
   profile_build : bool;
       (** log the per-miss construct / lower phase breakdown at [App]
           level (always available at [Info]) *)
+  profile_eval : bool;
+      (** accumulate a per-circuit {!Tcmm_threshold.Packed.eval_profile}
+          across dispatches and log each circuit's per-level summary at
+          [App] level when the daemon drains *)
   max_pending : int;
       (** queued-run cap before shedding with [Overloaded]; [0] =
           unbounded (default) *)
@@ -62,9 +72,9 @@ type config = {
 }
 
 val default_config : Protocol.addr -> config
-(** capacity 8, adaptive flush, 62 lanes, 1 domain, templates on,
-    profiling off, no pending cap, no deadline, 5 s grace, 64 MiB
-    backlog cap. *)
+(** capacity 8, adaptive flush, 62 lanes, 1 domain, templates and
+    kernels on, profiling off, no pending cap, no deadline, 5 s grace,
+    64 MiB backlog cap. *)
 
 val bind : config -> Unix.file_descr * Protocol.addr
 (** Create, bind and listen the server socket without serving.  The

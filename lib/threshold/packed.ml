@@ -2,6 +2,34 @@ module Intvec = Tcmm_util.Intvec
 module Checked = Tcmm_util.Checked
 
 (* ------------------------------------------------------------------ *)
+(* Off-heap storage                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The hot CSR arrays (edge wires, edge weights, gate thresholds, gate
+   output wires) live in Bigarray storage: off the OCaml heap, so the
+   GC never scans or moves the circuit metadata (hundreds of MB at
+   N=32), and unsafe accesses compile to direct loads with no tag
+   arithmetic.  [Array1.create] leaves the storage uninitialized — both
+   constructors below write every live slot, and the one padding slot
+   of an empty array is never read. *)
+type ivec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ba_create n : ivec =
+  Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max n 1)
+
+let ba_of_array a =
+  let b = ba_create (Array.length a) in
+  Array.iteri (fun i x -> Bigarray.Array1.unsafe_set b i x) a;
+  b
+
+(* Eta-expanded on purpose: a bare alias of the primitive is a closure
+   the non-flambda compiler calls out to on every edge; a syntactic
+   function this small inlines to the raw load/store at every direct
+   call site. *)
+let[@inline always] bget (v : ivec) i = Bigarray.Array1.unsafe_get v i
+let[@inline always] bset (v : ivec) i x = Bigarray.Array1.unsafe_set v i x
+
+(* ------------------------------------------------------------------ *)
 (* Packed representation                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -19,8 +47,8 @@ type t = {
      level order) sharing arrays collapse into one *segment*, so the
      pools hold each shared array once — for the big matmul circuits
      this is ~250x smaller than the logical edge count. *)
-  pool_wires : int array;
-  pool_weights : int array;
+  pool_wires : ivec;
+  pool_weights : ivec;
   (* Per segment: pool offset, fan-in, and the packed-gate range
      [seg_gates.(s), seg_gates.(s+1)) of gates sharing that sum. *)
   seg_off : int array;
@@ -44,10 +72,17 @@ type t = {
   level_segs : int array;  (* length levels + 1 *)
   (* Per packed gate (level-major order; thresholds ascend within each
      segment so the firing gates of a segment are a prefix). *)
-  g_threshold : int array;
-  g_wire : int array;  (* output wire id *)
+  g_threshold : ivec;
+  g_wire : ivec;  (* output wire id *)
   outputs : int array;
   max_seg_gates : int;
+  (* Per segment: the specialized batch evaluator compiled from the
+     segment's template ([Kernel.Generic] = CSR fallback).  Empty when
+     kernels are disabled or the circuit was packed via [of_circuit] —
+     dispatch then always takes the generic path. *)
+  kern : Kernel.spec array;
+  k_gates : int;  (* gates covered by a non-generic kernel *)
+  k_segs : int;
 }
 
 let of_circuit (c : Circuit.t) =
@@ -181,8 +216,8 @@ let of_circuit (c : Circuit.t) =
     num_wires;
     num_gates = ng;
     levels;
-    pool_wires = Intvec.to_array pool_wires;
-    pool_weights = Intvec.to_array pool_weights;
+    pool_wires = ba_of_array (Intvec.to_array pool_wires);
+    pool_weights = ba_of_array (Intvec.to_array pool_weights);
     seg_off = Intvec.to_array seg_off;
     seg_fan = Intvec.to_array seg_fan;
     seg_gates = Intvec.to_array seg_gates;
@@ -190,17 +225,37 @@ let of_circuit (c : Circuit.t) =
     grp_off = Intvec.to_array grp_off;
     grp_weight = Intvec.to_array grp_weight;
     level_segs;
-    g_threshold;
-    g_wire;
+    g_threshold = ba_of_array g_threshold;
+    g_wire = ba_of_array g_wire;
     outputs = c.Circuit.outputs;
     max_seg_gates = !max_seg_gates;
+    kern = [||];
+    k_gates = 0;
+    k_segs = 0;
   }
 
 let circuit t = Lazy.force t.circuit
 let num_gates t = t.num_gates
 let num_levels t = t.levels
 let num_segments t = Array.length t.seg_off
-let pool_edges t = Array.length t.pool_wires
+(* [grp_off]'s sentinel is the pool size (the Bigarray itself is padded
+   to length >= 1, so its dim is not authoritative). *)
+let pool_edges t = t.grp_off.(Array.length t.grp_off - 1)
+
+type coverage = {
+  kernel_gates : int;
+  fallback_gates : int;
+  kernel_segments : int;
+  generic_segments : int;
+}
+
+let coverage t =
+  {
+    kernel_gates = t.k_gates;
+    fallback_gates = t.num_gates - t.k_gates;
+    kernel_segments = t.k_segs;
+    generic_segments = Array.length t.seg_off - t.k_segs;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Domain pool                                                        *)
@@ -359,6 +414,7 @@ let dummy_pseg =
     q_grp_weight = [||];
     q_th = [||];
     q_th_gate = [||];
+    q_kernel = Kernel.Generic;
   }
 
 (* Materialize the gate array of an arena (only reached through the lazy
@@ -394,7 +450,7 @@ let gates_of_arena (a : Builder.arena) =
     a.Builder.a_items;
   if ng = 0 then [||] else gates
 
-let of_arena ?pool ?(domains = 1) (a : Builder.arena) =
+let of_arena ?pool ?(domains = 1) ?(kernels = true) (a : Builder.arena) =
   let num_inputs = a.Builder.a_num_inputs in
   let ng = a.Builder.a_num_gates in
   let num_wires = a.Builder.a_num_wires in
@@ -446,16 +502,18 @@ let of_arena ?pool ?(domains = 1) (a : Builder.arena) =
   let ngroups = lvl_grp0.(levels) in
   let nedges = lvl_edge0.(levels) in
   assert (lvl_gate0.(levels) = ng);
-  let pool_wires = Array.make (max nedges 1) 0 in
-  let pool_weights = Array.make (max nedges 1) 0 in
+  let pool_wires = ba_create nedges in
+  let pool_weights = ba_create nedges in
   let seg_off = Array.make (max nsegs 1) 0 in
   let seg_fan = Array.make (max nsegs 1) 0 in
   let seg_gates = Array.make (nsegs + 1) 0 in
   let seg_grp = Array.make (nsegs + 1) 0 in
   let grp_off = Array.make (ngroups + 1) 0 in
   let grp_weight = Array.make (max ngroups 1) 0 in
-  let g_threshold = Array.make (max ng 1) 0 in
-  let g_wire = Array.make (max ng 1) 0 in
+  let g_threshold = ba_create ng in
+  let g_wire = ba_create ng in
+  let kern = if kernels then Array.make (max nsegs 1) Kernel.Generic else [||] in
+  let k_gates = ref 0 and k_segs = ref 0 in
   let src_ps = Array.make (max nsegs 1) dummy_pseg in
   let src_w0 = Array.make (max nsegs 1) 0 in
   let src_slots = Array.make (max nsegs 1) [||] in
@@ -492,6 +550,13 @@ let of_arena ?pool ?(domains = 1) (a : Builder.arena) =
           done;
           if ps.Template.q_count > !max_seg_gates then
             max_seg_gates := ps.Template.q_count;
+          (if kernels then
+             match ps.Template.q_kernel with
+             | Kernel.Generic -> ()
+             | spec ->
+                 kern.(s) <- spec;
+                 k_gates := !k_gates + ps.Template.q_count;
+                 incr k_segs);
           src_ps.(s) <- ps;
           src_w0.(s) <- w0;
           src_slots.(s) <- slots)
@@ -507,16 +572,41 @@ let of_arena ?pool ?(domains = 1) (a : Builder.arena) =
     let w0 = src_w0.(s) and slots = src_slots.(s) in
     let e = seg_off.(s) in
     let refs = ps.Template.q_refs in
+    let weights = ps.Template.q_weights in
     for i = 0 to ps.Template.q_fan - 1 do
       let r = Array.unsafe_get refs i in
-      Array.unsafe_set pool_wires (e + i)
-        (if r >= 0 then w0 + r else Array.unsafe_get slots (-r - 1))
+      bset pool_wires (e + i)
+        (if r >= 0 then w0 + r else Array.unsafe_get slots (-r - 1));
+      bset pool_weights (e + i) (Array.unsafe_get weights i)
     done;
-    Array.blit ps.Template.q_weights 0 pool_weights e ps.Template.q_fan;
+    (* Kernel-grade CSR: sort each sizable weight group's edges by wire
+       id.  Within a group every edge carries the same weight, so any
+       order computes the same sums (checked evaluation simply follows
+       the sorted order), and the truth-table kernels are invariant
+       under permuting equal-weight positions.  The paper's wide shared
+       layers gather thousands of scattered wires per segment; the
+       batched fold is memory-latency-bound on those reads, and a
+       monotone scan turns them into cache-line-coalesced sweeps. *)
+    (if kernels then
+       let gs = ps.Template.q_grp_start in
+       let ngr = Array.length gs in
+       for g = 0 to ngr - 1 do
+         let a0 = e + gs.(g) in
+         let a1 = if g + 1 < ngr then e + gs.(g + 1) else e + ps.Template.q_fan in
+         let len = a1 - a0 in
+         if len >= 16 then begin
+           let tmp = Array.init len (fun i -> bget pool_wires (a0 + i)) in
+           Array.sort (fun (x : int) y -> compare x y) tmp;
+           for i = 0 to len - 1 do
+             bset pool_wires (a0 + i) tmp.(i)
+           done
+         end
+       done);
     let p = seg_gates.(s) in
-    Array.blit ps.Template.q_th 0 g_threshold p ps.Template.q_count;
+    let th = ps.Template.q_th and thg = ps.Template.q_th_gate in
     for i = 0 to ps.Template.q_count - 1 do
-      g_wire.(p + i) <- w0 + ps.Template.q_th_gate.(i)
+      bset g_threshold (p + i) (Array.unsafe_get th i);
+      bset g_wire (p + i) (w0 + Array.unsafe_get thg i)
     done
   in
   let run_fill pl =
@@ -557,6 +647,9 @@ let of_arena ?pool ?(domains = 1) (a : Builder.arena) =
     g_wire;
     outputs = a.Builder.a_outputs;
     max_seg_gates = !max_seg_gates;
+    kern;
+    k_gates = !k_gates;
+    k_segs = !k_segs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -576,31 +669,31 @@ let eval_segs ~check t values lo hi =
     let sum = ref 0 in
     if check then
       for i = off to off + fan - 1 do
-        if Bytes.unsafe_get values (Array.unsafe_get pw i) <> '\000' then
-          sum := Checked.add !sum (Array.unsafe_get pwt i)
+        if Bytes.unsafe_get values (bget pw i) <> '\000' then
+          sum := Checked.add !sum (bget pwt i)
       done
     else
       for i = off to off + fan - 1 do
-        if Bytes.unsafe_get values (Array.unsafe_get pw i) <> '\000' then
-          sum := !sum + Array.unsafe_get pwt i
+        if Bytes.unsafe_get values (bget pw i) <> '\000' then
+          sum := !sum + bget pwt i
       done;
     let s0 = !sum in
     let glo = Array.unsafe_get t.seg_gates s in
     let ghi = Array.unsafe_get t.seg_gates (s + 1) in
     let cut =
-      if ghi - glo = 1 then if s0 >= Array.unsafe_get th glo then ghi else glo
+      if ghi - glo = 1 then if s0 >= bget th glo then ghi else glo
       else begin
         (* first index whose threshold exceeds the sum *)
         let a = ref glo and b = ref ghi in
         while !a < !b do
           let mid = (!a + !b) lsr 1 in
-          if Array.unsafe_get th mid <= s0 then a := mid + 1 else b := mid
+          if bget th mid <= s0 then a := mid + 1 else b := mid
         done;
         !a
       end
     in
     for g = glo to cut - 1 do
-      Bytes.unsafe_set values (Array.unsafe_get gw g) '\001'
+      Bytes.unsafe_set values (bget gw g) '\001'
     done;
     fired := !fired + (cut - glo)
   done;
@@ -665,35 +758,28 @@ let run ?(check = false) ?pool ?(domains = 1) t inputs =
 
 (* Lanes are packed into the low [word_lanes] bits of a native int (62
    keeps every word nonnegative, so isolated bits stay in 1 lsl 0..61).
-   One traversal of the circuit metadata evaluates up to 62 input
-   vectors. *)
-let word_lanes = 62
+   One traversal of the circuit metadata evaluates the whole batch:
+   wire values are stored wire-major ([vals.(wire * wordc + word)]), so
+   each segment reads its metadata once and sweeps the words of each
+   edge contiguously. *)
+let word_lanes = Kernel.word_lanes
 
-(* de Bruijn-style bit indexing: [(b * ctz_mul) lsr 56] is distinct for
-   every b = 1 lsl e with e in 0..61 (verified at init), so a single
-   multiply maps an isolated bit to a 7-bit hash slot — no division in
-   the innermost batched loop.  [ctz_table] decodes a slot back to its
-   lane; [lane_slot] is the inverse (lane -> slot), letting the per-lane
+(* de Bruijn-style bit indexing (see [Kernel]): a single multiply maps
+   an isolated bit to a 7-bit hash slot — no division in the innermost
+   batched loop.  [ctz_table] decodes a slot back to its lane;
+   [lane_slot] is the inverse (lane -> slot), letting the per-lane
    accumulators live directly at their hash slots so the accumulate loop
    needs no decode at all. *)
-let ctz_mul = 0x540ddf87957338eb
-let ctz_slots = 128
-
-let ctz_table, lane_slot =
-  let t = Array.make ctz_slots (-1) in
-  let inv = Array.make word_lanes 0 in
-  for e = 0 to word_lanes - 1 do
-    let idx = ((1 lsl e) * ctz_mul) lsr 56 in
-    assert (t.(idx) = -1);
-    t.(idx) <- e;
-    inv.(e) <- idx
-  done;
-  (t, inv)
+let ctz_mul = Kernel.ctz_mul
+let ctz_slots = Kernel.ctz_slots
+let ctz_table = Kernel.ctz_table
+let lane_slot = Kernel.lane_slot
+let full_word = (1 lsl word_lanes) - 1
 
 type batch_result = {
   b_lanes : int;
   b_wordc : int;
-  b_words : int array array;  (* per lane-word: one value word per wire *)
+  b_vals : int array;  (* wire-major: vals.(wire * wordc + word) *)
   b_outputs : bool array array;
   b_firings : int array;
   b_level_firings : int array array;
@@ -707,155 +793,629 @@ let csa_cutoff = 16
    [log2 max_fan] bits; 62 is a safe ceiling (group sizes are < 2^62). *)
 let csa_bits = 62
 
-(* Evaluate segments [lo, hi) for one word of [w_lanes] lanes; returns
-   per-lane firing counts for those segments. *)
-let eval_batch_segs ~check t vals ~w_lanes lo hi =
-  let fires = Array.make w_lanes 0 in
-  let accs = Array.make ctz_slots 0 in
-  let cnt = Array.make csa_bits 0 in
-  let gate_out = Array.make (max t.max_seg_gates 1) 0 in
+(* Per-evaluator scratch, allocated once per [run_batch] (per chunk
+   slot under a pool) and reused across every level — the level loop
+   itself is allocation-free.  The [wordc]-scaled areas are sliced per
+   lane word ([wd * ctz_slots], [wd * csa_bits]); [sc_cnt] is kept
+   all-zero between segments (both writers re-zero exactly the slots
+   they rippled into). *)
+type scratch = {
+  sc_accs : int array;  (* wordc * ctz_slots: per-lane sums by hash slot *)
+  sc_cnt : int array;  (* wordc * csa_bits: bit-sliced per-lane counters *)
+  sc_maxj : int array;  (* wordc: counter bits in use per word *)
+  sc_gate_out : int array;  (* max_seg_gates: per-gate firing words *)
+  sc_bucket : int array;
+      (* max_seg_gates + 1: lanes bucketed by firing-prefix length;
+         kept all-zero between segments *)
+  sc_mt : int array;  (* 2^tt_max_fan: minterm tree *)
+  sc_ew : int array;  (* tt_max_fan: edge input words *)
+  sc_ewi : int array;  (* tt_max_fan: edge value-row offsets *)
+  sc_gv : int array;
+      (* max_seg_fan * wordc: gathered edge value words.  The carry-save
+         kernels gather a group's scattered wire rows here in a pure
+         load/store pass — no arithmetic between the loads, so the
+         out-of-order window keeps tens of cache misses in flight —
+         then fold the contiguous copy. *)
+  sc_ms : int array;
+      (* wordc * csa_bits: bit-sliced master accumulator of the
+         carry-save kernels (plane j = bit j of every lane's biased
+         segment sum); kept all-zero between segments *)
+}
+
+let make_scratch t ~wordc =
+  let max_fan = Array.fold_left max 1 t.seg_fan in
+  {
+    sc_accs = Array.make (wordc * ctz_slots) 0;
+    sc_cnt = Array.make (wordc * csa_bits) 0;
+    sc_maxj = Array.make wordc 0;
+    sc_gate_out = Array.make (max t.max_seg_gates 1) 0;
+    sc_bucket = Array.make (t.max_seg_gates + 1) 0;
+    sc_mt = Array.make (1 lsl Kernel.tt_max_fan) 0;
+    sc_ew = Array.make Kernel.tt_max_fan 0;
+    sc_ewi = Array.make Kernel.tt_max_fan 0;
+    sc_gv = Array.make (max_fan * wordc) 0;
+    sc_ms = Array.make (wordc * csa_bits) 0;
+  }
+
+(* Evaluate segments [lo, hi) for every lane word in one metadata
+   traversal, adding per-lane firing counts into [fires] (length
+   [lanes], indexed by global lane = word * 62 + bit).  Dead lanes of
+   the last word hold 0 on every wire: inputs are only packed for real
+   lanes, and every gate write below is masked to the word's active
+   lanes — so set-bit iteration never visits them. *)
+let eval_batch_segs ~check t sc vals ~wordc ~lanes ~fires lo hi =
   let pw = t.pool_wires and pwt = t.pool_weights in
   let th = t.g_threshold and gw = t.g_wire in
   let ctz = ctz_table and ls = lane_slot in
+  let accs = sc.sc_accs and cnt = sc.sc_cnt and maxjs = sc.sc_maxj in
+  let gate_out = sc.sc_gate_out in
+  let kern = t.kern in
+  let have_kern = (not check) && Array.length kern <> 0 in
+  (* Branchless carry-save fold of edges [e0, e1) into the bit-sliced
+     counters, [w] levels deep ([w >= bits_for (e1 - e0)], so the carry
+     out of the top level is always zero).  Edges are consumed in
+     pairs: a 3:2 compressor at level 0, then a fixed-depth ripple.
+     The fixed trip count is the point — the generic path's
+     data-dependent early-out mispredicts on nearly every edge, and
+     each flush discards the speculative gather loads; this form keeps
+     the loads streaming. *)
+  let gv = sc.sc_gv in
+  let fold_group ~neg e0 e1 w =
+    let len = e1 - e0 in
+    (* [neg] complements every word on the way in — a negative-weight
+       group counts zeros (see the carry-save branch below); the
+       garbage this plants in dead lane positions never crosses lanes
+       in the bit-sliced arithmetic and is masked off before any
+       output is written.
+
+       Single-word batches read [vals] straight through the wire
+       indices inside the ladder (its 16 loads per chunk are mutually
+       independent, so the misses overlap).  Multi-word batches first
+       gather each edge's row into contiguous scratch so the per-word
+       passes below stream it. *)
+    let nmask = if neg then -1 else 0 in
+    (if wordc > 1 then
+       for i = 0 to len - 1 do
+         let wb = bget pw (e0 + i) * wordc in
+         for wd = 0 to wordc - 1 do
+           Array.unsafe_set gv ((i * wordc) + wd)
+             (Array.unsafe_get vals (wb + wd) lxor nmask)
+         done
+       done);
+    (* Compute pass: a Harley-Seal carry-save ladder.  Running
+       [ones]/[twos]/[fours]/[eights] registers absorb the stream two
+       words at a time (15 compressors per 16 edges, all in
+       registers), and only the one sixteens-carry per chunk — zero
+       for most chunks on ~8%-ones wires — touches the counter array.
+       That is ~5 word ops per edge where the naive pairwise ripple
+       pays ~4(w-1); every compressor conserves the summed count, and
+       the group total stays below [2^w], so no carry ever leaves the
+       top level and the counts are exact. *)
+    for wd = 0 to wordc - 1 do
+      let cb = wd * csa_bits in
+      (* Ripple [x] into counter levels [l0, w). *)
+      let[@inline always] insert x l0 =
+        if x <> 0 then begin
+          let carry = ref x in
+          for j = l0 to w - 1 do
+            let c = Array.unsafe_get cnt (cb + j) in
+            Array.unsafe_set cnt (cb + j) (c lxor !carry);
+            carry := c land !carry
+          done
+        end
+      in
+      let direct = wordc = 1 in
+      let i = ref 0 in
+      if len >= 16 then begin
+        (* len >= 16 forces w = bits_for len >= 5, so the
+           sixteens-carry always has a level to land on. *)
+        let ones = ref 0 and twos = ref 0 in
+        let fours = ref 0 and eights = ref 0 in
+        while !i + 16 <= len do
+          let b = (!i * wordc) + wd in
+          let i0 = e0 + !i in
+          let[@inline always] g k =
+            if direct then
+              Array.unsafe_get vals (bget pw (i0 + k)) lxor nmask
+            else Array.unsafe_get gv (b + (k * wordc))
+          in
+          let x0 = g 0 and x1 = g 1 in
+          let u = !ones lxor x0 in
+          let t2a = (!ones land x0) lor (u land x1) in
+          ones := u lxor x1;
+          let x2 = g 2 and x3 = g 3 in
+          let u = !ones lxor x2 in
+          let t2b = (!ones land x2) lor (u land x3) in
+          ones := u lxor x3;
+          let u = !twos lxor t2a in
+          let f4a = (!twos land t2a) lor (u land t2b) in
+          twos := u lxor t2b;
+          let x4 = g 4 and x5 = g 5 in
+          let u = !ones lxor x4 in
+          let t2a = (!ones land x4) lor (u land x5) in
+          ones := u lxor x5;
+          let x6 = g 6 and x7 = g 7 in
+          let u = !ones lxor x6 in
+          let t2b = (!ones land x6) lor (u land x7) in
+          ones := u lxor x7;
+          let u = !twos lxor t2a in
+          let f4b = (!twos land t2a) lor (u land t2b) in
+          twos := u lxor t2b;
+          let u = !fours lxor f4a in
+          let e8a = (!fours land f4a) lor (u land f4b) in
+          fours := u lxor f4b;
+          let x8 = g 8 and x9 = g 9 in
+          let u = !ones lxor x8 in
+          let t2a = (!ones land x8) lor (u land x9) in
+          ones := u lxor x9;
+          let x10 = g 10 and x11 = g 11 in
+          let u = !ones lxor x10 in
+          let t2b = (!ones land x10) lor (u land x11) in
+          ones := u lxor x11;
+          let u = !twos lxor t2a in
+          let f4a = (!twos land t2a) lor (u land t2b) in
+          twos := u lxor t2b;
+          let x12 = g 12 and x13 = g 13 in
+          let u = !ones lxor x12 in
+          let t2a = (!ones land x12) lor (u land x13) in
+          ones := u lxor x13;
+          let x14 = g 14 and x15 = g 15 in
+          let u = !ones lxor x14 in
+          let t2b = (!ones land x14) lor (u land x15) in
+          ones := u lxor x15;
+          let u = !twos lxor t2a in
+          let f4b = (!twos land t2a) lor (u land t2b) in
+          twos := u lxor t2b;
+          let u = !fours lxor f4a in
+          let e8b = (!fours land f4a) lor (u land f4b) in
+          fours := u lxor f4b;
+          let u = !eights lxor e8a in
+          let s16 = (!eights land e8a) lor (u land e8b) in
+          eights := u lxor e8b;
+          insert s16 4;
+          i := !i + 16
+        done;
+        insert !ones 0;
+        insert !twos 1;
+        insert !fours 2;
+        insert !eights 3
+      end;
+      while !i < len do
+        insert
+          (if direct then
+             Array.unsafe_get vals (bget pw (e0 + !i)) lxor nmask
+           else Array.unsafe_get gv ((!i * wordc) + wd))
+          0;
+        incr i
+      done
+    done
+  in
   for s = lo to hi - 1 do
-    Array.fill accs 0 ctz_slots 0;
-    (* Per-lane accumulators, addressed by hash slot: one metadata read
-       per edge, then only the lanes whose wire is 1 pay an add (firing
-       is sparse on the paper's circuits, so iterating set bits beats a
-       dense lane loop). *)
-    if check then begin
-      (* Checked mode stays on the straightforward per-edge loop so the
-         running per-lane sums follow pool order exactly. *)
-      let off = Array.unsafe_get t.seg_off s in
-      let fan = Array.unsafe_get t.seg_fan s in
-      for i = off to off + fan - 1 do
-        let m = ref (Array.unsafe_get vals (Array.unsafe_get pw i)) in
-        if !m <> 0 then begin
-          let wt = Array.unsafe_get pwt i in
-          while !m <> 0 do
-            let b = !m land (- !m) in
-            let sl = (b * ctz_mul) lsr 56 in
-            Array.unsafe_set accs sl (Checked.add (Array.unsafe_get accs sl) wt);
-            m := !m lxor b
-          done
-        end
-      done
-    end
-    else begin
-      (* Edges come grouped by weight.  Large groups (the paper's wide
-         shared layers have fan-in in the hundreds but only a few
-         distinct weights) use a carry-save ladder: per edge, one xor/and
-         ripple folds the wire word into bit-sliced per-lane counters for
-         all 62 lanes at once; the counters are unsliced once per group
-         via [acc += (wt lsl j)] per set counter bit.  Wrap-around
-         arithmetic agrees bit-for-bit with per-edge adds (sums are
-         computed mod 2^63 either way).  Small groups keep the direct
-         per-set-bit adds. *)
-      let g0 = Array.unsafe_get t.seg_grp s in
-      let g1 = Array.unsafe_get t.seg_grp (s + 1) in
-      for g = g0 to g1 - 1 do
-        let e0 = Array.unsafe_get t.grp_off g in
-        let e1 = Array.unsafe_get t.grp_off (g + 1) in
-        let wt = Array.unsafe_get t.grp_weight g in
-        if e1 - e0 >= csa_cutoff then begin
-          let maxj = ref 0 in
-          for i = e0 to e1 - 1 do
-            let x = ref (Array.unsafe_get vals (Array.unsafe_get pw i)) in
-            let j = ref 0 in
-            while !x <> 0 do
-              let c = Array.unsafe_get cnt !j in
-              Array.unsafe_set cnt !j (c lxor !x);
-              x := c land !x;
-              incr j
-            done;
-            if !j > !maxj then maxj := !j
-          done;
-          for j = 0 to !maxj - 1 do
-            let m = ref (Array.unsafe_get cnt j) in
-            Array.unsafe_set cnt j 0;
-            let wj = wt lsl j in
-            while !m <> 0 do
-              let b = !m land (- !m) in
-              let sl = (b * ctz_mul) lsr 56 in
-              Array.unsafe_set accs sl (Array.unsafe_get accs sl + wj);
-              m := !m lxor b
-            done
-          done
-        end
-        else
-          for i = e0 to e1 - 1 do
-            let m = ref (Array.unsafe_get vals (Array.unsafe_get pw i)) in
-            while !m <> 0 do
-              let b = !m land (- !m) in
-              let sl = (b * ctz_mul) lsr 56 in
-              Array.unsafe_set accs sl (Array.unsafe_get accs sl + wt);
-              m := !m lxor b
-            done
-          done
-      done
-    end;
     let glo = Array.unsafe_get t.seg_gates s in
     let ghi = Array.unsafe_get t.seg_gates (s + 1) in
     let k = ghi - glo in
-    if k = 1 then begin
-      let t0 = Array.unsafe_get th glo in
-      let out = ref 0 in
-      for l = 0 to w_lanes - 1 do
-        if Array.unsafe_get accs (Array.unsafe_get ls l) >= t0 then
-          out := !out lor (1 lsl l)
-      done;
-      let out = !out in
-      if out <> 0 then begin
-        Array.unsafe_set vals (Array.unsafe_get gw glo) out;
-        let m = ref out in
-        while !m <> 0 do
-          let b = !m land (- !m) in
-          let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
-          Array.unsafe_set fires l (Array.unsafe_get fires l + 1);
-          m := !m lxor b
-        done
-      end
-    end
-    else begin
-      (* Lanes clearing even the lowest threshold fire a nonempty prefix;
-         often there are none, and the whole segment is skipped. *)
-      let t0 = Array.unsafe_get th glo in
-      let live = ref 0 in
-      for l = 0 to w_lanes - 1 do
-        if Array.unsafe_get accs (Array.unsafe_get ls l) >= t0 then
-          live := !live lor (1 lsl l)
-      done;
-      if !live <> 0 then begin
-        Array.fill gate_out 0 k 0;
-        let m = ref !live in
-        while !m <> 0 do
-          let b = !m land (- !m) in
-          let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
-          let s0 = Array.unsafe_get accs (Array.unsafe_get ls l) in
-          (* th.(glo) <= s0 already, so search in (glo, ghi]. *)
-          let a = ref (glo + 1) and hi2 = ref ghi in
-          while !a < !hi2 do
-            let mid = (!a + !hi2) lsr 1 in
-            if Array.unsafe_get th mid <= s0 then a := mid + 1 else hi2 := mid
-          done;
-          let cut = !a in
-          for j = 0 to cut - glo - 1 do
-            Array.unsafe_set gate_out j (Array.unsafe_get gate_out j lor b)
-          done;
-          Array.unsafe_set fires l (Array.unsafe_get fires l + (cut - glo));
-          m := !m lxor b
+    let spec = if have_kern then Array.unsafe_get kern s else Kernel.Generic in
+    match spec with
+    | Kernel.Tt { k_fan; k_tt } ->
+        (* Truth-table kernel: shared minterm tree per word, baked
+           firing sets per gate — no accumulators at all. *)
+        let off = Array.unsafe_get t.seg_off s in
+        let ew = sc.sc_ew and ewi = sc.sc_ewi and mt = sc.sc_mt in
+        for i = 0 to k_fan - 1 do
+          Array.unsafe_set ewi i (bget pw (off + i) * wordc)
         done;
-        for j = 0 to k - 1 do
-          let out = Array.unsafe_get gate_out j in
-          if out <> 0 then
-            Array.unsafe_set vals (Array.unsafe_get gw (glo + j)) out
+        for wd = 0 to wordc - 1 do
+          let base = wd * word_lanes in
+          let w_lanes = lanes - base in
+          let full =
+            if w_lanes >= word_lanes then full_word else (1 lsl w_lanes) - 1
+          in
+          for i = 0 to k_fan - 1 do
+            Array.unsafe_set ew i
+              (Array.unsafe_get vals (Array.unsafe_get ewi i + wd))
+          done;
+          Kernel.eval_tt ~mt ~fan:k_fan ~tt:k_tt ~count:k ~full ~ew
+            ~out:gate_out;
+          (* Ascending thresholds nest the firing words
+             ([gate_out.(j)] contains [gate_out.(j+1)]), so each lane's
+             firing count is its prefix length: walk top-down and
+             charge [j + 1] to the lanes whose prefix ends exactly
+             there — one set-bit visit per firing lane instead of one
+             per firing gate. *)
+          let prev = ref 0 in
+          for j = k - 1 downto 0 do
+            let out = Array.unsafe_get gate_out j in
+            if out <> 0 then begin
+              Array.unsafe_set vals (bget gw (glo + j) * wordc + wd) out;
+              let m = ref (out land lnot !prev) in
+              while !m <> 0 do
+                let b = !m land (- !m) in
+                let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                Array.unsafe_set fires (base + l)
+                  (Array.unsafe_get fires (base + l) + j + 1);
+                m := !m lxor b
+              done;
+              prev := out
+            end
+          done
         done
-      end
-    end
-  done;
-  fires
+    | Kernel.Pop { k_bits; k_cmp; k_c } ->
+        (* Popcount kernel: carry-save fold of the (single-weight)
+           segment into bit-sliced counters, then one MSB-first compare
+           per gate per word against the baked count bound.  Bounds are
+           monotone in the (ascending) thresholds, so the first empty
+           gate word ends the word's prefix. *)
+        let off = Array.unsafe_get t.seg_off s in
+        let fan = Array.unsafe_get t.seg_fan s in
+        fold_group ~neg:false off (off + fan) k_bits;
+        for wd = 0 to wordc - 1 do
+          let base = wd * word_lanes in
+          let w_lanes = lanes - base in
+          let full =
+            if w_lanes >= word_lanes then full_word else (1 lsl w_lanes) - 1
+          in
+          let cb = wd * csa_bits in
+          (* Monotone bounds nest the firing words, so charge each
+             lane its prefix length once: lanes leaving the prefix at
+             gate [j] get [j], and whatever survives the loop gets the
+             final prefix length. *)
+          let j = ref 0 in
+          let go = ref true in
+          let prev = ref 0 in
+          while !go && !j < k do
+            let c = Array.unsafe_get k_c !j in
+            let out =
+              match k_cmp with
+              | Kernel.Ge -> Kernel.cmp_ge cnt ~base:cb ~bits:k_bits ~c ~full
+              | Kernel.Le -> Kernel.cmp_le cnt ~base:cb ~bits:k_bits ~c ~full
+            in
+            if out = 0 then go := false
+            else begin
+              Array.unsafe_set vals (bget gw (glo + !j) * wordc + wd) out;
+              let m = ref (!prev land lnot out) in
+              while !m <> 0 do
+                let b = !m land (- !m) in
+                let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                Array.unsafe_set fires (base + l)
+                  (Array.unsafe_get fires (base + l) + !j);
+                m := !m lxor b
+              done;
+              prev := out;
+              incr j
+            end
+          done;
+          let m = ref !prev in
+          while !m <> 0 do
+            let b = !m land (- !m) in
+            let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+            Array.unsafe_set fires (base + l)
+              (Array.unsafe_get fires (base + l) + !j);
+            m := !m lxor b
+          done;
+          for j = 0 to k_bits - 1 do
+            Array.unsafe_set cnt (cb + j) 0
+          done
+        done;
+    | Kernel.Csa { k_widths; k_mbits; k_bth } ->
+        (* Carry-save kernel: fully bit-sliced.  Each weight group's
+           per-lane count is folded branchlessly (fixed depth baked in
+           [k_widths]), then shift-added into the bit-sliced master
+           accumulator — one ripple add per set bit of [|weight|]; a
+           negative group folds complemented inputs (counting zeros),
+           which the compile-time threshold bias accounts for.  No
+           per-lane accumulators are ever touched: thresholding reads
+           the master planes directly.  Counts and biased sums are
+           exact (every compressor conserves them and the master is
+           bounded by the baked span), so outputs match the generic
+           path bit for bit. *)
+        let ms = sc.sc_ms in
+        let g0 = Array.unsafe_get t.seg_grp s in
+        let g1 = Array.unsafe_get t.seg_grp (s + 1) in
+        for g = g0 to g1 - 1 do
+          let e0 = Array.unsafe_get t.grp_off g in
+          let e1 = Array.unsafe_get t.grp_off (g + 1) in
+          let wt = Array.unsafe_get t.grp_weight g in
+          let w = Array.unsafe_get k_widths (g - g0) in
+          fold_group ~neg:(wt < 0) e0 e1 w;
+          (* master += count << sh, for each set bit sh of |wt|; the
+             counters are read, not consumed, so multi-bit magnitudes
+             just add again at their next shift. *)
+          let a = ref (abs wt) in
+          while !a <> 0 do
+            let b = !a land (- !a) in
+            let sh = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+            for wd = 0 to wordc - 1 do
+              let cb = wd * csa_bits in
+              let carry = ref 0 in
+              for j = 0 to w - 1 do
+                let x = Array.unsafe_get cnt (cb + j) in
+                let m = Array.unsafe_get ms (cb + sh + j) in
+                let u = m lxor x in
+                Array.unsafe_set ms (cb + sh + j) (u lxor !carry);
+                carry := (m land x) lor (u land !carry)
+              done;
+              let j = ref (sh + w) in
+              while !carry <> 0 && !j < k_mbits do
+                let m = Array.unsafe_get ms (cb + !j) in
+                Array.unsafe_set ms (cb + !j) (m lxor !carry);
+                carry := m land !carry;
+                incr j
+              done
+            done;
+            a := !a land (!a - 1)
+          done;
+          for wd = 0 to wordc - 1 do
+            let cb = wd * csa_bits in
+            for j = 0 to w - 1 do
+              Array.unsafe_set cnt (cb + j) 0
+            done
+          done
+        done;
+        (* Biased-threshold phase straight off the master planes. *)
+        for wd = 0 to wordc - 1 do
+          let base = wd * word_lanes in
+          let w_lanes = lanes - base in
+          let full =
+            if w_lanes >= word_lanes then full_word else (1 lsl w_lanes) - 1
+          in
+          let mb = wd * csa_bits in
+          let live =
+            Kernel.cmp_ge ms ~base:mb ~bits:k_mbits
+              ~c:(Array.unsafe_get k_bth 0) ~full
+          in
+          if live <> 0 then
+            if k = 1 then begin
+              Array.unsafe_set vals (bget gw glo * wordc + wd) live;
+              let m = ref live in
+              while !m <> 0 do
+                let b = !m land (- !m) in
+                let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                Array.unsafe_set fires (base + l)
+                  (Array.unsafe_get fires (base + l) + 1);
+                m := !m lxor b
+              done
+            end
+            else begin
+              (* Ascending biased thresholds nest the firing words, so
+                 evaluate gates in threshold order — one bit-sliced
+                 compare each, all lanes at once — and stop at the
+                 first empty word.  The average firing prefix is a
+                 small fraction of [k] on the paper's circuits, which
+                 beats extracting every live lane's sum from the
+                 planes.  Lanes leaving the prefix at gate [j] fired
+                 exactly [j] gates; survivors are charged the final
+                 prefix length (same accounting as the Pop branch). *)
+              Array.unsafe_set vals (bget gw glo * wordc + wd) live;
+              let j = ref 1 in
+              let prev = ref live in
+              let go = ref true in
+              while !go && !j < k do
+                let out =
+                  Kernel.cmp_ge ms ~base:mb ~bits:k_mbits
+                    ~c:(Array.unsafe_get k_bth !j) ~full
+                in
+                if out = 0 then go := false
+                else begin
+                  Array.unsafe_set vals (bget gw (glo + !j) * wordc + wd) out;
+                  let m = ref (!prev land lnot out) in
+                  while !m <> 0 do
+                    let b = !m land (- !m) in
+                    let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                    Array.unsafe_set fires (base + l)
+                      (Array.unsafe_get fires (base + l) + !j);
+                    m := !m lxor b
+                  done;
+                  prev := out;
+                  incr j
+                end
+              done;
+              let m = ref !prev in
+              while !m <> 0 do
+                let b = !m land (- !m) in
+                let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                Array.unsafe_set fires (base + l)
+                  (Array.unsafe_get fires (base + l) + !j);
+                m := !m lxor b
+              done
+            end;
+          for j = 0 to k_mbits - 1 do
+            Array.unsafe_set ms (mb + j) 0
+          done
+        done
+    | Kernel.Generic ->
+        Array.fill accs 0 (wordc * ctz_slots) 0;
+        (* Per-lane accumulators, addressed by hash slot: one metadata
+           read per edge, then only the lanes whose wire is 1 pay an add
+           (firing is sparse on the paper's circuits, so iterating set
+           bits beats a dense lane loop). *)
+        (if check then begin
+           (* Checked mode stays on the straightforward per-edge loop so
+              the running per-lane sums follow pool order exactly. *)
+           let off = Array.unsafe_get t.seg_off s in
+           let fan = Array.unsafe_get t.seg_fan s in
+           for i = off to off + fan - 1 do
+             let wb = bget pw i * wordc in
+             let wt = bget pwt i in
+             for wd = 0 to wordc - 1 do
+               let m = ref (Array.unsafe_get vals (wb + wd)) in
+               if !m <> 0 then begin
+                 let ab = wd * ctz_slots in
+                 while !m <> 0 do
+                   let b = !m land (- !m) in
+                   let sl = ab + ((b * ctz_mul) lsr 56) in
+                   Array.unsafe_set accs sl
+                     (Checked.add (Array.unsafe_get accs sl) wt);
+                   m := !m lxor b
+                 done
+               end
+             done
+           done
+         end
+         else begin
+           (* Edges come grouped by weight.  Large groups (the paper's
+              wide shared layers have fan-in in the hundreds but only a
+              few distinct weights) use a carry-save ladder: per edge,
+              one xor/and ripple folds the wire word into bit-sliced
+              per-lane counters for all 62 lanes at once; the counters
+              are unsliced once per group via [acc += (wt lsl j)] per
+              set counter bit.  Wrap-around arithmetic agrees
+              bit-for-bit with per-edge adds (sums are computed mod 2^63
+              either way).  Small groups keep the direct per-set-bit
+              adds. *)
+           let g0 = Array.unsafe_get t.seg_grp s in
+           let g1 = Array.unsafe_get t.seg_grp (s + 1) in
+           for g = g0 to g1 - 1 do
+             let e0 = Array.unsafe_get t.grp_off g in
+             let e1 = Array.unsafe_get t.grp_off (g + 1) in
+             let wt = Array.unsafe_get t.grp_weight g in
+             if e1 - e0 >= csa_cutoff then begin
+               Array.fill maxjs 0 wordc 0;
+               for i = e0 to e1 - 1 do
+                 let wb = bget pw i * wordc in
+                 for wd = 0 to wordc - 1 do
+                   let x = ref (Array.unsafe_get vals (wb + wd)) in
+                   if !x <> 0 then begin
+                     let cb = wd * csa_bits in
+                     let j = ref 0 in
+                     while !x <> 0 do
+                       let c = Array.unsafe_get cnt (cb + !j) in
+                       Array.unsafe_set cnt (cb + !j) (c lxor !x);
+                       x := c land !x;
+                       incr j
+                     done;
+                     if !j > Array.unsafe_get maxjs wd then
+                       Array.unsafe_set maxjs wd !j
+                   end
+                 done
+               done;
+               for wd = 0 to wordc - 1 do
+                 let cb = wd * csa_bits and ab = wd * ctz_slots in
+                 for j = 0 to Array.unsafe_get maxjs wd - 1 do
+                   let m = ref (Array.unsafe_get cnt (cb + j)) in
+                   Array.unsafe_set cnt (cb + j) 0;
+                   let wj = wt lsl j in
+                   while !m <> 0 do
+                     let b = !m land (- !m) in
+                     let sl = ab + ((b * ctz_mul) lsr 56) in
+                     Array.unsafe_set accs sl (Array.unsafe_get accs sl + wj);
+                     m := !m lxor b
+                   done
+                 done
+               done
+             end
+             else begin
+               for i = e0 to e1 - 1 do
+                 let wb = bget pw i * wordc in
+                 for wd = 0 to wordc - 1 do
+                   let m = ref (Array.unsafe_get vals (wb + wd)) in
+                   if !m <> 0 then begin
+                     let ab = wd * ctz_slots in
+                     while !m <> 0 do
+                       let b = !m land (- !m) in
+                       let sl = ab + ((b * ctz_mul) lsr 56) in
+                       Array.unsafe_set accs sl (Array.unsafe_get accs sl + wt);
+                       m := !m lxor b
+                     done
+                   end
+                 done
+               done
+             end
+           done
+         end);
+        for wd = 0 to wordc - 1 do
+          let base = wd * word_lanes in
+          let w_lanes = min word_lanes (lanes - base) in
+          let ab = wd * ctz_slots in
+          if k = 1 then begin
+            let t0 = bget th glo in
+            let out = ref 0 in
+            for l = 0 to w_lanes - 1 do
+              if Array.unsafe_get accs (ab + Array.unsafe_get ls l) >= t0 then
+                out := !out lor (1 lsl l)
+            done;
+            let out = !out in
+            if out <> 0 then begin
+              Array.unsafe_set vals (bget gw glo * wordc + wd) out;
+              let m = ref out in
+              while !m <> 0 do
+                let b = !m land (- !m) in
+                let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                Array.unsafe_set fires (base + l)
+                  (Array.unsafe_get fires (base + l) + 1);
+                m := !m lxor b
+              done
+            end
+          end
+          else begin
+            (* Lanes clearing even the lowest threshold fire a nonempty
+               prefix; often there are none, and the word is skipped. *)
+            let t0 = bget th glo in
+            let live = ref 0 in
+            for l = 0 to w_lanes - 1 do
+              if Array.unsafe_get accs (ab + Array.unsafe_get ls l) >= t0 then
+                live := !live lor (1 lsl l)
+            done;
+            if !live <> 0 then begin
+              (* Bucket each live lane by its firing-prefix length (one
+                 binary search per lane), then build every gate word in
+                 a single suffix-OR sweep: gate j fires the union of
+                 lanes whose prefix extends past it.  O(k + lanes)
+                 instead of the O(lanes * k) per-lane prefix marking —
+                 the paper's wide shared layers put thousands of gates
+                 in one segment, so this is the difference that lets
+                 multi-gate segments keep up with the kernels. *)
+              let bucket = sc.sc_bucket in
+              let maxcut = ref 0 in
+              let m = ref !live in
+              while !m <> 0 do
+                let b = !m land (- !m) in
+                let l = Array.unsafe_get ctz ((b * ctz_mul) lsr 56) in
+                let s0 = Array.unsafe_get accs (ab + Array.unsafe_get ls l) in
+                (* th.(glo) <= s0 already, so search in (glo, ghi]. *)
+                let a = ref (glo + 1) and hi2 = ref ghi in
+                while !a < !hi2 do
+                  let mid = (!a + !hi2) lsr 1 in
+                  if bget th mid <= s0 then a := mid + 1 else hi2 := mid
+                done;
+                let c = !a - glo in
+                Array.unsafe_set bucket c (Array.unsafe_get bucket c lor b);
+                if c > !maxcut then maxcut := c;
+                Array.unsafe_set fires (base + l)
+                  (Array.unsafe_get fires (base + l) + c);
+                m := !m lxor b
+              done;
+              (* Sweep from the longest prefix down; [acc] is nonempty
+                 throughout (bucket.(maxcut) is nonzero by construction)
+                 and each bucket is re-zeroed as it is consumed, keeping
+                 [sc_bucket] clean for the next segment. *)
+              let acc = ref 0 in
+              for j = !maxcut - 1 downto 0 do
+                acc := !acc lor Array.unsafe_get bucket (j + 1);
+                Array.unsafe_set bucket (j + 1) 0;
+                Array.unsafe_set vals (bget gw (glo + j) * wordc + wd) !acc
+              done
+            end
+          end
+        done
+  done
 
-let run_batch ?(check = false) ?pool ?(domains = 1) t inputs =
+(* Per-level wall time plus batch counters, accumulated across calls —
+   [run_batch ?profile] fills one in when asked ([tcmm verify/serve
+   --profile-eval]). *)
+type eval_profile = {
+  mutable ep_batches : int;
+  mutable ep_lanes : int;
+  ep_level_ns : float array;
+}
+
+let make_profile t =
+  { ep_batches = 0; ep_lanes = 0; ep_level_ns = Array.make (max t.levels 1) 0. }
+
+type workspace = { mutable w_vals : int array }
+
+let workspace () = { w_vals = [||] }
+
+let run_batch ?(check = false) ?pool ?(domains = 1) ?profile ?ws t inputs =
   let lanes = Array.length inputs in
   if lanes = 0 then invalid_arg "Packed.run_batch: empty batch";
   Array.iter
@@ -866,56 +1426,117 @@ let run_batch ?(check = false) ?pool ?(domains = 1) t inputs =
              t.num_inputs (Array.length v)))
     inputs;
   let wordc = (lanes + word_lanes - 1) / word_lanes in
-  let words = Array.init wordc (fun _ -> Array.make t.num_wires 0) in
+  let nv = t.num_wires * wordc in
+  let vals =
+    match ws with
+    | None -> Array.make nv 0
+    | Some w ->
+        if Array.length w.w_vals >= nv then begin
+          let v = w.w_vals in
+          Array.fill v 0 nv 0;
+          v
+        end
+        else begin
+          let v = Array.make nv 0 in
+          w.w_vals <- v;
+          v
+        end
+  in
   for v = 0 to lanes - 1 do
-    let w = words.(v / word_lanes) and bit = 1 lsl (v mod word_lanes) in
+    let wd = v / word_lanes and bit = 1 lsl (v mod word_lanes) in
     let iv = inputs.(v) in
     for i = 0 to t.num_inputs - 1 do
-      if iv.(i) then w.(i) <- w.(i) lor bit
+      if iv.(i) then
+        vals.(i * wordc + wd) <- vals.(i * wordc + wd) lor bit
     done
   done;
   let lf = Array.init lanes (fun _ -> Array.make t.levels 0) in
-  let eval_word pool_opt ci =
-    let vals = words.(ci) in
-    let base = ci * word_lanes in
-    let w_lanes = min word_lanes (lanes - base) in
-    for l = 0 to t.levels - 1 do
-      let lo = t.level_segs.(l) and hi = t.level_segs.(l + 1) in
-      let nseg = hi - lo in
-      let record fires =
-        for ln = 0 to w_lanes - 1 do
-          lf.(base + ln).(l) <- lf.(base + ln).(l) + fires.(ln)
-        done
-      in
-      match pool_opt with
-      | Some pool when Pool.size pool > 1 && nseg > 1 ->
-          let nchunks = min nseg (4 * Pool.size pool) in
-          let partial = Array.make nchunks [||] in
-          Pool.run pool ~chunks:nchunks (fun i ->
-              let a, b = chunk_bounds lo nseg nchunks i in
-              partial.(i) <- eval_batch_segs ~check t vals ~w_lanes a b);
-          Array.iter record partial
-      | _ ->
-          if nseg > 0 then record (eval_batch_segs ~check t vals ~w_lanes lo hi)
+  let record l fires =
+    for ln = 0 to lanes - 1 do
+      let f = Array.unsafe_get fires ln in
+      if f <> 0 then lf.(ln).(l) <- lf.(ln).(l) + f
     done
   in
+  let now =
+    match profile with
+    | None -> fun () -> 0.
+    | Some _ -> Tcmm_util.Clock.now
+  in
+  let tock l t0 =
+    match profile with
+    | None -> ()
+    | Some p -> p.ep_level_ns.(l) <- p.ep_level_ns.(l) +. ((now () -. t0) *. 1e9)
+  in
+  (* One traversal of the circuit metadata for the whole batch: levels
+     outer, lane words handled inside each segment.  Under a pool the
+     chunks split segments (as for single-vector runs); per-chunk
+     scratch and firing buffers are preallocated once, so every level
+     runs allocation-free. *)
+  let run_levels pool_opt =
+    match pool_opt with
+    | Some pool when Pool.size pool > 1 ->
+        let maxchunks = 4 * Pool.size pool in
+        let scs = Array.init maxchunks (fun _ -> make_scratch t ~wordc) in
+        let partial = Array.init maxchunks (fun _ -> Array.make lanes 0) in
+        for l = 0 to t.levels - 1 do
+          let t0 = now () in
+          let lo = t.level_segs.(l) and hi = t.level_segs.(l + 1) in
+          let nseg = hi - lo in
+          if nseg = 1 then begin
+            let f = partial.(0) in
+            Array.fill f 0 lanes 0;
+            eval_batch_segs ~check t scs.(0) vals ~wordc ~lanes ~fires:f lo hi;
+            record l f
+          end
+          else if nseg > 0 then begin
+            let nchunks = min nseg maxchunks in
+            Pool.run pool ~chunks:nchunks (fun i ->
+                let a, b = chunk_bounds lo nseg nchunks i in
+                let f = partial.(i) in
+                Array.fill f 0 lanes 0;
+                eval_batch_segs ~check t scs.(i) vals ~wordc ~lanes ~fires:f a
+                  b);
+            for i = 0 to nchunks - 1 do
+              record l partial.(i)
+            done
+          end;
+          tock l t0
+        done
+    | _ ->
+        let sc = make_scratch t ~wordc in
+        let fires = Array.make lanes 0 in
+        for l = 0 to t.levels - 1 do
+          let t0 = now () in
+          let lo = t.level_segs.(l) and hi = t.level_segs.(l + 1) in
+          if hi > lo then begin
+            Array.fill fires 0 lanes 0;
+            eval_batch_segs ~check t sc vals ~wordc ~lanes ~fires lo hi;
+            record l fires
+          end;
+          tock l t0
+        done
+  in
   (match pool with
-  | Some p -> Array.iteri (fun ci _ -> eval_word (Some p) ci) words
+  | Some p -> run_levels (Some p)
   | None ->
-      if domains <= 1 then Array.iteri (fun ci _ -> eval_word None ci) words
-      else
-        Pool.with_pool ~domains (fun p ->
-            Array.iteri (fun ci _ -> eval_word (Some p) ci) words));
+      if domains <= 1 then run_levels None
+      else Pool.with_pool ~domains (fun p -> run_levels (Some p)));
+  (match profile with
+  | None -> ()
+  | Some p ->
+      p.ep_batches <- p.ep_batches + 1;
+      p.ep_lanes <- p.ep_lanes + lanes);
   let b_outputs =
     Array.init lanes (fun v ->
-        let w = words.(v / word_lanes) and bit = v mod word_lanes in
-        Array.map (fun ow -> (w.(ow) lsr bit) land 1 = 1) t.outputs)
+        let wd = v / word_lanes and bit = v mod word_lanes in
+        Array.map (fun ow -> (vals.(ow * wordc + wd) lsr bit) land 1 = 1)
+          t.outputs)
   in
   let b_firings = Array.map (Array.fold_left ( + ) 0) lf in
   {
     b_lanes = lanes;
     b_wordc = wordc;
-    b_words = words;
+    b_vals = vals;
     b_outputs;
     b_firings;
     b_level_firings = lf;
@@ -941,4 +1562,6 @@ let batch_level_firings r ~lane =
 
 let batch_value r ~lane w =
   check_lane r lane;
-  (r.b_words.(lane / word_lanes).(w) lsr (lane mod word_lanes)) land 1 = 1
+  (r.b_vals.((w * r.b_wordc) + (lane / word_lanes)) lsr (lane mod word_lanes))
+  land 1
+  = 1

@@ -71,7 +71,8 @@ module Pool : sig
   (** [create], run, then [shutdown] (also on exceptions). *)
 end
 
-val of_arena : ?pool:Pool.t -> ?domains:int -> Builder.arena -> t
+val of_arena :
+  ?pool:Pool.t -> ?domains:int -> ?kernels:bool -> Builder.arena -> t
 (** Lower a [Builder Direct]-mode arena straight to the packed form,
     skipping the per-gate [Circuit.t] walk of {!of_circuit}: template
     instances replay their precomputed lowering plans by offset
@@ -79,7 +80,26 @@ val of_arena : ?pool:Pool.t -> ?domains:int -> Builder.arena -> t
     count, not the logical one.  The result is identical to
     [of_circuit] applied to the materialized circuit.  With [?pool] (or
     [?domains] > 1) the edge-pool fill fans out across the domain
-    pool. *)
+    pool.
+
+    [kernels] (default [true]) dispatches each template segment to its
+    specialized batch evaluator ({!Kernel.compile}); [~kernels:false]
+    forces the generic CSR loop everywhere (the [--no-kernels] escape
+    hatch).  Kernels change evaluation {i speed} only — outputs,
+    firings and per-wire values stay bit-identical, which the
+    differential suites check exhaustively. *)
+
+(** Kernel coverage of a compiled circuit: how many gates (and
+    segments) evaluate through a specialized kernel vs the generic
+    fallback.  {!of_circuit}-compiled values are all-fallback. *)
+type coverage = {
+  kernel_gates : int;
+  fallback_gates : int;
+  kernel_segments : int;
+  generic_segments : int;
+}
+
+val coverage : t -> coverage
 
 val run :
   ?check:bool -> ?pool:Pool.t -> ?domains:int -> t -> bool array -> Simulator.result
@@ -92,21 +112,48 @@ val run :
 
 (** {1 Batched evaluation}
 
-    [run_batch] evaluates a whole batch of input vectors in one
-    traversal of the circuit metadata.  Lanes are bit-packed 62 to a
-    machine word (batches larger than 62 run one traversal per word),
-    so each edge costs one metadata read for the whole word and one add
-    per {i set} lane — on the paper's circuits only ~8% of wires carry
-    a 1, which is where the per-vector speedup over {!run} comes from.
-    This is the natural entry point for {!Energy.measure}, validation
-    sweeps and randomized agreement testing. *)
+    [run_batch] evaluates a whole batch of input vectors in {b one}
+    traversal of the circuit metadata, however large the batch.  Lanes
+    are bit-packed 62 to a machine word and wire values stored
+    wire-major, so each edge costs one metadata read for {i all} lanes
+    and the words of an edge are swept contiguously; template segments
+    additionally dispatch to their specialized kernels (see
+    {!of_arena}).  On the paper's circuits only ~8% of wires carry a 1,
+    which is where the per-vector speedup over {!run} comes from.  This
+    is the natural entry point for {!Energy.measure}, validation sweeps
+    and randomized agreement testing. *)
 
 type batch_result
+
+(** Accumulated per-level wall time (ns) plus batch/lane counters;
+    pass one to {!run_batch} to fill it ([--profile-eval]). *)
+type eval_profile = {
+  mutable ep_batches : int;
+  mutable ep_lanes : int;
+  ep_level_ns : float array;  (** length [num_levels] *)
+}
+
+val make_profile : t -> eval_profile
+
+(** A reusable wire-value buffer for repeated batched runs.  A fresh
+    buffer for the N=16 matmul circuit is ~13 MB, and allocating plus
+    zeroing one per call costs several milliseconds before any gate is
+    evaluated; a workspace amortizes that to one [Array.fill].
+    Opt-in because it aliases: {!batch_value} on a result whose run
+    used [ws] is only valid until the next [run_batch] with the same
+    workspace ([batch_outputs] / [batch_firings] /
+    [batch_level_firings] are copied out eagerly and stay valid).  A
+    workspace must not be shared by concurrent [run_batch] calls. *)
+type workspace
+
+val workspace : unit -> workspace
 
 val run_batch :
   ?check:bool ->
   ?pool:Pool.t ->
   ?domains:int ->
+  ?profile:eval_profile ->
+  ?ws:workspace ->
   t ->
   bool array array ->
   batch_result

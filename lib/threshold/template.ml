@@ -86,6 +86,7 @@ type pseg = {
   q_grp_weight : int array;
   q_th : int array;  (* thresholds, ascending *)
   q_th_gate : int array;  (* gate (same index space as q_gate0) per position *)
+  q_kernel : Kernel.spec;  (* specialized evaluator, or Generic *)
 }
 
 type t = {
@@ -235,7 +236,7 @@ let plan t ~slot_depths =
    first appearance; thresholds sorted ascending with the same
    (comparator, algorithm) pair so the packed layout is reproduced
    bit-for-bit. *)
-let make_pseg ~gate0 ~count ~refs ~weights ~thresholds ~th_gates =
+let make_pseg ~kern ~gate0 ~count ~refs ~weights ~thresholds ~th_gates =
   let fan = Array.length refs in
   let gid = Array.make (max fan 1) 0 in
   let tbl = Hashtbl.create 8 in
@@ -272,16 +273,21 @@ let make_pseg ~gate0 ~count ~refs ~weights ~thresholds ~th_gates =
   done;
   let pairs = Array.init count (fun i -> (thresholds.(i), th_gates.(i))) in
   Array.sort (fun (a, _) (b, _) -> compare (a : int) b) pairs;
+  let q_weights = if fan = 0 then [||] else q_weights in
+  let q_th = Array.map fst pairs in
   {
     q_gate0 = gate0;
     q_count = count;
     q_fan = fan;
     q_refs = (if fan = 0 then [||] else q_refs);
-    q_weights = (if fan = 0 then [||] else q_weights);
+    q_weights;
     q_grp_start = Array.sub starts 0 gcount;
     q_grp_weight = Array.sub gw 0 gcount;
-    q_th = Array.map fst pairs;
+    q_th;
     q_th_gate = Array.map snd pairs;
+    q_kernel =
+      (if kern then Kernel.compile ~fan ~weights:q_weights ~thresholds:q_th
+       else Kernel.Generic);
   }
 
 let lower_plan t =
@@ -295,7 +301,7 @@ let lower_plan t =
             let count = t.seg_start.(s + 1) - g0 in
             let off = t.seg_off.(s) in
             let fan = t.seg_off.(s + 1) - off in
-            make_pseg ~gate0:g0 ~count
+            make_pseg ~kern:true ~gate0:g0 ~count
               ~refs:(Array.sub t.s_refs off fan)
               ~weights:t.s_weights.(s)
               ~thresholds:(Array.sub t.g_threshold g0 count)
@@ -305,7 +311,10 @@ let lower_plan t =
       segs
 
 (* Lowering plan for a run of raw (non-templated) gates: absolute wire
-   ids double as "internal" refs relative to a zero base. *)
+   ids double as "internal" refs relative to a zero base.  Raw runs are
+   compiled once per circuit (not once per template), so they stay on
+   the generic evaluator — specializing them would move kernel
+   compilation back onto the per-gate path. *)
 let raw_psegs (gates : Gate.t array) ~gv0 ~count ~wire_of =
   let segs = ref [] in
   let i = ref 0 in
@@ -322,7 +331,8 @@ let raw_psegs (gates : Gate.t array) ~gv0 ~count ~wire_of =
     let count' = !j - !i in
     let base = !i in
     segs :=
-      make_pseg ~gate0:(wire_of base) ~count:count' ~refs:gate.Gate.inputs
+      make_pseg ~kern:false ~gate0:(wire_of base) ~count:count'
+        ~refs:gate.Gate.inputs
         ~weights:gate.Gate.weights
         ~thresholds:
           (Array.init count' (fun k ->

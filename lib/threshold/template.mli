@@ -47,6 +47,9 @@ type pseg = {
   q_grp_weight : int array;
   q_th : int array;  (** thresholds, ascending *)
   q_th_gate : int array;  (** gate (same index space as [q_gate0]) per slot *)
+  q_kernel : Kernel.spec;
+      (** specialized evaluator compiled from the segment's static
+          shape ({!Kernel.compile}); [Generic] for raw-gate runs *)
 }
 
 type t = {

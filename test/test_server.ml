@@ -112,7 +112,9 @@ let gen_metrics =
   let* shed = int_range 0 100000 in
   let* deadline_expired = int_range 0 100000 in
   let* eval_failures = int_range 0 1000 in
-  let+ slow_client_drops = int_range 0 1000 in
+  let* slow_client_drops = int_range 0 1000 in
+  let* kernel_gates = int_range 0 1000000 in
+  let+ fallback_gates = int_range 0 1000000 in
   {
     P.uptime_seconds;
     connections_accepted;
@@ -135,6 +137,8 @@ let gen_metrics =
     deadline_expired;
     eval_failures;
     slow_client_drops;
+    kernel_gates;
+    fallback_gates;
   }
 
 let gen_response =
@@ -210,7 +214,7 @@ let test_decode_rejects_truncation () =
       cache = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
       engine = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
       accepted = 1; shed = 0; deadline_expired = 0; eval_failures = 0;
-      slow_client_drops = 0;
+      slow_client_drops = 0; kernel_gates = 0; fallback_gates = 0;
     })))
   in
   for k = 0 to String.length resp - 1 do

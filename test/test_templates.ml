@@ -149,6 +149,87 @@ let test_naive_tiled_stats_equal () =
   in
   Alcotest.(check bool) "tiled stats" true (tiled true = tiled false)
 
+(* Kernel differential: for every standard schedule, both a fast and a
+   naive bilinear algorithm, and N in {4, 8}, the kernelized batch
+   (Direct arena, template-specialized kernels) must be bit-identical —
+   outputs, firings, level firings — to the kernel-free batch over the
+   same packed lowering, decode to the integer product, and (at N=4)
+   match the gate-at-a-time Simulator. *)
+let test_kernel_differential () =
+  let rng = Prng.create ~seed:19 in
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun n ->
+          List.iter
+            (fun name ->
+              let label =
+                Printf.sprintf "%s/%s N=%d" algo.Bilinear.name name n
+              in
+              let sched = Level_schedule.resolve ~algo ~name ~d:2 ~n in
+              let build () =
+                Matmul_circuit.build ~mode:Builder.Direct ~algo ~schedule:sched
+                  ~entry_bits:1 ~n ()
+              in
+              let built_k = build () and built_g = build () in
+              let p_k = Matmul_circuit.pack built_k in
+              let p_g = Matmul_circuit.pack ~kernels:false built_g in
+              let cov = Packed.coverage p_k in
+              Alcotest.(check bool)
+                (label ^ ": kernels cover some segments")
+                true
+                (cov.Packed.kernel_segments > 0);
+              Alcotest.(check int)
+                (label ^ ": no-kernels is all-fallback")
+                0 (Packed.coverage p_g).Packed.kernel_segments;
+              let lanes = 4 in
+              let pairs =
+                Array.init lanes (fun _ ->
+                    ( Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1,
+                      Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 ))
+              in
+              let inputs =
+                Array.map
+                  (fun (a, b) -> Matmul_circuit.encode_inputs built_k ~a ~b)
+                  pairs
+              in
+              let bk = Packed.run_batch p_k inputs in
+              let bg = Packed.run_batch p_g inputs in
+              for lane = 0 to lanes - 1 do
+                Alcotest.(check bool)
+                  (label ^ ": outputs kernel = generic")
+                  true
+                  (Packed.batch_outputs bk ~lane = Packed.batch_outputs bg ~lane);
+                Alcotest.(check int)
+                  (label ^ ": firings kernel = generic")
+                  (Packed.batch_firings bg ~lane)
+                  (Packed.batch_firings bk ~lane);
+                Alcotest.(check bool)
+                  (label ^ ": level firings kernel = generic")
+                  true
+                  (Packed.batch_level_firings bk ~lane
+                  = Packed.batch_level_firings bg ~lane);
+                let a, b = pairs.(lane) in
+                Alcotest.(check bool)
+                  (label ^ ": decodes to the product")
+                  true
+                  (Matrix.equal
+                     (Matmul_circuit.decode built_k (fun w ->
+                          Packed.batch_value bk ~lane w))
+                     (Matrix.mul a b))
+              done;
+              if n = 4 then begin
+                let r = Simulator.run (Packed.circuit p_k) inputs.(0) in
+                Alcotest.(check bool)
+                  (label ^ ": Simulator agrees with kernel lane 0")
+                  true
+                  (Packed.batch_outputs bk ~lane:0 = r.Simulator.outputs
+                  && Packed.batch_firings bk ~lane:0 = r.Simulator.firings)
+              end)
+            Level_schedule.standard_names)
+        [ 4; 8 ])
+    [ strassen; Instances.naive ~t_dim:2 ]
+
 (* The E19 certifier checks template-built circuits (templates are the
    construction default) against the counting DP, the depth model and
    the theorem bounds. *)
@@ -200,6 +281,8 @@ let () =
       ( "behavior",
         [
           Alcotest.test_case "runs agree" `Quick test_stamped_run_agrees;
+          Alcotest.test_case "kernel differential" `Quick
+            test_kernel_differential;
           Alcotest.test_case "certifier" `Quick test_certifier_over_templates;
           Alcotest.test_case "fuzzer" `Quick test_fuzzer_over_templates;
         ] );

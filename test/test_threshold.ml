@@ -884,6 +884,81 @@ let test_packed_batch_multiword () =
       done)
     batch
 
+(* Lane counts straddling the 62-bit word boundary: 61 (one partial
+   word), 62 (one exactly-full word), 63 (a one-lane second word) and
+   124 (two full words).  The circuit goes through a Direct-mode arena
+   so the specialized kernels (not just the generic CSR loop) sit on
+   the dispatch path, and every batch is checked bit-identically
+   against both the kernel-free batch and the sequential evaluator.
+   One workspace is reused across the growing batches on purpose. *)
+let test_packed_batch_lane_boundaries () =
+  let rng = Tcmm_util.Prng.create ~seed:7 in
+  let b = Builder.create ~mode:Builder.Direct () in
+  let n = 24 in
+  let ins = Builder.add_inputs b n in
+  let block slots =
+    let res, _ =
+      Builder.templated b ~tag:91 ~data:[||] ~inputs:slots
+        ~build:(fun () ->
+          (* Three weight groups of eight: a carry-save kernel shape. *)
+          let csa =
+            Builder.add_shared_gates b ~inputs:slots
+              ~weights:(Array.init n (fun i -> [| 1; -2; 4 |].(i / 8)))
+              ~thresholds:[| -9; -3; 0; 4; 11; 26 |]
+          in
+          (* Single weight, fan-in above the truth-table cap: popcount. *)
+          let pop =
+            Builder.add_shared_gates b
+              ~inputs:(Array.sub slots 0 12)
+              ~weights:(Array.make 12 1) ~thresholds:[| 2; 5; 9 |]
+          in
+          (* Fan-in 3: truth-table kernel. *)
+          let tt =
+            Builder.add_gate b
+              ~inputs:[| csa.(0); pop.(1); csa.(4) |]
+              ~weights:[| 2; -1; 1 |] ~threshold:1
+          in
+          (Array.concat [ csa; pop; [| tt |] ], [||]))
+    in
+    res
+  in
+  let r1 = block ins in
+  let r2 = block (Array.init n (fun i -> ins.(n - 1 - i))) in
+  Array.iter (Builder.output b) r1;
+  Array.iter (Builder.output b) r2;
+  let arena = Builder.arena b in
+  let p_k = Packed.of_arena ~kernels:true arena in
+  let p_g = Packed.of_arena ~kernels:false arena in
+  let cov = Packed.coverage p_k in
+  S.check_bool "stamped segments have kernels" true
+    (cov.Packed.kernel_segments > 0 && cov.Packed.kernel_gates > 0);
+  S.check_int "no-kernels compile is all-fallback" 0
+    (Packed.coverage p_g).Packed.kernel_segments;
+  let ws = Packed.workspace () in
+  List.iter
+    (fun lanes ->
+      let batch =
+        Array.init lanes (fun _ ->
+            Array.init n (fun _ -> Tcmm_util.Prng.bool rng))
+      in
+      let bk = Packed.run_batch ~ws p_k batch in
+      let bg = Packed.run_batch p_g batch in
+      S.check_int "lanes" lanes (Packed.lanes bk);
+      for lane = 0 to lanes - 1 do
+        let r = Packed.run p_k batch.(lane) in
+        S.check_bool "outputs: kernel batch = generic batch" true
+          (Packed.batch_outputs bk ~lane = Packed.batch_outputs bg ~lane);
+        S.check_bool "outputs: batch = sequential" true
+          (Packed.batch_outputs bk ~lane = r.Simulator.outputs);
+        S.check_int "firings" r.Simulator.firings
+          (Packed.batch_firings bk ~lane);
+        S.check_int "generic firings" r.Simulator.firings
+          (Packed.batch_firings bg ~lane);
+        S.check_bool "level firings" true
+          (Packed.batch_level_firings bk ~lane = r.Simulator.level_firings)
+      done)
+    [ 61; 62; 63; 124 ]
+
 let test_packed_zero_gates () =
   let b = Builder.create () in
   let _ = Builder.add_inputs b 3 in
@@ -1048,6 +1123,8 @@ let () =
       ( "packed",
         [
           Alcotest.test_case "batch multiword" `Quick test_packed_batch_multiword;
+          Alcotest.test_case "batch lane boundaries" `Quick
+            test_packed_batch_lane_boundaries;
           Alcotest.test_case "zero gates" `Quick test_packed_zero_gates;
           Alcotest.test_case "overflow traps everywhere" `Quick
             test_packed_overflow_all_engines;
