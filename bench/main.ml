@@ -715,6 +715,179 @@ let e23 ?(ns = [ 16; 32 ]) ?(domain_counts = [ 1; 2; 4 ]) () =
       Gc.compact ())
     ns
 
+(* E24: the artifact store — what a compile costs cold, what persisting
+   it costs, and what the mmap warm load gives back.  One spec per N
+   (the flagship matmul d=2 family), each leg differentially gated: the
+   store-loaded circuit must be structurally identical to the fresh
+   build and answer bit-identically (values and firings) on every lane
+   before any timing is reported.  At the flagship N=16 a warm start
+   (one verified mmap load) must beat a cold start (build + pack +
+   persist) by at least 10x — that restart ratio is the point of the
+   store, so a regression fails the bench rather than quietly shipping
+   a slow loader.  Other sizes record their ratios without a floor:
+   load time is CRC-64-throughput-bound (about 1 GB/s per core) and so
+   linear in artifact bytes, which grow faster than build time past
+   N=16 on a single core.  Recorded as BENCH_store.json. *)
+let e24 ?(ns = [ 8; 16; 32 ]) () =
+  Bench_util.header "E24: artifact store (cold build vs save vs warm load)";
+  let module Th = Tcmm_threshold in
+  let module A = Tcmm_store.Artifact in
+  let module St = Tcmm_store.Store in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let best k f =
+    let r, t0 = time f in
+    let tmin = ref t0 in
+    for _ = 2 to k do
+      let _, t = time f in
+      if t < !tmin then tmin := t
+    done;
+    (r, !tmin)
+  in
+  let dir = Filename.temp_file "tcmm_bench_store" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let remove_dir () =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:remove_dir @@ fun () ->
+  let store =
+    match St.create ~dir () with
+    | Ok s -> s
+    | Error m -> failwith ("e24: cannot open store: " ^ m)
+  in
+  let batch = 16 in
+  let rows =
+    List.map
+      (fun n ->
+        let sched = T.Level_schedule.theorem45 ~profile ~d:2 ~n in
+        let (built, packed), t_cold =
+          time (fun () ->
+              let built =
+                T.Matmul_circuit.build ~mode:Th.Builder.Direct
+                  ~algo:F.Instances.strassen ~schedule:sched ~entry_bits:1 ~n
+                  ()
+              in
+              (built, T.Matmul_circuit.pack ~kernels:true built))
+        in
+        let key =
+          Printf.sprintf "matmul|strassen|thm45|d=2|n=%d|b=1|signed=false|tau=0"
+            n
+        in
+        let meta =
+          {
+            A.m_key = key;
+            m_templates = true;
+            m_kernels = true;
+            m_build_seconds = t_cold;
+            m_stats = T.Matmul_circuit.stats built;
+            m_io =
+              A.Matmul_io
+                {
+                  layout_a = built.T.Matmul_circuit.layout_a;
+                  layout_b = built.T.Matmul_circuit.layout_b;
+                  c_grid = built.T.Matmul_circuit.c_grid;
+                };
+          }
+        in
+        let bytes, t_save =
+          time (fun () ->
+              match St.save store ~meta packed with
+              | Ok b -> b
+              | Error m -> failwith ("e24: save failed: " ^ m))
+        in
+        let loaded, t_load =
+          best 3 (fun () ->
+              match St.find store ~key with
+              | Some a -> a
+              | None -> failwith "e24: warm load missed a saved artifact")
+        in
+        let lp = loaded.A.a_packed in
+        if not (Th.Packed.structural_equal packed lp) then
+          failwith
+            (Printf.sprintf "e24: loaded artifact differs structurally at N=%d"
+               n);
+        (* Differential gate: fresh vs loaded vs the integer reference,
+           every lane, values and firings. *)
+        let rng = Tcmm_util.Prng.create ~seed:24 in
+        let pairs =
+          Array.init batch (fun _ ->
+              ( F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1,
+                F.Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 ))
+        in
+        let inputs =
+          Array.map
+            (fun (a, b) -> T.Matmul_circuit.encode_inputs built ~a ~b)
+            pairs
+        in
+        let br_f = Th.Packed.run_batch packed inputs in
+        let br_l = Th.Packed.run_batch lp inputs in
+        Array.iteri
+          (fun lane (a, b) ->
+            let m_f =
+              T.Matmul_circuit.decode built (Th.Packed.batch_value br_f ~lane)
+            in
+            let m_l =
+              T.Matmul_circuit.decode built (Th.Packed.batch_value br_l ~lane)
+            in
+            if not (F.Matrix.equal m_f (F.Matrix.mul a b)) then
+              failwith
+                (Printf.sprintf "e24: fresh build wrong at N=%d lane %d" n lane);
+            if not (F.Matrix.equal m_f m_l) then
+              failwith
+                (Printf.sprintf
+                   "e24: store-loaded circuit diverges at N=%d lane %d" n lane);
+            if
+              Th.Packed.batch_firings br_f ~lane
+              <> Th.Packed.batch_firings br_l ~lane
+            then
+              failwith
+                (Printf.sprintf "e24: firings diverge at N=%d lane %d" n lane))
+          pairs;
+        let cold_start = t_cold +. t_save in
+        let speedup = cold_start /. t_load in
+        if n = 16 && speedup < 10. then
+          failwith
+            (Printf.sprintf
+               "e24: warm start only %.1fx faster than a cold start at N=%d"
+               speedup n);
+        Bench_util.record ~experiment:"e24"
+          [
+            ("n", Bench_util.Int n);
+            ("gates", Bench_util.Int (Th.Packed.num_gates packed));
+            ("artifact_bytes", Bench_util.Int bytes);
+            ("cold_build_seconds", Bench_util.Float t_cold);
+            ("save_seconds", Bench_util.Float t_save);
+            ("warm_load_seconds", Bench_util.Float t_load);
+            ("warm_speedup_vs_cold_start", Bench_util.Float speedup);
+            ("warm_speedup_vs_build", Bench_util.Float (t_cold /. t_load));
+          ];
+        [
+          Tb.Int n;
+          Tb.Int (Th.Packed.num_gates packed);
+          Tb.Str (Printf.sprintf "%.1f MiB" (float_of_int bytes /. 1048576.));
+          Tb.Str (Printf.sprintf "%.2f s" t_cold);
+          Tb.Str (Printf.sprintf "%.3f s" t_save);
+          Tb.Str (Printf.sprintf "%.3f s" t_load);
+          Tb.Str (Printf.sprintf "%.1fx" speedup);
+        ])
+      ns
+  in
+  Tb.print
+    ~title:"matmul d=2 b=1: compile once, load warm everywhere after"
+    ~header:
+      [
+        "N"; "gates"; "artifact"; "cold build"; "save"; "warm load";
+        "warm vs cold start";
+      ]
+    ~rows
+
 (* e18, e19, and e21 fork a server child; they are listed before e17
    because Unix.fork is forbidden after e17 has spawned worker domains. *)
 let all_experiments =
@@ -747,6 +920,11 @@ let all_experiments =
        divergence. *)
     ("e23", fun () -> e23 ());
     ("e23-smoke", fun () -> e23 ~ns:[ 16 ] ~domain_counts:[ 1; 2 ] ());
+    (* e24 neither forks nor spawns domains; the smoke variant is the
+       CI subset (N=8 only, same differential gates, no speedup floor
+       at that size). *)
+    ("e24", fun () -> e24 ());
+    ("e24-smoke", fun () -> e24 ~ns:[ 8 ] ());
   ]
 
 let () =
@@ -757,7 +935,7 @@ let () =
         (* The -smoke variants are CI subsets; a full run does the real
            experiments only. *)
         List.filter
-          (fun e -> e <> "e20-smoke" && e <> "e23-smoke")
+          (fun e -> e <> "e20-smoke" && e <> "e23-smoke" && e <> "e24-smoke")
           (List.map fst all_experiments)
   in
   List.iter
@@ -775,11 +953,13 @@ let () =
     requested;
   Bench_util.write_json
     ~only:(fun e ->
-      e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21" && e <> "e23")
+      e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21" && e <> "e23"
+      && e <> "e24")
     "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
   Bench_util.write_json ~only:(fun e -> e = "e20") "BENCH_build.json";
   Bench_util.write_json ~only:(fun e -> e = "e21") "BENCH_serve_robust.json";
   Bench_util.write_json ~only:(fun e -> e = "e23") "BENCH_kernels.json";
+  Bench_util.write_json ~only:(fun e -> e = "e24") "BENCH_store.json";
   print_endline "done."

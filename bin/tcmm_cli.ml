@@ -7,7 +7,9 @@
      verify      - build circuits and check them against integer references
      triangles   - threshold-query triangles of a random graph
      serve       - run the circuit-serving daemon
-     request     - query a running daemon *)
+     request     - query a running daemon
+     compile     - batch-build circuits into a persistent artifact store
+     artifacts   - list / inspect / verify / gc an artifact store *)
 
 open Cmdliner
 module F = Tcmm_fastmm
@@ -384,7 +386,7 @@ let addr_term =
 
 let serve_cmd =
   let run addr cache lanes flush domains no_templates profile no_kernels
-      profile_eval max_pending deadline grace verbose =
+      profile_eval max_pending deadline grace store verbose =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     match P.parse_addr addr with
@@ -406,6 +408,7 @@ let serve_cmd =
             max_pending;
             deadline_ms = deadline;
             grace_s = grace;
+            store;
           };
         0
   in
@@ -452,6 +455,16 @@ let serve_cmd =
       & info [ "grace" ] ~docv:"SECONDS"
           ~doc:"Drain grace period after Shutdown or SIGTERM.")
   in
+  let store_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persistent artifact directory: cache misses load compiled \
+             circuits from $(docv) by mmap instead of rebuilding, and fresh \
+             builds are persisted there for the next process.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -460,7 +473,7 @@ let serve_cmd =
       const run $ addr_term $ cache_term $ lanes_term $ flush_term $ domains_term
       $ no_templates_term $ profile_build_term $ no_kernels_term
       $ profile_eval_term $ pending_term $ deadline_term
-      $ grace_term $ verbose_term)
+      $ grace_term $ store_term $ verbose_term)
 
 let request_cmd =
   let run addr what algo n d bits sched signed tau seed count =
@@ -512,7 +525,9 @@ let request_cmd =
                   one cl (P.Compile spec) (function
                     | P.Compiled c ->
                         Format.printf "%s in %.3fs: %s@."
-                          (if c.P.cached then "cached" else "built")
+                          (if c.P.cached then "cached"
+                           else if c.P.loaded then "loaded from store"
+                           else "built")
                           c.P.build_seconds
                           (Tcmm_threshold.Stats.to_row c.P.stats);
                         0
@@ -705,6 +720,196 @@ let chaos_cmd =
           1 on any violation).")
     Term.(const run $ requests_term $ rate_term $ seed_term $ json_term)
 
+(* ------------------------------------------------------------------ *)
+
+let store_dir_term =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Artifact directory.")
+
+(* Offline batch compilation: build each requested circuit through the
+   same cache + store tier the daemon uses, so a later `serve --store`
+   (or another `compile`) finds the artifacts warm.  A spec already in
+   the store is loaded (and verified) rather than rebuilt. *)
+let compile_cmd =
+  let run store_dir what algo ns d bits sched signed tau no_templates
+      no_kernels verbose =
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
+    let kind =
+      match what with
+      | "trace" -> P.Trace
+      | "triangles" -> P.Triangles
+      | _ -> P.Matmul
+    in
+    match Tcmm_store.Store.create ~kernels:(not no_kernels) ~dir:store_dir () with
+    | Error msg ->
+        Format.eprintf "tcmm compile: %s@." msg;
+        1
+    | Ok store ->
+        let cc =
+          Tcmm_server.Circuit_cache.create ~templates:(not no_templates)
+            ~kernels:(not no_kernels) ~store ~capacity:1 ()
+        in
+        let failures = ref 0 in
+        List.iter
+          (fun n ->
+            let spec =
+              { P.kind; algo = algo.F.Bilinear.name; schedule = sched; d; n;
+                entry_bits = bits; signed; tau }
+            in
+            let key = Tcmm_server.Circuit_cache.key spec in
+            match Tcmm_server.Circuit_cache.find_or_build cc spec with
+            | Error msg ->
+                incr failures;
+                Format.eprintf "%s: %s@." key msg
+            | Ok (entry, outcome) ->
+                Format.printf "%s: %s in %.3fs (%s)@." key
+                  (match outcome with
+                  | Tcmm_server.Circuit_cache.Built -> "built and stored"
+                  | Tcmm_server.Circuit_cache.Loaded -> "already stored, loaded"
+                  | Tcmm_server.Circuit_cache.Cached -> "cached")
+                  entry.Tcmm_server.Circuit_cache.build_seconds
+                  (Tcmm_threshold.Stats.to_row
+                     entry.Tcmm_server.Circuit_cache.stats))
+          ns;
+        let c = Tcmm_store.Store.counters store in
+        Format.printf "store %s: %d saved, %d loaded, %d invalid@." store_dir
+          c.Tcmm_store.Store.saves c.Tcmm_store.Store.loads
+          c.Tcmm_store.Store.invalid;
+        if !failures = 0 then 0 else 1
+  in
+  let what_term =
+    Arg.(
+      value
+      & opt string "matmul"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"matmul, trace, or triangles.")
+  in
+  let ns_term =
+    Arg.(
+      value
+      & opt_all int [ 16 ]
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Matrix dimension; repeatable for a batch of sizes.")
+  in
+  let signed_term =
+    Arg.(value & flag & info [ "signed" ] ~doc:"Signed matrix entries.")
+  in
+  let tau_term =
+    Arg.(
+      value & opt int 1
+      & info [ "t"; "tau" ] ~docv:"TAU" ~doc:"Trace/triangle threshold.")
+  in
+  let verbose_term =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log store activity.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile circuits offline into a persistent artifact store, so a \
+          later $(b,tcmm serve --store) starts warm: every cache miss \
+          becomes a single mmap load instead of a multi-second build.")
+    Term.(
+      const run $ store_dir_term $ what_term $ algo_term $ ns_term $ d_term
+      $ bits_term $ schedule_term $ signed_term $ tau_term $ no_templates_term
+      $ no_kernels_term $ verbose_term)
+
+let artifacts_cmd =
+  let module A = Tcmm_store.Artifact in
+  let module St = Tcmm_store.Store in
+  let with_store dir k =
+    match St.create ~dir () with
+    | Error msg ->
+        Format.eprintf "tcmm artifacts: %s@." msg;
+        1
+    | Ok store -> k store
+  in
+  let run store_dir action target =
+    with_store store_dir (fun store ->
+        match action with
+        | "list" ->
+            let entries = St.list store in
+            List.iter
+              (fun (file, r) ->
+                match r with
+                | Ok (h, bytes) ->
+                    Format.printf "%-48s %9d KiB  %8d gates  %s@." file
+                      (bytes / 1024) h.A.h_num_gates h.A.h_key
+                | Error msg -> Format.printf "%-48s UNREADABLE: %s@." file msg)
+              entries;
+            Format.printf "%d artifact(s) in %s@." (List.length entries)
+              store_dir;
+            0
+        | "inspect" -> (
+            match target with
+            | None ->
+                Format.eprintf "tcmm artifacts inspect: missing FILE@.";
+                1
+            | Some file -> (
+                let path =
+                  if Sys.file_exists file then file
+                  else Filename.concat store_dir file
+                in
+                match A.read_header ~path with
+                | Ok (h, bytes) ->
+                    Format.printf "%s (%d bytes)@.%a@." path bytes A.pp_header h;
+                    0
+                | Error msg ->
+                    Format.eprintf "%s: %s@." path msg;
+                    1))
+        | "verify" ->
+            (* Full payload verification (checksums, bounds, kernel tags)
+               via the real load path — not just headers. *)
+            let bad = ref 0 in
+            List.iter
+              (fun (file, _) ->
+                let path = Filename.concat store_dir file in
+                match A.read ~path () with
+                | Ok a ->
+                    Format.printf "%-48s OK (%d bytes%s)@." file a.A.a_bytes
+                      (if a.A.a_kern_recompiled then ", kernels recompiled"
+                       else "")
+                | Error msg ->
+                    incr bad;
+                    Format.printf "%-48s INVALID: %s@." file msg)
+              (St.list store);
+            if !bad = 0 then 0
+            else begin
+              Format.printf "%d invalid artifact(s)@." !bad;
+              1
+            end
+        | "gc" ->
+            let freed =
+              St.gc store ~removed:(fun f -> Format.printf "removed %s@." f)
+            in
+            Format.printf "freed %d bytes@." freed;
+            0
+        | a ->
+            Format.eprintf
+              "tcmm artifacts: unknown action %S (list|inspect|verify|gc)@." a;
+            1)
+  in
+  let action_term =
+    Arg.(
+      value
+      & pos 0 string "list"
+      & info [] ~docv:"ACTION" ~doc:"One of: list, inspect, verify, gc.")
+  in
+  let target_term =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Artifact file for $(b,inspect).")
+  in
+  Cmd.v
+    (Cmd.info "artifacts"
+       ~doc:
+         "List, inspect, verify, or garbage-collect a compiled-circuit \
+          artifact store: dump self-describing headers, re-checksum \
+          payloads, and remove quarantined or stale files.")
+    Term.(const run $ store_dir_term $ action_term $ target_term)
+
 let () =
   let doc = "Constant-depth threshold circuits for matrix multiplication (SPAA 2018)" in
   exit
@@ -712,5 +917,6 @@ let () =
        (Cmd.group (Cmd.info "tcmm" ~doc)
           [
             algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd;
-            orbit_cmd; serve_cmd; request_cmd; check_cmd; chaos_cmd;
+            orbit_cmd; serve_cmd; request_cmd; compile_cmd; artifacts_cmd;
+            check_cmd; chaos_cmd;
           ]))

@@ -32,6 +32,10 @@ type outcome = {
   retried_ok : int;  (** requests completed only after bounded retry *)
   drained_ok : bool;  (** SIGTERM drain answered the whole in-flight burst *)
   accounting_ok : bool;  (** server metrics account for every admitted request *)
+  store_saves : int;  (** artifacts persisted by the store segment's first life *)
+  store_loads : int;  (** warm loads observed after its SIGKILL restart *)
+  store_zero_rebuilds : bool;
+      (** the restarted server answered everything without building *)
   violations : string list;
 }
 
@@ -177,6 +181,9 @@ type st = {
   mutable retried_ok : int;
   mutable drained_ok : bool;
   mutable accounting_ok : bool;
+  mutable store_saves : int;
+  mutable store_loads : int;
+  mutable store_zero_rebuilds : bool;
   mutable violations : string list;
 }
 
@@ -706,6 +713,80 @@ let segment_deadline st =
       | None -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Segment D: SIGKILL with a persistent artifact store                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove the store directory the segment created (flat: artifacts only). *)
+let remove_dir dir =
+  (try Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+         (Sys.readdir dir)
+   with _ -> ());
+  try Unix.rmdir dir with _ -> ()
+
+(* The crash-recovery claim of the artifact store: a server SIGKILLed
+   mid-service and restarted on the same store directory must answer
+   bit-identically to the oracle having rebuilt NOTHING — every cache
+   miss of its second life is a warm mmap load of what the first life
+   persisted. *)
+let segment_store st =
+  let dir =
+    let f = Filename.temp_file "tcmm_chaos_store" "" in
+    Sys.remove f;
+    Unix.mkdir f 0o700;
+    f
+  in
+  Fun.protect ~finally:(fun () -> remove_dir dir) @@ fun () ->
+  let cfg = Sv.Server.default_config (P.Tcp ("127.0.0.1", 0)) in
+  let cfg = { cfg with Sv.Server.cache_capacity = 4; store = Some dir } in
+  let server = start_server cfg in
+  (* First life: cold build, persisted write-behind. *)
+  let pairs = Array.init 6 (fun _ -> random_pair st.rng) in
+  Array.iter (fun pair -> issue st server.addr pair) pairs;
+  (match Sv.Client.call ~policy ~seed:(Prng.next st.rng) server.addr P.Metrics with
+  | Ok (P.Metrics_result m) ->
+      st.store_saves <- m.P.store_saves;
+      if m.P.store_saves < 1 then
+        violation st "store segment: first life persisted no artifact"
+  | Ok _ | Error _ -> violation st "store segment: first-life metrics failed");
+  (* SIGKILL: no drain, no flush — only the already-published artifact
+     survives. *)
+  kill_server server;
+  let server = start_server cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (try ignore (Sv.Client.shutdown server.addr) with _ -> ());
+      ignore (await_exit ~patience:10. server))
+    (fun () ->
+      (* Second life: same requests (and fresh ones) answered warm;
+         [issue] verifies every reply against the in-process oracle, so
+         bit-identity is checked here, not just liveness. *)
+      Array.iter (fun pair -> issue st server.addr pair) pairs;
+      Array.iter (fun _ -> issue st server.addr (random_pair st.rng)) pairs;
+      match
+        Sv.Client.call ~policy ~seed:(Prng.next st.rng) server.addr P.Metrics
+      with
+      | Ok (P.Metrics_result m) ->
+          st.store_loads <- m.P.store_loads;
+          let zero_rebuilds =
+            m.P.store_loads >= 1
+            && m.P.store_saves = 0
+            && m.P.build_seconds = 0.
+            && m.P.cache.P.misses = m.P.store_loads
+          in
+          st.store_zero_rebuilds <- zero_rebuilds;
+          if not zero_rebuilds then
+            violation st
+              "store segment: restart rebuilt instead of loading warm \
+               (loads=%d saves=%d build_seconds=%g misses=%d)"
+              m.P.store_loads m.P.store_saves m.P.build_seconds
+              m.P.cache.P.misses;
+          if m.P.store_invalid > 0 then
+            violation st "store segment: %d artifacts quarantined on restart"
+              m.P.store_invalid
+      | Ok _ | Error _ ->
+          violation st "store segment: second-life metrics failed")
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -725,12 +806,16 @@ let run ?(seed = 1) ?(requests = 200) ?(fault_rate = 0.25) () =
       retried_ok = 0;
       drained_ok = true;
       accounting_ok = true;
+      store_saves = 0;
+      store_loads = 0;
+      store_zero_rebuilds = false;
       violations = [];
     }
   in
   segment_faults st ~requests ~fault_rate;
   segment_overload st ~burst_size:(max 40 (requests / 2));
   segment_deadline st;
+  segment_store st;
   (* Client-side conservation: every issued request resolved exactly
      once — completed or a typed failure.  Anything else is a hang or a
      lost request. *)
@@ -754,6 +839,9 @@ let run ?(seed = 1) ?(requests = 200) ?(fault_rate = 0.25) () =
     retried_ok = st.retried_ok;
     drained_ok = st.drained_ok;
     accounting_ok = st.accounting_ok;
+    store_saves = st.store_saves;
+    store_loads = st.store_loads;
+    store_zero_rebuilds = st.store_zero_rebuilds;
     violations = List.rev st.violations;
   }
 
@@ -785,6 +873,12 @@ let print_report o =
             Str "metrics accounting";
             Str (if o.accounting_ok then "ok" else "FAILED");
           ];
+          [ Str "store artifacts saved"; Int o.store_saves ];
+          [ Str "store warm loads"; Int o.store_loads ];
+          [
+            Str "SIGKILL restart rebuilds";
+            Str (if o.store_zero_rebuilds then "zero" else "FAILED");
+          ];
         ]);
   List.iter (fun v -> Format.printf "  VIOLATION: %s@." v) o.violations;
   Format.printf "chaos: %s@." (if ok o then "OK" else "FAILED")
@@ -807,9 +901,10 @@ let to_json o =
   Buffer.add_string b
     (Printf.sprintf
        "\"shed_observed\":%d,\"expired_observed\":%d,\"retried_ok\":%d,\
-        \"drained_ok\":%b,\"accounting_ok\":%b,\"violations\":["
+        \"drained_ok\":%b,\"accounting_ok\":%b,\"store_saves\":%d,\
+        \"store_loads\":%d,\"store_zero_rebuilds\":%b,\"violations\":["
        o.shed_observed o.expired_observed o.retried_ok o.drained_ok
-       o.accounting_ok);
+       o.accounting_ok o.store_saves o.store_loads o.store_zero_rebuilds);
   List.iteri
     (fun i v ->
       if i > 0 then Buffer.add_char b ',';

@@ -44,6 +44,11 @@ type outcome = {
   retried_ok : int;  (** requests completed only after bounded retry *)
   drained_ok : bool;  (** SIGTERM drain answered the whole in-flight burst *)
   accounting_ok : bool;  (** server metrics account for every admitted request *)
+  store_saves : int;  (** artifacts the store segment's first life persisted *)
+  store_loads : int;  (** warm loads after the store segment's SIGKILL restart *)
+  store_zero_rebuilds : bool;
+      (** the restarted server served every miss from the store — zero
+          builds in its second life *)
   violations : string list;  (** empty iff the soak found no robustness bug *)
 }
 

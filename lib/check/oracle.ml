@@ -12,10 +12,18 @@ let matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t = Hashtbl.create 
 let direct_matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t =
   Hashtbl.create 16
 
+(* Packed circuits recovered through a save/load round trip of the
+   artifact store, keyed like the builds above.  Loading goes through
+   the full validation path (checksums, bounds, kernel dispatch tags),
+   so a divergence here is shrunk and saved to the corpus exactly like
+   an engine bug. *)
+let store_loaded : (string, Th.Packed.t) Hashtbl.t = Hashtbl.create 16
+
 let clear_cache () =
   Hashtbl.reset trace_builds;
   Hashtbl.reset matmul_builds;
-  Hashtbl.reset direct_matmul_builds
+  Hashtbl.reset direct_matmul_builds;
+  Hashtbl.reset store_loaded
 
 (* Keep the memo bounded: a long fuzz run touches only a handful of
    configurations, but a pathological generator should not accumulate
@@ -70,6 +78,46 @@ let direct_matmul_built (c : Case.t) =
 
 let fail fmt = Format.kasprintf (fun s -> Error s) fmt
 
+(* One scratch artifact per round trip: written, read back, removed.
+   [Artifact.read] keeps the mapping alive through the returned packed
+   value even after the file is unlinked. *)
+let store_round_trip ~key ~io packed =
+  let path = Filename.temp_file "tcmm_oracle" ".tcmm" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let meta =
+    {
+      Tcmm_store.Artifact.m_key = key;
+      m_templates = true;
+      m_kernels = true;
+      m_build_seconds = 0.;
+      m_stats = Th.Stats.zero;
+      m_io = io;
+    }
+  in
+  match Tcmm_store.Artifact.write ~path meta packed with
+  | Error msg -> Error ("artifact write failed: " ^ msg)
+  | Ok _ -> (
+      match Tcmm_store.Artifact.read ~key ~path () with
+      | Error msg -> Error ("artifact read failed: " ^ msg)
+      | Ok a ->
+          let loaded = a.Tcmm_store.Artifact.a_packed in
+          if not (Th.Packed.structural_equal packed loaded) then
+            Error "loaded artifact is not structurally equal to the fresh build"
+          else Ok loaded)
+
+let store_loaded_packed (c : Case.t) ~io packed =
+  let key = Case.build_key c in
+  match Hashtbl.find_opt store_loaded key with
+  | Some p -> Ok p
+  | None -> (
+      bound store_loaded;
+      match store_round_trip ~key ~io packed with
+      | Ok p ->
+          Hashtbl.add store_loaded key p;
+          Ok p
+      | Error _ as e -> e)
+
 let check_trace (c : Case.t) =
   let built = trace_built c in
   let a = Case.matrix c ~index:0 in
@@ -92,15 +140,34 @@ let check_trace (c : Case.t) =
     (* Batched lanes: the case's matrix plus two further draws. *)
     let lanes = Array.init 3 (fun i -> Case.matrix c ~index:i) in
     let batch = T.Trace_circuit.run_batch built lanes in
-    let rec lanes_ok i =
-      if i >= Array.length lanes then Ok ()
-      else
-        let want = T.Trace_circuit.reference lanes.(i) >= c.tau in
-        if batch.(i) <> want then
-          fail "batched lane %d says %b, integer reference says %b" i batch.(i) want
-        else lanes_ok (i + 1)
+    (* Store round-trip leg: the packed circuit through a save / mmap
+       load must answer the same lanes identically. *)
+    let io =
+      Tcmm_store.Artifact.Trace_io
+        {
+          layout = built.T.Trace_circuit.layout;
+          output = built.T.Trace_circuit.output;
+          tau = built.T.Trace_circuit.tau;
+        }
     in
-    lanes_ok 0
+    match store_loaded_packed c ~io (T.Trace_circuit.pack built) with
+    | Error msg -> fail "store round trip: %s" msg
+    | Ok loaded ->
+        let inputs = Array.map (T.Trace_circuit.encode_input built) lanes in
+        let br = Th.Packed.run_batch loaded inputs in
+        let out = built.T.Trace_circuit.output in
+        let rec lanes_ok i =
+          if i >= Array.length lanes then Ok ()
+          else
+            let want = T.Trace_circuit.reference lanes.(i) >= c.tau in
+            if batch.(i) <> want then
+              fail "batched lane %d says %b, integer reference says %b" i
+                batch.(i) want
+            else if Th.Packed.batch_value br ~lane:i out <> batch.(i) then
+              fail "store-loaded lane %d disagrees with the fresh build" i
+            else lanes_ok (i + 1)
+        in
+        lanes_ok 0
 
 let check_matmul (c : Case.t) =
   let built = matmul_built c in
@@ -126,18 +193,44 @@ let check_matmul (c : Case.t) =
     let batch = T.Matmul_circuit.run_batch built pairs in
     (* Kernel leg: the same pairs through a Direct-mode build, whose
        packed form dispatches the template-specialized kernels. *)
-    let kernel_batch = T.Matmul_circuit.run_batch (direct_matmul_built c) pairs in
-    let rec lanes_ok i =
-      if i >= Array.length pairs then Ok ()
-      else
-        let la, lb = pairs.(i) in
-        if not (F.Matrix.equal batch.(i) (F.Matrix.mul la lb)) then
-          fail "batched lane %d disagrees with integer reference" i
-        else if not (F.Matrix.equal kernel_batch.(i) batch.(i)) then
-          fail "kernel batched lane %d disagrees with generic batch" i
-        else lanes_ok (i + 1)
+    let direct = direct_matmul_built c in
+    let kernel_batch = T.Matmul_circuit.run_batch direct pairs in
+    (* Store round-trip leg: the kernel-dispatching packed form through
+       a save / mmap load (including kernel spec decode) must match. *)
+    let io =
+      Tcmm_store.Artifact.Matmul_io
+        {
+          layout_a = direct.T.Matmul_circuit.layout_a;
+          layout_b = direct.T.Matmul_circuit.layout_b;
+          c_grid = direct.T.Matmul_circuit.c_grid;
+        }
     in
-    lanes_ok 0
+    match store_loaded_packed c ~io (T.Matmul_circuit.pack direct) with
+    | Error msg -> fail "store round trip: %s" msg
+    | Ok loaded ->
+        let inputs =
+          Array.map
+            (fun (la, lb) -> T.Matmul_circuit.encode_inputs direct ~a:la ~b:lb)
+            pairs
+        in
+        let br = Th.Packed.run_batch loaded inputs in
+        let loaded_batch =
+          Array.init (Array.length pairs) (fun lane ->
+              T.Matmul_circuit.decode direct (Th.Packed.batch_value br ~lane))
+        in
+        let rec lanes_ok i =
+          if i >= Array.length pairs then Ok ()
+          else
+            let la, lb = pairs.(i) in
+            if not (F.Matrix.equal batch.(i) (F.Matrix.mul la lb)) then
+              fail "batched lane %d disagrees with integer reference" i
+            else if not (F.Matrix.equal kernel_batch.(i) batch.(i)) then
+              fail "kernel batched lane %d disagrees with generic batch" i
+            else if not (F.Matrix.equal loaded_batch.(i) batch.(i)) then
+              fail "store-loaded lane %d disagrees with the fresh build" i
+            else lanes_ok (i + 1)
+        in
+        lanes_ok 0
 
 let check (c : Case.t) =
   match c.kind with

@@ -21,6 +21,14 @@ let alloc_rect b ~rows ~cols ~entry_bits ~signed =
   { rows; cols; entry_bits; signed; base; wires_per_entry }
 
 let alloc b ~n ~entry_bits ~signed = alloc_rect b ~rows:n ~cols:n ~entry_bits ~signed
+
+let restore ~rows ~cols ~entry_bits ~signed ~base =
+  if rows < 1 || cols < 1 then invalid_arg "Encode.restore: empty layout";
+  if entry_bits < 1 || entry_bits > 60 then
+    invalid_arg "Encode.restore: entry_bits out of range";
+  if base < 0 then invalid_arg "Encode.restore: negative base";
+  let wires_per_entry = if signed then 2 * entry_bits else entry_bits in
+  { rows; cols; entry_bits; signed; base; wires_per_entry }
 let total_wires t = t.rows * t.cols * t.wires_per_entry
 
 let entry_wires t i j =

@@ -26,6 +26,14 @@ val alloc : Builder.t -> n:int -> entry_bits:int -> signed:bool -> t
 (** Square [n x n] layout.  Allocates the input wires (must precede any
     gate). *)
 
+val restore : rows:int -> cols:int -> entry_bits:int -> signed:bool -> base:int -> t
+(** Reconstitute a layout from persisted parameters {i without} a
+    builder — the artifact store records [(rows, cols, entry_bits,
+    signed, base)] per layout and warm loads rebuild the wire mapping
+    from them; the input wires already exist inside the stored packed
+    circuit.  Raises [Invalid_argument] on parameters {!alloc_rect}
+    would have rejected. *)
+
 val alloc_rect : Builder.t -> rows:int -> cols:int -> entry_bits:int -> signed:bool -> t
 (** Rectangular layout — the tiled multiplier uses these for the paper's
     [P x Q] by [Q x K] convolution products. *)

@@ -5,25 +5,35 @@ module Th = Tcmm_threshold
 type compiled =
   | Matmul of T.Matmul_circuit.built
   | Trace of T.Trace_circuit.built
+  | Stored of Tcmm_store.Artifact.io
+
+type source = Fresh | Warm
 
 type entry = {
   spec : Protocol.spec;
   compiled : compiled;
   packed : Th.Packed.t;
   coverage : Th.Packed.coverage;
+  stats : Th.Stats.t;
+  source : source;
   build_seconds : float;
   construct_seconds : float;
   lower_seconds : float;
 }
 
+type outcome = Cached | Built | Loaded
+
 type t = {
   lru : (string, entry) Tcmm_util.Lru.t;
   templates : bool;
   kernels : bool;
+  store : Tcmm_store.Store.t option;
 }
 
-let create ?(templates = true) ?(kernels = true) ~capacity () : t =
-  { lru = Tcmm_util.Lru.create ~capacity (); templates; kernels }
+let create ?(templates = true) ?(kernels = true) ?store ~capacity () : t =
+  { lru = Tcmm_util.Lru.create ~capacity (); templates; kernels; store }
+
+let store t = t.store
 
 let key (s : Protocol.spec) =
   Printf.sprintf "%s|%s|%s|d=%d|n=%d|b=%d|signed=%b|tau=%d"
@@ -87,34 +97,111 @@ let build ~templates ~kernels (s : Protocol.spec) =
     match compiled with
     | Matmul built -> T.Matmul_circuit.pack ~kernels built
     | Trace built -> T.Trace_circuit.pack ~kernels built
+    | Stored _ -> assert false
   in
   let t2 = Unix.gettimeofday () in
+  let stats =
+    match compiled with
+    | Matmul built -> T.Matmul_circuit.stats built
+    | Trace built -> T.Trace_circuit.stats built
+    | Stored _ -> assert false
+  in
   {
     spec = s;
     compiled;
     packed;
     coverage = Th.Packed.coverage packed;
+    stats;
+    source = Fresh;
     build_seconds = t2 -. t0;
     construct_seconds = t1 -. t0;
     lower_seconds = t2 -. t1;
   }
 
+(* What the artifact store needs to serve this entry later without the
+   driver value: the input layouts and output representation. *)
+let io_of_entry e =
+  match e.compiled with
+  | Matmul b ->
+      Tcmm_store.Artifact.Matmul_io
+        {
+          layout_a = b.T.Matmul_circuit.layout_a;
+          layout_b = b.T.Matmul_circuit.layout_b;
+          c_grid = b.T.Matmul_circuit.c_grid;
+        }
+  | Trace b ->
+      Tcmm_store.Artifact.Trace_io
+        {
+          layout = b.T.Trace_circuit.layout;
+          output = b.T.Trace_circuit.output;
+          tau = b.T.Trace_circuit.tau;
+        }
+  | Stored io -> io
+
+let entry_of_artifact spec ~load_seconds (a : Tcmm_store.Artifact.t) =
+  {
+    spec;
+    compiled = Stored a.Tcmm_store.Artifact.a_io;
+    packed = a.Tcmm_store.Artifact.a_packed;
+    coverage = Th.Packed.coverage a.Tcmm_store.Artifact.a_packed;
+    stats = a.Tcmm_store.Artifact.a_header.Tcmm_store.Artifact.h_stats;
+    source = Warm;
+    build_seconds = load_seconds;
+    construct_seconds = 0.;
+    lower_seconds = load_seconds;
+  }
+
 let find_or_build t spec =
   let k = key spec in
   match Tcmm_util.Lru.find t.lru k with
-  | Some entry -> Ok (entry, true)
+  | Some entry -> Ok (entry, Cached)
   | None -> (
-      match build ~templates:t.templates ~kernels:t.kernels spec with
-      | entry ->
+      (* Read-through: a valid artifact skips the build entirely (the
+         store quarantines invalid ones and reports a miss). *)
+      let loaded =
+        match t.store with
+        | None -> None
+        | Some store ->
+            let t0 = Unix.gettimeofday () in
+            Option.map
+              (fun a ->
+                entry_of_artifact spec ~load_seconds:(Unix.gettimeofday () -. t0) a)
+              (Tcmm_store.Store.find store ~key:k)
+      in
+      match loaded with
+      | Some entry ->
           Tcmm_util.Lru.add t.lru k entry;
-          Ok (entry, false)
-      | exception Invalid_argument msg | exception Failure msg ->
-          Error msg
-      | exception Tcmm_util.Checked.Overflow msg ->
-          Error (Printf.sprintf "arithmetic overflow while building: %s" msg)
-      (* Supervised recovery: any other escape (Out_of_memory, a builder
-         bug) fails this request, not the daemon. *)
-      | exception e ->
-          Error (Printf.sprintf "build failed: %s" (Printexc.to_string e)))
+          Ok (entry, Loaded)
+      | None -> (
+          match build ~templates:t.templates ~kernels:t.kernels spec with
+          | entry ->
+              Tcmm_util.Lru.add t.lru k entry;
+              (* Write-behind: persist the fresh build so the next
+                 process (or the next life of this one) loads warm.  A
+                 failed save is logged by the store and costs nothing
+                 here. *)
+              (match t.store with
+              | None -> ()
+              | Some store ->
+                  let meta =
+                    {
+                      Tcmm_store.Artifact.m_key = k;
+                      m_templates = t.templates;
+                      m_kernels = t.kernels;
+                      m_build_seconds = entry.build_seconds;
+                      m_stats = entry.stats;
+                      m_io = io_of_entry entry;
+                    }
+                  in
+                  ignore (Tcmm_store.Store.save store ~meta entry.packed));
+              Ok (entry, Built)
+          | exception Invalid_argument msg | exception Failure msg ->
+              Error msg
+          | exception Tcmm_util.Checked.Overflow msg ->
+              Error (Printf.sprintf "arithmetic overflow while building: %s" msg)
+          (* Supervised recovery: any other escape (Out_of_memory, a builder
+             bug) fails this request, not the daemon. *)
+          | exception e ->
+              Error (Printf.sprintf "build failed: %s" (Printexc.to_string e))))
 
 let stats t = Tcmm_util.Lru.stats t.lru

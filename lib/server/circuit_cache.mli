@@ -19,6 +19,13 @@ type compiled =
   | Trace of Tcmm.Trace_circuit.built
       (** serves both [Trace] and [Triangles] specs (the latter with the
           threshold scaled to [6 * tau]) *)
+  | Stored of Tcmm_store.Artifact.io
+      (** loaded from an artifact: no driver value, just the packed
+          circuit plus the I/O descriptor the artifact header carried *)
+
+type source =
+  | Fresh  (** entered the cache by building *)
+  | Warm  (** entered the cache from the artifact store *)
 
 type entry = {
   spec : Protocol.spec;
@@ -27,30 +34,53 @@ type entry = {
   coverage : Tcmm_threshold.Packed.coverage;
       (** kernel vs generic-fallback gate/segment counts of [packed]
           (all-fallback when kernels are off or the build materialized) *)
-  build_seconds : float;  (** wall-clock build + pack time (= construct + lower) *)
-  construct_seconds : float;  (** driver build (gate construction / stamping) *)
-  lower_seconds : float;  (** packed lowering / engine compilation *)
+  stats : Tcmm_threshold.Stats.t;
+      (** structural stats — computed for fresh builds, recovered from
+          the artifact header for warm loads *)
+  source : source;
+  build_seconds : float;
+      (** wall-clock cost of making the entry resident: build + pack
+          for [Fresh] entries, artifact load for [Warm] ones *)
+  construct_seconds : float;  (** driver build (stamping); 0 for [Warm] *)
+  lower_seconds : float;  (** packed lowering, or the artifact load *)
 }
+
+type outcome =
+  | Cached  (** LRU hit *)
+  | Built  (** miss, compiled from scratch *)
+  | Loaded  (** miss, recovered from the artifact store *)
 
 type t
 
-val create : ?templates:bool -> ?kernels:bool -> capacity:int -> unit -> t
+val create :
+  ?templates:bool ->
+  ?kernels:bool ->
+  ?store:Tcmm_store.Store.t ->
+  capacity:int ->
+  unit ->
+  t
 (** [templates] (default [true]) selects the template-stamped [Direct]
     build path for cache misses; [false] restores the legacy
     materialize-then-pack path.  [kernels] (default [true]) dispatches
     template segments of Direct-built entries to their specialized batch
     evaluators; [false] is the [--no-kernels] escape hatch (forces the
-    generic CSR loop — bit-identical results, only slower).  Raises
-    [Invalid_argument] when [capacity < 1]. *)
+    generic CSR loop — bit-identical results, only slower).  [store]
+    adds a persistent tier under the LRU: misses read through it before
+    building and write fresh builds behind ({!Tcmm_store.Store}).
+    Raises [Invalid_argument] when [capacity < 1]. *)
+
+val store : t -> Tcmm_store.Store.t option
 
 val key : Protocol.spec -> string
 (** The canonical cache key (also the {!Batcher} coalescing key). *)
 
 val find_or_build :
-  t -> Protocol.spec -> (entry * bool, string) result
-(** The entry for a spec, building it on a miss.  The boolean is [true]
-    when the entry was already cached.  [Error] on an invalid spec
-    (unknown algorithm or schedule, bad dimensions, out-of-range
-    parameters) — building never raises. *)
+  t -> Protocol.spec -> (entry * outcome, string) result
+(** The entry for a spec: an LRU hit, an artifact-store load, or a
+    fresh build (persisted write-behind when a store is attached), in
+    that order of preference.  [Error] on an invalid spec (unknown
+    algorithm or schedule, bad dimensions, out-of-range parameters) —
+    building never raises, and a corrupt artifact is quarantined and
+    rebuilt, never surfaced. *)
 
 val stats : t -> Tcmm_util.Lru.stats

@@ -92,7 +92,8 @@ let observe_latency t ~seconds =
   t.latency_sum <- t.latency_sum +. ms;
   t.latency_count <- t.latency_count + 1
 
-let snapshot t ~uptime_seconds ~cache ~engine : Protocol.metrics =
+let snapshot t ~uptime_seconds ~cache ~engine ~store : Protocol.metrics =
+  let store_loads, store_saves, store_invalid = store in
   {
     Protocol.uptime_seconds;
     connections_accepted = t.connections_accepted;
@@ -123,4 +124,7 @@ let snapshot t ~uptime_seconds ~cache ~engine : Protocol.metrics =
     slow_client_drops = t.slow_client_drops;
     kernel_gates = t.kernel_gates;
     fallback_gates = t.fallback_gates;
+    store_loads;
+    store_saves;
+    store_invalid;
   }

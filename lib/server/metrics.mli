@@ -49,4 +49,9 @@ val snapshot :
   uptime_seconds:float ->
   cache:Tcmm_util.Lru.stats ->
   engine:Tcmm_util.Lru.stats ->
+  store:int * int * int ->
   Protocol.metrics
+(** [store] is the artifact store's [(loads, saves, invalid)] counter
+    triple ([(0, 0, 0)] when no store is attached) — sampled at
+    snapshot time from {!Tcmm_store.Store.counters} rather than
+    mirrored into [t]. *)

@@ -1,6 +1,6 @@
 module Matrix = Tcmm_fastmm.Matrix
 
-let version = 3
+let version = 4
 let min_version = 1
 let max_frame_len = 1 lsl 24
 
@@ -29,6 +29,9 @@ type request =
 
 type compiled = {
   cached : bool;
+  loaded : bool;
+      (** the entry came from the artifact store, not a build (protocol
+          v4; false when decoding an older peer) *)
   build_seconds : float;
   stats : Tcmm_threshold.Stats.t;
 }
@@ -78,6 +81,12 @@ type metrics = {
      kernel vs the generic CSR fallback, summed over all builds. *)
   kernel_gates : int;
   fallback_gates : int;
+  (* Artifact-store traffic (protocol v4; zero when decoding an older
+     peer): warm loads, write-behind saves, and quarantined invalid
+     artifacts since the daemon started. *)
+  store_loads : int;
+  store_saves : int;
+  store_invalid : int;
 }
 
 type response =
@@ -185,7 +194,10 @@ let w_metrics buf m =
   w_int buf m.eval_failures;
   w_int buf m.slow_client_drops;
   w_int buf m.kernel_gates;
-  w_int buf m.fallback_gates
+  w_int buf m.fallback_gates;
+  w_int buf m.store_loads;
+  w_int buf m.store_saves;
+  w_int buf m.store_invalid
 
 let payload tag fill =
   let buf = Buffer.create 256 in
@@ -219,7 +231,10 @@ let encode_response = function
       payload 1 (fun buf ->
           w_bool buf c.cached;
           w_float buf c.build_seconds;
-          w_stats buf c.stats)
+          w_stats buf c.stats;
+          (* v4 field rides at the tail, mirroring the metrics layout
+             discipline. *)
+          w_bool buf c.loaded)
   | Matmul_result (m, firings) ->
       payload 2 (fun buf ->
           w_matrix buf m;
@@ -383,12 +398,16 @@ let r_metrics r ~version:v =
   (* Kernel coverage joined in v3; older peers predate the kernels. *)
   let kernel_gates = if v >= 3 then r_int r "metrics.kernel_gates" else 0 in
   let fallback_gates = if v >= 3 then r_int r "metrics.fallback_gates" else 0 in
+  (* Artifact-store counters joined in v4; older daemons had no store. *)
+  let store_loads = if v >= 4 then r_int r "metrics.store_loads" else 0 in
+  let store_saves = if v >= 4 then r_int r "metrics.store_saves" else 0 in
+  let store_invalid = if v >= 4 then r_int r "metrics.store_invalid" else 0 in
   {
     uptime_seconds; connections_accepted; connections_active; requests_total;
     run_requests; errors; batches; lanes; max_lanes; occupancy; latency_ms;
     firings_total; eval_seconds; build_seconds; cache; engine;
     accepted; shed; deadline_expired; eval_failures; slow_client_drops;
-    kernel_gates; fallback_gates;
+    kernel_gates; fallback_gates; store_loads; store_saves; store_invalid;
   }
 
 let decode what f s =
@@ -431,7 +450,8 @@ let decode_response =
           let cached = r_bool r "compiled.cached" in
           let build_seconds = r_float r "compiled.build_seconds" in
           let stats = r_stats r in
-          Compiled { cached; build_seconds; stats }
+          let loaded = if version >= 4 then r_bool r "compiled.loaded" else false in
+          Compiled { cached; loaded; build_seconds; stats }
       | 2 ->
           let m = r_matrix r "result.c" in
           Matmul_result (m, r_int r "result.firings")
@@ -653,11 +673,14 @@ let equal_metrics a b =
   && a.slow_client_drops = b.slow_client_drops
   && a.kernel_gates = b.kernel_gates
   && a.fallback_gates = b.fallback_gates
+  && a.store_loads = b.store_loads
+  && a.store_saves = b.store_saves
+  && a.store_invalid = b.store_invalid
 
 let equal_response a b =
   match (a, b) with
   | Compiled ca, Compiled cb ->
-      ca.cached = cb.cached
+      ca.cached = cb.cached && ca.loaded = cb.loaded
       && equal_float ca.build_seconds cb.build_seconds
       && ca.stats = cb.stats
   | Matmul_result (ma, fa), Matmul_result (mb, fb) -> Matrix.equal ma mb && fa = fb
@@ -692,6 +715,9 @@ let pp_metrics ppf m =
     "kernels: %d gates kernelized, %d fallback (%.1f%% coverage)@."
     m.kernel_gates m.fallback_gates
     (100. *. frac m.kernel_gates (m.kernel_gates + m.fallback_gates));
+  Format.fprintf ppf
+    "store: %d warm loads, %d saves, %d invalid artifacts quarantined@."
+    m.store_loads m.store_saves m.store_invalid;
   let pp_cache name (c : cache_stats) =
     Format.fprintf ppf
       "%s cache: %d/%d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions@."

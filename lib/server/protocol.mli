@@ -17,7 +17,7 @@
 module Matrix = Tcmm_fastmm.Matrix
 
 val version : int
-(** Protocol version carried in every outgoing payload (currently 3).
+(** Protocol version carried in every outgoing payload (currently 4).
     Version 2 added the [Overloaded] / [Deadline_exceeded] statuses and
     the robustness counters at the tail of {!metrics}; version 3
     appended the kernel-coverage counters. *)
@@ -65,6 +65,9 @@ type request =
 
 type compiled = {
   cached : bool;  (** was already resident in the circuit cache *)
+  loaded : bool;
+      (** the entry was recovered from the artifact store instead of
+          built (v4; [false] from an older peer) *)
   build_seconds : float;  (** 0 when [cached] *)
   stats : Tcmm_threshold.Stats.t;
 }
@@ -120,6 +123,11 @@ type metrics = {
       (** gates of cache-miss builds on the generic CSR fallback; the
           kernel coverage fraction is
           [kernel_gates / (kernel_gates + fallback_gates)] *)
+  store_loads : int;
+      (** circuits recovered warm from the artifact store (v4) *)
+  store_saves : int;  (** artifacts written behind fresh builds (v4) *)
+  store_invalid : int;
+      (** artifacts that failed validation and were quarantined (v4) *)
 }
 
 type response =

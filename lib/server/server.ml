@@ -21,6 +21,7 @@ type config = {
   deadline_ms : float;
   grace_s : float;
   max_backlog : int;
+  store : string option;
 }
 
 let default_config addr =
@@ -28,7 +29,7 @@ let default_config addr =
     templates = true; kernels = true; profile_build = false;
     profile_eval = false;
     max_pending = 0; deadline_ms = 0.; grace_s = 5.;
-    max_backlog = 1 lsl 26 }
+    max_backlog = 1 lsl 26; store = None }
 
 type conn = {
   fd : Unix.file_descr;
@@ -125,10 +126,7 @@ let flush_conn st c =
     if c.alive && c.closing && Buffer.length c.out = c.sent then close_conn st c
   end
 
-let circuit_stats (entry : Circuit_cache.entry) =
-  match entry.compiled with
-  | Circuit_cache.Matmul b -> T.Matmul_circuit.stats b
-  | Circuit_cache.Trace b -> T.Trace_circuit.stats b
+let circuit_stats (entry : Circuit_cache.entry) = entry.Circuit_cache.stats
 
 let dispatch st ~key jobs =
   (* Deadline-expired jobs were already answered and reaped; any still
@@ -229,29 +227,66 @@ let prepare_run (entry : Circuit_cache.entry) req =
           (Th.Packed.batch_value br ~lane out, Th.Packed.batch_firings br ~lane)
       in
       (input, reply)
+  (* Store-loaded entries carry no driver value; the artifact's I/O
+     descriptor (layouts + output representation) is enough to encode
+     requests and decode replies. *)
+  | ( Circuit_cache.Stored (Tcmm_store.Artifact.Matmul_io io),
+      P.Run_matmul (_, a, b) ) ->
+      let wa = T.Encode.total_wires io.layout_a in
+      let input = Array.make (wa + T.Encode.total_wires io.layout_b) false in
+      T.Encode.write io.layout_a a input;
+      T.Encode.write io.layout_b b input;
+      let n = Array.length io.c_grid in
+      let reply br ~lane =
+        P.Matmul_result
+          ( Tcmm_fastmm.Matrix.init ~rows:n ~cols:n (fun i j ->
+                Tcmm_arith.Repr.eval_sbits
+                  (fun w -> Th.Packed.batch_value br ~lane w)
+                  io.c_grid.(i).(j)),
+            Th.Packed.batch_firings br ~lane )
+      in
+      (input, reply)
+  | ( Circuit_cache.Stored (Tcmm_store.Artifact.Trace_io io),
+      (P.Run_trace (_, a) | P.Run_triangles (_, a)) ) ->
+      let input = Array.make (T.Encode.total_wires io.layout) false in
+      T.Encode.write io.layout a input;
+      let out = io.output in
+      let reply br ~lane =
+        let fired = Th.Packed.batch_value br ~lane out in
+        let firings = Th.Packed.batch_firings br ~lane in
+        match req with
+        | P.Run_triangles _ -> P.Triangles_result (fired, firings)
+        | _ -> P.Trace_result (fired, firings)
+      in
+      (input, reply)
   | _ -> invalid_arg "request kind does not match the compiled circuit"
 
 let with_entry st c spec k =
   match Circuit_cache.find_or_build st.cache spec with
   | Error msg -> send st c (P.Error msg)
-  | Ok (entry, cached) ->
-      if not cached then begin
-        Metrics.observe_build st.metrics ~seconds:entry.build_seconds;
-        let cov = entry.Circuit_cache.coverage in
-        Metrics.observe_coverage st.metrics
-          ~kernel_gates:cov.Th.Packed.kernel_gates
-          ~fallback_gates:cov.Th.Packed.fallback_gates;
-        let level = if st.cfg.profile_build then Logs.App else Logs.Info in
-        Log.msg level (fun m ->
-            let total = cov.Th.Packed.kernel_gates + cov.Th.Packed.fallback_gates in
-            m
-              "built %s in %.3fs (construct %.3fs, lower %.3fs; kernels \
-               cover %d/%d gates)"
-              (Circuit_cache.key spec) entry.build_seconds
-              entry.construct_seconds entry.lower_seconds
-              cov.Th.Packed.kernel_gates total)
-      end;
-      k entry cached
+  | Ok (entry, outcome) ->
+      (match outcome with
+      | Circuit_cache.Cached -> ()
+      | Circuit_cache.Built ->
+          Metrics.observe_build st.metrics ~seconds:entry.build_seconds;
+          let cov = entry.Circuit_cache.coverage in
+          Metrics.observe_coverage st.metrics
+            ~kernel_gates:cov.Th.Packed.kernel_gates
+            ~fallback_gates:cov.Th.Packed.fallback_gates;
+          let level = if st.cfg.profile_build then Logs.App else Logs.Info in
+          Log.msg level (fun m ->
+              let total = cov.Th.Packed.kernel_gates + cov.Th.Packed.fallback_gates in
+              m
+                "built %s in %.3fs (construct %.3fs, lower %.3fs; kernels \
+                 cover %d/%d gates)"
+                (Circuit_cache.key spec) entry.build_seconds
+                entry.construct_seconds entry.lower_seconds
+                cov.Th.Packed.kernel_gates total)
+      | Circuit_cache.Loaded ->
+          Log.info (fun m ->
+              m "loaded %s warm from the artifact store in %.3fs"
+                (Circuit_cache.key spec) entry.build_seconds));
+      k entry outcome
 
 let handle_run st c ~now spec req =
   (* Admission gate: shedding here (before the build) keeps an
@@ -262,7 +297,7 @@ let handle_run st c ~now spec req =
     send st c P.Overloaded
   end
   else
-    with_entry st c spec (fun entry _cached ->
+    with_entry st c spec (fun entry _outcome ->
         match prepare_run entry req with
         | exception Invalid_argument msg | exception Failure msg ->
             send st c (P.Error msg)
@@ -293,6 +328,14 @@ let begin_drain st ~now reason =
           (Batcher.pending st.batcher))
   end
 
+let store_counters st =
+  match Circuit_cache.store st.cache with
+  | None -> (0, 0, 0)
+  | Some store ->
+      let c = Tcmm_store.Store.counters store in
+      (c.Tcmm_store.Store.loads, c.Tcmm_store.Store.saves,
+       c.Tcmm_store.Store.invalid)
+
 let handle_request st c ~now req =
   match req with
   | P.Ping -> send st c P.Pong
@@ -305,19 +348,23 @@ let handle_request st c ~now req =
           ~uptime_seconds:(now -. st.started)
           ~cache:(Circuit_cache.stats st.cache)
           ~engine:(Th.Engine.stats (Th.Engine.shared ()))
+          ~store:(store_counters st)
       in
       send st c (P.Metrics_result m)
   | P.Compile spec ->
-      with_entry st c spec (fun entry cached ->
+      with_entry st c spec (fun entry outcome ->
           send st c
             (P.Compiled
                {
-                 P.cached;
-                 build_seconds = (if cached then 0. else entry.build_seconds);
+                 P.cached = (outcome = Circuit_cache.Cached);
+                 loaded = (outcome = Circuit_cache.Loaded);
+                 build_seconds =
+                   (if outcome = Circuit_cache.Cached then 0.
+                    else entry.build_seconds);
                  stats = circuit_stats entry;
                }))
   | P.Stats spec ->
-      with_entry st c spec (fun entry _cached ->
+      with_entry st c spec (fun entry _outcome ->
           send st c (P.Stats_result (circuit_stats entry)))
   (* Run constructors dictate the circuit kind: normalizing the spec
      here keeps a mislabelled spec from building the wrong circuit. *)
@@ -398,6 +445,7 @@ let log_final st ~now reason =
       ~uptime_seconds:(now -. st.started)
       ~cache:(Circuit_cache.stats st.cache)
       ~engine:(Th.Engine.stats (Th.Engine.shared ()))
+      ~store:(store_counters st)
   in
   Log.info (fun f ->
       f
@@ -528,6 +576,17 @@ let serve_fd cfg listen_fd =
     else None
   in
   let started = Clock.now () in
+  let store =
+    match cfg.store with
+    | None -> None
+    | Some dir -> (
+        match Tcmm_store.Store.create ~kernels:cfg.kernels ~dir () with
+        | Ok s -> Some s
+        | Error msg ->
+            Log.err (fun m ->
+                m "artifact store disabled: could not open %s: %s" dir msg);
+            None)
+  in
   let st =
     {
       cfg;
@@ -535,7 +594,7 @@ let serve_fd cfg listen_fd =
       conns = [];
       cache =
         Circuit_cache.create ~templates:cfg.templates ~kernels:cfg.kernels
-          ~capacity:(max 1 cfg.cache_capacity) ();
+          ?store ~capacity:(max 1 cfg.cache_capacity) ();
       batcher = Batcher.create ~max_lanes ~flush_ms:cfg.flush_ms ();
       wheel = Timer_wheel.create ~now:started ();
       metrics = Metrics.create ~max_lanes;

@@ -69,12 +69,18 @@ type config = {
   max_backlog : int;
       (** per-connection write-buffer cap in bytes before the peer is
           dropped as a slow client *)
+  store : string option;
+      (** artifact directory for the persistent circuit tier
+          ({!Tcmm_store.Store}): cache misses read through it before
+          building and fresh builds are persisted behind; [None]
+          (default) disables the tier.  An unopenable directory logs an
+          error and serves without the store. *)
 }
 
 val default_config : Protocol.addr -> config
 (** capacity 8, adaptive flush, 62 lanes, 1 domain, templates and
     kernels on, profiling off, no pending cap, no deadline, 5 s grace,
-    64 MiB backlog cap. *)
+    64 MiB backlog cap, no artifact store. *)
 
 val bind : config -> Unix.file_descr * Protocol.addr
 (** Create, bind and listen the server socket without serving.  The

@@ -1,0 +1,467 @@
+module Crc64 = Tcmm_util.Crc64
+module Packed = Tcmm_threshold.Packed
+module Kernel = Tcmm_threshold.Kernel
+module Stats = Tcmm_threshold.Stats
+module Encode = Tcmm.Encode
+module Repr = Tcmm_arith.Repr
+
+(* v2: section CRCs cover the full 63-bit word (v1 masked out the sign
+   bit, leaving sign flips of stored weights undetectable). *)
+let format_version = 2
+let magic = "TCMMART1"
+let page = 4096
+let page_words = page / 8
+
+type io =
+  | Matmul_io of {
+      layout_a : Encode.t;
+      layout_b : Encode.t;
+      c_grid : Repr.signed_bits array array;
+    }
+  | Trace_io of { layout : Encode.t; output : Tcmm_threshold.Wire.t; tau : int }
+
+type section = { s_name : string; s_off : int; s_len : int; s_crc : int * int }
+
+type header = {
+  h_format : int;
+  h_kernel_rev : int;
+  h_key : string;
+  h_templates : bool;
+  h_kernels : bool;
+  h_created : float;
+  h_build_seconds : float;
+  h_num_inputs : int;
+  h_num_gates : int;
+  h_levels : int;
+  h_segments : int;
+  h_groups : int;
+  h_edges : int;
+  h_stats : Stats.t;
+  h_io : io;
+  h_sections : section list;
+}
+
+type t = {
+  a_packed : Packed.t;
+  a_io : io;
+  a_header : header;
+  a_path : string;
+  a_bytes : int;
+  a_kern_recompiled : bool;
+}
+
+type meta = {
+  m_key : string;
+  m_templates : bool;
+  m_kernels : bool;
+  m_build_seconds : float;
+  m_stats : Stats.t;
+  m_io : io;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Header codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let layout_codec : Encode.t Codec.t =
+  Codec.view
+    ~inject:(fun (l : Encode.t) ->
+      ((l.Encode.rows, l.Encode.cols, l.Encode.entry_bits), (l.Encode.signed, l.Encode.base)))
+    ~extract:(fun ((rows, cols, entry_bits), (signed, base)) ->
+      match Encode.restore ~rows ~cols ~entry_bits ~signed ~base with
+      | l -> l
+      | exception Invalid_argument m -> raise (Codec.Error m))
+    Codec.(pair (triple int int int) (pair bool int))
+
+let sbits_codec : Repr.signed_bits Codec.t =
+  Codec.view
+    ~inject:(fun (s : Repr.signed_bits) -> (s.Repr.pos_bits, s.Repr.neg_bits))
+    ~extract:(fun (pos_bits, neg_bits) -> { Repr.pos_bits; neg_bits })
+    Codec.(pair int_array int_array)
+
+let io_codec : io Codec.t =
+  Codec.view
+    ~inject:(function
+      | Matmul_io { layout_a; layout_b; c_grid } ->
+          (0, ((Some (layout_a, layout_b, c_grid) : _ option), (None : _ option)))
+      | Trace_io { layout; output; tau } ->
+          (1, (None, Some (layout, output, tau))))
+    ~extract:(function
+      | 0, (Some (layout_a, layout_b, c_grid), None) ->
+          Matmul_io { layout_a; layout_b; c_grid }
+      | 1, (None, Some (layout, output, tau)) -> Trace_io { layout; output; tau }
+      | _ -> raise (Codec.Error "invalid io descriptor"))
+    Codec.(
+      pair int
+        (pair
+           (option (triple layout_codec layout_codec (array (array sbits_codec))))
+           (option (triple layout_codec int int))))
+
+let stats_codec : Stats.t Codec.t =
+  Codec.view
+    ~inject:(fun (s : Stats.t) ->
+      ( (s.Stats.inputs, s.Stats.outputs, s.Stats.gates),
+        (s.Stats.edges, s.Stats.depth, s.Stats.max_fan_in),
+        (s.Stats.max_abs_weight, s.Stats.gates_by_depth) ))
+    ~extract:(fun
+        ( (inputs, outputs, gates),
+          (edges, depth, max_fan_in),
+          (max_abs_weight, gates_by_depth) )
+      ->
+      {
+        Stats.inputs;
+        outputs;
+        gates;
+        edges;
+        depth;
+        max_fan_in;
+        max_abs_weight;
+        gates_by_depth;
+      })
+    Codec.(
+      triple (triple int int int) (triple int int int) (pair int int_array))
+
+let section_codec : section Codec.t =
+  Codec.view
+    ~inject:(fun s -> ((s.s_name, s.s_off, s.s_len), s.s_crc))
+    ~extract:(fun ((s_name, s_off, s_len), s_crc) -> { s_name; s_off; s_len; s_crc })
+    Codec.(pair (triple string int int) (pair int int))
+
+let header_codec : header Codec.t =
+  Codec.view
+    ~inject:(fun h ->
+      ( ( (h.h_format, h.h_kernel_rev, h.h_key),
+          (h.h_templates, h.h_kernels),
+          (h.h_created, h.h_build_seconds) ),
+        ( (h.h_num_inputs, h.h_num_gates, h.h_levels),
+          (h.h_segments, h.h_groups, h.h_edges) ),
+        (h.h_stats, h.h_io, h.h_sections) ))
+    ~extract:(fun
+        ( ( (h_format, h_kernel_rev, h_key),
+            (h_templates, h_kernels),
+            (h_created, h_build_seconds) ),
+          ( (h_num_inputs, h_num_gates, h_levels),
+            (h_segments, h_groups, h_edges) ),
+          (h_stats, h_io, h_sections) )
+      ->
+      {
+        h_format;
+        h_kernel_rev;
+        h_key;
+        h_templates;
+        h_kernels;
+        h_created;
+        h_build_seconds;
+        h_num_inputs;
+        h_num_gates;
+        h_levels;
+        h_segments;
+        h_groups;
+        h_edges;
+        h_stats;
+        h_io;
+        h_sections;
+      })
+    Codec.(
+      triple
+        (triple (triple int int string) (pair bool bool) (pair float float))
+        (pair (triple int int int) (triple int int int))
+        (triple stats_codec io_codec (list section_codec)))
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type ivec = Packed.ivec
+
+(* A section's in-memory source: either an off-heap vector or an OCaml
+   int array — both are written as raw words. *)
+type src = Vec of ivec | Arr of int array
+
+let src_crc ~len = function
+  | Vec v -> Crc64.digest (Crc64.feed_ivec Crc64.init v ~pos:0 ~len)
+  | Arr a ->
+      let c = ref Crc64.init in
+      for i = 0 to len - 1 do
+        c := Crc64.feed_word !c a.(i)
+      done;
+      Crc64.digest !c
+
+let round_up_words w = (w + page_words - 1) / page_words * page_words
+
+let sections_of (s : Packed.sections) =
+  let nsegs = Array.length s.Packed.sec_seg_off in
+  let ngroups = Array.length s.Packed.sec_grp_weight in
+  let nedges = s.Packed.sec_grp_off.(ngroups) in
+  let ng = s.Packed.sec_num_gates in
+  [
+    ("pool_wires", nedges, Vec s.Packed.sec_pool_wires);
+    ("pool_weights", nedges, Vec s.Packed.sec_pool_weights);
+    ("g_threshold", ng, Vec s.Packed.sec_g_threshold);
+    ("g_wire", ng, Vec s.Packed.sec_g_wire);
+    ("seg_off", nsegs, Arr s.Packed.sec_seg_off);
+    ("seg_fan", nsegs, Arr s.Packed.sec_seg_fan);
+    ("seg_gates", nsegs + 1, Arr s.Packed.sec_seg_gates);
+    ("seg_grp", nsegs + 1, Arr s.Packed.sec_seg_grp);
+    ("grp_off", ngroups + 1, Arr s.Packed.sec_grp_off);
+    ("grp_weight", ngroups, Arr s.Packed.sec_grp_weight);
+    ("level_segs", Array.length s.Packed.sec_level_segs, Arr s.Packed.sec_level_segs);
+    ("outputs", Array.length s.Packed.sec_outputs, Arr s.Packed.sec_outputs);
+    ("kern", Array.length s.Packed.sec_kern, Arr s.Packed.sec_kern);
+  ]
+
+let crc_string s = Crc64.digest (Crc64.feed_string Crc64.init s)
+
+let pack_crc (hi, lo) =
+  Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)
+
+let unpack_crc c =
+  ( Int64.to_int (Int64.shift_right_logical c 32),
+    Int64.to_int (Int64.logand c 0xFFFFFFFFL) )
+
+let map_words fd ~shared words =
+  Bigarray.array1_of_genarray
+    (Unix.map_file fd Bigarray.int Bigarray.c_layout shared [| words |])
+
+let write ~path meta packed =
+  match
+    let secs = Packed.save packed in
+    let srcs = sections_of secs in
+    let ngroups = Array.length secs.Packed.sec_grp_weight in
+    (* Header size does not depend on the values inside it (the codec's
+       ints are fixed-width), so encode once with placeholder offsets
+       to learn where the payload starts, then re-encode for real. *)
+    let mk_header placed =
+      {
+        h_format = format_version;
+        h_kernel_rev = Kernel.format_rev;
+        h_key = meta.m_key;
+        h_templates = meta.m_templates;
+        h_kernels = meta.m_kernels;
+        h_created = Unix.time ();
+        h_build_seconds = meta.m_build_seconds;
+        h_num_inputs = secs.Packed.sec_num_inputs;
+        h_num_gates = secs.Packed.sec_num_gates;
+        h_levels = secs.Packed.sec_levels;
+        h_segments = Array.length secs.Packed.sec_seg_off;
+        h_groups = ngroups;
+        h_edges = secs.Packed.sec_grp_off.(ngroups);
+        h_stats = meta.m_stats;
+        h_io = meta.m_io;
+        h_sections = placed;
+      }
+    in
+    let dummy =
+      List.map (fun (s_name, len, _) -> { s_name; s_off = 0; s_len = len; s_crc = (0, 0) }) srcs
+    in
+    let header_bytes_len = String.length (Codec.encode header_codec (mk_header dummy)) in
+    let payload_start = round_up_words ((8 + 8 + header_bytes_len + 8 + 7) / 8) in
+    let cursor = ref payload_start in
+    let placed =
+      List.map
+        (fun (s_name, len, src) ->
+          let s_off = !cursor in
+          cursor := round_up_words (!cursor + len);
+          { s_name; s_off; s_len = len; s_crc = src_crc ~len src })
+        srcs
+    in
+    let total_words = !cursor in
+    let hdr = Codec.encode header_codec (mk_header placed) in
+    assert (String.length hdr = header_bytes_len);
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        Unix.ftruncate fd (total_words * 8);
+        (if total_words > payload_start then begin
+           let map = map_words fd ~shared:true total_words in
+           List.iter2
+             (fun { s_off; s_len; _ } (_, _, src) ->
+               match src with
+               | Vec v ->
+                   if s_len > 0 then
+                     Bigarray.Array1.blit
+                       (Bigarray.Array1.sub v 0 s_len)
+                       (Bigarray.Array1.sub map s_off s_len)
+               | Arr a ->
+                   for i = 0 to s_len - 1 do
+                     Bigarray.Array1.unsafe_set map (s_off + i) a.(i)
+                   done)
+             placed srcs
+         end);
+        let head = Buffer.create (page :> int) in
+        Buffer.add_string head magic;
+        Buffer.add_int64_le head (Int64.of_int (String.length hdr));
+        Buffer.add_string head hdr;
+        Buffer.add_int64_le head (pack_crc (crc_string hdr));
+        let hb = Buffer.to_bytes head in
+        let n = Unix.write fd hb 0 (Bytes.length hb) in
+        if n <> Bytes.length hb then failwith "short header write";
+        Unix.fsync fd;
+        total_words * 8)
+  with
+  | bytes -> Ok bytes
+  | exception e -> Error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                            *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let read_exact fd buf pos len =
+  let got = ref 0 in
+  while !got < len do
+    let n = Unix.read fd buf (pos + !got) (len - !got) in
+    if n = 0 then bad "truncated file (wanted %d more header bytes)" (len - !got);
+    got := !got + n
+  done
+
+(* Read and authenticate the header; returns it with the file size. *)
+let header_of_fd fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size < 24 then bad "file too small (%d bytes)" size;
+  let fixed = Bytes.create 16 in
+  read_exact fd fixed 0 16;
+  if Bytes.sub_string fixed 0 8 <> magic then bad "bad magic";
+  let hlen = Int64.to_int (Bytes.get_int64_le fixed 8) in
+  if hlen < 0 || hlen > size - 24 then bad "implausible header length %d" hlen;
+  let rest = Bytes.create (hlen + 8) in
+  read_exact fd rest 0 (hlen + 8);
+  let hdr = Bytes.sub_string rest 0 hlen in
+  let stored = unpack_crc (Bytes.get_int64_le rest hlen) in
+  if not (Crc64.equal stored (crc_string hdr)) then bad "header checksum mismatch";
+  let h =
+    match Codec.decode header_codec hdr with
+    | h -> h
+    | exception Codec.Error m -> bad "header decode: %s" m
+  in
+  if h.h_format <> format_version then
+    bad "stale format version %d (current %d)" h.h_format format_version;
+  (h, size)
+
+let read_header ~path =
+  match
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> header_of_fd fd)
+  with
+  | r -> Ok r
+  | exception Bad m -> Error m
+  | exception e -> Error (Printexc.to_string e)
+
+let find_section h name =
+  match List.find_opt (fun s -> s.s_name = name) h.h_sections with
+  | Some s -> s
+  | None -> bad "missing section %S" name
+
+let read ?(kernels = true) ?key ~path () =
+  match
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let h, size = header_of_fd fd in
+        (match key with
+        | Some k when k <> h.h_key ->
+            bad "spec key mismatch: artifact is for %S, wanted %S" h.h_key k
+        | _ -> ());
+        if size mod 8 <> 0 then bad "file size not word-aligned";
+        let total_words = size / 8 in
+        List.iter
+          (fun s ->
+            if s.s_off < 0 || s.s_len < 0 || s.s_off + s.s_len > total_words then
+              bad "section %S out of bounds (truncated file?)" s.s_name)
+          h.h_sections;
+        let map = map_words fd ~shared:false total_words in
+        let sec name =
+          let s = find_section h name in
+          if not (Crc64.equal s.s_crc
+                    (Crc64.digest (Crc64.feed_ivec Crc64.init map ~pos:s.s_off ~len:s.s_len)))
+          then bad "section %S checksum mismatch" s.s_name;
+          s
+        in
+        (* The evaluators index padded vectors, so an empty section
+           still needs one backing word. *)
+        let vec name =
+          let s = sec name in
+          if s.s_len > 0 then Bigarray.Array1.sub map s.s_off s.s_len
+          else Bigarray.Array1.create Bigarray.int Bigarray.c_layout 1
+        in
+        let arr name =
+          let s = sec name in
+          Array.init s.s_len (fun i -> Bigarray.Array1.get map (s.s_off + i))
+        in
+        let kern_section = arr "kern" in
+        let kern_recompiled = h.h_kernel_rev <> Kernel.format_rev in
+        let sections =
+          {
+            Packed.sec_num_inputs = h.h_num_inputs;
+            sec_num_gates = h.h_num_gates;
+            sec_levels = h.h_levels;
+            sec_pool_wires = vec "pool_wires";
+            sec_pool_weights = vec "pool_weights";
+            sec_g_threshold = vec "g_threshold";
+            sec_g_wire = vec "g_wire";
+            sec_seg_off = arr "seg_off";
+            sec_seg_fan = arr "seg_fan";
+            sec_seg_gates = arr "seg_gates";
+            sec_seg_grp = arr "seg_grp";
+            sec_grp_off = arr "grp_off";
+            sec_grp_weight = arr "grp_weight";
+            sec_level_segs = arr "level_segs";
+            sec_outputs = arr "outputs";
+            sec_kern = kern_section;
+          }
+        in
+        match
+          Packed.load ~kernels ~recompile:(kernels && kern_recompiled) sections
+        with
+        | Error m -> bad "invalid packed sections: %s" m
+        | Ok packed ->
+            {
+              a_packed = packed;
+              a_io = h.h_io;
+              a_header = h;
+              a_path = path;
+              a_bytes = size;
+              a_kern_recompiled = kern_recompiled && kernels;
+            })
+  with
+  | a -> Ok a
+  | exception Bad m -> Error m
+  | exception e -> Error (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Inspection                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pp_header ppf h =
+  let open Format in
+  fprintf ppf "@[<v>format:        v%d (kernel rev %d%s)@," h.h_format h.h_kernel_rev
+    (if h.h_kernel_rev = Kernel.format_rev then "" else ", stale: loads recompile kernels");
+  fprintf ppf "key:           %s@," h.h_key;
+  fprintf ppf "flags:         templates=%b kernels=%b@," h.h_templates h.h_kernels;
+  let tm = Unix.gmtime h.h_created in
+  fprintf ppf "created:       %04d-%02d-%02dT%02d:%02d:%02dZ (build took %.3fs)@,"
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
+    tm.Unix.tm_min tm.Unix.tm_sec h.h_build_seconds;
+  fprintf ppf "circuit:       %d inputs, %d gates, %d levels, %d segments, %d groups, %d edges@,"
+    h.h_num_inputs h.h_num_gates h.h_levels h.h_segments h.h_groups h.h_edges;
+  fprintf ppf "stats:         %a@," Stats.pp h.h_stats;
+  (match h.h_io with
+  | Matmul_io { layout_a; _ } ->
+      fprintf ppf "io:            matmul %dx%d, %d entry bits, signed=%b@,"
+        layout_a.Encode.rows layout_a.Encode.cols layout_a.Encode.entry_bits
+        layout_a.Encode.signed
+  | Trace_io { layout; output; tau } ->
+      fprintf ppf "io:            trace %dx%d, %d entry bits, output wire %d, tau %d@,"
+        layout.Encode.rows layout.Encode.cols layout.Encode.entry_bits output tau);
+  fprintf ppf "sections:@,";
+  List.iter
+    (fun s ->
+      fprintf ppf "  %-14s off %10d  words %10d  crc %s@," s.s_name s.s_off s.s_len
+        (Crc64.to_hex s.s_crc))
+    h.h_sections;
+  fprintf ppf "@]"

@@ -1,0 +1,109 @@
+(** One compiled-circuit artifact file: self-describing header + the
+    packed CSR sections as page-aligned flat words.
+
+    {b Layout.}  A file is [magic "TCMMART1"], a u64 header length, the
+    {!Codec}-encoded {!header}, a CRC-64 of those header bytes, zero
+    padding to a 4 KiB boundary, then each section's words at a
+    page-aligned offset recorded in the header's section table.  The
+    header carries everything needed to interpret the payload —
+    format/kernel revisions, the spec key, builder flags, structural
+    counts, circuit stats, the I/O descriptor, and per-section
+    [(offset, length, CRC-64)] — so a load is: read + checksum + decode
+    the header, one [Unix.map_file] of the whole file, checksum each
+    section through the mapped view, and adopt the big vectors by
+    aliasing ({!Tcmm_threshold.Packed.load} re-validates structure).
+    No per-gate deserialization happens anywhere.
+
+    {b Checksums.}  The header CRC is over its exact bytes.  Section
+    CRCs are over {i logical 63-bit words} — each OCaml int contributes
+    its eight little-endian bytes with bit 63 as zero — which is
+    precisely what an [int]-kind Bigarray view of the file yields, so
+    verification streams straight out of the mapping.  (A flip of a
+    stored word's bit 63 is the one undetectable corruption, and it is
+    also value-neutral: the loaded int is unchanged.)
+
+    {b Atomicity} (temp file + rename) and quarantine policy live in
+    {!Store}; this module reads and writes single paths. *)
+
+type io =
+  | Matmul_io of {
+      layout_a : Tcmm.Encode.t;
+      layout_b : Tcmm.Encode.t;
+      c_grid : Tcmm_arith.Repr.signed_bits array array;
+    }
+  | Trace_io of {
+      layout : Tcmm.Encode.t;
+      output : Tcmm_threshold.Wire.t;
+      tau : int;
+    }
+      (** How to feed and read the circuit — what the serving layer
+          needs to answer requests without the original driver value
+          (layouts are rebuilt via {!Tcmm.Encode.restore}). *)
+
+type section = {
+  s_name : string;
+  s_off : int;  (** word offset from the start of the file *)
+  s_len : int;  (** length in words *)
+  s_crc : int * int;
+}
+
+type header = {
+  h_format : int;
+  h_kernel_rev : int;  (** {!Tcmm_threshold.Kernel.format_rev} at write time *)
+  h_key : string;  (** spec key the artifact was compiled for *)
+  h_templates : bool;  (** builder flags used for the compile *)
+  h_kernels : bool;
+  h_created : float;  (** unix time of the write *)
+  h_build_seconds : float;  (** what the original build cost *)
+  h_num_inputs : int;
+  h_num_gates : int;
+  h_levels : int;
+  h_segments : int;
+  h_groups : int;
+  h_edges : int;
+  h_stats : Tcmm_threshold.Stats.t;
+  h_io : io;
+  h_sections : section list;
+}
+
+type t = {
+  a_packed : Tcmm_threshold.Packed.t;
+  a_io : io;
+  a_header : header;
+  a_path : string;
+  a_bytes : int;  (** file size *)
+  a_kern_recompiled : bool;
+      (** the artifact predated {!Tcmm_threshold.Kernel.format_rev} and
+          kernels were recompiled from the CSR pools *)
+}
+
+val format_version : int
+
+type meta = {
+  m_key : string;
+  m_templates : bool;
+  m_kernels : bool;
+  m_build_seconds : float;
+  m_stats : Tcmm_threshold.Stats.t;
+  m_io : io;
+}
+
+val write :
+  path:string -> meta -> Tcmm_threshold.Packed.t -> (int, string) result
+(** Write one artifact file at [path] (clobbering it), returning its
+    size in bytes.  Not atomic on its own — {!Store.save} writes to a
+    temp path and renames. *)
+
+val read :
+  ?kernels:bool -> ?key:string -> path:string -> unit -> (t, string) result
+(** Load and fully verify an artifact: magic, header CRC + decode,
+    format version, [key] match when given, section bounds, every
+    section CRC, then {!Tcmm_threshold.Packed.load}.  [Error] is a
+    human-readable reason; the file is untouched either way. *)
+
+val read_header : path:string -> (header * int, string) result
+(** Header and file size only — no mapping, no payload verification.
+    What [tcmm artifacts list] runs per file. *)
+
+val pp_header : Format.formatter -> header -> unit
+(** Human-readable dump ([tcmm artifacts inspect]). *)

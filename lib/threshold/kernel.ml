@@ -269,3 +269,110 @@ let cmp_le cnt ~base ~bits ~c ~full =
     done;
     !lt lor !eq
   end
+
+(* Flat int-array codec for spec arrays, used by the artifact store to
+   persist each segment's dispatch decision.  The encoding is
+   positional — [tag; fields...; payload-length; payload...] per spec —
+   so a decoder reading a stream produced by a different compiler
+   revision would misparse; [format_rev] guards against that: artifacts
+   carry the revision they were encoded under, and a mismatch makes the
+   loader recompile from the CSR pools instead of decoding. *)
+
+let format_rev = 1
+
+let tag_generic = 0
+let tag_tt = 1
+let tag_pop = 2
+let tag_csa = 3
+
+let encode_specs specs =
+  let size = ref 0 in
+  Array.iter
+    (fun s ->
+      size :=
+        !size
+        +
+        match s with
+        | Generic -> 1
+        | Tt { k_tt; _ } -> 3 + Array.length k_tt
+        | Pop { k_c; _ } -> 4 + Array.length k_c
+        | Csa { k_widths; k_bth; _ } -> 4 + Array.length k_widths + Array.length k_bth)
+    specs;
+  let out = Array.make !size 0 in
+  let pos = ref 0 in
+  let put v =
+    out.(!pos) <- v;
+    incr pos
+  in
+  let put_arr a =
+    put (Array.length a);
+    Array.iter put a
+  in
+  Array.iter
+    (fun s ->
+      match s with
+      | Generic -> put tag_generic
+      | Tt { k_fan; k_tt } ->
+          put tag_tt;
+          put k_fan;
+          put_arr k_tt
+      | Pop { k_bits; k_cmp; k_c } ->
+          put tag_pop;
+          put k_bits;
+          put (match k_cmp with Ge -> 0 | Le -> 1);
+          put_arr k_c
+      | Csa { k_widths; k_mbits; k_bth } ->
+          put tag_csa;
+          put_arr k_widths;
+          put k_mbits;
+          put_arr k_bth)
+    specs;
+  out
+
+exception Malformed
+
+let decode_specs enc ~count =
+  let len = Array.length enc in
+  let pos = ref 0 in
+  let take () =
+    if !pos >= len then raise Malformed;
+    let v = enc.(!pos) in
+    incr pos;
+    v
+  in
+  let take_arr () =
+    let n = take () in
+    if n < 0 || n > len - !pos then raise Malformed;
+    let a = Array.sub enc !pos n in
+    pos := !pos + n;
+    a
+  in
+  match
+    let out =
+      Array.init count (fun _ ->
+          let tag = take () in
+          if tag = tag_generic then Generic
+          else if tag = tag_tt then
+            let k_fan = take () in
+            let k_tt = take_arr () in
+            if k_fan < 0 || k_fan > tt_max_fan then raise Malformed;
+            Tt { k_fan; k_tt }
+          else if tag = tag_pop then
+            let k_bits = take () in
+            let k_cmp = match take () with 0 -> Ge | 1 -> Le | _ -> raise Malformed in
+            let k_c = take_arr () in
+            if k_bits < 1 || k_bits > word_lanes then raise Malformed;
+            Pop { k_bits; k_cmp; k_c }
+          else if tag = tag_csa then
+            let k_widths = take_arr () in
+            let k_mbits = take () in
+            let k_bth = take_arr () in
+            if k_mbits < 1 || k_mbits > word_lanes then raise Malformed;
+            Csa { k_widths; k_mbits; k_bth }
+          else raise Malformed)
+    in
+    if !pos <> len then raise Malformed;
+    out
+  with
+  | out -> Some out
+  | exception Malformed -> None

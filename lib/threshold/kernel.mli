@@ -145,3 +145,23 @@ val cmp_ge : int array -> base:int -> bits:int -> c:int -> full:int -> int
 val cmp_le : int array -> base:int -> bits:int -> c:int -> full:int -> int
 (** Same, for [<= c]: [c < 0] returns [0], [c >= 2^bits] returns
     [full]. *)
+
+(** {1 Persistence}
+
+    Flat int-array codec for spec arrays, so the artifact store can
+    persist each segment's dispatch decision alongside the CSR pools
+    and a warm load skips {!compile} entirely. *)
+
+val format_rev : int
+(** Revision of the encoding {i and} of the compile heuristics.  Bump
+    whenever either changes; artifacts record the revision they were
+    written under, and loaders must recompile from the CSR pools (not
+    decode) on a mismatch. *)
+
+val encode_specs : spec array -> int array
+(** Concatenated tagged encoding of every spec, in order. *)
+
+val decode_specs : int array -> count:int -> spec array option
+(** Decode exactly [count] specs, [None] if the stream is malformed,
+    truncated, or has trailing words.  Inverse of {!encode_specs} for
+    streams written at the current {!format_rev}. *)

@@ -1565,3 +1565,221 @@ let batch_value r ~lane w =
   (r.b_vals.((w * r.b_wordc) + (lane / word_lanes)) lsr (lane mod word_lanes))
   land 1
   = 1
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The store subsystem persists a packed circuit as flat sections and
+   hands them back on load.  This module stays I/O-free: [save] is a
+   field projection (plus the kernel-spec encoding) and [load] is
+   re-validation — the store layer owns files, mmap, and checksums. *)
+
+type sections = {
+  sec_num_inputs : int;
+  sec_num_gates : int;
+  sec_levels : int;
+  sec_pool_wires : ivec;
+  sec_pool_weights : ivec;
+  sec_g_threshold : ivec;
+  sec_g_wire : ivec;
+  sec_seg_off : int array;
+  sec_seg_fan : int array;
+  sec_seg_gates : int array;
+  sec_seg_grp : int array;
+  sec_grp_off : int array;
+  sec_grp_weight : int array;
+  sec_level_segs : int array;
+  sec_outputs : int array;
+  sec_kern : int array;
+}
+
+let save t =
+  {
+    sec_num_inputs = t.num_inputs;
+    sec_num_gates = t.num_gates;
+    sec_levels = t.levels;
+    sec_pool_wires = t.pool_wires;
+    sec_pool_weights = t.pool_weights;
+    sec_g_threshold = t.g_threshold;
+    sec_g_wire = t.g_wire;
+    sec_seg_off = t.seg_off;
+    sec_seg_fan = t.seg_fan;
+    sec_seg_gates = t.seg_gates;
+    sec_seg_grp = t.seg_grp;
+    sec_grp_off = t.grp_off;
+    sec_grp_weight = t.grp_weight;
+    sec_level_segs = t.level_segs;
+    sec_outputs = t.outputs;
+    sec_kern = Kernel.encode_specs t.kern;
+  }
+
+(* Recompile one segment's kernel from the CSR pools — the fallback
+   when an artifact predates the current {!Kernel.format_rev}. *)
+let recompile_kern s pool_weights g_threshold ~seg_off ~seg_fan ~seg_gates =
+  let fan = seg_fan.(s) and e = seg_off.(s) in
+  let p = seg_gates.(s) in
+  let count = seg_gates.(s + 1) - p in
+  let weights = Array.init fan (fun i -> bget pool_weights (e + i)) in
+  let thresholds = Array.init count (fun i -> bget g_threshold (p + i)) in
+  Kernel.compile ~fan ~weights ~thresholds
+
+exception Invalid of string
+
+let load ?(kernels = true) ?(recompile = false) s =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Invalid m)) fmt in
+  let check_monotone name a lo hi =
+    let n = Array.length a in
+    if n = 0 then fail "%s is empty" name;
+    if a.(0) <> lo then fail "%s does not start at %d" name lo;
+    if a.(n - 1) <> hi then fail "%s does not end at %d" name hi;
+    for i = 1 to n - 1 do
+      if a.(i) < a.(i - 1) then fail "%s is not monotone at %d" name i
+    done
+  in
+  match
+    let num_inputs = s.sec_num_inputs in
+    let ng = s.sec_num_gates in
+    let levels = s.sec_levels in
+    if num_inputs < 0 || ng < 0 || levels < 0 then fail "negative counts";
+    if ng > 0 && levels = 0 then fail "gates without levels";
+    let num_wires = num_inputs + ng in
+    let nsegs = Array.length s.sec_seg_off in
+    if Array.length s.sec_seg_fan <> nsegs then fail "seg_fan length mismatch";
+    if Array.length s.sec_seg_gates <> nsegs + 1 then
+      fail "seg_gates length mismatch";
+    if Array.length s.sec_seg_grp <> nsegs + 1 then fail "seg_grp length mismatch";
+    if Array.length s.sec_level_segs <> levels + 1 then
+      fail "level_segs length mismatch";
+    let ngroups = Array.length s.sec_grp_weight in
+    if Array.length s.sec_grp_off <> ngroups + 1 then
+      fail "grp_off length mismatch";
+    check_monotone "level_segs" s.sec_level_segs 0 nsegs;
+    check_monotone "seg_gates" s.sec_seg_gates 0 ng;
+    check_monotone "seg_grp" s.sec_seg_grp 0 ngroups;
+    let nedges = s.sec_grp_off.(ngroups) in
+    check_monotone "grp_off" s.sec_grp_off 0 nedges;
+    let dim = Bigarray.Array1.dim in
+    if dim s.sec_pool_wires < max nedges 1 then fail "pool_wires too short";
+    if dim s.sec_pool_weights < max nedges 1 then fail "pool_weights too short";
+    if dim s.sec_g_threshold < max ng 1 then fail "g_threshold too short";
+    if dim s.sec_g_wire < max ng 1 then fail "g_wire too short";
+    (* Each segment's edge range must be exactly its group range — the
+       evaluators walk both views of the same pool slots. *)
+    for seg = 0 to nsegs - 1 do
+      if s.sec_seg_fan.(seg) < 0 then fail "negative fan at segment %d" seg;
+      if s.sec_seg_off.(seg) <> s.sec_grp_off.(s.sec_seg_grp.(seg)) then
+        fail "segment %d edge/group range mismatch" seg;
+      if
+        s.sec_seg_off.(seg) + s.sec_seg_fan.(seg)
+        <> s.sec_grp_off.(s.sec_seg_grp.(seg + 1))
+      then fail "segment %d fan/group extent mismatch" seg
+    done;
+    (* Bounds that make the evaluators' unsafe accesses safe. *)
+    for e = 0 to nedges - 1 do
+      let w = bget s.sec_pool_wires e in
+      if w < 0 || w >= num_wires then fail "edge %d reads out-of-range wire" e
+    done;
+    for g = 0 to ng - 1 do
+      let w = bget s.sec_g_wire g in
+      if w < num_inputs || w >= num_wires then
+        fail "gate %d writes out-of-range wire" g
+    done;
+    Array.iteri
+      (fun i w ->
+        if w < 0 || w >= num_wires then fail "output %d out of range" i)
+      s.sec_outputs;
+    (* Thresholds ascend within each segment (binary-searched firing
+       prefix); gate ranges per level must follow segment order. *)
+    for seg = 0 to nsegs - 1 do
+      for g = s.sec_seg_gates.(seg) + 1 to s.sec_seg_gates.(seg + 1) - 1 do
+        if bget s.sec_g_threshold g < bget s.sec_g_threshold (g - 1) then
+          fail "thresholds not ascending in segment %d" seg
+      done
+    done;
+    let max_seg_gates = ref 0 in
+    for seg = 0 to nsegs - 1 do
+      let k = s.sec_seg_gates.(seg + 1) - s.sec_seg_gates.(seg) in
+      if k > !max_seg_gates then max_seg_gates := k
+    done;
+    let kern =
+      if not kernels then [||]
+      else if recompile && nsegs > 0 then
+        Array.init nsegs (fun seg ->
+            recompile_kern seg s.sec_pool_weights s.sec_g_threshold
+              ~seg_off:s.sec_seg_off ~seg_fan:s.sec_seg_fan
+              ~seg_gates:s.sec_seg_gates)
+      else if Array.length s.sec_kern > 0 then
+        match Kernel.decode_specs s.sec_kern ~count:nsegs with
+        | Some k -> k
+        | None -> fail "malformed kernel dispatch tags"
+      else
+        (* An empty section means the circuit was packed without kernel
+           dispatch (of_circuit, or kernels off) — reproduce that
+           faithfully rather than inventing kernels the original never
+           had. *)
+        [||]
+    in
+    let k_gates = ref 0 and k_segs = ref 0 in
+    Array.iteri
+      (fun seg spec ->
+        match spec with
+        | Kernel.Generic -> ()
+        | _ ->
+            k_gates := !k_gates + s.sec_seg_gates.(seg + 1) - s.sec_seg_gates.(seg);
+            incr k_segs)
+      kern;
+    {
+      circuit =
+        lazy
+          (failwith
+             "Packed.circuit: the explicit circuit view is not persisted; \
+              rebuild from the spec to materialize it");
+      num_inputs;
+      num_wires;
+      num_gates = ng;
+      levels;
+      pool_wires = s.sec_pool_wires;
+      pool_weights = s.sec_pool_weights;
+      seg_off = s.sec_seg_off;
+      seg_fan = s.sec_seg_fan;
+      seg_gates = s.sec_seg_gates;
+      seg_grp = s.sec_seg_grp;
+      grp_off = s.sec_grp_off;
+      grp_weight = s.sec_grp_weight;
+      level_segs = s.sec_level_segs;
+      g_threshold = s.sec_g_threshold;
+      g_wire = s.sec_g_wire;
+      outputs = s.sec_outputs;
+      max_seg_gates = !max_seg_gates;
+      kern;
+      k_gates = !k_gates;
+      k_segs = !k_segs;
+    }
+  with
+  | t -> Ok t
+  | exception Invalid m -> Error m
+
+let structural_equal a b =
+  let ivec_eq va vb n =
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      if bget va i <> bget vb i then ok := false
+    done;
+    !ok
+  in
+  let edges_a = a.grp_off.(Array.length a.grp_off - 1) in
+  let edges_b = b.grp_off.(Array.length b.grp_off - 1) in
+  a.num_inputs = b.num_inputs && a.num_wires = b.num_wires
+  && a.num_gates = b.num_gates && a.levels = b.levels && edges_a = edges_b
+  && a.max_seg_gates = b.max_seg_gates
+  && a.k_gates = b.k_gates && a.k_segs = b.k_segs
+  && a.seg_off = b.seg_off && a.seg_fan = b.seg_fan
+  && a.seg_gates = b.seg_gates && a.seg_grp = b.seg_grp
+  && a.grp_off = b.grp_off && a.grp_weight = b.grp_weight
+  && a.level_segs = b.level_segs && a.outputs = b.outputs
+  && a.kern = b.kern
+  && ivec_eq a.pool_wires b.pool_wires edges_a
+  && ivec_eq a.pool_weights b.pool_weights edges_a
+  && ivec_eq a.g_threshold b.g_threshold a.num_gates
+  && ivec_eq a.g_wire b.g_wire a.num_gates

@@ -167,3 +167,62 @@ val batch_level_firings : batch_result -> lane:int -> int array
 
 val batch_value : batch_result -> lane:int -> Wire.t -> bool
 (** Read one wire of one lane (the batch analogue of {!Simulator.value}). *)
+
+(** {1 Persistence}
+
+    Flat-section view of a packed circuit for the artifact store
+    ([lib/store]).  This module stays free of file I/O: {!save}
+    projects the already-flat internals (the big vectors are shared,
+    not copied), and {!load} rebuilds a [t] from sections recovered by
+    the store, re-validating every structural invariant the unsafe
+    evaluators rely on.  Integrity against bit-level corruption is the
+    store's job (checksums); {!load}'s validation is what makes a
+    checksum-clean but adversarially-shaped section set safe to
+    evaluate. *)
+
+type ivec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type sections = {
+  sec_num_inputs : int;
+  sec_num_gates : int;
+  sec_levels : int;
+  sec_pool_wires : ivec;  (** edge input wires, grouped by weight *)
+  sec_pool_weights : ivec;  (** edge weights, same order *)
+  sec_g_threshold : ivec;  (** per packed gate, ascending per segment *)
+  sec_g_wire : ivec;  (** per packed gate: output wire *)
+  sec_seg_off : int array;  (** per segment: first pool slot *)
+  sec_seg_fan : int array;  (** per segment: fan-in *)
+  sec_seg_gates : int array;  (** packed-gate ranges, [nsegs + 1] *)
+  sec_seg_grp : int array;  (** weight-group ranges, [nsegs + 1] *)
+  sec_grp_off : int array;  (** per group: pool range, [ngroups + 1] *)
+  sec_grp_weight : int array;  (** per group: the shared weight *)
+  sec_level_segs : int array;  (** segment ranges per level, [levels + 1] *)
+  sec_outputs : int array;
+  sec_kern : int array;
+      (** {!Kernel.encode_specs} of the per-segment dispatch decisions;
+          [[||]] asks {!load} to recompile them from the pools (the
+          kernel-format-rev-mismatch path) *)
+}
+
+val save : t -> sections
+(** O(num_segments) — kernel specs are re-encoded, everything else is
+    shared with [t]. *)
+
+val load : ?kernels:bool -> ?recompile:bool -> sections -> (t, string) result
+(** Validate and adopt sections (the vectors are shared, so they must
+    not be mutated afterwards).  [kernels:false] forces all-generic
+    dispatch regardless of [sec_kern].  [recompile] (default [false])
+    ignores [sec_kern] and rebuilds every segment's kernel from the
+    CSR pools — the artifact store's path when the persisted dispatch
+    tags predate the current {!Kernel.format_rev}.  An {e empty}
+    [sec_kern] with [recompile:false] is reproduced faithfully as
+    all-generic dispatch (the original was packed without kernels).  [Error] describes the first
+    violated invariant; on [Ok t], every evaluator entry point is
+    memory-safe even if the sections were corrupt in ways a checksum
+    would miss.  {!circuit} raises on a loaded [t] — the explicit gate
+    list is not persisted. *)
+
+val structural_equal : t -> t -> bool
+(** Field-for-field equality of the packed representation (pools,
+    tables, kernel dispatch, coverage) — the round-trip identity the
+    store's tests assert.  Ignores the lazy circuit view. *)

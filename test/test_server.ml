@@ -114,7 +114,10 @@ let gen_metrics =
   let* eval_failures = int_range 0 1000 in
   let* slow_client_drops = int_range 0 1000 in
   let* kernel_gates = int_range 0 1000000 in
-  let+ fallback_gates = int_range 0 1000000 in
+  let* fallback_gates = int_range 0 1000000 in
+  let* store_loads = int_range 0 100000 in
+  let* store_saves = int_range 0 100000 in
+  let+ store_invalid = int_range 0 1000 in
   {
     P.uptime_seconds;
     connections_accepted;
@@ -139,6 +142,9 @@ let gen_metrics =
     slow_client_drops;
     kernel_gates;
     fallback_gates;
+    store_loads;
+    store_saves;
+    store_invalid;
   }
 
 let gen_response =
@@ -146,9 +152,10 @@ let gen_response =
   oneof
     [
       (let* cached = bool in
+       let* loaded = bool in
        let* build_seconds = float_range 0. 100. in
        let+ stats = gen_stats in
-       P.Compiled { P.cached; build_seconds; stats });
+       P.Compiled { P.cached; loaded; build_seconds; stats });
       map2 (fun m f -> P.Matmul_result (m, f)) gen_matrix (int_range 0 1000000);
       map2 (fun b f -> P.Trace_result (b, f)) bool (int_range 0 1000000);
       map2 (fun b f -> P.Triangles_result (b, f)) bool (int_range 0 1000000);
@@ -215,6 +222,7 @@ let test_decode_rejects_truncation () =
       engine = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
       accepted = 1; shed = 0; deadline_expired = 0; eval_failures = 0;
       slow_client_drops = 0; kernel_gates = 0; fallback_gates = 0;
+      store_loads = 0; store_saves = 0; store_invalid = 0;
     })))
   in
   for k = 0 to String.length resp - 1 do
@@ -434,12 +442,14 @@ let test_circuit_cache_hits () =
   let cc = Tcmm_server.Circuit_cache.create ~capacity:2 () in
   (match Tcmm_server.Circuit_cache.find_or_build cc small_spec with
   | Error e -> Alcotest.fail e
-  | Ok (e1, cached1) ->
-      S.check_bool "first build is a miss" false cached1;
+  | Ok (e1, outcome1) ->
+      S.check_bool "first build is a miss" true
+        (outcome1 = Tcmm_server.Circuit_cache.Built);
       (match Tcmm_server.Circuit_cache.find_or_build cc small_spec with
       | Error e -> Alcotest.fail e
-      | Ok (e2, cached2) ->
-          S.check_bool "second is a hit" true cached2;
+      | Ok (e2, outcome2) ->
+          S.check_bool "second is a hit" true
+            (outcome2 = Tcmm_server.Circuit_cache.Cached);
           S.check_bool "same entry" true (e1 == e2)));
   let st = Tcmm_server.Circuit_cache.stats cc in
   S.check_int "hits" 1 st.Tcmm_util.Lru.hits;
@@ -473,7 +483,7 @@ let test_circuit_cache_interleaved_eviction () =
   let product e a b =
     match e.Cc.compiled with
     | Cc.Matmul built -> T.Matmul_circuit.run built ~a ~b
-    | Cc.Trace _ -> Alcotest.fail "expected a matmul entry"
+    | Cc.Trace _ | Cc.Stored _ -> Alcotest.fail "expected a matmul entry"
   in
   let s1 = small_spec in
   let s2 = { small_spec with P.n = 4 } in
@@ -482,8 +492,9 @@ let test_circuit_cache_interleaved_eviction () =
   let build spec ~expect_cached what =
     match Cc.find_or_build cc spec with
     | Error e -> Alcotest.fail (what ^ ": " ^ e)
-    | Ok (e, cached) ->
-        S.check_bool (what ^ " cached?") expect_cached cached;
+    | Ok (e, outcome) ->
+        S.check_bool (what ^ " cached?") expect_cached
+          (outcome = Cc.Cached);
         e
   in
   ignore (build s1 ~expect_cached:false "s1 first build");
