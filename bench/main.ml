@@ -888,8 +888,228 @@ let e24 ?(ns = [ 8; 16; 32 ]) () =
       ]
     ~rows
 
-(* e18, e19, and e21 fork a server child; they are listed before e17
-   because Unix.fork is forbidden after e17 has spawned worker domains. *)
+(* E25: sharded fleet serving — aggregate pipelined throughput of a
+   K-worker fleet against the sequential single-process baseline on the
+   same tiny-circuit workload as E21.  Every reply in every leg is
+   verified bit-exact against the reference product before any number
+   is reported, the spec-affinity router gets its own differential leg,
+   and the run fails hard if the fleet does not clear [gate]x the
+   baseline. *)
+let e25 ?(workers = 8) ?(per_client = 400) ?(seq_requests = 300)
+    ?(gate = 5.0) () =
+  Bench_util.header
+    (Printf.sprintf "E25: fleet serving throughput (%d workers)" workers);
+  let module Sv = Tcmm_server in
+  let module P = Sv.Protocol in
+  let module Fl = Sv.Fleet in
+  let clock = Tcmm_util.Clock.now in
+  let spec =
+    { P.kind = P.Matmul; algo = "strassen"; schedule = "thm45"; d = 2;
+      n = 4; entry_bits = 2; signed = true; tau = 0 }
+  in
+  let rand_pair rng =
+    let a = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
+    let b = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
+    (a, b)
+  in
+  let dir = Filename.temp_file "tcmm_e25" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let rm_dir () =
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally:rm_dir @@ fun () ->
+  let base_cfg =
+    {
+      (Sv.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
+      Sv.Server.cache_capacity = 8;
+      store = Some dir;
+    }
+  in
+  (* Sequential single-process baseline: the E21 shape, one request in
+     flight at a time against one server process. *)
+  let seq_rps =
+    let listen_fd, addr = Sv.Server.bind base_cfg in
+    let cfg = { base_cfg with Sv.Server.addr = addr } in
+    match Unix.fork () with
+    | 0 ->
+        (try Sv.Server.serve_fd cfg listen_fd with _ -> ());
+        Unix._exit 0
+    | pid ->
+        Unix.close listen_fd;
+        Fun.protect
+          ~finally:(fun () ->
+            (try ignore (Sv.Client.shutdown addr) with _ -> ());
+            ignore (Unix.waitpid [] pid))
+          (fun () ->
+            (match Sv.Client.call addr (P.Compile spec) with
+            | Ok (P.Compiled _) -> ()
+            | _ -> failwith "e25: baseline warm-up compile failed");
+            let rng = Tcmm_util.Prng.create ~seed:25 in
+            let t0 = clock () in
+            for i = 1 to seq_requests do
+              let a, b = rand_pair rng in
+              match Sv.Client.call ~seed:i addr (P.Run_matmul (spec, a, b)) with
+              | Ok (P.Matmul_result (c, _)) ->
+                  if not (F.Matrix.equal c (F.Matrix.mul a b)) then
+                    failwith "e25: baseline product disagrees with reference"
+              | Ok _ -> failwith "e25: unexpected baseline response"
+              | Error f ->
+                  failwith
+                    (Format.asprintf "e25: baseline request failed: %a"
+                       Sv.Client.pp_failure f)
+            done;
+            float_of_int seq_requests /. (clock () -. t0))
+  in
+  Printf.printf "sequential single-process baseline: %.0f req/s\n%!" seq_rps;
+  let fleet_cfg = { (Fl.default_config base_cfg) with Fl.workers } in
+  let handle = Fl.bind fleet_cfg in
+  let endpoints = Array.of_list (Fl.endpoints handle) in
+  let control = Fl.control_addr handle in
+  let sup_pid =
+    match Unix.fork () with
+    | 0 ->
+        (try Fl.supervise handle with _ -> ());
+        Unix._exit 0
+    | pid ->
+        Fl.close_handle handle;
+        pid
+  in
+  let fleet_rps, checked, agg_run =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill sup_pid Sys.sigterm with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] sup_pid))
+      (fun () ->
+        (* Warm every worker cache through its own endpoint; the shared
+           store makes all but the first compile a warm load. *)
+        Array.iter
+          (fun ep ->
+            match Sv.Client.call ep (P.Compile spec) with
+            | Ok (P.Compiled _) -> ()
+            | _ -> failwith "e25: fleet warm-up compile failed")
+          endpoints;
+        (* Differential leg: spec-affinity routed requests through the
+           shard router, every reply verified bit-exact. *)
+        let pool = Sv.Client.Pool.create (Array.to_list endpoints) in
+        let key = Sv.Client.Pool.key_of_spec spec in
+        let rng = Tcmm_util.Prng.create ~seed:2525 in
+        let checked = 50 in
+        for i = 1 to checked do
+          let a, b = rand_pair rng in
+          match
+            Sv.Client.Pool.call ~seed:i pool ~key (P.Run_matmul (spec, a, b))
+          with
+          | Ok (P.Matmul_result (c, _)) ->
+              if not (F.Matrix.equal c (F.Matrix.mul a b)) then
+                failwith "e25: fleet product disagrees with reference"
+          | Ok _ -> failwith "e25: unexpected fleet response"
+          | Error f ->
+              failwith
+                (Format.asprintf "e25: fleet request failed: %a"
+                   Sv.Client.pp_failure f)
+        done;
+        (* Timed leg: one pipelining client child per worker (perfect
+           affinity partition), wall-clock across all children.  Each
+           child verifies every reply against its precomputed products
+           and reports through its exit status. *)
+        let t0 = clock () in
+        let children =
+          Array.mapi
+            (fun w ep ->
+              match Unix.fork () with
+              | 0 ->
+                  let ok =
+                    try
+                      let rng = Tcmm_util.Prng.create ~seed:(2600 + w) in
+                      let reqs =
+                        Array.init per_client (fun _ ->
+                            let a, b = rand_pair rng in
+                            (P.Run_matmul (spec, a, b), F.Matrix.mul a b))
+                      in
+                      let cl = Sv.Client.connect ep in
+                      (* Windowed pipelining: enough in flight to keep
+                         the server's lanes full without outrunning the
+                         socket buffers. *)
+                      let window = 64 in
+                      let ok = ref true in
+                      let i = ref 0 in
+                      while !i < per_client && !ok do
+                        let j = min per_client (!i + window) in
+                        for k = !i to j - 1 do
+                          Sv.Client.send cl (fst reqs.(k))
+                        done;
+                        for k = !i to j - 1 do
+                          match Sv.Client.recv cl with
+                          | Ok (P.Matmul_result (c, _)) ->
+                              if not (F.Matrix.equal c (snd reqs.(k))) then
+                                ok := false
+                          | _ -> ok := false
+                        done;
+                        i := j
+                      done;
+                      Sv.Client.close cl;
+                      !ok
+                    with _ -> false
+                  in
+                  Unix._exit (if ok then 0 else 1)
+              | pid -> pid)
+            endpoints
+        in
+        Array.iter
+          (fun pid ->
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _ -> failwith "e25: a fleet client child failed verification")
+          children;
+        let total = clock () -. t0 in
+        let n = workers * per_client in
+        (* Fleet-wide accounting must hold on the supervisor's control
+           aggregate at quiescence. *)
+        let agg_run =
+          match Sv.Client.call control P.Metrics with
+          | Ok (P.Metrics_result m) ->
+              if m.P.accepted
+                 <> m.P.run_requests + m.P.deadline_expired + m.P.eval_failures
+              then failwith "e25: fleet-wide accounting identity violated";
+              if m.P.worker_id <> 0 then
+                failwith "e25: aggregate metrics carry a worker id";
+              if m.P.run_requests < n + checked then
+                failwith "e25: aggregate run_requests below issued requests";
+              m.P.run_requests
+          | _ -> failwith "e25: fleet metrics aggregation failed"
+        in
+        (float_of_int n /. total, checked, agg_run))
+  in
+  let speedup = fleet_rps /. seq_rps in
+  Printf.printf
+    "fleet (%d workers): %.0f req/s aggregate (%d requests, %d verified \
+     differentially), %.1fx the sequential baseline\n"
+    workers fleet_rps agg_run checked speedup;
+  Bench_util.record ~experiment:"e25"
+    [
+      ("circuit", Bench_util.Str "matmul N=4 d=2 (signed, 2-bit entries)");
+      ("workers", Bench_util.Int workers);
+      ("seq_requests", Bench_util.Int seq_requests);
+      ("fleet_requests", Bench_util.Int (workers * per_client));
+      ("differential_requests", Bench_util.Int checked);
+      ("aggregate_run_requests", Bench_util.Int agg_run);
+      ("seq_req_per_s", Bench_util.Float seq_rps);
+      ("fleet_req_per_s", Bench_util.Float fleet_rps);
+      ("speedup_vs_sequential", Bench_util.Float speedup);
+      ("gate", Bench_util.Float gate);
+    ];
+  if speedup < gate then
+    failwith
+      (Printf.sprintf "e25: fleet speedup %.2fx is below the %.1fx gate"
+         speedup gate)
+
+(* e18, e19, e21, and e25 fork server children; they are listed before
+   e17 because Unix.fork is forbidden after e17 has spawned worker
+   domains. *)
 let all_experiments =
   [
     ("e1", Experiments.e1);
@@ -910,6 +1130,13 @@ let all_experiments =
     ("e18", e18);
     ("e19", e19);
     ("e21", e21);
+    (* e25 forks a fleet supervisor plus per-worker client children; the
+       smoke variant is the CI subset (3 workers, fewer requests, a
+       correspondingly lower speedup gate on shared CI cores). *)
+    ("e25", fun () -> e25 ());
+    ( "e25-smoke",
+      fun () ->
+        e25 ~workers:3 ~per_client:150 ~seq_requests:150 ~gate:1.5 () );
     (* e20 spawns domains for its parallel lowering legs, so it sits
        after the forking experiments (e18/e19), like e17. *)
     ("e20", fun () -> Experiments.e20 ());
@@ -935,7 +1162,9 @@ let () =
         (* The -smoke variants are CI subsets; a full run does the real
            experiments only. *)
         List.filter
-          (fun e -> e <> "e20-smoke" && e <> "e23-smoke" && e <> "e24-smoke")
+          (fun e ->
+            e <> "e20-smoke" && e <> "e23-smoke" && e <> "e24-smoke"
+            && e <> "e25-smoke")
           (List.map fst all_experiments)
   in
   List.iter
@@ -954,7 +1183,7 @@ let () =
   Bench_util.write_json
     ~only:(fun e ->
       e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21" && e <> "e23"
-      && e <> "e24")
+      && e <> "e24" && e <> "e25")
     "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
@@ -962,4 +1191,5 @@ let () =
   Bench_util.write_json ~only:(fun e -> e = "e21") "BENCH_serve_robust.json";
   Bench_util.write_json ~only:(fun e -> e = "e23") "BENCH_kernels.json";
   Bench_util.write_json ~only:(fun e -> e = "e24") "BENCH_store.json";
+  Bench_util.write_json ~only:(fun e -> e = "e25") "BENCH_fleet.json";
   print_endline "done."

@@ -386,15 +386,16 @@ let addr_term =
 
 let serve_cmd =
   let run addr cache lanes flush domains no_templates profile no_kernels
-      profile_eval max_pending deadline grace store verbose =
+      profile_eval max_pending deadline grace store workers reuseport control
+      verbose =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     match P.parse_addr addr with
     | Error msg ->
         Format.eprintf "tcmm serve: %s@." msg;
         1
-    | Ok a ->
-        Tcmm_server.Server.serve
+    | Ok a -> (
+        let cfg =
           {
             (Tcmm_server.Server.default_config a) with
             cache_capacity = cache;
@@ -409,8 +410,37 @@ let serve_cmd =
             deadline_ms = deadline;
             grace_s = grace;
             store;
-          };
-        0
+          }
+        in
+        if workers <= 1 then (
+          Tcmm_server.Server.serve cfg;
+          0)
+        else
+          let control =
+            match control with
+            | None -> Ok None
+            | Some c -> Result.map Option.some (P.parse_addr c)
+          in
+          match control with
+          | Error msg ->
+              Format.eprintf "tcmm serve: --control: %s@." msg;
+              1
+          | Ok control -> (
+              match
+                {
+                  (Tcmm_server.Fleet.default_config cfg) with
+                  workers;
+                  reuseport;
+                  control;
+                }
+              with
+              | fleet_cfg -> (
+                  try
+                    Tcmm_server.Fleet.run fleet_cfg;
+                    0
+                  with Invalid_argument msg ->
+                    Format.eprintf "tcmm serve: %s@." msg;
+                    1)))
   in
   let cache_term =
     Arg.(
@@ -465,6 +495,36 @@ let serve_cmd =
              circuits from $(docv) by mmap instead of rebuilding, and fresh \
              builds are persisted there for the next process.")
   in
+  let workers_term =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:
+            "Serve as a $(docv)-worker fleet: a supervisor binds the (TCP) \
+             front socket once, forks $(docv) workers that inherit it, \
+             restarts crashed workers warm from the store, and answers \
+             roster/metrics requests on a control socket.  1 = the \
+             single-process daemon.")
+  in
+  let reuseport_term =
+    Arg.(
+      value & flag
+      & info [ "reuseport" ]
+          ~doc:
+            "Fleet variant: one SO_REUSEPORT front socket per worker \
+             (kernel connection hashing) instead of a single shared \
+             inherited socket.")
+  in
+  let control_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "control" ] ~docv:"ADDR"
+          ~doc:
+            "Fleet control-plane address for $(b,tcmm fleet-status); \
+             default is an ephemeral TCP port on the front host (logged at \
+             startup).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -473,7 +533,56 @@ let serve_cmd =
       const run $ addr_term $ cache_term $ lanes_term $ flush_term $ domains_term
       $ no_templates_term $ profile_build_term $ no_kernels_term
       $ profile_eval_term $ pending_term $ deadline_term
-      $ grace_term $ store_term $ verbose_term)
+      $ grace_term $ store_term $ workers_term $ reuseport_term $ control_term
+      $ verbose_term)
+
+let fleet_status_cmd =
+  let run control =
+    let fail msg =
+      Format.eprintf "tcmm fleet-status: %s@." msg;
+      1
+    in
+    match P.parse_addr control with
+    | Error msg -> fail msg
+    | Ok a -> (
+        try
+          Tcmm_server.Client.with_connection a (fun cl ->
+              match Tcmm_server.Client.request cl P.Fleet with
+              | Error msg -> fail msg
+              | Ok (P.Error msg) -> fail msg
+              | Ok (P.Fleet_result ws) -> (
+                  List.iter
+                    (fun w ->
+                      Format.printf "worker %d: pid %d at %s, %d restart(s)%s@."
+                        w.P.fw_id w.P.fw_pid w.P.fw_addr w.P.fw_restarts
+                        (if w.P.fw_alive then "" else " [down]"))
+                    ws;
+                  match Tcmm_server.Client.request cl P.Metrics with
+                  | Error msg -> fail msg
+                  | Ok (P.Error msg) -> fail msg
+                  | Ok (P.Metrics_result m) ->
+                      Format.printf "fleet-wide:@.%a@." P.pp_metrics m;
+                      0
+                  | Ok _ -> fail "unexpected response to metrics")
+              | Ok _ -> fail "unexpected response to fleet")
+        with Unix.Unix_error (e, _, _) ->
+          fail
+            (Printf.sprintf "cannot reach supervisor at %s: %s" control
+               (Unix.error_message e)))
+  in
+  let control_term =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "control" ] ~docv:"ADDR"
+          ~doc:"The fleet supervisor's control address (logged at startup).")
+  in
+  Cmd.v
+    (Cmd.info "fleet-status"
+       ~doc:
+         "Query a running fleet supervisor: worker roster (pids, endpoints, \
+          restart counts) and fleet-wide aggregated metrics.")
+    Term.(const run $ control_term)
 
 let request_cmd =
   let run addr what algo n d bits sched signed tau seed count =
@@ -678,8 +787,8 @@ let check_cmd =
       $ corpus_term $ json_term)
 
 let chaos_cmd =
-  let run requests fault_rate seed json_path =
-    let outcome = Tcmm_check.Chaos.run ~seed ~requests ~fault_rate () in
+  let run requests fault_rate workers seed json_path =
+    let outcome = Tcmm_check.Chaos.run ~seed ~requests ~fault_rate ~workers () in
     Tcmm_check.Chaos.print_report outcome;
     (match json_path with
     | Some path ->
@@ -709,6 +818,17 @@ let chaos_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write the outcome as JSON.")
   in
+  let workers_term =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"K"
+          ~doc:
+            "Soak a $(docv)-worker fleet instead of a single daemon: \
+             requests route through the spec-affinity shard router while \
+             random workers are SIGKILLed at the fault rate; ends with \
+             fleet-wide summed accounting checks and a supervisor SIGTERM \
+             drain.")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
@@ -718,7 +838,9 @@ let chaos_cmd =
           SIGTERM drain.  Every completed response must be bit-identical \
           to the direct circuit evaluation and every failure typed (exit \
           1 on any violation).")
-    Term.(const run $ requests_term $ rate_term $ seed_term $ json_term)
+    Term.(
+      const run $ requests_term $ rate_term $ workers_term $ seed_term
+      $ json_term)
 
 (* ------------------------------------------------------------------ *)
 
@@ -917,6 +1039,6 @@ let () =
        (Cmd.group (Cmd.info "tcmm" ~doc)
           [
             algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd;
-            orbit_cmd; serve_cmd; request_cmd; compile_cmd; artifacts_cmd;
-            check_cmd; chaos_cmd;
+            orbit_cmd; serve_cmd; fleet_status_cmd; request_cmd; compile_cmd;
+            artifacts_cmd; check_cmd; chaos_cmd;
           ]))

@@ -36,6 +36,9 @@ type outcome = {
   store_loads : int;  (** warm loads observed after its SIGKILL restart *)
   store_zero_rebuilds : bool;
       (** the restarted server answered everything without building *)
+  fleet_workers : int;  (** fleet size of the fleet segment; 0 = not run *)
+  fleet_kills : int;  (** fleet workers SIGKILLed mid-soak *)
+  fleet_restarts : int;  (** supervisor restarts observed in the final roster *)
   violations : string list;
 }
 
@@ -184,6 +187,8 @@ type st = {
   mutable store_saves : int;
   mutable store_loads : int;
   mutable store_zero_rebuilds : bool;
+  mutable fleet_kills : int;
+  mutable fleet_restarts : int;
   mutable violations : string list;
 }
 
@@ -787,10 +792,267 @@ let segment_store st =
           violation st "store segment: second-life metrics failed")
 
 (* ------------------------------------------------------------------ *)
+(* Segment E: fleet — SIGKILL random workers mid-soak                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Distinct cache keys over the same tiny circuit: [tau] is part of the
+   spec key but ignored by matmul evaluation, so the rendezvous router
+   spreads these keys across workers while the one in-process oracle
+   verifies every reply. *)
+let fleet_specs = List.init 4 (fun t -> { spec with P.tau = t })
+
+let fleet_roster st control =
+  match Sv.Client.call ~policy ~seed:(Prng.next st.rng) control P.Fleet with
+  | Ok (P.Fleet_result ws) -> ws
+  | Ok _ | Error _ -> []
+
+(* One logical request through the failing-over shard router. *)
+let issue_pool st pool sp (a, b) =
+  st.requests <- st.requests + 1;
+  match
+    Sv.Client.Pool.call ~policy ~seed:(Prng.next st.rng) pool
+      ~key:(Sv.Client.Pool.key_of_spec sp)
+      (P.Run_matmul (sp, a, b))
+  with
+  | Ok (P.Matmul_result (c, _)) ->
+      st.completed <- st.completed + 1;
+      if F.Matrix.equal c (oracle ~a ~b) && F.Matrix.equal c (F.Matrix.mul a b)
+      then st.verified <- st.verified + 1
+      else
+        violation st "fleet: completed response differs from Matmul_circuit.run"
+  | Ok _ -> violation st "fleet: run request answered with a non-run response"
+  | Error f ->
+      (match f with
+      | Sv.Client.Timeout ->
+          st.watchdog_timeouts <- st.watchdog_timeouts + 1
+      | _ -> ());
+      st.typed_failures <- st.typed_failures + 1
+
+(* The roster is refreshed right before every kill so a restart between
+   kills cannot leave us signalling a recycled pid. *)
+let kill_random_worker st control =
+  match
+    List.filter (fun w -> w.P.fw_alive && w.P.fw_pid > 0)
+      (fleet_roster st control)
+  with
+  | [] -> ()
+  | live -> (
+      let w = List.nth live (Prng.int st.rng ~bound:(List.length live)) in
+      match Unix.kill w.P.fw_pid Sys.sigkill with
+      | () ->
+          st.fleet_kills <- st.fleet_kills + 1;
+          count_fault st Kill_restart
+      | exception Unix.Unix_error _ -> ())
+
+(* SIGKILL the shard mid-pipelined-burst: every reply that did arrive
+   must be bit-exact, the remainder must resolve as typed failures and
+   complete on re-issue through the failing-over pool — no request is
+   ever silently dropped and no completed response is ever wrong. *)
+let leg_fleet_burst st pool control sp =
+  let key = Sv.Client.Pool.key_of_spec sp in
+  let shard = Sv.Client.Pool.shard pool ~key in
+  let pairs = Array.init 20 (fun _ -> random_pair st.rng) in
+  let reissue pair = issue_pool st pool sp pair in
+  match raw_connect shard with
+  | Error _ -> Array.iter reissue pairs
+  | Ok fd ->
+      Fun.protect ~finally:(fun () -> close_fd fd) @@ fun () ->
+      let bytes =
+        String.concat ""
+          (Array.to_list
+             (Array.map (fun (a, b) -> frame_of (P.Run_matmul (sp, a, b))) pairs))
+      in
+      (match write_all fd bytes with
+      | Error _ -> Array.iter reissue pairs
+      | Ok () ->
+          let dead = ref false in
+          Array.iteri
+            (fun i (a, b) ->
+              if i = 5 then
+                (match
+                   List.find_opt
+                     (fun w -> w.P.fw_addr = P.addr_string shard)
+                     (fleet_roster st control)
+                 with
+                | Some w when w.P.fw_pid > 0 -> (
+                    match Unix.kill w.P.fw_pid Sys.sigkill with
+                    | () ->
+                        st.fleet_kills <- st.fleet_kills + 1;
+                        count_fault st Kill_restart
+                    | exception Unix.Unix_error _ -> ())
+                | _ -> ());
+              if !dead then reissue (a, b)
+              else begin
+                st.requests <- st.requests + 1;
+                match read_response fd with
+                | Ok (P.Matmul_result (c, _)) ->
+                    st.completed <- st.completed + 1;
+                    if F.Matrix.equal c (oracle ~a ~b) then
+                      st.verified <- st.verified + 1
+                    else violation st "fleet burst: completed reply had wrong bits"
+                | Ok _ -> violation st "fleet burst: unexpected response"
+                | Error `Timeout ->
+                    st.watchdog_timeouts <- st.watchdog_timeouts + 1;
+                    st.typed_failures <- st.typed_failures + 1;
+                    dead := true
+                | Error (`Closed _) ->
+                    st.typed_failures <- st.typed_failures + 1;
+                    dead := true
+              end)
+            pairs)
+
+let segment_fleet st ~workers ~requests ~fault_rate =
+  let dir =
+    let f = Filename.temp_file "tcmm_chaos_fleet" "" in
+    Sys.remove f;
+    Unix.mkdir f 0o700;
+    f
+  in
+  Fun.protect ~finally:(fun () -> remove_dir dir) @@ fun () ->
+  let cfg = Sv.Server.default_config (P.Tcp ("127.0.0.1", 0)) in
+  let cfg =
+    { cfg with Sv.Server.cache_capacity = 8; grace_s = 8.; store = Some dir }
+  in
+  (* The soak IS a crash loop by design: the restart budget must never
+     exhaust, or kills late in the run would down a shard for good. *)
+  let fleet_cfg =
+    {
+      (Sv.Fleet.default_config cfg) with
+      Sv.Fleet.workers;
+      restart_limit = requests + 8;
+      restart_window_s = 3600.;
+    }
+  in
+  (* Bind-then-fork, fleet edition: every front / control / endpoint
+     port is concrete before the supervisor child exists. *)
+  let handle = Sv.Fleet.bind fleet_cfg in
+  let endpoints = Sv.Fleet.endpoints handle in
+  let control = Sv.Fleet.control_addr handle in
+  let front = Sv.Fleet.front_addr handle in
+  match Unix.fork () with
+  | 0 ->
+      (try Sv.Fleet.supervise handle with _ -> ());
+      Unix._exit 0
+  | sup_pid ->
+      Sv.Fleet.close_handle handle;
+      let sup = { pid = sup_pid; addr = front } in
+      let pool = Sv.Client.Pool.create endpoints in
+      (* Warm every spec through the kernel-balanced front socket, so
+         the shared store holds all artifacts before the first kill and
+         every restart is warm. *)
+      List.iter
+        (fun sp ->
+          match
+            Sv.Client.call ~policy ~seed:(Prng.next st.rng) front (P.Compile sp)
+          with
+          | Ok (P.Compiled _) -> ()
+          | _ -> violation st "fleet warm-up compile failed")
+        fleet_specs;
+      let burst_at = max 1 (requests / 3) in
+      for i = 0 to requests - 1 do
+        let sp =
+          List.nth fleet_specs
+            (Prng.int st.rng ~bound:(List.length fleet_specs))
+        in
+        if i = burst_at then leg_fleet_burst st pool control sp
+        else begin
+          if Prng.float st.rng < fault_rate then kill_random_worker st control;
+          issue_pool st pool sp (random_pair st.rng)
+        end
+      done;
+      (* Settle: one request per spec proves every shard is serving
+         again, and leaves every worker quiescent for the accounting
+         fetch below. *)
+      List.iter (fun sp -> issue_pool st pool sp (random_pair st.rng)) fleet_specs;
+      let ws = fleet_roster st control in
+      if List.length ws <> workers then
+        violation st "fleet: roster has %d workers, expected %d" (List.length ws)
+          workers;
+      st.fleet_restarts <-
+        List.fold_left (fun acc w -> acc + w.P.fw_restarts) 0 ws;
+      List.iter
+        (fun w ->
+          if not w.P.fw_alive then
+            violation st "fleet: worker %d left down (restart budget exhausted)"
+              w.P.fw_id)
+        ws;
+      if st.fleet_kills > 0 && st.fleet_restarts = 0 then
+        violation st "fleet: %d SIGKILLs but the roster shows no restarts"
+          st.fleet_kills;
+      if st.fleet_restarts > st.fleet_kills then
+        violation st "fleet: %d restarts for %d kills (spontaneous crashes)"
+          st.fleet_restarts st.fleet_kills;
+      (* The PR 5 identity, fleet-wide: summed over the live workers'
+         metrics, accepted = run_requests + deadline_expired +
+         eval_failures — fetched at quiescence, so it must hold exactly
+         even though every counter-holding process may have been
+         SIGKILLed and restarted since the soak began. *)
+      let acc = ref 0 and run = ref 0 and dl = ref 0 and ef = ref 0 in
+      let invalid = ref 0 in
+      List.iter
+        (fun w ->
+          match P.parse_addr w.P.fw_addr with
+          | Error msg ->
+              violation st "fleet: roster endpoint %S does not parse: %s"
+                w.P.fw_addr msg
+          | Ok a -> (
+              match
+                Sv.Client.call ~policy ~seed:(Prng.next st.rng) a P.Metrics
+              with
+              | Ok (P.Metrics_result m) ->
+                  if m.P.worker_id <> w.P.fw_id then
+                    violation st "fleet: worker %d reports worker_id %d"
+                      w.P.fw_id m.P.worker_id;
+                  acc := !acc + m.P.accepted;
+                  run := !run + m.P.run_requests;
+                  dl := !dl + m.P.deadline_expired;
+                  ef := !ef + m.P.eval_failures;
+                  invalid := !invalid + m.P.store_invalid
+              | Ok _ | Error _ ->
+                  violation st "fleet: worker %d metrics failed" w.P.fw_id))
+        ws;
+      if !acc <> !run + !dl + !ef then begin
+        st.accounting_ok <- false;
+        violation st
+          "fleet: summed worker metrics do not balance (accepted=%d run=%d \
+           expired=%d failed=%d)"
+          !acc !run !dl !ef
+      end;
+      if !invalid > 0 then
+        violation st "fleet: %d artifacts quarantined during the soak" !invalid;
+      (* The supervisor-side aggregate must satisfy the same identity
+         (it is a sum of balanced snapshots) and stamp worker_id 0. *)
+      (match Sv.Client.call ~policy ~seed:(Prng.next st.rng) control P.Metrics with
+      | Ok (P.Metrics_result m) ->
+          if m.P.worker_id <> 0 then
+            violation st "fleet: aggregate stamped worker_id %d, want 0"
+              m.P.worker_id;
+          if
+            m.P.accepted
+            <> m.P.run_requests + m.P.deadline_expired + m.P.eval_failures
+          then begin
+            st.accounting_ok <- false;
+            violation st
+              "fleet: aggregated metrics do not balance (accepted=%d run=%d \
+               expired=%d failed=%d)"
+              m.P.accepted m.P.run_requests m.P.deadline_expired
+              m.P.eval_failures
+          end
+      | Ok _ | Error _ -> violation st "fleet: aggregated metrics request failed");
+      (* SIGTERM to the supervisor is a fleet-wide graceful drain: every
+         worker must drain and exit, the supervisor must reap them all
+         and terminate inside grace + slack. *)
+      (try Unix.kill sup_pid Sys.sigterm with Unix.Unix_error _ -> ());
+      if not (await_exit ~patience:(cfg.Sv.Server.grace_s +. 6.) sup) then begin
+        st.drained_ok <- false;
+        violation st "fleet: supervisor did not exit after SIGTERM drain"
+      end
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 1) ?(requests = 200) ?(fault_rate = 0.25) () =
+let run ?(seed = 1) ?(requests = 200) ?(fault_rate = 0.25) ?(workers = 1) () =
   let st =
     {
       rng = Prng.create ~seed;
@@ -809,13 +1071,21 @@ let run ?(seed = 1) ?(requests = 200) ?(fault_rate = 0.25) () =
       store_saves = 0;
       store_loads = 0;
       store_zero_rebuilds = false;
+      fleet_kills = 0;
+      fleet_restarts = 0;
       violations = [];
     }
   in
-  segment_faults st ~requests ~fault_rate;
-  segment_overload st ~burst_size:(max 40 (requests / 2));
-  segment_deadline st;
-  segment_store st;
+  (* [workers > 1] runs the fleet soak alone (the single-daemon
+     segments are the [workers = 1] run's job — CI runs both slices);
+     its kill-heavy loop wants the whole request budget. *)
+  if workers > 1 then segment_fleet st ~workers ~requests ~fault_rate
+  else begin
+    segment_faults st ~requests ~fault_rate;
+    segment_overload st ~burst_size:(max 40 (requests / 2));
+    segment_deadline st;
+    segment_store st
+  end;
   (* Client-side conservation: every issued request resolved exactly
      once — completed or a typed failure.  Anything else is a hang or a
      lost request. *)
@@ -842,6 +1112,9 @@ let run ?(seed = 1) ?(requests = 200) ?(fault_rate = 0.25) () =
     store_saves = st.store_saves;
     store_loads = st.store_loads;
     store_zero_rebuilds = st.store_zero_rebuilds;
+    fleet_workers = (if workers > 1 then workers else 0);
+    fleet_kills = st.fleet_kills;
+    fleet_restarts = st.fleet_restarts;
     violations = List.rev st.violations;
   }
 
@@ -877,8 +1150,14 @@ let print_report o =
           [ Str "store warm loads"; Int o.store_loads ];
           [
             Str "SIGKILL restart rebuilds";
-            Str (if o.store_zero_rebuilds then "zero" else "FAILED");
+            Str
+              (if o.fleet_workers > 0 then "n/a"
+               else if o.store_zero_rebuilds then "zero"
+               else "FAILED");
           ];
+          [ Str "fleet workers"; Int o.fleet_workers ];
+          [ Str "fleet kills"; Int o.fleet_kills ];
+          [ Str "fleet restarts"; Int o.fleet_restarts ];
         ]);
   List.iter (fun v -> Format.printf "  VIOLATION: %s@." v) o.violations;
   Format.printf "chaos: %s@." (if ok o then "OK" else "FAILED")
@@ -902,9 +1181,11 @@ let to_json o =
     (Printf.sprintf
        "\"shed_observed\":%d,\"expired_observed\":%d,\"retried_ok\":%d,\
         \"drained_ok\":%b,\"accounting_ok\":%b,\"store_saves\":%d,\
-        \"store_loads\":%d,\"store_zero_rebuilds\":%b,\"violations\":["
+        \"store_loads\":%d,\"store_zero_rebuilds\":%b,\"fleet_workers\":%d,\
+        \"fleet_kills\":%d,\"fleet_restarts\":%d,\"violations\":["
        o.shed_observed o.expired_observed o.retried_ok o.drained_ok
-       o.accounting_ok o.store_saves o.store_loads o.store_zero_rebuilds);
+       o.accounting_ok o.store_saves o.store_loads o.store_zero_rebuilds
+       o.fleet_workers o.fleet_kills o.fleet_restarts);
   List.iteri
     (fun i v ->
       if i > 0 then Buffer.add_char b ',';

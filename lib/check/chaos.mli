@@ -19,6 +19,16 @@
       expire with {!Tcmm_server.Protocol.Deadline_exceeded}; a
       batch-filling burst must dispatch and complete bit-exactly.
 
+    With [workers > 1], {!run} instead soaks a forked
+    {!Tcmm_server.Fleet} supervisor: requests route through the
+    spec-affinity {!Tcmm_server.Client.Pool} over the fleet's worker
+    endpoints while random workers are SIGKILLed at [fault_rate]
+    (including one mid-pipelined-burst), and the run ends with the
+    fleet-wide accounting checks — summed worker metrics and the
+    control-plane aggregate both satisfying
+    [accepted = run_requests + deadline_expired + eval_failures] — and
+    a supervisor SIGTERM drain.
+
     The harness asserts, for every request it ever sends: the reply is
     either bit-identical to {!Tcmm.Matmul_circuit.run} on the decoded
     request, or a {e typed} failure — never a hang (every read is
@@ -49,14 +59,26 @@ type outcome = {
   store_zero_rebuilds : bool;
       (** the restarted server served every miss from the store — zero
           builds in its second life *)
+  fleet_workers : int;  (** fleet size of the fleet segment; 0 = not run *)
+  fleet_kills : int;  (** fleet workers SIGKILLed mid-soak *)
+  fleet_restarts : int;
+      (** supervisor crash-restarts in the final roster; in a clean run
+          [1 <= fleet_restarts <= fleet_kills] whenever a kill landed *)
   violations : string list;  (** empty iff the soak found no robustness bug *)
 }
 
-val run : ?seed:int -> ?requests:int -> ?fault_rate:float -> unit -> outcome
-(** [run ()] executes the three segments (defaults: [seed = 1],
-    [requests = 200], [fault_rate = 0.25]) and returns the aggregate
-    outcome.  Never raises on a server misbehaviour — those become
-    [violations]. *)
+val run :
+  ?seed:int ->
+  ?requests:int ->
+  ?fault_rate:float ->
+  ?workers:int ->
+  unit ->
+  outcome
+(** [run ()] executes the single-daemon segments (defaults: [seed = 1],
+    [requests = 200], [fault_rate = 0.25], [workers = 1]); [workers > 1]
+    runs the fleet segment instead, with [fault_rate] reinterpreted as
+    the per-request worker-SIGKILL probability.  Never raises on a
+    server misbehaviour — those become [violations]. *)
 
 val ok : outcome -> bool
 (** [ok o] iff [o.violations = []]. *)

@@ -82,7 +82,7 @@ let idempotent = function
   | Protocol.Shutdown -> false
   | Protocol.Compile _ | Protocol.Run_matmul _ | Protocol.Run_trace _
   | Protocol.Run_triangles _ | Protocol.Stats _ | Protocol.Metrics
-  | Protocol.Ping ->
+  | Protocol.Ping | Protocol.Fleet ->
       true
 
 (* One attempt on a fresh connection, reply read bounded by an absolute
@@ -140,3 +140,74 @@ let call ?(policy = default_policy) ?(seed = 0x5eed) addr req =
     | Error _ as e -> e
   in
   go 0
+
+(* ------------------------------------------------------------------ *)
+(* Spec-affinity shard router                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = struct
+  type pool = { endpoints : Protocol.addr array }
+  type t = pool
+
+  let create endpoints =
+    if endpoints = [] then invalid_arg "Client.Pool.create: no endpoints";
+    { endpoints = Array.of_list endpoints }
+
+  let endpoints t = Array.to_list t.endpoints
+  let size t = Array.length t.endpoints
+  let key_of_spec = Circuit_cache.key
+
+  (* FNV-1a over 64 bits.  The offset basis does not fit OCaml's 63-bit
+     native int, so the hash lives in Int64 and comparisons are
+     unsigned. *)
+  let fnv1a64 s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001b3L)
+      s;
+    !h
+
+  let score ~key addr = fnv1a64 (key ^ "\x00" ^ Protocol.addr_string addr)
+
+  (* Rendezvous (highest-random-weight) ranking.  Every (key, endpoint)
+     pair is scored independently, so the relative order of surviving
+     endpoints never changes when one is removed: a key moves only if
+     its top-ranked endpoint vanished, every other key keeps its shard
+     (bounded disruption), and the failover order is by construction a
+     permutation of the endpoints.  Ties (astronomically unlikely with
+     distinct endpoints) break on the canonical address string so the
+     ranking stays a deterministic total order. *)
+  let rank t ~key =
+    let scored = Array.map (fun a -> (score ~key a, a)) t.endpoints in
+    Array.sort
+      (fun (sa, aa) (sb, ab) ->
+        match Int64.unsigned_compare sb sa with
+        | 0 -> compare (Protocol.addr_string aa) (Protocol.addr_string ab)
+        | c -> c)
+      scored;
+    Array.to_list (Array.map snd scored)
+
+  let shard t ~key =
+    match rank t ~key with [] -> assert false | addr :: _ -> addr
+
+  (* Failover walks the rank order, spending the full bounded-retry
+     [call] budget on each endpoint before moving on.  The same
+     idempotence argument as [call] applies — and caps the walk: a
+     non-idempotent request or a deterministic [Remote] rejection never
+     fails over. *)
+  let call ?policy ?seed t ~key req =
+    let rec go = function
+      | [] -> assert false
+      | [ addr ] -> call ?policy ?seed addr req
+      | addr :: rest -> (
+          match call ?policy ?seed addr req with
+          | Ok _ as ok -> ok
+          | Error f when retryable f && idempotent req -> go rest
+          | Error _ as e -> e)
+    in
+    go (rank t ~key)
+end

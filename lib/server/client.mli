@@ -67,3 +67,51 @@ val call :
     mutates nothing.  [Shutdown] is therefore never retried, and
     [Remote] (a deterministic rejection) never retries either.  [seed]
     feeds the jitter PRNG — deterministic for tests. *)
+
+(** {1 Spec-affinity shard router}
+
+    Client-side routing over a fleet of worker endpoints.  Requests
+    hash their circuit-spec key to a preferred worker (rendezvous /
+    highest-random-weight hashing over FNV-1a64 of [key ++ endpoint]),
+    so repeated requests for the same circuit land on the worker whose
+    {!Circuit_cache} already holds it hot.  Rendezvous hashing gives
+    the three properties the property suite checks: the shard is a
+    deterministic function of (key, endpoint set) independent of list
+    order; the failover ranking is a permutation of the endpoints; and
+    removing one endpoint remaps {e only} the keys it owned. *)
+
+module Pool : sig
+  type t
+
+  val create : Protocol.addr list -> t
+  (** Raises [Invalid_argument] on an empty list.  Duplicate endpoints
+      are kept (they score identically and tie-break stably). *)
+
+  val endpoints : t -> Protocol.addr list
+  val size : t -> int
+
+  val key_of_spec : Protocol.spec -> string
+  (** The canonical routing key: {!Circuit_cache.key} — the same string
+      the server keys its circuit cache by, so affinity lines up with
+      cache residency exactly. *)
+
+  val rank : t -> key:string -> Protocol.addr list
+  (** All endpoints in descending rendezvous-score order: head is the
+      preferred shard, the tail the failover sequence. *)
+
+  val shard : t -> key:string -> Protocol.addr
+  (** [List.hd (rank t ~key)]. *)
+
+  val call :
+    ?policy:policy ->
+    ?seed:int ->
+    t ->
+    key:string ->
+    Protocol.request ->
+    (Protocol.response, failure) result
+  (** {!Client.call} against the preferred shard, failing over down the
+      {!rank} order when an endpoint exhausts its retry budget with a
+      retryable failure.  Non-idempotent requests and deterministic
+      [Remote] rejections never fail over, mirroring {!Client.call}'s
+      retry rules. *)
+end

@@ -3,6 +3,7 @@ let latency_bounds =
 
 type t = {
   max_lanes : int;
+  worker_id : int;
   mutable connections_accepted : int;
   mutable connections_active : int;
   mutable requests_total : int;
@@ -26,9 +27,10 @@ type t = {
   mutable fallback_gates : int;
 }
 
-let create ~max_lanes =
+let create ?(worker_id = 0) ~max_lanes () =
   {
     max_lanes;
+    worker_id;
     connections_accepted = 0;
     connections_active = 0;
     requests_total = 0;
@@ -127,4 +129,5 @@ let snapshot t ~uptime_seconds ~cache ~engine ~store : Protocol.metrics =
     store_loads;
     store_saves;
     store_invalid;
+    worker_id = t.worker_id;
   }

@@ -7,8 +7,10 @@
 
 type t
 
-val create : max_lanes:int -> t
-(** [max_lanes] sizes the occupancy histogram. *)
+val create : ?worker_id:int -> max_lanes:int -> unit -> t
+(** [max_lanes] sizes the occupancy histogram; [worker_id] (default 0 =
+    standalone) stamps every snapshot with the fleet identity protocol
+    v5 carries. *)
 
 val latency_bounds : float array
 (** The latency histogram's bucket upper bounds, in milliseconds. *)

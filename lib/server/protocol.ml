@@ -1,6 +1,6 @@
 module Matrix = Tcmm_fastmm.Matrix
 
-let version = 4
+let version = 5
 let min_version = 1
 let max_frame_len = 1 lsl 24
 
@@ -26,6 +26,7 @@ type request =
   | Metrics
   | Ping
   | Shutdown
+  | Fleet
 
 type compiled = {
   cached : bool;
@@ -87,6 +88,18 @@ type metrics = {
   store_loads : int;
   store_saves : int;
   store_invalid : int;
+  (* Fleet identity (protocol v5; zero when decoding an older peer):
+     which worker produced this snapshot.  0 = a standalone daemon or a
+     supervisor-side aggregate; fleet workers are numbered from 1. *)
+  worker_id : int;
+}
+
+type fleet_worker = {
+  fw_id : int;  (** 1-based worker number, stable across restarts *)
+  fw_pid : int;
+  fw_addr : string;  (** the worker's own endpoint, [parse_addr] form *)
+  fw_restarts : int;
+  fw_alive : bool;
 }
 
 type response =
@@ -101,6 +114,7 @@ type response =
   | Error of string
   | Overloaded
   | Deadline_exceeded
+  | Fleet_result of fleet_worker list
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                           *)
@@ -197,7 +211,15 @@ let w_metrics buf m =
   w_int buf m.fallback_gates;
   w_int buf m.store_loads;
   w_int buf m.store_saves;
-  w_int buf m.store_invalid
+  w_int buf m.store_invalid;
+  w_int buf m.worker_id
+
+let w_fleet_worker buf w =
+  w_int buf w.fw_id;
+  w_int buf w.fw_pid;
+  w_string buf w.fw_addr;
+  w_int buf w.fw_restarts;
+  w_bool buf w.fw_alive
 
 let payload tag fill =
   let buf = Buffer.create 256 in
@@ -225,6 +247,12 @@ let encode_request = function
   | Metrics -> payload 6 ignore
   | Ping -> payload 7 ignore
   | Shutdown -> payload 8 ignore
+  (* Tag 13, not 9: a zero-payload request is a 2-byte frame, so its
+     tag byte must not collide with any response tag that carries a
+     payload (9 is [Error]) — otherwise that response's 2-byte
+     truncation prefix would decode as a valid request.  13 is unused
+     in both tag spaces. *)
+  | Fleet -> payload 13 ignore
 
 let encode_response = function
   | Compiled c ->
@@ -254,6 +282,10 @@ let encode_response = function
   | Error msg -> payload 9 (fun buf -> w_string buf msg)
   | Overloaded -> payload 10 ignore
   | Deadline_exceeded -> payload 11 ignore
+  | Fleet_result workers ->
+      payload 12 (fun buf ->
+          w_int buf (List.length workers);
+          List.iter (w_fleet_worker buf) workers)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                           *)
@@ -402,13 +434,24 @@ let r_metrics r ~version:v =
   let store_loads = if v >= 4 then r_int r "metrics.store_loads" else 0 in
   let store_saves = if v >= 4 then r_int r "metrics.store_saves" else 0 in
   let store_invalid = if v >= 4 then r_int r "metrics.store_invalid" else 0 in
+  (* The fleet identity joined in v5; an older daemon is standalone. *)
+  let worker_id = if v >= 5 then r_int r "metrics.worker_id" else 0 in
   {
     uptime_seconds; connections_accepted; connections_active; requests_total;
     run_requests; errors; batches; lanes; max_lanes; occupancy; latency_ms;
     firings_total; eval_seconds; build_seconds; cache; engine;
     accepted; shed; deadline_expired; eval_failures; slow_client_drops;
     kernel_gates; fallback_gates; store_loads; store_saves; store_invalid;
+    worker_id;
   }
+
+let r_fleet_worker r =
+  let fw_id = r_int r "fleet.id" in
+  let fw_pid = r_int r "fleet.pid" in
+  let fw_addr = r_string r "fleet.addr" in
+  let fw_restarts = r_int r "fleet.restarts" in
+  let fw_alive = r_bool r "fleet.alive" in
+  { fw_id; fw_pid; fw_addr; fw_restarts; fw_alive }
 
 let decode what f s =
   try
@@ -423,7 +466,7 @@ let decode what f s =
   with Fail msg -> Result.Error (Printf.sprintf "bad %s: %s" what msg)
 
 let decode_request =
-  decode "request" (fun r ~version:_ tag ->
+  decode "request" (fun r ~version tag ->
       match tag with
       | 1 -> Compile (r_spec r)
       | 2 ->
@@ -441,6 +484,7 @@ let decode_request =
       | 6 -> Metrics
       | 7 -> Ping
       | 8 -> Shutdown
+      | 13 when version >= 5 -> Fleet
       | t -> fail "unknown request tag %d" t)
 
 let decode_response =
@@ -468,6 +512,9 @@ let decode_response =
       | 9 -> Error (r_string r "error.message")
       | 10 when version >= 2 -> Overloaded
       | 11 when version >= 2 -> Deadline_exceeded
+      | 12 when version >= 5 ->
+          let count = r_counted r ~elem_bytes:(8 * 4 + 1) "fleet.workers" in
+          Fleet_result (List.init count (fun _ -> r_fleet_worker r))
       | t -> fail "unknown response tag %d" t)
 
 (* ------------------------------------------------------------------ *)
@@ -617,6 +664,12 @@ let pp_addr ppf = function
   | Unix_socket path -> Format.fprintf ppf "unix:%s" path
   | Tcp (host, port) -> Format.fprintf ppf "tcp:%s:%d" host port
 
+(* Round-trips through [parse_addr] (unlike [pp_addr]'s tagged form):
+   the fleet roster and the shard router's hash both use this form. *)
+let addr_string = function
+  | Unix_socket path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
 let sockaddr_of_addr = function
   | Unix_socket path -> Unix.ADDR_UNIX path
   | Tcp (host, port) ->
@@ -640,7 +693,7 @@ let equal_request a b =
   | Run_trace (sa, ma), Run_trace (sb, mb)
   | Run_triangles (sa, ma), Run_triangles (sb, mb) ->
       equal_spec sa sb && Matrix.equal ma mb
-  | Metrics, Metrics | Ping, Ping | Shutdown, Shutdown -> true
+  | Metrics, Metrics | Ping, Ping | Shutdown, Shutdown | Fleet, Fleet -> true
   | _ -> false
 
 (* Floats travel by bits, so [=] on the records is exact; NaNs would
@@ -676,6 +729,7 @@ let equal_metrics a b =
   && a.store_loads = b.store_loads
   && a.store_saves = b.store_saves
   && a.store_invalid = b.store_invalid
+  && a.worker_id = b.worker_id
 
 let equal_response a b =
   match (a, b) with
@@ -692,12 +746,15 @@ let equal_response a b =
   | Pong, Pong | Shutting_down, Shutting_down -> true
   | Overloaded, Overloaded | Deadline_exceeded, Deadline_exceeded -> true
   | Error ea, Error eb -> ea = eb
+  | Fleet_result wa, Fleet_result wb -> wa = wb
   | _ -> false
 
 let pp_metrics ppf m =
   let frac num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
-  Format.fprintf ppf "uptime: %.1f s, connections: %d accepted / %d active@."
-    m.uptime_seconds m.connections_accepted m.connections_active;
+  Format.fprintf ppf "uptime: %.1f s, connections: %d accepted / %d active%t@."
+    m.uptime_seconds m.connections_accepted m.connections_active
+    (fun ppf ->
+      if m.worker_id > 0 then Format.fprintf ppf " (worker %d)" m.worker_id);
   Format.fprintf ppf
     "requests: %d total, %d runs, %d errors; latency mean %.3f ms over %d@."
     m.requests_total m.run_requests m.errors

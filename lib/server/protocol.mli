@@ -17,16 +17,20 @@
 module Matrix = Tcmm_fastmm.Matrix
 
 val version : int
-(** Protocol version carried in every outgoing payload (currently 4).
+(** Protocol version carried in every outgoing payload (currently 5).
     Version 2 added the [Overloaded] / [Deadline_exceeded] statuses and
     the robustness counters at the tail of {!metrics}; version 3
-    appended the kernel-coverage counters. *)
+    appended the kernel-coverage counters; version 4 the artifact-store
+    counters; version 5 the fleet identity ([metrics.worker_id]) and
+    the [Fleet] / [Fleet_result] roster exchange. *)
 
 val min_version : int
 (** Oldest peer version the decoders accept (currently 1).  A v1
     [metrics] payload decodes with the robustness counters zeroed, a v2
-    payload with the kernel-coverage counters zeroed; the v2-only
-    response tags are rejected in a v1 payload. *)
+    payload with the kernel-coverage counters zeroed, a v4 payload with
+    the fleet fields zeroed; version-gated tags ([Overloaded],
+    [Deadline_exceeded], [Fleet], [Fleet_result]) are rejected in
+    payloads older than the version that introduced them. *)
 
 val max_frame_len : int
 (** Hard upper bound on a payload's length (16 MiB). *)
@@ -62,6 +66,10 @@ type request =
   | Metrics  (** serving metrics snapshot *)
   | Ping
   | Shutdown  (** graceful stop: flush batches, answer, exit *)
+  | Fleet
+      (** fleet roster: a supervisor answers with every worker's
+          endpoint and restart count, a standalone daemon (or a worker)
+          with just itself.  Protocol v5. *)
 
 type compiled = {
   cached : bool;  (** was already resident in the circuit cache *)
@@ -128,6 +136,20 @@ type metrics = {
   store_saves : int;  (** artifacts written behind fresh builds (v4) *)
   store_invalid : int;
       (** artifacts that failed validation and were quarantined (v4) *)
+  worker_id : int;
+      (** which fleet worker produced this snapshot (v5; zero from an
+          older peer).  0 = a standalone daemon or a supervisor-side
+          fleet aggregate; workers are numbered from 1. *)
+}
+
+type fleet_worker = {
+  fw_id : int;  (** 1-based worker number, stable across restarts *)
+  fw_pid : int;
+  fw_addr : string;
+      (** the worker's own endpoint in {!parse_addr} form — the
+          spec-affinity router's shard targets *)
+  fw_restarts : int;  (** crash restarts the supervisor performed *)
+  fw_alive : bool;  (** false once the restart budget is exhausted *)
 }
 
 type response =
@@ -146,6 +168,9 @@ type response =
   | Deadline_exceeded
       (** the request's deadline passed before its batch dispatched.
           Protocol v2. *)
+  | Fleet_result of fleet_worker list
+      (** answer to {!Fleet}: the supervisor's roster, or a singleton
+          for a standalone daemon.  Protocol v5. *)
 
 (** {1 Binary encoding} *)
 
@@ -210,6 +235,13 @@ val parse_addr : string -> (addr, string) result
     path. *)
 
 val pp_addr : Format.formatter -> addr -> unit
+
+val addr_string : addr -> string
+(** Canonical ["HOST:PORT"] / socket-path form — round-trips through
+    {!parse_addr} (the tagged {!pp_addr} form does not).  The fleet
+    roster carries worker endpoints in this form, and the shard
+    router's rendezvous hash is computed over it. *)
+
 val sockaddr_of_addr : addr -> Unix.sockaddr
 
 (** {1 Equality and printing (tests, CLI)} *)

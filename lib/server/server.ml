@@ -22,6 +22,7 @@ type config = {
   grace_s : float;
   max_backlog : int;
   store : string option;
+  worker_id : int;
 }
 
 let default_config addr =
@@ -29,7 +30,7 @@ let default_config addr =
     templates = true; kernels = true; profile_build = false;
     profile_eval = false;
     max_pending = 0; deadline_ms = 0.; grace_s = 5.;
-    max_backlog = 1 lsl 26; store = None }
+    max_backlog = 1 lsl 26; store = None; worker_id = 0 }
 
 type conn = {
   fd : Unix.file_descr;
@@ -54,7 +55,11 @@ type job = {
 
 type state = {
   cfg : config;
-  listen_fd : Unix.file_descr;
+  (* One fd standalone; a fleet worker also accepts on the supervisor's
+     shared front socket (inherited across fork), so the kernel load
+     balances un-routed connections while the worker's own endpoint
+     receives spec-affine traffic. *)
+  listen_fds : Unix.file_descr list;
   mutable conns : conn list;
   cache : Circuit_cache.t;
   batcher : job Batcher.t;
@@ -351,6 +356,20 @@ let handle_request st c ~now req =
           ~store:(store_counters st)
       in
       send st c (P.Metrics_result m)
+  | P.Fleet ->
+      (* A worker (or standalone daemon) only knows itself; the
+         supervisor answers this with the whole roster. *)
+      send st c
+        (P.Fleet_result
+           [
+             {
+               P.fw_id = st.cfg.worker_id;
+               fw_pid = Unix.getpid ();
+               fw_addr = P.addr_string st.cfg.addr;
+               fw_restarts = 0;
+               fw_alive = true;
+             };
+           ])
   | P.Compile spec ->
       with_entry st c spec (fun entry outcome ->
           send st c
@@ -411,9 +430,9 @@ let read_conn st c ~now =
   drain ();
   if c.alive then process_frames st c ~now
 
-let accept_all st =
+let accept_all st listen_fd =
   let rec go () =
-    match Unix.accept ~cloexec:true st.listen_fd with
+    match Unix.accept ~cloexec:true listen_fd with
     | fd, _ ->
         Unix.set_nonblock fd;
         (match st.cfg.addr with
@@ -490,7 +509,7 @@ let rec loop st =
     log_final st ~now (if drained then "quiescent" else "grace expired")
   else begin
     let reads =
-      (if st.stopping then [] else [ st.listen_fd ])
+      (if st.stopping then [] else st.listen_fds)
       @ List.filter_map
           (fun c -> if c.closing then None else Some c.fd)
           st.conns
@@ -524,7 +543,10 @@ let rec loop st =
       (fun c -> if List.mem c.fd w then flush_conn st c)
       (List.filter (fun c -> c.alive) st.conns);
     let read_activity = ref false in
-    if (not st.stopping) && List.mem st.listen_fd r then accept_all st;
+    if not st.stopping then
+      List.iter
+        (fun fd -> if List.mem fd r then accept_all st fd)
+        st.listen_fds;
     List.iter
       (fun c ->
         if c.alive && List.mem c.fd r then begin
@@ -567,7 +589,8 @@ let bind cfg =
   in
   (listen_fd, bound)
 
-let serve_fd cfg listen_fd =
+let serve_fds cfg listen_fds =
+  if listen_fds = [] then invalid_arg "Server.serve_fds: no listening sockets";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let max_lanes = max 1 (min 62 cfg.max_lanes) in
@@ -590,14 +613,14 @@ let serve_fd cfg listen_fd =
   let st =
     {
       cfg;
-      listen_fd;
+      listen_fds;
       conns = [];
       cache =
         Circuit_cache.create ~templates:cfg.templates ~kernels:cfg.kernels
           ?store ~capacity:(max 1 cfg.cache_capacity) ();
       batcher = Batcher.create ~max_lanes ~flush_ms:cfg.flush_ms ();
       wheel = Timer_wheel.create ~now:started ();
-      metrics = Metrics.create ~max_lanes;
+      metrics = Metrics.create ~worker_id:cfg.worker_id ~max_lanes ();
       pool;
       ws = Th.Packed.workspace ();
       profiles = Hashtbl.create 8;
@@ -618,23 +641,32 @@ let serve_fd cfg listen_fd =
   in
   Log.info (fun m ->
       m
-        "listening on %a (cache %d, lanes %d, flush %gms, domains %d, \
-         max_pending %d, deadline %gms)"
+        "%slistening on %a (cache %d, lanes %d, flush %gms, domains %d, \
+         max_pending %d, deadline %gms%s)"
+        (if cfg.worker_id > 0 then Printf.sprintf "worker %d " cfg.worker_id
+         else "")
         P.pp_addr cfg.addr (max 1 cfg.cache_capacity) max_lanes cfg.flush_ms
-        cfg.domains cfg.max_pending cfg.deadline_ms);
+        cfg.domains cfg.max_pending cfg.deadline_ms
+        (if List.length listen_fds > 1 then
+           Printf.sprintf ", %d listen sockets" (List.length listen_fds)
+         else ""));
   Fun.protect
     ~finally:(fun () ->
       (match prev_term with
       | Some b -> ( try Sys.set_signal Sys.sigterm b with Invalid_argument _ -> ())
       | None -> ());
       List.iter (fun c -> close_conn st c) st.conns;
-      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        listen_fds;
       (match cfg.addr with
       | P.Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
       | P.Tcp _ -> ());
       Option.iter Th.Packed.Pool.shutdown pool;
       Log.info (fun m -> m "stopped"))
     (fun () -> loop st)
+
+let serve_fd cfg listen_fd = serve_fds cfg [ listen_fd ]
 
 let serve cfg =
   let listen_fd, addr = bind cfg in

@@ -75,12 +75,16 @@ type config = {
           building and fresh builds are persisted behind; [None]
           (default) disables the tier.  An unopenable directory logs an
           error and serves without the store. *)
+  worker_id : int;
+      (** fleet identity stamped into protocol v5 metrics; [0]
+          (default) = standalone, {!Fleet} workers are numbered from
+          1.  Purely informational for a standalone daemon. *)
 }
 
 val default_config : Protocol.addr -> config
 (** capacity 8, adaptive flush, 62 lanes, 1 domain, templates and
     kernels on, profiling off, no pending cap, no deadline, 5 s grace,
-    64 MiB backlog cap, no artifact store. *)
+    64 MiB backlog cap, no artifact store, worker id 0. *)
 
 val bind : config -> Unix.file_descr * Protocol.addr
 (** Create, bind and listen the server socket without serving.  The
@@ -96,6 +100,13 @@ val serve_fd : config -> Unix.file_descr -> unit
     drained; [config.addr] should be the address {!bind} returned (it
     is logged and, for Unix sockets, unlinked on exit).  Installs a
     SIGTERM handler for the duration (restored on exit). *)
+
+val serve_fds : config -> Unix.file_descr list -> unit
+(** Like {!serve_fd} but accepting on several listening sockets at
+    once — a fleet worker serves both the supervisor's shared front
+    socket (inherited across [fork], kernel-balanced accepts) and its
+    own spec-affinity endpoint.  All sockets close on exit.  Raises
+    [Invalid_argument] on an empty list. *)
 
 val serve : config -> unit
 (** [bind] then [serve_fd]. *)

@@ -49,6 +49,7 @@ let gen_request =
       return P.Metrics;
       return P.Ping;
       return P.Shutdown;
+      return P.Fleet;
     ]
 
 let gen_stats =
@@ -117,7 +118,8 @@ let gen_metrics =
   let* fallback_gates = int_range 0 1000000 in
   let* store_loads = int_range 0 100000 in
   let* store_saves = int_range 0 100000 in
-  let+ store_invalid = int_range 0 1000 in
+  let* store_invalid = int_range 0 1000 in
+  let+ worker_id = int_range 0 64 in
   {
     P.uptime_seconds;
     connections_accepted;
@@ -145,7 +147,17 @@ let gen_metrics =
     store_loads;
     store_saves;
     store_invalid;
+    worker_id;
   }
+
+let gen_fleet_worker =
+  let open Gen in
+  let* fw_id = int_range 1 64 in
+  let* fw_pid = int_range 1 (1 lsl 22) in
+  let* fw_addr = gen_name in
+  let* fw_restarts = int_range 0 100 in
+  let+ fw_alive = bool in
+  { P.fw_id; fw_pid; fw_addr; fw_restarts; fw_alive }
 
 let gen_response =
   let open Gen in
@@ -166,6 +178,7 @@ let gen_response =
       map (fun s -> P.Error s) gen_name;
       return P.Overloaded;
       return P.Deadline_exceeded;
+      map (fun ws -> P.Fleet_result ws) (list_size (int_range 0 8) gen_fleet_worker);
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -183,6 +196,20 @@ let response_roundtrip =
       match P.decode_response (P.encode_response resp) with
       | Ok resp' -> P.equal_response resp resp'
       | Error _ -> false)
+
+let sample_metrics ~worker_id =
+  P.(
+    { uptime_seconds = 1.; connections_accepted = 1; connections_active = 1;
+      requests_total = 1; run_requests = 1; errors = 0; batches = 1; lanes = 1;
+      max_lanes = 62; occupancy = Array.make 62 0;
+      latency_ms = { P.bounds = [| 1. |]; counts = [| 0; 0 |]; sum = 0.; count = 0 };
+      firings_total = 0; eval_seconds = 0.; build_seconds = 0.;
+      cache = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
+      engine = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
+      accepted = 1; shed = 0; deadline_expired = 0; eval_failures = 0;
+      slow_client_drops = 0; kernel_gates = 0; fallback_gates = 0;
+      store_loads = 0; store_saves = 0; store_invalid = 0; worker_id;
+    })
 
 let test_decode_rejects_truncation () =
   let payloads =
@@ -212,19 +239,7 @@ let test_decode_rejects_truncation () =
         | Error _ -> ()
       done)
     payloads;
-  let resp = P.encode_response (P.Metrics_result (P.(
-    { uptime_seconds = 1.; connections_accepted = 1; connections_active = 1;
-      requests_total = 1; run_requests = 1; errors = 0; batches = 1; lanes = 1;
-      max_lanes = 62; occupancy = Array.make 62 0;
-      latency_ms = { P.bounds = [| 1. |]; counts = [| 0; 0 |]; sum = 0.; count = 0 };
-      firings_total = 0; eval_seconds = 0.; build_seconds = 0.;
-      cache = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
-      engine = { P.hits = 0; misses = 0; evictions = 0; size = 0; capacity = 1 };
-      accepted = 1; shed = 0; deadline_expired = 0; eval_failures = 0;
-      slow_client_drops = 0; kernel_gates = 0; fallback_gates = 0;
-      store_loads = 0; store_saves = 0; store_invalid = 0;
-    })))
-  in
+  let resp = P.encode_response (P.Metrics_result (sample_metrics ~worker_id:1)) in
   for k = 0 to String.length resp - 1 do
     match P.decode_response (String.sub resp 0 k) with
     | Ok _ -> Alcotest.fail (Printf.sprintf "decoded a %d-byte response prefix" k)
@@ -247,6 +262,53 @@ let test_decode_rejects_garbage () =
   (match P.decode_request "\x01\xff" with
   | Ok _ -> Alcotest.fail "accepted unknown tag"
   | Error _ -> ())
+
+(* v5 appended the fleet fields at the tail of the wire layout, so a v4
+   peer's Metrics_result payload is byte-for-byte the v5 encoding minus
+   the trailing [worker_id] word.  Synthesize one by stripping those 8
+   bytes and patching the version byte: the decoder must accept it and
+   zero the fleet field while preserving everything else.  The v5-only
+   tags (Fleet / Fleet_result) must conversely be rejected when carried
+   in a frame that claims version 4. *)
+let patch_version v payload =
+  let b = Bytes.of_string payload in
+  Bytes.set b 0 (Char.chr v);
+  Bytes.to_string b
+
+let test_v4_compat () =
+  let v5 = P.encode_response (P.Metrics_result (sample_metrics ~worker_id:7)) in
+  let v4 = patch_version 4 (String.sub v5 0 (String.length v5 - 8)) in
+  (match P.decode_response v4 with
+  | Ok (P.Metrics_result m) ->
+      S.check_int "v4 metrics decode zeroes worker_id" 0 m.P.worker_id;
+      S.check_bool "v4 metrics decode preserves the other fields" true
+        (P.equal_response
+           (P.Metrics_result { m with P.worker_id = 7 })
+           (P.Metrics_result (sample_metrics ~worker_id:7)))
+  | Ok _ -> Alcotest.fail "v4 metrics payload decoded to a different response"
+  | Error e -> Alcotest.fail ("v4 metrics payload rejected: " ^ e));
+  (match P.decode_request (patch_version 4 (P.encode_request P.Fleet)) with
+  | Ok _ -> Alcotest.fail "Fleet request accepted in a v4 frame"
+  | Error _ -> ());
+  let ws =
+    [ { P.fw_id = 1; fw_pid = 42; fw_addr = "127.0.0.1:9000";
+        fw_restarts = 0; fw_alive = true } ]
+  in
+  (match
+     P.decode_response (patch_version 4 (P.encode_response (P.Fleet_result ws)))
+   with
+  | Ok _ -> Alcotest.fail "Fleet_result accepted in a v4 frame"
+  | Error _ -> ());
+  (* sanity: the same payloads are fine at the current version *)
+  (match P.decode_request (P.encode_request P.Fleet) with
+  | Ok P.Fleet -> ()
+  | Ok _ -> Alcotest.fail "Fleet request round-trip changed shape"
+  | Error e -> Alcotest.fail ("Fleet request round-trip failed: " ^ e));
+  match P.decode_response (P.encode_response (P.Fleet_result ws)) with
+  | Ok r ->
+      S.check_bool "Fleet_result round-trips at v5" true
+        (P.equal_response r (P.Fleet_result ws))
+  | Error e -> Alcotest.fail ("Fleet_result round-trip failed: " ^ e)
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)
@@ -643,6 +705,7 @@ let () =
           Alcotest.test_case "rejects truncation" `Quick
             test_decode_rejects_truncation;
           Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
+          Alcotest.test_case "v4 compatibility" `Quick test_v4_compat;
         ] );
       ( "framing",
         [

@@ -78,11 +78,17 @@ let race_spec =
     tau = 0;
   }
 
-(* Both servers get the same compile pipelined before either reply is
-   read, so both build the miss and race their write-behind saves into
-   the shared directory.  Temp-file + atomic rename must leave exactly
-   one complete artifact, never a torn file, and both servers must
-   answer bit-identically throughout. *)
+(* All K workers get the same compile pipelined before any reply is
+   read, so every one of them misses its in-process cache and races the
+   shared directory: each either builds the circuit and write-behind
+   saves it, or wins a store load of a sibling's completed save.
+   Temp-file + atomic rename must leave exactly one complete artifact,
+   never a torn file, every worker must answer bit-identically, and —
+   since a store miss ends in exactly one save and a store hit in
+   exactly one load — the per-worker counters must satisfy
+   [sum loads + sum saves = K]. *)
+let race_workers = 4
+
 let test_concurrent_writers () =
   with_temp_dir @@ fun dir ->
   let cfg =
@@ -102,52 +108,71 @@ let test_concurrent_writers () =
         Unix.close listen_fd;
         (pid, addr)
   in
-  let pid1, addr1 = start () in
-  let pid2, addr2 = start () in
+  let servers = Array.init race_workers (fun _ -> start ()) in
   let killed = ref false in
   let kill_all () =
     if not !killed then begin
       killed := true;
-      List.iter
-        (fun pid ->
+      Array.iter
+        (fun (pid, _) ->
           (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
           ignore (Unix.waitpid [] pid))
-        [ pid1; pid2 ]
+        servers
     end
   in
   Fun.protect ~finally:kill_all @@ fun () ->
-  let cl1 = Sv.Client.connect addr1 in
-  let cl2 = Sv.Client.connect addr2 in
-  Sv.Client.send cl1 (P.Compile race_spec);
-  Sv.Client.send cl2 (P.Compile race_spec);
-  let compiled cl name =
-    match Sv.Client.recv cl with
-    | Ok (P.Compiled c) -> c
-    | Ok _ -> Alcotest.failf "%s: unexpected reply to compile" name
-    | Error m -> Alcotest.failf "%s: %s" name m
+  let clients =
+    Array.map (fun (_, addr) -> Sv.Client.connect addr) servers
   in
-  let c1 = compiled cl1 "server1" in
-  let c2 = compiled cl2 "server2" in
-  S.check_bool "server1 compile not a cache hit" false c1.P.cached;
-  S.check_bool "server2 compile not a cache hit" false c2.P.cached;
+  Array.iter (fun cl -> Sv.Client.send cl (P.Compile race_spec)) clients;
+  Array.iteri
+    (fun i cl ->
+      match Sv.Client.recv cl with
+      | Ok (P.Compiled c) ->
+          S.check_bool
+            (Printf.sprintf "worker %d compile not a cache hit" i)
+            false c.P.cached
+      | Ok _ -> Alcotest.failf "worker %d: unexpected reply to compile" i
+      | Error m -> Alcotest.failf "worker %d: %s" i m)
+    clients;
   let rng = Tcmm_util.Prng.create ~seed:0xC0FFEE in
   for _ = 1 to 4 do
     let a = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
     let b = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
-    let run cl name =
-      match Sv.Client.request cl (P.Run_matmul (race_spec, a, b)) with
-      | Ok (P.Matmul_result (m, _)) -> m
-      | Ok _ -> Alcotest.failf "%s: unexpected reply to run" name
-      | Error m -> Alcotest.failf "%s: %s" name m
-    in
-    let m1 = run cl1 "server1" in
-    let m2 = run cl2 "server2" in
     let want = F.Matrix.mul a b in
-    S.check_bool "server1 answers A*B" true (F.Matrix.equal m1 want);
-    S.check_bool "server2 answers A*B" true (F.Matrix.equal m2 want)
+    Array.iteri
+      (fun i cl ->
+        match Sv.Client.request cl (P.Run_matmul (race_spec, a, b)) with
+        | Ok (P.Matmul_result (m, _)) ->
+            S.check_bool
+              (Printf.sprintf "worker %d answers A*B" i)
+              true
+              (F.Matrix.equal m want)
+        | Ok _ -> Alcotest.failf "worker %d: unexpected reply to run" i
+        | Error m -> Alcotest.failf "worker %d: %s" i m)
+      clients
   done;
-  Sv.Client.close cl1;
-  Sv.Client.close cl2;
+  let loads = ref 0 and saves = ref 0 in
+  Array.iteri
+    (fun i cl ->
+      match Sv.Client.request cl P.Metrics with
+      | Ok (P.Metrics_result m) ->
+          loads := !loads + m.P.store_loads;
+          saves := !saves + m.P.store_saves;
+          S.check_int
+            (Printf.sprintf "worker %d store accesses" i)
+            1
+            (m.P.store_loads + m.P.store_saves);
+          S.check_int
+            (Printf.sprintf "worker %d no invalid artifacts" i)
+            0 m.P.store_invalid
+      | Ok _ -> Alcotest.failf "worker %d: unexpected reply to metrics" i
+      | Error m -> Alcotest.failf "worker %d: %s" i m)
+    clients;
+  S.check_int "store loads + saves sum to the worker count" race_workers
+    (!loads + !saves);
+  S.check_bool "at least one worker saved" true (!saves >= 1);
+  Array.iter Sv.Client.close clients;
   kill_all ();
   let files = Sys.readdir dir |> Array.to_list in
   let artifacts =
@@ -586,7 +611,7 @@ let () =
       (* Fork-based tests first: no domain may have been spawned yet. *)
       ( "concurrency",
         [
-          Alcotest.test_case "two servers, one store dir" `Quick
+          Alcotest.test_case "four workers, one store dir" `Quick
             test_concurrent_writers;
         ] );
       ( "crc64",
