@@ -235,23 +235,31 @@ let verify_cmd =
     let ok_mm = F.Matrix.equal c (F.Matrix.mul a b) in
     Format.printf "matmul circuit matches reference: %b@." ok_mm;
     if profile_eval then begin
-      (* Batched traversal with a per-level profile: a handful of lanes
-         of fresh draws through the same packed circuit. *)
-      let lanes = 8 in
-      let inputs =
-        Array.init lanes (fun _ ->
-            let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
-            let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
-            T.Matmul_circuit.encode_inputs built ~a ~b)
-      in
+      (* Batched traversals with a per-level profile: several batches of
+         fresh draws through the same packed circuit, all through one
+         reused workspace — the same amortization the serving daemon
+         does, instead of allocating and zeroing a wire buffer per
+         batch. *)
+      let batches = 4 and lanes = 8 in
+      let ws = Tcmm_threshold.Packed.workspace () in
       let prof = Tcmm_threshold.Packed.make_profile packed in
-      let (_ : Tcmm_threshold.Packed.batch_result) =
-        Tcmm_threshold.Packed.run_batch ~domains ~profile:prof packed inputs
-      in
+      for _ = 1 to batches do
+        let inputs =
+          Array.init lanes (fun _ ->
+              let a = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+              let b = F.Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+              T.Matmul_circuit.encode_inputs built ~a ~b)
+        in
+        let (_ : Tcmm_threshold.Packed.batch_result) =
+          Tcmm_threshold.Packed.run_batch ~domains ~profile:prof ~ws packed
+            inputs
+        in
+        ()
+      done;
       let ns = prof.Tcmm_threshold.Packed.ep_level_ns in
       let total = Array.fold_left ( +. ) 0. ns in
-      Format.printf "eval profile: %d lanes in %.3f ms, hottest levels:@."
-        lanes (total /. 1e6);
+      Format.printf "eval profile: %d batches of %d lanes in %.3f ms, hottest levels:@."
+        batches lanes (total /. 1e6);
       let order = Array.init (Array.length ns) (fun i -> i) in
       Array.sort (fun x y -> compare ns.(y) ns.(x)) order;
       Array.iteri
@@ -288,7 +296,7 @@ let verify_cmd =
       $ no_kernels_term $ profile_eval_term)
 
 let triangles_cmd =
-  let run n d p tau seed engine domains =
+  let run n d p tau seed engine domains graphs =
     let rng = Tcmm_util.Prng.create ~seed in
     let g = Tcmm_graph.Generate.erdos_renyi rng ~n ~p in
     let exact = Tcmm_graph.Triangles.count g in
@@ -304,7 +312,43 @@ let triangles_cmd =
       (T.Gate_model.trace_depth schedule)
       (Tcmm_threshold.Stats.to_row (T.Trace_circuit.stats built))
       tau fires (exact >= tau);
-    if fires = (exact >= tau) then 0 else 1
+    (* Further draws go through batched packed evaluation with one
+       reused workspace across chunks — the serving daemon's
+       amortization, instead of allocating and zeroing a fresh wire
+       buffer per graph. *)
+    let ok_rest =
+      if graphs <= 1 then true
+      else begin
+        let packed = T.Trace_circuit.pack ~domains built in
+        let ws = Tcmm_threshold.Packed.workspace () in
+        let out = built.T.Trace_circuit.output in
+        let remaining = ref (graphs - 1) and agree = ref 0 and total = ref 0 in
+        while !remaining > 0 do
+          let lanes = min 32 !remaining in
+          let gs =
+            Array.init lanes (fun _ -> Tcmm_graph.Generate.erdos_renyi rng ~n ~p)
+          in
+          let inputs =
+            Array.map
+              (fun g ->
+                T.Trace_circuit.encode_input built (Tcmm_graph.Graph.adjacency g))
+              gs
+          in
+          let br = Tcmm_threshold.Packed.run_batch ~domains ~ws packed inputs in
+          Array.iteri
+            (fun lane g ->
+              incr total;
+              let fires = Tcmm_threshold.Packed.batch_value br ~lane out in
+              if fires = (Tcmm_graph.Triangles.count g >= tau) then incr agree)
+            gs;
+          remaining := !remaining - lanes
+        done;
+        Format.printf "batched: %d/%d further graphs agree with the exact count@."
+          !agree !total;
+        !agree = !total
+      end
+    in
+    if fires = (exact >= tau) && ok_rest then 0 else 1
   in
   let p_term =
     Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.")
@@ -312,11 +356,179 @@ let triangles_cmd =
   let tau_term =
     Arg.(value & opt int 5 & info [ "t"; "tau" ] ~docv:"TAU" ~doc:"Triangle threshold.")
   in
+  let graphs_term =
+    Arg.(
+      value & opt int 8
+      & info [ "graphs" ] ~docv:"K"
+          ~doc:
+            "Total random graphs to query; draws beyond the first are \
+             evaluated batched through a reused workspace.")
+  in
   Cmd.v
     (Cmd.info "triangles" ~doc:"Threshold-query the triangle count of a random graph.")
     Term.(
       const run $ n_term $ d_term $ p_term $ tau_term $ seed_term $ engine_term
-      $ domains_term)
+      $ domains_term $ graphs_term)
+
+(* The streaming edge-flip scenario: hold a graph, send flips, and
+   re-answer the triangle threshold query incrementally — locally
+   through a [Packed.session], or against a running daemon's stateful
+   protocol-v6 session. *)
+let stream_cmd =
+  let run n d p tau seed updates flips_per_update addr =
+    let rng = Tcmm_util.Prng.create ~seed in
+    let g = ref (Tcmm_graph.Generate.erdos_renyi rng ~n ~p) in
+    let circuit_tau = 6 * tau in
+    let random_flips () =
+      List.init flips_per_update (fun _ ->
+          let i = Tcmm_util.Prng.int rng ~bound:(n - 1) in
+          let j = Tcmm_util.Prng.int_range rng ~lo:(i + 1) ~hi:(n - 1) in
+          (i, j))
+    in
+    Format.printf "G(n=%d, p=%.2f): %d edges, %d triangles; tau = %d@." n p
+      (Tcmm_graph.Graph.num_edges !g)
+      (Tcmm_graph.Triangles.count !g)
+      tau;
+    let mismatches = ref 0 in
+    let report step fires dirty total ms =
+      let truth = Tcmm_graph.Triangles.count !g >= tau in
+      if fires <> truth then incr mismatches;
+      Format.printf
+        "update %3d: >= %d triangles? %b (truth %b)  dirty %d/%d gates  %.3f ms@."
+        step tau fires truth dirty total ms
+    in
+    (match addr with
+    | Some addr ->
+        (* Remote: the daemon holds the session; we only ship deltas.
+           The input layout is reconstructed from the spec (trace
+           circuits allocate the adjacency entries first, base 0) so no
+           circuit is built client-side. *)
+        let layout =
+          T.Encode.restore ~rows:n ~cols:n ~entry_bits:1 ~signed:false ~base:0
+        in
+        let spec =
+          {
+            P.kind = P.Triangles;
+            algo = "strassen";
+            schedule = "thm45";
+            d;
+            n;
+            entry_bits = 1;
+            signed = false;
+            tau;
+          }
+        in
+        let addr =
+          match P.parse_addr addr with
+          | Ok a -> a
+          | Error msg -> failwith ("tcmm stream: " ^ msg)
+        in
+        Tcmm_server.Client.with_connection addr (fun cl ->
+            match
+              Tcmm_server.Client.open_session cl spec
+                (Tcmm_graph.Graph.adjacency !g)
+            with
+            | Error e -> failwith ("open_session: " ^ e)
+            | Ok so ->
+                let sid = so.P.so_sid in
+                Format.printf "session %d open: fires %b (%d firings)@." sid
+                  so.P.so_fires so.P.so_firings;
+                for step = 1 to updates do
+                  let g', delta =
+                    Tcmm_graph.Stream.delta ~layout !g (random_flips ())
+                  in
+                  g := g';
+                  let t0 = Unix.gettimeofday () in
+                  match Tcmm_server.Client.update cl ~sid delta with
+                  | Error e -> failwith ("update: " ^ e)
+                  | Ok u ->
+                      report step u.P.ur_fires u.P.ur_dirty_gates u.P.ur_gates
+                        ((Unix.gettimeofday () -. t0) *. 1e3)
+                done;
+                (match Tcmm_server.Client.close_session cl ~sid with
+                | Ok () -> ()
+                | Error e -> Format.printf "close_session: %s@." e))
+    | None ->
+        let algo = F.Instances.strassen in
+        let profile = F.Sparsity.analyze algo in
+        let schedule = T.Level_schedule.theorem45 ~profile ~d ~n in
+        let built =
+          T.Trace_circuit.build ~algo ~schedule ~entry_bits:1 ~tau:circuit_tau
+            ~n ()
+        in
+        let packed = T.Trace_circuit.pack built in
+        let layout = built.T.Trace_circuit.layout in
+        let out = built.T.Trace_circuit.output in
+        let session =
+          Tcmm_threshold.Packed.session packed
+            (T.Trace_circuit.encode_input built (Tcmm_graph.Graph.adjacency !g))
+        in
+        let gates = Tcmm_threshold.Packed.num_gates packed in
+        let last_dirty = ref 0 in
+        for step = 1 to updates do
+          let g', delta = Tcmm_graph.Stream.delta ~layout !g (random_flips ()) in
+          g := g';
+          let t0 = Unix.gettimeofday () in
+          let res = Tcmm_threshold.Packed.update session delta in
+          let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+          let stats = Tcmm_threshold.Packed.session_stats session in
+          let dirty = stats.Tcmm_threshold.Packed.su_dirty_gates - !last_dirty in
+          last_dirty := stats.Tcmm_threshold.Packed.su_dirty_gates;
+          let fires =
+            Bytes.get res.Tcmm_threshold.Simulator.values out <> '\000'
+          in
+          report step fires dirty gates ms
+        done;
+        let s = Tcmm_threshold.Packed.session_stats session in
+        Format.printf
+          "session: %d updates, %d input flips, %d/%d gates re-decided (%.2f%%)@."
+          s.Tcmm_threshold.Packed.su_updates s.Tcmm_threshold.Packed.su_flips
+          s.Tcmm_threshold.Packed.su_dirty_gates
+          (s.Tcmm_threshold.Packed.su_updates * s.Tcmm_threshold.Packed.su_gates)
+          (100.
+          *. float_of_int s.Tcmm_threshold.Packed.su_dirty_gates
+          /. float_of_int
+               (max 1
+                  (s.Tcmm_threshold.Packed.su_updates
+                  * s.Tcmm_threshold.Packed.su_gates))));
+    if !mismatches = 0 then 0 else 1
+  in
+  let p_term =
+    Arg.(value & opt float 0.3 & info [ "p" ] ~docv:"P" ~doc:"Edge probability.")
+  in
+  let tau_term =
+    Arg.(value & opt int 5 & info [ "t"; "tau" ] ~docv:"TAU" ~doc:"Triangle threshold.")
+  in
+  let updates_term =
+    Arg.(
+      value & opt int 16
+      & info [ "updates" ] ~docv:"K" ~doc:"Edge-flip updates to stream.")
+  in
+  let flips_term =
+    Arg.(
+      value & opt int 1
+      & info [ "flips" ] ~docv:"B" ~doc:"Edge flips per update (delta batch size).")
+  in
+  let addr_opt_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:
+            "Stream against a running daemon's stateful session instead of \
+             evaluating locally: $(b,HOST:PORT) for TCP, anything else is a \
+             Unix socket path.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Stream random edge flips through an incremental dirty-cone \
+          session — local, or against a serving daemon (protocol v6) with \
+          $(b,--addr).  Exits 1 if any update disagrees with the exact \
+          triangle count.")
+    Term.(
+      const run $ n_term $ d_term $ p_term $ tau_term $ seed_term $ updates_term
+      $ flips_term $ addr_opt_term)
 
 let export_cmd =
   let run algo n d bits sched kind path =
@@ -729,10 +941,10 @@ let request_cmd =
       $ schedule_term $ signed_term $ tau_term $ seed_term $ count_term)
 
 let check_cmd =
-  let run cases mutants seed skip_server corpus json_path =
+  let run cases incremental_cases mutants seed skip_server corpus json_path =
     let report =
-      Tcmm_check.Harness.run ~seed ~cases ~mutants ~include_server:(not skip_server)
-        ?corpus_dir:corpus ()
+      Tcmm_check.Harness.run ~seed ~cases ?incremental_cases ~mutants
+        ~include_server:(not skip_server) ?corpus_dir:corpus ()
     in
     Tcmm_check.Harness.print_report report;
     (match json_path with
@@ -749,6 +961,15 @@ let check_cmd =
     Arg.(
       value & opt int 50
       & info [ "cases" ] ~docv:"K" ~doc:"Differential fuzz cases to run.")
+  in
+  let incremental_cases_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "incremental-cases" ] ~docv:"K"
+          ~doc:
+            "Edge-flip sequences for the incremental dirty-cone fuzz leg \
+             (default: same as $(b,--cases)).")
   in
   let mutants_term =
     Arg.(
@@ -783,8 +1004,8 @@ let check_cmd =
           differential-fuzz all evaluation paths, and mutation-test the \
           oracle (exit 1 on any violation or a kill rate below 95%).")
     Term.(
-      const run $ cases_term $ mutants_term $ seed_term $ skip_server_term
-      $ corpus_term $ json_term)
+      const run $ cases_term $ incremental_cases_term $ mutants_term $ seed_term
+      $ skip_server_term $ corpus_term $ json_term)
 
 let chaos_cmd =
   let run requests fault_rate workers seed json_path =
@@ -1038,7 +1259,7 @@ let () =
     (Cmd.eval'
        (Cmd.group (Cmd.info "tcmm" ~doc)
           [
-            algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; export_cmd;
-            orbit_cmd; serve_cmd; fleet_status_cmd; request_cmd; compile_cmd;
-            artifacts_cmd; check_cmd; chaos_cmd;
+            algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; stream_cmd;
+            export_cmd; orbit_cmd; serve_cmd; fleet_status_cmd; request_cmd;
+            compile_cmd; artifacts_cmd; check_cmd; chaos_cmd;
           ]))

@@ -13,6 +13,7 @@ type t = {
   signed : bool;
   tau : int;
   seed : int;
+  flips : (int * int) list list;
 }
 
 let kind_name = function Trace -> "trace" | Matmul -> "matmul"
@@ -22,11 +23,55 @@ let kind_of_name = function
   | "matmul" -> Ok Matmul
   | s -> Error (Printf.sprintf "unknown case kind %S" s)
 
+(* Flip batches as "0-1,2-3;1-2": batches ';'-separated, pairs within a
+   batch ','-separated, one pair "i-j". *)
+let flips_to_string flips =
+  String.concat ";"
+    (List.map
+       (fun batch ->
+         String.concat ","
+           (List.map (fun (i, j) -> Printf.sprintf "%d-%d" i j) batch))
+       flips)
+
+let flips_of_string s =
+  let ( let* ) = Result.bind in
+  let pair p =
+    match String.index_opt p '-' with
+    | None -> Error (Printf.sprintf "malformed flip %S" p)
+    | Some k -> (
+        let i = String.sub p 0 k
+        and j = String.sub p (k + 1) (String.length p - k - 1) in
+        match (int_of_string_opt i, int_of_string_opt j) with
+        | Some i, Some j when i >= 0 && j >= 0 -> Ok (i, j)
+        | _ -> Error (Printf.sprintf "malformed flip %S" p))
+  in
+  let batch b =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* f = pair p in
+        Ok (f :: acc))
+      (Ok [])
+      (String.split_on_char ',' b)
+    |> Result.map List.rev
+  in
+  if s = "" then Ok []
+  else
+    List.fold_left
+      (fun acc b ->
+        let* acc = acc in
+        let* batch = batch b in
+        Ok (batch :: acc))
+      (Ok [])
+      (String.split_on_char ';' s)
+    |> Result.map List.rev
+
 let pp ppf c =
-  Format.fprintf ppf "%s/%s/%s d=%d n=%d bits=%d%s tau=%d seed=%d"
+  Format.fprintf ppf "%s/%s/%s d=%d n=%d bits=%d%s tau=%d seed=%d%s"
     (kind_name c.kind) c.algo c.schedule c.d c.n c.entry_bits
     (if c.signed then " signed" else "")
     c.tau c.seed
+    (if c.flips = [] then "" else " flips=" ^ flips_to_string c.flips)
 
 let build_key c =
   Printf.sprintf "%s|%s|%s|%d|%d|%d|%b|%d" (kind_name c.kind) c.algo c.schedule
@@ -55,21 +100,30 @@ let matrix c ~index =
   let lo = if c.signed then -hi else 0 in
   F.Matrix.random !rng ~rows:c.n ~cols:c.n ~lo ~hi
 
+(* A distinct seed offset keeps the graph draw independent of the
+   matrix stream above: the same case can use both. *)
+let graph c =
+  let rng = Prng.create ~seed:(c.seed + 0x9e3779) in
+  Tcmm_graph.Generate.erdos_renyi rng ~n:c.n ~p:0.4
+
 let to_string c =
   String.concat "\n"
-    [
-      "tcmm-case 1";
-      "kind " ^ kind_name c.kind;
-      "algo " ^ c.algo;
-      "schedule " ^ c.schedule;
-      "d " ^ string_of_int c.d;
-      "n " ^ string_of_int c.n;
-      "entry_bits " ^ string_of_int c.entry_bits;
-      "signed " ^ string_of_bool c.signed;
-      "tau " ^ string_of_int c.tau;
-      "seed " ^ string_of_int c.seed;
-      "";
-    ]
+    ([
+       "tcmm-case 1";
+       "kind " ^ kind_name c.kind;
+       "algo " ^ c.algo;
+       "schedule " ^ c.schedule;
+       "d " ^ string_of_int c.d;
+       "n " ^ string_of_int c.n;
+       "entry_bits " ^ string_of_int c.entry_bits;
+       "signed " ^ string_of_bool c.signed;
+       "tau " ^ string_of_int c.tau;
+       "seed " ^ string_of_int c.seed;
+     ]
+    (* Written only when present, so pre-incremental corpus files are
+       reproduced byte-for-byte. *)
+    @ (if c.flips = [] then [] else [ "flips " ^ flips_to_string c.flips ])
+    @ [ "" ])
 
 let of_string s =
   let ( let* ) = Result.bind in
@@ -124,6 +178,11 @@ let of_string s =
       let* signed = bool_field "signed" in
       let* tau = int_field "tau" in
       let* seed = int_field "seed" in
-      Ok { kind; algo; schedule; d; n; entry_bits; signed; tau; seed }
+      let* flips =
+        match List.assoc_opt "flips" pairs with
+        | None -> Ok []
+        | Some v -> flips_of_string v
+      in
+      Ok { kind; algo; schedule; d; n; entry_bits; signed; tau; seed; flips }
 
 let equal a b = a = b

@@ -30,6 +30,13 @@ type t = {
   signed : bool;
   tau : int;  (** trace threshold; ignored for [Matmul] *)
   seed : int;  (** input matrices are [Prng] draws from this seed *)
+  flips : (int * int) list list;
+      (** incremental leg: edge-flip batches applied in order to the
+          case's {!graph}, each batch one {!Tcmm_threshold.Packed.update}
+          delta.  [[]] (the default, and what a missing [flips] line in
+          the text format means) is a plain one-shot case.  Only
+          meaningful for unsigned 1-bit [Trace] cases — the adjacency
+          encoding {!Tcmm_graph.Stream} speaks. *)
 }
 
 val pp : Format.formatter -> t -> unit
@@ -49,7 +56,16 @@ val matrix : t -> index:int -> Tcmm_fastmm.Matrix.t
     [[-(2^entry_bits - 1), 2^entry_bits - 1]] (signed) or
     [[0, 2^entry_bits - 1]]. *)
 
+val graph : t -> Tcmm_graph.Graph.t
+(** The incremental leg's base graph: an Erdős–Rényi draw on [n]
+    vertices, deterministic in [seed] (independent of the {!matrix}
+    stream).  Its adjacency matrix is what a [flips]-carrying case
+    evaluates the trace circuit on before any flip is applied. *)
+
 val to_string : t -> string
+
 val of_string : string -> (t, string) result
+(** A missing [flips] line decodes as [flips = []], so every corpus
+    file written before the incremental leg still parses. *)
 
 val equal : t -> t -> bool

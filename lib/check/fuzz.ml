@@ -1,5 +1,7 @@
 module T = Tcmm
 module F = Tcmm_fastmm
+module G = Tcmm_graph
+module Th = Tcmm_threshold
 module P = Tcmm_server.Protocol
 module Client = Tcmm_server.Client
 
@@ -31,6 +33,7 @@ let gen =
       signed;
       tau = 0;
       seed;
+      flips = [];
     }
   in
   match kind with
@@ -46,12 +49,85 @@ let gen =
       in
       { base with tau }
 
+(* The incremental generator: unsigned 1-bit trace cases (the adjacency
+   encoding) carrying 1-5 edge-flip batches of 1-3 flips each, with an
+   explicit bias toward a flip-then-unflip pair inside one batch (a
+   delta that must be a structural no-op) and toward tau pinned at the
+   post-flip trace value (the boundary a stale cached sum would cross
+   wrongly). *)
+let gen_incremental =
+  let open QCheck2.Gen in
+  let* algo = frequencyl [ (3, "strassen"); (2, "naive-2"); (1, "winograd") ] in
+  let* n = frequencyl [ (3, 2); (4, 4); (1, 8) ] in
+  let* schedule = oneofl [ "direct"; "uniform-2"; "full"; "thm44"; "thm45" ] in
+  let* d = int_range 1 3 in
+  let* seed = int_range 0 1_000_000 in
+  let pair =
+    let* i = int_range 0 (n - 2) in
+    let* j = int_range (i + 1) (n - 1) in
+    return (i, j)
+  in
+  let batch =
+    let* flips = list_size (int_range 1 3) pair in
+    let+ dup = frequencyl [ (1, true); (3, false) ] in
+    match flips with f :: _ when dup -> flips @ [ f ] | _ -> flips
+  in
+  let* nbatches = int_range 1 5 in
+  let* flips = list_repeat nbatches batch in
+  let+ tau_choice = oneofl [ `Zero; `One; `ExactBase; `ExactFinal; `AboveFinal ] in
+  let base =
+    {
+      Case.kind = Case.Trace;
+      algo;
+      schedule;
+      d;
+      n;
+      entry_bits = 1;
+      signed = false;
+      tau = 0;
+      seed;
+      flips;
+    }
+  in
+  let trace_of g = T.Trace_circuit.reference (G.Graph.adjacency g) in
+  let tau =
+    match tau_choice with
+    | `Zero -> 0
+    | `One -> 1
+    | `ExactBase -> trace_of (Case.graph base)
+    | `ExactFinal ->
+        trace_of (G.Graph.flip_edges (Case.graph base) (List.concat flips))
+    | `AboveFinal ->
+        trace_of (G.Graph.flip_edges (Case.graph base) (List.concat flips)) + 1
+  in
+  { base with tau }
+
 let fails c = match Oracle.check c with Ok () -> None | Error m -> Some m
+
+(* Keep a flip list valid under an [n] shrink: drop out-of-range pairs,
+   then empty batches. *)
+let clip_flips n flips =
+  List.filter_map
+    (fun batch ->
+      match List.filter (fun (i, j) -> i < n && j < n) batch with
+      | [] -> None
+      | batch -> Some batch)
+    flips
+
+let drop_last l = List.filteri (fun i _ -> i < List.length l - 1) l
+
+(* Drop the last flip of the first multi-flip batch, if any. *)
+let rec shorten_batch = function
+  | [] -> None
+  | batch :: rest when List.length batch > 1 -> Some (drop_last batch :: rest)
+  | batch :: rest ->
+      Option.map (fun rest -> batch :: rest) (shorten_batch rest)
 
 let candidates (c : Case.t) =
   List.concat
     [
-      (if c.n > 2 then [ { c with n = c.n / 2 } ] else []);
+      (if c.n > 2 then [ { c with n = c.n / 2; flips = clip_flips (c.n / 2) c.flips } ]
+       else []);
       (if c.schedule <> "direct" then [ { c with schedule = "direct" } ] else []);
       (if c.signed then [ { c with signed = false } ] else []);
       (if c.entry_bits > 1 then [ { c with entry_bits = 1 } ] else []);
@@ -60,6 +136,17 @@ let candidates (c : Case.t) =
       (if c.d > 1 then [ { c with d = 1 } ] else []);
       (if c.seed <> 0 then [ { c with seed = 0 }; { c with seed = c.seed / 2 } ]
        else []);
+      (match c.flips with
+      | [] -> []
+      | flips ->
+          [ { c with flips = [] } ]
+          @ (if List.length flips > 1 then
+               [ { c with flips = List.tl flips };
+                 { c with flips = drop_last flips } ]
+             else [])
+          @ (match shorten_batch flips with
+            | Some flips' -> [ { c with flips = flips' } ]
+            | None -> []));
     ]
 
 let shrink c =
@@ -81,13 +168,13 @@ let shrink c =
   in
   go c msg0 0
 
-let run ?(seed = 1) ~cases () =
+let run_with generator ~seed ~cases =
   let rand = Random.State.make [| seed |] in
   let tested = ref 0 and failures = ref [] in
   (try
      for _ = 1 to cases do
        if List.length !failures >= 5 then raise Exit;
-       let c = QCheck2.Gen.generate1 ~rand gen in
+       let c = QCheck2.Gen.generate1 ~rand generator in
        incr tested;
        match Oracle.check c with
        | Ok () -> ()
@@ -97,6 +184,9 @@ let run ?(seed = 1) ~cases () =
      done
    with Exit -> ());
   { tested = !tested; failures = List.rev !failures }
+
+let run ?(seed = 1) ~cases () = run_with gen ~seed ~cases
+let run_incremental ?(seed = 1) ~cases () = run_with gen_incremental ~seed ~cases
 
 let spec_of_case (c : Case.t) =
   {
@@ -146,6 +236,83 @@ let run_server ?(seed = 1) ~cases cl =
        let c = if c.Case.n > 4 then { c with Case.n = 4 } else c in
        incr tested;
        match check_server cl c with
+       | Ok () -> ()
+       | Error message -> failures := { case = c; original = c; message } :: !failures
+     done
+   with Exit -> ());
+  { tested = !tested; failures = List.rev !failures }
+
+(* One incremental trial through a live server session: the server's
+   dirty-cone updates must report the same output bit and firing count
+   as a local from-scratch packed evaluation (which the in-process leg
+   separately holds bit-identical to the reference interpreter). *)
+let check_server_incremental cl (c : Case.t) =
+  let ( let* ) = Result.bind in
+  let built = Oracle.trace_built c in
+  let layout = built.T.Trace_circuit.layout in
+  let g = ref (Case.graph c) in
+  let local () =
+    let adj = G.Graph.adjacency !g in
+    let res =
+      Th.Packed.run (Oracle.trace_packed c)
+        (T.Trace_circuit.encode_input built adj)
+    in
+    (T.Trace_circuit.reference adj >= c.tau, res.Th.Simulator.firings)
+  in
+  let agree ~where ~fires ~firings =
+    let want_fires, want_firings = local () in
+    if fires <> want_fires then
+      Error
+        (Printf.sprintf "%s: server session says %b, local says %b" where fires
+           want_fires)
+    else if firings <> want_firings then
+      Error
+        (Printf.sprintf "%s: server session fired %d gates, local fired %d"
+           where firings want_firings)
+    else Ok ()
+  in
+  match Client.open_session cl (spec_of_case c) (G.Graph.adjacency !g) with
+  | Error e -> Error ("open_session: " ^ e)
+  | Ok so ->
+      let sid = so.P.so_sid in
+      Fun.protect
+        ~finally:(fun () -> ignore (Client.close_session cl ~sid))
+      @@ fun () ->
+      let* () = agree ~where:"base" ~fires:so.P.so_fires ~firings:so.P.so_firings in
+      let rec batches idx = function
+        | [] -> Ok ()
+        | batch :: rest ->
+            let g', delta = G.Stream.delta ~layout !g batch in
+            g := g';
+            let* u =
+              Result.map_error
+                (fun e -> Printf.sprintf "update %d: %s" idx e)
+                (Client.update cl ~sid delta)
+            in
+            let* () =
+              agree
+                ~where:(Printf.sprintf "after batch %d" idx)
+                ~fires:u.P.ur_fires ~firings:u.P.ur_firings
+            in
+            batches (idx + 1) rest
+      in
+      batches 0 c.flips
+
+let run_server_incremental ?(seed = 1) ~cases cl =
+  let rand = Random.State.make [| seed |] in
+  let tested = ref 0 and failures = ref [] in
+  (try
+     for _ = 1 to cases do
+       if List.length !failures >= 5 then raise Exit;
+       let c = QCheck2.Gen.generate1 ~rand gen_incremental in
+       (* Same build-cost bound as [run_server]. *)
+       let c =
+         if c.Case.n > 4 then
+           { c with Case.n = 4; flips = clip_flips 4 c.Case.flips }
+         else c
+       in
+       incr tested;
+       match check_server_incremental cl c with
        | Ok () -> ()
        | Error message -> failures := { case = c; original = c; message } :: !failures
      done

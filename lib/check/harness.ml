@@ -8,7 +8,9 @@ module Tablefmt = Tcmm_util.Tablefmt
 type report = {
   certificates : Certify.t list;
   fuzz : Fuzz.outcome;
+  incremental : Fuzz.outcome;
   server_fuzz : Fuzz.outcome option;
+  server_incremental : Fuzz.outcome option;
   mutation : Mutate.sweep;
   protocol : Mutate.protocol_sweep;
   seed : int;
@@ -58,7 +60,18 @@ let certify_battery ?materialize_cap () =
 
 let mutation_subjects () =
   let case kind algo schedule n ~entry_bits ~signed tau =
-    { Case.kind; algo; schedule; d = 2; n; entry_bits; signed; tau; seed = 0 }
+    {
+      Case.kind;
+      algo;
+      schedule;
+      d = 2;
+      n;
+      entry_bits;
+      signed;
+      tau;
+      seed = 0;
+      flips = [];
+    }
   in
   [
     case Case.Trace "strassen" "direct" 4 ~entry_bits:1 ~signed:false 1;
@@ -198,46 +211,78 @@ let replay_corpus dir =
           Some { Fuzz.case; original = case; message = file ^ ": " ^ message })
     (Corpus.load_dir dir)
 
-let run ?(seed = 1) ?(cases = 50) ?(mutants = 120) ?(include_server = false)
-    ?corpus_dir () =
-  (* The server leg must run first: it forks, and OCaml forbids
+let run ?(seed = 1) ?(cases = 50) ?incremental_cases ?(mutants = 120)
+    ?(include_server = false) ?corpus_dir () =
+  let incremental_cases = Option.value incremental_cases ~default:cases in
+  (* The server legs must run first: they fork, and OCaml forbids
      [Unix.fork] once any domain has ever been spawned — which the
-     in-process oracle's multi-domain evaluation does. *)
-  let server_fuzz =
+     in-process oracle's multi-domain evaluation does.  (The incremental
+     server leg builds circuits client-side too, but sequentially.) *)
+  let server_legs =
     if include_server then
       Some
         (with_loopback_server (fun cl ->
-             Fuzz.run_server ~seed ~cases:(max 10 (cases / 5)) cl))
+             let plain = Fuzz.run_server ~seed ~cases:(max 10 (cases / 5)) cl in
+             let incr =
+               Fuzz.run_server_incremental ~seed:(seed + 4)
+                 ~cases:(max 10 (incremental_cases / 5))
+                 cl
+             in
+             (plain, incr)))
     else None
   in
+  let server_fuzz = Option.map fst server_legs in
+  let server_incremental = Option.map snd server_legs in
   let corpus_failures =
     match corpus_dir with None -> [] | Some dir -> replay_corpus dir
   in
+  (* Replayed corpus cases count toward the leg they exercise. *)
+  let corpus_incr, corpus_plain =
+    List.partition
+      (fun (f : Fuzz.failure) -> f.Fuzz.case.Case.flips <> [])
+      corpus_failures
+  in
   let certificates = certify_battery () in
   let fuzz = Fuzz.run ~seed ~cases () in
+  let incremental = Fuzz.run_incremental ~seed:(seed + 1) ~cases:incremental_cases () in
   (match corpus_dir with
   | Some dir ->
       List.iter
         (fun (f : Fuzz.failure) ->
           ignore (Corpus.save ~dir ~message:f.Fuzz.message f.Fuzz.case))
-        fuzz.Fuzz.failures
+        (fuzz.Fuzz.failures @ incremental.Fuzz.failures)
   | None -> ());
-  let fuzz =
+  let merge extra (o : Fuzz.outcome) =
     {
-      Fuzz.tested = fuzz.Fuzz.tested + List.length corpus_failures;
-      failures = corpus_failures @ fuzz.Fuzz.failures;
+      Fuzz.tested = o.Fuzz.tested + List.length extra;
+      failures = extra @ o.Fuzz.failures;
     }
   in
+  let fuzz = merge corpus_plain fuzz in
+  let incremental = merge corpus_incr incremental in
   let mutation = mutation_battery ~seed:(seed + 2) ~mutants () in
   let protocol = Mutate.protocol_truncation_sweep ~seed:(seed + 3) () in
-  { certificates; fuzz; server_fuzz; mutation; protocol; seed }
+  {
+    certificates;
+    fuzz;
+    incremental;
+    server_fuzz;
+    server_incremental;
+    mutation;
+    protocol;
+    seed;
+  }
 
 let all_ok r =
+  let clean = function
+    | None -> true
+    | Some (o : Fuzz.outcome) -> o.Fuzz.failures = []
+  in
   List.for_all Certify.ok r.certificates
   && r.fuzz.Fuzz.failures = []
-  && (match r.server_fuzz with
-     | None -> true
-     | Some o -> o.Fuzz.failures = [])
+  && r.incremental.Fuzz.failures = []
+  && clean r.server_fuzz
+  && clean r.server_incremental
   && Mutate.kill_rate r.mutation >= kill_threshold
   && r.protocol.Mutate.killed = r.protocol.Mutate.cuts
 
@@ -282,18 +327,26 @@ let print_report r =
         | f :: _ -> Format.asprintf "%a" Case.pp f.Fuzz.case);
     ]
   in
+  let opt_row label = function
+    | None -> []
+    | Some o -> [ fuzz_row label o ]
+  in
   print ~title:"Differential fuzzing"
     ~header:[ "target"; "cases"; "failures"; "first counterexample" ]
     ~rows:
-      ([ fuzz_row "in-process" r.fuzz ]
-      @ match r.server_fuzz with
-        | None -> []
-        | Some o -> [ fuzz_row "server" o ]);
+      ([ fuzz_row "in-process" r.fuzz; fuzz_row "incremental" r.incremental ]
+      @ opt_row "server" r.server_fuzz
+      @ opt_row "server-incremental" r.server_incremental);
+  let opt_failures = function
+    | None -> []
+    | Some (o : Fuzz.outcome) -> o.Fuzz.failures
+  in
   List.iter
     (fun (f : Fuzz.failure) ->
       Format.printf "  FAIL %a: %s@." Case.pp f.Fuzz.case f.Fuzz.message)
-    (r.fuzz.Fuzz.failures
-    @ match r.server_fuzz with None -> [] | Some o -> o.Fuzz.failures);
+    (r.fuzz.Fuzz.failures @ r.incremental.Fuzz.failures
+    @ opt_failures r.server_fuzz
+    @ opt_failures r.server_incremental);
   print ~title:"Mutation sweep"
     ~header:[ "operator"; "killed"; "total"; "rate" ]
     ~rows:
@@ -336,8 +389,15 @@ let to_json r =
       (List.length o.Fuzz.failures)
   in
   Buffer.add_string b (Printf.sprintf "\"fuzz\":%s," (fuzz_json r.fuzz));
+  Buffer.add_string b
+    (Printf.sprintf "\"incremental\":%s," (fuzz_json r.incremental));
   (match r.server_fuzz with
   | Some o -> Buffer.add_string b (Printf.sprintf "\"server_fuzz\":%s," (fuzz_json o))
+  | None -> ());
+  (match r.server_incremental with
+  | Some o ->
+      Buffer.add_string b
+        (Printf.sprintf "\"server_incremental\":%s," (fuzz_json o))
   | None -> ());
   Buffer.add_string b
     (Printf.sprintf

@@ -9,7 +9,12 @@
 type report = {
   certificates : Certify.t list;
   fuzz : Fuzz.outcome;
+  incremental : Fuzz.outcome;
+      (** the dirty-cone session leg ({!Fuzz.run_incremental}) *)
   server_fuzz : Fuzz.outcome option;  (** [None] when the server was skipped *)
+  server_incremental : Fuzz.outcome option;
+      (** stateful-session leg against the forked server; [None] when
+          the server was skipped *)
   mutation : Mutate.sweep;
   protocol : Mutate.protocol_sweep;
   seed : int;
@@ -40,15 +45,17 @@ val with_loopback_server : (Tcmm_server.Client.t -> 'a) -> 'a
 val run :
   ?seed:int ->
   ?cases:int ->
+  ?incremental_cases:int ->
   ?mutants:int ->
   ?include_server:bool ->
   ?corpus_dir:string ->
   unit ->
   report
-(** Defaults: seed 1, 50 fuzz cases, 120 mutants, no server leg.  When
-    [corpus_dir] is given, corpus cases are replayed first (failures
-    count as fuzz failures) and new shrunk counterexamples are saved
-    there. *)
+(** Defaults: seed 1, 50 fuzz cases, 120 mutants, no server leg;
+    [incremental_cases] defaults to [cases].  When [corpus_dir] is
+    given, corpus cases are replayed first (failures count toward the
+    leg they exercise — flip-carrying cases toward [incremental]) and
+    new shrunk counterexamples are saved there. *)
 
 val all_ok : report -> bool
 val print_report : report -> unit

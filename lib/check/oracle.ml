@@ -1,9 +1,15 @@
 module T = Tcmm
 module F = Tcmm_fastmm
 module Th = Tcmm_threshold
+module G = Tcmm_graph
 
 let trace_builds : (string, T.Trace_circuit.built) Hashtbl.t = Hashtbl.create 16
 let matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t = Hashtbl.create 16
+
+(* Packed forms of [trace_builds], for the incremental leg: sessions
+   memoize their transposed fanout index on the packed value, so
+   re-packing per case would defeat that sharing. *)
+let trace_packs : (string, Th.Packed.t) Hashtbl.t = Hashtbl.create 16
 
 (* Direct-mode builds, kept separately: their packed form dispatches the
    template-specialized kernels, which is exactly the leg the kernel
@@ -23,7 +29,8 @@ let clear_cache () =
   Hashtbl.reset trace_builds;
   Hashtbl.reset matmul_builds;
   Hashtbl.reset direct_matmul_builds;
-  Hashtbl.reset store_loaded
+  Hashtbl.reset store_loaded;
+  Hashtbl.reset trace_packs
 
 (* Keep the memo bounded: a long fuzz run touches only a handful of
    configurations, but a pathological generator should not accumulate
@@ -45,6 +52,16 @@ let trace_built (c : Case.t) =
       in
       Hashtbl.add trace_builds key b;
       b
+
+let trace_packed (c : Case.t) =
+  let key = Case.build_key c in
+  match Hashtbl.find_opt trace_packs key with
+  | Some p -> p
+  | None ->
+      bound trace_packs;
+      let p = T.Trace_circuit.pack (trace_built c) in
+      Hashtbl.add trace_packs key p;
+      p
 
 let matmul_built (c : Case.t) =
   if c.kind <> Case.Matmul then invalid_arg "Oracle.matmul_built: not a matmul case";
@@ -232,8 +249,70 @@ let check_matmul (c : Case.t) =
         in
         lanes_ok 0
 
+(* The incremental leg: replay the case's edge-flip batches through one
+   [Packed.session] and demand that every intermediate state — the base
+   evaluation and each [update] — is bit-identical in every observable
+   field to a from-scratch [Packed.run] on the same inputs, and that the
+   output bit agrees with plain integer arithmetic on the graph. *)
+let check_incremental (c : Case.t) =
+  if c.kind <> Case.Trace || c.entry_bits <> 1 || c.signed then
+    fail "incremental case must be an unsigned 1-bit trace case"
+  else
+    let built = trace_built c in
+    let packed = trace_packed c in
+    let layout = built.T.Trace_circuit.layout in
+    let g = ref (Case.graph c) in
+    let session =
+      Th.Packed.session packed
+        (T.Trace_circuit.encode_input built (G.Graph.adjacency !g))
+    in
+    let compare_state ~where (res : Th.Simulator.result) =
+      let adj = G.Graph.adjacency !g in
+      let inputs = T.Trace_circuit.encode_input built adj in
+      let full = Th.Packed.run packed inputs in
+      let expected = T.Trace_circuit.reference adj >= c.tau in
+      if Th.Packed.session_inputs session <> inputs then
+        fail "%s: session input bits diverge from a fresh encode" where
+      else if not (Bytes.equal res.Th.Simulator.values full.Th.Simulator.values)
+      then fail "%s: wire values diverge from from-scratch evaluation" where
+      else if res.Th.Simulator.outputs <> full.Th.Simulator.outputs then
+        fail "%s: outputs diverge from from-scratch evaluation" where
+      else if res.Th.Simulator.firings <> full.Th.Simulator.firings then
+        fail "%s: firings %d, from-scratch %d" where res.Th.Simulator.firings
+          full.Th.Simulator.firings
+      else if res.Th.Simulator.level_firings <> full.Th.Simulator.level_firings
+      then fail "%s: level_firings diverge from from-scratch evaluation" where
+      else
+        let fires =
+          Bytes.get res.Th.Simulator.values built.T.Trace_circuit.output
+          <> '\000'
+        in
+        if fires <> expected then
+          fail "%s: output says %b, integer reference says %b" where fires
+            expected
+        else Ok ()
+    in
+    let rec batches idx = function
+      | [] -> Ok ()
+      | batch :: rest -> (
+          let g', delta = G.Stream.delta ~layout !g batch in
+          g := g';
+          let res = Th.Packed.update session delta in
+          match compare_state ~where:(Printf.sprintf "after batch %d" idx) res with
+          | Error _ as e -> e
+          | Ok () -> batches (idx + 1) rest)
+    in
+    match compare_state ~where:"base" (Th.Packed.session_result session) with
+    | Error _ as e -> e
+    | Ok () -> batches 0 c.flips
+
 let check (c : Case.t) =
-  match c.kind with
-  | Case.Trace -> ( try check_trace c with e -> fail "exception: %s" (Printexc.to_string e))
-  | Case.Matmul -> (
-      try check_matmul c with e -> fail "exception: %s" (Printexc.to_string e))
+  if c.flips <> [] then (
+    try check_incremental c
+    with e -> fail "exception: %s" (Printexc.to_string e))
+  else
+    match c.kind with
+    | Case.Trace -> (
+        try check_trace c with e -> fail "exception: %s" (Printexc.to_string e))
+    | Case.Matmul -> (
+        try check_matmul c with e -> fail "exception: %s" (Printexc.to_string e))

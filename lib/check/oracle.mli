@@ -17,17 +17,37 @@
       whose packed form dispatches the template-specialized kernels
       ({!Tcmm_threshold.Kernel}), pitted against the all-generic batch —
       a kernel miscompile shows up as a lane disagreement and is shrunk
-      and saved to the corpus like any other divergence. *)
+      and saved to the corpus like any other divergence.
+
+    A case carrying [flips] batches instead runs the {e incremental}
+    leg ({!check_incremental}): the batches replay through one
+    {!Tcmm_threshold.Packed.session} and every intermediate state must
+    be bit-identical — [values], [outputs], [firings], [level_firings]
+    — to a from-scratch evaluation of the same inputs. *)
 
 val check : Case.t -> (unit, string) result
 (** [Ok ()] when every path agrees; [Error msg] names the first
     disagreeing pair.  Raised exceptions from building (unsatisfiable
-    schedules, overflow) are caught and reported as [Error]. *)
+    schedules, overflow) are caught and reported as [Error].
+    Dispatches to {!check_incremental} when [flips <> []]. *)
+
+val check_incremental : Case.t -> (unit, string) result
+(** The incremental-session leg on a [flips]-carrying case: evaluate
+    {!Case.graph}'s adjacency from scratch, then apply each flip batch
+    via {!Tcmm_graph.Stream.delta} + {!Tcmm_threshold.Packed.update},
+    comparing every state (base included) against a from-scratch
+    {!Tcmm_threshold.Packed.run} and the integer trace reference.
+    [Error] on a non-trace / signed / multi-bit case.  Exceptions
+    propagate (callers go through {!check}, which catches them). *)
 
 val trace_built : Case.t -> Tcmm.Trace_circuit.built
 (** The memoized build behind a [Trace] case (for mutation sweeps that
     need the circuit and its input encoder).  Raises [Invalid_argument]
     on a [Matmul] case. *)
+
+val trace_packed : Case.t -> Tcmm_threshold.Packed.t
+(** The packed form of {!trace_built}, memoized on the same key (the
+    incremental leg's sessions share its transposed fanout index). *)
 
 val matmul_built : Case.t -> Tcmm.Matmul_circuit.built
 (** Likewise for [Matmul] cases. *)

@@ -23,6 +23,13 @@ let norm g i j name =
 
 let add_edge g i j = { g with edges = Edge_set.add (norm g i j "add_edge") g.edges }
 let has_edge g i j = Edge_set.mem (norm g i j "has_edge") g.edges
+
+let flip_edge g i j =
+  let e = norm g i j "flip_edges" in
+  if Edge_set.mem e g.edges then { g with edges = Edge_set.remove e g.edges }
+  else { g with edges = Edge_set.add e g.edges }
+
+let flip_edges g flips = List.fold_left (fun g (i, j) -> flip_edge g i j) g flips
 let edges g = Edge_set.elements g.edges
 let of_edges ~n es = List.fold_left (fun g (i, j) -> add_edge g i j) (empty n) es
 

@@ -20,6 +20,14 @@ val add_edge : t -> int -> int -> t
     self-loop or out-of-range vertex. *)
 
 val has_edge : t -> int -> int -> bool
+
+val flip_edges : t -> (int * int) list -> t
+(** Toggles each listed edge in order (present → absent, absent →
+    present) — the streaming scenario's primitive.  A repeated pair
+    toggles repeatedly, so a flip-then-unflip list is a structural
+    no-op.  Raises like {!add_edge} on self-loops or out-of-range
+    vertices. *)
+
 val edges : t -> (int * int) list
 (** As [(i, j)] with [i < j], lexicographically sorted. *)
 

@@ -1,0 +1,33 @@
+let check_layout (layout : Tcmm.Encode.t) g =
+  let n = Graph.num_vertices g in
+  if layout.Tcmm.Encode.rows <> n || layout.Tcmm.Encode.cols <> n then
+    invalid_arg
+      (Printf.sprintf "Stream: layout is %dx%d but the graph has %d vertices"
+         layout.Tcmm.Encode.rows layout.Tcmm.Encode.cols n);
+  if layout.Tcmm.Encode.signed || layout.Tcmm.Encode.entry_bits <> 1 then
+    invalid_arg
+      "Stream: adjacency streaming needs an unsigned 1-bit entry layout"
+
+let entry_wire (layout : Tcmm.Encode.t) i j =
+  layout.Tcmm.Encode.base
+  + (((i * layout.Tcmm.Encode.cols) + j) * layout.Tcmm.Encode.wires_per_entry)
+
+let edge_wires ~layout g i j =
+  check_layout layout g;
+  (* Normalization (and the self-loop / range validation) via the graph
+     itself, so the wire pair always matches what [flip_edges] does. *)
+  ignore (Graph.has_edge g i j : bool);
+  (entry_wire layout i j, entry_wire layout j i)
+
+let delta ~layout g flips =
+  check_layout layout g;
+  let g', rev =
+    List.fold_left
+      (fun (g, acc) (i, j) ->
+        let v = not (Graph.has_edge g i j) in
+        let g = Graph.flip_edges g [ (i, j) ] in
+        ( g,
+          (entry_wire layout j i, v) :: (entry_wire layout i j, v) :: acc ))
+      (g, []) flips
+  in
+  (g', Array.of_list (List.rev rev))

@@ -1,0 +1,28 @@
+(** Edge-flip streams: graph mutations as circuit input-bit deltas.
+
+    The streaming scenario holds a graph on the client, sends edge
+    flips, and re-evaluates the trace/triangle circuit incrementally
+    ({!Tcmm_threshold.Packed.update}).  An adjacency matrix is encoded
+    one input wire per entry (unsigned, [entry_bits = 1]), so flipping
+    edge [(i, j)] toggles exactly the two wires carrying [A[i][j]] and
+    [A[j][i]].  This module computes those deltas from the circuit's
+    {!Tcmm.Encode.t} input layout — the same layout {!Tcmm.Encode.write}
+    uses for full encodes, so incremental and from-scratch evaluation
+    see identical input bits by construction. *)
+
+val edge_wires : layout:Tcmm.Encode.t -> Graph.t -> int -> int -> int * int
+(** The two input wires carrying entries [(i, j)] and [(j, i)].  Raises
+    [Invalid_argument] if the layout is not an unsigned 1-bit square
+    layout matching the graph's vertex count, or on a self-loop /
+    out-of-range pair. *)
+
+val delta :
+  layout:Tcmm.Encode.t ->
+  Graph.t ->
+  (int * int) list ->
+  Graph.t * (int * bool) array
+(** [delta ~layout g flips] applies the flips in order (repeated pairs
+    toggle repeatedly, exactly like {!Graph.flip_edges}) and returns the
+    new graph together with the input-bit delta — two [(wire, value)]
+    entries per flip, in flip order — ready for
+    {!Tcmm_threshold.Packed.update}.  Raises as {!edge_wires}. *)

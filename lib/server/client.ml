@@ -44,6 +44,35 @@ let shutdown addr =
       | Error _ as e -> e)
 
 (* ------------------------------------------------------------------ *)
+(* Streaming sessions (protocol v6)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Typed wrappers on one connection.  No retry machinery: session
+   requests are stateful ([idempotent] below says no), so ambiguous
+   failures surface to the caller instead of being re-sent. *)
+
+let open_session t spec m =
+  match request t (Protocol.Open_session (spec, m)) with
+  | Ok (Protocol.Session_opened s) -> Ok s
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> Error "unexpected response to open_session"
+  | Error _ as e -> e
+
+let update t ~sid delta =
+  match request t (Protocol.Update (sid, delta)) with
+  | Ok (Protocol.Update_result u) -> Ok u
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> Error "unexpected response to update"
+  | Error _ as e -> e
+
+let close_session t ~sid =
+  match request t (Protocol.Close_session sid) with
+  | Ok Protocol.Session_closed -> Ok ()
+  | Ok (Protocol.Error msg) -> Error msg
+  | Ok _ -> Error "unexpected response to close_session"
+  | Error _ as e -> e
+
+(* ------------------------------------------------------------------ *)
 (* Deadlines and bounded retry                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -77,9 +106,15 @@ let default_policy =
    evaluation has no server-side state a duplicate could corrupt), so
    re-sending after an ambiguous failure — the reply may or may not
    have been computed — at worst evaluates twice and returns the same
-   bits.  [Shutdown] is excluded: its effect is external. *)
+   bits.  [Shutdown] is excluded: its effect is external, and so are
+   the v6 session requests: a duplicate [Open_session] leaks a second
+   session (and can LRU-evict a live one), a duplicate [Update] or
+   [Close_session] mutates state whose first copy may already have
+   been applied. *)
 let idempotent = function
-  | Protocol.Shutdown -> false
+  | Protocol.Shutdown | Protocol.Open_session _ | Protocol.Update _
+  | Protocol.Close_session _ ->
+      false
   | Protocol.Compile _ | Protocol.Run_matmul _ | Protocol.Run_trace _
   | Protocol.Run_triangles _ | Protocol.Stats _ | Protocol.Metrics
   | Protocol.Ping | Protocol.Fleet ->

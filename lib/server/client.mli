@@ -28,6 +28,32 @@ val request : t -> Protocol.request -> (Protocol.response, string) result
 val shutdown : Protocol.addr -> (unit, string) result
 (** Connect, send [Shutdown], await [Shutting_down]. *)
 
+(** {1 Streaming sessions (protocol v6)}
+
+    Typed wrappers over one connection.  Session requests are stateful,
+    so none of them participate in {!call}'s retry machinery: an
+    ambiguous transport failure surfaces as [Error] instead of being
+    re-sent (a duplicate [Open_session] would leak a server-side
+    session; a duplicate [Update] would double-count metrics). *)
+
+val open_session :
+  t ->
+  Protocol.spec ->
+  Protocol.Matrix.t ->
+  (Protocol.session_opened, string) result
+(** Open a dirty-cone session on a [Trace] / [Triangles] circuit,
+    evaluated from scratch on the given matrix. *)
+
+val update :
+  t ->
+  sid:int ->
+  (int * bool) array ->
+  (Protocol.update_result, string) result
+(** Apply an input-bit delta (e.g. {!Tcmm_graph.Stream.delta}'s output)
+    to an open session; only the dirty cone re-evaluates. *)
+
+val close_session : t -> sid:int -> (unit, string) result
+
 (** {1 Deadlines and bounded retry} *)
 
 type failure =

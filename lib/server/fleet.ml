@@ -223,6 +223,12 @@ let add_metrics (a : P.metrics) (b : P.metrics) =
     store_saves = a.store_saves + b.store_saves;
     store_invalid = a.store_invalid + b.store_invalid;
     worker_id = 0;
+    sessions_opened = a.sessions_opened + b.sessions_opened;
+    sessions_active = a.sessions_active + b.sessions_active;
+    sessions_evicted = a.sessions_evicted + b.sessions_evicted;
+    session_updates = a.session_updates + b.session_updates;
+    session_dirty_gates = a.session_dirty_gates + b.session_dirty_gates;
+    session_gates = a.session_gates + b.session_gates;
   }
 
 let aggregate = function

@@ -25,6 +25,12 @@ type t = {
   mutable slow_client_drops : int;
   mutable kernel_gates : int;
   mutable fallback_gates : int;
+  mutable sessions_opened : int;
+  mutable sessions_active : int;
+  mutable sessions_evicted : int;
+  mutable session_updates : int;
+  mutable session_dirty_gates : int;
+  mutable session_gates : int;
 }
 
 let create ?(worker_id = 0) ~max_lanes () =
@@ -52,6 +58,12 @@ let create ?(worker_id = 0) ~max_lanes () =
     slow_client_drops = 0;
     kernel_gates = 0;
     fallback_gates = 0;
+    sessions_opened = 0;
+    sessions_active = 0;
+    sessions_evicted = 0;
+    session_updates = 0;
+    session_dirty_gates = 0;
+    session_gates = 0;
   }
 
 let connection_opened t =
@@ -75,6 +87,21 @@ let observe_batch t ~lanes ~firings ~seconds =
   t.occupancy.(slot) <- t.occupancy.(slot) + 1;
   t.firings_total <- t.firings_total + firings;
   t.eval_seconds <- t.eval_seconds +. seconds
+
+let session_opened t =
+  t.sessions_opened <- t.sessions_opened + 1;
+  t.sessions_active <- t.sessions_active + 1
+
+let session_closed t = t.sessions_active <- t.sessions_active - 1
+
+let session_evicted t =
+  t.sessions_evicted <- t.sessions_evicted + 1;
+  t.sessions_active <- t.sessions_active - 1
+
+let session_update t ~dirty_gates ~gates =
+  t.session_updates <- t.session_updates + 1;
+  t.session_dirty_gates <- t.session_dirty_gates + dirty_gates;
+  t.session_gates <- t.session_gates + gates
 
 let accepted t = t.accepted <- t.accepted + 1
 let shed t = t.shed <- t.shed + 1
@@ -130,4 +157,10 @@ let snapshot t ~uptime_seconds ~cache ~engine ~store : Protocol.metrics =
     store_saves;
     store_invalid;
     worker_id = t.worker_id;
+    sessions_opened = t.sessions_opened;
+    sessions_active = t.sessions_active;
+    sessions_evicted = t.sessions_evicted;
+    session_updates = t.session_updates;
+    session_dirty_gates = t.session_dirty_gates;
+    session_gates = t.session_gates;
   }

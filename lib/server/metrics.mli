@@ -40,6 +40,19 @@ val observe_latency : t -> seconds:float -> unit
     [eval_failure]; refused requests count as [shed].  The chaos soak
     asserts this identity over the final snapshot. *)
 
+(** {2 Streaming sessions}
+
+    Protocol v6 accounting for the stateful dirty-cone sessions: the
+    gauge [sessions_active] tracks opens minus closes minus LRU
+    evictions, and [session_update] accumulates the incremental work
+    ratio's numerator ([dirty_gates] re-examined) and denominator
+    ([gates] a from-scratch sweep would have visited). *)
+
+val session_opened : t -> unit
+val session_closed : t -> unit
+val session_evicted : t -> unit
+val session_update : t -> dirty_gates:int -> gates:int -> unit
+
 val accepted : t -> unit
 val shed : t -> unit
 val deadline_expired : t -> unit

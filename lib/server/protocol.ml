@@ -1,6 +1,6 @@
 module Matrix = Tcmm_fastmm.Matrix
 
-let version = 5
+let version = 6
 let min_version = 1
 let max_frame_len = 1 lsl 24
 
@@ -27,6 +27,9 @@ type request =
   | Ping
   | Shutdown
   | Fleet
+  | Open_session of spec * Matrix.t
+  | Update of int * (int * bool) array
+  | Close_session of int
 
 type compiled = {
   cached : bool;
@@ -92,6 +95,17 @@ type metrics = {
      which worker produced this snapshot.  0 = a standalone daemon or a
      supervisor-side aggregate; fleet workers are numbered from 1. *)
   worker_id : int;
+  (* Streaming-session accounting (protocol v6; zero when decoding an
+     older peer).  [session_dirty_gates / session_gates] is the
+     fleet-wide incremental work ratio: gates actually re-examined by
+     dirty-cone updates over gates a from-scratch re-evaluation of the
+     same updates would have swept. *)
+  sessions_opened : int;
+  sessions_active : int;
+  sessions_evicted : int;
+  session_updates : int;
+  session_dirty_gates : int;
+  session_gates : int;
 }
 
 type fleet_worker = {
@@ -100,6 +114,19 @@ type fleet_worker = {
   fw_addr : string;  (** the worker's own endpoint, [parse_addr] form *)
   fw_restarts : int;
   fw_alive : bool;
+}
+
+type session_opened = {
+  so_sid : int;  (** server-assigned session id *)
+  so_fires : bool;  (** the circuit's output on the initial input *)
+  so_firings : int;
+}
+
+type update_result = {
+  ur_fires : bool;
+  ur_firings : int;
+  ur_dirty_gates : int;  (** gates re-examined by this update's dirty cone *)
+  ur_gates : int;  (** total gates a from-scratch sweep would visit *)
 }
 
 type response =
@@ -115,6 +142,9 @@ type response =
   | Overloaded
   | Deadline_exceeded
   | Fleet_result of fleet_worker list
+  | Session_opened of session_opened
+  | Update_result of update_result
+  | Session_closed
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                           *)
@@ -212,7 +242,14 @@ let w_metrics buf m =
   w_int buf m.store_loads;
   w_int buf m.store_saves;
   w_int buf m.store_invalid;
-  w_int buf m.worker_id
+  w_int buf m.worker_id;
+  (* v6 session counters ride at the tail, like every version before. *)
+  w_int buf m.sessions_opened;
+  w_int buf m.sessions_active;
+  w_int buf m.sessions_evicted;
+  w_int buf m.session_updates;
+  w_int buf m.session_dirty_gates;
+  w_int buf m.session_gates
 
 let w_fleet_worker buf w =
   w_int buf w.fw_id;
@@ -253,6 +290,20 @@ let encode_request = function
      truncation prefix would decode as a valid request.  13 is unused
      in both tag spaces. *)
   | Fleet -> payload 13 ignore
+  | Open_session (spec, m) ->
+      payload 14 (fun buf ->
+          w_spec buf spec;
+          w_matrix buf m)
+  | Update (sid, delta) ->
+      payload 15 (fun buf ->
+          w_int buf sid;
+          w_int buf (Array.length delta);
+          Array.iter
+            (fun (w, v) ->
+              w_int buf w;
+              w_bool buf v)
+            delta)
+  | Close_session sid -> payload 16 (fun buf -> w_int buf sid)
 
 let encode_response = function
   | Compiled c ->
@@ -286,6 +337,23 @@ let encode_response = function
       payload 12 (fun buf ->
           w_int buf (List.length workers);
           List.iter (w_fleet_worker buf) workers)
+  | Session_opened s ->
+      payload 14 (fun buf ->
+          w_int buf s.so_sid;
+          w_bool buf s.so_fires;
+          w_int buf s.so_firings)
+  | Update_result u ->
+      payload 15 (fun buf ->
+          w_bool buf u.ur_fires;
+          w_int buf u.ur_firings;
+          w_int buf u.ur_dirty_gates;
+          w_int buf u.ur_gates)
+  (* Tag 18, not 16: [Session_closed] is a zero-payload response, so by
+     the [Fleet] rule's mirror image its tag must not collide with a
+     payload-carrying request tag (16 is [Close_session]) — otherwise a
+     request's 2-byte truncation prefix would decode as a valid
+     response. *)
+  | Session_closed -> payload 18 ignore
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                           *)
@@ -436,13 +504,25 @@ let r_metrics r ~version:v =
   let store_invalid = if v >= 4 then r_int r "metrics.store_invalid" else 0 in
   (* The fleet identity joined in v5; an older daemon is standalone. *)
   let worker_id = if v >= 5 then r_int r "metrics.worker_id" else 0 in
+  (* Streaming sessions joined in v6; older daemons served none. *)
+  let sessions_opened = if v >= 6 then r_int r "metrics.sessions_opened" else 0 in
+  let sessions_active = if v >= 6 then r_int r "metrics.sessions_active" else 0 in
+  let sessions_evicted =
+    if v >= 6 then r_int r "metrics.sessions_evicted" else 0
+  in
+  let session_updates = if v >= 6 then r_int r "metrics.session_updates" else 0 in
+  let session_dirty_gates =
+    if v >= 6 then r_int r "metrics.session_dirty_gates" else 0
+  in
+  let session_gates = if v >= 6 then r_int r "metrics.session_gates" else 0 in
   {
     uptime_seconds; connections_accepted; connections_active; requests_total;
     run_requests; errors; batches; lanes; max_lanes; occupancy; latency_ms;
     firings_total; eval_seconds; build_seconds; cache; engine;
     accepted; shed; deadline_expired; eval_failures; slow_client_drops;
     kernel_gates; fallback_gates; store_loads; store_saves; store_invalid;
-    worker_id;
+    worker_id; sessions_opened; sessions_active; sessions_evicted;
+    session_updates; session_dirty_gates; session_gates;
   }
 
 let r_fleet_worker r =
@@ -485,6 +565,19 @@ let decode_request =
       | 7 -> Ping
       | 8 -> Shutdown
       | 13 when version >= 5 -> Fleet
+      | 14 when version >= 6 ->
+          let spec = r_spec r in
+          Open_session (spec, r_matrix r "session.adjacency")
+      | 15 when version >= 6 ->
+          let sid = r_int r "update.sid" in
+          let count = r_counted r ~elem_bytes:9 "update.delta" in
+          Update
+            ( sid,
+              Array.init count (fun _ ->
+                  let w = r_int r "update.wire" in
+                  let v = r_bool r "update.value" in
+                  (w, v)) )
+      | 16 when version >= 6 -> Close_session (r_int r "close.sid")
       | t -> fail "unknown request tag %d" t)
 
 let decode_response =
@@ -515,6 +608,18 @@ let decode_response =
       | 12 when version >= 5 ->
           let count = r_counted r ~elem_bytes:(8 * 4 + 1) "fleet.workers" in
           Fleet_result (List.init count (fun _ -> r_fleet_worker r))
+      | 14 when version >= 6 ->
+          let so_sid = r_int r "session.sid" in
+          let so_fires = r_bool r "session.fires" in
+          let so_firings = r_int r "session.firings" in
+          Session_opened { so_sid; so_fires; so_firings }
+      | 15 when version >= 6 ->
+          let ur_fires = r_bool r "update.fires" in
+          let ur_firings = r_int r "update.firings" in
+          let ur_dirty_gates = r_int r "update.dirty_gates" in
+          let ur_gates = r_int r "update.gates" in
+          Update_result { ur_fires; ur_firings; ur_dirty_gates; ur_gates }
+      | 18 when version >= 6 -> Session_closed
       | t -> fail "unknown response tag %d" t)
 
 (* ------------------------------------------------------------------ *)
@@ -694,6 +799,10 @@ let equal_request a b =
   | Run_triangles (sa, ma), Run_triangles (sb, mb) ->
       equal_spec sa sb && Matrix.equal ma mb
   | Metrics, Metrics | Ping, Ping | Shutdown, Shutdown | Fleet, Fleet -> true
+  | Open_session (sa, ma), Open_session (sb, mb) ->
+      equal_spec sa sb && Matrix.equal ma mb
+  | Update (ia, da), Update (ib, db) -> ia = ib && da = db
+  | Close_session a, Close_session b -> a = b
   | _ -> false
 
 (* Floats travel by bits, so [=] on the records is exact; NaNs would
@@ -730,6 +839,12 @@ let equal_metrics a b =
   && a.store_saves = b.store_saves
   && a.store_invalid = b.store_invalid
   && a.worker_id = b.worker_id
+  && a.sessions_opened = b.sessions_opened
+  && a.sessions_active = b.sessions_active
+  && a.sessions_evicted = b.sessions_evicted
+  && a.session_updates = b.session_updates
+  && a.session_dirty_gates = b.session_dirty_gates
+  && a.session_gates = b.session_gates
 
 let equal_response a b =
   match (a, b) with
@@ -747,6 +862,9 @@ let equal_response a b =
   | Overloaded, Overloaded | Deadline_exceeded, Deadline_exceeded -> true
   | Error ea, Error eb -> ea = eb
   | Fleet_result wa, Fleet_result wb -> wa = wb
+  | Session_opened a, Session_opened b -> a = b
+  | Update_result a, Update_result b -> a = b
+  | Session_closed, Session_closed -> true
   | _ -> false
 
 let pp_metrics ppf m =
@@ -775,6 +893,12 @@ let pp_metrics ppf m =
   Format.fprintf ppf
     "store: %d warm loads, %d saves, %d invalid artifacts quarantined@."
     m.store_loads m.store_saves m.store_invalid;
+  Format.fprintf ppf
+    "sessions: %d opened (%d active, %d evicted), %d updates touching \
+     %d/%d gates (%.1f%% dirty)@."
+    m.sessions_opened m.sessions_active m.sessions_evicted m.session_updates
+    m.session_dirty_gates m.session_gates
+    (100. *. frac m.session_dirty_gates m.session_gates);
   let pp_cache name (c : cache_stats) =
     Format.fprintf ppf
       "%s cache: %d/%d entries, %d hits / %d misses (%.0f%% hit rate), %d evictions@."

@@ -17,12 +17,14 @@
 module Matrix = Tcmm_fastmm.Matrix
 
 val version : int
-(** Protocol version carried in every outgoing payload (currently 5).
+(** Protocol version carried in every outgoing payload (currently 6).
     Version 2 added the [Overloaded] / [Deadline_exceeded] statuses and
     the robustness counters at the tail of {!metrics}; version 3
     appended the kernel-coverage counters; version 4 the artifact-store
     counters; version 5 the fleet identity ([metrics.worker_id]) and
-    the [Fleet] / [Fleet_result] roster exchange. *)
+    the [Fleet] / [Fleet_result] roster exchange; version 6 the
+    stateful streaming sessions ([Open_session] / [Update] /
+    [Close_session]) and the session counters at the metrics tail. *)
 
 val min_version : int
 (** Oldest peer version the decoders accept (currently 1).  A v1
@@ -70,6 +72,16 @@ type request =
       (** fleet roster: a supervisor answers with every worker's
           endpoint and restart count, a standalone daemon (or a worker)
           with just itself.  Protocol v5. *)
+  | Open_session of spec * Matrix.t
+      (** open a stateful streaming session on a [Trace] / [Triangles]
+          circuit: evaluate the initial matrix from scratch and keep
+          the {!Tcmm_threshold.Packed.session} resident for incremental
+          updates.  Protocol v6. *)
+  | Update of int * (int * bool) array
+      (** [(sid, delta)]: apply an input-bit delta — [(wire, value)]
+          pairs, e.g. from {!Tcmm_graph.Stream.delta} — to an open
+          session and re-evaluate only the dirty cone.  Protocol v6. *)
+  | Close_session of int  (** release a session's state.  Protocol v6. *)
 
 type compiled = {
   cached : bool;  (** was already resident in the circuit cache *)
@@ -140,6 +152,19 @@ type metrics = {
       (** which fleet worker produced this snapshot (v5; zero from an
           older peer).  0 = a standalone daemon or a supervisor-side
           fleet aggregate; workers are numbered from 1. *)
+  sessions_opened : int;
+      (** streaming sessions ever opened (v6; zero from an older peer) *)
+  sessions_active : int;  (** sessions currently resident *)
+  sessions_evicted : int;
+      (** sessions dropped by the LRU cap before being closed *)
+  session_updates : int;  (** [Update] requests applied *)
+  session_dirty_gates : int;
+      (** gates re-examined by dirty-cone updates, summed; the
+          incremental work ratio is
+          [session_dirty_gates / session_gates] *)
+  session_gates : int;
+      (** gates a from-scratch re-evaluation of the same updates would
+          have swept (updates x circuit gate count) *)
 }
 
 type fleet_worker = {
@@ -150,6 +175,22 @@ type fleet_worker = {
           spec-affinity router's shard targets *)
   fw_restarts : int;  (** crash restarts the supervisor performed *)
   fw_alive : bool;  (** false once the restart budget is exhausted *)
+}
+
+type session_opened = {
+  so_sid : int;  (** server-assigned session id, unique per daemon *)
+  so_fires : bool;  (** the circuit's output on the initial input *)
+  so_firings : int;
+}
+
+type update_result = {
+  ur_fires : bool;
+  ur_firings : int;
+  ur_dirty_gates : int;
+      (** gates re-examined by this update's dirty cone *)
+  ur_gates : int;
+      (** total circuit gates — [ur_dirty_gates / ur_gates] is the
+          update's incremental work ratio *)
 }
 
 type response =
@@ -171,6 +212,9 @@ type response =
   | Fleet_result of fleet_worker list
       (** answer to {!Fleet}: the supervisor's roster, or a singleton
           for a standalone daemon.  Protocol v5. *)
+  | Session_opened of session_opened  (** answer to [Open_session].  v6. *)
+  | Update_result of update_result  (** answer to [Update].  v6. *)
+  | Session_closed  (** answer to [Close_session].  v6. *)
 
 (** {1 Binary encoding} *)
 

@@ -23,6 +23,7 @@ type config = {
   max_backlog : int;
   store : string option;
   worker_id : int;
+  max_sessions : int;
 }
 
 let default_config addr =
@@ -30,7 +31,7 @@ let default_config addr =
     templates = true; kernels = true; profile_build = false;
     profile_eval = false;
     max_pending = 0; deadline_ms = 0.; grace_s = 5.;
-    max_backlog = 1 lsl 26; store = None; worker_id = 0 }
+    max_backlog = 1 lsl 26; store = None; worker_id = 0; max_sessions = 16 }
 
 type conn = {
   fd : Unix.file_descr;
@@ -51,6 +52,20 @@ type job = {
      failed).  The timer wheel cancels lazily: an answered job's wheel
      entry is skipped when it surfaces. *)
   mutable answered : bool;
+}
+
+(* One resident streaming session (protocol v6).  The packed session
+   holds the last input bits and every gate's cached sum, so an
+   [Update] re-examines only the flipped wires' dirty cone.
+   [se_last_dirty] snapshots the session's cumulative dirty-gate
+   counter so each update reports its own cone size. *)
+type session_entry = {
+  se_id : int;
+  se_session : Th.Packed.session;
+  se_out : int;  (* the trace/triangles output wire *)
+  se_gates : int;
+  mutable se_last_dirty : int;
+  mutable se_touched : int;  (* LRU clock stamp *)
 }
 
 type state = {
@@ -83,6 +98,12 @@ type state = {
   mutable term_pending : bool;  (* set by the SIGTERM handler *)
   started : float;
   read_buf : Bytes.t;
+  (* Streaming sessions, LRU-capped at [cfg.max_sessions].  Sessions
+     are few (each pins a full wire-value image), so the LRU scan is a
+     linear fold over the table rather than an intrusive list. *)
+  sessions : (int, session_entry) Hashtbl.t;
+  mutable next_sid : int;
+  mutable session_clock : int;
 }
 
 let close_conn st c =
@@ -323,6 +344,110 @@ let handle_run st c ~now spec req =
             | Some jobs -> dispatch st ~key jobs
             | None -> ()))
 
+(* ------------------------------------------------------------------ *)
+(* Streaming sessions (protocol v6)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let session_input (entry : Circuit_cache.entry) m =
+  match entry.compiled with
+  | Circuit_cache.Trace built ->
+      (T.Trace_circuit.encode_input built m, built.T.Trace_circuit.output)
+  | Circuit_cache.Stored (Tcmm_store.Artifact.Trace_io io) ->
+      let input = Array.make (T.Encode.total_wires io.layout) false in
+      T.Encode.write io.layout m input;
+      (input, io.output)
+  | _ -> invalid_arg "streaming sessions serve trace/triangles circuits"
+
+let evict_lru_session st =
+  if Hashtbl.length st.sessions >= max 1 st.cfg.max_sessions then begin
+    let victim =
+      Hashtbl.fold
+        (fun _ e acc ->
+          match acc with
+          | Some b when b.se_touched <= e.se_touched -> acc
+          | _ -> Some e)
+        st.sessions None
+    in
+    match victim with
+    | Some e ->
+        Hashtbl.remove st.sessions e.se_id;
+        Metrics.session_evicted st.metrics;
+        Log.info (fun m ->
+            m "evicted session %d (LRU, cap %d)" e.se_id
+              (max 1 st.cfg.max_sessions))
+    | None -> ()
+  end
+
+let wire_value (res : Th.Simulator.result) w =
+  Bytes.get res.Th.Simulator.values w <> '\000'
+
+let handle_open_session st c spec m =
+  if spec.P.kind = P.Matmul then
+    send st c (P.Error "streaming sessions serve trace/triangles circuits")
+  else
+  with_entry st c spec (fun entry _outcome ->
+      match session_input entry m with
+      | exception Invalid_argument msg | exception Failure msg ->
+          send st c (P.Error msg)
+      | input, out -> (
+          match Th.Packed.session entry.packed input with
+          | exception Invalid_argument msg -> send st c (P.Error msg)
+          | session ->
+              evict_lru_session st;
+              let sid = st.next_sid in
+              st.next_sid <- sid + 1;
+              st.session_clock <- st.session_clock + 1;
+              let stats = Th.Packed.session_stats session in
+              Hashtbl.replace st.sessions sid
+                {
+                  se_id = sid;
+                  se_session = session;
+                  se_out = out;
+                  se_gates = stats.Th.Packed.su_gates;
+                  se_last_dirty = 0;
+                  se_touched = st.session_clock;
+                };
+              Metrics.session_opened st.metrics;
+              let res = Th.Packed.session_result session in
+              send st c
+                (P.Session_opened
+                   {
+                     P.so_sid = sid;
+                     so_fires = wire_value res out;
+                     so_firings = res.Th.Simulator.firings;
+                   })))
+
+let handle_update st c sid delta =
+  match Hashtbl.find_opt st.sessions sid with
+  | None -> send st c (P.Error (Printf.sprintf "unknown session %d" sid))
+  | Some e -> (
+      st.session_clock <- st.session_clock + 1;
+      e.se_touched <- st.session_clock;
+      match Th.Packed.update e.se_session delta with
+      | exception Invalid_argument msg -> send st c (P.Error msg)
+      | res ->
+          let stats = Th.Packed.session_stats e.se_session in
+          let dirty = stats.Th.Packed.su_dirty_gates - e.se_last_dirty in
+          e.se_last_dirty <- stats.Th.Packed.su_dirty_gates;
+          Metrics.session_update st.metrics ~dirty_gates:dirty
+            ~gates:e.se_gates;
+          send st c
+            (P.Update_result
+               {
+                 P.ur_fires = wire_value res e.se_out;
+                 ur_firings = res.Th.Simulator.firings;
+                 ur_dirty_gates = dirty;
+                 ur_gates = e.se_gates;
+               }))
+
+let handle_close_session st c sid =
+  match Hashtbl.find_opt st.sessions sid with
+  | None -> send st c (P.Error (Printf.sprintf "unknown session %d" sid))
+  | Some _ ->
+      Hashtbl.remove st.sessions sid;
+      Metrics.session_closed st.metrics;
+      send st c P.Session_closed
+
 let begin_drain st ~now reason =
   if not st.stopping then begin
     st.stopping <- true;
@@ -393,6 +518,13 @@ let handle_request st c ~now req =
       handle_run st c ~now { spec with P.kind = P.Trace } req
   | P.Run_triangles (spec, _) ->
       handle_run st c ~now { spec with P.kind = P.Triangles } req
+  (* Session requests are answered synchronously in the event loop —
+     an update's dirty cone is orders of magnitude cheaper than a full
+     evaluation, so routing it through the batcher would only add
+     queueing latency. *)
+  | P.Open_session (spec, m) -> handle_open_session st c spec m
+  | P.Update (sid, delta) -> handle_update st c sid delta
+  | P.Close_session sid -> handle_close_session st c sid
 
 (* Frames keep being processed while draining: the drain serves what
    existing connections already sent, it only stops admitting new
@@ -630,6 +762,9 @@ let serve_fds cfg listen_fds =
       term_pending = false;
       started;
       read_buf = Bytes.create 65536;
+      sessions = Hashtbl.create 16;
+      next_sid = 1;
+      session_clock = 0;
     }
   in
   let prev_term =

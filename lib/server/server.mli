@@ -79,12 +79,18 @@ type config = {
       (** fleet identity stamped into protocol v5 metrics; [0]
           (default) = standalone, {!Fleet} workers are numbered from
           1.  Purely informational for a standalone daemon. *)
+  max_sessions : int;
+      (** resident streaming-session cap (protocol v6); opening a
+          session past it evicts the least-recently-updated one
+          (counted in [metrics.sessions_evicted]).  Each session pins a
+          full wire-value image plus per-gate cached sums, hence the
+          cap.  Clamped to at least 1. *)
 }
 
 val default_config : Protocol.addr -> config
 (** capacity 8, adaptive flush, 62 lanes, 1 domain, templates and
     kernels on, profiling off, no pending cap, no deadline, 5 s grace,
-    64 MiB backlog cap, no artifact store, worker id 0. *)
+    64 MiB backlog cap, no artifact store, worker id 0, 16 sessions. *)
 
 val bind : config -> Unix.file_descr * Protocol.addr
 (** Create, bind and listen the server socket without serving.  The

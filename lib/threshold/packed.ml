@@ -83,6 +83,23 @@ type t = {
   kern : Kernel.spec array;
   k_gates : int;  (* gates covered by a non-generic kernel *)
   k_segs : int;
+  (* Transposed (wire -> reading pool slots) CSR, built on first
+     [session] and memoized: slot positions into [pool_wires] /
+     [pool_weights] of every edge that reads a given wire.  Pure
+     derived data — ignored by [structural_equal] and not persisted. *)
+  mutable fanout : fanout option;
+}
+
+and fanout = {
+  fan_off : ivec;  (* num_wires + 1 *)
+  (* Per fanout slot, the reading edge resolved to what [update]
+     actually needs: the owning segment and the edge weight.  Storing
+     the resolution (instead of the raw pool position) keeps the
+     per-edge cost of a flip at two sequential loads — a binary search
+     for the owning segment on every touched edge dominated update
+     latency before this. *)
+  fan_seg : ivec;  (* owning segment id, length pool_edges *)
+  fan_weight : ivec;  (* edge weight, length pool_edges *)
 }
 
 let of_circuit (c : Circuit.t) =
@@ -232,6 +249,7 @@ let of_circuit (c : Circuit.t) =
     kern = [||];
     k_gates = 0;
     k_segs = 0;
+    fanout = None;
   }
 
 let circuit t = Lazy.force t.circuit
@@ -650,6 +668,7 @@ let of_arena ?pool ?(domains = 1) ?(kernels = true) (a : Builder.arena) =
     kern;
     k_gates = !k_gates;
     k_segs = !k_segs;
+    fanout = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -750,6 +769,335 @@ let run ?(check = false) ?pool ?(domains = 1) t inputs =
     outputs;
     firings = Array.fold_left ( + ) 0 level_firings;
     level_firings;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (dirty-cone) evaluation                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Streaming workloads (edge flips on a held graph) change a handful of
+   input bits between evaluations.  A [session] keeps the whole wire
+   state of the last evaluation plus per-segment cached sums and firing
+   cuts; [update] walks the transposed CSR from the flipped wires and
+   re-decides only the segments whose inputs actually changed, level by
+   level.  The cone collapses as soon as a level's firing set is
+   unchanged — no segment downstream is ever touched (the Crossbow
+   incremental-instantiation idiom: extend the live instance, never
+   rebuild). *)
+
+let fanout_index t =
+  match t.fanout with
+  | Some f -> f
+  | None ->
+      let nedges = pool_edges t in
+      let nw = t.num_wires in
+      let off = ba_create (nw + 1) in
+      Bigarray.Array1.fill off 0;
+      for e = 0 to nedges - 1 do
+        let w = bget t.pool_wires e in
+        bset off (w + 1) (bget off (w + 1) + 1)
+      done;
+      for w = 1 to nw do
+        bset off w (bget off w + bget off (w - 1))
+      done;
+      (* Owning segment of each pool slot, linear in pool order: the
+         last segment whose edge range starts at or before the slot
+         (empty segments share their successor's offset and sit before
+         it, so advancing while the next offset fits picks the real
+         owner). *)
+      let nsegs = Array.length t.seg_off in
+      let slot_seg = ba_create nedges in
+      let s = ref 0 in
+      for e = 0 to nedges - 1 do
+        while !s + 1 < nsegs && Array.unsafe_get t.seg_off (!s + 1) <= e do
+          incr s
+        done;
+        bset slot_seg e !s
+      done;
+      let seg = ba_create nedges in
+      let wgt = ba_create nedges in
+      let cur = ba_create (nw + 1) in
+      Bigarray.Array1.blit off cur;
+      for e = 0 to nedges - 1 do
+        let w = bget t.pool_wires e in
+        let c = bget cur w in
+        bset seg c (bget slot_seg e);
+        bset wgt c (bget t.pool_weights e);
+        bset cur w (c + 1)
+      done;
+      let f = { fan_off = off; fan_seg = seg; fan_weight = wgt } in
+      t.fanout <- Some f;
+      f
+
+let seg_sum ~check t values s =
+  let off = Array.unsafe_get t.seg_off s in
+  let fan = Array.unsafe_get t.seg_fan s in
+  let sum = ref 0 in
+  if check then
+    for i = off to off + fan - 1 do
+      if Bytes.unsafe_get values (bget t.pool_wires i) <> '\000' then
+        sum := Checked.add !sum (bget t.pool_weights i)
+    done
+  else
+    for i = off to off + fan - 1 do
+      if Bytes.unsafe_get values (bget t.pool_wires i) <> '\000' then
+        sum := !sum + bget t.pool_weights i
+    done;
+  !sum
+
+(* Firing-prefix length within gate range [glo, ghi) under weighted sum
+   [sum] (thresholds ascend within a segment). *)
+let seg_cut t ~glo ~ghi sum =
+  let a = ref glo and b = ref ghi in
+  while !a < !b do
+    let mid = (!a + !b) lsr 1 in
+    if bget t.g_threshold mid <= sum then a := mid + 1 else b := mid
+  done;
+  !a - glo
+
+(* Per-segment session state, interleaved 4 ints (32 bytes) per segment
+   so that touching a segment in the hot flip path costs at most one
+   cache line, not one miss per parallel array (the scattered layout
+   dominated update latency before this):
+     base+0  cached weighted sum
+     base+1  bracket low   — the cut is unchanged while lo <= sum
+     base+2  bracket high  — ... and sum < hi
+     base+3  level lsl 1 lor queued-dirty bit for the in-flight update
+   The firing-prefix length (cut) is only read by the sweep — two
+   orders of magnitude fewer touches than the flip path — and lives in
+   a side array to keep the hot stride at a half line. *)
+type session = {
+  ss_t : t;
+  ss_check : bool;
+  ss_values : Bytes.t;  (* last-known value of every wire *)
+  ss_st : ivec;  (* 4 * num_segments, layout above *)
+  ss_cut : int array;  (* per segment: firing-prefix length *)
+  ss_lf : int array;  (* per level: cached firing count *)
+  ss_queue : Intvec.t array;  (* per level: queued dirty segment ids *)
+  ss_out : ivec;  (* scratch: crossing segment ids from the C touch loop *)
+  ss_wires : ivec;  (* scratch: staged wire flips, wire lsl 1 lor value *)
+  mutable ss_nwires : int;  (* staged flips pending a flush *)
+  mutable ss_updates : int;
+  mutable ss_flips : int;
+  mutable ss_dirty_segs : int;
+  mutable ss_dirty_gates : int;
+}
+
+(* The per-edge delta loop lives in C (session_stubs.c) so it can issue
+   software prefetches for the random state-array lines; the box this
+   targets is latency-bound on exactly that access.  Wire flips are
+   staged into [ss_wires] (values bytes written eagerly so duplicate
+   delta entries still cancel) and flushed a level at a time, giving
+   the stub enough edges in one call to keep many misses in flight.
+   The stub appends bracket-crossing segment ids to [ss_out]; the
+   level-queue distribution stays here.  No allocation, no callbacks,
+   no exceptions on the C side. *)
+external session_touch_many_stub :
+  ivec -> ivec -> ivec -> ivec -> ivec -> int -> ivec -> int
+  = "tcmm_session_touch_many_byte" "tcmm_session_touch_many"
+[@@noalloc]
+
+(* The cut is unchanged exactly while the sum stays inside
+   [thr(glo + cut - 1), thr(glo + cut)) — refresh after any cut move.
+   The open ends use integer sentinels a real sum never escapes. *)
+let set_bracket t st base ~glo ~ghi cut =
+  bset st (base + 1)
+    (if cut = 0 then min_int else bget t.g_threshold (glo + cut - 1));
+  bset st (base + 2)
+    (if glo + cut >= ghi then max_int else bget t.g_threshold (glo + cut))
+
+let session ?(check = false) t inputs =
+  let values = prep_values t inputs in
+  ignore (fanout_index t : fanout);
+  let nsegs = Array.length t.seg_off in
+  let st = ba_create (4 * max nsegs 1) in
+  Bigarray.Array1.fill st 0;
+  let ss_cut = Array.make (max nsegs 1) 0 in
+  let ss_lf = Array.make t.levels 0 in
+  for l = 0 to t.levels - 1 do
+    let fired = ref 0 in
+    for s = t.level_segs.(l) to t.level_segs.(l + 1) - 1 do
+      let glo = t.seg_gates.(s) and ghi = t.seg_gates.(s + 1) in
+      let sum = seg_sum ~check t values s in
+      let cut = seg_cut t ~glo ~ghi sum in
+      let base = s lsl 2 in
+      bset st (base + 0) sum;
+      bset st (base + 3) (l lsl 1);
+      set_bracket t st base ~glo ~ghi cut;
+      ss_cut.(s) <- cut;
+      for g = glo to glo + cut - 1 do
+        Bytes.unsafe_set values (bget t.g_wire g) '\001'
+      done;
+      fired := !fired + cut
+    done;
+    ss_lf.(l) <- !fired
+  done;
+  {
+    ss_t = t;
+    ss_check = check;
+    ss_values = values;
+    ss_st = st;
+    ss_cut;
+    ss_lf;
+    ss_queue = Array.init (max t.levels 1) (fun _ -> Intvec.create ());
+    ss_out = ba_create (max nsegs 1);
+    ss_wires = ba_create (max (Bytes.length values) 1);
+    ss_nwires = 0;
+    ss_updates = 0;
+    ss_flips = 0;
+    ss_dirty_segs = 0;
+    ss_dirty_gates = 0;
+  }
+
+let session_result ss =
+  let t = ss.ss_t in
+  {
+    Simulator.values = ss.ss_values;
+    outputs =
+      Array.map (fun w -> Bytes.unsafe_get ss.ss_values w <> '\000') t.outputs;
+    firings = Array.fold_left ( + ) 0 ss.ss_lf;
+    level_firings = Array.copy ss.ss_lf;
+  }
+
+let session_inputs ss =
+  Array.init ss.ss_t.num_inputs (fun i ->
+      Bytes.unsafe_get ss.ss_values i <> '\000')
+
+(* Flip wire [w] to [v]: delta-adjust every segment reading it through
+   the transposed index, and queue only the segments whose sum left its
+   firing-cut bracket — a segment whose cut cannot have moved is never
+   swept at all.  Readers sit at strictly later levels than the writer
+   (depths increase along edges), so a flip raised while level [l] is
+   swept only ever queues levels > l.  Checked sessions skip the delta
+   bookkeeping and queue every reader: their dirty segments are
+   recomputed from the pool during the sweep, keeping overflow
+   behaviour identical to a from-scratch checked run. *)
+let touch_wire ss f w v =
+  Bytes.unsafe_set ss.ss_values w (if v then '\001' else '\000');
+  if ss.ss_check then begin
+    let st = ss.ss_st in
+    let queue = ss.ss_queue in
+    let lo = bget f.fan_off w and hi = bget f.fan_off (w + 1) in
+    for i = lo to hi - 1 do
+      let s = bget f.fan_seg i in
+      let base = s lsl 2 in
+      let lvd = bget st (base + 3) in
+      if lvd land 1 = 0 then begin
+        bset st (base + 3) (lvd lor 1);
+        Intvec.push (Array.unsafe_get queue (lvd lsr 1)) s
+      end
+    done
+  end
+  else begin
+    let n = ss.ss_nwires in
+    bset ss.ss_wires n ((w lsl 1) lor Bool.to_int v);
+    ss.ss_nwires <- n + 1
+  end
+
+(* Run the staged wire flips through the C touch loop and queue the
+   bracket-crossing segments by level.  A wire is staged at most once
+   between flushes: delta entries are deduplicated against the value
+   bytes, and within one level sweep each gate wire changes at most
+   once. *)
+let flush_touches ss f =
+  let n = ss.ss_nwires in
+  if n > 0 then begin
+    ss.ss_nwires <- 0;
+    let st = ss.ss_st in
+    let queue = ss.ss_queue in
+    let out = ss.ss_out in
+    let m =
+      session_touch_many_stub st f.fan_off f.fan_seg f.fan_weight ss.ss_wires n
+        out
+    in
+    for k = 0 to m - 1 do
+      let s = bget out k in
+      let lvd = bget st ((s lsl 2) + 3) in
+      Intvec.push (Array.unsafe_get queue (lvd lsr 1)) s
+    done
+  end
+
+let update ss delta =
+  let t = ss.ss_t in
+  let f = fanout_index t in
+  ss.ss_updates <- ss.ss_updates + 1;
+  Array.iter
+    (fun (i, v) ->
+      if i < 0 || i >= t.num_inputs then
+        invalid_arg
+          (Printf.sprintf "Packed.update: wire %d is not an input (inputs: %d)"
+             i t.num_inputs);
+      if Bytes.unsafe_get ss.ss_values i <> '\000' <> v then begin
+        ss.ss_flips <- ss.ss_flips + 1;
+        touch_wire ss f i v
+      end)
+    delta;
+  flush_touches ss f;
+  (* Sweep the queued segments level by level.  Only segments whose sum
+     crossed a threshold are ever queued, so the sweep re-decides the
+     cut, patches the level firing count, and propagates the changed
+     gate wires; when no level queues anything further the cone has
+     collapsed — the early exit is structural, not a test. *)
+  let st = ss.ss_st in
+  for l = 0 to t.levels - 1 do
+    let q = ss.ss_queue.(l) in
+    let n = Intvec.length q in
+    if n > 0 then begin
+      ss.ss_dirty_segs <- ss.ss_dirty_segs + n;
+      for k = 0 to n - 1 do
+        let s = Intvec.get q k in
+        let base = s lsl 2 in
+        bset st (base + 3) (bget st (base + 3) land lnot 1);
+        let glo = Array.unsafe_get t.seg_gates s in
+        let ghi = Array.unsafe_get t.seg_gates (s + 1) in
+        ss.ss_dirty_gates <- ss.ss_dirty_gates + ghi - glo;
+        let sum =
+          if ss.ss_check then begin
+            let sum = seg_sum ~check:true t ss.ss_values s in
+            bset st (base + 0) sum;
+            sum
+          end
+          else bget st (base + 0)
+        in
+        let cut = seg_cut t ~glo ~ghi sum in
+        let old = Array.unsafe_get ss.ss_cut s in
+        if cut <> old then begin
+          Array.unsafe_set ss.ss_cut s cut;
+          set_bracket t st base ~glo ~ghi cut;
+          ss.ss_lf.(l) <- ss.ss_lf.(l) + cut - old;
+          if cut > old then
+            for g = glo + old to glo + cut - 1 do
+              touch_wire ss f (bget t.g_wire g) true
+            done
+          else
+            for g = glo + cut to glo + old - 1 do
+              touch_wire ss f (bget t.g_wire g) false
+            done
+        end
+      done;
+      Intvec.clear q;
+      flush_touches ss f
+    end
+  done;
+  session_result ss
+
+type session_stats = {
+  su_updates : int;
+  su_flips : int;
+  su_dirty_segments : int;
+  su_dirty_gates : int;
+  su_segments : int;
+  su_gates : int;
+}
+
+let session_stats ss =
+  {
+    su_updates = ss.ss_updates;
+    su_flips = ss.ss_flips;
+    su_dirty_segments = ss.ss_dirty_segs;
+    su_dirty_gates = ss.ss_dirty_gates;
+    su_segments = Array.length ss.ss_t.seg_off;
+    su_gates = ss.ss_t.num_gates;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -1755,6 +2103,7 @@ let load ?(kernels = true) ?(recompile = false) s =
       kern;
       k_gates = !k_gates;
       k_segs = !k_segs;
+      fanout = None;
     }
   with
   | t -> Ok t

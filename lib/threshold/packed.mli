@@ -110,6 +110,68 @@ val run :
     sequential loop.  The result is bit-identical to
     [Simulator.run (circuit t) inputs] in every field. *)
 
+(** {1 Incremental evaluation}
+
+    Streaming workloads (a client holding a graph and sending edge
+    flips) change a handful of input bits between evaluations.  A
+    session keeps the full wire state of its last evaluation plus, per
+    segment, the cached weighted sum, the firing cut, and the threshold
+    bracket the sum must leave for the cut to move.  {!update}
+    delta-adjusts the sums of every reading segment through the
+    transposed (wire → reading edges) CSR index — a batched C loop that
+    keeps many state-line misses in flight — but queues only the
+    segments whose sum crossed its bracket; the sweep then re-decides
+    those level by level, propagating changed gate wires downward until
+    no level queues anything further.  A [~check:true] session instead
+    queues every reader and recomputes dirty sums by the overflow-checked
+    CSR walk, keeping overflow behaviour identical to a from-scratch
+    checked run.  Results are bit-identical to a from-scratch {!run} in
+    [outputs], [firings] and [level_firings] — the differential fuzzer
+    checks this on every intermediate state of random flip sequences. *)
+
+type session
+(** Mutable incremental-evaluation state over one compiled circuit.  A
+    session must not be shared by concurrent updates.  Creating the
+    first session on a [t] builds (and memoizes on [t]) the transposed
+    fanout index — O(pool edges) once. *)
+
+val session : ?check:bool -> t -> bool array -> session
+(** [session t inputs] evaluates [inputs] from scratch and captures the
+    state.  [check] (default [false]) makes this and every subsequent
+    {!update} overflow-checked; a raised [Checked.Overflow] leaves the
+    session unusable.  Raises [Invalid_argument] on a wrongly-sized
+    input vector. *)
+
+val update : session -> (int * bool) array -> Simulator.result
+(** [update s delta] sets input wire [i] to [v] for each [(i, v)] of
+    [delta] (entries equal to the current value are no-ops; duplicates
+    apply in order) and propagates through the dirty cone.  The
+    returned [values] buffer {b aliases} the session state — valid only
+    until the next [update]; [outputs], [firings] and [level_firings]
+    are fresh.  Raises [Invalid_argument] if an index is not an input
+    wire. *)
+
+val session_result : session -> Simulator.result
+(** The current state as a result, without applying a delta (same
+    aliasing as {!update}). *)
+
+val session_inputs : session -> bool array
+(** Copy of the session's current input bits. *)
+
+(** Cumulative counters since session creation: how much of the circuit
+    the updates actually re-decided — [su_dirty_gates] vs
+    [su_updates * su_gates] is the dirty-gate ratio the server reports. *)
+type session_stats = {
+  su_updates : int;
+  su_flips : int;  (** input bits that actually changed *)
+  su_dirty_segments : int;
+  su_dirty_gates : int;
+  su_segments : int;  (** segments in the circuit *)
+  su_gates : int;  (** gates in the circuit *)
+}
+
+val session_stats : session -> session_stats
+
 (** {1 Batched evaluation}
 
     [run_batch] evaluates a whole batch of input vectors in {b one}

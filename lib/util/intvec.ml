@@ -33,6 +33,7 @@ let set t i x =
   check t i "set";
   t.data.(i) <- x
 
+let clear t = t.len <- 0
 let to_array t = Array.sub t.data 0 t.len
 
 let fold_left f acc t =

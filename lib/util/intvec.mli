@@ -19,6 +19,11 @@ val push_array : t -> int array -> unit
 val get : t -> int -> int
 (** Raises [Invalid_argument] when out of bounds. *)
 
+val clear : t -> unit
+(** Resets the length to 0, keeping the capacity — the incremental
+    evaluator drains and refills its per-level dirty queues on every
+    update, so dropping the storage would churn the allocator. *)
+
 val set : t -> int -> int -> unit
 val to_array : t -> int array
 val fold_left : ('a -> int -> 'a) -> 'a -> t -> 'a

@@ -30,6 +30,7 @@ let sample_case =
     signed = true;
     tau = -3;
     seed = 42;
+    flips = [];
   }
 
 let test_case_roundtrip () =
@@ -42,10 +43,21 @@ let test_case_roundtrip () =
       sample_case;
       { sample_case with Ck.Case.kind = Ck.Case.Matmul; signed = false; tau = 0 };
       { sample_case with Ck.Case.algo = "naive-2"; schedule = "uniform-2" };
+      {
+        sample_case with
+        Ck.Case.entry_bits = 1;
+        signed = false;
+        flips = [ [ (0, 1); (0, 1) ]; [ (2, 3) ] ];
+      };
     ]
 
 let prop_case_roundtrip =
   S.qcheck_case ~count:100 "generated cases round-trip" Ck.Fuzz.gen (fun c ->
+      Ck.Case.of_string (Ck.Case.to_string c) = Ok c)
+
+let prop_incremental_case_roundtrip =
+  S.qcheck_case ~count:100 "incremental cases round-trip"
+    Ck.Fuzz.gen_incremental (fun c ->
       Ck.Case.of_string (Ck.Case.to_string c) = Ok c)
 
 let test_case_rejects_garbage () =
@@ -274,13 +286,58 @@ let test_shrink_requires_failure () =
     Alcotest.fail "expected invalid_arg"
   with Invalid_argument _ -> ()
 
+let test_incremental_fuzz_smoke () =
+  let o = Ck.Fuzz.run_incremental ~seed:7 ~cases:8 () in
+  S.check_int "all cases ran" 8 o.Ck.Fuzz.tested;
+  (match o.Ck.Fuzz.failures with
+  | [] -> ()
+  | f :: _ ->
+      Alcotest.fail
+        (Format.asprintf "%a: %s" Ck.Case.pp f.Ck.Fuzz.case f.Ck.Fuzz.message));
+  Ck.Oracle.clear_cache ()
+
+let test_incremental_adversarial_cases () =
+  (* The two corners the seeded corpus pins: a flip-then-unflip batch
+     whose delta must be a structural no-op, and a flip that lands the
+     trace value exactly on tau (a stale cached sum would misreport the
+     output on either side of the boundary). *)
+  let base =
+    {
+      sample_case with
+      Ck.Case.entry_bits = 1;
+      signed = false;
+      tau = 1;
+      flips = [ [ (0, 1); (0, 1) ]; [ (1, 2) ]; [ (0, 1); (0, 1) ] ];
+    }
+  in
+  (match Ck.Oracle.check base with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("no-op delta: " ^ e));
+  let final =
+    Tcmm_graph.Graph.flip_edges (Ck.Case.graph base)
+      (List.concat base.Ck.Case.flips)
+  in
+  let boundary =
+    {
+      base with
+      Ck.Case.tau =
+        T.Trace_circuit.reference (Tcmm_graph.Graph.adjacency final);
+    }
+  in
+  (match Ck.Oracle.check boundary with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("threshold boundary: " ^ e));
+  Ck.Oracle.clear_cache ()
+
 let test_server_fuzz_smoke () =
-  let o =
+  let o, oi =
     Ck.Harness.with_loopback_server (fun cl ->
-        Ck.Fuzz.run_server ~seed:5 ~cases:3 cl)
+        ( Ck.Fuzz.run_server ~seed:5 ~cases:3 cl,
+          Ck.Fuzz.run_server_incremental ~seed:5 ~cases:3 cl ))
   in
   S.check_int "all cases ran" 3 o.Ck.Fuzz.tested;
-  match o.Ck.Fuzz.failures with
+  S.check_int "all incremental cases ran" 3 oi.Ck.Fuzz.tested;
+  match o.Ck.Fuzz.failures @ oi.Ck.Fuzz.failures with
   | [] -> ()
   | f :: _ ->
       Alcotest.fail
@@ -299,6 +356,7 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_case_roundtrip;
           Alcotest.test_case "rejects garbage" `Quick test_case_rejects_garbage;
           prop_case_roundtrip;
+          prop_incremental_case_roundtrip;
         ] );
       ( "corpus",
         [
@@ -324,6 +382,9 @@ let () =
       ( "fuzz",
         [
           Alcotest.test_case "in-process smoke" `Slow test_fuzz_smoke;
+          Alcotest.test_case "incremental smoke" `Slow test_incremental_fuzz_smoke;
+          Alcotest.test_case "incremental adversarial corners" `Slow
+            test_incremental_adversarial_cases;
           Alcotest.test_case "shrink requires failure" `Quick test_shrink_requires_failure;
         ] );
     ]

@@ -160,6 +160,168 @@ let test_expected_formulas () =
   Alcotest.(check (float 1e-9)) "wedges" (3. *. 120. *. 0.01)
     (Generate.expected_wedges_er ~n:10 ~p:0.1)
 
+(* Naive references the generator properties are checked against:
+   triangle/wedge counts straight off the adjacency matrix. *)
+let triangles_naive g =
+  let a = Graph.adjacency g in
+  let n = Graph.num_vertices g in
+  let c = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      for k = j + 1 to n - 1 do
+        if Matrix.get a i j = 1 && Matrix.get a j k = 1 && Matrix.get a i k = 1
+        then incr c
+      done
+    done
+  done;
+  !c
+
+let wedges_naive g =
+  let n = Graph.num_vertices g in
+  let w = ref 0 in
+  for v = 0 to n - 1 do
+    let d = Graph.degree g v in
+    w := !w + (d * (d - 1) / 2)
+  done;
+  !w
+
+let random_generated rng =
+  let n = 4 + Prng.int rng ~bound:8 in
+  if Prng.bool rng then Generate.erdos_renyi rng ~n ~p:(Prng.float rng)
+  else
+    Generate.blocked_community rng ~blocks:(1 + Prng.int rng ~bound:3)
+      ~block_size:(2 + Prng.int rng ~bound:4)
+      ~p_in:(0.5 +. (0.5 *. Prng.float rng))
+      ~p_out:(0.2 *. Prng.float rng)
+
+let prop_generators_wellformed =
+  S.qcheck_case ~count:100 "ER/BTER adjacency symmetric with zero diagonal"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let g = random_generated (Prng.create ~seed) in
+      let a = Graph.adjacency g in
+      let n = Graph.num_vertices g in
+      let ok = ref (Matrix.rows a = n && Matrix.cols a = n) in
+      for i = 0 to n - 1 do
+        ok := !ok && Matrix.get a i i = 0;
+        for j = 0 to n - 1 do
+          let v = Matrix.get a i j in
+          ok := !ok && (v = 0 || v = 1) && v = Matrix.get a j i
+        done
+      done;
+      (* of_adjacency re-validates shape and must round-trip. *)
+      !ok && Graph.edges (Graph.of_adjacency a) = Graph.edges g)
+
+let prop_generators_references_agree =
+  S.qcheck_case ~count:60 "ER/BTER triangle and wedge references agree"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let g = random_generated (Prng.create ~seed) in
+      Triangles.count g = triangles_naive g
+      && Triangles.count g = Triangles.count_via_trace g
+      && Triangles.wedges g = wedges_naive g)
+
+(* ------------------------------------------------------------------ *)
+(* Edge-flip streams                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_flip_edges_basic () =
+  let g = Graph.of_edges ~n:4 [ (0, 1) ] in
+  let g' = Graph.flip_edges g [ (1, 0); (2, 3) ] in
+  S.check_bool "removed" false (Graph.has_edge g' 0 1);
+  S.check_bool "added" true (Graph.has_edge g' 2 3);
+  (* Flip-then-unflip is a structural no-op. *)
+  let g'' = Graph.flip_edges g [ (2, 3); (3, 2) ] in
+  Alcotest.(check (list (pair int int))) "no-op" (Graph.edges g) (Graph.edges g'');
+  try
+    ignore (Graph.flip_edges g [ (1, 1) ]);
+    Alcotest.fail "expected invalid_arg"
+  with Invalid_argument _ -> ()
+
+let prop_flip_edges_involutive =
+  S.qcheck_case ~count:60 "flipping a set twice restores the graph"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let g = random_generated rng in
+      let n = Graph.num_vertices g in
+      let flips =
+        List.init
+          (1 + Prng.int rng ~bound:6)
+          (fun _ ->
+            let i = Prng.int rng ~bound:n in
+            let j = (i + 1 + Prng.int rng ~bound:(n - 1)) mod n in
+            (i, j))
+      in
+      let once = Graph.flip_edges g flips in
+      let twice = Graph.flip_edges once (List.rev flips) in
+      Graph.edges twice = Graph.edges g)
+
+let test_stream_delta_wires () =
+  let g = Graph.empty 4 in
+  let b = Tcmm_threshold.Builder.create () in
+  let layout = Tcmm.Encode.alloc b ~n:4 ~entry_bits:1 ~signed:false in
+  let w_ij, w_ji = Stream.edge_wires ~layout g 1 2 in
+  S.check_int "A[1][2] wire" ((1 * 4) + 2) w_ij;
+  S.check_int "A[2][1] wire" ((2 * 4) + 1) w_ji;
+  let g', d = Stream.delta ~layout g [ (1, 2); (2, 1) ] in
+  S.check_bool "flip-then-unflip graph" true (Graph.edges g' = Graph.edges g);
+  Alcotest.(check (array (pair int bool)))
+    "delta toggles both mirror wires, in order"
+    [| (w_ij, true); (w_ji, true); (w_ji, false); (w_ij, false) |]
+    d;
+  try
+    ignore (Stream.delta ~layout (Graph.empty 5) [ (0, 1) ]);
+    Alcotest.fail "expected invalid_arg (size mismatch)"
+  with Invalid_argument _ -> ()
+
+(* Stream deltas drive an incremental trace-circuit session: after every
+   flip batch the session must agree with a from-scratch packed run and
+   with the combinatorial triangle count. *)
+let test_stream_incremental_trace () =
+  let rng = Prng.create ~seed:77 in
+  let n = 8 in
+  let g = ref (Generate.erdos_renyi rng ~n ~p:0.4) in
+  let tau = 6 * Triangles.count !g in
+  let built =
+    Tcmm.Trace_circuit.build ~algo:Tcmm_fastmm.Instances.strassen
+      ~schedule:(Tcmm.Level_schedule.uniform ~steps:2 ~l:3) ~entry_bits:1 ~tau
+      ~n ()
+  in
+  let layout = built.Tcmm.Trace_circuit.layout in
+  let p = Tcmm.Trace_circuit.pack built in
+  let ss =
+    Tcmm_threshold.Packed.session p
+      (Tcmm.Trace_circuit.encode_input built (Graph.adjacency !g))
+  in
+  for _ = 1 to 12 do
+    let flips =
+      List.init
+        (1 + Prng.int rng ~bound:3)
+        (fun _ ->
+          let i = Prng.int rng ~bound:n in
+          let j = (i + 1 + Prng.int rng ~bound:(n - 1)) mod n in
+          (i, j))
+    in
+    let g', d = Stream.delta ~layout !g flips in
+    g := g';
+    let r = Tcmm_threshold.Packed.update ss d in
+    let input = Tcmm.Trace_circuit.encode_input built (Graph.adjacency !g) in
+    S.check_bool "session inputs track the graph" true
+      (Tcmm_threshold.Packed.session_inputs ss = input);
+    let full = Tcmm_threshold.Packed.run p input in
+    S.check_bool "outputs = from-scratch" true
+      (r.Tcmm_threshold.Simulator.outputs = full.Tcmm_threshold.Simulator.outputs);
+    S.check_int "firings = from-scratch" full.Tcmm_threshold.Simulator.firings
+      r.Tcmm_threshold.Simulator.firings;
+    S.check_bool "level firings = from-scratch" true
+      (r.Tcmm_threshold.Simulator.level_firings
+      = full.Tcmm_threshold.Simulator.level_firings);
+    S.check_bool "decides 6*triangles >= tau" true
+      (r.Tcmm_threshold.Simulator.outputs
+      = [| 6 * Triangles.count !g >= tau |])
+  done
+
 (* ------------------------------------------------------------------ *)
 (* End-to-end: trace circuit counts triangles                         *)
 (* ------------------------------------------------------------------ *)
@@ -246,6 +408,16 @@ let () =
           Alcotest.test_case "ER edge count" `Quick test_er_edge_count_plausible;
           Alcotest.test_case "blocked community" `Quick test_blocked_community_structure;
           Alcotest.test_case "expectation formulas" `Quick test_expected_formulas;
+          prop_generators_wellformed;
+          prop_generators_references_agree;
+        ] );
+      ( "stream",
+        [
+          Alcotest.test_case "flip edges" `Quick test_flip_edges_basic;
+          prop_flip_edges_involutive;
+          Alcotest.test_case "delta wires" `Quick test_stream_delta_wires;
+          Alcotest.test_case "incremental trace session" `Quick
+            test_stream_incremental_trace;
         ] );
       ( "end_to_end",
         [

@@ -50,6 +50,14 @@ let gen_request =
       return P.Ping;
       return P.Shutdown;
       return P.Fleet;
+      map2 (fun s a -> P.Open_session (s, a)) gen_spec gen_matrix;
+      (let* sid = int_range 0 1000 in
+       let+ delta =
+         array_size (int_range 0 8)
+           (map2 (fun w v -> (w, v)) (int_range 0 4096) bool)
+       in
+       P.Update (sid, delta));
+      map (fun sid -> P.Close_session sid) (int_range 0 1000);
     ]
 
 let gen_stats =
@@ -119,7 +127,13 @@ let gen_metrics =
   let* store_loads = int_range 0 100000 in
   let* store_saves = int_range 0 100000 in
   let* store_invalid = int_range 0 1000 in
-  let+ worker_id = int_range 0 64 in
+  let* worker_id = int_range 0 64 in
+  let* sessions_opened = int_range 0 1000 in
+  let* sessions_active = int_range 0 64 in
+  let* sessions_evicted = int_range 0 1000 in
+  let* session_updates = int_range 0 100000 in
+  let* session_dirty_gates = int_range 0 1000000 in
+  let+ session_gates = int_range 0 10000000 in
   {
     P.uptime_seconds;
     connections_accepted;
@@ -148,6 +162,12 @@ let gen_metrics =
     store_saves;
     store_invalid;
     worker_id;
+    sessions_opened;
+    sessions_active;
+    sessions_evicted;
+    session_updates;
+    session_dirty_gates;
+    session_gates;
   }
 
 let gen_fleet_worker =
@@ -179,6 +199,16 @@ let gen_response =
       return P.Overloaded;
       return P.Deadline_exceeded;
       map (fun ws -> P.Fleet_result ws) (list_size (int_range 0 8) gen_fleet_worker);
+      (let* so_sid = int_range 0 1000 in
+       let* so_fires = bool in
+       let+ so_firings = int_range 0 1000000 in
+       P.Session_opened { P.so_sid; so_fires; so_firings });
+      (let* ur_fires = bool in
+       let* ur_firings = int_range 0 1000000 in
+       let* ur_dirty_gates = int_range 0 100000 in
+       let+ ur_gates = int_range 0 1000000 in
+       P.Update_result { P.ur_fires; ur_firings; ur_dirty_gates; ur_gates });
+      return P.Session_closed;
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -209,6 +239,8 @@ let sample_metrics ~worker_id =
       accepted = 1; shed = 0; deadline_expired = 0; eval_failures = 0;
       slow_client_drops = 0; kernel_gates = 0; fallback_gates = 0;
       store_loads = 0; store_saves = 0; store_invalid = 0; worker_id;
+      sessions_opened = 0; sessions_active = 0; sessions_evicted = 0;
+      session_updates = 0; session_dirty_gates = 0; session_gates = 0;
     })
 
 let test_decode_rejects_truncation () =
@@ -263,21 +295,23 @@ let test_decode_rejects_garbage () =
   | Ok _ -> Alcotest.fail "accepted unknown tag"
   | Error _ -> ())
 
-(* v5 appended the fleet fields at the tail of the wire layout, so a v4
-   peer's Metrics_result payload is byte-for-byte the v5 encoding minus
-   the trailing [worker_id] word.  Synthesize one by stripping those 8
-   bytes and patching the version byte: the decoder must accept it and
-   zero the fleet field while preserving everything else.  The v5-only
-   tags (Fleet / Fleet_result) must conversely be rejected when carried
-   in a frame that claims version 4. *)
+(* Each version appends its metrics fields at the tail of the wire
+   layout, so an older peer's Metrics_result payload is byte-for-byte
+   the current encoding minus the trailing words: v6 added the six
+   session counters (48 bytes), v5 the [worker_id] word before them.
+   Synthesize older payloads by stripping those bytes and patching the
+   version byte: the decoder must accept them and zero the newer fields
+   while preserving everything else.  Version-gated tags must
+   conversely be rejected when carried in a frame that claims an older
+   version. *)
 let patch_version v payload =
   let b = Bytes.of_string payload in
   Bytes.set b 0 (Char.chr v);
   Bytes.to_string b
 
 let test_v4_compat () =
-  let v5 = P.encode_response (P.Metrics_result (sample_metrics ~worker_id:7)) in
-  let v4 = patch_version 4 (String.sub v5 0 (String.length v5 - 8)) in
+  let v6 = P.encode_response (P.Metrics_result (sample_metrics ~worker_id:7)) in
+  let v4 = patch_version 4 (String.sub v6 0 (String.length v6 - (8 * 7))) in
   (match P.decode_response v4 with
   | Ok (P.Metrics_result m) ->
       S.check_int "v4 metrics decode zeroes worker_id" 0 m.P.worker_id;
@@ -309,6 +343,56 @@ let test_v4_compat () =
       S.check_bool "Fleet_result round-trips at v5" true
         (P.equal_response r (P.Fleet_result ws))
   | Error e -> Alcotest.fail ("Fleet_result round-trip failed: " ^ e)
+
+(* v6 gating: a v5 peer's metrics payload (the six session counters
+   stripped off the tail) must decode with those counters zeroed, and
+   the session tags must be rejected in v5 frames while round-tripping
+   at v6. *)
+let test_v5_compat () =
+  let v6 = P.encode_response (P.Metrics_result (sample_metrics ~worker_id:3)) in
+  let v5 = patch_version 5 (String.sub v6 0 (String.length v6 - (8 * 6))) in
+  (match P.decode_response v5 with
+  | Ok (P.Metrics_result m) ->
+      S.check_int "v5 metrics decode zeroes session counters" 0
+        (m.P.sessions_opened + m.P.sessions_active + m.P.sessions_evicted
+        + m.P.session_updates + m.P.session_dirty_gates + m.P.session_gates);
+      S.check_bool "v5 metrics decode preserves the other fields" true
+        (P.equal_response (P.Metrics_result m)
+           (P.Metrics_result (sample_metrics ~worker_id:3)))
+  | Ok _ -> Alcotest.fail "v5 metrics payload decoded to a different response"
+  | Error e -> Alcotest.fail ("v5 metrics payload rejected: " ^ e));
+  let spec =
+    { P.kind = P.Triangles; algo = "strassen"; schedule = "uniform:2x3";
+      d = 0; n = 4; entry_bits = 1; signed = false; tau = 6 }
+  in
+  List.iter
+    (fun req ->
+      (match P.decode_request (patch_version 5 (P.encode_request req)) with
+      | Ok _ -> Alcotest.fail "session request accepted in a v5 frame"
+      | Error _ -> ());
+      match P.decode_request (P.encode_request req) with
+      | Ok req' ->
+          S.check_bool "session request round-trips at v6" true
+            (P.equal_request req req')
+      | Error e -> Alcotest.fail ("session request round-trip failed: " ^ e))
+    [ P.Open_session (spec, F.Matrix.init ~rows:4 ~cols:4 (fun _ _ -> 0));
+      P.Update (1, [| (0, true); (3, false) |]);
+      P.Close_session 1 ];
+  List.iter
+    (fun resp ->
+      (match P.decode_response (patch_version 5 (P.encode_response resp)) with
+      | Ok _ -> Alcotest.fail "session response accepted in a v5 frame"
+      | Error _ -> ());
+      match P.decode_response (P.encode_response resp) with
+      | Ok r ->
+          S.check_bool "session response round-trips at v6" true
+            (P.equal_response resp r)
+      | Error e -> Alcotest.fail ("session response round-trip failed: " ^ e))
+    [ P.Session_opened { P.so_sid = 1; so_fires = true; so_firings = 42 };
+      P.Update_result
+        { P.ur_fires = false; ur_firings = 12; ur_dirty_gates = 3;
+          ur_gates = 100 };
+      P.Session_closed ]
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)
@@ -589,11 +673,12 @@ let test_circuit_cache_interleaved_eviction () =
    port, so concurrent test runs can never collide — and hand the
    already-listening socket to the forked child.  The listening backlog
    also makes the post-fork connect race-free: no bind-retry loop. *)
-let with_server f =
+let with_server ?(max_sessions = 16) f =
   let cfg =
     {
       (Tcmm_server.Server.default_config (P.Tcp ("127.0.0.1", 0))) with
       cache_capacity = 4;
+      max_sessions;
     }
   in
   let listen_fd, addr = Tcmm_server.Server.bind cfg in
@@ -695,6 +780,97 @@ let test_loopback_trace_and_errors () =
           S.check_bool "cache populated" true (m.P.cache.P.size >= 1)
       | _ -> Alcotest.fail "metrics request failed")
 
+(* Streaming session end-to-end: open a triangles session, drive it
+   with edge flips computed by Stream.delta, and check every reply
+   against the graph's exact triangle count — plus the stateless
+   Run_triangles path on the same daemon, LRU eviction at the session
+   cap, and the v6 metrics counters. *)
+let test_loopback_streaming_session () =
+  with_server ~max_sessions:2 (fun _addr cl ->
+      let module G = Tcmm_graph in
+      let n = 4 in
+      let spec =
+        { P.kind = P.Triangles; algo = "strassen"; schedule = "thm45";
+          d = 2; n; entry_bits = 1; signed = false; tau = 1 }
+      in
+      (* The trace circuit allocates its input layout first, so the
+         client reconstitutes it from the spec alone: base 0, one
+         unsigned wire per adjacency entry. *)
+      let layout =
+        T.Encode.restore ~rows:n ~cols:n ~entry_bits:1 ~signed:false ~base:0
+      in
+      let g = ref (G.Graph.empty n) in
+      let sid =
+        match
+          Tcmm_server.Client.open_session cl spec (G.Graph.adjacency !g)
+        with
+        | Ok s ->
+            S.check_bool "empty graph has no triangle" false s.P.so_fires;
+            s.P.so_sid
+        | Error e -> Alcotest.fail e
+      in
+      let flip flips =
+        let g', delta = G.Stream.delta ~layout !g flips in
+        g := g';
+        let expect = G.Triangles.count !g >= 1 in
+        match Tcmm_server.Client.update cl ~sid delta with
+        | Ok u ->
+            S.check_bool "served = reference" expect u.P.ur_fires;
+            S.check_bool "dirty cone bounded" true
+              (u.P.ur_dirty_gates >= 0 && u.P.ur_dirty_gates <= u.P.ur_gates)
+        | Error e -> Alcotest.fail e
+      in
+      (* Build a triangle edge by edge, then break and rebuild it. *)
+      flip [ (0, 1) ];
+      flip [ (1, 2) ];
+      flip [ (0, 2) ];
+      (* flip-then-unflip in one delta is a structural no-op *)
+      flip [ (2, 3); (2, 3) ];
+      flip [ (0, 1) ];
+      (* the stateless batched path on the same daemon agrees *)
+      (match
+         Tcmm_server.Client.request cl
+           (P.Run_triangles (spec, G.Graph.adjacency !g))
+       with
+      | Ok (P.Triangles_result (fires, _)) ->
+          S.check_bool "stateless agrees" (G.Triangles.count !g >= 1) fires
+      | _ -> Alcotest.fail "triangles request failed");
+      (* unknown sid / malformed delta answer Error; the session and
+         the connection both survive *)
+      (match Tcmm_server.Client.update cl ~sid:9999 [| (0, true) |] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "update on unknown session succeeded");
+      (match Tcmm_server.Client.update cl ~sid [| (-1, true) |] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "out-of-range delta accepted");
+      flip [ (0, 1) ];
+      (* LRU: cap 2 — two more opens evict the original session, which
+         was last touched before either of them *)
+      let open2 () =
+        match
+          Tcmm_server.Client.open_session cl spec (G.Graph.adjacency !g)
+        with
+        | Ok s -> s.P.so_sid
+        | Error e -> Alcotest.fail e
+      in
+      let sid2 = open2 () in
+      let _sid3 = open2 () in
+      (match Tcmm_server.Client.update cl ~sid [||] with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "evicted session still answered");
+      (match Tcmm_server.Client.close_session cl ~sid:sid2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      match Tcmm_server.Client.request cl P.Metrics with
+      | Ok (P.Metrics_result m) ->
+          S.check_int "sessions opened" 3 m.P.sessions_opened;
+          S.check_int "sessions active" 1 m.P.sessions_active;
+          S.check_int "sessions evicted" 1 m.P.sessions_evicted;
+          S.check_int "updates counted" 6 m.P.session_updates;
+          S.check_bool "dirty work is a fraction of full sweeps" true
+            (m.P.session_dirty_gates <= m.P.session_gates)
+      | _ -> Alcotest.fail "metrics request failed")
+
 let () =
   Alcotest.run "tcmm_server"
     [
@@ -706,6 +882,7 @@ let () =
             test_decode_rejects_truncation;
           Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
           Alcotest.test_case "v4 compatibility" `Quick test_v4_compat;
+          Alcotest.test_case "v5 compatibility" `Quick test_v5_compat;
         ] );
       ( "framing",
         [
@@ -735,5 +912,7 @@ let () =
             test_loopback_matmul_bit_identical;
           Alcotest.test_case "trace, errors, metrics" `Quick
             test_loopback_trace_and_errors;
+          Alcotest.test_case "streaming session" `Quick
+            test_loopback_streaming_session;
         ] );
     ]

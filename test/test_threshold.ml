@@ -834,6 +834,72 @@ let prop_packed_batch_matches_reference =
                    = r.Simulator.level_firings)
               batch))
 
+(* Incremental sessions: every intermediate state of a random flip
+   sequence must match a from-scratch run exactly — outputs, firings,
+   level_firings, and every wire value. *)
+let session_agrees ~check c input rng =
+  let p = Packed.of_circuit c in
+  let ss = Packed.session ~check p input in
+  let current = Array.copy input in
+  let n = Array.length input in
+  let steps = 1 + Tcmm_util.Prng.int rng ~bound:8 in
+  let ok = ref (same_result (Packed.run ~check p current) (Packed.session_result ss)) in
+  for _ = 1 to steps do
+    let k = 1 + Tcmm_util.Prng.int rng ~bound:(max n 1) in
+    let delta =
+      Array.init k (fun _ ->
+          let i = Tcmm_util.Prng.int rng ~bound:n in
+          (* Mix real flips, no-op rewrites and duplicate indices. *)
+          let v =
+            if Tcmm_util.Prng.int rng ~bound:4 = 0 then current.(i)
+            else not current.(i)
+          in
+          (i, v))
+    in
+    Array.iter (fun (i, v) -> current.(i) <- v) delta;
+    let r_inc = Packed.update ss delta in
+    let r_full = Packed.run ~check p current in
+    ok := !ok && same_result r_full r_inc;
+    ok := !ok && Packed.session_inputs ss = current
+  done;
+  !ok
+
+let prop_packed_session_matches_full =
+  S.qcheck_case ~count:120 "incremental update = from-scratch run (exactly)"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input, rng = random_packed_circuit seed in
+      if c.Circuit.num_inputs = 0 then true
+      else session_agrees ~check:false c input rng)
+
+let prop_packed_session_checked_matches_full =
+  S.qcheck_case ~count:60 "checked incremental update = from-scratch run"
+    QCheck2.Gen.(int_range 0 1000000)
+    (fun seed ->
+      let c, input, rng = random_packed_circuit seed in
+      if c.Circuit.num_inputs = 0 then true
+      else session_agrees ~check:true c input rng)
+
+let test_packed_session_rejects_bad_delta () =
+  let b = Builder.create () in
+  let ins = Builder.add_inputs b 2 in
+  let g =
+    Builder.add_gate b ~inputs:ins ~weights:[| 1; 1 |] ~threshold:2
+  in
+  Builder.output b g;
+  let p = Packed.of_circuit (Builder.finalize b) in
+  let ss = Packed.session p [| false; false |] in
+  (try
+     ignore (Packed.update ss [| (2, true) |]);
+     Alcotest.fail "expected invalid_arg"
+   with Invalid_argument _ -> ());
+  (* Flip-then-unflip in one delta: a structural no-op. *)
+  let r = Packed.update ss [| (0, true); (0, false) |] in
+  S.check_bool "no-op outputs" true (r.Simulator.outputs = [| false |]);
+  let stats = Packed.session_stats ss in
+  S.check_int "two flips counted" 2 stats.Packed.su_flips;
+  S.check_int "gates" 1 stats.Packed.su_gates
+
 (* > 62 lanes forces the multi-word batch path; the wide shared layer with
    few distinct weights drives the grouped-popcount accumulation. *)
 let test_packed_batch_multiword () =
@@ -1134,5 +1200,9 @@ let () =
           prop_packed_matches_reference;
           prop_packed_parallel_matches_reference;
           prop_packed_batch_matches_reference;
+          Alcotest.test_case "session delta validation" `Quick
+            test_packed_session_rejects_bad_delta;
+          prop_packed_session_matches_full;
+          prop_packed_session_checked_matches_full;
         ] );
     ]
