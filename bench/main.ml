@@ -256,6 +256,7 @@ let e18 () =
                   entry_bits = 1;
                   signed = false;
                   tau = 0;
+                  kronpow = false;
                 }
               in
               (* Warm the circuit cache so both passes measure serving,
@@ -421,7 +422,7 @@ let e21 () =
   let clock = Tcmm_util.Clock.now in
   let spec =
     { P.kind = P.Matmul; algo = "strassen"; schedule = "thm45"; d = 2;
-      n = 4; entry_bits = 2; signed = true; tau = 0 }
+      n = 4; entry_bits = 2; signed = true; tau = 0; kronpow = false }
   in
   let start_server cfg =
     let listen_fd, addr = Sv.Server.bind cfg in
@@ -905,7 +906,7 @@ let e25 ?(workers = 8) ?(per_client = 400) ?(seq_requests = 300)
   let clock = Tcmm_util.Clock.now in
   let spec =
     { P.kind = P.Matmul; algo = "strassen"; schedule = "thm45"; d = 2;
-      n = 4; entry_bits = 2; signed = true; tau = 0 }
+      n = 4; entry_bits = 2; signed = true; tau = 0; kronpow = false }
   in
   let rand_pair rng =
     let a = F.Matrix.random rng ~rows:4 ~cols:4 ~lo:(-3) ~hi:3 in
@@ -1318,6 +1319,121 @@ let e26 ?(updates = 32) ?(verify_updates = 12)
       [ "family"; "flips/update"; "update latency"; "dirty gates"; "speedup" ]
     ~rows
 
+(* E27: the algorithm/workload matrix — exact circuit accounting for
+   every bundled fast-matmul algorithm (Strassen, Winograd's 15-product
+   variant, the Kronecker-squared <4,4,4;49>, and Laderman's <3,3,3;23>)
+   with and without the Kronecker-power linear-layer factoring.  All
+   builds are count-only (the accounting is exact either way); value
+   identity of the kronpow arm is locked down separately by the test
+   suite and the differential fuzzer, so this bench charts size only:
+   gates/edges/depth per (algorithm, N) against the sparsity profile's
+   gamma^d — the paper's Section 3 knob that drives the subcubic wire
+   exponent — plus the measured kronpow reduction.  The kronpow arm is
+   gated: its admissibility rule promises gates and edges never exceed
+   the flat build, and any regression fails the bench hard.  Recorded as
+   BENCH_algos.json. *)
+let e27 ?(entry_bits = 6) ?(d = 2)
+    ?(matrix =
+      [
+        ("strassen", [ 8; 16 ]);
+        ("winograd", [ 8; 16 ]);
+        ("strassen^2", [ 16 ]);
+        ("laderman", [ 9; 27 ]);
+      ]) () =
+  Bench_util.header
+    "E27: algorithm matrix (gates/edges per algo x N, kronpow arms, gamma^d)";
+  let module Th = Tcmm_threshold in
+  let rows =
+    List.concat_map
+      (fun (name, ns) ->
+        let algo =
+          List.find
+            (fun a -> a.F.Bilinear.name = name)
+            (F.Instances.all ())
+        in
+        let prof = F.Sparsity.analyze algo in
+        let gamma = prof.F.Sparsity.overall.F.Sparsity.gamma in
+        let gamma_d = Float.pow gamma (float_of_int d) in
+        List.map
+          (fun n ->
+            let schedule =
+              T.Level_schedule.resolve ~algo ~name:"thm45" ~d ~n
+            in
+            let build ~kronpow =
+              let t0 = Unix.gettimeofday () in
+              let b =
+                T.Matmul_circuit.build ~mode:Th.Builder.Count_only ~kronpow
+                  ~algo ~schedule ~entry_bits ~n ()
+              in
+              (T.Matmul_circuit.stats b, Unix.gettimeofday () -. t0)
+            in
+            let flat, t_flat = build ~kronpow:false in
+            let kron, t_kron = build ~kronpow:true in
+            if
+              kron.Th.Stats.gates > flat.Th.Stats.gates
+              || kron.Th.Stats.edges > flat.Th.Stats.edges
+            then
+              failwith
+                (Printf.sprintf
+                   "e27: kronpow grew %s N=%d (gates %d -> %d, edges %d -> %d)"
+                   name n flat.Th.Stats.gates kron.Th.Stats.gates
+                   flat.Th.Stats.edges kron.Th.Stats.edges);
+            let reduction part whole =
+              1. -. (float_of_int part /. float_of_int (max 1 whole))
+            in
+            let edge_red = reduction kron.Th.Stats.edges flat.Th.Stats.edges in
+            Bench_util.record ~experiment:"e27"
+              [
+                ("algo", Bench_util.Str name);
+                ("n", Bench_util.Int n);
+                ("d", Bench_util.Int d);
+                ("entry_bits", Bench_util.Int entry_bits);
+                ("omega", Bench_util.Float prof.F.Sparsity.omega);
+                ("gamma", Bench_util.Float gamma);
+                ("gamma_pow_d", Bench_util.Float gamma_d);
+                ("flat_gates", Bench_util.Int flat.Th.Stats.gates);
+                ("flat_edges", Bench_util.Int flat.Th.Stats.edges);
+                ("flat_depth", Bench_util.Int flat.Th.Stats.depth);
+                ("kronpow_gates", Bench_util.Int kron.Th.Stats.gates);
+                ("kronpow_edges", Bench_util.Int kron.Th.Stats.edges);
+                ("kronpow_depth", Bench_util.Int kron.Th.Stats.depth);
+                ( "kronpow_gate_reduction",
+                  Bench_util.Float
+                    (reduction kron.Th.Stats.gates flat.Th.Stats.gates) );
+                ("kronpow_edge_reduction", Bench_util.Float edge_red);
+                ("flat_build_seconds", Bench_util.Float t_flat);
+                ("kronpow_build_seconds", Bench_util.Float t_kron);
+              ];
+            [
+              Tb.Str name;
+              Tb.Int n;
+              Tb.Float gamma;
+              Tb.Float gamma_d;
+              Tb.Int flat.Th.Stats.gates;
+              Tb.Int flat.Th.Stats.edges;
+              Tb.Int kron.Th.Stats.edges;
+              Tb.Str
+                (Printf.sprintf "%.3f%% (-%d)" (100. *. edge_red)
+                   (flat.Th.Stats.edges - kron.Th.Stats.edges));
+              Tb.Str
+                (Printf.sprintf "%d+%d" flat.Th.Stats.depth
+                   (kron.Th.Stats.depth - flat.Th.Stats.depth));
+            ])
+          ns)
+      matrix
+  in
+  Tb.print
+    ~title:
+      (Printf.sprintf
+         "matmul thm45 d=%d, %d-bit entries: flat vs kronpow accounting"
+         d entry_bits)
+    ~header:
+      [
+        "algo"; "N"; "gamma"; "gamma^d"; "gates"; "edges"; "kron edges";
+        "edge cut"; "depth+kron";
+      ]
+    ~rows
+
 (* e18, e19, e21, and e25 fork server children; they are listed before
    e17 because Unix.fork is forbidden after e17 has spawned worker
    domains. *)
@@ -1371,6 +1487,19 @@ let all_experiments =
       fun () ->
         e26 ~updates:12 ~verify_updates:8 ~batch_sizes:[ 1; 16 ] ~gate:3.0 ()
     );
+    (* e27 neither forks nor spawns domains (count-only builds); the
+       smoke variant trims the matrix to one size per algorithm but
+       keeps the kronpow never-grows gate. *)
+    ("e27", fun () -> e27 ());
+    ( "e27-smoke",
+      fun () ->
+        e27
+          ~matrix:
+            [
+              ("strassen", [ 8 ]); ("winograd", [ 8 ]); ("strassen^2", [ 16 ]);
+              ("laderman", [ 9 ]);
+            ]
+          () );
   ]
 
 let () =
@@ -1383,7 +1512,7 @@ let () =
         List.filter
           (fun e ->
             e <> "e20-smoke" && e <> "e23-smoke" && e <> "e24-smoke"
-            && e <> "e25-smoke" && e <> "e26-smoke")
+            && e <> "e25-smoke" && e <> "e26-smoke" && e <> "e27-smoke")
           (List.map fst all_experiments)
   in
   List.iter
@@ -1402,7 +1531,7 @@ let () =
   Bench_util.write_json
     ~only:(fun e ->
       e <> "e18" && e <> "e19" && e <> "e20" && e <> "e21" && e <> "e23"
-      && e <> "e24" && e <> "e25" && e <> "e26")
+      && e <> "e24" && e <> "e25" && e <> "e26" && e <> "e27")
     "BENCH_simulator.json";
   Bench_util.write_json ~only:(fun e -> e = "e18") "BENCH_server.json";
   Bench_util.write_json ~only:(fun e -> e = "e19") "BENCH_check.json";
@@ -1412,4 +1541,5 @@ let () =
   Bench_util.write_json ~only:(fun e -> e = "e24") "BENCH_store.json";
   Bench_util.write_json ~only:(fun e -> e = "e25") "BENCH_fleet.json";
   Bench_util.write_json ~only:(fun e -> e = "e26") "BENCH_incremental.json";
+  Bench_util.write_json ~only:(fun e -> e = "e27") "BENCH_algos.json";
   print_endline "done."

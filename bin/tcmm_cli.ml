@@ -8,6 +8,7 @@
      triangles   - threshold-query triangles of a random graph
      serve       - run the circuit-serving daemon
      request     - query a running daemon
+     infer       - served im2col convolution, checked against the direct conv
      compile     - batch-build circuits into a persistent artifact store
      artifacts   - list / inspect / verify / gc an artifact store *)
 
@@ -103,6 +104,15 @@ let no_kernels_term =
           "Disable the template-specialized evaluation kernels: every segment \
            runs through the generic CSR loop (bit-identical results, only \
            slower).")
+
+let kronpow_term =
+  Arg.(
+    value & flag
+    & info [ "kronpow" ]
+        ~doc:
+          "Build the linear layers with the Kronecker-power sum-tree \
+           factoring (value-identical circuits, fewer gates and edges at \
+           large n, +2 depth per factored step).")
 
 let profile_eval_term =
   Arg.(
@@ -416,6 +426,7 @@ let stream_cmd =
             entry_bits = 1;
             signed = false;
             tau;
+            kronpow = false;
           }
         in
         let addr =
@@ -797,7 +808,7 @@ let fleet_status_cmd =
     Term.(const run $ control_term)
 
 let request_cmd =
-  let run addr what algo n d bits sched signed tau seed count =
+  let run addr what algo n d bits sched signed tau kronpow seed count =
     let algo_name = algo.F.Bilinear.name in
     let kind =
       match what with
@@ -806,7 +817,8 @@ let request_cmd =
       | _ -> P.Matmul
     in
     let spec =
-      { P.kind; algo = algo_name; schedule = sched; d; n; entry_bits = bits; signed; tau }
+      { P.kind; algo = algo_name; schedule = sched; d; n; entry_bits = bits;
+        signed; tau; kronpow }
     in
     let fail msg =
       Format.eprintf "tcmm request: %s@." msg;
@@ -877,7 +889,8 @@ let request_cmd =
                             P.Run_trace (spec, m)
                         | P.Triangles ->
                             let m = F.Matrix.random rng ~rows:n ~cols:n ~lo ~hi in
-                            P.Run_triangles (spec, m))
+                            P.Run_triangles (spec, m)
+                        | P.Conv -> assert false (* [kind] above never maps to it *))
                   in
                   let t0 = Unix.gettimeofday () in
                   List.iter (Tcmm_server.Client.send cl) reqs;
@@ -938,13 +951,176 @@ let request_cmd =
     (Cmd.info "request" ~doc:"Query a running tcmm serve daemon.")
     Term.(
       const run $ addr_term $ what_term $ algo_term $ n_term $ d_term $ bits_term
-      $ schedule_term $ signed_term $ tau_term $ seed_term $ count_term)
+      $ schedule_term $ signed_term $ tau_term $ kronpow_term $ seed_term
+      $ count_term)
+
+(* Served convolutional inference: draw a deterministic image/kernel
+   workload, ship it to a running daemon as im2col jobs over the matmul
+   circuit (protocol v7 [Run_conv]), and demand every returned score
+   plane be bit-identical to the direct convolution computed locally. *)
+let infer_cmd =
+  let module Cn = Tcmm_convnet in
+  let run addr algo d bits sched signed kronpow q stride channels height width
+      nkernels n_opt seed count =
+    let fail msg =
+      Format.eprintf "tcmm infer: %s@." msg;
+      1
+    in
+    let rng = Tcmm_util.Prng.create ~seed in
+    let hi = (1 lsl bits) - 1 in
+    let lo = if signed then -hi else 0 in
+    let kernels =
+      Array.init nkernels (fun _ ->
+          Cn.Image.random (Tcmm_util.Prng.split rng) ~channels ~height:q
+            ~width:q ~lo ~hi)
+    in
+    let images =
+      List.init count (fun _ ->
+          Cn.Image.random (Tcmm_util.Prng.split rng) ~channels ~height ~width
+            ~lo ~hi)
+    in
+    let cspec = { Cn.Im2col.q; stride } in
+    match
+      match images with
+      | [] -> Error "count must be at least 1"
+      | image :: _ -> (
+          match Cn.Conv.circuit_size cspec image kernels ~t_dim:algo.F.Bilinear.t_dim with
+          | n -> Ok n
+          | exception Invalid_argument msg -> Error msg)
+    with
+    | Error msg -> fail msg
+    | Ok auto_n -> (
+        let n = Option.value n_opt ~default:auto_n in
+        let spec =
+          { P.kind = P.Conv; algo = algo.F.Bilinear.name; schedule = sched; d;
+            n; entry_bits = bits; signed; tau = 0; kronpow }
+        in
+        let jobs =
+          List.map
+            (fun image ->
+              ( image,
+                { P.cj_q = q; cj_stride = stride; cj_image = image;
+                  cj_kernels = kernels } ))
+            images
+        in
+        match P.parse_addr addr with
+        | Error msg -> fail msg
+        | Ok a -> (
+            try
+              Tcmm_server.Client.with_connection a (fun cl ->
+                  let t0 = Unix.gettimeofday () in
+                  (* Pipelined like `tcmm request`: the whole burst goes out
+                     before any reply is read, so the server batches the
+                     underlying matmul evaluations. *)
+                  List.iter
+                    (fun (_, job) ->
+                      Tcmm_server.Client.send cl (P.Run_conv (spec, job)))
+                    jobs;
+                  let correct = ref 0 and errors = ref 0 in
+                  List.iter
+                    (fun (image, _) ->
+                      match Tcmm_server.Client.recv cl with
+                      | Ok (P.Conv_result (scores, _firings)) ->
+                          if scores = Cn.Conv.direct cspec image kernels then
+                            incr correct
+                          else (
+                            incr errors;
+                            Format.eprintf
+                              "served scores differ from direct convolution@.")
+                      | Ok (P.Error msg) ->
+                          incr errors;
+                          Format.eprintf "server error: %s@." msg
+                      | Ok _ ->
+                          incr errors;
+                          Format.eprintf "unexpected response@."
+                      | Error msg ->
+                          incr errors;
+                          Format.eprintf "transport error: %s@." msg)
+                    jobs;
+                  let dt = Unix.gettimeofday () -. t0 in
+                  let out_h, out_w =
+                    Cn.Im2col.output_dims cspec (List.hd images)
+                  in
+                  Format.printf
+                    "%d/%d served inferences bit-identical to direct \
+                     convolution (%d errors) in %.3fs — %d %dx%dx%d \
+                     image(s), %d %dx%d kernel(s), %dx%d score planes via \
+                     n=%d circuit%s@."
+                    !correct count !errors dt count channels height width
+                    nkernels q q out_h out_w n
+                    (if kronpow then " (kronpow)" else "");
+                  if !correct = count then 0 else 1)
+            with Unix.Unix_error (e, _, _) ->
+              fail
+                (Printf.sprintf "cannot reach server at %s: %s" addr
+                   (Unix.error_message e))))
+  in
+  let q_term =
+    Arg.(
+      value & opt int 2
+      & info [ "q" ] ~docv:"Q" ~doc:"Kernel side length (q x q kernels).")
+  in
+  let stride_term =
+    Arg.(value & opt int 1 & info [ "stride" ] ~docv:"S" ~doc:"Patch stride.")
+  in
+  let channels_term =
+    Arg.(
+      value & opt int 1
+      & info [ "channels" ] ~docv:"C" ~doc:"Image (and kernel) channels.")
+  in
+  let height_term =
+    Arg.(value & opt int 4 & info [ "height" ] ~docv:"H" ~doc:"Image height.")
+  in
+  let width_term =
+    Arg.(value & opt int 4 & info [ "width" ] ~docv:"W" ~doc:"Image width.")
+  in
+  let kernels_term =
+    Arg.(
+      value & opt int 2
+      & info [ "kernels" ] ~docv:"K" ~doc:"Number of kernels (score planes).")
+  in
+  let n_term =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Circuit dimension (default: the smallest power of the \
+             algorithm's T that fits the im2col operands).")
+  in
+  let count_term =
+    Arg.(
+      value & opt int 1
+      & info [ "c"; "count" ] ~docv:"K"
+          ~doc:"Images to infer in one pipelined burst.")
+  in
+  let signed_term =
+    Arg.(value & flag & info [ "signed" ] ~doc:"Signed pixel/weight values.")
+  in
+  Cmd.v
+    (Cmd.info "infer"
+       ~doc:
+         "Run convolutional inference through a tcmm serve daemon: each \
+          image's im2col patch matrix is multiplied against the kernel \
+          matrix by the served threshold circuit, and every returned score \
+          plane is checked bit-identical against the direct convolution.")
+    Term.(
+      const run $ addr_term $ algo_term $ d_term $ bits_term $ schedule_term
+      $ signed_term $ kronpow_term $ q_term $ stride_term $ channels_term
+      $ height_term $ width_term $ kernels_term $ n_term $ seed_term
+      $ count_term)
 
 let check_cmd =
-  let run cases incremental_cases mutants seed skip_server corpus json_path =
+  let run cases incremental_cases mutants seed skip_server corpus algo json_path
+      =
+    (match algo with
+    | Some a when Result.is_error (algo_by_name a) ->
+        Format.eprintf "tcmm check: unknown algorithm %S@." a;
+        exit 2
+    | _ -> ());
     let report =
       Tcmm_check.Harness.run ~seed ~cases ?incremental_cases ~mutants
-        ~include_server:(not skip_server) ?corpus_dir:corpus ()
+        ~include_server:(not skip_server) ?corpus_dir:corpus ?algo ()
     in
     Tcmm_check.Harness.print_report report;
     (match json_path with
@@ -991,6 +1167,16 @@ let check_cmd =
             "Regression corpus directory: replay every stored case first, \
              persist newly shrunk counterexamples.")
   in
+  let algo_slice_term =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:
+            "Pin every certificate and fuzz case to one algorithm (its \
+             sizes follow the algorithm's power ladder) — the CI \
+             per-algorithm slice.")
+  in
   let json_term =
     Arg.(
       value
@@ -1005,7 +1191,7 @@ let check_cmd =
           oracle (exit 1 on any violation or a kill rate below 95%).")
     Term.(
       const run $ cases_term $ incremental_cases_term $ mutants_term $ seed_term
-      $ skip_server_term $ corpus_term $ json_term)
+      $ skip_server_term $ corpus_term $ algo_slice_term $ json_term)
 
 let chaos_cmd =
   let run requests fault_rate workers seed json_path =
@@ -1076,7 +1262,7 @@ let store_dir_term =
    (or another `compile`) finds the artifacts warm.  A spec already in
    the store is loaded (and verified) rather than rebuilt. *)
 let compile_cmd =
-  let run store_dir what algo ns d bits sched signed tau no_templates
+  let run store_dir what algo ns d bits sched signed tau kronpow no_templates
       no_kernels verbose =
     Logs.set_reporter (Logs.format_reporter ());
     Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning));
@@ -1100,7 +1286,7 @@ let compile_cmd =
           (fun n ->
             let spec =
               { P.kind; algo = algo.F.Bilinear.name; schedule = sched; d; n;
-                entry_bits = bits; signed; tau }
+                entry_bits = bits; signed; tau; kronpow }
             in
             let key = Tcmm_server.Circuit_cache.key spec in
             match Tcmm_server.Circuit_cache.find_or_build cc spec with
@@ -1155,8 +1341,8 @@ let compile_cmd =
           becomes a single mmap load instead of a multi-second build.")
     Term.(
       const run $ store_dir_term $ what_term $ algo_term $ ns_term $ d_term
-      $ bits_term $ schedule_term $ signed_term $ tau_term $ no_templates_term
-      $ no_kernels_term $ verbose_term)
+      $ bits_term $ schedule_term $ signed_term $ tau_term $ kronpow_term
+      $ no_templates_term $ no_kernels_term $ verbose_term)
 
 let artifacts_cmd =
   let module A = Tcmm_store.Artifact in
@@ -1261,5 +1447,5 @@ let () =
           [
             algorithms_cmd; stats_cmd; verify_cmd; triangles_cmd; stream_cmd;
             export_cmd; orbit_cmd; serve_cmd; fleet_status_cmd; request_cmd;
-            compile_cmd; artifacts_cmd; check_cmd; chaos_cmd;
+            infer_cmd; compile_cmd; artifacts_cmd; check_cmd; chaos_cmd;
           ]))

@@ -1,7 +1,7 @@
 module F = Tcmm_fastmm
 module Prng = Tcmm_util.Prng
 
-type kind = Trace | Matmul
+type kind = Trace | Matmul | Conv
 
 type t = {
   kind : kind;
@@ -14,13 +14,15 @@ type t = {
   tau : int;
   seed : int;
   flips : (int * int) list list;
+  kronpow : bool;
 }
 
-let kind_name = function Trace -> "trace" | Matmul -> "matmul"
+let kind_name = function Trace -> "trace" | Matmul -> "matmul" | Conv -> "conv"
 
 let kind_of_name = function
   | "trace" -> Ok Trace
   | "matmul" -> Ok Matmul
+  | "conv" -> Ok Conv
   | s -> Error (Printf.sprintf "unknown case kind %S" s)
 
 (* Flip batches as "0-1,2-3;1-2": batches ';'-separated, pairs within a
@@ -67,16 +69,18 @@ let flips_of_string s =
     |> Result.map List.rev
 
 let pp ppf c =
-  Format.fprintf ppf "%s/%s/%s d=%d n=%d bits=%d%s tau=%d seed=%d%s"
+  Format.fprintf ppf "%s/%s/%s d=%d n=%d bits=%d%s tau=%d seed=%d%s%s"
     (kind_name c.kind) c.algo c.schedule c.d c.n c.entry_bits
     (if c.signed then " signed" else "")
     c.tau c.seed
     (if c.flips = [] then "" else " flips=" ^ flips_to_string c.flips)
+    (if c.kronpow then " kronpow" else "")
 
 let build_key c =
-  Printf.sprintf "%s|%s|%s|%d|%d|%d|%b|%d" (kind_name c.kind) c.algo c.schedule
-    c.d c.n c.entry_bits c.signed
-    (match c.kind with Trace -> c.tau | Matmul -> 0)
+  Printf.sprintf "%s|%s|%s|%d|%d|%d|%b|%d%s" (kind_name c.kind) c.algo
+    c.schedule c.d c.n c.entry_bits c.signed
+    (match c.kind with Trace -> c.tau | Matmul | Conv -> 0)
+    (if c.kronpow then "|kronpow" else "")
 
 let algo_of_name name =
   match
@@ -106,6 +110,37 @@ let graph c =
   let rng = Prng.create ~seed:(c.seed + 0x9e3779) in
   Tcmm_graph.Generate.erdos_renyi rng ~n:c.n ~p:0.4
 
+(* The conv leg's workload, scaled so the im2col operands fit the
+   case's [n x n] circuit: a single-channel [side x side] image and two
+   2x2 kernels give P = (side - 1)^2 patches and Q = 4 patch values, so
+   the largest admissible side is [isqrt n + 1] (and [n >= 4] covers
+   Q). *)
+let conv_q = 2
+
+let conv_job c =
+  if c.n < 4 then invalid_arg "Case.conv_job: conv cases need n >= 4";
+  let side =
+    let rec grow s = if (s + 1) * (s + 1) <= c.n then grow (s + 1) else s in
+    grow 1 + 1
+  in
+  let hi = (1 lsl c.entry_bits) - 1 in
+  let lo = if c.signed then -hi else 0 in
+  let rng = Prng.create ~seed:(c.seed + 0x517cc1) in
+  let image =
+    Tcmm_convnet.Image.random rng ~channels:1 ~height:side ~width:side ~lo ~hi
+  in
+  let rng = Prng.split rng in
+  let k0 =
+    Tcmm_convnet.Image.random rng ~channels:1 ~height:conv_q ~width:conv_q ~lo
+      ~hi
+  in
+  let rng = Prng.split rng in
+  let k1 =
+    Tcmm_convnet.Image.random rng ~channels:1 ~height:conv_q ~width:conv_q ~lo
+      ~hi
+  in
+  ({ Tcmm_convnet.Im2col.q = conv_q; stride = 1 }, image, [| k0; k1 |])
+
 let to_string c =
   String.concat "\n"
     ([
@@ -123,6 +158,7 @@ let to_string c =
     (* Written only when present, so pre-incremental corpus files are
        reproduced byte-for-byte. *)
     @ (if c.flips = [] then [] else [ "flips " ^ flips_to_string c.flips ])
+    @ (if c.kronpow then [ "kronpow true" ] else [])
     @ [ "" ])
 
 let of_string s =
@@ -183,6 +219,24 @@ let of_string s =
         | None -> Ok []
         | Some v -> flips_of_string v
       in
-      Ok { kind; algo; schedule; d; n; entry_bits; signed; tau; seed; flips }
+      let* kronpow =
+        match List.assoc_opt "kronpow" pairs with
+        | None -> Ok false
+        | Some _ -> bool_field "kronpow"
+      in
+      Ok
+        {
+          kind;
+          algo;
+          schedule;
+          d;
+          n;
+          entry_bits;
+          signed;
+          tau;
+          seed;
+          flips;
+          kronpow;
+        }
 
 let equal a b = a = b

@@ -18,7 +18,7 @@
     seed 42
     v} *)
 
-type kind = Trace | Matmul
+type kind = Trace | Matmul | Conv
 
 type t = {
   kind : kind;
@@ -37,7 +37,16 @@ type t = {
           the text format means) is a plain one-shot case.  Only
           meaningful for unsigned 1-bit [Trace] cases — the adjacency
           encoding {!Tcmm_graph.Stream} speaks. *)
+  kronpow : bool;
+      (** build the case's circuits with the Kronecker-power
+          linear-circuit optimization ({!Tcmm.Sum_tree}).  [false] (the
+          default, and what a missing [kronpow] line means) is the flat
+          build; a missing line keeps pre-kronpow corpus files
+          byte-identical. *)
 }
+
+val kind_name : kind -> string
+(** ["trace"], ["matmul"], or ["conv"] — the serialized form. *)
 
 val pp : Format.formatter -> t -> unit
 
@@ -55,6 +64,12 @@ val matrix : t -> index:int -> Tcmm_fastmm.Matrix.t
     drawn deterministically from [seed] with entries in
     [[-(2^entry_bits - 1), 2^entry_bits - 1]] (signed) or
     [[0, 2^entry_bits - 1]]. *)
+
+val conv_job : t -> Tcmm_convnet.Im2col.spec * Tcmm_convnet.Image.t * Tcmm_convnet.Image.t array
+(** The conv leg's im2col workload, deterministic in [seed]: a
+    single-channel image and two 2x2 kernels sized so the patch and
+    kernel matrices fit the case's [n x n] circuit.  Raises
+    [Invalid_argument] when [n < 4]. *)
 
 val graph : t -> Tcmm_graph.Graph.t
 (** The incremental leg's base graph: an Erdős–Rényi draw on [n]

@@ -28,7 +28,9 @@ let failures t = List.filter (fun v -> not v.ok) t.verdicts
 
 let verdict name ok fmt = Format.kasprintf (fun detail -> { name; ok; detail }) fmt
 
-let gate_kind = function Case.Trace -> `Trace | Case.Matmul -> `Matmul
+let gate_kind = function
+  | Case.Trace -> `Trace
+  | Case.Matmul | Case.Conv -> `Matmul
 
 let random_matrix rng ~n ~entry_bits ~signed =
   let hi = (1 lsl entry_bits) - 1 in
@@ -173,7 +175,7 @@ let certify ?(samples = 4) ?(seed = 7) ?(materialize_cap = 150_000) spec =
     | Case.Trace ->
         T.Gate_count.trace ~algo ~schedule ~entry_bits:spec.entry_bits
           ~signed_inputs:spec.signed ~n:spec.n ()
-    | Case.Matmul ->
+    | Case.Matmul | Case.Conv ->
         T.Gate_count_matmul.matmul ~algo ~schedule ~entry_bits:spec.entry_bits
           ~signed_inputs:spec.signed ~n:spec.n ()
   in
@@ -192,7 +194,7 @@ let certify ?(samples = 4) ?(seed = 7) ?(materialize_cap = 150_000) spec =
             T.Trace_circuit.encode_input built
               (random_matrix rng ~n:spec.n ~entry_bits:spec.entry_bits
                  ~signed:spec.signed) )
-    | Case.Matmul ->
+    | Case.Matmul | Case.Conv ->
         let built =
           T.Matmul_circuit.build ~mode ~algo ~schedule ~signed_inputs:spec.signed
             ~entry_bits:spec.entry_bits ~n:spec.n ()
@@ -242,7 +244,7 @@ let to_json t =
     (Printf.sprintf
        "\"kind\":\"%s\",\"algo\":\"%s\",\"schedule\":\"%s\",\"d\":%d,\"n\":%d,\
         \"entry_bits\":%d,\"signed\":%b,\"materialized\":%b,\"ok\":%b,"
-       (match t.spec.kind with Case.Trace -> "trace" | Case.Matmul -> "matmul")
+       (Case.kind_name t.spec.kind)
        (json_escape t.spec.algo) (json_escape t.spec.schedule) t.spec.d t.spec.n
        t.spec.entry_bits t.spec.signed t.materialized (ok t));
   Buffer.add_string b
@@ -262,7 +264,7 @@ let to_json t =
 
 let pp ppf t =
   Format.fprintf ppf "%s/%s/%s n=%d: %s"
-    (match t.spec.kind with Case.Trace -> "trace" | Case.Matmul -> "matmul")
+    (Case.kind_name t.spec.kind)
     t.spec.algo t.spec.schedule t.spec.n
     (if ok t then "certified"
      else

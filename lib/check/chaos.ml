@@ -58,6 +58,7 @@ let spec =
     entry_bits = 2;
     signed = true;
     tau = 0;
+    kronpow = false;
   }
 
 let oracle_built =

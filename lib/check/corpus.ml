@@ -13,9 +13,7 @@ let save ~dir ~message (c : Case.t) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let body = Case.to_string c in
   let name =
-    Printf.sprintf "%s-%s.case"
-      (match c.Case.kind with Case.Trace -> "trace" | Case.Matmul -> "matmul")
-      (hash_string body)
+    Printf.sprintf "%s-%s.case" (Case.kind_name c.Case.kind) (hash_string body)
   in
   let path = Filename.concat dir name in
   let comment =

@@ -2,24 +2,40 @@ module T = Tcmm
 module F = Tcmm_fastmm
 module G = Tcmm_graph
 module Th = Tcmm_threshold
+module Cn = Tcmm_convnet
 module P = Tcmm_server.Protocol
 module Client = Tcmm_server.Client
 
 type failure = { case : Case.t; original : Case.t; message : string }
 type outcome = { tested : int; failures : failure list }
 
-(* Generator. Sizes are biased small (shrinking prefers them anyway, and
-   builds are memoized per configuration); tau is frequently pinned to
-   the exact trace value so the comparison boundary itself is fuzzed. *)
+(* Valid circuit dimensions per algorithm: powers of the algorithm's
+   base dimension, biased small (shrinking prefers them anyway, and
+   builds are memoized per configuration). *)
+let sizes_of_algo = function
+  | "laderman" -> [ (3, 3); (1, 9) ]
+  | _ -> [ (3, 2); (4, 4); (1, 8) ]
+
+(* Generator.  The algorithm is drawn first so [n] can range over its
+   valid power ladder; tau is frequently pinned to the exact trace
+   value so the comparison boundary itself is fuzzed. *)
 let gen =
   let open QCheck2.Gen in
-  let* kind = oneofl [ Case.Trace; Case.Matmul ] in
-  let* algo = frequencyl [ (3, "strassen"); (2, "naive-2"); (1, "winograd") ] in
-  let* n = frequencyl [ (3, 2); (4, 4); (1, 8) ] in
+  let* kind = frequencyl [ (3, Case.Trace); (3, Case.Matmul); (1, Case.Conv) ] in
+  let* algo =
+    frequencyl
+      [ (3, "strassen"); (2, "naive-2"); (1, "winograd"); (2, "laderman") ]
+  in
+  let* n = frequencyl (sizes_of_algo algo) in
+  (* The conv leg's Q = 4 patch values need a circuit of n >= 4. *)
+  let n =
+    if kind = Case.Conv && n < 4 then if algo = "laderman" then 9 else 4 else n
+  in
   let* schedule = oneofl [ "direct"; "uniform-2"; "full"; "thm44"; "thm45" ] in
   let* d = int_range 1 3 in
   let* entry_bits = if n >= 8 then return 1 else int_range 1 2 in
   let* signed = bool in
+  let* kronpow = frequencyl [ (3, false); (1, true) ] in
   let* seed = int_range 0 1_000_000 in
   let+ tau_choice = oneofl [ `Zero; `One; `Exact; `Above; `Below ] in
   let base =
@@ -34,10 +50,11 @@ let gen =
       tau = 0;
       seed;
       flips = [];
+      kronpow;
     }
   in
   match kind with
-  | Case.Matmul -> base
+  | Case.Matmul | Case.Conv -> base
   | Case.Trace ->
       let tau =
         match tau_choice with
@@ -57,8 +74,11 @@ let gen =
    wrongly). *)
 let gen_incremental =
   let open QCheck2.Gen in
-  let* algo = frequencyl [ (3, "strassen"); (2, "naive-2"); (1, "winograd") ] in
-  let* n = frequencyl [ (3, 2); (4, 4); (1, 8) ] in
+  let* algo =
+    frequencyl
+      [ (3, "strassen"); (2, "naive-2"); (1, "winograd"); (2, "laderman") ]
+  in
+  let* n = frequencyl (sizes_of_algo algo) in
   let* schedule = oneofl [ "direct"; "uniform-2"; "full"; "thm44"; "thm45" ] in
   let* d = int_range 1 3 in
   let* seed = int_range 0 1_000_000 in
@@ -87,6 +107,7 @@ let gen_incremental =
       tau = 0;
       seed;
       flips;
+      kronpow = false;
     }
   in
   let trace_of g = T.Trace_circuit.reference (G.Graph.adjacency g) in
@@ -123,15 +144,43 @@ let rec shorten_batch = function
   | batch :: rest ->
       Option.map (fun rest -> batch :: rest) (shorten_batch rest)
 
+(* The smallest n a case's kind admits (a conv case's Q = 4 patch
+   values need n >= 4). *)
+let min_n (c : Case.t) = if c.kind = Case.Conv then 4 else 2
+
+(* Shrinking n divides by the algorithm's base dimension (laderman
+   shrinks 9 -> 3, the power-of-2 algorithms halve); switching the
+   algorithm to strassen must also move n onto the power-of-2 ladder. *)
+let shrink_n (c : Case.t) =
+  let t = (Case.algo_of_name c.algo).F.Bilinear.t_dim in
+  let n' = c.n / t in
+  if c.n > t && n' >= min_n c then
+    [ { c with n = n'; flips = clip_flips n' c.flips } ]
+  else []
+
+let shrink_algo (c : Case.t) =
+  if c.algo = "strassen" then []
+  else
+    let n =
+      if (Case.algo_of_name c.algo).F.Bilinear.t_dim <> 2 then
+        (* Nearest power of 2 not above n, floored at the kind's
+           minimum. *)
+        let rec pow2 p = if p * 2 <= c.n then pow2 (p * 2) else p in
+        max (pow2 2) (min_n c)
+      else c.n
+    in
+    [ { c with algo = "strassen"; n; flips = clip_flips n c.flips } ]
+
 let candidates (c : Case.t) =
   List.concat
     [
-      (if c.n > 2 then [ { c with n = c.n / 2; flips = clip_flips (c.n / 2) c.flips } ]
-       else []);
+      shrink_n c;
       (if c.schedule <> "direct" then [ { c with schedule = "direct" } ] else []);
       (if c.signed then [ { c with signed = false } ] else []);
       (if c.entry_bits > 1 then [ { c with entry_bits = 1 } ] else []);
-      (if c.algo <> "strassen" then [ { c with algo = "strassen" } ] else []);
+      shrink_algo c;
+      (if c.kronpow then [ { c with kronpow = false } ] else []);
+      (if c.kind = Case.Conv then [ { c with kind = Case.Matmul } ] else []);
       (if c.kind = Case.Trace && c.tau <> 1 then [ { c with tau = 1 } ] else []);
       (if c.d > 1 then [ { c with d = 1 } ] else []);
       (if c.seed <> 0 then [ { c with seed = 0 }; { c with seed = c.seed / 2 } ]
@@ -168,13 +217,27 @@ let shrink c =
   in
   go c msg0 0
 
-let run_with generator ~seed ~cases =
+(* Pin a generated case to one algorithm (the `tcmm check --algo`
+   slice): n is remapped onto that algorithm's power ladder at a
+   comparable scale, flips clipped accordingly. *)
+let pin_algo algo (c : Case.t) =
+  match algo with
+  | None -> c
+  | Some algo when algo = c.algo -> c
+  | Some algo ->
+      let t = (Case.algo_of_name algo).F.Bilinear.t_dim in
+      let rec ladder n = if n * t <= c.n then ladder (n * t) else n in
+      let n = ladder t in
+      let n = if c.kind = Case.Conv && n < 4 then t * t else n in
+      { c with algo; n; flips = clip_flips n c.flips }
+
+let run_with generator ?algo ~seed ~cases () =
   let rand = Random.State.make [| seed |] in
   let tested = ref 0 and failures = ref [] in
   (try
      for _ = 1 to cases do
        if List.length !failures >= 5 then raise Exit;
-       let c = QCheck2.Gen.generate1 ~rand generator in
+       let c = pin_algo algo (QCheck2.Gen.generate1 ~rand generator) in
        incr tested;
        match Oracle.check c with
        | Ok () -> ()
@@ -185,12 +248,18 @@ let run_with generator ~seed ~cases =
    with Exit -> ());
   { tested = !tested; failures = List.rev !failures }
 
-let run ?(seed = 1) ~cases () = run_with gen ~seed ~cases
-let run_incremental ?(seed = 1) ~cases () = run_with gen_incremental ~seed ~cases
+let run ?(seed = 1) ?algo ~cases () = run_with gen ?algo ~seed ~cases ()
+
+let run_incremental ?(seed = 1) ?algo ~cases () =
+  run_with gen_incremental ?algo ~seed ~cases ()
 
 let spec_of_case (c : Case.t) =
   {
-    P.kind = (match c.kind with Case.Trace -> P.Trace | Case.Matmul -> P.Matmul);
+    P.kind =
+      (match c.kind with
+      | Case.Trace -> P.Trace
+      | Case.Matmul -> P.Matmul
+      | Case.Conv -> P.Conv);
     algo = c.algo;
     schedule = c.schedule;
     d = c.d;
@@ -198,6 +267,7 @@ let spec_of_case (c : Case.t) =
     entry_bits = c.entry_bits;
     signed = c.signed;
     tau = c.tau;
+    kronpow = c.kronpow;
   }
 
 let check_server cl (c : Case.t) =
@@ -224,16 +294,42 @@ let check_server cl (c : Case.t) =
       | Ok (P.Error e) -> Error ("server error: " ^ e)
       | Ok _ -> Error "unexpected response kind"
       | Error e -> Error ("transport: " ^ e))
+  | Case.Conv -> (
+      let cspec, img, kernels = Case.conv_job c in
+      let expected = Cn.Conv.direct cspec img kernels in
+      let job =
+        {
+          P.cj_q = cspec.Cn.Im2col.q;
+          cj_stride = cspec.Cn.Im2col.stride;
+          cj_image = img;
+          cj_kernels = kernels;
+        }
+      in
+      match Client.request cl (P.Run_conv (spec, job)) with
+      | Ok (P.Conv_result (scores, _)) when scores = expected -> Ok ()
+      | Ok (P.Conv_result _) ->
+          Error "served conv scores disagree with direct convolution"
+      | Ok (P.Error e) -> Error ("server error: " ^ e)
+      | Ok _ -> Error "unexpected response kind"
+      | Error e -> Error ("transport: " ^ e))
 
-let run_server ?(seed = 1) ~cases cl =
+let run_server ?(seed = 1) ?algo ~cases cl =
   let rand = Random.State.make [| seed |] in
   let tested = ref 0 and failures = ref [] in
   (try
      for _ = 1 to cases do
        if List.length !failures >= 5 then raise Exit;
-       let c = QCheck2.Gen.generate1 ~rand gen in
-       (* Keep the server's per-request build cost bounded. *)
-       let c = if c.Case.n > 4 then { c with Case.n = 4 } else c in
+       let c = pin_algo algo (QCheck2.Gen.generate1 ~rand gen) in
+       (* Keep the server's per-request build cost bounded; the cap
+          must land on the algorithm's own power ladder (and a conv
+          case needs n >= 4, so laderman conv stays at 9). *)
+       let cap =
+         match (c.Case.algo, c.Case.kind) with
+         | "laderman", Case.Conv -> 9
+         | "laderman", _ -> 3
+         | _ -> 4
+       in
+       let c = if c.Case.n > cap then { c with Case.n = cap } else c in
        incr tested;
        match check_server cl c with
        | Ok () -> ()
@@ -298,17 +394,18 @@ let check_server_incremental cl (c : Case.t) =
       in
       batches 0 c.flips
 
-let run_server_incremental ?(seed = 1) ~cases cl =
+let run_server_incremental ?(seed = 1) ?algo ~cases cl =
   let rand = Random.State.make [| seed |] in
   let tested = ref 0 and failures = ref [] in
   (try
      for _ = 1 to cases do
        if List.length !failures >= 5 then raise Exit;
-       let c = QCheck2.Gen.generate1 ~rand gen_incremental in
+       let c = pin_algo algo (QCheck2.Gen.generate1 ~rand gen_incremental) in
        (* Same build-cost bound as [run_server]. *)
+       let cap = if c.Case.algo = "laderman" then 3 else 4 in
        let c =
-         if c.Case.n > 4 then
-           { c with Case.n = 4; flips = clip_flips 4 c.Case.flips }
+         if c.Case.n > cap then
+           { c with Case.n = cap; flips = clip_flips cap c.Case.flips }
          else c
        in
        incr tested;

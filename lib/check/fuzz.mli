@@ -31,11 +31,13 @@ val shrink : Case.t -> Case.t * string
     Flip-carrying cases additionally shrink their flip sequence
     (dropping batches, then flips within a batch). *)
 
-val run : ?seed:int -> cases:int -> unit -> outcome
+val run : ?seed:int -> ?algo:string -> cases:int -> unit -> outcome
 (** Fuzz the in-process paths ({!Oracle.check}).  Stops early after 5
-    failures. *)
+    failures.  [algo] pins every generated case to that algorithm,
+    remapping [n] onto its power ladder (the `tcmm check --algo`
+    slice). *)
 
-val run_incremental : ?seed:int -> cases:int -> unit -> outcome
+val run_incremental : ?seed:int -> ?algo:string -> cases:int -> unit -> outcome
 (** Like {!run} but drawing from {!gen_incremental}: every case replays
     its flip batches through one {!Tcmm_threshold.Packed.session},
     demanding bit-identity with from-scratch evaluation at every
@@ -53,11 +55,11 @@ val check_server_incremental :
     from-scratch packed evaluation.  The session is closed on exit. *)
 
 val run_server :
-  ?seed:int -> cases:int -> Tcmm_server.Client.t -> outcome
+  ?seed:int -> ?algo:string -> cases:int -> Tcmm_server.Client.t -> outcome
 (** Fuzz a live server connection (no shrinking across the socket — the
     generated case is reported as-is). *)
 
 val run_server_incremental :
-  ?seed:int -> cases:int -> Tcmm_server.Client.t -> outcome
+  ?seed:int -> ?algo:string -> cases:int -> Tcmm_server.Client.t -> outcome
 (** {!check_server_incremental} over {!gen_incremental} draws ([n]
     clamped to 4 like {!run_server}). *)

@@ -22,7 +22,17 @@ let kill_threshold = 0.95
 (* Certification battery                                              *)
 (* ------------------------------------------------------------------ *)
 
-let certify_battery ?materialize_cap () =
+(* Certification sizes per algorithm: powers of the algorithm's base
+   dimension.  Laderman's base-3 ladder stops at 9 — its n = 27 builds
+   are count-only but the DP alone costs minutes there. *)
+let certify_sizes = function "laderman" -> [ 3; 9 ] | _ -> [ 4; 8; 16 ]
+
+let certify_battery ?materialize_cap ?algo:only () =
+  let algos =
+    match only with
+    | None -> [ "strassen"; "naive-2"; "laderman" ]
+    | Some a -> [ a ]
+  in
   let specs = ref [] in
   List.iter
     (fun kind ->
@@ -48,9 +58,9 @@ let certify_battery ?materialize_cap () =
                         tau = 1;
                       }
                       :: !specs)
-                [ 4; 8; 16 ])
+                (certify_sizes algo))
             T.Level_schedule.standard_names)
-        [ "strassen"; "naive-2" ])
+        algos)
     [ Case.Trace; Case.Matmul ];
   List.rev_map (fun spec -> Certify.certify ?materialize_cap spec) !specs
 
@@ -71,6 +81,7 @@ let mutation_subjects () =
       tau;
       seed = 0;
       flips = [];
+      kronpow = false;
     }
   in
   [
@@ -78,6 +89,7 @@ let mutation_subjects () =
     case Case.Trace "naive-2" "uniform-2" 4 ~entry_bits:1 ~signed:false 1;
     case Case.Trace "strassen" "uniform-2" 4 ~entry_bits:2 ~signed:true 0;
     case Case.Matmul "strassen" "direct" 2 ~entry_bits:1 ~signed:false 0;
+    case Case.Trace "laderman" "direct" 3 ~entry_bits:1 ~signed:false 1;
   ]
 
 (* Workload matrices for judging mutants: random draws plus structured
@@ -139,7 +151,7 @@ let subject_circuit_and_inputs (c : Case.t) =
                built.T.Trace_circuit.trace_repr)
       in
       (circuit, inputs, observe)
-  | Case.Matmul ->
+  | Case.Matmul | Case.Conv ->
       let built = Oracle.matmul_built c in
       let circuit = Option.get built.T.Matmul_circuit.circuit in
       let bs = subject_matrices c ~index:1 in
@@ -212,7 +224,7 @@ let replay_corpus dir =
     (Corpus.load_dir dir)
 
 let run ?(seed = 1) ?(cases = 50) ?incremental_cases ?(mutants = 120)
-    ?(include_server = false) ?corpus_dir () =
+    ?(include_server = false) ?corpus_dir ?algo () =
   let incremental_cases = Option.value incremental_cases ~default:cases in
   (* The server legs must run first: they fork, and OCaml forbids
      [Unix.fork] once any domain has ever been spawned — which the
@@ -222,9 +234,11 @@ let run ?(seed = 1) ?(cases = 50) ?incremental_cases ?(mutants = 120)
     if include_server then
       Some
         (with_loopback_server (fun cl ->
-             let plain = Fuzz.run_server ~seed ~cases:(max 10 (cases / 5)) cl in
+             let plain =
+               Fuzz.run_server ~seed ?algo ~cases:(max 10 (cases / 5)) cl
+             in
              let incr =
-               Fuzz.run_server_incremental ~seed:(seed + 4)
+               Fuzz.run_server_incremental ~seed:(seed + 4) ?algo
                  ~cases:(max 10 (incremental_cases / 5))
                  cl
              in
@@ -242,9 +256,11 @@ let run ?(seed = 1) ?(cases = 50) ?incremental_cases ?(mutants = 120)
       (fun (f : Fuzz.failure) -> f.Fuzz.case.Case.flips <> [])
       corpus_failures
   in
-  let certificates = certify_battery () in
-  let fuzz = Fuzz.run ~seed ~cases () in
-  let incremental = Fuzz.run_incremental ~seed:(seed + 1) ~cases:incremental_cases () in
+  let certificates = certify_battery ?algo () in
+  let fuzz = Fuzz.run ~seed ?algo ~cases () in
+  let incremental =
+    Fuzz.run_incremental ~seed:(seed + 1) ?algo ~cases:incremental_cases ()
+  in
   (match corpus_dir with
   | Some dir ->
       List.iter
@@ -298,10 +314,7 @@ let print_report r =
       (List.map
          (fun (c : Certify.t) ->
            [
-             Str
-               (match c.Certify.spec.Certify.kind with
-               | Case.Trace -> "trace"
-               | Case.Matmul -> "matmul");
+             Str (Case.kind_name c.Certify.spec.Certify.kind);
              Str c.Certify.spec.Certify.algo;
              Str c.Certify.spec.Certify.schedule;
              Int c.Certify.spec.Certify.n;

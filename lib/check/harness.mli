@@ -23,11 +23,13 @@ type report = {
 val kill_threshold : float
 (** 0.95 — the minimum acceptable mutant kill rate. *)
 
-val certify_battery : ?materialize_cap:int -> unit -> Certify.t list
-(** Certificates for both bilinear instances (Strassen and naive),
-    all four standard schedules and both circuit kinds across
-    N in {4, 8, 16} (matmul capped at the sizes a count-only build
-    handles quickly). *)
+val certify_battery :
+  ?materialize_cap:int -> ?algo:string -> unit -> Certify.t list
+(** Certificates for the bundled bilinear instances (Strassen, naive,
+    and Laderman), all four standard schedules and both circuit kinds
+    across each algorithm's power ladder (N in {4, 8, 16}, or {3, 9}
+    for base-3 Laderman; matmul capped at the sizes a count-only build
+    handles quickly).  [algo] restricts the battery to one algorithm. *)
 
 val mutation_battery : ?seed:int -> mutants:int -> unit -> Mutate.sweep
 (** The mutation sweep over a set of small materialized subjects
@@ -49,13 +51,16 @@ val run :
   ?mutants:int ->
   ?include_server:bool ->
   ?corpus_dir:string ->
+  ?algo:string ->
   unit ->
   report
 (** Defaults: seed 1, 50 fuzz cases, 120 mutants, no server leg;
     [incremental_cases] defaults to [cases].  When [corpus_dir] is
     given, corpus cases are replayed first (failures count toward the
     leg they exercise — flip-carrying cases toward [incremental]) and
-    new shrunk counterexamples are saved there. *)
+    new shrunk counterexamples are saved there.  [algo] pins every
+    certificate and fuzz case to one algorithm (the CI per-algorithm
+    slice); the mutation battery and corpus replay are unaffected. *)
 
 val all_ok : report -> bool
 val print_report : report -> unit

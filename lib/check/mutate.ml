@@ -347,6 +347,7 @@ let sample_payloads () =
       entry_bits = 1;
       signed = false;
       tau = 1;
+      kronpow = false;
     }
   in
   let m = F.Matrix.identity 4 in

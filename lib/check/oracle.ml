@@ -2,6 +2,7 @@ module T = Tcmm
 module F = Tcmm_fastmm
 module Th = Tcmm_threshold
 module G = Tcmm_graph
+module Cn = Tcmm_convnet
 
 let trace_builds : (string, T.Trace_circuit.built) Hashtbl.t = Hashtbl.create 16
 let matmul_builds : (string, T.Matmul_circuit.built) Hashtbl.t = Hashtbl.create 16
@@ -46,7 +47,8 @@ let trace_built (c : Case.t) =
   | None ->
       bound trace_builds;
       let b =
-        T.Trace_circuit.build ~algo:(Case.algo_of_name c.algo)
+        T.Trace_circuit.build ~kronpow:c.kronpow
+          ~algo:(Case.algo_of_name c.algo)
           ~schedule:(Case.resolve_schedule c) ~signed_inputs:c.signed
           ~entry_bits:c.entry_bits ~tau:c.tau ~n:c.n ()
       in
@@ -64,14 +66,17 @@ let trace_packed (c : Case.t) =
       p
 
 let matmul_built (c : Case.t) =
-  if c.kind <> Case.Matmul then invalid_arg "Oracle.matmul_built: not a matmul case";
+  (* [Conv] cases run through the same matmul circuit (the im2col
+     operands are embedded into [n x n]). *)
+  if c.kind = Case.Trace then invalid_arg "Oracle.matmul_built: not a matmul case";
   let key = Case.build_key c in
   match Hashtbl.find_opt matmul_builds key with
   | Some b -> b
   | None ->
       bound matmul_builds;
       let b =
-        T.Matmul_circuit.build ~algo:(Case.algo_of_name c.algo)
+        T.Matmul_circuit.build ~kronpow:c.kronpow
+          ~algo:(Case.algo_of_name c.algo)
           ~schedule:(Case.resolve_schedule c) ~signed_inputs:c.signed
           ~entry_bits:c.entry_bits ~n:c.n ()
       in
@@ -85,7 +90,7 @@ let direct_matmul_built (c : Case.t) =
   | None ->
       bound direct_matmul_builds;
       let b =
-        T.Matmul_circuit.build ~mode:Th.Builder.Direct
+        T.Matmul_circuit.build ~mode:Th.Builder.Direct ~kronpow:c.kronpow
           ~algo:(Case.algo_of_name c.algo)
           ~schedule:(Case.resolve_schedule c) ~signed_inputs:c.signed
           ~entry_bits:c.entry_bits ~n:c.n ()
@@ -249,6 +254,28 @@ let check_matmul (c : Case.t) =
         in
         lanes_ok 0
 
+(* The conv leg: the case's im2col workload through the n x n matmul
+   circuit — direct convolution, the integer im2col product, and the
+   circuit-evaluated product must all agree score-for-score. *)
+let check_conv (c : Case.t) =
+  let cspec, img, kernels = Case.conv_job c in
+  let expected = Cn.Conv.direct cspec img kernels in
+  if Cn.Conv.via_matmul cspec img kernels <> expected then
+    fail "via_matmul disagrees with direct convolution on %a" Case.pp c
+  else
+    let built = matmul_built c in
+    let patches = Cn.Im2col.patch_matrix cspec img in
+    let kmat = Cn.Im2col.kernel_matrix kernels in
+    let p = F.Matrix.rows patches and k = F.Matrix.cols kmat in
+    let a = Cn.Im2col.embed patches ~n:c.n
+    and b = Cn.Im2col.embed kmat ~n:c.n in
+    let m = T.Matmul_circuit.run ~engine:Th.Simulator.Packed built ~a ~b in
+    let product = F.Matrix.init ~rows:p ~cols:k (fun i j -> F.Matrix.get m i j) in
+    if Cn.Im2col.scores_of_product cspec img product <> expected then
+      fail "circuit conv scores disagree with direct convolution on %a" Case.pp
+        c
+    else Ok ()
+
 (* The incremental leg: replay the case's edge-flip batches through one
    [Packed.session] and demand that every intermediate state — the base
    evaluation and each [update] — is bit-identical in every observable
@@ -316,3 +343,5 @@ let check (c : Case.t) =
         try check_trace c with e -> fail "exception: %s" (Printexc.to_string e))
     | Case.Matmul -> (
         try check_matmul c with e -> fail "exception: %s" (Printexc.to_string e))
+    | Case.Conv -> (
+        try check_conv c with e -> fail "exception: %s" (Printexc.to_string e))

@@ -19,6 +19,13 @@
       a kernel miscompile shows up as a lane disagreement and is shrunk
       and saved to the corpus like any other divergence.
 
+    A [Conv] case runs the {e conv} leg instead: the case's im2col
+    workload ({!Case.conv_job}) must score identically under direct
+    convolution, the integer im2col product, and the circuit-evaluated
+    embedded product.  A [kronpow] case builds all of its circuits with
+    the Kronecker-power optimization — the same agreement demands then
+    pit the rewritten linear circuits against ground truth.
+
     A case carrying [flips] batches instead runs the {e incremental}
     leg ({!check_incremental}): the batches replay through one
     {!Tcmm_threshold.Packed.session} and every intermediate state must
@@ -50,7 +57,9 @@ val trace_packed : Case.t -> Tcmm_threshold.Packed.t
     incremental leg's sessions share its transposed fanout index). *)
 
 val matmul_built : Case.t -> Tcmm.Matmul_circuit.built
-(** Likewise for [Matmul] cases. *)
+(** Likewise for [Matmul] (and [Conv] — the im2col product runs through
+    the same circuit) cases.  Raises [Invalid_argument] on a [Trace]
+    case. *)
 
 val clear_cache : unit -> unit
 (** Drop the memoized builds (tests use this to bound memory). *)

@@ -38,6 +38,7 @@ val leaf_count : Tcmm_fastmm.Bilinear.t -> l:int -> int
 
 val compute_leaves :
   ?share_top:bool ->
+  ?kronpow:bool ->
   Builder.t ->
   algo:Tcmm_fastmm.Bilinear.t ->
   coeffs:int array array ->
@@ -48,7 +49,16 @@ val compute_leaves :
     computing all [r^L] leaf scalars and returns them indexed by leaf id
     (path [(i_1 .. i_L)] read as a base-[r] numeral, root digit first).
     Requires [input] to be square of size [T^L] where [L] is the
-    schedule's last level; raises [Invalid_argument] otherwise. *)
+    schedule's last level; raises [Invalid_argument] otherwise.
+
+    [kronpow] (default [false]) enables the {!Tcmm_fastmm.Kronpow}
+    rewrite: every multi-level step ([delta >= 2]) is priced exactly
+    (flat vs every [d1 + d2] factoring) with
+    {!Tcmm_arith.Weighted_sum.to_bits_cost} and emitted in the cheapest
+    shape, so [gates + edges] never increases.  Outputs are value-equal
+    to the flat circuit but not wire-identical, and a factored step adds
+    2 to the circuit's depth — which is why it is opt-in and excluded
+    from the depth/DP certification paths. *)
 
 val compute_leaves_staged :
   Builder.t ->

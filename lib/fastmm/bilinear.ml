@@ -29,6 +29,42 @@ let make ~name ~t_dim ~u ~v ~w =
   check_rows "w" w t2 rank;
   { name; t_dim; rank; u; v; w }
 
+(* Kronecker (tensor) product: the combined block (p1p2, q1q2)
+   decomposes into factor blocks (p1, q1) and (p2, q2); every combined
+   coefficient is the product of the factors' coefficients. *)
+let kronecker ?name (p : t) (q : t) =
+  let t1 = p.t_dim and t2 = q.t_dim in
+  let r1 = p.rank and r2 = q.rank in
+  let t = Checked.mul t1 t2 in
+  let t_sq = t * t in
+  let rank = Checked.mul r1 r2 in
+  let name =
+    match name with
+    | Some n -> n
+    | None -> Printf.sprintf "%s x %s" p.name q.name
+  in
+  let factor_indices j =
+    let bp = j / t and bq = j mod t in
+    let p1 = bp / t2 and p2 = bp mod t2 in
+    let q1 = bq / t2 and q2 = bq mod t2 in
+    ((p1 * t1) + q1, (p2 * t2) + q2)
+  in
+  let u = Array.make_matrix rank t_sq 0 in
+  let v = Array.make_matrix rank t_sq 0 in
+  let w = Array.make_matrix t_sq rank 0 in
+  for i1 = 0 to r1 - 1 do
+    for i2 = 0 to r2 - 1 do
+      let i = (i1 * r2) + i2 in
+      for j = 0 to t_sq - 1 do
+        let j1, j2 = factor_indices j in
+        u.(i).(j) <- Checked.mul p.u.(i1).(j1) q.u.(i2).(j2);
+        v.(i).(j) <- Checked.mul p.v.(i1).(j1) q.v.(i2).(j2);
+        w.(j).(i) <- Checked.mul p.w.(j1).(i1) q.w.(j2).(i2)
+      done
+    done
+  done;
+  make ~name ~t_dim:t ~u ~v ~w
+
 let block_index algo p q =
   if p < 0 || p >= algo.t_dim || q < 0 || q >= algo.t_dim then
     invalid_arg "Bilinear.block_index: out of range";

@@ -32,6 +32,14 @@ val make :
 (** Validates all dimensions.  Does {i not} verify algebraic correctness —
     use {!Verify}. *)
 
+val kronecker : ?name:string -> t -> t -> t
+(** Kronecker (tensor) product of two algorithms: if [p] multiplies
+    [T1 x T1] with [r1] products and [q] multiplies [T2 x T2] with [r2],
+    then [kronecker p q] multiplies [T1*T2 x T1*T2] with [r1*r2] — the
+    standard way to derive larger base cases.  The combined coefficients
+    are products of the factors'.  [name] defaults to ["p x q"].
+    {!Tensor.product} and {!Tensor.power} are thin wrappers. *)
+
 val block_index : t -> int -> int -> int
 (** [block_index algo p q = p * T + q]; bounds-checked. *)
 

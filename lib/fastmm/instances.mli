@@ -20,7 +20,15 @@ val winograd : Bilinear.t
 
 val strassen_squared : Bilinear.t
 (** [strassen ⊗ strassen]: a [<4,4,4;49>] algorithm (same omega, larger
-    base case — fewer circuit levels per leaf depth). *)
+    base case — fewer circuit levels per leaf depth).  Derived via
+    {!Bilinear.kronecker}. *)
+
+val laderman : Bilinear.t
+(** Laderman's [<3,3,3;23>] algorithm — the base-3 point of the
+    algorithm matrix ([omega ~ 2.854]).  [s_A = s_B = s_C = 51], so the
+    rank beats naive-3's 27 while the linear layers are much denser than
+    Strassen's; its Theorem 4.5 constants come straight out of
+    {!Sparsity.analyze}. *)
 
 val all : unit -> Bilinear.t list
 (** The instances above (with [naive] at [T = 2] and [T = 3]), in a

@@ -1,0 +1,147 @@
+module Checked = Tcmm_util.Checked
+
+type plan = Flat | Split of { d1 : int }
+
+let pp_plan ppf = function
+  | Flat -> Format.fprintf ppf "flat"
+  | Split { d1 } -> Format.fprintf ppf "split@%d" d1
+
+let splits ~delta = List.init (max 0 (delta - 1)) (fun i -> i + 1)
+
+let choose ~flat ~splits =
+  fst
+    (List.fold_left
+       (fun (bp, bc) (d1, c) -> if c < bc then (Split { d1 }, c) else (bp, bc))
+       (Flat, flat) splits)
+
+(* Per product path of length [delta], the (coefficient, block path id)
+   list of the Kronecker power's nonzero entries — the offset-free twin
+   of [Sum_tree.expansions], used for the coarse stage of a factored
+   step (block path ids index the partial sums instead of offsets). *)
+let path_expansions ~coeffs ~t_dim ~delta =
+  let r = Array.length coeffs in
+  let t2 = t_dim * t_dim in
+  let result = Array.make (Checked.pow r delta) [] in
+  let rec go level path_id exp =
+    if level = delta then result.(path_id) <- exp
+    else
+      for i = 0 to r - 1 do
+        let exp' =
+          List.concat_map
+            (fun (c, bid) ->
+              let acc = ref [] in
+              Array.iteri
+                (fun j w ->
+                  if w <> 0 then acc := (Checked.mul c w, (bid * t2) + j) :: !acc)
+                coeffs.(i);
+              List.rev !acc)
+            exp
+        in
+        go (level + 1) ((path_id * r) + i) exp'
+      done
+  in
+  go 0 0 [ (1, 0) ];
+  result
+
+(* (row, col) offset of every length-[delta] block path inside a node of
+   dimension [size], indexed by the path read as a base-T^2 numeral. *)
+let block_offsets ~t_dim ~delta ~size =
+  let t2 = t_dim * t_dim in
+  let result = Array.make (Checked.pow t2 delta) (0, 0) in
+  let rec go level bid ro co =
+    if level = delta then result.(bid) <- (ro, co)
+    else begin
+      let sub = size / Checked.pow t_dim (level + 1) in
+      for j = 0 to t2 - 1 do
+        let p = j / t_dim and q = j mod t_dim in
+        go (level + 1) ((bid * t2) + j) (ro + (p * sub)) (co + (q * sub))
+      done
+    end
+  in
+  go 0 0 0 0;
+  result
+
+(* Offset expansions of the flat step, shared with Sum_tree.expansions'
+   recursion but kept here so the integer reference below has no circuit
+   dependencies. *)
+let offset_expansions ~coeffs ~t_dim ~delta ~size =
+  let r = Array.length coeffs in
+  let result = Array.make (Checked.pow r delta) [] in
+  let rec go level path_id exp =
+    if level = delta then result.(path_id) <- exp
+    else begin
+      let sub = size / Checked.pow t_dim (level + 1) in
+      for i = 0 to r - 1 do
+        let exp' =
+          List.concat_map
+            (fun (c, ro, co) ->
+              let acc = ref [] in
+              Array.iteri
+                (fun j w ->
+                  if w <> 0 then begin
+                    let p = j / t_dim and q = j mod t_dim in
+                    acc := (Checked.mul c w, ro + (p * sub), co + (q * sub)) :: !acc
+                  end)
+                coeffs.(i);
+              List.rev !acc)
+            exp
+        in
+        go (level + 1) ((path_id * r) + i) exp'
+      done
+    end
+  in
+  go 0 0 [ (1, 0, 0) ];
+  result
+
+(* Pure-integer evaluation of one delta-step of the sum tree under a
+   plan: [apply ~coeffs ~t_dim ~delta ~plan m] returns the r^delta child
+   matrices of node [m].  Factored plans stage the computation through
+   the coarse-block x fine-path partial sums exactly as the circuit
+   emitter does, so the QCheck2 equivalence property pins the factoring
+   algebra itself, independently of any circuit machinery. *)
+let apply ~coeffs ~t_dim ~delta ~plan (m : Matrix.t) =
+  let r = Array.length coeffs in
+  let size = Matrix.rows m in
+  if Matrix.cols m <> size then invalid_arg "Kronpow.apply: matrix must be square";
+  if delta < 1 then invalid_arg "Kronpow.apply: delta < 1";
+  if size mod Checked.pow t_dim delta <> 0 then
+    invalid_arg "Kronpow.apply: size must be divisible by T^delta";
+  let size' = size / Checked.pow t_dim delta in
+  let child terms =
+    Matrix.init ~rows:size' ~cols:size' (fun x y ->
+        List.fold_left
+          (fun acc (c, ro, co) ->
+            Checked.add acc (Checked.mul c (Matrix.get m (ro + x) (co + y))))
+          0 terms)
+  in
+  match plan with
+  | Flat ->
+      let exps = offset_expansions ~coeffs ~t_dim ~delta ~size in
+      Array.map child exps
+  | Split { d1 } ->
+      if d1 < 1 || d1 >= delta then invalid_arg "Kronpow.apply: bad split";
+      let d2 = delta - d1 in
+      let offsets = block_offsets ~t_dim ~delta:d1 ~size in
+      let s1 = size / Checked.pow t_dim d1 in
+      let fine = offset_expansions ~coeffs ~t_dim ~delta:d2 ~size:s1 in
+      let coarse = path_expansions ~coeffs ~t_dim ~delta:d1 in
+      let r2 = Checked.pow r d2 in
+      let partials = Hashtbl.create 64 in
+      let partial j1 p2 =
+        match Hashtbl.find_opt partials (j1, p2) with
+        | Some z -> z
+        | None ->
+            let ro1, co1 = offsets.(j1) in
+            let z =
+              child
+                (List.map (fun (c, ro, co) -> (c, ro1 + ro, co1 + co)) fine.(p2))
+            in
+            Hashtbl.add partials (j1, p2) z;
+            z
+      in
+      Array.init (Checked.pow r delta) (fun p ->
+          let p1 = p / r2 and p2 = p mod r2 in
+          List.fold_left
+            (fun acc (c, j1) -> Matrix.add acc (Matrix.scale c (partial j1 p2)))
+            (Matrix.create ~rows:size' ~cols:size')
+            coarse.(p1))

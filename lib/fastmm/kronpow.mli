@@ -1,0 +1,65 @@
+(** Kronecker-power linear-circuit optimization (cf. "Smaller Low-Depth
+    Circuits for Kronecker Powers").
+
+    A multi-level sum-tree step applies the Kronecker power [C^{⊗delta}]
+    of a coefficient matrix [C] ([r x T^2]) to a node's entries: child
+    product path [p] is a weighted sum of [s(p)] ancestor blocks, with
+    [sum_p s(p) = s^delta] terms overall (s = total nonzeros of [C]).
+    A {e factored} plan splits [delta = d1 + d2] and routes the step
+    through partial sums indexed by (coarse block path, fine product
+    path): stage A computes [C^{⊗d2}] inside every depth-[d1] coarse
+    block ([T^{2*d1} * s^{d2}] terms), stage B combines the partials with
+    [C^{⊗d1}] tracked by block-path id ([s^{d1} * r^{d2}] terms).  Values
+    are exactly preserved (every stage is an exact integer sum); the win
+    is fewer wide threshold sums, which shrinks edges sharply at wider
+    entry widths — at the price of extra partial-sum gates and +2 circuit
+    depth per factored step.  The emitter in {!Tcmm.Sum_tree} prices both
+    shapes with the exact arithmetic mirror
+    {!Tcmm_arith.Weighted_sum.to_bits_cost} and only factors when
+    [gates + edges] strictly drops, so the rewrite can never grow the
+    circuit. *)
+
+type plan = Flat | Split of { d1 : int }
+
+val pp_plan : Format.formatter -> plan -> unit
+
+val splits : delta:int -> int list
+(** Candidate coarse depths [d1 = 1 .. delta-1] (empty below [delta = 2]). *)
+
+val choose : flat:int -> splits:(int * int) list -> plan
+(** [choose ~flat ~splits] picks the cheapest plan by total cost
+    ([splits] pairs each candidate [d1] with its cost); ties and empty
+    candidate lists resolve to [Flat]. *)
+
+val path_expansions :
+  coeffs:int array array -> t_dim:int -> delta:int -> (int * int) list array
+(** Per product path of length [delta] (base-[r] numeral, root digit
+    first), the list of (coefficient, block path id) nonzero entries of
+    the Kronecker power — the offset-free twin of
+    [Sum_tree.expansions]. *)
+
+val block_offsets : t_dim:int -> delta:int -> size:int -> (int * int) array
+(** (row, col) offset of each length-[delta] block path inside a node of
+    dimension [size], indexed by the path as a base-[T^2] numeral. *)
+
+val offset_expansions :
+  coeffs:int array array ->
+  t_dim:int ->
+  delta:int ->
+  size:int ->
+  (int * int * int) list array
+(** Per product path, the (coefficient, row offset, column offset) terms
+    of the flat step — a circuit-free copy of [Sum_tree.expansions] used
+    by {!apply}. *)
+
+val apply :
+  coeffs:int array array ->
+  t_dim:int ->
+  delta:int ->
+  plan:plan ->
+  Matrix.t ->
+  Matrix.t array
+(** Pure-integer evaluation of one [delta]-step under a plan, staged the
+    same way the circuit emitter stages it.  Every plan computes the same
+    [r^delta] child matrices — the QCheck2 property that pins the
+    factoring algebra. *)

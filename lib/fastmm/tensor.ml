@@ -1,34 +1,4 @@
-module Checked = Tcmm_util.Checked
-
-let product ~name (p : Bilinear.t) (q : Bilinear.t) =
-  let t1 = p.Bilinear.t_dim and t2 = q.Bilinear.t_dim in
-  let r1 = p.Bilinear.rank and r2 = q.Bilinear.rank in
-  let t = t1 * t2 in
-  let t_sq = t * t in
-  let rank = r1 * r2 in
-  (* Combined block (p1p2, q1q2) decomposes into factor blocks
-     (p1, q1) and (p2, q2). *)
-  let factor_indices j =
-    let bp = j / t and bq = j mod t in
-    let p1 = bp / t2 and p2 = bp mod t2 in
-    let q1 = bq / t2 and q2 = bq mod t2 in
-    ((p1 * t1) + q1, (p2 * t2) + q2)
-  in
-  let u = Array.make_matrix rank t_sq 0 in
-  let v = Array.make_matrix rank t_sq 0 in
-  let w = Array.make_matrix t_sq rank 0 in
-  for i1 = 0 to r1 - 1 do
-    for i2 = 0 to r2 - 1 do
-      let i = (i1 * r2) + i2 in
-      for j = 0 to t_sq - 1 do
-        let j1, j2 = factor_indices j in
-        u.(i).(j) <- Checked.mul p.Bilinear.u.(i1).(j1) q.Bilinear.u.(i2).(j2);
-        v.(i).(j) <- Checked.mul p.Bilinear.v.(i1).(j1) q.Bilinear.v.(i2).(j2);
-        w.(j).(i) <- Checked.mul p.Bilinear.w.(j1).(i1) q.Bilinear.w.(j2).(i2)
-      done
-    done
-  done;
-  Bilinear.make ~name ~t_dim:t ~u ~v ~w
+let product ~name (p : Bilinear.t) (q : Bilinear.t) = Bilinear.kronecker ~name p q
 
 let power ~name a k =
   if k < 1 then invalid_arg "Tensor.power: k < 1";

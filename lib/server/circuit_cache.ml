@@ -35,13 +35,18 @@ let create ?(templates = true) ?(kernels = true) ?store ~capacity () : t =
 
 let store t = t.store
 
+(* [Conv] keys as "matmul": a served convolution runs through exactly
+   the n x n matmul circuit, so both kinds share one cache entry.  The
+   kronpow flag is appended only when set, keeping pre-v7 keys (and the
+   artifact store's on-disk names) byte-identical. *)
 let key (s : Protocol.spec) =
-  Printf.sprintf "%s|%s|%s|d=%d|n=%d|b=%d|signed=%b|tau=%d"
+  Printf.sprintf "%s|%s|%s|d=%d|n=%d|b=%d|signed=%b|tau=%d%s"
     (match s.kind with
-    | Protocol.Matmul -> "matmul"
+    | Protocol.Matmul | Protocol.Conv -> "matmul"
     | Protocol.Trace -> "trace"
     | Protocol.Triangles -> "triangles")
     s.algo s.schedule s.d s.n s.entry_bits s.signed s.tau
+    (if s.kronpow then "|kronpow" else "")
 
 let algo_by_name name =
   match
@@ -78,10 +83,10 @@ let build ~templates ~kernels (s : Protocol.spec) =
   let t0 = Unix.gettimeofday () in
   let compiled =
     match s.kind with
-    | Protocol.Matmul ->
+    | Protocol.Matmul | Protocol.Conv ->
         Matmul
-          (T.Matmul_circuit.build ~mode ~templates ~algo ~schedule
-             ~signed_inputs:s.signed ~entry_bits:s.entry_bits ~n:s.n ())
+          (T.Matmul_circuit.build ~mode ~templates ~kronpow:s.kronpow ~algo
+             ~schedule ~signed_inputs:s.signed ~entry_bits:s.entry_bits ~n:s.n ())
     | Protocol.Trace | Protocol.Triangles ->
         let tau =
           match s.kind with
@@ -89,8 +94,9 @@ let build ~templates ~kernels (s : Protocol.spec) =
           | _ -> s.tau
         in
         Trace
-          (T.Trace_circuit.build ~mode ~templates ~algo ~schedule
-             ~signed_inputs:s.signed ~entry_bits:s.entry_bits ~tau ~n:s.n ())
+          (T.Trace_circuit.build ~mode ~templates ~kronpow:s.kronpow ~algo
+             ~schedule ~signed_inputs:s.signed ~entry_bits:s.entry_bits ~tau
+             ~n:s.n ())
   in
   let t1 = Unix.gettimeofday () in
   let packed =

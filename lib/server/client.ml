@@ -116,8 +116,8 @@ let idempotent = function
   | Protocol.Close_session _ ->
       false
   | Protocol.Compile _ | Protocol.Run_matmul _ | Protocol.Run_trace _
-  | Protocol.Run_triangles _ | Protocol.Stats _ | Protocol.Metrics
-  | Protocol.Ping | Protocol.Fleet ->
+  | Protocol.Run_triangles _ | Protocol.Run_conv _ | Protocol.Stats _
+  | Protocol.Metrics | Protocol.Ping | Protocol.Fleet ->
       true
 
 (* One attempt on a fresh connection, reply read bounded by an absolute

@@ -1,10 +1,11 @@
 module Matrix = Tcmm_fastmm.Matrix
+module Image = Tcmm_convnet.Image
 
-let version = 6
+let version = 7
 let min_version = 1
 let max_frame_len = 1 lsl 24
 
-type kind = Matmul | Trace | Triangles
+type kind = Matmul | Trace | Triangles | Conv
 
 type spec = {
   kind : kind;
@@ -15,7 +16,16 @@ type spec = {
   entry_bits : int;
   signed : bool;
   tau : int;
+  kronpow : bool;
+      (** apply the Kronecker-power linear-circuit rewrite when building
+          (protocol v7; false when decoding an older peer) *)
 }
+
+(* One im2col inference job (protocol v7): [cj_q]/[cj_stride] pick the
+   patch grid, the kernels all share the image's channel count.  The
+   server embeds patch and kernel matrices into the spec's [n x n]
+   matmul circuit and replies with the [K x out_h x out_w] scores. *)
+type conv_job = { cj_q : int; cj_stride : int; cj_image : Image.t; cj_kernels : Image.t array }
 
 type request =
   | Compile of spec
@@ -30,6 +40,7 @@ type request =
   | Open_session of spec * Matrix.t
   | Update of int * (int * bool) array
   | Close_session of int
+  | Run_conv of spec * conv_job
 
 type compiled = {
   cached : bool;
@@ -145,6 +156,9 @@ type response =
   | Session_opened of session_opened
   | Update_result of update_result
   | Session_closed
+  | Conv_result of int array array array * int
+      (** [K x out_h x out_w] score planes and the lane's firings
+          (protocol v7) *)
 
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                           *)
@@ -180,6 +194,7 @@ let w_kind buf = function
   | Matmul -> w_u8 buf 0
   | Trace -> w_u8 buf 1
   | Triangles -> w_u8 buf 2
+  | Conv -> w_u8 buf 3
 
 let w_spec buf s =
   w_kind buf s.kind;
@@ -189,7 +204,31 @@ let w_spec buf s =
   w_int buf s.n;
   w_int buf s.entry_bits;
   w_bool buf s.signed;
-  w_int buf s.tau
+  w_int buf s.tau;
+  (* The v7 field rides at the tail, like the metrics counters. *)
+  w_bool buf s.kronpow
+
+let w_image buf (img : Image.t) =
+  w_int buf img.Image.channels;
+  w_int buf img.Image.height;
+  w_int buf img.Image.width;
+  Array.iter (w_int buf) img.Image.data
+
+let w_conv_job buf j =
+  w_int buf j.cj_q;
+  w_int buf j.cj_stride;
+  w_image buf j.cj_image;
+  w_int buf (Array.length j.cj_kernels);
+  Array.iter (w_image buf) j.cj_kernels
+
+let w_scores buf (scores : int array array array) =
+  let k = Array.length scores in
+  let oh = if k = 0 then 0 else Array.length scores.(0) in
+  let ow = if k = 0 || oh = 0 then 0 else Array.length scores.(0).(0) in
+  w_int buf k;
+  w_int buf oh;
+  w_int buf ow;
+  Array.iter (fun plane -> Array.iter (fun row -> Array.iter (w_int buf) row) plane) scores
 
 let w_stats buf (s : Tcmm_threshold.Stats.t) =
   w_int buf s.inputs;
@@ -304,6 +343,11 @@ let encode_request = function
               w_bool buf v)
             delta)
   | Close_session sid -> payload 16 (fun buf -> w_int buf sid)
+  | Run_conv (spec, job) ->
+      (* Tag 17: unused in both tag spaces. *)
+      payload 17 (fun buf ->
+          w_spec buf spec;
+          w_conv_job buf job)
 
 let encode_response = function
   | Compiled c ->
@@ -354,6 +398,11 @@ let encode_response = function
      request's 2-byte truncation prefix would decode as a valid
      response. *)
   | Session_closed -> payload 18 ignore
+  | Conv_result (scores, firings) ->
+      (* Tag 19: unused in both tag spaces. *)
+      payload 19 (fun buf ->
+          w_scores buf scores;
+          w_int buf firings)
 
 (* ------------------------------------------------------------------ *)
 (* Decoding                                                           *)
@@ -425,15 +474,16 @@ let r_matrix r what =
   need r (rows * cols * 8) what;
   Matrix.of_rows (Array.init rows (fun _ -> Array.init cols (fun _ -> r_int r what)))
 
-let r_kind r =
+let r_kind r ~version:v =
   match r_u8 r "kind" with
   | 0 -> Matmul
   | 1 -> Trace
   | 2 -> Triangles
+  | 3 when v >= 7 -> Conv
   | k -> fail "unknown circuit kind %d" k
 
-let r_spec r =
-  let kind = r_kind r in
+let r_spec r ~version:v =
+  let kind = r_kind r ~version:v in
   let algo = r_string r "spec.algo" in
   let schedule = r_string r "spec.schedule" in
   let d = r_int r "spec.d" in
@@ -441,7 +491,48 @@ let r_spec r =
   let entry_bits = r_int r "spec.entry_bits" in
   let signed = r_bool r "spec.signed" in
   let tau = r_int r "spec.tau" in
-  { kind; algo; schedule; d; n; entry_bits; signed; tau }
+  (* The kronpow flag joined in v7; older builds are always flat. *)
+  let kronpow = if v >= 7 then r_bool r "spec.kronpow" else false in
+  { kind; algo; schedule; d; n; entry_bits; signed; tau; kronpow }
+
+let r_image r what =
+  let channels = r_int r what in
+  let height = r_int r what in
+  let width = r_int r what in
+  (* Per-dimension bounds first, so the size product cannot overflow. *)
+  if channels < 1 || height < 1 || width < 1 || channels > max_frame_len
+     || height > max_frame_len || width > max_frame_len
+  then fail "bad image shape %dx%dx%d for %s" channels height width what;
+  if channels * height > max_frame_len || channels * height * width > max_frame_len
+  then fail "oversized image for %s" what;
+  need r (channels * height * width * 8) what;
+  let data =
+    Array.init (channels * height * width) (fun _ -> r_int r what)
+  in
+  Image.init ~channels ~height ~width (fun c y x ->
+      data.((((c * height) + y) * width) + x))
+
+let r_conv_job r =
+  let cj_q = r_int r "conv.q" in
+  let cj_stride = r_int r "conv.stride" in
+  let cj_image = r_image r "conv.image" in
+  let count = r_counted r ~elem_bytes:24 "conv.kernels" in
+  if count < 1 then fail "conv job carries no kernels";
+  let cj_kernels = Array.init count (fun _ -> r_image r "conv.kernel") in
+  { cj_q; cj_stride; cj_image; cj_kernels }
+
+let r_scores r =
+  let k = r_int r "scores.k" in
+  let oh = r_int r "scores.out_h" in
+  let ow = r_int r "scores.out_w" in
+  if k < 0 || oh < 0 || ow < 0 || k > max_frame_len || oh > max_frame_len
+     || ow > max_frame_len
+  then fail "bad score shape %dx%dx%d" k oh ow;
+  if k * oh > max_frame_len || k * oh * ow > max_frame_len then
+    fail "oversized score block %dx%dx%d" k oh ow;
+  need r (k * oh * ow * 8) "scores.data";
+  Array.init k (fun _ ->
+      Array.init oh (fun _ -> Array.init ow (fun _ -> r_int r "scores.data")))
 
 let r_stats r : Tcmm_threshold.Stats.t =
   let inputs = r_int r "stats.inputs" in
@@ -548,25 +639,25 @@ let decode what f s =
 let decode_request =
   decode "request" (fun r ~version tag ->
       match tag with
-      | 1 -> Compile (r_spec r)
+      | 1 -> Compile (r_spec r ~version)
       | 2 ->
-          let spec = r_spec r in
+          let spec = r_spec r ~version in
           let a = r_matrix r "run.a" in
           let b = r_matrix r "run.b" in
           Run_matmul (spec, a, b)
       | 3 ->
-          let spec = r_spec r in
+          let spec = r_spec r ~version in
           Run_trace (spec, r_matrix r "run.a")
       | 4 ->
-          let spec = r_spec r in
+          let spec = r_spec r ~version in
           Run_triangles (spec, r_matrix r "run.adjacency")
-      | 5 -> Stats (r_spec r)
+      | 5 -> Stats (r_spec r ~version)
       | 6 -> Metrics
       | 7 -> Ping
       | 8 -> Shutdown
       | 13 when version >= 5 -> Fleet
       | 14 when version >= 6 ->
-          let spec = r_spec r in
+          let spec = r_spec r ~version in
           Open_session (spec, r_matrix r "session.adjacency")
       | 15 when version >= 6 ->
           let sid = r_int r "update.sid" in
@@ -578,6 +669,9 @@ let decode_request =
                   let v = r_bool r "update.value" in
                   (w, v)) )
       | 16 when version >= 6 -> Close_session (r_int r "close.sid")
+      | 17 when version >= 7 ->
+          let spec = r_spec r ~version in
+          Run_conv (spec, r_conv_job r)
       | t -> fail "unknown request tag %d" t)
 
 let decode_response =
@@ -620,6 +714,9 @@ let decode_response =
           let ur_gates = r_int r "update.gates" in
           Update_result { ur_fires; ur_firings; ur_dirty_gates; ur_gates }
       | 18 when version >= 6 -> Session_closed
+      | 19 when version >= 7 ->
+          let scores = r_scores r in
+          Conv_result (scores, r_int r "result.firings")
       | t -> fail "unknown response tag %d" t)
 
 (* ------------------------------------------------------------------ *)
@@ -803,6 +900,11 @@ let equal_request a b =
       equal_spec sa sb && Matrix.equal ma mb
   | Update (ia, da), Update (ib, db) -> ia = ib && da = db
   | Close_session a, Close_session b -> a = b
+  | Run_conv (sa, ja), Run_conv (sb, jb) ->
+      equal_spec sa sb && ja.cj_q = jb.cj_q && ja.cj_stride = jb.cj_stride
+      && Image.equal ja.cj_image jb.cj_image
+      && Array.length ja.cj_kernels = Array.length jb.cj_kernels
+      && Array.for_all2 Image.equal ja.cj_kernels jb.cj_kernels
   | _ -> false
 
 (* Floats travel by bits, so [=] on the records is exact; NaNs would
@@ -865,6 +967,7 @@ let equal_response a b =
   | Session_opened a, Session_opened b -> a = b
   | Update_result a, Update_result b -> a = b
   | Session_closed, Session_closed -> true
+  | Conv_result (sa, fa), Conv_result (sb, fb) -> sa = sb && fa = fb
   | _ -> false
 
 let pp_metrics ppf m =

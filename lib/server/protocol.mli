@@ -15,16 +15,19 @@
     arbitrary requests and responses. *)
 
 module Matrix = Tcmm_fastmm.Matrix
+module Image = Tcmm_convnet.Image
 
 val version : int
-(** Protocol version carried in every outgoing payload (currently 6).
+(** Protocol version carried in every outgoing payload (currently 7).
     Version 2 added the [Overloaded] / [Deadline_exceeded] statuses and
     the robustness counters at the tail of {!metrics}; version 3
     appended the kernel-coverage counters; version 4 the artifact-store
     counters; version 5 the fleet identity ([metrics.worker_id]) and
     the [Fleet] / [Fleet_result] roster exchange; version 6 the
     stateful streaming sessions ([Open_session] / [Update] /
-    [Close_session]) and the session counters at the metrics tail. *)
+    [Close_session]) and the session counters at the metrics tail;
+    version 7 the served im2col convolution ([Conv] specs, [Run_conv] /
+    [Conv_result]) and the [spec.kronpow] flag at the spec tail. *)
 
 val min_version : int
 (** Oldest peer version the decoders accept (currently 1).  A v1
@@ -45,6 +48,9 @@ type kind =
   | Triangles
       (** triangle threshold query: [trace(A^3) >= 6 * tau] on an
           adjacency matrix (Section 5) *)
+  | Conv
+      (** im2col convolution served through a matmul circuit of
+          dimension [n] (Section 6 application).  Protocol v7. *)
 
 type spec = {
   kind : kind;
@@ -55,6 +61,17 @@ type spec = {
   entry_bits : int;
   signed : bool;
   tau : int;  (** threshold for [Trace] / [Triangles]; ignored for [Matmul] *)
+  kronpow : bool;
+      (** build with the Kronecker-power linear-circuit optimization
+          (v7; [false] from an older peer).  Value-identical circuits,
+          different wire structure — part of the cache key. *)
+}
+
+type conv_job = {
+  cj_q : int;  (** square kernel side *)
+  cj_stride : int;
+  cj_image : Image.t;
+  cj_kernels : Image.t array;  (** one score map per kernel *)
 }
 
 (** {1 Requests and responses} *)
@@ -82,6 +99,11 @@ type request =
           pairs, e.g. from {!Tcmm_graph.Stream.delta} — to an open
           session and re-evaluate only the dirty cone.  Protocol v6. *)
   | Close_session of int  (** release a session's state.  Protocol v6. *)
+  | Run_conv of spec * conv_job
+      (** serve an im2col convolution through the spec's matmul
+          circuit: the daemon embeds the patch and kernel matrices into
+          [n x n], multiplies through the cached circuit, and folds the
+          product back into per-kernel score maps.  Protocol v7. *)
 
 type compiled = {
   cached : bool;  (** was already resident in the circuit cache *)
@@ -215,6 +237,10 @@ type response =
   | Session_opened of session_opened  (** answer to [Open_session].  v6. *)
   | Update_result of update_result  (** answer to [Update].  v6. *)
   | Session_closed  (** answer to [Close_session].  v6. *)
+  | Conv_result of int array array array * int
+      (** answer to [Run_conv]: [scores.(k).(y).(x)] per kernel, plus
+          gate firings.  Bit-identical to {!Tcmm_convnet.Conv.direct}.
+          Protocol v7. *)
 
 (** {1 Binary encoding} *)
 

@@ -1,6 +1,7 @@
 module P = Protocol
 module T = Tcmm
 module Th = Tcmm_threshold
+module Cn = Tcmm_convnet
 module Clock = Tcmm_util.Clock
 
 let src = Logs.Src.create "tcmm.server" ~doc:"tcmm serving daemon"
@@ -222,6 +223,37 @@ let expire_deadlines st ~now =
               m "expired %d job(s) past deadline (%d reaped from queue)"
                 (List.length newly) (List.length reaped)))
 
+(* Served convolution (protocol v7): embed the im2col operands into the
+   spec's [n x n] matmul circuit; the top-left [P x K] block of the
+   product is the score matrix.  Raises [Invalid_argument] on a
+   mis-shaped job, which the caller converts to an [Error] reply. *)
+let conv_matrices (job : P.conv_job) ~n =
+  let cspec = { Cn.Im2col.q = job.P.cj_q; stride = job.P.cj_stride } in
+  let img = job.P.cj_image in
+  Array.iter
+    (fun (k : Cn.Image.t) ->
+      if
+        k.Cn.Image.channels <> img.Cn.Image.channels
+        || k.Cn.Image.height <> job.P.cj_q
+        || k.Cn.Image.width <> job.P.cj_q
+      then invalid_arg "conv kernels must be image-channels x q x q")
+    job.P.cj_kernels;
+  let patches = Cn.Im2col.patch_matrix cspec img in
+  let kmat = Cn.Im2col.kernel_matrix job.P.cj_kernels in
+  let p = P.Matrix.rows patches and q = P.Matrix.cols patches in
+  let k = P.Matrix.cols kmat in
+  if p > n || q > n || k > n then
+    invalid_arg
+      (Printf.sprintf
+         "conv job needs a circuit of n >= %d (P=%d, Q=%d, K=%d); spec has n=%d"
+         (max p (max q k)) p q k n);
+  let a = Cn.Im2col.embed patches ~n and b = Cn.Im2col.embed kmat ~n in
+  let finish get firings =
+    let product = P.Matrix.init ~rows:p ~cols:k get in
+    P.Conv_result (Cn.Im2col.scores_of_product cspec img product, firings)
+  in
+  (a, b, finish)
+
 (* Encode the request's matrices into an input vector and build the
    per-lane decoder.  [Encode.write] raises [Invalid_argument] on a
    wrongly-shaped matrix or an entry outside the layout's range, which
@@ -283,6 +315,35 @@ let prepare_run (entry : Circuit_cache.entry) req =
         match req with
         | P.Run_triangles _ -> P.Triangles_result (fired, firings)
         | _ -> P.Trace_result (fired, firings)
+      in
+      (input, reply)
+  | Circuit_cache.Matmul built, P.Run_conv (_, job) ->
+      let a, b, finish = conv_matrices job ~n:entry.spec.P.n in
+      let input = T.Matmul_circuit.encode_inputs built ~a ~b in
+      let reply br ~lane =
+        let m =
+          T.Matmul_circuit.decode built (fun w ->
+              Th.Packed.batch_value br ~lane w)
+        in
+        finish
+          (fun i j -> P.Matrix.get m i j)
+          (Th.Packed.batch_firings br ~lane)
+      in
+      (input, reply)
+  | ( Circuit_cache.Stored (Tcmm_store.Artifact.Matmul_io io),
+      P.Run_conv (_, job) ) ->
+      let a, b, finish = conv_matrices job ~n:entry.spec.P.n in
+      let wa = T.Encode.total_wires io.layout_a in
+      let input = Array.make (wa + T.Encode.total_wires io.layout_b) false in
+      T.Encode.write io.layout_a a input;
+      T.Encode.write io.layout_b b input;
+      let reply br ~lane =
+        finish
+          (fun i j ->
+            Tcmm_arith.Repr.eval_sbits
+              (fun w -> Th.Packed.batch_value br ~lane w)
+              io.c_grid.(i).(j))
+          (Th.Packed.batch_firings br ~lane)
       in
       (input, reply)
   | _ -> invalid_arg "request kind does not match the compiled circuit"
@@ -382,7 +443,7 @@ let wire_value (res : Th.Simulator.result) w =
   Bytes.get res.Th.Simulator.values w <> '\000'
 
 let handle_open_session st c spec m =
-  if spec.P.kind = P.Matmul then
+  if spec.P.kind = P.Matmul || spec.P.kind = P.Conv then
     send st c (P.Error "streaming sessions serve trace/triangles circuits")
   else
   with_entry st c spec (fun entry _outcome ->
@@ -518,6 +579,8 @@ let handle_request st c ~now req =
       handle_run st c ~now { spec with P.kind = P.Trace } req
   | P.Run_triangles (spec, _) ->
       handle_run st c ~now { spec with P.kind = P.Triangles } req
+  | P.Run_conv (spec, _) ->
+      handle_run st c ~now { spec with P.kind = P.Conv } req
   (* Session requests are answered synchronously in the event loop —
      an update's dirty cone is orders of magnitude cheaper than a full
      evaluation, so routing it through the batcher would only add

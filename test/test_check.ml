@@ -31,6 +31,7 @@ let sample_case =
     tau = -3;
     seed = 42;
     flips = [];
+    kronpow = false;
   }
 
 let test_case_roundtrip () =
@@ -49,7 +50,29 @@ let test_case_roundtrip () =
         signed = false;
         flips = [ [ (0, 1); (0, 1) ]; [ (2, 3) ] ];
       };
+      { sample_case with Ck.Case.kind = Ck.Case.Conv; tau = 0 };
+      { sample_case with Ck.Case.kronpow = true };
+      {
+        sample_case with
+        Ck.Case.kind = Ck.Case.Conv;
+        algo = "laderman";
+        n = 9;
+        tau = 0;
+        kronpow = true;
+      };
     ]
+
+let test_case_format_back_compat () =
+  (* A flat case must serialize without any kronpow line at all, so
+     every corpus file written before the kronpow field stays
+     byte-identical; the flag only ever appears as "kronpow true". *)
+  let lines c = String.split_on_char '\n' (Ck.Case.to_string c) in
+  S.check_bool "flat case has no kronpow line" false
+    (List.exists
+       (fun l -> String.length l >= 7 && String.sub l 0 7 = "kronpow")
+       (lines sample_case));
+  S.check_bool "kronpow case carries the line" true
+    (List.mem "kronpow true" (lines { sample_case with Ck.Case.kronpow = true }))
 
 let prop_case_roundtrip =
   S.qcheck_case ~count:100 "generated cases round-trip" Ck.Fuzz.gen (fun c ->
@@ -130,19 +153,18 @@ let test_certify_all_schedules () =
   List.iter
     (fun kind ->
       List.iter
-        (fun algo ->
+        (fun (algo, n) ->
           List.iter
             (fun schedule ->
-              let cert = Ck.Certify.certify (spec ~kind ~algo schedule) in
+              let cert = Ck.Certify.certify (spec ~kind ~algo ~n schedule) in
               if not (Ck.Certify.ok cert) then
                 Alcotest.fail
                   (Format.asprintf "%s/%s/%s: %a" algo schedule
-                     (match kind with
-                     | Ck.Case.Trace -> "trace"
-                     | Ck.Case.Matmul -> "matmul")
-                     Ck.Certify.pp cert))
+                     (Ck.Case.kind_name kind) Ck.Certify.pp cert))
             T.Level_schedule.standard_names)
-        [ "strassen"; "naive-2" ])
+        (* n follows each algorithm's power ladder: base-2 instances at
+           4, base-3 Laderman at its smallest size. *)
+        [ ("strassen", 4); ("naive-2", 4); ("laderman", 3) ])
     [ Ck.Case.Trace; Ck.Case.Matmul ]
 
 let test_certify_theorem_bound_checked () =
@@ -329,6 +351,73 @@ let test_incremental_adversarial_cases () =
   | Error e -> Alcotest.fail ("threshold boundary: " ^ e));
   Ck.Oracle.clear_cache ()
 
+(* The conv oracle leg: direct convolution vs the im2col product vs the
+   circuit-evaluated product, across algorithms (including base-3
+   Laderman at n = 9) and both linear-layer builds. *)
+let test_conv_oracle () =
+  List.iter
+    (fun c ->
+      match Ck.Oracle.check c with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.fail (Format.asprintf "%a: %s" Ck.Case.pp c e))
+    [
+      { sample_case with Ck.Case.kind = Ck.Case.Conv; tau = 0 };
+      {
+        sample_case with
+        Ck.Case.kind = Ck.Case.Conv;
+        algo = "laderman";
+        n = 9;
+        entry_bits = 1;
+        signed = false;
+        tau = 0;
+      };
+      {
+        sample_case with
+        Ck.Case.kind = Ck.Case.Conv;
+        tau = 0;
+        kronpow = true;
+      };
+    ];
+  Ck.Oracle.clear_cache ()
+
+(* Kronpow cases must be value-identical to their flat twins on every
+   oracle leg — the factoring may only change wire structure. *)
+let test_kronpow_oracle () =
+  List.iter
+    (fun c ->
+      match Ck.Oracle.check c with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.fail (Format.asprintf "%a: %s" Ck.Case.pp c e))
+    [
+      { sample_case with Ck.Case.kronpow = true };
+      { sample_case with Ck.Case.kind = Ck.Case.Matmul; tau = 0; kronpow = true };
+      {
+        sample_case with
+        Ck.Case.algo = "laderman";
+        n = 3;
+        entry_bits = 1;
+        signed = false;
+        tau = 1;
+        kronpow = true;
+      };
+    ];
+  Ck.Oracle.clear_cache ()
+
+let prop_kronpow_pinned_fuzz =
+  (* Every generated case, forced through the kronpow build, must still
+     pass the differential oracle (the width-equality admissibility gate
+     makes the factoring safe at any size). *)
+  S.qcheck_case ~count:12 "kronpow-pinned cases pass the oracle" Ck.Fuzz.gen
+    (fun c ->
+      let c = { c with Ck.Case.kronpow = true } in
+      match Ck.Oracle.check c with
+      | Ok () -> true
+      | Error e ->
+          Format.eprintf "%a: %s@." Ck.Case.pp c e;
+          false)
+
 let test_server_fuzz_smoke () =
   let o, oi =
     Ck.Harness.with_loopback_server (fun cl ->
@@ -354,6 +443,8 @@ let () =
       ( "case",
         [
           Alcotest.test_case "round-trip" `Quick test_case_roundtrip;
+          Alcotest.test_case "format back-compat" `Quick
+            test_case_format_back_compat;
           Alcotest.test_case "rejects garbage" `Quick test_case_rejects_garbage;
           prop_case_roundtrip;
           prop_incremental_case_roundtrip;
@@ -385,6 +476,9 @@ let () =
           Alcotest.test_case "incremental smoke" `Slow test_incremental_fuzz_smoke;
           Alcotest.test_case "incremental adversarial corners" `Slow
             test_incremental_adversarial_cases;
+          Alcotest.test_case "conv oracle legs" `Slow test_conv_oracle;
+          Alcotest.test_case "kronpow oracle legs" `Slow test_kronpow_oracle;
+          prop_kronpow_pinned_fuzz;
           Alcotest.test_case "shrink requires failure" `Quick test_shrink_requires_failure;
         ] );
     ]

@@ -377,9 +377,81 @@ let test_inference_rejections () =
     Alcotest.fail "expected invalid_arg"
   with Invalid_argument _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Served inference (protocol v7 Run_conv through a forked daemon)    *)
+(* ------------------------------------------------------------------ *)
+
+module P = Tcmm_server.Protocol
+
+(* Every served score plane must be bit-identical to the direct
+   convolution — across algorithms (base-2 Strassen, base-3 Laderman)
+   and both linear-layer builds.  Pipelined like a real client so the
+   jobs coalesce into one matmul batch server-side. *)
+let test_served_conv_bit_identical () =
+  Tcmm_check.Harness.with_loopback_server (fun cl ->
+      List.iter
+        (fun (label, algo, n, kronpow, seed, size, kernels) ->
+          let spec_c, img, ks =
+            random_setup seed ~channels:1 ~size ~q:2 ~stride:1 ~kernels
+          in
+          let spec =
+            { P.kind = P.Conv; algo; schedule = "thm45"; d = 2; n;
+              entry_bits = 2; signed = true; tau = 0; kronpow }
+          in
+          let job =
+            { P.cj_q = 2; cj_stride = 1; cj_image = img; cj_kernels = ks }
+          in
+          (* Two pipelined copies: the reply must be deterministic and
+             the batcher must keep per-request framing straight. *)
+          Tcmm_server.Client.send cl (P.Run_conv (spec, job));
+          Tcmm_server.Client.send cl (P.Run_conv (spec, job));
+          let expect = Conv.direct spec_c img ks in
+          for i = 1 to 2 do
+            match Tcmm_server.Client.recv cl with
+            | Ok (P.Conv_result (scores, firings)) ->
+                S.check_bool
+                  (Printf.sprintf "%s reply %d bit-identical" label i)
+                  true (scores = expect);
+                S.check_bool
+                  (Printf.sprintf "%s reply %d counted firings" label i)
+                  true (firings > 0)
+            | Ok (P.Error msg) -> Alcotest.fail (label ^ ": server error: " ^ msg)
+            | Ok _ -> Alcotest.fail (label ^ ": unexpected response")
+            | Error msg -> Alcotest.fail (label ^ ": transport: " ^ msg)
+          done)
+        [
+          ("strassen", "strassen", 16, false, 81, 4, 2);
+          ("strassen-kronpow", "strassen", 16, true, 82, 4, 2);
+          ("laderman", "laderman", 9, false, 83, 4, 2);
+        ])
+
+let test_served_conv_rejects_oversized () =
+  (* A job whose patch matrix cannot fit the spec's circuit must come
+     back as a typed protocol error, not a wrong answer or a hang. *)
+  Tcmm_check.Harness.with_loopback_server (fun cl ->
+      let _, img, ks = random_setup 84 ~channels:1 ~size:8 ~q:2 ~stride:1 ~kernels:1 in
+      let spec =
+        { P.kind = P.Conv; algo = "strassen"; schedule = "thm45"; d = 2;
+          n = 4; entry_bits = 2; signed = true; tau = 0; kronpow = false }
+      in
+      let job = { P.cj_q = 2; cj_stride = 1; cj_image = img; cj_kernels = ks } in
+      match Tcmm_server.Client.request cl (P.Run_conv (spec, job)) with
+      | Ok (P.Error _) -> ()
+      | Ok _ -> Alcotest.fail "oversized conv job accepted"
+      | Error msg -> Alcotest.fail ("transport: " ^ msg))
+
 let () =
   Alcotest.run "tcmm_convnet"
     [
+      (* The served suite comes first: it forks, and OCaml forbids
+         Unix.fork once any other test has spawned a domain. *)
+      ( "served",
+        [
+          Alcotest.test_case "conv bit-identical" `Slow
+            test_served_conv_bit_identical;
+          Alcotest.test_case "oversized job rejected" `Quick
+            test_served_conv_rejects_oversized;
+        ] );
       ( "image",
         [
           Alcotest.test_case "basic" `Quick test_image_basic;

@@ -34,6 +34,7 @@ let spec tau =
     entry_bits = 2;
     signed = true;
     tau;
+    kronpow = false;
   }
 
 let specs = List.init 4 (fun t -> spec t)

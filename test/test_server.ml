@@ -17,15 +17,16 @@ let gen_name = Gen.(string_size ~gen:printable (int_range 0 12))
 
 let gen_spec =
   let open Gen in
-  let* kind = oneofl [ P.Matmul; P.Trace; P.Triangles ] in
+  let* kind = oneofl [ P.Matmul; P.Trace; P.Triangles; P.Conv ] in
   let* algo = gen_name in
   let* schedule = gen_name in
   let* d = int_range 0 8 in
   let* n = int_range 0 64 in
   let* entry_bits = int_range 0 8 in
   let* signed = bool in
-  let+ tau = int_range (-1000) 1000 in
-  { P.kind; algo; schedule; d; n; entry_bits; signed; tau }
+  let* tau = int_range (-1000) 1000 in
+  let+ kronpow = bool in
+  { P.kind; algo; schedule; d; n; entry_bits; signed; tau; kronpow }
 
 let gen_matrix =
   let open Gen in
@@ -34,12 +35,32 @@ let gen_matrix =
   let+ entries = array_size (return (rows * cols)) (int_range (-4096) 4096) in
   F.Matrix.init ~rows ~cols (fun i j -> entries.((i * cols) + j))
 
+let gen_image =
+  let open Gen in
+  let* channels = int_range 1 3 in
+  let* height = int_range 1 5 in
+  let* width = int_range 1 5 in
+  let+ entries =
+    array_size (return (channels * height * width)) (int_range (-64) 64)
+  in
+  P.Image.init ~channels ~height ~width (fun c y x ->
+      entries.((((c * height) + y) * width) + x))
+
+let gen_conv_job =
+  let open Gen in
+  let* cj_q = int_range 1 4 in
+  let* cj_stride = int_range 1 3 in
+  let* cj_image = gen_image in
+  let+ cj_kernels = array_size (int_range 1 3) gen_image in
+  { P.cj_q; cj_stride; cj_image; cj_kernels }
+
 let gen_request =
   let open Gen in
   oneof
     [
       map (fun s -> P.Compile s) gen_spec;
       map (fun s -> P.Stats s) gen_spec;
+      map2 (fun s j -> P.Run_conv (s, j)) gen_spec gen_conv_job;
       (let* s = gen_spec in
        let* a = gen_matrix in
        let+ b = gen_matrix in
@@ -189,6 +210,16 @@ let gen_response =
        let+ stats = gen_stats in
        P.Compiled { P.cached; loaded; build_seconds; stats });
       map2 (fun m f -> P.Matmul_result (m, f)) gen_matrix (int_range 0 1000000);
+      (let* k = int_range 1 3 in
+       let* oh = int_range 1 4 in
+       let* ow = int_range 1 4 in
+       let* scores =
+         array_size (return k)
+           (array_size (return oh)
+              (array_size (return ow) (int_range (-4096) 4096)))
+       in
+       let+ firings = int_range 0 1000000 in
+       P.Conv_result (scores, firings));
       map2 (fun b f -> P.Trace_result (b, f)) bool (int_range 0 1000000);
       map2 (fun b f -> P.Triangles_result (b, f)) bool (int_range 0 1000000);
       map (fun s -> P.Stats_result s) gen_stats;
@@ -257,6 +288,7 @@ let test_decode_rejects_truncation () =
                entry_bits = 1;
                signed = false;
                tau = 0;
+               kronpow = false;
              },
              F.Matrix.identity 2,
              F.Matrix.identity 2 ));
@@ -363,7 +395,7 @@ let test_v5_compat () =
   | Error e -> Alcotest.fail ("v5 metrics payload rejected: " ^ e));
   let spec =
     { P.kind = P.Triangles; algo = "strassen"; schedule = "uniform:2x3";
-      d = 0; n = 4; entry_bits = 1; signed = false; tau = 6 }
+      d = 0; n = 4; entry_bits = 1; signed = false; tau = 6; kronpow = false }
   in
   List.iter
     (fun req ->
@@ -393,6 +425,60 @@ let test_v5_compat () =
         { P.ur_fires = false; ur_firings = 12; ur_dirty_gates = 3;
           ur_gates = 100 };
       P.Session_closed ]
+
+(* v7 gating: the spec gained a trailing [kronpow] byte and the Conv
+   kind / Run_conv / Conv_result tags.  A v6 peer's spec payload (the
+   kronpow byte stripped off the tail) must decode flat; the conv tags
+   and the Conv kind must be rejected in v6 frames while round-tripping
+   at v7. *)
+let test_v6_compat () =
+  let spec kind kronpow =
+    { P.kind; algo = "strassen"; schedule = "thm45"; d = 2; n = 4;
+      entry_bits = 1; signed = false; tau = 0; kronpow }
+  in
+  (* Compile's payload is exactly the spec, so stripping the final byte
+     of the v7 encoding is precisely the v6 wire layout. *)
+  let v7 = P.encode_request (P.Compile (spec P.Matmul true)) in
+  let v6 = patch_version 6 (String.sub v7 0 (String.length v7 - 1)) in
+  (match P.decode_request v6 with
+  | Ok (P.Compile s) ->
+      S.check_bool "v6 spec decode is flat" false s.P.kronpow;
+      S.check_bool "v6 spec decode preserves the other fields" true
+        (s = spec P.Matmul false)
+  | Ok _ -> Alcotest.fail "v6 spec payload decoded to a different request"
+  | Error e -> Alcotest.fail ("v6 spec payload rejected: " ^ e));
+  (* The Conv kind byte itself is version-gated. *)
+  let v7_conv = P.encode_request (P.Compile (spec P.Conv false)) in
+  (match
+     P.decode_request
+       (patch_version 6 (String.sub v7_conv 0 (String.length v7_conv - 1)))
+   with
+  | Ok _ -> Alcotest.fail "Conv kind accepted in a v6 frame"
+  | Error _ -> ());
+  let job =
+    { P.cj_q = 2; cj_stride = 1;
+      cj_image = P.Image.init ~channels:1 ~height:3 ~width:3 (fun _ y x -> y + x);
+      cj_kernels =
+        [| P.Image.init ~channels:1 ~height:2 ~width:2 (fun _ y x -> y - x) |];
+    }
+  in
+  let req = P.Run_conv (spec P.Conv false, job) in
+  (match P.decode_request (patch_version 6 (P.encode_request req)) with
+  | Ok _ -> Alcotest.fail "Run_conv accepted in a v6 frame"
+  | Error _ -> ());
+  (match P.decode_request (P.encode_request req) with
+  | Ok req' ->
+      S.check_bool "Run_conv round-trips at v7" true (P.equal_request req req')
+  | Error e -> Alcotest.fail ("Run_conv round-trip failed: " ^ e));
+  let resp = P.Conv_result ([| [| [| 1; -2 |]; [| 0; 3 |] |] |], 42) in
+  (match P.decode_response (patch_version 6 (P.encode_response resp)) with
+  | Ok _ -> Alcotest.fail "Conv_result accepted in a v6 frame"
+  | Error _ -> ());
+  match P.decode_response (P.encode_response resp) with
+  | Ok r ->
+      S.check_bool "Conv_result round-trips at v7" true
+        (P.equal_response resp r)
+  | Error e -> Alcotest.fail ("Conv_result round-trip failed: " ^ e)
 
 (* ------------------------------------------------------------------ *)
 (* Framing                                                            *)
@@ -582,6 +668,7 @@ let small_spec =
     entry_bits = 1;
     signed = false;
     tau = 0;
+    kronpow = false;
   }
 
 let test_circuit_cache_hits () =
@@ -709,6 +796,7 @@ let mm_spec =
     entry_bits = 2;
     signed = true;
     tau = 0;
+    kronpow = false;
   }
 
 let test_loopback_matmul_bit_identical () =
@@ -791,7 +879,7 @@ let test_loopback_streaming_session () =
       let n = 4 in
       let spec =
         { P.kind = P.Triangles; algo = "strassen"; schedule = "thm45";
-          d = 2; n; entry_bits = 1; signed = false; tau = 1 }
+          d = 2; n; entry_bits = 1; signed = false; tau = 1; kronpow = false }
       in
       (* The trace circuit allocates its input layout first, so the
          client reconstitutes it from the spec alone: base 0, one
@@ -883,6 +971,7 @@ let () =
           Alcotest.test_case "rejects garbage" `Quick test_decode_rejects_garbage;
           Alcotest.test_case "v4 compatibility" `Quick test_v4_compat;
           Alcotest.test_case "v5 compatibility" `Quick test_v5_compat;
+          Alcotest.test_case "v6 compatibility" `Quick test_v6_compat;
         ] );
       ( "framing",
         [

@@ -76,6 +76,7 @@ let race_spec =
     entry_bits = 2;
     signed = true;
     tau = 0;
+    kronpow = false;
   }
 
 (* All K workers get the same compile pipelined before any reply is

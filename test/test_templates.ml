@@ -40,22 +40,24 @@ let build_matmul ~mode ~templates ~sched ~n =
    schedules at N in {4, 8}. *)
 let test_matmul_stamped_identical () =
   List.iter
-    (fun n ->
+    (fun (algo, sizes) ->
       List.iter
-        (fun name ->
-          let sched = schedule ~name ~n in
-          let legacy =
-            build_matmul ~mode:Builder.Materialize ~templates:false ~sched ~n
-          in
-          let stamped =
-            build_matmul ~mode:Builder.Materialize ~templates:true ~sched ~n
-          in
-          check_circuit_equal
-            (Printf.sprintf "matmul N=%d %s" n name)
-            (Option.get legacy.Matmul_circuit.circuit)
-            (Option.get stamped.Matmul_circuit.circuit))
-        Level_schedule.standard_names)
-    [ 4; 8 ]
+        (fun n ->
+          List.iter
+            (fun name ->
+              let sched = Level_schedule.resolve ~algo ~name ~d:2 ~n in
+              let build templates =
+                Matmul_circuit.build ~mode:Builder.Materialize ~templates ~algo
+                  ~schedule:sched ~entry_bits:1 ~n ()
+              in
+              let legacy = build false and stamped = build true in
+              check_circuit_equal
+                (Printf.sprintf "matmul %s N=%d %s" algo.Bilinear.name n name)
+                (Option.get legacy.Matmul_circuit.circuit)
+                (Option.get stamped.Matmul_circuit.circuit))
+            Level_schedule.standard_names)
+        sizes)
+    [ (strassen, [ 4; 8 ]); (Instances.laderman, [ 3; 9 ]) ]
 
 let test_trace_stamped_identical () =
   List.iter
@@ -158,7 +160,7 @@ let test_naive_tiled_stats_equal () =
 let test_kernel_differential () =
   let rng = Prng.create ~seed:19 in
   List.iter
-    (fun algo ->
+    (fun (algo, sizes) ->
       List.iter
         (fun n ->
           List.iter
@@ -218,7 +220,7 @@ let test_kernel_differential () =
                           Packed.batch_value bk ~lane w))
                      (Matrix.mul a b))
               done;
-              if n = 4 then begin
+              if n <= 4 then begin
                 let r = Simulator.run (Packed.circuit p_k) inputs.(0) in
                 Alcotest.(check bool)
                   (label ^ ": Simulator agrees with kernel lane 0")
@@ -227,28 +229,47 @@ let test_kernel_differential () =
                   && Packed.batch_firings bk ~lane:0 = r.Simulator.firings)
               end)
             Level_schedule.standard_names)
-        [ 4; 8 ])
-    [ strassen; Instances.naive ~t_dim:2 ]
+        sizes)
+    (* The cross-algorithm matrix: base-2, base-3 and base-4 algorithms,
+       each at its native sizes. *)
+    [
+      (strassen, [ 4; 8 ]);
+      (Instances.naive ~t_dim:2, [ 4; 8 ]);
+      (Instances.winograd, [ 4 ]);
+      (Instances.laderman, [ 3; 9 ]);
+      (Instances.strassen_squared, [ 4; 16 ]);
+    ]
 
 (* The E19 certifier checks template-built circuits (templates are the
    construction default) against the counting DP, the depth model and
    the theorem bounds. *)
 let test_certifier_over_templates () =
-  let spec =
-    {
-      Tcmm_check.Certify.kind = Tcmm_check.Case.Matmul;
-      algo = "strassen";
-      schedule = "thm45";
-      d = 2;
-      n = 4;
-      entry_bits = 1;
-      signed = false;
-      tau = 0;
-    }
-  in
-  let cert = Tcmm_check.Certify.certify ~samples:2 ~seed:11 spec in
-  if not (Tcmm_check.Certify.ok cert) then
-    Alcotest.failf "certifier failed: %s" (Tcmm_check.Certify.to_json cert)
+  List.iter
+    (fun (kind, algo, schedule, n, tau) ->
+      let spec =
+        {
+          Tcmm_check.Certify.kind;
+          algo;
+          schedule;
+          d = 2;
+          n;
+          entry_bits = 1;
+          signed = false;
+          tau;
+        }
+      in
+      let cert = Tcmm_check.Certify.certify ~samples:2 ~seed:11 spec in
+      if not (Tcmm_check.Certify.ok cert) then
+        Alcotest.failf "certifier failed (%s %s n=%d): %s" algo schedule n
+          (Tcmm_check.Certify.to_json cert))
+    [
+      (Tcmm_check.Case.Matmul, "strassen", "thm45", 4, 0);
+      (Tcmm_check.Case.Matmul, "laderman", "thm45", 9, 0);
+      (Tcmm_check.Case.Matmul, "laderman", "direct", 9, 0);
+      (Tcmm_check.Case.Trace, "laderman", "thm44", 9, 5);
+      (Tcmm_check.Case.Matmul, "strassen^2", "thm45", 16, 0);
+      (Tcmm_check.Case.Trace, "winograd", "thm45", 4, 3);
+    ]
 
 (* The differential fuzzer drives template-built circuits against the
    integer reference across random specs. *)
@@ -258,6 +279,95 @@ let test_fuzzer_over_templates () =
   match outcome.Tcmm_check.Fuzz.failures with
   | [] -> ()
   | f :: _ -> Alcotest.failf "fuzz failure: %s" f.Tcmm_check.Fuzz.message
+
+(* Kronpow rewrite over built circuits: on every matrix-of-algorithms
+   config with a multi-level step, the kronpow arm must (a) compute
+   bit-identical products, and (b) never exceed the flat arm's
+   gates + edges.  The strassen configs are known to factor (strict
+   decrease) — assert that too, so a planner regression that silently
+   stops factoring fails the suite. *)
+let kronpow_size kronpow ~mode ~algo ~sched ~entry_bits ~n =
+  let built =
+    Matmul_circuit.build ~mode ~signed_inputs:true ~kronpow ~algo ~schedule:sched
+      ~entry_bits ~n ()
+  in
+  let s = Builder.stats built.Matmul_circuit.builder in
+  (s.Stats.gates + s.Stats.edges, built)
+
+let test_kronpow_value_and_size () =
+  let rng = Prng.create ~seed:23 in
+  List.iter
+    (fun (algo, n, entry_bits, sname, expect_strict) ->
+      let label = Printf.sprintf "%s/%s N=%d b=%d" algo.Bilinear.name sname n entry_bits in
+      let sched = Level_schedule.resolve ~algo ~name:sname ~d:1 ~n in
+      let size_flat, flat =
+        kronpow_size false ~mode:Builder.Materialize ~algo ~sched ~entry_bits ~n
+      in
+      let size_kron, kron =
+        kronpow_size true ~mode:Builder.Materialize ~algo ~sched ~entry_bits ~n
+      in
+      Alcotest.(check bool)
+        (label ^ ": gates+edges never increase")
+        true (size_kron <= size_flat);
+      if expect_strict then
+        Alcotest.(check bool) (label ^ ": strictly smaller") true (size_kron < size_flat);
+      let hi = max 1 ((1 lsl (entry_bits - 1)) - 1) in
+      for _ = 1 to 3 do
+        let a = Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+        let b = Matrix.random rng ~rows:n ~cols:n ~lo:(-hi) ~hi in
+        let expect = Matrix.mul a b in
+        Alcotest.(check bool)
+          (label ^ ": kronpow value = product")
+          true
+          (Matrix.equal (Matmul_circuit.run kron ~a ~b) expect);
+        Alcotest.(check bool)
+          (label ^ ": flat value = product")
+          true
+          (Matrix.equal (Matmul_circuit.run flat ~a ~b) expect)
+      done)
+    [ (strassen, 4, 3, "direct", true); (Instances.laderman, 9, 2, "direct", false) ]
+
+(* Heavier matrix points: compare sizes only, in Count_only mode (no
+   materialization) — the width-gated planner must stay monotone on the
+   dense algorithms too. *)
+let test_kronpow_size_counts () =
+  List.iter
+    (fun (algo, n, entry_bits, sname, expect_strict) ->
+      let label = Printf.sprintf "%s/%s N=%d b=%d" algo.Bilinear.name sname n entry_bits in
+      let sched = Level_schedule.resolve ~algo ~name:sname ~d:1 ~n in
+      let size kronpow =
+        fst (kronpow_size kronpow ~mode:Builder.Count_only ~algo ~sched ~entry_bits ~n)
+      in
+      let size_flat = size false and size_kron = size true in
+      Alcotest.(check bool)
+        (label ^ ": gates+edges never increase")
+        true (size_kron <= size_flat);
+      if expect_strict then
+        Alcotest.(check bool) (label ^ ": strictly smaller") true (size_kron < size_flat))
+    [
+      (strassen, 8, 3, "thm45", true);
+      (Instances.winograd, 8, 2, "direct", false);
+      (Instances.laderman, 9, 4, "direct", true);
+      (Instances.strassen_squared, 16, 2, "direct", true);
+    ]
+
+(* The trace circuit threads kronpow through all three sum trees. *)
+let test_kronpow_trace_value () =
+  let rng = Prng.create ~seed:29 in
+  let algo = strassen in
+  let n = 4 in
+  let sched = Level_schedule.resolve ~algo ~name:"direct" ~d:1 ~n in
+  let tau = 3 in
+  let build kronpow =
+    Trace_circuit.build ~kronpow ~algo ~schedule:sched ~entry_bits:1 ~tau ~n ()
+  in
+  let flat = build false and kron = build true in
+  for _ = 1 to 8 do
+    let m = Matrix.random rng ~rows:n ~cols:n ~lo:0 ~hi:1 in
+    let expect = Trace_circuit.reference m >= tau in
+    Alcotest.(check bool) "kron trace" expect (Trace_circuit.run kron m);
+    Alcotest.(check bool) "flat trace" expect (Trace_circuit.run flat m)
+  done
 
 let () =
   Alcotest.run "templates"
@@ -285,5 +395,11 @@ let () =
             test_kernel_differential;
           Alcotest.test_case "certifier" `Quick test_certifier_over_templates;
           Alcotest.test_case "fuzzer" `Quick test_fuzzer_over_templates;
+        ] );
+      ( "kronpow",
+        [
+          Alcotest.test_case "value + size" `Quick test_kronpow_value_and_size;
+          Alcotest.test_case "size counts" `Quick test_kronpow_size_counts;
+          Alcotest.test_case "trace value" `Quick test_kronpow_trace_value;
         ] );
     ]
